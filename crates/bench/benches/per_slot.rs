@@ -1,0 +1,118 @@
+//! Per-slot decision latency of the GreFar slot solvers: exact greedy
+//! (β = 0) vs Frank–Wolfe (β > 0), and scaling in system size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grefar_core::{QuadraticDeviation, QueueState, SlotInstance};
+use grefar_convex::FwOptions;
+use grefar_sim::PaperScenario;
+use grefar_types::{
+    DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, SystemState, Tariff,
+};
+
+/// A synthetic system with `n` data centers and `j` job types.
+fn synthetic(n: usize, j: usize) -> (SystemConfig, SystemState, QueueState) {
+    let mut builder = SystemConfig::builder();
+    for k in 0..n {
+        builder = builder.server_class(ServerClass::new(
+            1.0 + 0.1 * k as f64,
+            1.0 + 0.05 * k as f64,
+        ));
+    }
+    for i in 0..n {
+        let mut fleet = vec![0.0; n];
+        fleet[i] = 100.0;
+        builder = builder.data_center(format!("dc{i}"), fleet);
+    }
+    builder = builder.account("acct", 1.0);
+    for jj in 0..j {
+        let eligible: Vec<DataCenterId> = (0..n).map(DataCenterId::new).collect();
+        builder = builder.job_class(
+            JobClass::new(1.0 + (jj % 4) as f64, eligible, 0)
+                .with_max_arrivals(10.0)
+                .with_max_route(10.0)
+                .with_max_process(30.0),
+        );
+    }
+    let config = builder.build().expect("valid synthetic config");
+
+    let state = SystemState::new(
+        0,
+        (0..n)
+            .map(|i| {
+                let mut avail = vec![0.0; n];
+                avail[i] = 100.0;
+                DataCenterState::new(avail, Tariff::flat(0.3 + 0.05 * i as f64))
+            })
+            .collect(),
+    );
+    let mut queues = QueueState::new(&config);
+    let mut z = config.decision_zeros();
+    for jj in 0..j {
+        for i in 0..n {
+            z.routed[(i, jj)] = ((i * 7 + jj * 3) % 9) as f64;
+        }
+    }
+    queues.apply(&z, &vec![0.0; j]);
+    (config, state, queues)
+}
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_greedy_scaling");
+    for (n, j) in [(3usize, 12usize), (5, 24), (10, 48), (20, 96)] {
+        let (config, state, queues) = synthetic(n, j);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n}_J{j}")),
+            &(config, state, queues),
+            |bench, (config, state, queues)| {
+                bench.iter(|| {
+                    SlotInstance::new(config, state, queues, 7.5)
+                        .solve_greedy()
+                        .objective
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_vs_fw_paper_scenario(c: &mut Criterion) {
+    let scenario = PaperScenario::default().with_seed(1);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(48);
+    // A mid-run queue state: run a few warm-up slots with Always.
+    let mut queues = QueueState::new(&config);
+    let mut always = grefar_core::Always::new(&config);
+    use grefar_core::Scheduler;
+    for t in 0..24 {
+        let d = always.decide(inputs.state(t), &queues);
+        queues.apply(&d, inputs.arrivals(t));
+    }
+    let state = inputs.state(24).clone();
+
+    let mut group = c.benchmark_group("slot_paper_scenario");
+    group.bench_function("greedy_beta0", |b| {
+        b.iter(|| {
+            SlotInstance::new(&config, &state, &queues, 7.5)
+                .solve_greedy()
+                .objective
+        })
+    });
+    for iters in [50usize, 200] {
+        group.bench_function(format!("frank_wolfe_beta100_{iters}it"), |b| {
+            let options = FwOptions {
+                max_iters: iters,
+                gap_tolerance: 1e-6,
+                ..FwOptions::default()
+            };
+            b.iter(|| {
+                SlotInstance::new(&config, &state, &queues, 7.5)
+                    .solve_with_fairness(100.0, &QuadraticDeviation, options)
+                    .objective
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_scaling, bench_greedy_vs_fw_paper_scenario);
+criterion_main!(benches);

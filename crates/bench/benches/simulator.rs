@@ -1,0 +1,50 @@
+//! End-to-end simulator throughput: simulated hours per second for the
+//! paper scenario under each scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grefar_core::{Always, GreFar, GreFarParams, Scheduler};
+use grefar_sim::{PaperScenario, Simulation};
+
+fn bench_simulation(c: &mut Criterion) {
+    let hours = 24 * 14; // two simulated weeks per iteration
+    let scenario = PaperScenario::default().with_seed(5);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(hours);
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(hours as u64));
+    group.sample_size(20);
+
+    group.bench_function("always", |b| {
+        b.iter(|| {
+            let scheduler: Box<dyn Scheduler> = Box::new(Always::new(&config));
+            Simulation::new(config.clone(), inputs.clone(), scheduler)
+                .run()
+                .average_energy_cost()
+        })
+    });
+    group.bench_function("grefar_beta0", |b| {
+        b.iter(|| {
+            let scheduler: Box<dyn Scheduler> = Box::new(
+                GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid"),
+            );
+            Simulation::new(config.clone(), inputs.clone(), scheduler)
+                .run()
+                .average_energy_cost()
+        })
+    });
+    group.bench_function("grefar_beta100", |b| {
+        b.iter(|| {
+            let scheduler: Box<dyn Scheduler> = Box::new(
+                GreFar::new(&config, GreFarParams::new(7.5, 100.0)).expect("valid"),
+            );
+            Simulation::new(config.clone(), inputs.clone(), scheduler)
+                .run()
+                .average_energy_cost()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Trace-generation throughput: hours of (prices + availability +
+//! arrivals) generated per second for the paper scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grefar_sim::PaperScenario;
+use grefar_trace::{PriceTrace, WorkloadTrace};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let hours = 24 * 90; // one quarter per iteration
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(hours as u64));
+
+    group.bench_function("full_inputs", |b| {
+        b.iter(|| {
+            PaperScenario::default()
+                .with_seed(7)
+                .into_inputs(hours)
+                .horizon()
+        })
+    });
+    group.bench_function("prices_only", |b| {
+        b.iter(|| {
+            let scenario = PaperScenario::default().with_seed(7);
+            let mut prices = scenario.price_processes();
+            PriceTrace::generate(&mut prices, hours, 7).num_slots()
+        })
+    });
+    group.bench_function("workload_only", |b| {
+        b.iter(|| {
+            let scenario = PaperScenario::default().with_seed(7);
+            let mut workload = scenario.workload();
+            WorkloadTrace::generate(&mut workload, hours, 7).num_slots()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Fig. 4: GreFar (V = 7.5, β = 100) versus the "Always" baseline on the
+//! same frozen inputs. Three panels: (a) average energy cost, (b) average
+//! fairness, (c) average delay in DC #1.
+//!
+//! Expected shape (§VI-B.3): GreFar wins on energy and fairness at the
+//! expense of delay; Always's delay is ≈ 1.
+
+use grefar_bench::{maybe_write_csv, print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
+use grefar_core::{Always, GreFar, GreFarParams, Scheduler};
+use grefar_sim::{sweep, PaperScenario};
+
+fn main() {
+    let opts = ExperimentOpts::from_args(2000);
+    let scenario = PaperScenario::default().with_seed(opts.seed);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(opts.hours);
+
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
+        (
+            "GreFar".into(),
+            Box::new(
+                GreFar::new(&config, GreFarParams::new(DEFAULT_V, DEFAULT_BETA))
+                    .expect("valid parameters"),
+            ),
+        ),
+        ("Always".into(), Box::new(Always::new(&config))),
+    ];
+    let reports = sweep::run_all(&config, &inputs, runs);
+
+    println!(
+        "Fig. 4 — GreFar (V={DEFAULT_V}, beta={DEFAULT_BETA}) vs Always, {} hours, seed {}\n",
+        opts.hours, opts.seed
+    );
+    let rows: Vec<Vec<f64>> = reports
+        .iter()
+        .enumerate()
+        .map(|(idx, (_, r))| {
+            vec![
+                idx as f64, // 0 = GreFar, 1 = Always
+                r.average_energy_cost(),
+                r.average_fairness(),
+                r.average_dc_delay(0),
+                r.average_dc_delay(1),
+                r.average_dc_delay(2),
+            ]
+        })
+        .collect();
+    println!("(row 0 = GreFar, row 1 = Always)");
+    print_table(
+        &["policy", "avg_energy", "avg_fairness", "delay_dc1", "delay_dc2", "delay_dc3"],
+        &rows,
+    );
+
+    for (panel, pick) in [
+        ("(a) average energy cost over time", 0usize),
+        ("(b) average fairness over time", 1),
+        ("(c) average delay in DC #1 over time", 2),
+    ] {
+        println!("\n{panel}");
+        print!("{:>8}", "hour");
+        for (label, _) in &reports {
+            print!(" {label:>12}");
+        }
+        println!();
+        let horizon = reports[0].1.horizon;
+        for p in 1..=10 {
+            let t = p * (horizon - 1) / 10;
+            print!("{t:>8}");
+            for (_, r) in &reports {
+                let value = match pick {
+                    0 => r.energy.running()[t],
+                    1 => r.fairness.running()[t],
+                    _ => r.dc_delay[0][t],
+                };
+                print!(" {value:>12.4}");
+            }
+            println!();
+        }
+    }
+
+    let labels: Vec<&str> = reports.iter().map(|(l, _)| l.as_str()).collect();
+    let energy: Vec<&[f64]> = reports.iter().map(|(_, r)| r.energy.running()).collect();
+    maybe_write_csv(opts.csv_path("fig4a_energy.csv"), &labels, &energy);
+    let fair: Vec<&[f64]> = reports.iter().map(|(_, r)| r.fairness.running()).collect();
+    maybe_write_csv(opts.csv_path("fig4b_fairness.csv"), &labels, &fair);
+    let delay: Vec<&[f64]> = reports
+        .iter()
+        .map(|(_, r)| r.dc_delay[0].as_slice())
+        .collect();
+    maybe_write_csv(opts.csv_path("fig4c_delay_dc1.csv"), &labels, &delay);
+}

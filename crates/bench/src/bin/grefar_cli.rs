@@ -1,0 +1,210 @@
+//! `grefar_cli` — run any scheduler against the paper scenario or against
+//! replayed CSV traces, from the command line.
+//!
+//! ```text
+//! USAGE:
+//!   grefar_cli [--scheduler NAME] [--v V] [--beta B] [--hours N] [--seed S]
+//!              [--load-scale X] [--prices FILE] [--workload FILE]
+//!              [--admission-cap C] [--csv DIR]
+//!
+//! SCHEDULERS:
+//!   grefar (default) | always | local-only | price-greedy | mpc
+//! ```
+//!
+//! With `--prices`/`--workload`, the CSV traces (see
+//! `grefar_trace::import`) replace the synthetic processes; both files must
+//! cover the requested horizon or they are cycled.
+
+use grefar_bench::{maybe_write_csv, print_table};
+use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
+use grefar_sim::{MpcScheduler, PaperScenario, Simulation, SimulationInputs};
+use grefar_trace::import::{load_price_trace, load_workload_trace};
+use grefar_trace::{PriceProcess, ReplayPrice, ReplayWorkload};
+use grefar_cluster::AvailabilityProcess;
+use std::path::PathBuf;
+
+#[derive(Debug)]
+struct CliOptions {
+    scheduler: String,
+    v: f64,
+    beta: f64,
+    hours: usize,
+    seed: u64,
+    load_scale: f64,
+    prices: Option<PathBuf>,
+    workload: Option<PathBuf>,
+    admission_cap: Option<f64>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> CliOptions {
+    let mut opts = CliOptions {
+        scheduler: "grefar".into(),
+        v: 7.5,
+        beta: 0.0,
+        hours: 24 * 30,
+        seed: 2012,
+        load_scale: 1.0,
+        prices: None,
+        workload: None,
+        admission_cap: None,
+        csv_dir: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+        };
+        match args[i].as_str() {
+            "--scheduler" => opts.scheduler = value(i).to_string(),
+            "--v" => opts.v = value(i).parse().expect("--v expects a number"),
+            "--beta" => opts.beta = value(i).parse().expect("--beta expects a number"),
+            "--hours" => opts.hours = value(i).parse().expect("--hours expects an integer"),
+            "--seed" => opts.seed = value(i).parse().expect("--seed expects an integer"),
+            "--load-scale" => {
+                opts.load_scale = value(i).parse().expect("--load-scale expects a number")
+            }
+            "--prices" => opts.prices = Some(PathBuf::from(value(i))),
+            "--workload" => opts.workload = Some(PathBuf::from(value(i))),
+            "--admission-cap" => {
+                opts.admission_cap = Some(value(i).parse().expect("--admission-cap number"))
+            }
+            "--csv" => opts.csv_dir = Some(PathBuf::from(value(i))),
+            "--help" | "-h" => {
+                println!(
+                    "grefar_cli --scheduler grefar|always|local-only|price-greedy|mpc \\\n\
+                     \x20          --v V --beta B --hours N --seed S --load-scale X \\\n\
+                     \x20          [--prices FILE] [--workload FILE] [--admission-cap C] [--csv DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}; try --help"),
+        }
+        i += 2;
+    }
+    assert!(opts.hours > 0, "--hours must be positive");
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let scenario = PaperScenario::default()
+        .with_seed(opts.seed)
+        .with_load_scale(opts.load_scale);
+    let config = scenario.config().clone();
+
+    // Inputs: synthetic scenario, optionally overridden by CSV replays.
+    let inputs: SimulationInputs = if opts.prices.is_some() || opts.workload.is_some() {
+        let mut price_procs: Vec<Box<dyn PriceProcess + Send>> = match &opts.prices {
+            Some(path) => {
+                let trace = load_price_trace(path).expect("readable price csv");
+                assert_eq!(
+                    trace.num_data_centers(),
+                    config.num_data_centers(),
+                    "price csv must have one column per data center"
+                );
+                (0..trace.num_data_centers())
+                    .map(|i| {
+                        Box::new(ReplayPrice::new(trace.rates(i)))
+                            as Box<dyn PriceProcess + Send>
+                    })
+                    .collect()
+            }
+            None => scenario.price_processes(),
+        };
+        let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
+            scenario.availability_processes();
+        match &opts.workload {
+            Some(path) => {
+                let trace = load_workload_trace(path).expect("readable workload csv");
+                assert_eq!(
+                    trace.num_job_types(),
+                    config.num_job_classes(),
+                    "workload csv must have one column per job type"
+                );
+                let rows = (0..trace.num_slots())
+                    .map(|t| trace.arrivals(t as u64).to_vec())
+                    .collect();
+                let mut workload = ReplayWorkload::new(rows);
+                SimulationInputs::generate(
+                    &config,
+                    opts.hours,
+                    opts.seed,
+                    &mut price_procs,
+                    &mut availability,
+                    &mut workload,
+                )
+            }
+            None => {
+                let mut workload = scenario.workload();
+                SimulationInputs::generate(
+                    &config,
+                    opts.hours,
+                    opts.seed,
+                    &mut price_procs,
+                    &mut availability,
+                    &mut workload,
+                )
+            }
+        }
+    } else {
+        scenario.clone().into_inputs(opts.hours)
+    };
+
+    let scheduler: Box<dyn Scheduler> = match opts.scheduler.as_str() {
+        "grefar" => Box::new(
+            GreFar::new(&config, GreFarParams::new(opts.v, opts.beta)).expect("valid params"),
+        ),
+        "always" => Box::new(Always::new(&config)),
+        "local-only" => Box::new(LocalOnly::new(&config)),
+        "price-greedy" => Box::new(PriceGreedy::new(&config)),
+        "mpc" => Box::new(MpcScheduler::new(&config, inputs.clone(), 6, 0.02)),
+        other => panic!("unknown scheduler {other}; try --help"),
+    };
+
+    let mut sim = Simulation::new(config.clone(), inputs, scheduler);
+    if let Some(cap) = opts.admission_cap {
+        sim = sim.with_admission_cap(cap);
+    }
+    let report = sim.run();
+
+    println!("scheduler        : {}", report.scheduler);
+    println!("hours            : {}", report.horizon);
+    println!("avg energy cost  : {:.3}", report.average_energy_cost());
+    println!("avg fairness     : {:.4}", report.average_fairness());
+    println!("arriving work/h  : {:.2}", report.arriving_work.mean());
+    println!("jobs completed   : {}", report.completions.completed_total);
+    println!("mean sojourn     : {:.2} h", report.completions.mean_sojourn);
+    println!("max queue        : {:.0}", report.max_queue_length());
+    if report.dropped_jobs > 0 {
+        println!("dropped (adm.)   : {}", report.dropped_jobs);
+    }
+    println!();
+    let rows: Vec<Vec<f64>> = (0..report.num_data_centers())
+        .map(|i| {
+            vec![
+                (i + 1) as f64,
+                report.average_work_per_dc(i),
+                report.average_dc_delay(i),
+                report.dc_delay_quantiles[i].p95,
+                report.completions.completed_per_dc[i] as f64,
+            ]
+        })
+        .collect();
+    print_table(&["dc", "avg_work", "avg_delay", "p95_delay", "completed"], &rows);
+
+    if opts.csv_dir.is_some() {
+        let path = opts.csv_dir.as_ref().map(|d| d.join("run_series.csv"));
+        maybe_write_csv(
+            path,
+            &["energy_avg", "fairness_avg", "queue_total"],
+            &[
+                report.energy.running(),
+                report.fairness.running(),
+                &report.queue_total,
+            ],
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared utilities for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §3 for the experiment index).
+//!
+//! Every binary accepts:
+//!
+//! * `--hours N` — simulation horizon in slots (default experiment-specific),
+//! * `--seed S` — the master seed (default 2012),
+//! * `--csv DIR` — also write the plotted series as CSV files into `DIR`.
+//!
+//! Output is plain aligned text: the same rows/series the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// The cost-delay values swept in Fig. 2.
+pub const FIG2_V_VALUES: [f64; 4] = [0.1, 2.5, 7.5, 20.0];
+
+/// The paper's default GreFar operating point (Figs. 3–5).
+pub const DEFAULT_V: f64 = 7.5;
+
+/// The fairness weight used where the paper uses "β = 100".
+///
+/// β is *not* unit-invariant: it weighs a fairness score in `[-0.3, 0]`
+/// against an energy cost whose scale depends on the (undisclosed)
+/// normalization of work, prices and `R(t)` in the paper's simulator. We
+/// calibrate instead to the paper's *operating point*: the β at which
+/// GreFar's fairness crosses above the Always baseline while the energy
+/// increase over β = 0 stays marginal (Figs. 3 and 4). In this workspace's
+/// normalization that knee sits at β ≈ 300; see EXPERIMENTS.md.
+pub const DEFAULT_BETA: f64 = 300.0;
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentOpts {
+    /// Simulation horizon in hours (slots).
+    pub hours: usize,
+    /// Master seed for all stochastic processes.
+    pub seed: u64,
+    /// Optional directory for CSV dumps of the plotted series.
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl ExperimentOpts {
+    /// Parses `--hours`, `--seed` and `--csv` from the process arguments,
+    /// with `default_hours` as the horizon default.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args(default_hours: usize) -> Self {
+        let mut opts = Self {
+            hours: default_hours,
+            seed: 2012,
+            csv_dir: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| -> &str {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+            };
+            match args[i].as_str() {
+                "--hours" => {
+                    opts.hours = value(i).parse().expect("--hours expects an integer");
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = value(i).parse().expect("--seed expects an integer");
+                    i += 2;
+                }
+                "--csv" => {
+                    opts.csv_dir = Some(PathBuf::from(value(i)));
+                    i += 2;
+                }
+                other => panic!("unknown argument {other}; use --hours N --seed S --csv DIR"),
+            }
+        }
+        assert!(opts.hours > 0, "--hours must be positive");
+        opts
+    }
+
+    /// The CSV path for `name` if `--csv` was given.
+    pub fn csv_path(&self, name: &str) -> Option<PathBuf> {
+        self.csv_dir.as_ref().map(|d| d.join(name))
+    }
+}
+
+/// Prints an aligned text table: a header row and numeric rows.
+///
+/// # Panics
+/// Panics if a row's width differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<f64>]) {
+    let width = 12usize;
+    let header_line: Vec<String> = headers.iter().map(|h| format!("{h:>width$}")).collect();
+    println!("{}", header_line.join(" "));
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        let line: Vec<String> = row.iter().map(|v| format!("{v:>width$.4}")).collect();
+        println!("{}", line.join(" "));
+    }
+}
+
+/// Downsamples a series to at most `points` evenly spaced samples,
+/// returning `(slot, value)` pairs. Always includes the final slot.
+pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
+    assert!(points >= 2, "need at least two sample points");
+    if series.is_empty() {
+        return Vec::new();
+    }
+    if series.len() <= points {
+        return series.iter().copied().enumerate().collect();
+    }
+    let mut out = Vec::with_capacity(points);
+    let last = series.len() - 1;
+    for p in 0..points {
+        let idx = p * last / (points - 1);
+        out.push((idx, series[idx]));
+    }
+    out.dedup_by_key(|(i, _)| *i);
+    out
+}
+
+/// Writes labeled series (columns) to a CSV file if a path is given.
+/// Column 0 is the slot index.
+///
+/// # Panics
+/// Panics if the series lengths differ or the file cannot be written.
+pub fn maybe_write_csv(path: Option<PathBuf>, labels: &[&str], columns: &[&[f64]]) {
+    let Some(path) = path else { return };
+    assert_eq!(labels.len(), columns.len(), "label/column count mismatch");
+    let len = columns.first().map_or(0, |c| c.len());
+    assert!(
+        columns.iter().all(|c| c.len() == len),
+        "column length mismatch"
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create csv directory");
+    }
+    let mut headers = vec!["slot"];
+    headers.extend_from_slice(labels);
+    let rows = (0..len).map(|t| {
+        let mut row = Vec::with_capacity(columns.len() + 1);
+        row.push(t as f64);
+        row.extend(columns.iter().map(|c| c[t]));
+        row
+    });
+    grefar_trace::csv::write_csv(&path, &headers, rows).expect("write csv");
+    println!("(wrote {})", path.display());
+}
+
+/// Prints a downsampled running-average series as an aligned two-column
+/// block with a title.
+pub fn print_series(title: &str, series: &[f64], points: usize) {
+    println!("\n{title}");
+    println!("{:>8} {:>12}", "hour", "value");
+    for (slot, value) in downsample(series, points) {
+        println!("{slot:>8} {value:>12.4}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_includes_endpoints() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let sampled = downsample(&series, 5);
+        assert_eq!(sampled.first().unwrap().0, 0);
+        assert_eq!(sampled.last().unwrap().0, 99);
+        assert!(sampled.len() <= 5);
+    }
+
+    #[test]
+    fn downsample_short_series_is_identity() {
+        let series = vec![1.0, 2.0];
+        assert_eq!(downsample(&series, 10), vec![(0, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn csv_path_composition() {
+        let opts = ExperimentOpts {
+            hours: 10,
+            seed: 1,
+            csv_dir: Some(PathBuf::from("/tmp/x")),
+        };
+        assert_eq!(
+            opts.csv_path("a.csv").unwrap(),
+            PathBuf::from("/tmp/x/a.csv")
+        );
+        let no_csv = ExperimentOpts {
+            csv_dir: None,
+            ..opts
+        };
+        assert_eq!(no_csv.csv_path("a.csv"), None);
+    }
+}

@@ -1,0 +1,364 @@
+//! Time-varying server-availability processes `n_{i,k}(t)` (§III-A.1).
+//!
+//! The paper lists several sources of availability variation: "server
+//! failures, software upgrades, influence of other workloads". Each process
+//! here models one of those, and — crucially for GreFar — none of them needs
+//! to be stationary: the scheduler is provably agnostic to the distribution.
+
+use grefar_types::Slot;
+use rand::RngCore;
+
+/// A stochastic process producing the available server counts
+/// `n_{i,·}(t) ∈ [0, fleet]` of one data center, one slot at a time.
+///
+/// Processes may keep internal state (e.g. the Markov model), which is why
+/// sampling takes `&mut self`. Randomness is injected so that whole
+/// simulations are reproducible from a single seed.
+pub trait AvailabilityProcess {
+    /// Samples `n_{i,·}(slot)`, one entry per server class, each in
+    /// `[0, fleet[k]]`.
+    fn sample(&mut self, slot: Slot, fleet: &[f64], rng: &mut dyn RngCore) -> Vec<f64>;
+}
+
+/// Every owned server is always available — the overprovisioned steady
+/// state, and the easiest way to satisfy the slackness conditions (20)–(22).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullAvailability;
+
+impl AvailabilityProcess for FullAvailability {
+    fn sample(&mut self, _slot: Slot, fleet: &[f64], _rng: &mut dyn RngCore) -> Vec<f64> {
+        fleet.to_vec()
+    }
+}
+
+/// Each slot, an independent uniformly-random fraction of each class is
+/// available: `n_k(t) = round(fleet_k · U[min_fraction, max_fraction])`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformAvailability {
+    min_fraction: f64,
+    max_fraction: f64,
+}
+
+impl UniformAvailability {
+    /// Creates the process with availability fractions in
+    /// `[min_fraction, max_fraction] ⊆ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ min_fraction ≤ max_fraction ≤ 1`.
+    pub fn new(min_fraction: f64, max_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&min_fraction)
+                && (0.0..=1.0).contains(&max_fraction)
+                && min_fraction <= max_fraction,
+            "fractions must satisfy 0 <= min <= max <= 1"
+        );
+        Self {
+            min_fraction,
+            max_fraction,
+        }
+    }
+}
+
+impl AvailabilityProcess for UniformAvailability {
+    fn sample(&mut self, _slot: Slot, fleet: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        fleet
+            .iter()
+            .map(|&n| {
+                let u = uniform(rng);
+                let f = self.min_fraction + (self.max_fraction - self.min_fraction) * u;
+                (n * f).round()
+            })
+            .collect()
+    }
+}
+
+/// A per-server birth–death (failure/repair) Markov chain: each up server
+/// fails with probability `fail` per slot, each down server is repaired
+/// with probability `repair` per slot. Models §III-A.1's "server failures,
+/// software upgrades".
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovAvailability {
+    fail: f64,
+    repair: f64,
+    /// Current up counts per class; lazily initialized to the full fleet.
+    up: Option<Vec<f64>>,
+}
+
+impl MarkovAvailability {
+    /// Creates the chain with per-slot failure and repair probabilities.
+    ///
+    /// The stationary availability fraction is `repair / (fail + repair)`.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities are in `[0, 1]` and not both zero.
+    pub fn new(fail: f64, repair: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fail) && (0.0..=1.0).contains(&repair),
+            "probabilities must lie in [0, 1]"
+        );
+        assert!(
+            fail + repair > 0.0,
+            "fail and repair cannot both be zero"
+        );
+        Self {
+            fail,
+            repair,
+            up: None,
+        }
+    }
+
+    /// The long-run expected availability fraction
+    /// `repair / (fail + repair)`.
+    pub fn stationary_fraction(&self) -> f64 {
+        self.repair / (self.fail + self.repair)
+    }
+}
+
+impl AvailabilityProcess for MarkovAvailability {
+    fn sample(&mut self, _slot: Slot, fleet: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let up = self
+            .up
+            .get_or_insert_with(|| fleet.to_vec());
+        // Fleets can change between calls in principle; clamp defensively.
+        for (u, &n) in up.iter_mut().zip(fleet) {
+            *u = u.min(n);
+            let upc = u.round() as u64;
+            let downc = (n - *u).max(0.0).round() as u64;
+            let failures = binomial(upc, self.fail, rng) as f64;
+            let repairs = binomial(downc, self.repair, rng) as f64;
+            *u = (*u - failures + repairs).clamp(0.0, n);
+        }
+        up.clone()
+    }
+}
+
+/// Diurnal interactive-load model: batch jobs only get the servers that
+/// interactive traffic is not using, and interactive traffic peaks during
+/// the day (§III-A.1: "the increase of interactive workloads may reduce the
+/// number of servers available to process batch jobs").
+///
+/// `n_k(t) = round(fleet_k · (1 − load(t)) )` where
+/// `load(t) = base + swing · ½(1 + sin(2π (t − phase) / period))` plus a
+/// small uniform jitter, clamped into `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalAvailability {
+    base_load: f64,
+    swing: f64,
+    jitter: f64,
+    period: f64,
+    phase: f64,
+}
+
+impl DiurnalAvailability {
+    /// Creates the model.
+    ///
+    /// * `base_load` — minimum interactive-load fraction,
+    /// * `swing` — additional fraction consumed at the daily peak,
+    /// * `jitter` — amplitude of uniform noise added to the load,
+    /// * `period` — slots per day (24 for hourly slots),
+    /// * `phase` — slot of the daily load *trough*.
+    ///
+    /// # Panics
+    /// Panics if any fraction is outside `[0, 1]` or the period is not
+    /// positive.
+    pub fn new(base_load: f64, swing: f64, jitter: f64, period: f64, phase: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&base_load)
+                && (0.0..=1.0).contains(&swing)
+                && (0.0..=1.0).contains(&jitter),
+            "fractions must lie in [0, 1]"
+        );
+        assert!(period > 0.0, "period must be positive");
+        Self {
+            base_load,
+            swing,
+            jitter,
+            period,
+            phase,
+        }
+    }
+}
+
+impl AvailabilityProcess for DiurnalAvailability {
+    fn sample(&mut self, slot: Slot, fleet: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let angle = 2.0 * core::f64::consts::PI * (slot as f64 - self.phase) / self.period;
+        let load = self.base_load + self.swing * 0.5 * (1.0 + angle.sin());
+        fleet
+            .iter()
+            .map(|&n| {
+                let noise = self.jitter * (2.0 * uniform(rng) - 1.0);
+                (n * (1.0 - (load + noise).clamp(0.0, 1.0))).round()
+            })
+            .collect()
+    }
+}
+
+/// Failure-injection wrapper: during any of the given `[start, end)` slot
+/// windows the data center is fully down (`n ≡ 0`); otherwise the inner
+/// process is sampled. Used by the failure-injection integration tests.
+pub struct OutageSchedule {
+    inner: Box<dyn AvailabilityProcess + Send>,
+    windows: Vec<(Slot, Slot)>,
+}
+
+impl core::fmt::Debug for OutageSchedule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OutageSchedule")
+            .field("windows", &self.windows)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OutageSchedule {
+    /// Wraps `inner`, forcing zero availability during each `[start, end)`
+    /// window.
+    ///
+    /// # Panics
+    /// Panics if any window has `start >= end`.
+    pub fn new(inner: Box<dyn AvailabilityProcess + Send>, windows: Vec<(Slot, Slot)>) -> Self {
+        for &(s, e) in &windows {
+            assert!(s < e, "outage window [{s}, {e}) is empty");
+        }
+        Self { inner, windows }
+    }
+
+    /// Returns `true` if `slot` falls inside an outage window.
+    pub fn is_down(&self, slot: Slot) -> bool {
+        self.windows.iter().any(|&(s, e)| (s..e).contains(&slot))
+    }
+}
+
+impl AvailabilityProcess for OutageSchedule {
+    fn sample(&mut self, slot: Slot, fleet: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        // Advance the inner process regardless, so that an outage does not
+        // shift the inner chain's randomness timeline.
+        let inner = self.inner.sample(slot, fleet, rng);
+        if self.is_down(slot) {
+            vec![0.0; fleet.len()]
+        } else {
+            inner
+        }
+    }
+}
+
+/// Uniform sample in `[0, 1)` from a raw RNG.
+fn uniform(rng: &mut dyn RngCore) -> f64 {
+    // 53 random mantissa bits.
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exact binomial sample by `n` Bernoulli draws (counts here are small).
+fn binomial(n: u64, p: f64, rng: &mut dyn RngCore) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    (0..n).filter(|_| uniform(rng) < p).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn full_availability_returns_fleet() {
+        let mut p = FullAvailability;
+        let out = p.sample(0, &[10.0, 20.0], &mut rng());
+        assert_eq!(out, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut p = UniformAvailability::new(0.5, 0.9);
+        let mut r = rng();
+        for t in 0..200 {
+            let out = p.sample(t, &[100.0], &mut r);
+            assert!(out[0] >= 50.0 - 1e-9 && out[0] <= 90.0 + 1e-9, "{}", out[0]);
+            assert_eq!(out[0], out[0].round());
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_about_midpoint() {
+        let mut p = UniformAvailability::new(0.4, 0.8);
+        let mut r = rng();
+        let mean: f64 =
+            (0..2000).map(|t| p.sample(t, &[1000.0], &mut r)[0]).sum::<f64>() / 2000.0;
+        assert!((mean - 600.0).abs() < 15.0, "mean {mean}");
+    }
+
+    #[test]
+    fn markov_converges_to_stationary_fraction() {
+        let mut p = MarkovAvailability::new(0.1, 0.3);
+        assert!((p.stationary_fraction() - 0.75).abs() < 1e-12);
+        let mut r = rng();
+        let fleet = [400.0];
+        // Burn in, then average.
+        for t in 0..200 {
+            p.sample(t, &fleet, &mut r);
+        }
+        let mean: f64 =
+            (200..1200).map(|t| p.sample(t, &fleet, &mut r)[0]).sum::<f64>() / 1000.0;
+        assert!((mean - 300.0).abs() < 15.0, "mean {mean}");
+    }
+
+    #[test]
+    fn markov_never_exceeds_fleet() {
+        let mut p = MarkovAvailability::new(0.05, 0.5);
+        let mut r = rng();
+        for t in 0..500 {
+            let out = p.sample(t, &[50.0, 10.0], &mut r);
+            assert!(out[0] >= 0.0 && out[0] <= 50.0);
+            assert!(out[1] >= 0.0 && out[1] <= 10.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_has_daily_shape() {
+        let mut p = DiurnalAvailability::new(0.1, 0.4, 0.0, 24.0, 6.0);
+        let mut r = rng();
+        // Trough of load (max availability) at phase+18? With our formula the
+        // sine is −1 at slot = phase + 18 (mod 24): load = base. At
+        // phase + 6 the sine is +1: load = base + swing.
+        let hi = p.sample(6 + 18, &[100.0], &mut r)[0];
+        let lo = p.sample(6 + 6, &[100.0], &mut r)[0];
+        assert!(hi > lo, "hi {hi} lo {lo}");
+        assert!((hi - 90.0).abs() < 1.0);
+        assert!((lo - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn outage_forces_zero() {
+        let mut p = OutageSchedule::new(Box::new(FullAvailability), vec![(10, 20)]);
+        let mut r = rng();
+        assert_eq!(p.sample(9, &[5.0], &mut r), vec![5.0]);
+        assert_eq!(p.sample(10, &[5.0], &mut r), vec![0.0]);
+        assert_eq!(p.sample(19, &[5.0], &mut r), vec![0.0]);
+        assert_eq!(p.sample(20, &[5.0], &mut r), vec![5.0]);
+        assert!(p.is_down(15));
+        assert!(!p.is_down(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn outage_rejects_empty_window() {
+        let _ = OutageSchedule::new(Box::new(FullAvailability), vec![(5, 5)]);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(binomial(10, 0.0, &mut r), 0);
+        assert_eq!(binomial(10, 1.0, &mut r), 10);
+        let s = binomial(10_000, 0.5, &mut r);
+        assert!((4_700..=5_300).contains(&s), "{s}");
+    }
+}

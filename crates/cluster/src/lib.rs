@@ -1,0 +1,43 @@
+//! Data-center cluster substrate for the GreFar scheduler.
+//!
+//! Models the physical side of §III-A of the paper:
+//!
+//! * [`availability`] — the time-varying server-availability processes
+//!   `n_{i,k}(t)` ("server failures, software upgrades, influence of other
+//!   workloads"): full, uniform-random, Markov birth–death, diurnal
+//!   interactive-load, and a scheduled-outage wrapper for failure injection.
+//! * [`power`] — the energy model of eq. (2): the piecewise-linear convex
+//!   *supply curve* mapping work to the minimum power that serves it (filling
+//!   the most energy-efficient servers first), min-power dispatch back to
+//!   per-class busy counts `b_{i,k}`, and the per-slot energy cost
+//!   `e_i(t) = φ_i(t) · Σ_k b_{i,k}(t) p_k` generalized to convex tariffs.
+//!
+//! # Example
+//!
+//! ```
+//! use grefar_cluster::power::PowerCurve;
+//! use grefar_types::ServerClass;
+//!
+//! // 10 slow-but-efficient servers and 10 fast-but-hungry ones.
+//! let classes = [ServerClass::new(0.75, 0.6), ServerClass::new(1.15, 1.2)];
+//! let curve = PowerCurve::build(&[10.0, 10.0], &classes);
+//!
+//! // Serving 5 units of work uses only the efficient class...
+//! assert!((curve.power_for_work(5.0) - 5.0 * 0.8).abs() < 1e-12);
+//! // ...and the dispatch says how many of each server to keep busy.
+//! let busy = curve.dispatch(5.0, &classes);
+//! assert!((busy[0] - 5.0 / 0.75).abs() < 1e-12);
+//! assert_eq!(busy[1], 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod power;
+
+pub use availability::{
+    AvailabilityProcess, DiurnalAvailability, FullAvailability, MarkovAvailability,
+    OutageSchedule, UniformAvailability,
+};
+pub use power::{energy_cost, PowerCurve, PowerSegment};

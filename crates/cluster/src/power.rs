@@ -1,0 +1,351 @@
+//! The energy model of eq. (2) and minimum-power dispatch.
+//!
+//! Given the available servers of a data center, the cheapest way (in power)
+//! to serve `w` units of work is to fill server classes in increasing order
+//! of power-per-work `p_k / s_k`. The resulting work → power mapping is an
+//! increasing, piecewise-linear, convex *supply curve*; its breakpoints are
+//! exactly what both the GreFar greedy slot solver and the Frank–Wolfe LMO
+//! consume.
+
+use grefar_types::{DataCenterState, ServerClass};
+
+/// One linear piece of a [`PowerCurve`]: up to `work_capacity` units of work
+/// served at `power_per_work` additional power per unit, by servers of class
+/// `class_index`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSegment {
+    /// Index `k` of the server class providing this segment.
+    pub class_index: usize,
+    /// Work this segment can absorb: `n_k · s_k`.
+    pub work_capacity: f64,
+    /// Differential power per unit of work: `p_k / s_k`.
+    pub power_per_work: f64,
+}
+
+/// The minimum-power supply curve of one data center for one slot:
+/// a sorted sequence of [`PowerSegment`]s (most efficient first).
+///
+/// # Example
+/// ```
+/// use grefar_cluster::PowerCurve;
+/// use grefar_types::ServerClass;
+///
+/// let classes = [ServerClass::new(1.0, 1.0)];
+/// let curve = PowerCurve::build(&[4.0], &classes);
+/// assert_eq!(curve.total_capacity(), 4.0);
+/// assert_eq!(curve.power_for_work(3.0), 3.0);
+/// assert_eq!(curve.marginal_power_per_work(0.0), Some(1.0));
+/// assert_eq!(curve.marginal_power_per_work(5.0), None); // beyond capacity
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerCurve {
+    segments: Vec<PowerSegment>,
+    num_classes: usize,
+}
+
+impl PowerCurve {
+    /// Builds the supply curve from per-class availability `n_{i,·}(t)` and
+    /// the server classes. Classes with zero availability are skipped.
+    ///
+    /// # Panics
+    /// Panics if `available.len() != classes.len()` or any availability is
+    /// negative.
+    pub fn build(available: &[f64], classes: &[ServerClass]) -> Self {
+        assert_eq!(
+            available.len(),
+            classes.len(),
+            "availability/class length mismatch"
+        );
+        let mut segments: Vec<PowerSegment> = available
+            .iter()
+            .zip(classes)
+            .enumerate()
+            .filter(|(_, (&n, _))| {
+                assert!(n >= 0.0, "availability must be non-negative");
+                n > 0.0
+            })
+            .map(|(k, (&n, class))| PowerSegment {
+                class_index: k,
+                work_capacity: n * class.speed(),
+                power_per_work: class.power_per_work(),
+            })
+            .collect();
+        segments.sort_by(|a, b| {
+            a.power_per_work
+                .partial_cmp(&b.power_per_work)
+                .expect("power_per_work is finite")
+        });
+        Self {
+            segments,
+            num_classes: classes.len(),
+        }
+    }
+
+    /// The sorted supply segments (most power-efficient first).
+    #[inline]
+    pub fn segments(&self) -> &[PowerSegment] {
+        &self.segments
+    }
+
+    /// Maximum work this data center can serve in the slot:
+    /// `Σ_k n_{i,k}(t) s_k` (right-hand side of constraint (11)).
+    pub fn total_capacity(&self) -> f64 {
+        self.segments.iter().map(|s| s.work_capacity).sum()
+    }
+
+    /// Minimum power needed to serve `work` units. Increasing, convex and
+    /// piecewise linear in `work`. Work beyond capacity is billed at the
+    /// least-efficient rate (callers should not exceed
+    /// [`total_capacity`](Self::total_capacity); the scheduler never does).
+    ///
+    /// # Panics
+    /// Panics if `work` is negative or non-finite, or if the curve is empty
+    /// while `work > 0`.
+    pub fn power_for_work(&self, work: f64) -> f64 {
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "work must be non-negative and finite, got {work}"
+        );
+        if work == 0.0 {
+            return 0.0;
+        }
+        assert!(
+            !self.segments.is_empty(),
+            "no servers available to serve positive work"
+        );
+        let mut remaining = work;
+        let mut power = 0.0;
+        for seg in &self.segments {
+            let served = remaining.min(seg.work_capacity);
+            power += served * seg.power_per_work;
+            remaining -= served;
+            if remaining <= 0.0 {
+                return power;
+            }
+        }
+        power + remaining * self.segments[self.segments.len() - 1].power_per_work
+    }
+
+    /// Marginal power of the next unit of work at load `work`, or `None`
+    /// if the data center is already at capacity.
+    ///
+    /// # Panics
+    /// Panics if `work` is negative or non-finite.
+    pub fn marginal_power_per_work(&self, work: f64) -> Option<f64> {
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "work must be non-negative and finite, got {work}"
+        );
+        let mut level = work;
+        for seg in &self.segments {
+            if level < seg.work_capacity {
+                return Some(seg.power_per_work);
+            }
+            level -= seg.work_capacity;
+        }
+        None
+    }
+
+    /// Minimum-power split of `work` across server classes: entry `k` is
+    /// the *work* assigned to class `k` (not the server count — see
+    /// [`dispatch`](Self::dispatch) for that). Length `K`.
+    ///
+    /// # Panics
+    /// Panics if `work` is negative/non-finite or exceeds
+    /// [`total_capacity`](Self::total_capacity) by more than a tolerance.
+    pub fn work_split(&self, work: f64) -> Vec<f64> {
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "work must be non-negative and finite, got {work}"
+        );
+        let cap = self.total_capacity();
+        assert!(
+            work <= cap * (1.0 + 1e-9) + 1e-12,
+            "work {work} exceeds capacity {cap}"
+        );
+        let mut busy = vec![0.0; self.num_classes];
+        let mut remaining = work.min(cap);
+        for seg in &self.segments {
+            if remaining <= 0.0 {
+                break;
+            }
+            let served = remaining.min(seg.work_capacity);
+            busy[seg.class_index] += served;
+            remaining -= served;
+        }
+        busy
+    }
+
+    /// Minimum-power dispatch: the per-class busy *server counts* `b_{i,·}`
+    /// that serve `work` units at [`power_for_work`](Self::power_for_work)
+    /// power, i.e. [`work_split`](Self::work_split) divided by class speeds.
+    ///
+    /// # Panics
+    /// As [`work_split`](Self::work_split); additionally if
+    /// `classes.len()` mismatches the curve.
+    pub fn dispatch(&self, work: f64, classes: &[ServerClass]) -> Vec<f64> {
+        assert_eq!(classes.len(), self.num_classes, "class count mismatch");
+        let mut by_work = self.work_split(work);
+        for (b, class) in by_work.iter_mut().zip(classes) {
+            *b /= class.speed();
+        }
+        by_work
+    }
+}
+
+/// The per-slot energy cost of data center `i` (eq. (2)), generalized to
+/// convex tariffs: `e_i(t) = tariff.cost( Σ_k b_{i,k}(t) · p_k )`.
+///
+/// For the paper's flat tariffs this is exactly
+/// `φ_i(t) · Σ_k b_{i,k}(t) p_k`.
+///
+/// # Panics
+/// Panics if `busy.len() != classes.len()` or availability is exceeded
+/// beyond a small tolerance.
+///
+/// # Example
+/// ```
+/// use grefar_cluster::energy_cost;
+/// use grefar_types::{DataCenterState, ServerClass, Tariff};
+///
+/// let state = DataCenterState::new(vec![10.0], Tariff::flat(0.4));
+/// let classes = [ServerClass::new(1.0, 1.0)];
+/// assert!((energy_cost(&state, &[5.0], &classes) - 2.0).abs() < 1e-12);
+/// ```
+pub fn energy_cost(state: &DataCenterState, busy: &[f64], classes: &[ServerClass]) -> f64 {
+    assert_eq!(busy.len(), classes.len(), "busy/class length mismatch");
+    let mut power = 0.0;
+    for (k, (&b, class)) in busy.iter().zip(classes).enumerate() {
+        assert!(
+            b >= 0.0 && b <= state.available(k) * (1.0 + 1e-9) + 1e-9,
+            "busy count {b} for class {k} violates availability {}",
+            state.available(k)
+        );
+        power += b * class.active_power();
+    }
+    state.tariff().cost(power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::Tariff;
+
+    fn classes() -> Vec<ServerClass> {
+        // Efficiencies: 1.0, 0.8, ~1.043 → order is k=1, k=0, k=2.
+        vec![
+            ServerClass::new(1.00, 1.00),
+            ServerClass::new(0.75, 0.60),
+            ServerClass::new(1.15, 1.20),
+        ]
+    }
+
+    #[test]
+    fn curve_sorted_by_efficiency() {
+        let curve = PowerCurve::build(&[10.0, 10.0, 10.0], &classes());
+        let orders: Vec<usize> = curve.segments().iter().map(|s| s.class_index).collect();
+        assert_eq!(orders, vec![1, 0, 2]);
+        assert!((curve.total_capacity() - (10.0 + 7.5 + 11.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_fills_cheapest_first() {
+        let curve = PowerCurve::build(&[10.0, 10.0, 10.0], &classes());
+        // 7.5 units fit entirely on class 1 (capacity 7.5 at 0.8/unit).
+        assert!((curve.power_for_work(7.5) - 6.0).abs() < 1e-12);
+        // 10 more units go to class 0 (1.0/unit).
+        assert!((curve.power_for_work(17.5) - (6.0 + 10.0)).abs() < 1e-12);
+        // Remaining to class 2.
+        let all = curve.total_capacity();
+        let expected = 6.0 + 10.0 + 11.5 * (1.2 / 1.15);
+        assert!((curve.power_for_work(all) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_curve_is_convex() {
+        let curve = PowerCurve::build(&[3.0, 5.0, 2.0], &classes());
+        let cap = curve.total_capacity();
+        let vals: Vec<f64> = (0..=40)
+            .map(|i| curve.power_for_work(cap * i as f64 / 40.0))
+            .collect();
+        for w in vals.windows(3) {
+            assert!(w[2] - 2.0 * w[1] + w[0] >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn marginal_rates_step_up() {
+        let curve = PowerCurve::build(&[10.0, 10.0, 10.0], &classes());
+        let approx = |v: Option<f64>, want: f64| {
+            assert!((v.unwrap() - want).abs() < 1e-12, "{v:?} vs {want}");
+        };
+        approx(curve.marginal_power_per_work(0.0), 0.8);
+        approx(curve.marginal_power_per_work(7.5), 1.0);
+        approx(curve.marginal_power_per_work(18.0), 1.2 / 1.15);
+        assert_eq!(curve.marginal_power_per_work(1000.0), None);
+    }
+
+    #[test]
+    fn dispatch_consistent_with_power() {
+        let curve = PowerCurve::build(&[4.0, 4.0, 4.0], &classes());
+        let cls = classes();
+        for w in [0.0, 1.0, 3.0, 7.0, 10.0] {
+            let busy = curve.dispatch(w, &cls);
+            let total_work: f64 = busy
+                .iter()
+                .zip(&cls)
+                .map(|(b, c)| b * c.speed())
+                .sum();
+            assert!((total_work - w).abs() < 1e-9, "work {w}: served {total_work}");
+            let power: f64 = busy
+                .iter()
+                .zip(&cls)
+                .map(|(b, c)| b * c.active_power())
+                .sum();
+            assert!((power - curve.power_for_work(w)).abs() < 1e-9);
+            // Never exceed availability.
+            for (k, b) in busy.iter().enumerate() {
+                assert!(*b <= 4.0 + 1e-9, "class {k} overcommitted: {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_availability_classes_are_skipped() {
+        let curve = PowerCurve::build(&[0.0, 10.0, 0.0], &classes());
+        assert_eq!(curve.segments().len(), 1);
+        assert_eq!(curve.segments()[0].class_index, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn dispatch_rejects_overload() {
+        let curve = PowerCurve::build(&[1.0], &[ServerClass::new(1.0, 1.0)]);
+        let _ = curve.work_split(2.0);
+    }
+
+    #[test]
+    fn energy_cost_flat_matches_eq2() {
+        let state = DataCenterState::new(vec![10.0, 10.0, 10.0], Tariff::flat(0.5));
+        let cls = classes();
+        let busy = [2.0, 3.0, 1.0];
+        let expected = 0.5 * (2.0 * 1.0 + 3.0 * 0.6 + 1.0 * 1.2);
+        assert!((energy_cost(&state, &busy, &cls) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_cost_convex_tariff() {
+        let tariff = Tariff::convex(vec![(1.0, 0.1), (f64::INFINITY, 1.0)]).unwrap();
+        let state = DataCenterState::new(vec![10.0], tariff);
+        let cls = [ServerClass::new(1.0, 1.0)];
+        // 3 units of power: 1 at 0.1, 2 at 1.0.
+        assert!((energy_cost(&state, &[3.0], &cls) - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates availability")]
+    fn energy_cost_rejects_overcommit() {
+        let state = DataCenterState::new(vec![1.0], Tariff::flat(0.5));
+        let _ = energy_cost(&state, &[2.0], &[ServerClass::new(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the energy model: the supply curve must be convex,
+//! monotone, exact under dispatch, and never beat brute-force assignments.
+
+use grefar_cluster::{energy_cost, PowerCurve};
+use grefar_types::{DataCenterState, ServerClass, Tariff};
+use proptest::prelude::*;
+
+fn class_strategy() -> impl Strategy<Value = ServerClass> {
+    (0.25f64..3.0, 0.05f64..3.0).prop_map(|(s, p)| ServerClass::new(s, p))
+}
+
+fn fleet_strategy() -> impl Strategy<Value = (Vec<ServerClass>, Vec<f64>)> {
+    proptest::collection::vec((class_strategy(), 0.0f64..20.0), 1..=5).prop_map(|pairs| {
+        let (classes, counts): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let counts = counts.into_iter().map(f64::floor).collect();
+        (classes, counts)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// power_for_work is 0 at 0, non-decreasing and convex on [0, capacity].
+    #[test]
+    fn supply_curve_is_monotone_and_convex((classes, counts) in fleet_strategy()) {
+        let curve = PowerCurve::build(&counts, &classes);
+        let cap = curve.total_capacity();
+        prop_assume!(cap > 0.0);
+        prop_assert_eq!(curve.power_for_work(0.0), 0.0);
+        let samples: Vec<f64> = (0..=32)
+            .map(|i| curve.power_for_work(cap * i as f64 / 32.0))
+            .collect();
+        for w in samples.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "monotonicity violated");
+        }
+        for w in samples.windows(3) {
+            prop_assert!(w[2] - 2.0 * w[1] + w[0] >= -1e-9, "convexity violated");
+        }
+    }
+
+    /// dispatch() serves exactly the requested work at exactly
+    /// power_for_work() power, within availability.
+    #[test]
+    fn dispatch_is_exact((classes, counts) in fleet_strategy(), frac in 0.0f64..1.0) {
+        let curve = PowerCurve::build(&counts, &classes);
+        let cap = curve.total_capacity();
+        prop_assume!(cap > 0.0);
+        let work = cap * frac;
+        let busy = curve.dispatch(work, &classes);
+        let served: f64 = busy.iter().zip(&classes).map(|(b, c)| b * c.speed()).sum();
+        let power: f64 = busy.iter().zip(&classes).map(|(b, c)| b * c.active_power()).sum();
+        prop_assert!((served - work).abs() < 1e-9 * (1.0 + work));
+        prop_assert!((power - curve.power_for_work(work)).abs() < 1e-9 * (1.0 + power));
+        for (b, &n) in busy.iter().zip(&counts) {
+            prop_assert!(*b >= 0.0 && *b <= n + 1e-9);
+        }
+    }
+
+    /// The greedy supply curve is optimal: no random feasible assignment of
+    /// the same work uses less power.
+    #[test]
+    fn dispatch_beats_random_assignments(
+        (classes, counts) in fleet_strategy(),
+        frac in 0.0f64..1.0,
+        weights in proptest::collection::vec(0.01f64..1.0, 5),
+    ) {
+        let curve = PowerCurve::build(&counts, &classes);
+        let cap = curve.total_capacity();
+        prop_assume!(cap > 0.0);
+        let work = cap * frac;
+
+        // A random feasible assignment: distribute `work` by the random
+        // weights, clamping at per-class capacity and spilling leftovers.
+        let k = classes.len();
+        let mut assigned = vec![0.0; k];
+        let wsum: f64 = weights[..k].iter().sum();
+        let mut leftover = work;
+        for i in 0..k {
+            let want = work * weights[i] / wsum;
+            let capacity_i = counts[i] * classes[i].speed();
+            assigned[i] = want.min(capacity_i);
+            leftover -= assigned[i];
+        }
+        // Spill remaining into any spare capacity.
+        for i in 0..k {
+            if leftover <= 0.0 {
+                break;
+            }
+            let spare = counts[i] * classes[i].speed() - assigned[i];
+            let add = leftover.min(spare);
+            assigned[i] += add;
+            leftover -= add;
+        }
+        prop_assume!(leftover <= 1e-9);
+        let random_power: f64 = assigned
+            .iter()
+            .zip(&classes)
+            .map(|(w, c)| w / c.speed() * c.active_power())
+            .sum();
+        prop_assert!(
+            curve.power_for_work(work) <= random_power + 1e-9,
+            "greedy {} beat by random {}",
+            curve.power_for_work(work),
+            random_power
+        );
+    }
+
+    /// Energy cost under a flat tariff equals eq. (2) exactly.
+    #[test]
+    fn flat_energy_cost_matches_eq2(
+        (classes, counts) in fleet_strategy(),
+        price in 0.0f64..2.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let curve = PowerCurve::build(&counts, &classes);
+        let cap = curve.total_capacity();
+        prop_assume!(cap > 0.0);
+        let busy = curve.dispatch(cap * frac, &classes);
+        let state = DataCenterState::new(counts.clone(), Tariff::flat(price));
+        let expected: f64 = price
+            * busy
+                .iter()
+                .zip(&classes)
+                .map(|(b, c)| b * c.active_power())
+                .sum::<f64>();
+        prop_assert!((energy_cost(&state, &busy, &classes) - expected).abs() < 1e-9);
+    }
+}

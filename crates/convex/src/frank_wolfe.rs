@@ -1,0 +1,260 @@
+//! The Frank–Wolfe (conditional gradient) method.
+
+use crate::objective::{Lmo, Objective};
+
+/// Step-size strategy for [`frank_wolfe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LineSearch {
+    /// The classic diminishing step `γ_t = 2 / (t + 2)`. Parameter-free and
+    /// guaranteed `O(1/t)` convergence for smooth convex objectives.
+    Diminishing,
+    /// Golden-section search on `θ ∈ [0, 1]` along each FW segment, with the
+    /// given number of shrink iterations. Exact up to interval width for
+    /// objectives convex along segments, and much faster in practice.
+    GoldenSection {
+        /// Number of interval-shrinking iterations (~40 gives ~1e-8 width).
+        iters: u32,
+    },
+}
+
+/// Options for [`frank_wolfe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FwOptions {
+    /// Maximum number of FW iterations.
+    pub max_iters: usize,
+    /// Stop when the FW duality gap `⟨∇f(x), x − v⟩` falls below this.
+    pub gap_tolerance: f64,
+    /// Step-size strategy.
+    pub line_search: LineSearch,
+}
+
+impl Default for FwOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 400,
+            gap_tolerance: 1e-7,
+            line_search: LineSearch::GoldenSection { iters: 40 },
+        }
+    }
+}
+
+/// Outcome of a Frank–Wolfe run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FwResult {
+    /// The final (feasible) iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final FW duality gap `⟨∇f(x), x − v⟩` — an upper bound on
+    /// `f(x) − f*` for convex `f`.
+    pub gap: f64,
+}
+
+/// Minimizes a smooth convex objective over a compact convex region
+/// accessed only through its linear minimization oracle.
+///
+/// Starting from the *feasible* point `x0`, each iteration calls the oracle
+/// at the current gradient, obtains a vertex `v`, and moves along the
+/// segment `x → v`. Every iterate is a convex combination of feasible
+/// points, hence feasible.
+///
+/// # Panics
+/// Panics if `x0` is empty or the oracle writes non-finite values.
+///
+/// # Example
+/// See the [crate-level documentation](crate).
+pub fn frank_wolfe(
+    objective: &dyn Objective,
+    oracle: &dyn Lmo,
+    x0: Vec<f64>,
+    options: FwOptions,
+) -> FwResult {
+    assert!(!x0.is_empty(), "frank_wolfe requires a non-empty start");
+    let n = x0.len();
+    let mut x = x0;
+    let mut grad = vec![0.0; n];
+    let mut vertex = vec![0.0; n];
+    let mut gap = f64::INFINITY;
+    let mut iterations = 0;
+
+    for t in 0..options.max_iters {
+        iterations = t + 1;
+        objective.gradient(&x, &mut grad);
+        oracle.minimize(&grad, &mut vertex);
+        assert!(
+            vertex.iter().all(|v| v.is_finite()),
+            "LMO produced a non-finite vertex"
+        );
+        // FW duality gap: ⟨∇f(x), x − v⟩ ≥ f(x) − f*.
+        gap = grad
+            .iter()
+            .zip(x.iter().zip(&vertex))
+            .map(|(g, (xi, vi))| g * (xi - vi))
+            .sum();
+        if gap <= options.gap_tolerance {
+            break;
+        }
+        let theta = match options.line_search {
+            LineSearch::Diminishing => 2.0 / (t as f64 + 2.0),
+            LineSearch::GoldenSection { iters } => {
+                golden_section(objective, &x, &vertex, iters)
+            }
+        };
+        for (xi, vi) in x.iter_mut().zip(&vertex) {
+            *xi += theta * (vi - *xi);
+        }
+    }
+
+    let value = objective.value(&x);
+    FwResult {
+        x,
+        value,
+        iterations,
+        gap,
+    }
+}
+
+/// Golden-section search for `argmin_{θ ∈ [0,1]} f(x + θ (v − x))`.
+fn golden_section(objective: &dyn Objective, x: &[f64], v: &[f64], iters: u32) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let eval = |theta: f64| {
+        let point: Vec<f64> = x
+            .iter()
+            .zip(v)
+            .map(|(xi, vi)| xi + theta * (vi - xi))
+            .collect();
+        objective.value(&point)
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    let mut m1 = hi - INV_PHI * (hi - lo);
+    let mut m2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = eval(m1);
+    let mut f2 = eval(m2);
+    for _ in 0..iters {
+        if f1 <= f2 {
+            hi = m2;
+            m2 = m1;
+            f2 = f1;
+            m1 = hi - INV_PHI * (hi - lo);
+            f1 = eval(m1);
+        } else {
+            lo = m1;
+            m1 = m2;
+            f1 = f2;
+            m2 = lo + INV_PHI * (hi - lo);
+            f2 = eval(m2);
+        }
+    }
+    // Prefer the endpoint if it is at least as good (handles linear
+    // objectives whose optimum is at θ = 1 exactly).
+    let mid = 0.5 * (lo + hi);
+    let candidates = [0.0, mid, 1.0];
+    let mut best = mid;
+    let mut best_val = eval(mid);
+    for &c in &candidates {
+        let val = eval(c);
+        if val < best_val {
+            best_val = val;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Quadratic;
+
+    /// LMO for the box `[0, u]^n`.
+    struct BoxLmo {
+        upper: Vec<f64>,
+    }
+    impl Lmo for BoxLmo {
+        fn minimize(&self, g: &[f64], out: &mut [f64]) {
+            for ((o, &gi), &u) in out.iter_mut().zip(g).zip(&self.upper) {
+                *o = if gi < 0.0 { u } else { 0.0 };
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_over_box_interior_optimum() {
+        // min ½‖x − (0.3, 0.7)‖² over [0,1]²; optimum interior at (0.3, 0.7).
+        let q = Quadratic::new(2, vec![1.0, 0.0, 0.0, 1.0], vec![-0.3, -0.7]);
+        let lmo = BoxLmo {
+            upper: vec![1.0, 1.0],
+        };
+        let r = frank_wolfe(&q, &lmo, vec![0.0, 0.0], FwOptions::default());
+        assert!((r.x[0] - 0.3).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 0.7).abs() < 1e-3, "{:?}", r.x);
+        assert!(r.gap < 1e-2);
+    }
+
+    #[test]
+    fn boundary_optimum_is_found_quickly() {
+        // min −x₀ − x₁ over [0,1]²: optimum at the vertex (1,1); golden
+        // section should land there almost immediately.
+        let q = Quadratic::new(2, vec![0.0; 4], vec![-1.0, -1.0]);
+        let lmo = BoxLmo {
+            upper: vec![1.0, 1.0],
+        };
+        let r = frank_wolfe(&q, &lmo, vec![0.0, 0.0], FwOptions::default());
+        assert!((r.value + 2.0).abs() < 1e-9);
+        assert!(r.iterations <= 3, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    fn diminishing_steps_also_converge() {
+        let q = Quadratic::new(2, vec![2.0, 0.0, 0.0, 2.0], vec![-1.0, -1.0]);
+        let lmo = BoxLmo {
+            upper: vec![1.0, 1.0],
+        };
+        let opts = FwOptions {
+            line_search: LineSearch::Diminishing,
+            max_iters: 2000,
+            gap_tolerance: 1e-8,
+        };
+        let r = frank_wolfe(&q, &lmo, vec![0.0, 0.0], opts);
+        // Optimum at (0.5, 0.5), value −0.5.
+        assert!((r.value + 0.5).abs() < 1e-3, "value {}", r.value);
+    }
+
+    #[test]
+    fn gap_bounds_suboptimality() {
+        let q = Quadratic::new(2, vec![1.0, 0.0, 0.0, 1.0], vec![-0.9, -0.9]);
+        let lmo = BoxLmo {
+            upper: vec![1.0, 1.0],
+        };
+        let opts = FwOptions {
+            max_iters: 25,
+            gap_tolerance: 0.0,
+            line_search: LineSearch::GoldenSection { iters: 30 },
+        };
+        let r = frank_wolfe(&q, &lmo, vec![0.0, 0.0], opts);
+        let f_star = q.value(&[0.9, 0.9]);
+        assert!(r.value - f_star <= r.gap + 1e-9);
+    }
+
+    #[test]
+    fn stays_feasible() {
+        let q = Quadratic::new(3, vec![0.0; 9], vec![-1.0, 1.0, -0.5]);
+        let lmo = BoxLmo {
+            upper: vec![2.0, 3.0, 1.0],
+        };
+        let r = frank_wolfe(&q, &lmo, vec![0.0, 0.0, 0.0], FwOptions::default());
+        for (xi, u) in r.x.iter().zip([2.0, 3.0, 1.0]) {
+            assert!(*xi >= -1e-12 && *xi <= u + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_start() {
+        let q = Quadratic::new(1, vec![1.0], vec![0.0]);
+        let lmo = BoxLmo { upper: vec![1.0] };
+        let _ = frank_wolfe(&q, &lmo, vec![], FwOptions::default());
+    }
+}

@@ -1,0 +1,153 @@
+//! Objective and oracle traits.
+
+/// A differentiable (or subdifferentiable) convex objective over `ℝⁿ`,
+/// evaluated on flat slices.
+pub trait Objective {
+    /// The objective value `f(x)`.
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Writes a (sub)gradient of `f` at `x` into `grad`.
+    ///
+    /// Implementations may assume `grad.len() == x.len()`.
+    fn gradient(&self, x: &[f64], grad: &mut [f64]);
+}
+
+/// A linear minimization oracle over a compact convex feasible region:
+/// given a linear objective `g`, write some
+/// `argmin_{v ∈ feasible} ⟨g, v⟩` into `out`.
+///
+/// This is the only access Frank–Wolfe needs to the feasible region. For
+/// GreFar's per-slot polytope the oracle is the exact greedy dispatch.
+pub trait Lmo {
+    /// Writes a vertex minimizing `⟨gradient, v⟩` into `out`.
+    ///
+    /// Implementations may assume `out.len() == gradient.len()`.
+    fn minimize(&self, gradient: &[f64], out: &mut [f64]);
+}
+
+impl<F> Lmo for F
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    fn minimize(&self, gradient: &[f64], out: &mut [f64]) {
+        self(gradient, out)
+    }
+}
+
+/// A convex quadratic `f(x) = ½ xᵀQx + cᵀx` with dense symmetric
+/// positive-semidefinite `Q` (row-major). Mostly used in tests and as a
+/// building block for penalty terms.
+///
+/// # Example
+/// ```
+/// use grefar_convex::{Objective, Quadratic};
+///
+/// // f(x, y) = ½(x² + y²) − x
+/// let q = Quadratic::new(2, vec![1.0, 0.0, 0.0, 1.0], vec![-1.0, 0.0]);
+/// assert_eq!(q.value(&[1.0, 0.0]), -0.5);
+/// let mut g = vec![0.0; 2];
+/// q.gradient(&[1.0, 0.0], &mut g);
+/// assert_eq!(g, vec![0.0, 0.0]); // unconstrained minimum at (1, 0)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quadratic {
+    n: usize,
+    q: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl Quadratic {
+    /// Creates the quadratic from row-major `q` (`n × n`) and linear term `c`.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent.
+    pub fn new(n: usize, q: Vec<f64>, c: Vec<f64>) -> Self {
+        assert_eq!(q.len(), n * n, "Q must be n x n");
+        assert_eq!(c.len(), n, "c must have length n");
+        Self { n, q, c }
+    }
+
+    /// The dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+impl Objective for Quadratic {
+    fn value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n);
+        let mut quad = 0.0;
+        for i in 0..self.n {
+            let mut row = 0.0;
+            for j in 0..self.n {
+                row += self.q[i * self.n + j] * x[j];
+            }
+            quad += x[i] * row;
+        }
+        0.5 * quad + self.c.iter().zip(x).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(grad.len(), self.n);
+        for i in 0..self.n {
+            let mut g = self.c[i];
+            for j in 0..self.n {
+                // (Q + Qᵀ)/2 · x, exact for symmetric Q.
+                g += 0.5 * (self.q[i * self.n + j] + self.q[j * self.n + i]) * x[j];
+            }
+            grad[i] = g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_value_and_gradient() {
+        // f(x) = ½ (2x₀² + 2x₁²) + x₀ = x₀² + x₁² + x₀
+        let q = Quadratic::new(2, vec![2.0, 0.0, 0.0, 2.0], vec![1.0, 0.0]);
+        assert_eq!(q.dim(), 2);
+        assert_eq!(q.value(&[1.0, 2.0]), 1.0 + 4.0 + 1.0);
+        let mut g = vec![0.0; 2];
+        q.gradient(&[1.0, 2.0], &mut g);
+        assert_eq!(g, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let q = Quadratic::new(
+            3,
+            vec![4.0, 1.0, 0.0, 1.0, 3.0, 0.5, 0.0, 0.5, 2.0],
+            vec![-1.0, 0.5, 2.0],
+        );
+        let x = [0.3, -0.7, 1.1];
+        let mut g = vec![0.0; 3];
+        q.gradient(&x, &mut g);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut xp = x.to_vec();
+            let mut xm = x.to_vec();
+            xp[i] += eps;
+            xm[i] -= eps;
+            let fd = (q.value(&xp) - q.value(&xm)) / (2.0 * eps);
+            assert!((g[i] - fd).abs() < 1e-6, "component {i}: {} vs {fd}", g[i]);
+        }
+    }
+
+    #[test]
+    fn closures_are_lmos() {
+        let lmo = |g: &[f64], out: &mut [f64]| {
+            // Box [0,1]^n vertex: 1 where gradient negative.
+            for (o, &gi) in out.iter_mut().zip(g) {
+                *o = if gi < 0.0 { 1.0 } else { 0.0 };
+            }
+        };
+        let mut out = vec![0.0; 2];
+        Lmo::minimize(&lmo, &[-1.0, 2.0], &mut out);
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Exact Euclidean projections used by the projected-subgradient method.
+
+/// Clamps `x` into the box `[lower, upper]` elementwise, in place.
+///
+/// # Panics
+/// Panics if slice lengths differ or any `lower[i] > upper[i]`.
+///
+/// # Example
+/// ```
+/// let mut x = vec![-1.0, 0.5, 9.0];
+/// grefar_convex::projection::clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+/// assert_eq!(x, vec![0.0, 0.5, 1.0]);
+/// ```
+pub fn clamp_box(x: &mut [f64], lower: &[f64], upper: &[f64]) {
+    assert_eq!(x.len(), lower.len(), "lower bound length mismatch");
+    assert_eq!(x.len(), upper.len(), "upper bound length mismatch");
+    for ((xi, &lo), &hi) in x.iter_mut().zip(lower).zip(upper) {
+        assert!(lo <= hi, "empty box: lower {lo} > upper {hi}");
+        *xi = xi.clamp(lo, hi);
+    }
+}
+
+/// Projects `x` (in place) onto the capacity-capped box
+/// `{y : 0 ≤ y ≤ upper, Σ_i weights_i · y_i ≤ capacity}`
+/// in the Euclidean norm.
+///
+/// This is the feasible region of one data center's processing decision:
+/// `y = h_{i,·}`, `weights = d` (work per job), `capacity = Σ_k n_k s_k`.
+///
+/// Uses the KKT characterization `y_i(λ) = clamp(x_i − λ·w_i, 0, u_i)` and
+/// bisects on the multiplier `λ ≥ 0` of the capacity constraint.
+///
+/// # Panics
+/// Panics if lengths differ, any weight is non-positive, any upper bound is
+/// negative, or `capacity` is negative.
+///
+/// # Example
+/// ```
+/// use grefar_convex::projection::project_capped_box;
+///
+/// let mut x = vec![3.0, 3.0];
+/// // Box [0,5]², constraint y₀ + y₁ ≤ 4: projection of (3,3) is (2,2).
+/// project_capped_box(&mut x, &[5.0, 5.0], &[1.0, 1.0], 4.0);
+/// assert!((x[0] - 2.0).abs() < 1e-9);
+/// assert!((x[1] - 2.0).abs() < 1e-9);
+/// ```
+pub fn project_capped_box(x: &mut [f64], upper: &[f64], weights: &[f64], capacity: f64) {
+    assert_eq!(x.len(), upper.len(), "upper bound length mismatch");
+    assert_eq!(x.len(), weights.len(), "weight length mismatch");
+    assert!(
+        capacity >= 0.0 && capacity.is_finite(),
+        "capacity must be non-negative and finite"
+    );
+    for &w in weights {
+        assert!(w > 0.0 && w.is_finite(), "weights must be positive, got {w}");
+    }
+    for &u in upper {
+        assert!(u >= 0.0, "upper bounds must be non-negative, got {u}");
+    }
+
+    // First clamp into the box; if the capacity constraint already holds,
+    // that is the projection (the constraints are separable).
+    let weighted_sum = |lambda: f64, x: &[f64]| -> f64 {
+        x.iter()
+            .zip(upper)
+            .zip(weights)
+            .map(|((xi, &u), &w)| (xi - lambda * w).clamp(0.0, u) * w)
+            .sum()
+    };
+
+    let clamped: Vec<f64> = x
+        .iter()
+        .zip(upper)
+        .map(|(xi, &u)| xi.clamp(0.0, u))
+        .collect();
+    let total: f64 = clamped.iter().zip(weights).map(|(y, w)| y * w).sum();
+    if total <= capacity + 1e-12 {
+        x.copy_from_slice(&clamped);
+        return;
+    }
+
+    // Bisection on λ: weighted_sum is non-increasing in λ, hits `capacity`
+    // somewhere in (0, λ_hi] where λ_hi pushes everything to 0.
+    let mut lo = 0.0f64;
+    let mut hi = x
+        .iter()
+        .zip(weights)
+        .map(|(xi, w)| (xi / w).max(0.0))
+        .fold(0.0f64, f64::max)
+        + 1.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if weighted_sum(mid, x) > capacity {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 * (1.0 + hi) {
+            break;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    for ((xi, &u), &w) in x.iter_mut().zip(upper).zip(weights) {
+        *xi = (*xi - lambda * w).clamp(0.0, u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feasible(y: &[f64], upper: &[f64], weights: &[f64], capacity: f64, tol: f64) -> bool {
+        y.iter().zip(upper).all(|(v, &u)| *v >= -tol && *v <= u + tol)
+            && y.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() <= capacity + tol
+    }
+
+    #[test]
+    fn noop_when_already_feasible() {
+        let mut x = vec![0.5, 0.25];
+        project_capped_box(&mut x, &[1.0, 1.0], &[1.0, 2.0], 2.0);
+        assert_eq!(x, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn clamps_into_box_first() {
+        let mut x = vec![-2.0, 10.0];
+        project_capped_box(&mut x, &[1.0, 1.0], &[1.0, 1.0], 5.0);
+        assert_eq!(x, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn symmetric_projection() {
+        let mut x = vec![3.0, 3.0, 3.0];
+        project_capped_box(&mut x, &[9.0; 3], &[1.0; 3], 3.0);
+        for v in &x {
+            assert!((*v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_projection_respects_kkt() {
+        // Heavier-weighted coordinates shrink more per unit of λ.
+        let mut x = vec![2.0, 2.0];
+        let w = [1.0, 4.0];
+        project_capped_box(&mut x, &[10.0, 10.0], &w, 4.0);
+        assert!(feasible(&x, &[10.0, 10.0], &w, 4.0, 1e-9));
+        // y = (2 − λ, 2 − 4λ) with 1·y₀ + 4·y₁ = 4 → 10 − 17λ = 4 → λ = 6/17.
+        let lambda: f64 = 6.0 / 17.0;
+        assert!((x[0] - (2.0 - lambda)).abs() < 1e-7);
+        assert!((x[1] - (2.0 - 4.0 * lambda)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_capacity_projects_to_origin() {
+        let mut x = vec![5.0, 1.0];
+        project_capped_box(&mut x, &[10.0, 10.0], &[1.0, 1.0], 0.0);
+        assert!(x[0].abs() < 1e-7 && x[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut x = vec![4.0, 1.0, 0.2];
+        let u = [2.0, 2.0, 2.0];
+        let w = [1.0, 2.0, 0.5];
+        project_capped_box(&mut x, &u, &w, 2.5);
+        let once = x.clone();
+        project_capped_box(&mut x, &u, &w, 2.5);
+        for (a, b) in once.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_minimizes_distance_vs_grid() {
+        // Brute-force check on a coarse feasible grid.
+        let orig = [1.7, 1.3];
+        let u = [2.0, 2.0];
+        let w = [1.0, 1.0];
+        let cap = 2.0;
+        let mut x = orig.to_vec();
+        project_capped_box(&mut x, &u, &w, cap);
+        let d_proj: f64 = orig
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let steps = 50;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let y = [2.0 * i as f64 / steps as f64, 2.0 * j as f64 / steps as f64];
+                if y[0] + y[1] <= cap {
+                    let d: f64 = orig
+                        .iter()
+                        .zip(&y)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    assert!(d_proj <= d + 1e-6, "grid point {y:?} closer than projection");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_box_basic() {
+        let mut x = vec![5.0, -5.0];
+        clamp_box(&mut x, &[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(x, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn rejects_zero_weight() {
+        let mut x = vec![1.0];
+        project_capped_box(&mut x, &[1.0], &[0.0], 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the convex toolkit: Frank–Wolfe descent and
+//! feasibility over random boxes, and projection optimality.
+
+use grefar_convex::projection::{clamp_box, project_capped_box};
+use grefar_convex::{frank_wolfe, FwOptions, Lmo, Objective, Quadratic};
+use proptest::prelude::*;
+
+/// LMO of the box `[0, u]^n`.
+struct BoxLmo {
+    upper: Vec<f64>,
+}
+
+impl Lmo for BoxLmo {
+    fn minimize(&self, g: &[f64], out: &mut [f64]) {
+        for ((o, &gi), &u) in out.iter_mut().zip(g).zip(&self.upper) {
+            *o = if gi < 0.0 { u } else { 0.0 };
+        }
+    }
+}
+
+fn spd_quadratic(n: usize, diag: &[f64], c: &[f64]) -> Quadratic {
+    // Diagonal PSD quadratic: ½ Σ d_i x_i² + c·x.
+    let mut q = vec![0.0; n * n];
+    for i in 0..n {
+        q[i * n + i] = diag[i];
+    }
+    Quadratic::new(n, q, c.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Frank–Wolfe with golden-section line search never increases the
+    /// objective, stays in the box, and its final gap certifies
+    /// near-optimality against a dense grid of random feasible points.
+    #[test]
+    fn frank_wolfe_descends_and_certifies(
+        diag in proptest::collection::vec(0.1f64..4.0, 2..=4),
+        c in proptest::collection::vec(-3.0f64..3.0, 4),
+        upper in proptest::collection::vec(0.5f64..4.0, 4),
+        probes in proptest::collection::vec(0.0f64..1.0, 24),
+    ) {
+        let n = diag.len();
+        let q = spd_quadratic(n, &diag, &c[..n]);
+        let lmo = BoxLmo { upper: upper[..n].to_vec() };
+        let x0 = vec![0.0; n];
+        let f0 = q.value(&x0);
+        let result = frank_wolfe(&q, &lmo, x0, FwOptions::default());
+
+        prop_assert!(result.value <= f0 + 1e-12, "FW increased the objective");
+        for (xi, &u) in result.x.iter().zip(&upper[..n]) {
+            prop_assert!(*xi >= -1e-12 && *xi <= u + 1e-12, "left the box");
+        }
+        // The duality gap upper-bounds suboptimality vs any feasible probe.
+        for chunk in probes.chunks(n) {
+            if chunk.len() < n {
+                continue;
+            }
+            let probe: Vec<f64> = chunk.iter().zip(&upper[..n]).map(|(t, u)| t * u).collect();
+            prop_assert!(
+                result.value - q.value(&probe) <= result.gap + 1e-7,
+                "probe beats FW by more than the certified gap"
+            );
+        }
+    }
+
+    /// project_capped_box returns a feasible point at least as close to the
+    /// input as any random feasible candidate (projection optimality).
+    #[test]
+    fn projection_is_nearest_feasible(
+        x in proptest::collection::vec(-2.0f64..6.0, 3),
+        upper in proptest::collection::vec(0.5f64..4.0, 3),
+        weights in proptest::collection::vec(0.2f64..2.0, 3),
+        cap_frac in 0.1f64..1.0,
+        candidates in proptest::collection::vec(0.0f64..1.0, 30),
+    ) {
+        let max_cap: f64 = upper.iter().zip(&weights).map(|(u, w)| u * w).sum();
+        let cap = cap_frac * max_cap;
+        let mut proj = x.clone();
+        project_capped_box(&mut proj, &upper, &weights, cap);
+
+        // Feasibility.
+        let load: f64 = proj.iter().zip(&weights).map(|(p, w)| p * w).sum();
+        prop_assert!(load <= cap + 1e-7, "projection violates the cap");
+        for (p, &u) in proj.iter().zip(&upper) {
+            prop_assert!(*p >= -1e-9 && *p <= u + 1e-9);
+        }
+
+        // Optimality vs random feasible candidates.
+        let d_proj: f64 = x.iter().zip(&proj).map(|(a, b)| (a - b) * (a - b)).sum();
+        for chunk in candidates.chunks(3) {
+            if chunk.len() < 3 {
+                continue;
+            }
+            let mut cand: Vec<f64> = chunk.iter().zip(&upper).map(|(t, u)| t * u).collect();
+            // Make the candidate feasible by scaling under the cap.
+            let cload: f64 = cand.iter().zip(&weights).map(|(p, w)| p * w).sum();
+            if cload > cap {
+                let scale = cap / cload;
+                for v in cand.iter_mut() {
+                    *v *= scale;
+                }
+            }
+            let d_cand: f64 = x.iter().zip(&cand).map(|(a, b)| (a - b) * (a - b)).sum();
+            prop_assert!(
+                d_proj <= d_cand + 1e-6,
+                "candidate closer than projection: {d_cand} < {d_proj}"
+            );
+        }
+    }
+
+    /// clamp_box is idempotent and order-insensitive with projection.
+    #[test]
+    fn clamp_box_idempotent(
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+        upper in proptest::collection::vec(0.1f64..3.0, 4),
+    ) {
+        let lower = vec![0.0; 4];
+        let mut once = x.clone();
+        clamp_box(&mut once, &lower, &upper);
+        let mut twice = once.clone();
+        clamp_box(&mut twice, &lower, &upper);
+        prop_assert_eq!(once, twice);
+    }
+}

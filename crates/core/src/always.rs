@@ -1,0 +1,124 @@
+//! The "Always" baseline scheduler (§VI-B.3).
+
+use crate::queue::QueueState;
+use crate::scheduler::Scheduler;
+use crate::solver::SlotInstance;
+use grefar_types::{Decision, SystemConfig, SystemState};
+
+/// The baseline that "always schedules the jobs immediately whenever there
+/// are resources available" (§VI-B.3), ignoring electricity prices.
+///
+/// Formally this is exactly GreFar's slot problem with `V = 0`: with no
+/// energy penalty, the drift terms alone are minimized by routing every
+/// queued job to a shorter local queue and serving every queued job the
+/// capacity allows. As the paper notes, "most of the jobs will be scheduled
+/// in the next time slot upon their arrivals. Thus, the average delay is
+/// expected to be one."
+///
+/// # Example
+/// ```
+/// use grefar_core::{Always, QueueState, Scheduler};
+/// use grefar_types::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let config = SystemConfig::builder()
+/// #     .server_class(ServerClass::new(1.0, 1.0))
+/// #     .data_center("dc", vec![10.0])
+/// #     .account("org", 1.0)
+/// #     .job_class(JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+/// #         .with_max_route(100.0).with_max_process(100.0))
+/// #     .build()?;
+/// let mut always = Always::new(&config);
+/// let mut queues = QueueState::new(&config);
+/// // 4 jobs sit in the data-center queue; price is enormous.
+/// let mut z = config.decision_zeros();
+/// z.routed[(0, 0)] = 4.0;
+/// queues.apply(&z, &[0.0]);
+/// let state = SystemState::new(0, vec![DataCenterState::new(vec![10.0], Tariff::flat(99.0))]);
+/// // Always serves them anyway.
+/// assert_eq!(always.decide(&state, &queues).processed[(0, 0)], 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Always {
+    config: SystemConfig,
+}
+
+impl core::fmt::Debug for Always {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Always").finish_non_exhaustive()
+    }
+}
+
+impl Always {
+    /// Creates the baseline for a system.
+    pub fn new(config: &SystemConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+}
+
+impl Scheduler for Always {
+    fn name(&self) -> String {
+        "Always".to_string()
+    }
+
+    fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
+        SlotInstance::new(&self.config, state, queues, 0.0)
+            .solve_greedy()
+            .decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{
+        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
+    };
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![5.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_route(100.0)
+                    .with_max_process(100.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_up_to_capacity_regardless_of_price() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 9.0;
+        queues.apply(&z, &[0.0]); // q = 9, capacity 5
+        let state = SystemState::new(
+            0,
+            vec![DataCenterState::new(vec![5.0], Tariff::flat(1000.0))],
+        );
+        let mut always = Always::new(&cfg);
+        let d = always.decide(&state, &queues);
+        assert_eq!(d.processed[(0, 0)], 5.0); // capacity-bound, not price-bound
+        assert_eq!(always.name(), "Always");
+    }
+
+    #[test]
+    fn routes_all_arrivals_immediately() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        queues.apply(&cfg.decision_zeros(), &[3.0]);
+        let state = SystemState::new(
+            0,
+            vec![DataCenterState::new(vec![5.0], Tariff::flat(1000.0))],
+        );
+        let d = Always::new(&cfg).decide(&state, &queues);
+        assert_eq!(d.routed[(0, 0)], 3.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Additional baseline schedulers beyond the paper's "Always".
+//!
+//! These correspond to the strawmen of the related-work discussion (§II):
+//!
+//! * [`LocalOnly`] — no geographic scheduling at all: every job type runs
+//!   in its first eligible ("home") data center. Quantifies the value of
+//!   geo-distribution itself.
+//! * [`PriceGreedy`] — myopic per-slot local optimization in the spirit of
+//!   [5], [6]: route everything to the currently cheapest eligible site and
+//!   serve immediately, "without considering the electricity variations
+//!   across time periods". Captures spatial but not temporal arbitrage, and
+//!   offers no queueing guarantees.
+//!
+//! Both serve as aggressively as capacity allows (the `V = 0` processing
+//! rule), so like "Always" their delay is ≈ 1 slot.
+
+use crate::queue::QueueState;
+use crate::scheduler::Scheduler;
+use crate::solver::SlotInstance;
+use grefar_cluster::PowerCurve;
+use grefar_types::{Decision, SystemConfig, SystemState};
+
+/// Serve-immediately scheduler with *home-data-center* routing: job type
+/// `j` always runs in `𝒟_j`'s first entry. The no-geo-scheduling baseline.
+pub struct LocalOnly {
+    config: SystemConfig,
+}
+
+impl core::fmt::Debug for LocalOnly {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LocalOnly").finish_non_exhaustive()
+    }
+}
+
+impl LocalOnly {
+    /// Creates the baseline for a system.
+    pub fn new(config: &SystemConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+}
+
+impl Scheduler for LocalOnly {
+    fn name(&self) -> String {
+        "LocalOnly".to_string()
+    }
+
+    fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
+        // Processing: serve everything capacity allows (V = 0), but route
+        // each type only to its home data center.
+        let inst = SlotInstance::new(&self.config, state, queues, 0.0);
+        let mut decision = inst.solve_greedy().decision;
+        decision.routed.clear();
+        for (j, job) in self.config.job_classes().iter().enumerate() {
+            let home = job.eligible()[0].index();
+            let give = job.max_route().min(queues.central(j)).floor();
+            if give > 0.0 {
+                decision.routed[(home, j)] = give;
+            }
+        }
+        decision
+    }
+}
+
+/// Serve-immediately scheduler that routes every queued job to the
+/// eligible data center with the lowest *current* marginal energy price per
+/// unit work — spatially greedy, temporally blind.
+pub struct PriceGreedy {
+    config: SystemConfig,
+}
+
+impl core::fmt::Debug for PriceGreedy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PriceGreedy").finish_non_exhaustive()
+    }
+}
+
+impl PriceGreedy {
+    /// Creates the baseline for a system.
+    pub fn new(config: &SystemConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+
+    /// The marginal cost of the first unit of work in data center `i` right
+    /// now: `φ_i(t) · min_k p_k/s_k` over available classes (∞ if the data
+    /// center is fully unavailable).
+    fn marginal_cost(&self, state: &SystemState, i: usize) -> f64 {
+        let dc = state.data_center(i);
+        let curve = PowerCurve::build(dc.available_slice(), self.config.server_classes());
+        match curve.marginal_power_per_work(0.0) {
+            Some(ppw) => dc.tariff().marginal_rate(0.0) * ppw,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+impl Scheduler for PriceGreedy {
+    fn name(&self) -> String {
+        "PriceGreedy".to_string()
+    }
+
+    fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
+        let inst = SlotInstance::new(&self.config, state, queues, 0.0);
+        let mut decision = inst.solve_greedy().decision;
+        decision.routed.clear();
+        for (j, job) in self.config.job_classes().iter().enumerate() {
+            let cheapest = job
+                .eligible()
+                .iter()
+                .map(|dc| dc.index())
+                .min_by(|&a, &b| {
+                    self.marginal_cost(state, a)
+                        .partial_cmp(&self.marginal_cost(state, b))
+                        .expect("finite or infinite costs compare")
+                })
+                .expect("eligibility sets are non-empty");
+            let give = job.max_route().min(queues.central(j)).floor();
+            if give > 0.0 {
+                decision.routed[(cheapest, j)] = give;
+            }
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{
+        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
+    };
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![20.0])
+            .data_center("b", vec![20.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(1), DataCenterId::new(0)], 0)
+                    .with_max_route(50.0)
+                    .with_max_process(50.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn state(p0: f64, p1: f64) -> SystemState {
+        SystemState::new(
+            0,
+            vec![
+                DataCenterState::new(vec![20.0], Tariff::flat(p0)),
+                DataCenterState::new(vec![20.0], Tariff::flat(p1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn local_only_routes_home() {
+        let cfg = config();
+        let mut q = QueueState::new(&cfg);
+        q.apply(&cfg.decision_zeros(), &[5.0]);
+        // Home is eligible()[0] = DC 1 even though DC 0 is cheaper.
+        let d = LocalOnly::new(&cfg).decide(&state(0.1, 9.0), &q);
+        assert_eq!(d.routed[(1, 0)], 5.0);
+        assert_eq!(d.routed[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn price_greedy_routes_to_cheapest() {
+        let cfg = config();
+        let mut q = QueueState::new(&cfg);
+        q.apply(&cfg.decision_zeros(), &[5.0]);
+        let d = PriceGreedy::new(&cfg).decide(&state(0.1, 9.0), &q);
+        assert_eq!(d.routed[(0, 0)], 5.0);
+        let d = PriceGreedy::new(&cfg).decide(&state(9.0, 0.1), &q);
+        assert_eq!(d.routed[(1, 0)], 5.0);
+    }
+
+    #[test]
+    fn price_greedy_skips_unavailable_site() {
+        let cfg = config();
+        let mut q = QueueState::new(&cfg);
+        q.apply(&cfg.decision_zeros(), &[3.0]);
+        let st = SystemState::new(
+            0,
+            vec![
+                DataCenterState::new(vec![0.0], Tariff::flat(0.01)), // down but "cheap"
+                DataCenterState::new(vec![20.0], Tariff::flat(5.0)),
+            ],
+        );
+        let d = PriceGreedy::new(&cfg).decide(&st, &q);
+        assert_eq!(d.routed[(1, 0)], 3.0, "must not route into a down site");
+    }
+
+    #[test]
+    fn both_serve_immediately() {
+        let cfg = config();
+        let mut q = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 4.0;
+        q.apply(&z, &[0.0]);
+        let st = state(100.0, 100.0); // price is irrelevant to these baselines
+        for mut s in [
+            Box::new(LocalOnly::new(&cfg)) as Box<dyn Scheduler>,
+            Box::new(PriceGreedy::new(&cfg)),
+        ] {
+            let d = s.decide(&st, &q);
+            assert_eq!(d.processed[(0, 0)], 4.0, "{} must serve eagerly", s.name());
+        }
+    }
+
+    #[test]
+    fn names() {
+        let cfg = config();
+        assert_eq!(LocalOnly::new(&cfg).name(), "LocalOnly");
+        assert_eq!(PriceGreedy::new(&cfg).name(), "PriceGreedy");
+    }
+}

@@ -1,0 +1,231 @@
+//! The energy–fairness cost `g(t)` (eqs. (2), (3), (6)) and the
+//! drift-plus-penalty objective (14).
+
+use crate::fairness::FairnessFunction;
+use crate::queue::QueueState;
+use grefar_cluster::energy_cost;
+use grefar_types::{Decision, SystemConfig, SystemState};
+
+/// The per-slot cost components of one decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    /// Total energy cost `e(t) = Σ_i e_i(t)` (eq. (2)).
+    pub energy: f64,
+    /// Fairness score `f(t)` (eq. (3) or an alternative). Higher is fairer.
+    pub fairness: f64,
+    /// The combined cost `g(t) = e(t) − β·f(t)` (eq. (6)).
+    pub combined: f64,
+    /// The shares `r_m(t)/R(t)` used by the fairness score (length `M`).
+    pub shares: Vec<f64>,
+}
+
+/// Computes the per-account resource shares `r_m(t) / R(t)`, where
+/// `r_m(t) = Σ_{j: ρ_j = m} Σ_i h_{i,j}(t) · d_j` is the computing resource
+/// allocated to account `m` and `R(t) = Σ_i Σ_k n_{i,k}(t) s_k` is the total
+/// available resource (§III-C.1).
+///
+/// Returns all-zero shares if `R(t) = 0` (a fully-down system).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn resource_shares(
+    config: &SystemConfig,
+    state: &SystemState,
+    decision: &Decision,
+) -> Vec<f64> {
+    let total = state.total_capacity(config.server_classes());
+    let mut shares = vec![0.0; config.num_accounts()];
+    if total <= 0.0 {
+        return shares;
+    }
+    for (j, job) in config.job_classes().iter().enumerate() {
+        let served: f64 = decision.processed.col_sum(j) * job.work();
+        shares[job.account().index()] += served / total;
+    }
+    shares
+}
+
+/// Computes the full cost breakdown of a decision in a state:
+/// energy (2), fairness (3), and `g(t) = e − β·f` (6).
+///
+/// # Panics
+/// Panics on dimension mismatches or if the decision exceeds availability.
+pub fn cost_breakdown(
+    config: &SystemConfig,
+    state: &SystemState,
+    decision: &Decision,
+    beta: f64,
+    fairness: &dyn FairnessFunction,
+) -> CostBreakdown {
+    let energy = energy_cost_total(config, state, decision);
+    let shares = resource_shares(config, state, decision);
+    let score = fairness.score(&shares, &config.gammas());
+    CostBreakdown {
+        energy,
+        fairness: score,
+        combined: energy - beta * score,
+        shares,
+    }
+}
+
+/// Total energy cost `e(t) = Σ_i e_i(t)` of the decision (eq. (2)).
+///
+/// # Panics
+/// Panics on dimension mismatches or if busy counts exceed availability.
+pub fn energy_cost_total(config: &SystemConfig, state: &SystemState, decision: &Decision) -> f64 {
+    (0..config.num_data_centers())
+        .map(|i| {
+            energy_cost(
+                state.data_center(i),
+                decision.busy.row(i),
+                config.server_classes(),
+            )
+        })
+        .sum()
+}
+
+/// Evaluates the drift-plus-penalty expression (14) that GreFar minimizes
+/// each slot:
+///
+/// ```text
+/// V·g(t) − Σ_j Q_j(t)·Σ_{i∈𝒟_j} r_{i,j}(t) + Σ_j Σ_{i∈𝒟_j} q_{i,j}(t)·[r_{i,j}(t) − h_{i,j}(t)]
+/// ```
+///
+/// Used by the verification tests to compare solver outputs.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn drift_penalty_objective(
+    config: &SystemConfig,
+    state: &SystemState,
+    queues: &QueueState,
+    decision: &Decision,
+    v: f64,
+    beta: f64,
+    fairness: &dyn FairnessFunction,
+) -> f64 {
+    let g = cost_breakdown(config, state, decision, beta, fairness).combined;
+    let mut value = v * g;
+    for (i, j) in config.eligible_pairs() {
+        let (i, j) = (i.index(), j.index());
+        let r = decision.routed[(i, j)];
+        let h = decision.processed[(i, j)];
+        value -= queues.central(j) * r;
+        value += queues.local(i, j) * (r - h);
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::QuadraticDeviation;
+    use grefar_types::{
+        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
+    };
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .server_class(ServerClass::new(0.5, 0.2))
+            .data_center("a", vec![10.0, 10.0])
+            .data_center("b", vec![10.0, 0.0])
+            .account("x", 0.6)
+            .account("y", 0.4)
+            .job_class(JobClass::new(
+                2.0,
+                vec![DataCenterId::new(0), DataCenterId::new(1)],
+                0,
+            ))
+            .job_class(JobClass::new(1.0, vec![DataCenterId::new(1)], 1))
+            .build()
+            .unwrap()
+    }
+
+    fn state() -> SystemState {
+        SystemState::new(
+            0,
+            vec![
+                DataCenterState::new(vec![10.0, 10.0], Tariff::flat(0.5)),
+                DataCenterState::new(vec![10.0, 0.0], Tariff::flat(0.25)),
+            ],
+        )
+    }
+
+    #[test]
+    fn energy_cost_sums_data_centers() {
+        let cfg = config();
+        let st = state();
+        let mut z = cfg.decision_zeros();
+        z.busy[(0, 0)] = 4.0; // 4 servers × power 1 × price 0.5 = 2.0
+        z.busy[(0, 1)] = 5.0; // 5 × 0.2 × 0.5 = 0.5
+        z.busy[(1, 0)] = 2.0; // 2 × 1 × 0.25 = 0.5
+        assert!((energy_cost_total(&cfg, &st, &z) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_weight_by_work_and_capacity() {
+        let cfg = config();
+        let st = state();
+        // R = (10·1 + 10·0.5) + (10·1) = 25.
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 2.0; // account x: 2 jobs × d=2 = 4 work
+        z.processed[(1, 1)] = 5.0; // account y: 5 × 1 = 5 work
+        let shares = resource_shares(&cfg, &st, &z);
+        assert!((shares[0] - 4.0 / 25.0).abs() < 1e-12);
+        assert!((shares[1] - 5.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_cost_matches_eq6() {
+        let cfg = config();
+        let st = state();
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 1.0;
+        z.busy[(0, 0)] = 2.0;
+        let f = QuadraticDeviation;
+        let b = cost_breakdown(&cfg, &st, &z, 10.0, &f);
+        assert!((b.combined - (b.energy - 10.0 * b.fairness)).abs() < 1e-12);
+        assert!(b.fairness < 0.0); // shares far from (0.6, 0.4)
+        assert_eq!(b.shares.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_yields_zero_shares() {
+        let cfg = config();
+        let st = SystemState::new(
+            0,
+            vec![
+                DataCenterState::new(vec![0.0, 0.0], Tariff::flat(0.5)),
+                DataCenterState::new(vec![0.0, 0.0], Tariff::flat(0.25)),
+            ],
+        );
+        let z = cfg.decision_zeros();
+        assert_eq!(resource_shares(&cfg, &st, &z), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn drift_penalty_matches_manual_computation() {
+        let cfg = config();
+        let st = state();
+        let mut queues = QueueState::new(&cfg);
+        queues.apply(&cfg.decision_zeros(), &[4.0, 6.0]); // Q = (4, 6)
+        let mut route = cfg.decision_zeros();
+        route.routed[(0, 0)] = 2.0;
+        route.routed[(1, 1)] = 3.0;
+        queues.apply(&route, &[0.0, 0.0]); // Q = (2, 3); q(0,0)=2, q(1,1)=3
+
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 1.0;
+        z.processed[(1, 1)] = 2.0;
+        z.busy[(1, 0)] = 2.0;
+        let f = QuadraticDeviation;
+        let v = 3.0;
+        let beta = 0.0;
+        let val = drift_penalty_objective(&cfg, &st, &queues, &z, v, beta, &f);
+        // g = energy = 2 servers × 1 power × 0.25 price = 0.5; V·g = 1.5.
+        // −Q₀·r = −2·1; +q(0,0)·r = +2·1; −q(1,1)·h = −3·2.
+        let expected = 1.5 - 2.0 + 2.0 - 6.0;
+        assert!((val - expected).abs() < 1e-12, "{val} vs {expected}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Scheduler parameter errors.
+
+use core::fmt;
+
+/// Error returned when scheduler parameters are invalid.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// The cost-delay parameter `V` must be non-negative and finite.
+    InvalidV(f64),
+    /// The energy-fairness parameter `β` must be non-negative and finite.
+    InvalidBeta(f64),
+    /// The lookahead frame length `T` must be positive.
+    InvalidFrame(usize),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidV(v) => write!(
+                f,
+                "cost-delay parameter V must be non-negative and finite, got {v}"
+            ),
+            Self::InvalidBeta(b) => write!(
+                f,
+                "energy-fairness parameter beta must be non-negative and finite, got {b}"
+            ),
+            Self::InvalidFrame(t) => {
+                write!(f, "lookahead frame length T must be positive, got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ParamError::InvalidV(-1.0).to_string().contains("-1"));
+        assert!(ParamError::InvalidBeta(f64::NAN).to_string().contains("NaN"));
+        assert!(ParamError::InvalidFrame(0).to_string().contains('0'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ParamError>();
+    }
+}

@@ -1,0 +1,214 @@
+//! The GreFar scheduler (Algorithm 1).
+
+use crate::error::ParamError;
+use crate::fairness::{FairnessFunction, QuadraticDeviation};
+use crate::queue::QueueState;
+use crate::scheduler::Scheduler;
+use crate::solver::SlotInstance;
+use grefar_convex::FwOptions;
+use grefar_types::{Decision, SystemConfig, SystemState};
+
+/// Tunable parameters of GreFar: the cost-delay parameter `V ≥ 0` and the
+/// energy-fairness parameter `β ≥ 0` of §IV.
+///
+/// * Larger `V` waits for lower electricity prices — the energy-fairness
+///   cost approaches the `T`-step-lookahead optimum as `O(1/V)` while queues
+///   (delays) grow as `O(V)` (Theorem 1).
+/// * `β = 0` ignores fairness; `β → ∞` ignores energy (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreFarParams {
+    v: f64,
+    beta: f64,
+    fw_options: FwOptions,
+}
+
+impl GreFarParams {
+    /// Creates the parameter set. Validation happens at
+    /// [`GreFar::new`].
+    pub fn new(v: f64, beta: f64) -> Self {
+        Self {
+            v,
+            beta,
+            fw_options: FwOptions {
+                max_iters: 200,
+                gap_tolerance: 1e-6,
+                ..FwOptions::default()
+            },
+        }
+    }
+
+    /// Overrides the Frank–Wolfe options used when `β > 0`.
+    #[must_use]
+    pub fn with_fw_options(mut self, options: FwOptions) -> Self {
+        self.fw_options = options;
+        self
+    }
+
+    /// The cost-delay parameter `V`.
+    #[inline]
+    pub fn v(&self) -> f64 {
+        self.v
+    }
+
+    /// The energy-fairness parameter `β`.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+/// The GreFar online scheduler (Algorithm 1): each slot, observe
+/// `x(t)` and `Θ(t)`, then minimize the drift-plus-penalty expression (14)
+/// subject to (4), (5), (11).
+///
+/// The minimization is exact (greedy) for `β = 0` and Frank–Wolfe with an
+/// exact oracle for `β > 0`; see [`SlotInstance`] for the decomposition.
+///
+/// # Example
+/// See the [crate-level documentation](crate).
+pub struct GreFar {
+    config: SystemConfig,
+    params: GreFarParams,
+    fairness: Box<dyn FairnessFunction>,
+}
+
+impl core::fmt::Debug for GreFar {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GreFar")
+            .field("params", &self.params)
+            .field("fairness", &self.fairness.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GreFar {
+    /// Creates GreFar with the paper's quadratic-deviation fairness
+    /// function (3).
+    ///
+    /// # Errors
+    /// [`ParamError`] if `V` or `β` is negative or non-finite.
+    pub fn new(config: &SystemConfig, params: GreFarParams) -> Result<Self, ParamError> {
+        Self::with_fairness(config, params, Box::new(QuadraticDeviation))
+    }
+
+    /// Creates GreFar with a custom fairness function (footnote 5 allows
+    /// any concave choice, e.g. [`AlphaFair`](crate::AlphaFair)).
+    ///
+    /// # Errors
+    /// [`ParamError`] if `V` or `β` is negative or non-finite.
+    pub fn with_fairness(
+        config: &SystemConfig,
+        params: GreFarParams,
+        fairness: Box<dyn FairnessFunction>,
+    ) -> Result<Self, ParamError> {
+        if !params.v.is_finite() || params.v < 0.0 {
+            return Err(ParamError::InvalidV(params.v));
+        }
+        if !params.beta.is_finite() || params.beta < 0.0 {
+            return Err(ParamError::InvalidBeta(params.beta));
+        }
+        Ok(Self {
+            config: config.clone(),
+            params,
+            fairness,
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> GreFarParams {
+        self.params
+    }
+
+    /// The fairness function in use.
+    pub fn fairness(&self) -> &dyn FairnessFunction {
+        self.fairness.as_ref()
+    }
+}
+
+impl Scheduler for GreFar {
+    fn name(&self) -> String {
+        format!("GreFar(V={}, beta={})", self.params.v, self.params.beta)
+    }
+
+    fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
+        let inst = SlotInstance::new(&self.config, state, queues, self.params.v);
+        if self.params.beta == 0.0 {
+            inst.solve_greedy().decision
+        } else {
+            inst.solve_with_fairness(
+                self.params.beta,
+                self.fairness.as_ref(),
+                self.params.fw_options,
+            )
+            .decision
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{
+        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
+    };
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![30.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let cfg = config();
+        assert!(matches!(
+            GreFar::new(&cfg, GreFarParams::new(-1.0, 0.0)),
+            Err(ParamError::InvalidV(_))
+        ));
+        assert!(matches!(
+            GreFar::new(&cfg, GreFarParams::new(1.0, f64::NAN)),
+            Err(ParamError::InvalidBeta(_))
+        ));
+    }
+
+    #[test]
+    fn name_mentions_parameters() {
+        let g = GreFar::new(&config(), GreFarParams::new(7.5, 100.0)).unwrap();
+        assert_eq!(g.name(), "GreFar(V=7.5, beta=100)");
+        assert_eq!(g.params().v(), 7.5);
+        assert_eq!(g.fairness().name(), "quadratic-deviation");
+    }
+
+    #[test]
+    fn higher_v_defers_more_work() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 6.0;
+        queues.apply(&z, &[0.0]); // q = 6 at the data center
+        let state = SystemState::new(
+            0,
+            vec![DataCenterState::new(vec![30.0], Tariff::flat(0.5))],
+        );
+        // Threshold: serve while q/d > V·φ·p/s = 0.5 V.
+        let mut eager = GreFar::new(&cfg, GreFarParams::new(1.0, 0.0)).unwrap();
+        let mut patient = GreFar::new(&cfg, GreFarParams::new(100.0, 0.0)).unwrap();
+        assert_eq!(eager.decide(&state, &queues).processed[(0, 0)], 6.0);
+        assert_eq!(patient.decide(&state, &queues).processed[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = GreFar::new(&config(), GreFarParams::new(1.0, 1.0)).unwrap();
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! The GreFar online scheduler, baselines and performance theory.
+//!
+//! This crate implements the primary contribution of *"Provably-Efficient
+//! Job Scheduling for Energy and Fairness in Geographically Distributed Data
+//! Centers"* (Ren, He, Xu — ICDCS 2012):
+//!
+//! * [`QueueState`] — the queue vector `Θ(t)` with the exact dynamics
+//!   (12)–(13) and the Lyapunov function (26),
+//! * [`GreFar`] — Algorithm 1: every slot, observe `x(t)` and `Θ(t)` and
+//!   minimize the drift-plus-penalty expression (14). The minimization is
+//!   **exact** via a greedy fractional matching when `β = 0` (the problem
+//!   is an LP with product structure) and solved by Frank–Wolfe with that
+//!   same greedy as the linear-minimization oracle when `β > 0`,
+//! * [`Always`] — the baseline of §VI-B.3 that schedules jobs immediately
+//!   whenever resources are available,
+//! * [`TStepLookahead`] — the offline frame policy of §V-A (eqs. (15)–(18)),
+//!   solved with the workspace LP solver,
+//! * [`theory`] — the constants `B`, `D`, `C3` and the bounds of
+//!   Theorem 1, plus a slackness-condition (20)–(22) checker,
+//! * [`fairness`] — the paper's quadratic-deviation fairness function (3)
+//!   and the α-fair family mentioned in §III-C.1.
+//!
+//! # Example
+//!
+//! One slot of GreFar by hand:
+//!
+//! ```
+//! use grefar_core::{GreFar, GreFarParams, QueueState, Scheduler};
+//! use grefar_types::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SystemConfig::builder()
+//!     .server_class(ServerClass::new(1.0, 1.0))
+//!     .data_center("dc", vec![50.0])
+//!     .account("org", 1.0)
+//!     .job_class(JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+//!         .with_max_arrivals(10.0).with_max_route(20.0).with_max_process(50.0))
+//!     .build()?;
+//! let mut grefar = GreFar::new(&config, GreFarParams::new(2.0, 0.0))?;
+//! let mut queues = QueueState::new(&config);
+//!
+//! // Pretend 8 jobs arrived last slot; observe a cheap-price state.
+//! queues.apply(&config.decision_zeros(), &[8.0]);
+//! let state = SystemState::new(1, vec![DataCenterState::new(vec![50.0], Tariff::flat(0.01))]);
+//! let decision = grefar.decide(&state, &queues);
+//! // All 8 jobs are routed toward the data center.
+//! assert_eq!(decision.routed[(0, 0)], 8.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod always;
+mod baselines;
+mod cost;
+mod error;
+pub mod fairness;
+mod grefar;
+mod lookahead;
+mod queue;
+mod scheduler;
+mod solver;
+pub mod theory;
+
+pub use always::Always;
+pub use baselines::{LocalOnly, PriceGreedy};
+pub use cost::{
+    cost_breakdown, drift_penalty_objective, energy_cost_total, resource_shares, CostBreakdown,
+};
+pub use error::ParamError;
+pub use fairness::{AlphaFair, FairnessFunction, QuadraticDeviation};
+pub use grefar::{GreFar, GreFarParams};
+pub use lookahead::{LookaheadPlan, TStepLookahead};
+pub use queue::QueueState;
+pub use scheduler::Scheduler;
+pub use solver::{SlotInstance, SlotSolution};

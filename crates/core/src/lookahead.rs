@@ -1,0 +1,306 @@
+//! The offline `T`-step lookahead policy (§V-A).
+//!
+//! The benchmark of Theorem 1: the horizon is divided into frames of `T`
+//! slots; within each frame the policy knows all states and arrivals in
+//! advance and solves (15)–(18). For `β = 0` each frame is a linear program
+//! over `(r, h, b)` trajectories, solved here with the workspace simplex.
+//!
+//! The routing variables are relaxed to be continuous (the paper's `r` are
+//! integers), so each frame value is a *lower bound* `G*_r` on the true
+//! frame optimum — which only makes the comparison against GreFar in the
+//! `lookahead_gap` experiment conservative.
+
+use crate::error::ParamError;
+use grefar_lp::{LpProblem, Relation, SolveError};
+use grefar_types::{SystemConfig, SystemState};
+
+/// The offline `T`-step lookahead planner (β = 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TStepLookahead {
+    frame: usize,
+}
+
+/// The result of planning a horizon with the lookahead policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookaheadPlan {
+    /// `G*_r` for each frame: the minimum time-average frame cost (15).
+    pub frame_costs: Vec<f64>,
+    /// `(1/R) Σ_r G*_r` — the benchmark value (19) of Theorem 1(b).
+    pub average_cost: f64,
+    /// Work processed per (frame-relative slot, data center) in the last
+    /// planned frame — exposed for inspection and tests.
+    pub last_frame_work: Vec<Vec<f64>>,
+}
+
+impl TStepLookahead {
+    /// Creates the planner with frame length `T ≥ 1`.
+    ///
+    /// # Errors
+    /// [`ParamError::InvalidFrame`] if `frame == 0`.
+    pub fn new(frame: usize) -> Result<Self, ParamError> {
+        if frame == 0 {
+            return Err(ParamError::InvalidFrame(frame));
+        }
+        Ok(Self { frame })
+    }
+
+    /// The frame length `T`.
+    pub fn frame(&self) -> usize {
+        self.frame
+    }
+
+    /// Plans a whole horizon: `states[t]` and `arrivals[t]` for
+    /// `t = 0 .. R·T − 1`. Returns the frame costs `G*_r` and their average.
+    ///
+    /// # Errors
+    /// [`SolveError`] if any frame LP fails (an infeasible frame means the
+    /// slackness conditions (20)–(22) are violated for this trace).
+    ///
+    /// # Panics
+    /// Panics if `states` and `arrivals` differ in length, are empty, or are
+    /// not a whole number of frames.
+    pub fn plan(
+        &self,
+        config: &SystemConfig,
+        states: &[SystemState],
+        arrivals: &[Vec<f64>],
+    ) -> Result<LookaheadPlan, SolveError> {
+        assert_eq!(
+            states.len(),
+            arrivals.len(),
+            "states/arrivals length mismatch"
+        );
+        assert!(!states.is_empty(), "horizon must be non-empty");
+        assert_eq!(
+            states.len() % self.frame,
+            0,
+            "horizon must be a whole number of frames (t_end = R·T)"
+        );
+        let frames = states.len() / self.frame;
+        let mut frame_costs = Vec::with_capacity(frames);
+        let mut last_frame_work = Vec::new();
+        for r in 0..frames {
+            let lo = r * self.frame;
+            let hi = lo + self.frame;
+            let (cost, work) =
+                solve_frame(config, &states[lo..hi], &arrivals[lo..hi])?;
+            frame_costs.push(cost);
+            last_frame_work = work;
+        }
+        let average_cost = frame_costs.iter().sum::<f64>() / frames as f64;
+        Ok(LookaheadPlan {
+            frame_costs,
+            average_cost,
+            last_frame_work,
+        })
+    }
+}
+
+/// Variable layout inside one frame LP.
+struct FrameLayout {
+    n: usize,
+    j: usize,
+    k: usize,
+    t: usize,
+}
+
+impl FrameLayout {
+    fn per_slot(&self) -> usize {
+        2 * self.n * self.j + self.n * self.k
+    }
+
+    fn r(&self, t: usize, i: usize, j: usize) -> usize {
+        t * self.per_slot() + i * self.j + j
+    }
+
+    fn h(&self, t: usize, i: usize, j: usize) -> usize {
+        t * self.per_slot() + self.n * self.j + i * self.j + j
+    }
+
+    fn b(&self, t: usize, i: usize, k: usize) -> usize {
+        t * self.per_slot() + 2 * self.n * self.j + i * self.k + k
+    }
+
+    fn total(&self) -> usize {
+        self.t * self.per_slot()
+    }
+}
+
+/// Solves one frame of (15)–(18) as an LP; returns
+/// `(G*_r, work per (slot, dc))`.
+fn solve_frame(
+    config: &SystemConfig,
+    states: &[SystemState],
+    arrivals: &[Vec<f64>],
+) -> Result<(f64, Vec<Vec<f64>>), SolveError> {
+    let l = FrameLayout {
+        n: config.num_data_centers(),
+        j: config.num_job_classes(),
+        k: config.num_server_classes(),
+        t: states.len(),
+    };
+    let mut p = LpProblem::minimize(l.total());
+
+    // Objective (15): Σ_t Σ_i φ_i(t) Σ_k p_k b_{i,k}(t)   (β = 0; flat tariffs).
+    for (t, state) in states.iter().enumerate() {
+        for i in 0..l.n {
+            let price = state.data_center(i).price();
+            for (k, class) in config.server_classes().iter().enumerate() {
+                p.set_objective(l.b(t, i, k), price * class.active_power());
+            }
+        }
+    }
+
+    // Eligibility and bounds: ineligible pairs pinned to zero via ub 0.
+    for (t, state) in states.iter().enumerate() {
+        for (j, job) in config.job_classes().iter().enumerate() {
+            for i in 0..l.n {
+                let eligible = job.is_eligible(grefar_types::DataCenterId::new(i));
+                let r_ub = if eligible { job.max_route() } else { 0.0 };
+                let h_ub = if eligible { job.max_process() } else { 0.0 };
+                p.set_upper_bound(l.r(t, i, j), r_ub);
+                p.set_upper_bound(l.h(t, i, j), h_ub);
+            }
+        }
+        for i in 0..l.n {
+            for k in 0..l.k {
+                p.set_upper_bound(l.b(t, i, k), state.data_center(i).available(k));
+            }
+        }
+    }
+
+    // (16): Σ_t Σ_{i∈𝒟_j} r_{i,j}(t) ≥ Σ_t a_j(t).
+    for (j, job) in config.job_classes().iter().enumerate() {
+        let mut coeffs = Vec::new();
+        for t in 0..l.t {
+            for &dc in job.eligible() {
+                coeffs.push((l.r(t, dc.index(), j), 1.0));
+            }
+        }
+        let demand: f64 = arrivals.iter().map(|a| a[j]).sum();
+        p.add_constraint(&coeffs, Relation::Ge, demand);
+    }
+
+    // (17): Σ_t [r_{i,j}(t) − h_{i,j}(t)] ≤ 0 for every eligible pair.
+    for (j, job) in config.job_classes().iter().enumerate() {
+        for &dc in job.eligible() {
+            let i = dc.index();
+            let mut coeffs = Vec::new();
+            for t in 0..l.t {
+                coeffs.push((l.r(t, i, j), 1.0));
+                coeffs.push((l.h(t, i, j), -1.0));
+            }
+            p.add_constraint(&coeffs, Relation::Le, 0.0);
+        }
+    }
+
+    // (18): Σ_j d_j h_{i,j}(t) − Σ_k s_k b_{i,k}(t) ≤ 0 per slot and DC.
+    for t in 0..l.t {
+        for i in 0..l.n {
+            let mut coeffs = Vec::new();
+            for (j, job) in config.job_classes().iter().enumerate() {
+                coeffs.push((l.h(t, i, j), job.work()));
+            }
+            for (k, class) in config.server_classes().iter().enumerate() {
+                coeffs.push((l.b(t, i, k), -class.speed()));
+            }
+            p.add_constraint(&coeffs, Relation::Le, 0.0);
+        }
+    }
+
+    let solution = p.solve()?;
+    let x = solution.x();
+    let mut work = vec![vec![0.0; l.n]; l.t];
+    for (t, row) in work.iter_mut().enumerate() {
+        for (i, cell) in row.iter_mut().enumerate() {
+            *cell = (0..l.j)
+                .map(|j| x[l.h(t, i, j)] * config.job_class(grefar_types::JobTypeId::new(j)).work())
+                .sum();
+        }
+    }
+    Ok((solution.objective() / l.t as f64, work))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{
+        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
+    };
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![10.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(4.0)
+                    .with_max_route(10.0)
+                    .with_max_process(10.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn state(price: f64, slot: u64) -> SystemState {
+        SystemState::new(
+            slot,
+            vec![DataCenterState::new(vec![10.0], Tariff::flat(price))],
+        )
+    }
+
+    #[test]
+    fn rejects_zero_frame() {
+        assert!(TStepLookahead::new(0).is_err());
+        assert_eq!(TStepLookahead::new(4).unwrap().frame(), 4);
+    }
+
+    #[test]
+    fn schedules_all_work_in_cheapest_slot() {
+        // Two-slot frame: prices 1.0 then 0.1; 3 jobs arrive in slot 0.
+        // Offline optimum: serve everything in slot 1 at 0.1.
+        let cfg = config();
+        let la = TStepLookahead::new(2).unwrap();
+        let states = vec![state(1.0, 0), state(0.1, 1)];
+        let arrivals = vec![vec![3.0], vec![0.0]];
+        let plan = la.plan(&cfg, &states, &arrivals).unwrap();
+        // Cost: 3 units of work × power 1 × price 0.1, averaged over T=2.
+        assert!((plan.average_cost - 0.15).abs() < 1e-9, "{}", plan.average_cost);
+        assert!((plan.last_frame_work[1][0] - 3.0).abs() < 1e-7);
+        assert!(plan.last_frame_work[0][0] < 1e-7);
+    }
+
+    #[test]
+    fn multiple_frames_average() {
+        let cfg = config();
+        let la = TStepLookahead::new(1).unwrap();
+        let states = vec![state(0.2, 0), state(0.4, 1)];
+        let arrivals = vec![vec![2.0], vec![2.0]];
+        let plan = la.plan(&cfg, &states, &arrivals).unwrap();
+        assert_eq!(plan.frame_costs.len(), 2);
+        // Frame 0: 2 work at 0.2 = 0.4; frame 1: 2 at 0.4 = 0.8; avg 0.6.
+        assert!((plan.average_cost - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_capacity_insufficient() {
+        let cfg = config();
+        let la = TStepLookahead::new(1).unwrap();
+        // 4 + 10? No: arrivals exceed what r^max/capacity can absorb: 40 jobs
+        // in one slot with capacity 10 and r ≤ 10.
+        let states = vec![state(0.2, 0)];
+        let arrivals = vec![vec![40.0]];
+        assert!(la.plan(&cfg, &states, &arrivals).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of frames")]
+    fn rejects_partial_frames() {
+        let cfg = config();
+        let la = TStepLookahead::new(2).unwrap();
+        let states = vec![state(0.2, 0)];
+        let arrivals = vec![vec![0.0]];
+        let _ = la.plan(&cfg, &states, &arrivals);
+    }
+}

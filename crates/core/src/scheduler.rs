@@ -1,0 +1,31 @@
+//! The online-scheduler interface.
+
+use crate::queue::QueueState;
+use grefar_types::{Decision, SystemState};
+
+/// An online scheduler: at the beginning of every slot it observes the data
+/// center state `x(t)` and the queues `Θ(t)` — and nothing else, in
+/// particular not the current slot's arrivals or any future information —
+/// and returns the action `z(t)` (§III-C.2).
+///
+/// Implementations may keep internal state (hence `&mut self`), e.g. for
+/// learning or warm-started solvers; [`GreFar`](crate::GreFar) itself is
+/// memoryless beyond the queues it is shown.
+pub trait Scheduler: Send {
+    /// A short name for reports ("GreFar(V=7.5, beta=100)", "Always", …).
+    fn name(&self) -> String;
+
+    /// Chooses the action for the slot `state.slot()`.
+    fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &mut dyn Scheduler) {}
+        fn _boxed(_: Box<dyn Scheduler>) {}
+    }
+}

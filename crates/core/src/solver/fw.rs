@@ -1,0 +1,331 @@
+//! The Frank–Wolfe path of the slot solver (`β > 0`).
+//!
+//! With fairness, the processing part of (14) becomes, over the variables
+//! `x = (h, b)`,
+//!
+//! ```text
+//! min  V·Σ_i tariff_i( Σ_k b_{i,k} p_k )  −  V·β·f(shares(h))  −  Σ_{i,j} q_{i,j} h_{i,j}
+//! s.t. Σ_j d_j h_{i,j} ≤ Σ_k s_k b_{i,k},  0 ≤ h ≤ h_cap,  0 ≤ b ≤ n     ∀i
+//! ```
+//!
+//! a smooth convex program (exactly smooth for the paper's flat tariffs;
+//! for tiered tariffs the energy term is piecewise linear and we use its
+//! subgradient — the cross-check tests keep this honest). The feasible set
+//! decomposes per data center and its linear minimization oracle is the
+//! exact greedy of [`super::greedy`], so Frank–Wolfe applies directly.
+
+use super::greedy::linear_dispatch_dc;
+use super::SlotInstance;
+use crate::fairness::FairnessFunction;
+use grefar_convex::{frank_wolfe, FwOptions, Lmo, Objective};
+use grefar_types::Grid;
+
+/// Flat layout: `x[0 .. N*J]` is `h` row-major, `x[N*J ..]` is `b` row-major.
+struct Layout {
+    n: usize,
+    j: usize,
+    k: usize,
+}
+
+impl Layout {
+    #[inline]
+    fn h(&self, i: usize, j: usize) -> usize {
+        i * self.j + j
+    }
+
+    #[inline]
+    fn b(&self, i: usize, k: usize) -> usize {
+        self.n * self.j + i * self.k + k
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.n * self.j + self.n * self.k
+    }
+}
+
+struct ProcessingObjective<'a> {
+    inst: &'a SlotInstance<'a>,
+    beta: f64,
+    fairness: &'a dyn FairnessFunction,
+    layout: Layout,
+    gammas: Vec<f64>,
+    account_of: Vec<usize>,
+}
+
+impl ProcessingObjective<'_> {
+    fn shares(&self, x: &[f64]) -> Vec<f64> {
+        let mut shares = vec![0.0; self.gammas.len()];
+        if self.inst.total_capacity <= 0.0 {
+            return shares;
+        }
+        for i in 0..self.layout.n {
+            for j in 0..self.layout.j {
+                shares[self.account_of[j]] +=
+                    x[self.layout.h(i, j)] * self.inst.work[j] / self.inst.total_capacity;
+            }
+        }
+        shares
+    }
+}
+
+impl Objective for ProcessingObjective<'_> {
+    fn value(&self, x: &[f64]) -> f64 {
+        let l = &self.layout;
+        let mut value = 0.0;
+        // Energy term.
+        for i in 0..l.n {
+            let power: f64 = (0..l.k)
+                .map(|k| x[l.b(i, k)] * self.inst.powers[k])
+                .sum();
+            value += self.inst.v * self.inst.state.data_center(i).tariff().cost(power.max(0.0));
+        }
+        // Fairness term.
+        if self.beta > 0.0 && self.inst.total_capacity > 0.0 {
+            let shares = self.shares(x);
+            value -= self.inst.v * self.beta * self.fairness.score(&shares, &self.gammas);
+        }
+        // Queue-service term.
+        for i in 0..l.n {
+            for j in 0..l.j {
+                value -= self.inst.queues.local(i, j) * x[l.h(i, j)];
+            }
+        }
+        value
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        let l = &self.layout;
+        grad.fill(0.0);
+        // Energy: ∂/∂b_{i,k} = V · rate_i(power_i) · p_k.
+        for i in 0..l.n {
+            let power: f64 = (0..l.k)
+                .map(|k| x[l.b(i, k)] * self.inst.powers[k])
+                .sum();
+            let rate = self
+                .inst
+                .state
+                .data_center(i)
+                .tariff()
+                .marginal_rate(power.max(0.0));
+            for k in 0..l.k {
+                grad[l.b(i, k)] = self.inst.v * rate * self.inst.powers[k];
+            }
+        }
+        // Fairness: ∂/∂h_{i,j} = −V·β·f'_{m(j)}(shares) · d_j / R.
+        let mut fair_grad = vec![0.0; self.gammas.len()];
+        if self.beta > 0.0 && self.inst.total_capacity > 0.0 {
+            let shares = self.shares(x);
+            self.fairness.gradient(&shares, &self.gammas, &mut fair_grad);
+        }
+        for i in 0..l.n {
+            for j in 0..l.j {
+                let mut g = -self.inst.queues.local(i, j);
+                if self.beta > 0.0 && self.inst.total_capacity > 0.0 {
+                    g -= self.inst.v * self.beta * fair_grad[self.account_of[j]]
+                        * self.inst.work[j]
+                        / self.inst.total_capacity;
+                }
+                grad[l.h(i, j)] = g;
+            }
+        }
+    }
+}
+
+/// The per-DC-decomposed LMO: for each data center, run the exact greedy
+/// linear dispatch on that block of the gradient.
+struct SlotLmo<'a> {
+    inst: &'a SlotInstance<'a>,
+    layout: Layout,
+}
+
+impl Lmo for SlotLmo<'_> {
+    fn minimize(&self, gradient: &[f64], out: &mut [f64]) {
+        let l = &self.layout;
+        out.fill(0.0);
+        let mut h_row = vec![0.0; l.j];
+        let mut b_row = vec![0.0; l.k];
+        for i in 0..l.n {
+            let c_h = &gradient[l.h(i, 0)..l.h(i, 0) + l.j];
+            let c_b = &gradient[l.b(i, 0)..l.b(i, 0) + l.k];
+            linear_dispatch_dc(
+                c_h,
+                c_b,
+                &self.inst.work,
+                &self.inst.speeds,
+                self.inst.state.data_center(i).available_slice(),
+                self.inst.h_cap.row(i),
+                &mut h_row,
+                &mut b_row,
+            );
+            out[l.h(i, 0)..l.h(i, 0) + l.j].copy_from_slice(&h_row);
+            out[l.b(i, 0)..l.b(i, 0) + l.k].copy_from_slice(&b_row);
+        }
+    }
+}
+
+/// Solves the processing part of (14) with fairness via Frank–Wolfe,
+/// returning `(h, b)` grids. The final busy matrix is re-dispatched at
+/// minimum power for the chosen work (never worse, always feasible).
+pub(crate) fn solve_processing_fw(
+    inst: &SlotInstance<'_>,
+    beta: f64,
+    fairness: &dyn FairnessFunction,
+    options: FwOptions,
+) -> (Grid, Grid) {
+    let layout = Layout {
+        n: inst.config.num_data_centers(),
+        j: inst.config.num_job_classes(),
+        k: inst.config.num_server_classes(),
+    };
+    let x0 = vec![0.0; layout.len()];
+    let objective = ProcessingObjective {
+        inst,
+        beta,
+        fairness,
+        gammas: inst.config.gammas(),
+        account_of: inst
+            .config
+            .job_classes()
+            .iter()
+            .map(|j| j.account().index())
+            .collect(),
+        layout,
+    };
+    let lmo = SlotLmo {
+        inst,
+        layout: Layout {
+            n: objective.layout.n,
+            j: objective.layout.j,
+            k: objective.layout.k,
+        },
+    };
+    let result = frank_wolfe(&objective, &lmo, x0, options);
+
+    let l = &objective.layout;
+    let mut processed = Grid::zeros(l.n, l.j);
+    let mut work_by_dc = vec![0.0; l.n];
+    for i in 0..l.n {
+        for j in 0..l.j {
+            let h = result.x[l.h(i, j)].max(0.0);
+            processed[(i, j)] = h;
+            work_by_dc[i] += h * inst.work[j];
+        }
+    }
+    let busy = inst.min_power_busy(&work_by_dc);
+    (processed, busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::QuadraticDeviation;
+    use crate::queue::QueueState;
+    use grefar_types::{
+        DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, SystemState, Tariff,
+    };
+
+    fn two_account_config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![20.0])
+            .account("x", 0.5)
+            .account("y", 0.5)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0).with_max_process(20.0),
+            )
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 1).with_max_process(20.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn queues_with(cfg: &SystemConfig, q0: f64, q1: f64) -> QueueState {
+        let mut q = QueueState::new(cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = q0;
+        z.routed[(0, 1)] = q1;
+        q.apply(&z, &[0.0, 0.0]);
+        q
+    }
+
+    #[test]
+    fn beta_zero_fw_matches_greedy() {
+        let cfg = two_account_config();
+        let st = SystemState::new(
+            0,
+            vec![DataCenterState::new(vec![20.0], Tariff::flat(0.4))],
+        );
+        let q = queues_with(&cfg, 8.0, 2.0);
+        let inst = SlotInstance::new(&cfg, &st, &q, 3.0);
+        let greedy = inst.solve_greedy();
+        let fw = inst.solve_with_fairness(0.0, &QuadraticDeviation, FwOptions::default());
+        assert!(
+            (greedy.objective - fw.objective).abs() < 1e-6,
+            "greedy {} vs FW {}",
+            greedy.objective,
+            fw.objective
+        );
+    }
+
+    #[test]
+    fn fairness_balances_accounts() {
+        let cfg = two_account_config();
+        // Expensive power so β=0 would serve nothing.
+        let st = SystemState::new(
+            0,
+            vec![DataCenterState::new(vec![20.0], Tariff::flat(10.0))],
+        );
+        let q = queues_with(&cfg, 6.0, 6.0);
+        let inst = SlotInstance::new(&cfg, &st, &q, 1.0);
+        let none = inst.solve_greedy().decision;
+        assert_eq!(none.processed.sum(), 0.0);
+        // Strong fairness pressure serves work to move shares toward γ.
+        let fair = inst
+            .solve_with_fairness(1000.0, &QuadraticDeviation, FwOptions::default())
+            .decision;
+        assert!(fair.processed.sum() > 1.0, "{:?}", fair.processed);
+        // Both accounts served roughly equally (γ = 0.5/0.5, symmetric queues).
+        let s0 = fair.processed[(0, 0)];
+        let s1 = fair.processed[(0, 1)];
+        assert!((s0 - s1).abs() < 0.5, "{s0} vs {s1}");
+    }
+
+    #[test]
+    fn fw_solution_is_feasible() {
+        let cfg = two_account_config();
+        let st = SystemState::new(
+            0,
+            vec![DataCenterState::new(vec![5.0], Tariff::flat(0.2))],
+        );
+        let q = queues_with(&cfg, 10.0, 10.0);
+        let inst = SlotInstance::new(&cfg, &st, &q, 2.0);
+        let d = inst
+            .solve_with_fairness(50.0, &QuadraticDeviation, FwOptions::default())
+            .decision;
+        // Capacity: Σ d h ≤ Σ s b ≤ availability.
+        let served = d.work_processed(0, &[1.0, 1.0]);
+        let supply = d.supply(0, &[1.0]);
+        assert!(served <= supply + 1e-6, "served {served} supply {supply}");
+        assert!(d.busy[(0, 0)] <= 5.0 + 1e-9);
+        // h never exceeds queue-capped bound.
+        assert!(d.processed[(0, 0)] <= 10.0 + 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_is_handled() {
+        let cfg = two_account_config();
+        let st = SystemState::new(
+            0,
+            vec![DataCenterState::new(vec![0.0], Tariff::flat(0.2))],
+        );
+        let q = queues_with(&cfg, 4.0, 4.0);
+        let inst = SlotInstance::new(&cfg, &st, &q, 2.0);
+        let d = inst
+            .solve_with_fairness(100.0, &QuadraticDeviation, FwOptions::default())
+            .decision;
+        assert_eq!(d.processed.sum(), 0.0);
+        assert_eq!(d.busy.sum(), 0.0);
+    }
+}

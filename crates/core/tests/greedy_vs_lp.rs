@@ -1,0 +1,222 @@
+//! Property-based verification of the exact greedy slot solver against the
+//! LP solver on random instances of the β = 0 per-slot problem.
+//!
+//! The processing part of (14) with flat tariffs is the LP
+//!
+//! ```text
+//! min  V Σ_i φ_i Σ_k p_k b_{i,k} − Σ_{i,j} q_{i,j} h_{i,j}
+//! s.t. Σ_j d_j h_{i,j} ≤ Σ_k s_k b_{i,k},  0 ≤ h ≤ h_cap,  0 ≤ b ≤ n
+//! ```
+//!
+//! The greedy fractional matching must achieve the LP optimum exactly.
+
+use grefar_core::{drift_penalty_objective, QuadraticDeviation, QueueState, SlotInstance};
+use grefar_lp::{LpProblem, Relation};
+use grefar_types::{
+    DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, SystemState, Tariff,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Instance {
+    config: SystemConfig,
+    state: SystemState,
+    queues: QueueState,
+    v: f64,
+}
+
+fn random_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=3usize);
+    let k = rng.gen_range(1..=3usize);
+    let j = rng.gen_range(1..=4usize);
+
+    let mut builder = SystemConfig::builder();
+    for _ in 0..k {
+        builder = builder.server_class(ServerClass::new(
+            rng.gen_range(0.5..2.0),
+            rng.gen_range(0.1..2.0),
+        ));
+    }
+    for i in 0..n {
+        let fleet: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0f64..12.0).floor()).collect();
+        builder = builder.data_center(format!("dc{i}"), fleet);
+    }
+    builder = builder.account("only", 1.0);
+    for _ in 0..j {
+        // Random non-empty eligibility set.
+        let mut eligible: Vec<DataCenterId> = (0..n)
+            .filter(|_| rng.gen_bool(0.7))
+            .map(DataCenterId::new)
+            .collect();
+        if eligible.is_empty() {
+            eligible.push(DataCenterId::new(rng.gen_range(0..n)));
+        }
+        builder = builder.job_class(
+            JobClass::new(rng.gen_range(0.25..3.0), eligible, 0)
+                .with_max_arrivals(10.0)
+                .with_max_route(10.0)
+                .with_max_process(rng.gen_range(0.0..8.0)),
+        );
+    }
+    let config = builder.build().expect("random config is valid");
+
+    let state = SystemState::new(
+        0,
+        (0..n)
+            .map(|i| {
+                DataCenterState::new(
+                    config.data_centers()[i].fleet().to_vec(),
+                    Tariff::flat(rng.gen_range(0.0..1.5)),
+                )
+            })
+            .collect(),
+    );
+
+    // Random queues: route random amounts into local queues.
+    let mut queues = QueueState::new(&config);
+    let mut z = config.decision_zeros();
+    for jj in 0..j {
+        for i in 0..n {
+            if config.job_classes()[jj].is_eligible(DataCenterId::new(i)) {
+                z.routed[(i, jj)] = rng.gen_range(0.0f64..9.0).floor();
+            }
+        }
+    }
+    queues.apply(&z, &vec![0.0; j]);
+
+    Instance {
+        config,
+        state,
+        queues,
+        v: rng.gen_range(0.0..10.0),
+    }
+}
+
+/// Solves the processing LP with the simplex and returns its optimum.
+fn lp_processing_optimum(inst: &Instance) -> f64 {
+    let n = inst.config.num_data_centers();
+    let j = inst.config.num_job_classes();
+    let k = inst.config.num_server_classes();
+    let h_var = |i: usize, jj: usize| i * j + jj;
+    let b_var = |i: usize, kk: usize| n * j + i * k + kk;
+
+    let mut p = LpProblem::minimize(n * j + n * k);
+    for i in 0..n {
+        let price = inst.state.data_center(i).price();
+        for (kk, class) in inst.config.server_classes().iter().enumerate() {
+            p.set_objective(b_var(i, kk), inst.v * price * class.active_power());
+            p.set_upper_bound(b_var(i, kk), inst.state.data_center(i).available(kk));
+        }
+        for (jj, job) in inst.config.job_classes().iter().enumerate() {
+            p.set_objective(h_var(i, jj), -inst.queues.local(i, jj));
+            let cap = if job.is_eligible(DataCenterId::new(i)) {
+                job.max_process().min(inst.queues.local(i, jj))
+            } else {
+                0.0
+            };
+            p.set_upper_bound(h_var(i, jj), cap);
+        }
+        let mut coeffs = Vec::new();
+        for (jj, job) in inst.config.job_classes().iter().enumerate() {
+            coeffs.push((h_var(i, jj), job.work()));
+        }
+        for (kk, class) in inst.config.server_classes().iter().enumerate() {
+            coeffs.push((b_var(i, kk), -class.speed()));
+        }
+        p.add_constraint(&coeffs, Relation::Le, 0.0);
+    }
+    p.solve().expect("processing LP is feasible (0 works)").objective()
+}
+
+/// The processing part of the greedy decision's objective.
+fn greedy_processing_objective(inst: &Instance) -> f64 {
+    let slot = SlotInstance::new(&inst.config, &inst.state, &inst.queues, inst.v);
+    let decision = slot.solve_greedy().decision;
+
+    // Full (14) value minus the routing terms = the processing value.
+    let full = drift_penalty_objective(
+        &inst.config,
+        &inst.state,
+        &inst.queues,
+        &decision,
+        inst.v,
+        0.0,
+        &QuadraticDeviation,
+    );
+    let mut routing_part = 0.0;
+    for (i, jj) in inst.config.eligible_pairs() {
+        let (i, jj) = (i.index(), jj.index());
+        let r = decision.routed[(i, jj)];
+        routing_part -= inst.queues.central(jj) * r;
+        routing_part += inst.queues.local(i, jj) * r;
+    }
+    full - routing_part
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The greedy dispatch achieves the LP optimum of the processing
+    /// subproblem on arbitrary random instances.
+    #[test]
+    fn greedy_matches_lp(seed in any::<u64>()) {
+        let inst = random_instance(seed);
+        let lp = lp_processing_optimum(&inst);
+        let greedy = greedy_processing_objective(&inst);
+        let scale = 1.0 + lp.abs();
+        prop_assert!(
+            (greedy - lp).abs() <= 1e-6 * scale,
+            "seed {seed}: greedy {greedy} vs LP {lp}"
+        );
+    }
+
+    /// The greedy decision is always primal feasible.
+    #[test]
+    fn greedy_is_feasible(seed in any::<u64>()) {
+        let inst = random_instance(seed);
+        let slot = SlotInstance::new(&inst.config, &inst.state, &inst.queues, inst.v);
+        let d = slot.solve_greedy().decision;
+        prop_assert!(d.is_nonnegative());
+        prop_assert!(d.is_finite());
+        let speeds = inst.config.speed_vector();
+        let work = inst.config.work_vector();
+        for i in 0..inst.config.num_data_centers() {
+            let served = d.work_processed(i, &work);
+            let supply = d.supply(i, &speeds);
+            prop_assert!(served <= supply + 1e-9, "dc {i}: served {served} > supply {supply}");
+            for kk in 0..inst.config.num_server_classes() {
+                prop_assert!(d.busy[(i, kk)] <= inst.state.data_center(i).available(kk) + 1e-9);
+            }
+            for (jj, job) in inst.config.job_classes().iter().enumerate() {
+                prop_assert!(d.processed[(i, jj)] <= job.max_process() + 1e-9);
+                prop_assert!(d.processed[(i, jj)] <= inst.queues.local(i, jj) + 1e-9);
+                if !job.is_eligible(DataCenterId::new(i)) {
+                    prop_assert!(d.processed[(i, jj)] == 0.0);
+                    prop_assert!(d.routed[(i, jj)] == 0.0);
+                }
+            }
+        }
+    }
+
+    /// Routing never exceeds the central backlog and only targets shorter
+    /// local queues.
+    #[test]
+    fn routing_invariants(seed in any::<u64>()) {
+        let inst = random_instance(seed);
+        let slot = SlotInstance::new(&inst.config, &inst.state, &inst.queues, inst.v);
+        let routed = slot.solve_routing();
+        for jj in 0..inst.config.num_job_classes() {
+            let total = routed.col_sum(jj);
+            prop_assert!(total <= inst.queues.central(jj) + 1e-9);
+            for i in 0..inst.config.num_data_centers() {
+                if routed[(i, jj)] > 0.0 {
+                    prop_assert!(inst.queues.local(i, jj) < inst.queues.central(jj));
+                    prop_assert!(routed[(i, jj)] <= inst.config.job_classes()[jj].max_route());
+                    prop_assert!(routed[(i, jj)].fract() == 0.0, "routing must be integral");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Solver results and errors.
+
+use core::fmt;
+
+/// An optimal solution to a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    x: Vec<f64>,
+    objective: f64,
+    iterations: usize,
+}
+
+impl Solution {
+    pub(crate) fn new(x: Vec<f64>, objective: f64, iterations: usize) -> Self {
+        Self {
+            x,
+            objective,
+            iterations,
+        }
+    }
+
+    /// The optimal variable assignment, indexed as in the
+    /// [`LpProblem`](crate::LpProblem).
+    #[inline]
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The optimal objective value (of the *minimization*; callers that
+    /// modeled a maximization by negating costs should negate back).
+    #[inline]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Number of simplex pivots performed across both phases.
+    #[inline]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Consumes the solution, returning the variable assignment.
+    pub fn into_x(self) -> Vec<f64> {
+        self.x
+    }
+}
+
+/// Why a linear program could not be solved to optimality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The pivot-count safety limit was exceeded (numerical trouble or an
+    /// adversarially degenerate instance).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The model itself is malformed (e.g. a variable index out of range).
+    BadModel(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible => write!(f, "linear program is infeasible"),
+            Self::Unbounded => write!(f, "linear program is unbounded"),
+            Self::IterationLimit { limit } => {
+                write!(f, "simplex exceeded the pivot limit of {limit}")
+            }
+            Self::BadModel(why) => write!(f, "malformed linear program: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_accessors() {
+        let s = Solution::new(vec![1.0, 2.0], 3.5, 7);
+        assert_eq!(s.x(), &[1.0, 2.0]);
+        assert_eq!(s.objective(), 3.5);
+        assert_eq!(s.iterations(), 7);
+        assert_eq!(s.into_x(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!SolveError::Infeasible.to_string().is_empty());
+        assert!(!SolveError::Unbounded.to_string().is_empty());
+        assert!(SolveError::IterationLimit { limit: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(SolveError::BadModel("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SolveError>();
+    }
+}

@@ -1,0 +1,235 @@
+//! Frozen simulation inputs: one realization of all exogenous randomness.
+
+use grefar_cluster::AvailabilityProcess;
+use grefar_trace::{ArrivalProcess, PriceProcess};
+use grefar_types::{DataCenterState, Slot, SystemConfig, SystemState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A frozen horizon of exogenous inputs: the data-center states `x(t)`
+/// (availability + tariffs) and the arrivals `a(t)` for
+/// `t = 0 .. horizon − 1`.
+///
+/// Freezing matters: comparing two schedulers on freshly-sampled processes
+/// would confound policy differences with sampling noise. All experiment
+/// binaries generate inputs once per seed and reuse them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationInputs {
+    states: Vec<SystemState>,
+    arrivals: Vec<Vec<f64>>,
+}
+
+impl SimulationInputs {
+    /// Samples a horizon from live processes — one price and availability
+    /// process per data center, one arrival process — all driven by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `horizon == 0`, or if process counts mismatch the
+    /// configuration.
+    pub fn generate(
+        config: &SystemConfig,
+        horizon: usize,
+        seed: u64,
+        prices: &mut [Box<dyn PriceProcess + Send>],
+        availability: &mut [Box<dyn AvailabilityProcess + Send>],
+        workload: &mut dyn ArrivalProcess,
+    ) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert_eq!(
+            prices.len(),
+            config.num_data_centers(),
+            "one price process per data center required"
+        );
+        assert_eq!(
+            availability.len(),
+            config.num_data_centers(),
+            "one availability process per data center required"
+        );
+        assert_eq!(
+            workload.num_job_types(),
+            config.num_job_classes(),
+            "workload job-type count mismatch"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut states = Vec::with_capacity(horizon);
+        let mut arrivals = Vec::with_capacity(horizon);
+        for t in 0..horizon {
+            let slot = t as Slot;
+            let dcs = (0..config.num_data_centers())
+                .map(|i| {
+                    let avail = availability[i].sample(
+                        slot,
+                        config.data_centers()[i].fleet(),
+                        &mut rng,
+                    );
+                    let tariff = prices[i].sample(slot, &mut rng);
+                    DataCenterState::new(avail, tariff)
+                })
+                .collect();
+            states.push(SystemState::new(slot, dcs));
+            arrivals.push(workload.sample(slot, &mut rng));
+        }
+        Self { states, arrivals }
+    }
+
+    /// Builds inputs directly from explicit state/arrival sequences.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or are zero.
+    pub fn from_parts(states: Vec<SystemState>, arrivals: Vec<Vec<f64>>) -> Self {
+        assert!(!states.is_empty(), "horizon must be positive");
+        assert_eq!(
+            states.len(),
+            arrivals.len(),
+            "states/arrivals length mismatch"
+        );
+        Self { states, arrivals }
+    }
+
+    /// The number of slots `t_end`.
+    pub fn horizon(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The observed state `x(t)`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn state(&self, t: usize) -> &SystemState {
+        &self.states[t]
+    }
+
+    /// The arrivals `a(t)` (revealed only *after* slot `t`'s decision).
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn arrivals(&self, t: usize) -> &[f64] {
+        &self.arrivals[t]
+    }
+
+    /// All states (for offline planners such as the `T`-step lookahead).
+    pub fn states(&self) -> &[SystemState] {
+        &self.states
+    }
+
+    /// All arrivals (for offline planners).
+    pub fn all_arrivals(&self) -> &[Vec<f64>] {
+        &self.arrivals
+    }
+
+    /// Truncates the inputs to the first `slots` slots (for frame-aligned
+    /// lookahead comparisons).
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero or exceeds the horizon.
+    pub fn truncated(&self, slots: usize) -> Self {
+        assert!(slots > 0 && slots <= self.horizon(), "bad truncation");
+        Self {
+            states: self.states[..slots].to_vec(),
+            arrivals: self.arrivals[..slots].to_vec(),
+        }
+    }
+
+    /// Per-slot capacities `Σ_k n_{i,k}(t)·s_k` as `[slot][dc]` — input to
+    /// the trace-based slackness certificate of Theorem 1.
+    pub fn capacities(&self, config: &SystemConfig) -> Vec<Vec<f64>> {
+        let classes = config.server_classes();
+        self.states
+            .iter()
+            .map(|s| {
+                (0..config.num_data_centers())
+                    .map(|i| s.data_center(i).capacity(classes))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The smallest per-DC capacity across the horizon — input to the
+    /// slackness certificate of Theorem 1.
+    pub fn min_capacity(&self, config: &SystemConfig) -> Vec<f64> {
+        let classes = config.server_classes();
+        (0..config.num_data_centers())
+            .map(|i| {
+                self.states
+                    .iter()
+                    .map(|s| s.data_center(i).capacity(classes))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_cluster::FullAvailability;
+    use grefar_trace::{ConstantPrice, ConstantWorkload};
+    use grefar_types::{DataCenterId, JobClass, ServerClass};
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![4.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(1.0, vec![DataCenterId::new(0)], 0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generate_produces_full_horizon() {
+        let cfg = config();
+        let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(0.3))];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
+            vec![Box::new(FullAvailability)];
+        let mut workload = ConstantWorkload::new(vec![2.0]);
+        let inputs =
+            SimulationInputs::generate(&cfg, 10, 1, &mut prices, &mut avail, &mut workload);
+        assert_eq!(inputs.horizon(), 10);
+        assert_eq!(inputs.state(3).data_center(0).price(), 0.3);
+        assert_eq!(inputs.arrivals(9), &[2.0]);
+        assert_eq!(inputs.min_capacity(&cfg), vec![4.0]);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let cfg = config();
+        let make = |seed| {
+            let mut prices: Vec<Box<dyn PriceProcess + Send>> =
+                vec![Box::new(ConstantPrice(0.3))];
+            let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
+                vec![Box::new(grefar_cluster::UniformAvailability::new(0.5, 1.0))];
+            let mut workload = ConstantWorkload::new(vec![2.0]);
+            SimulationInputs::generate(&cfg, 20, seed, &mut prices, &mut avail, &mut workload)
+        };
+        assert_eq!(make(5), make(5));
+        assert_ne!(make(5), make(6));
+    }
+
+    #[test]
+    fn truncation() {
+        let cfg = config();
+        let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(0.3))];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
+            vec![Box::new(FullAvailability)];
+        let mut workload = ConstantWorkload::new(vec![1.0]);
+        let inputs =
+            SimulationInputs::generate(&cfg, 10, 1, &mut prices, &mut avail, &mut workload);
+        assert_eq!(inputs.truncated(4).horizon(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_checks_lengths() {
+        let cfg = config();
+        let st = SystemState::new(
+            0,
+            vec![grefar_types::DataCenterState::new(
+                vec![1.0],
+                grefar_types::Tariff::flat(0.1),
+            )],
+        );
+        let _ = cfg;
+        let _ = SimulationInputs::from_parts(vec![st], vec![]);
+    }
+}

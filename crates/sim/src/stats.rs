@@ -1,0 +1,110 @@
+//! Small statistics helpers: empirical quantiles for tail-latency
+//! reporting.
+
+/// Summary quantiles of an empirical distribution (job delays, queue
+/// lengths, …).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quantiles {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Computes the summary from unsorted samples. Returns all-zero for an
+    /// empty slice.
+    pub fn from_samples(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Self {
+            count: sorted.len(),
+            p50: quantile_sorted(&sorted, 0.50),
+            p90: quantile_sorted(&sorted, 0.90),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// The `q`-quantile of an ascending-sorted slice, with linear interpolation
+/// between order statistics (the common "type 7" estimator).
+///
+/// # Panics
+/// Panics if `values` is empty or `q ∉ [0, 1]`.
+pub fn quantile_sorted(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+    let n = values.len();
+    if n == 1 {
+        return values[0];
+    }
+    let position = q * (n - 1) as f64;
+    let lo = position.floor() as usize;
+    let hi = position.ceil() as usize;
+    let frac = position - lo as f64;
+    values[lo] * (1.0 - frac) + values[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let q = Quantiles::from_samples(&values);
+        assert_eq!(q.count, 100);
+        assert!((q.p50 - 50.5).abs() < 1e-12);
+        assert!((q.p90 - 90.1).abs() < 1e-9);
+        assert!((q.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(q.max, 100.0);
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        let q = Quantiles::from_samples(&[]);
+        assert_eq!(q.count, 0);
+        assert_eq!(q.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let q = Quantiles::from_samples(&[7.0]);
+        assert_eq!(q.p50, 7.0);
+        assert_eq!(q.max, 7.0);
+    }
+
+    #[test]
+    fn interpolation_between_order_statistics() {
+        assert_eq!(quantile_sorted(&[0.0, 10.0], 0.25), 2.5);
+        assert_eq!(quantile_sorted(&[0.0, 10.0], 0.5), 5.0);
+        assert_eq!(quantile_sorted(&[1.0, 2.0, 3.0], 1.0), 3.0);
+        assert_eq!(quantile_sorted(&[1.0, 2.0, 3.0], 0.0), 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let q = Quantiles::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(q.p50, 3.0);
+        assert_eq!(q.max, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel parameter sweeps: many schedulers against identical inputs.
+//!
+//! Fig. 2 sweeps `V ∈ {0.1, 2.5, 7.5, 20}`; Fig. 3 sweeps `β`; Fig. 4
+//! compares policies. All of these are embarrassingly parallel over the
+//! *same frozen inputs*, which is exactly what [`run_all`] does (one thread
+//! per scheduler via crossbeam's scoped threads).
+
+use crate::inputs::SimulationInputs;
+use crate::report::SimulationReport;
+use crate::simulation::Simulation;
+use grefar_core::Scheduler;
+use grefar_types::SystemConfig;
+
+/// Runs every `(label, scheduler)` pair against the same inputs in
+/// parallel, returning `(label, report)` pairs in the original order.
+///
+/// # Example
+/// ```
+/// use grefar_core::{Always, GreFar, GreFarParams, Scheduler};
+/// use grefar_sim::{sweep, PaperScenario};
+///
+/// let scenario = PaperScenario::default();
+/// let config = scenario.config().clone();
+/// let inputs = scenario.into_inputs(48);
+/// let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
+///     ("always".into(), Box::new(Always::new(&config))),
+///     ("grefar".into(), Box::new(GreFar::new(&config, GreFarParams::new(7.5, 0.0)).unwrap())),
+/// ];
+/// let reports = sweep::run_all(&config, &inputs, runs);
+/// assert_eq!(reports.len(), 2);
+/// assert_eq!(reports[0].0, "always");
+/// ```
+pub fn run_all(
+    config: &SystemConfig,
+    inputs: &SimulationInputs,
+    schedulers: Vec<(String, Box<dyn Scheduler>)>,
+) -> Vec<(String, SimulationReport)> {
+    let mut out: Vec<Option<(String, SimulationReport)>> =
+        (0..schedulers.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (slot, (label, scheduler)) in out.iter_mut().zip(schedulers) {
+            let config = config.clone();
+            let inputs = inputs.clone();
+            handles.push(scope.spawn(move |_| {
+                let report = Simulation::new(config, inputs, scheduler).run();
+                *slot = Some((label, report));
+            }));
+        }
+        for h in handles {
+            h.join().expect("simulation thread panicked");
+        }
+    })
+    .expect("sweep scope panicked");
+    out.into_iter()
+        .map(|entry| entry.expect("every run completes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PaperScenario;
+    use grefar_core::{Always, GreFar, GreFarParams};
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let scenario = PaperScenario::default().with_seed(9);
+        let config = scenario.config().clone();
+        let inputs = scenario.into_inputs(36);
+
+        let serial = Simulation::new(
+            config.clone(),
+            inputs.clone(),
+            Box::new(Always::new(&config)),
+        )
+        .run();
+
+        let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
+            ("a".into(), Box::new(Always::new(&config))),
+            (
+                "g".into(),
+                Box::new(GreFar::new(&config, GreFarParams::new(7.5, 0.0)).unwrap()),
+            ),
+        ];
+        let reports = run_all(&config, &inputs, runs);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].1.average_energy_cost(), serial.average_energy_cost());
+        assert_eq!(reports[0].0, "a");
+        assert_eq!(reports[1].0, "g");
+    }
+}

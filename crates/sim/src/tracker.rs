@@ -1,0 +1,332 @@
+//! Job-level FIFO tracking for true per-job delay measurement.
+//!
+//! The queue dynamics (12)–(13) determine queue *lengths*; to measure the
+//! per-job delays the paper plots (Fig. 2(b)(c), 3(c), 4(c)) the simulator
+//! additionally tracks every job individually. Jobs are served FIFO within
+//! each (data center, job type) queue; because jobs may be suspended and
+//! resumed (§III-B), the front job may be partially complete.
+//!
+//! Timing convention (matching (12)–(13)): a job arriving during slot `t`
+//! becomes visible in the central queue at `t+1`; a job routed at slot `u`
+//! becomes serviceable in its data center at `u+1`; a job finishing during
+//! slot `w` has data-center delay `w − (u+1) + 1 = w − u` and total sojourn
+//! `w − t`. The "Always" baseline therefore yields a data-center delay of
+//! exactly 1, as §VI-B.3 expects.
+
+use grefar_types::{Decision, Slot, SystemConfig};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct CentralJob {
+    arrival: Slot,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LocalJob {
+    arrival: Slot,
+    /// First slot at which the job is serviceable in the data center.
+    serviceable_from: Slot,
+    /// Remaining fraction of the job in `(0, 1]`.
+    remaining: f64,
+}
+
+/// Aggregate completion statistics up to the current slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionStats {
+    /// Jobs completed in each data center.
+    pub completed_per_dc: Vec<u64>,
+    /// Mean data-center delay (slots) of jobs completed in each data center
+    /// (`NaN`-free: 0 when no completions).
+    pub mean_dc_delay: Vec<f64>,
+    /// Total completed jobs.
+    pub completed_total: u64,
+    /// Mean total sojourn (arrival to completion) over all completed jobs.
+    pub mean_sojourn: f64,
+}
+
+/// Per-job FIFO tracker mirroring the queue dynamics.
+#[derive(Debug, Clone)]
+pub struct JobTracker {
+    /// central[j]: jobs waiting at the central scheduler.
+    central: Vec<VecDeque<CentralJob>>,
+    /// local[i][j]: jobs waiting/executing in data center i.
+    local: Vec<Vec<VecDeque<LocalJob>>>,
+    completed_per_dc: Vec<u64>,
+    dc_delay_sum: Vec<f64>,
+    /// Every completed job's DC delay, per data center (for quantiles).
+    dc_delay_samples: Vec<Vec<f64>>,
+    completed_total: u64,
+    sojourn_sum: f64,
+}
+
+impl JobTracker {
+    /// An empty tracker shaped for the system.
+    pub fn new(config: &SystemConfig) -> Self {
+        let n = config.num_data_centers();
+        let j = config.num_job_classes();
+        Self {
+            central: vec![VecDeque::new(); j],
+            local: vec![vec![VecDeque::new(); j]; n],
+            completed_per_dc: vec![0; n],
+            dc_delay_sum: vec![0.0; n],
+            dc_delay_samples: vec![Vec::new(); n],
+            completed_total: 0,
+            sojourn_sum: 0.0,
+        }
+    }
+
+    /// Jobs currently waiting at the central scheduler for type `j`
+    /// (should equal `Q_j(t)` whenever decisions respect backlogs).
+    pub fn central_backlog(&self, j: usize) -> f64 {
+        self.central[j].len() as f64
+    }
+
+    /// Job-units waiting in data center `i` for type `j`, counting the
+    /// partially-served front job fractionally (should equal `q_{i,j}(t)`).
+    pub fn local_backlog(&self, i: usize, j: usize) -> f64 {
+        self.local[i][j].iter().map(|job| job.remaining).sum()
+    }
+
+    /// Whole jobs present in data center `i` for type `j` (a partially
+    /// served job counts as one until it completes). Together with
+    /// [`central_backlog`](Self::central_backlog) and the completion count
+    /// this satisfies exact job-count conservation.
+    pub fn local_job_count(&self, i: usize, j: usize) -> usize {
+        self.local[i][j].len()
+    }
+
+    /// Executes one slot `t` of the decision: serves `h_{i,j}(t)` job-units
+    /// FIFO in every data center (recording completions), then moves
+    /// `r_{i,j}(t)` jobs from the central queues to the data centers
+    /// (serviceable from `t+1`). Returns per-DC completions of this slot.
+    ///
+    /// Amounts beyond the actual backlog are ignored, mirroring the
+    /// `max[·, 0]` in (12)–(13).
+    pub fn step(&mut self, t: Slot, decision: &Decision) -> Vec<u64> {
+        let n = self.local.len();
+        let j_count = self.central.len();
+        let mut completions = vec![0u64; n];
+
+        // Serve: h_{i,j}(t) applies to jobs serviceable at t.
+        for i in 0..n {
+            for j in 0..j_count {
+                let mut budget = decision.processed[(i, j)];
+                let queue = &mut self.local[i][j];
+                while budget > 1e-12 {
+                    let Some(front) = queue.front_mut() else {
+                        break;
+                    };
+                    if front.serviceable_from > t {
+                        // Jobs routed this very slot are not serviceable yet.
+                        break;
+                    }
+                    let served = front.remaining.min(budget);
+                    front.remaining -= served;
+                    budget -= served;
+                    if front.remaining <= 1e-12 {
+                        let job = queue.pop_front().expect("front exists");
+                        completions[i] += 1;
+                        self.completed_per_dc[i] += 1;
+                        self.completed_total += 1;
+                        // DC delay: w − u where u is the routing slot
+                        // (= serviceable_from − 1); sojourn: w − arrival.
+                        let delay = (t + 1 - job.serviceable_from) as f64;
+                        self.dc_delay_sum[i] += delay;
+                        self.dc_delay_samples[i].push(delay);
+                        self.sojourn_sum += t.saturating_sub(job.arrival) as f64;
+                    }
+                }
+            }
+        }
+
+        // Route: r_{i,j}(t) moves whole jobs, FIFO, capped by the backlog.
+        for j in 0..j_count {
+            for i in 0..n {
+                let want = decision.routed[(i, j)].round() as usize;
+                for _ in 0..want {
+                    let Some(job) = self.central[j].pop_front() else {
+                        break;
+                    };
+                    self.local[i][j].push_back(LocalJob {
+                        arrival: job.arrival,
+                        serviceable_from: t + 1,
+                        remaining: 1.0,
+                    });
+                }
+            }
+        }
+
+        completions
+    }
+
+    /// Records the arrivals of slot `t` (visible to the scheduler from
+    /// `t+1`, per (12)).
+    ///
+    /// # Panics
+    /// Panics if the arrival vector length mismatches.
+    pub fn arrive(&mut self, t: Slot, arrivals: &[f64]) {
+        assert_eq!(arrivals.len(), self.central.len(), "arrival vector mismatch");
+        for (j, &count) in arrivals.iter().enumerate() {
+            for _ in 0..count.round() as usize {
+                self.central[j].push_back(CentralJob { arrival: t });
+            }
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> CompletionStats {
+        let mean_dc_delay = self
+            .completed_per_dc
+            .iter()
+            .zip(&self.dc_delay_sum)
+            .map(|(&c, &s)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+        CompletionStats {
+            completed_per_dc: self.completed_per_dc.clone(),
+            mean_dc_delay,
+            completed_total: self.completed_total,
+            mean_sojourn: if self.completed_total > 0 {
+                self.sojourn_sum / self.completed_total as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Cumulative (completions, delay-sum) for data center `i` — used by
+    /// the report to build running-average delay curves.
+    pub fn dc_delay_accumulator(&self, i: usize) -> (u64, f64) {
+        (self.completed_per_dc[i], self.dc_delay_sum[i])
+    }
+
+    /// Every completed job's data-center delay for data center `i`
+    /// (for tail-latency quantiles).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn dc_delay_samples(&self, i: usize) -> &[f64] {
+        &self.dc_delay_samples[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{DataCenterId, JobClass, ServerClass};
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![10.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(1.0, vec![DataCenterId::new(0)], 0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn always_style_service_has_dc_delay_one() {
+        let cfg = config();
+        let mut tr = JobTracker::new(&cfg);
+        // Slot 0: 2 jobs arrive.
+        tr.arrive(0, &[2.0]);
+        // Slot 1: route both.
+        let mut route = cfg.decision_zeros();
+        route.routed[(0, 0)] = 2.0;
+        tr.step(1, &route);
+        assert_eq!(tr.central_backlog(0), 0.0);
+        assert_eq!(tr.local_backlog(0, 0), 2.0);
+        // Slot 2: serve both.
+        let mut serve = cfg.decision_zeros();
+        serve.processed[(0, 0)] = 2.0;
+        let done = tr.step(2, &serve);
+        assert_eq!(done, vec![2]);
+        let stats = tr.stats();
+        assert_eq!(stats.completed_total, 2);
+        assert_eq!(stats.mean_dc_delay[0], 1.0);
+        assert_eq!(stats.mean_sojourn, 2.0);
+    }
+
+    #[test]
+    fn jobs_routed_this_slot_are_not_serviceable_yet() {
+        let cfg = config();
+        let mut tr = JobTracker::new(&cfg);
+        tr.arrive(0, &[1.0]);
+        // Route and (attempt to) serve in the same slot: per (13) the job
+        // only reaches the DC queue at t+1.
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 1.0;
+        z.processed[(0, 0)] = 1.0;
+        let done = tr.step(1, &z);
+        assert_eq!(done, vec![0]);
+        assert_eq!(tr.local_backlog(0, 0), 1.0);
+    }
+
+    #[test]
+    fn partial_service_suspends_and_resumes() {
+        let cfg = config();
+        let mut tr = JobTracker::new(&cfg);
+        tr.arrive(0, &[1.0]);
+        let mut route = cfg.decision_zeros();
+        route.routed[(0, 0)] = 1.0;
+        tr.step(1, &route);
+        // Serve 0.4 then 0.6 of the job.
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 0.4;
+        assert_eq!(tr.step(2, &z), vec![0]);
+        assert!((tr.local_backlog(0, 0) - 0.6).abs() < 1e-12);
+        z.processed[(0, 0)] = 0.6;
+        assert_eq!(tr.step(3, &z), vec![1]);
+        // DC delay: routed at 1, finished at 3 → 2 slots.
+        assert_eq!(tr.stats().mean_dc_delay[0], 2.0);
+    }
+
+    #[test]
+    fn fifo_order_within_type() {
+        let cfg = config();
+        let mut tr = JobTracker::new(&cfg);
+        tr.arrive(0, &[1.0]); // job A (arrival 0)
+        tr.arrive(1, &[1.0]); // job B (arrival 1)
+        let mut route = cfg.decision_zeros();
+        route.routed[(0, 0)] = 2.0;
+        tr.step(2, &route);
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 1.0;
+        tr.step(3, &z);
+        // One completion; the completed job must be A (sojourn 3), not B.
+        assert_eq!(tr.stats().completed_total, 1);
+        assert_eq!(tr.stats().mean_sojourn, 3.0);
+    }
+
+    #[test]
+    fn over_serving_and_over_routing_are_capped() {
+        let cfg = config();
+        let mut tr = JobTracker::new(&cfg);
+        tr.arrive(0, &[1.0]);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 50.0;
+        z.processed[(0, 0)] = 50.0;
+        tr.step(1, &z);
+        assert_eq!(tr.central_backlog(0), 0.0);
+        assert_eq!(tr.local_backlog(0, 0), 1.0);
+        tr.step(2, &z);
+        assert_eq!(tr.local_backlog(0, 0), 0.0);
+        assert_eq!(tr.stats().completed_total, 1);
+    }
+
+    #[test]
+    fn accumulator_matches_stats() {
+        let cfg = config();
+        let mut tr = JobTracker::new(&cfg);
+        tr.arrive(0, &[3.0]);
+        let mut route = cfg.decision_zeros();
+        route.routed[(0, 0)] = 3.0;
+        tr.step(1, &route);
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 3.0;
+        tr.step(2, &z);
+        let (count, sum) = tr.dc_delay_accumulator(0);
+        assert_eq!(count, 3);
+        assert_eq!(sum, 3.0);
+    }
+}

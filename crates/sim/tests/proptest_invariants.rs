@@ -1,0 +1,194 @@
+//! Property-based end-to-end invariants: random small systems, random
+//! scheduler parameters, random traces — the conservation laws must hold.
+
+use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
+use grefar_sim::{JobTracker, Simulation, SimulationInputs};
+use grefar_core::QueueState;
+use grefar_trace::{CosmosLikeWorkload, DiurnalPriceModel, JobArrivalSpec, PriceProcess};
+use grefar_cluster::{AvailabilityProcess, UniformAvailability};
+use grefar_types::{DataCenterId, JobClass, ServerClass, SystemConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_system(seed: u64) -> (SystemConfig, SimulationInputs) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=3usize);
+    let j = rng.gen_range(1..=3usize);
+    let m = rng.gen_range(1..=2usize);
+
+    let mut builder = SystemConfig::builder();
+    builder = builder.server_class(ServerClass::new(
+        rng.gen_range(0.5..1.5),
+        rng.gen_range(0.3..1.5),
+    ));
+    for i in 0..n {
+        builder = builder.data_center(format!("dc{i}"), vec![rng.gen_range(10.0f64..40.0).floor()]);
+    }
+    for acct in 0..m {
+        builder = builder.account(format!("m{acct}"), 1.0 / m as f64);
+    }
+    let mut specs = Vec::new();
+    for jj in 0..j {
+        let mut eligible: Vec<DataCenterId> = (0..n)
+            .filter(|_| rng.gen_bool(0.6))
+            .map(DataCenterId::new)
+            .collect();
+        if eligible.is_empty() {
+            eligible.push(DataCenterId::new(rng.gen_range(0..n)));
+        }
+        let base: f64 = rng.gen_range(0.5..3.0);
+        let a_max = (2.0 * base + 2.0).ceil();
+        builder = builder.job_class(
+            JobClass::new(rng.gen_range(0.5..2.0), eligible, jj % m)
+                .with_max_arrivals(a_max)
+                .with_max_route(a_max)
+                .with_max_process(2.0 * a_max),
+        );
+        specs.push(
+            JobArrivalSpec::diurnal(base, rng.gen_range(0.0..0.8), 14.0, a_max)
+                .with_bursts(0.1, base),
+        );
+    }
+    let config = builder.build().expect("random config valid");
+
+    let mut prices: Vec<Box<dyn PriceProcess + Send>> = (0..n)
+        .map(|i| {
+            Box::new(
+                DiurnalPriceModel::new(
+                    rng.gen_range(0.2..0.7),
+                    rng.gen_range(0.0..0.1),
+                    24.0,
+                    i as f64 * 5.0,
+                )
+                .with_noise(0.5, 0.02),
+            ) as Box<dyn PriceProcess + Send>
+        })
+        .collect();
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> = (0..n)
+        .map(|_| {
+            Box::new(UniformAvailability::new(0.8, 1.0)) as Box<dyn AvailabilityProcess + Send>
+        })
+        .collect();
+    let mut workload = CosmosLikeWorkload::new(specs, 24.0);
+    let inputs = SimulationInputs::generate(
+        &config,
+        60,
+        seed ^ 0xabcd,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    );
+    (config, inputs)
+}
+
+fn scheduler_for(
+    config: &SystemConfig,
+    choice: u8,
+    v: f64,
+    beta: f64,
+) -> Box<dyn Scheduler> {
+    match choice % 4 {
+        0 => Box::new(Always::new(config)),
+        1 => Box::new(LocalOnly::new(config)),
+        2 => Box::new(PriceGreedy::new(config)),
+        _ => Box::new(GreFar::new(config, GreFarParams::new(v, beta)).expect("valid")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Conservation: arrived = completed + central backlog + local backlog
+    /// (the fractional remainder of partially-served jobs included), for
+    /// every scheduler on every random system.
+    #[test]
+    fn job_conservation(seed in any::<u64>(), choice in any::<u8>(),
+                        v in 0.0f64..30.0, beta in 0.0f64..50.0) {
+        let (config, inputs) = random_system(seed);
+        let mut scheduler = scheduler_for(&config, choice, v, beta);
+
+        // Re-run the slot loop manually so we can inspect mid-run state.
+        let mut queues = QueueState::new(&config);
+        let mut tracker = JobTracker::new(&config);
+        let mut arrived = 0.0f64;
+        for t in 0..inputs.horizon() {
+            let decision = scheduler.decide(inputs.state(t), &queues);
+            prop_assert!(decision.is_nonnegative() && decision.is_finite());
+            tracker.step(t as u64, &decision);
+            tracker.arrive(t as u64, inputs.arrivals(t));
+            queues.apply(&decision, inputs.arrivals(t));
+            arrived += inputs.arrivals(t).iter().sum::<f64>();
+
+            // Tracker and (12)-(13) queues agree at every slot.
+            for j in 0..config.num_job_classes() {
+                prop_assert!(
+                    (queues.central(j) - tracker.central_backlog(j)).abs() < 1e-6,
+                    "slot {t}: central {j} diverged"
+                );
+                for i in 0..config.num_data_centers() {
+                    prop_assert!(
+                        (queues.local(i, j) - tracker.local_backlog(i, j)).abs() < 1e-6,
+                        "slot {t}: local ({i},{j}) diverged"
+                    );
+                }
+            }
+        }
+        let stats = tracker.stats();
+        // Count conservation uses whole-job counts: a partially-served job
+        // is still one job until it completes (its queue *mass* is
+        // fractional, which is what q_{i,j} tracks).
+        let in_system: f64 = (0..config.num_job_classes())
+            .map(|j| {
+                tracker.central_backlog(j)
+                    + (0..config.num_data_centers())
+                        .map(|i| tracker.local_job_count(i, j) as f64)
+                        .sum::<f64>()
+            })
+            .sum();
+        prop_assert!(
+            (arrived - (stats.completed_total as f64 + in_system)).abs() < 1e-6,
+            "conservation violated: arrived {arrived}, completed {}, in system {in_system}",
+            stats.completed_total
+        );
+    }
+
+    /// The full Simulation wrapper agrees with itself and produces sane
+    /// metrics for arbitrary schedulers and systems.
+    #[test]
+    fn simulation_metrics_are_sane(seed in any::<u64>(), choice in any::<u8>(),
+                                   v in 0.0f64..30.0) {
+        let (config, inputs) = random_system(seed);
+        let scheduler = scheduler_for(&config, choice, v, 0.0);
+        let report = Simulation::new(config.clone(), inputs, scheduler).run();
+        prop_assert!(report.average_energy_cost() >= 0.0);
+        prop_assert!(report.average_energy_cost().is_finite());
+        prop_assert!(report.average_fairness() <= 1e-12);
+        prop_assert!(report.max_queue_length().is_finite());
+        for i in 0..config.num_data_centers() {
+            prop_assert!(report.average_dc_delay(i) >= 0.0);
+            let q = report.dc_delay_quantiles[i];
+            prop_assert!(q.p50 <= q.p95 + 1e-12 && q.p95 <= q.max + 1e-12);
+            if report.completions.completed_per_dc[i] > 0 {
+                prop_assert!(report.average_dc_delay(i) >= 1.0 - 1e-12,
+                    "a completed job needs at least one service slot");
+            }
+        }
+        let shares: f64 = (0..config.num_accounts())
+            .map(|m| report.average_account_share(m))
+            .sum();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&shares), "shares sum {shares}");
+    }
+
+    /// Arrivals honor the eq. (1) bound for every generated workload.
+    #[test]
+    fn arrivals_respect_amax(seed in any::<u64>()) {
+        let (config, inputs) = random_system(seed);
+        for t in 0..inputs.horizon() {
+            for (j, job) in config.job_classes().iter().enumerate() {
+                prop_assert!(inputs.arrivals(t)[j] <= job.max_arrivals() + 1e-9);
+            }
+        }
+    }
+}
+

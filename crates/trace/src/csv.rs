@@ -1,0 +1,151 @@
+//! Minimal CSV import/export for traces and experiment outputs.
+//!
+//! Numeric-only, comma-separated, one header line. Deliberately tiny: the
+//! workspace's pre-approved dependency list has no CSV crate, and traces
+//! need nothing fancier.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a numeric table as CSV: one header line, then one line per row.
+///
+/// # Errors
+/// Any I/O error from creating or writing the file.
+///
+/// # Panics
+/// Panics if a row's length differs from the header length.
+///
+/// # Example
+/// ```no_run
+/// grefar_trace::csv::write_csv(
+///     "out.csv",
+///     &["slot", "price"],
+///     [vec![0.0, 0.4], vec![1.0, 0.42]],
+/// )?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_csv<P, R>(path: P, headers: &[&str], rows: R) -> io::Result<()>
+where
+    P: AsRef<Path>,
+    R: IntoIterator<Item = Vec<f64>>,
+{
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "{}", headers.join(","))?;
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row length {} does not match header count {}",
+            row.len(),
+            headers.len()
+        );
+        let line = row
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+/// Reads a numeric CSV written by [`write_csv`]: returns the header names
+/// and the data rows.
+///
+/// # Errors
+/// I/O errors, or [`io::ErrorKind::InvalidData`] if a cell fails to parse
+/// as `f64` or a row has the wrong width.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<(Vec<String>, Vec<Vec<f64>>)> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv file"))??;
+    let headers: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    let mut rows = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line
+            .split(',')
+            .map(|cell| cell.trim().parse::<f64>())
+            .collect();
+        let row = row.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 2),
+            )
+        })?;
+        if row.len() != headers.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {}: expected {} cells, found {}",
+                    lineno + 2,
+                    headers.len(),
+                    row.len()
+                ),
+            ));
+        }
+        rows.push(row);
+    }
+    Ok((headers, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("grefar-csv-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = temp_path("roundtrip.csv");
+        write_csv(&path, &["a", "b"], [vec![1.0, 2.5], vec![-3.0, 0.125]]).unwrap();
+        let (headers, rows) = read_csv(&path).unwrap();
+        assert_eq!(headers, vec!["a", "b"]);
+        assert_eq!(rows, vec![vec![1.0, 2.5], vec![-3.0, 0.125]]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_cells() {
+        let path = temp_path("bad.csv");
+        std::fs::write(&path, "a,b\n1,notanumber\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let path = temp_path("ragged.csv");
+        std::fs::write(&path, "a,b\n1\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let path = temp_path("blank.csv");
+        std::fs::write(&path, "a\n1\n\n2\n").unwrap();
+        let (_, rows) = read_csv(&path).unwrap();
+        assert_eq!(rows, vec![vec![1.0], vec![2.0]]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match header count")]
+    fn write_checks_row_width() {
+        let path = temp_path("width.csv");
+        let _ = write_csv(&path, &["a", "b"], [vec![1.0]]);
+    }
+}

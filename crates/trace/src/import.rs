@@ -1,0 +1,163 @@
+//! Loading and saving traces as CSV — the bridge to *real* market data.
+//!
+//! The paper drives its simulator with FERC/CAISO hourly prices and a
+//! Microsoft Cosmos job trace. Users with access to such feeds can export
+//! them as plain numeric CSV (one row per hour) and replay them here
+//! instead of the synthetic processes; the schedulers cannot tell the
+//! difference.
+//!
+//! Formats:
+//!
+//! * **price CSV** — header `dc1,dc2,…`, one price per data center per row;
+//! * **workload CSV** — header `job1,job2,…`, one arrival count per job
+//!   type per row.
+
+use crate::csv::{read_csv, write_csv};
+use crate::record::{PriceTrace, WorkloadTrace};
+use std::io;
+use std::path::Path;
+
+/// Loads a price trace from CSV (columns = data centers, rows = slots).
+///
+/// # Errors
+/// I/O errors, or [`io::ErrorKind::InvalidData`] if the file is empty,
+/// ragged, or contains negative/non-finite prices.
+pub fn load_price_trace<P: AsRef<Path>>(path: P) -> io::Result<PriceTrace> {
+    let (headers, rows) = read_csv(path)?;
+    if rows.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "price csv has no data rows",
+        ));
+    }
+    let dcs = headers.len();
+    let mut per_dc = vec![Vec::with_capacity(rows.len()); dcs];
+    for (lineno, row) in rows.iter().enumerate() {
+        for (i, &price) in row.iter().enumerate() {
+            if !price.is_finite() || price < 0.0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("row {}: invalid price {price}", lineno + 2),
+                ));
+            }
+            per_dc[i].push(price);
+        }
+    }
+    Ok(PriceTrace::from_rates(per_dc))
+}
+
+/// Saves a price trace to CSV (flat base rates only).
+///
+/// # Errors
+/// Any I/O error from writing the file.
+pub fn save_price_trace<P: AsRef<Path>>(path: P, trace: &PriceTrace) -> io::Result<()> {
+    let dcs = trace.num_data_centers();
+    let headers: Vec<String> = (1..=dcs).map(|i| format!("dc{i}")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let columns: Vec<Vec<f64>> = (0..dcs).map(|i| trace.rates(i)).collect();
+    let rows = (0..trace.num_slots()).map(|t| columns.iter().map(|c| c[t]).collect());
+    write_csv(path, &header_refs, rows)
+}
+
+/// Loads a workload trace from CSV (columns = job types, rows = slots).
+///
+/// # Errors
+/// I/O errors, or [`io::ErrorKind::InvalidData`] if the file is empty or
+/// contains negative/non-finite counts.
+pub fn load_workload_trace<P: AsRef<Path>>(path: P) -> io::Result<WorkloadTrace> {
+    let (_, rows) = read_csv(path)?;
+    if rows.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "workload csv has no data rows",
+        ));
+    }
+    for (lineno, row) in rows.iter().enumerate() {
+        for &a in row {
+            if !a.is_finite() || a < 0.0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("row {}: invalid arrival count {a}", lineno + 2),
+                ));
+            }
+        }
+    }
+    Ok(WorkloadTrace::from_rows(rows))
+}
+
+/// Saves a workload trace to CSV.
+///
+/// # Errors
+/// Any I/O error from writing the file.
+pub fn save_workload_trace<P: AsRef<Path>>(path: P, trace: &WorkloadTrace) -> io::Result<()> {
+    let j = trace.num_job_types();
+    let headers: Vec<String> = (1..=j).map(|idx| format!("job{idx}")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows = (0..trace.num_slots()).map(|t| trace.arrivals(t as u64).to_vec());
+    write_csv(path, &header_refs, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("grefar-import-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn price_trace_roundtrip() {
+        let path = temp_path("prices.csv");
+        let trace = PriceTrace::from_rates(vec![vec![0.4, 0.5], vec![0.3, 0.35]]);
+        save_price_trace(&path, &trace).unwrap();
+        let loaded = load_price_trace(&path).unwrap();
+        assert_eq!(loaded.num_data_centers(), 2);
+        assert_eq!(loaded.num_slots(), 2);
+        assert_eq!(loaded.rates(0), vec![0.4, 0.5]);
+        assert_eq!(loaded.rates(1), vec![0.3, 0.35]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn workload_trace_roundtrip() {
+        let path = temp_path("work.csv");
+        let trace = WorkloadTrace::from_rows(vec![vec![1.0, 2.0], vec![3.0, 0.0]]);
+        save_workload_trace(&path, &trace).unwrap();
+        let loaded = load_workload_trace(&path).unwrap();
+        assert_eq!(loaded.num_job_types(), 2);
+        assert_eq!(loaded.arrivals(1), &[3.0, 0.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_negative_prices() {
+        let path = temp_path("bad-prices.csv");
+        std::fs::write(&path, "dc1\n-0.5\n").unwrap();
+        assert!(load_price_trace(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_empty_files() {
+        let path = temp_path("empty.csv");
+        std::fs::write(&path, "dc1\n").unwrap();
+        assert!(load_price_trace(&path).is_err());
+        assert!(load_workload_trace(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loaded_traces_drive_replay() {
+        use crate::price::PriceProcess;
+        let path = temp_path("replay.csv");
+        std::fs::write(&path, "dc1\n0.25\n0.75\n").unwrap();
+        let trace = load_price_trace(&path).unwrap();
+        let mut replay = crate::price::ReplayPrice::new(trace.rates(0));
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        assert_eq!(replay.sample(0, &mut rng).base_rate(), 0.25);
+        assert_eq!(replay.sample(3, &mut rng).base_rate(), 0.75);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,57 @@
+//! Electricity-price and batch-workload trace generation.
+//!
+//! The paper's evaluation (§VI-A) drives the simulator with (a) hourly
+//! electricity prices "from \[FERC\] in locations with proximity to our
+//! considered data centers" and (b) a proprietary job trace from Microsoft
+//! Cosmos. Neither asset is public, so this crate generates synthetic
+//! equivalents that reproduce the features the algorithm actually exploits
+//! (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`price`] — mean-reverting AR(1) noise around a diurnal profile, with
+//!   optional price spikes, calibrated per location to Table I / Fig. 1;
+//!   plus constant, replayed and convex-tier variants.
+//! * [`workload`] — a Cosmos-like non-stationary arrival process: diurnal
+//!   rate modulation, sporadic bursty submissions per organization, bounded
+//!   arrivals `a_j(t) ≤ a_j^max` (eq. (1)); plus constant and replayed
+//!   variants.
+//! * [`record`] — materialized traces (generate once, replay many times so
+//!   every scheduler sees the *same* randomness), with statistics helpers
+//!   and CSV import/export via [`csv`].
+//!
+//! Everything is seeded and reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use grefar_trace::{DiurnalPriceModel, PriceProcess};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut model = DiurnalPriceModel::table_one(0); // calibrated to DC #1
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let tariff = model.sample(0, &mut rng);
+//! assert!(tariff.base_rate() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod import;
+pub mod price;
+pub mod record;
+mod rng;
+pub mod workload;
+
+pub use price::{
+    ConstantPrice, DiurnalPriceModel, PriceProcess, ReplayPrice, TieredPrice,
+};
+pub use record::{PriceTrace, WorkloadTrace};
+pub use rng::GaussianSampler;
+pub use workload::{
+    ArrivalProcess, ConstantWorkload, CosmosLikeWorkload, JobArrivalSpec, ReplayWorkload,
+};
+
+/// Convenience alias used by the facade crate's prelude.
+pub use price::PriceProcess as PriceModel;
+/// Convenience alias used by the facade crate's prelude.
+pub use workload::ArrivalProcess as WorkloadModel;

@@ -1,0 +1,357 @@
+//! Electricity-price processes `φ_i(t)` (§III-A.2, Fig. 1, Table I).
+//!
+//! "Due to the deregulation of electricity markets, electricity prices
+//! stochastically vary over time (e.g., every hour or 15 minutes) and across
+//! different locations." The main model here — [`DiurnalPriceModel`] —
+//! superimposes mean-reverting AR(1) noise and occasional spikes on a daily
+//! sinusoidal profile, which matches the qualitative shape of the paper's
+//! Fig. 1 and can be calibrated to Table I's per-location averages.
+
+use crate::rng::{uniform, GaussianSampler};
+use grefar_types::{Slot, Tariff};
+use rand::RngCore;
+
+/// A stochastic process producing one data center's tariff per slot.
+pub trait PriceProcess {
+    /// Samples the tariff `φ_i(slot)`.
+    fn sample(&mut self, slot: Slot, rng: &mut dyn RngCore) -> Tariff;
+}
+
+/// A constant flat price — the simplest stationary baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantPrice(pub f64);
+
+impl PriceProcess for ConstantPrice {
+    fn sample(&mut self, _slot: Slot, _rng: &mut dyn RngCore) -> Tariff {
+        Tariff::flat(self.0)
+    }
+}
+
+/// Replays a recorded sequence of flat prices, cycling when exhausted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayPrice {
+    values: Vec<f64>,
+}
+
+impl ReplayPrice {
+    /// Creates the replay from recorded per-slot prices.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains a negative/non-finite price.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "replay trace must be non-empty");
+        for &v in &values {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "prices must be non-negative and finite, got {v}"
+            );
+        }
+        Self { values }
+    }
+
+    /// The recorded values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl PriceProcess for ReplayPrice {
+    fn sample(&mut self, slot: Slot, _rng: &mut dyn RngCore) -> Tariff {
+        Tariff::flat(self.values[(slot as usize) % self.values.len()])
+    }
+}
+
+/// Diurnal profile + mean-reverting AR(1) noise + occasional spikes:
+///
+/// ```text
+/// φ(t) = max(floor, mean + amplitude · sin(2π (t − phase)/period) + x_t) · spike_t
+/// x_t  = ar · x_{t−1} + σ · ε_t,          ε_t ~ N(0, 1)
+/// spike_t = spike_multiplier with probability spike_probability, else 1
+/// ```
+///
+/// # Example
+/// ```
+/// use grefar_trace::{DiurnalPriceModel, PriceProcess};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut m = DiurnalPriceModel::new(0.45, 0.08, 24.0, 9.0)
+///     .with_noise(0.7, 0.02)
+///     .with_spikes(0.01, 1.8)
+///     .with_floor(0.05);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// for t in 0..100 {
+///     assert!(m.sample(t, &mut rng).base_rate() >= 0.05);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalPriceModel {
+    mean: f64,
+    amplitude: f64,
+    period: f64,
+    phase: f64,
+    ar: f64,
+    sigma: f64,
+    floor: f64,
+    spike_probability: f64,
+    spike_multiplier: f64,
+    state: f64,
+    gauss: GaussianSampler,
+}
+
+impl DiurnalPriceModel {
+    /// Creates the model with a daily sinusoid of the given `mean`,
+    /// `amplitude`, `period` (slots per day) and `phase` (slot of the
+    /// *upward zero crossing*; the daily peak is at `phase + period/4`).
+    /// Noise and spikes are off until configured.
+    ///
+    /// # Panics
+    /// Panics if `mean < 0`, `amplitude < 0` or `period <= 0`.
+    pub fn new(mean: f64, amplitude: f64, period: f64, phase: f64) -> Self {
+        assert!(mean >= 0.0 && mean.is_finite(), "mean must be non-negative");
+        assert!(
+            amplitude >= 0.0 && amplitude.is_finite(),
+            "amplitude must be non-negative"
+        );
+        assert!(period > 0.0, "period must be positive");
+        Self {
+            mean,
+            amplitude,
+            period,
+            phase,
+            ar: 0.0,
+            sigma: 0.0,
+            floor: 0.0,
+            spike_probability: 0.0,
+            spike_multiplier: 1.0,
+            state: 0.0,
+            gauss: GaussianSampler::new(),
+        }
+    }
+
+    /// Enables mean-reverting AR(1) noise with coefficient `ar ∈ [0, 1)` and
+    /// innovation standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `ar ∉ [0, 1)` or `sigma < 0`.
+    #[must_use]
+    pub fn with_noise(mut self, ar: f64, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&ar), "ar must lie in [0, 1)");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        self.ar = ar;
+        self.sigma = sigma;
+        self
+    }
+
+    /// Enables price spikes: with probability `probability` per slot the
+    /// price is multiplied by `multiplier`.
+    ///
+    /// # Panics
+    /// Panics if `probability ∉ [0, 1]` or `multiplier < 1`.
+    #[must_use]
+    pub fn with_spikes(mut self, probability: f64, multiplier: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "probability in [0, 1]");
+        assert!(multiplier >= 1.0, "spike multiplier must be >= 1");
+        self.spike_probability = probability;
+        self.spike_multiplier = multiplier;
+        self
+    }
+
+    /// Sets a hard price floor (default 0).
+    ///
+    /// # Panics
+    /// Panics if `floor < 0`.
+    #[must_use]
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        assert!(floor >= 0.0 && floor.is_finite(), "floor must be non-negative");
+        self.floor = floor;
+        self
+    }
+
+    /// The deterministic long-run mean of the model.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// A model calibrated to the paper's data center `index ∈ {0, 1, 2}`:
+    /// Table I average prices (0.392 / 0.433 / 0.548) with the hourly
+    /// variation and phase offsets visible in Fig. 1.
+    ///
+    /// # Panics
+    /// Panics if `index > 2`.
+    pub fn table_one(index: usize) -> Self {
+        // Means from Table I; amplitudes read off Fig. 1 (daily swing
+        // roughly ±20 % of the mean). The locations sit in different
+        // regions, so their daily peaks are hours apart — this cross-
+        // location phase spread is exactly the "price variations across
+        // time and locations" GreFar arbitrages (§I).
+        let (mean, amplitude, phase) = match index {
+            0 => (0.392, 0.085, 6.0),
+            1 => (0.433, 0.100, 11.0),
+            2 => (0.548, 0.130, 16.0),
+            _ => panic!("the paper's scenario has exactly three data centers"),
+        };
+        // Spikes reproduce the short price excursions of Fig. 1 (DC #3
+        // touches ≈ 0.75 there); they are what makes price-blind
+        // scheduling expensive.
+        Self::new(mean, amplitude, 24.0, phase)
+            .with_noise(0.6, 0.030)
+            .with_spikes(0.02, 1.45)
+            .with_floor(0.25 * mean)
+    }
+}
+
+impl PriceProcess for DiurnalPriceModel {
+    fn sample(&mut self, slot: Slot, rng: &mut dyn RngCore) -> Tariff {
+        let angle = 2.0 * core::f64::consts::PI * (slot as f64 - self.phase) / self.period;
+        self.state = self.ar * self.state + self.sigma * self.gauss.sample(rng);
+        let mut price = self.mean + self.amplitude * angle.sin() + self.state;
+        if self.spike_probability > 0.0 && uniform(rng) < self.spike_probability {
+            price *= self.spike_multiplier;
+        }
+        Tariff::flat(price.max(self.floor))
+    }
+}
+
+/// Wraps any price process to produce *convex tiered* tariffs (the convex
+/// usage-dependent cost extension of §III-A.2): the first `cheap_capacity`
+/// units of energy cost the base price; everything above costs
+/// `premium_factor ×` the base price.
+#[derive(Debug)]
+pub struct TieredPrice<P> {
+    inner: P,
+    cheap_capacity: f64,
+    premium_factor: f64,
+}
+
+impl<P: PriceProcess> TieredPrice<P> {
+    /// Wraps `inner` with a two-tier convex tariff.
+    ///
+    /// # Panics
+    /// Panics if `cheap_capacity <= 0` or `premium_factor < 1`.
+    pub fn new(inner: P, cheap_capacity: f64, premium_factor: f64) -> Self {
+        assert!(cheap_capacity > 0.0, "cheap capacity must be positive");
+        assert!(premium_factor >= 1.0, "premium factor must be >= 1");
+        Self {
+            inner,
+            cheap_capacity,
+            premium_factor,
+        }
+    }
+}
+
+impl<P: PriceProcess> PriceProcess for TieredPrice<P> {
+    fn sample(&mut self, slot: Slot, rng: &mut dyn RngCore) -> Tariff {
+        let base = self.inner.sample(slot, rng).base_rate();
+        Tariff::convex(vec![
+            (self.cheap_capacity, base),
+            (f64::INFINITY, base * self.premium_factor),
+        ])
+        .expect("two increasing segments always form a valid convex tariff")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn constant_price() {
+        let mut p = ConstantPrice(0.4);
+        let mut r = rng();
+        assert_eq!(p.sample(0, &mut r).flat_rate(), Some(0.4));
+        assert_eq!(p.sample(99, &mut r).flat_rate(), Some(0.4));
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let mut p = ReplayPrice::new(vec![0.1, 0.2, 0.3]);
+        let mut r = rng();
+        assert_eq!(p.sample(0, &mut r).base_rate(), 0.1);
+        assert_eq!(p.sample(4, &mut r).base_rate(), 0.2);
+        assert_eq!(p.values().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn replay_rejects_empty() {
+        let _ = ReplayPrice::new(vec![]);
+    }
+
+    #[test]
+    fn diurnal_mean_matches_configuration() {
+        let mut p = DiurnalPriceModel::table_one(0);
+        let mut r = rng();
+        let n = 24 * 400;
+        let mean: f64 = (0..n).map(|t| p.sample(t, &mut r).base_rate()).sum::<f64>() / n as f64;
+        // Spikes push the mean slightly above 0.392.
+        assert!((mean - 0.392).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_peaks_daytime() {
+        let mut p = DiurnalPriceModel::new(0.4, 0.1, 24.0, 6.0);
+        let mut r = rng();
+        // Peak at phase + period/4 = hour 12, trough at hour 0.
+        let peak = p.sample(12, &mut r).base_rate();
+        let trough = p.sample(24, &mut r).base_rate();
+        assert!((peak - 0.5).abs() < 1e-9);
+        assert!((trough - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let mut p = DiurnalPriceModel::new(0.1, 0.0, 24.0, 0.0)
+            .with_noise(0.0, 10.0)
+            .with_floor(0.05);
+        let mut r = rng();
+        for t in 0..500 {
+            assert!(p.sample(t, &mut r).base_rate() >= 0.05);
+        }
+    }
+
+    #[test]
+    fn spikes_raise_extremes() {
+        let base = DiurnalPriceModel::new(0.4, 0.0, 24.0, 0.0);
+        let mut spiky = base.clone().with_spikes(0.5, 2.0);
+        let mut r = rng();
+        let max = (0..200)
+            .map(|t| spiky.sample(t, &mut r).base_rate())
+            .fold(0.0f64, f64::max);
+        assert!((max - 0.8).abs() < 1e-9, "max {max}");
+    }
+
+    #[test]
+    fn table_one_ordering_of_means() {
+        let mut r = rng();
+        let mut means = [0.0; 3];
+        for (i, mean) in means.iter_mut().enumerate() {
+            let mut p = DiurnalPriceModel::table_one(i);
+            *mean = (0..2000).map(|t| p.sample(t, &mut r).base_rate()).sum::<f64>() / 2000.0;
+        }
+        assert!(means[0] < means[1] && means[1] < means[2], "{means:?}");
+    }
+
+    #[test]
+    fn tiered_prices_are_convex() {
+        let mut p = TieredPrice::new(ConstantPrice(0.4), 10.0, 2.0);
+        let mut r = rng();
+        let tariff = p.sample(0, &mut r);
+        assert!(!tariff.is_flat());
+        assert!((tariff.cost(15.0) - (10.0 * 0.4 + 5.0 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ar_noise_is_mean_reverting() {
+        let mut p = DiurnalPriceModel::new(0.5, 0.0, 24.0, 0.0).with_noise(0.8, 0.05);
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|t| p.sample(t, &mut r).base_rate()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

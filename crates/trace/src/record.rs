@@ -1,0 +1,270 @@
+//! Materialized traces: generate once, replay many times.
+//!
+//! Fair algorithm comparisons (e.g. GreFar vs "Always", Fig. 4) require
+//! every scheduler to see the *same* realization of prices and arrivals.
+//! These containers freeze one realization of the stochastic processes.
+
+use crate::price::PriceProcess;
+use crate::workload::ArrivalProcess;
+use grefar_types::{Slot, Tariff};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A frozen electricity-price trace: one tariff per (data center, slot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTrace {
+    /// per_dc[i][t] = tariff of data center i during slot t.
+    per_dc: Vec<Vec<Tariff>>,
+}
+
+impl PriceTrace {
+    /// Samples `slots` slots from one process per data center, all driven by
+    /// a single seed (fully reproducible).
+    ///
+    /// # Panics
+    /// Panics if `models` is empty or `slots == 0`.
+    pub fn generate(
+        models: &mut [Box<dyn PriceProcess + Send>],
+        slots: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!models.is_empty(), "at least one price process is required");
+        assert!(slots > 0, "trace must cover at least one slot");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let per_dc = models
+            .iter_mut()
+            .map(|m| {
+                (0..slots)
+                    .map(|t| m.sample(t as Slot, &mut rng))
+                    .collect()
+            })
+            .collect();
+        Self { per_dc }
+    }
+
+    /// Builds a trace directly from per-DC flat price rows.
+    ///
+    /// # Panics
+    /// Panics if rows are empty or ragged.
+    pub fn from_rates(rates: Vec<Vec<f64>>) -> Self {
+        assert!(!rates.is_empty(), "at least one data center is required");
+        let len = rates[0].len();
+        assert!(len > 0, "trace must cover at least one slot");
+        assert!(
+            rates.iter().all(|r| r.len() == len),
+            "price rows must be rectangular"
+        );
+        Self {
+            per_dc: rates
+                .into_iter()
+                .map(|row| row.into_iter().map(Tariff::flat).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of data centers.
+    pub fn num_data_centers(&self) -> usize {
+        self.per_dc.len()
+    }
+
+    /// Number of slots recorded.
+    pub fn num_slots(&self) -> usize {
+        self.per_dc[0].len()
+    }
+
+    /// The tariff of data center `i` during slot `t` (cycling past the end).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn tariff(&self, i: usize, t: Slot) -> &Tariff {
+        let row = &self.per_dc[i];
+        &row[(t as usize) % row.len()]
+    }
+
+    /// The scalar base prices of data center `i` across the trace.
+    pub fn rates(&self, i: usize) -> Vec<f64> {
+        self.per_dc[i].iter().map(Tariff::base_rate).collect()
+    }
+
+    /// Time-average base price of data center `i` (Table I "Avg. Price").
+    pub fn mean_rate(&self, i: usize) -> f64 {
+        let row = &self.per_dc[i];
+        row.iter().map(Tariff::base_rate).sum::<f64>() / row.len() as f64
+    }
+
+    /// Minimum and maximum base price of data center `i`.
+    pub fn rate_range(&self, i: usize) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in &self.per_dc[i] {
+            lo = lo.min(t.base_rate());
+            hi = hi.max(t.base_rate());
+        }
+        (lo, hi)
+    }
+}
+
+/// A frozen arrival trace: `a_j(t)` for every slot and job type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    /// rows[t][j] = a_j(t).
+    rows: Vec<Vec<f64>>,
+}
+
+impl WorkloadTrace {
+    /// Samples `slots` slots from the arrival process, driven by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn generate(model: &mut dyn ArrivalProcess, slots: usize, seed: u64) -> Self {
+        assert!(slots > 0, "trace must cover at least one slot");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..slots)
+            .map(|t| model.sample(t as Slot, &mut rng))
+            .collect();
+        Self { rows }
+    }
+
+    /// Builds a trace directly from rows (`rows[t][j] = a_j(t)`).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or ragged.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "trace must cover at least one slot");
+        let j = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == j),
+            "arrival rows must be rectangular"
+        );
+        Self { rows }
+    }
+
+    /// Number of slots recorded.
+    pub fn num_slots(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of job types `J`.
+    pub fn num_job_types(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// The arrival vector `a(t)` (cycling past the end).
+    pub fn arrivals(&self, t: Slot) -> &[f64] {
+        &self.rows[(t as usize) % self.rows.len()]
+    }
+
+    /// Time-average arrivals of job type `j`.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn mean_arrivals(&self, j: usize) -> f64 {
+        assert!(j < self.num_job_types(), "job type {j} out of range");
+        self.rows.iter().map(|r| r[j]).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Work arriving per slot: entry `t` is `Σ_j a_j(t) · work[j]`.
+    ///
+    /// # Panics
+    /// Panics if `work.len()` differs from the job-type count.
+    pub fn work_per_slot(&self, work: &[f64]) -> Vec<f64> {
+        assert_eq!(work.len(), self.num_job_types(), "work vector mismatch");
+        self.rows
+            .iter()
+            .map(|r| r.iter().zip(work).map(|(a, d)| a * d).sum())
+            .collect()
+    }
+
+    /// Work arriving per slot, grouped by account: entry `[t][m]` is the
+    /// work from account `m` during slot `t`. `account_of[j]` maps job type
+    /// to account, `num_accounts` is `M`. This is the bottom panel of Fig. 1.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or out-of-range account indices.
+    pub fn work_by_account(
+        &self,
+        work: &[f64],
+        account_of: &[usize],
+        num_accounts: usize,
+    ) -> Vec<Vec<f64>> {
+        assert_eq!(work.len(), self.num_job_types(), "work vector mismatch");
+        assert_eq!(
+            account_of.len(),
+            self.num_job_types(),
+            "account map mismatch"
+        );
+        assert!(
+            account_of.iter().all(|&m| m < num_accounts),
+            "account index out of range"
+        );
+        self.rows
+            .iter()
+            .map(|r| {
+                let mut per = vec![0.0; num_accounts];
+                for ((a, d), &m) in r.iter().zip(work).zip(account_of) {
+                    per[m] += a * d;
+                }
+                per
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price::ConstantPrice;
+    use crate::workload::ConstantWorkload;
+
+    #[test]
+    fn price_trace_generation_and_stats() {
+        let mut models: Vec<Box<dyn PriceProcess + Send>> = vec![
+            Box::new(ConstantPrice(0.4)),
+            Box::new(ConstantPrice(0.6)),
+        ];
+        let trace = PriceTrace::generate(&mut models, 10, 1);
+        assert_eq!(trace.num_data_centers(), 2);
+        assert_eq!(trace.num_slots(), 10);
+        assert!((trace.mean_rate(0) - 0.4).abs() < 1e-12);
+        assert_eq!(trace.rate_range(1), (0.6, 0.6));
+        assert_eq!(trace.tariff(0, 25).base_rate(), 0.4); // cycles
+        assert_eq!(trace.rates(1).len(), 10);
+    }
+
+    #[test]
+    fn from_rates_builds_flat_tariffs() {
+        let trace = PriceTrace::from_rates(vec![vec![0.1, 0.2]]);
+        assert_eq!(trace.tariff(0, 1).flat_rate(), Some(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn from_rates_rejects_ragged() {
+        let _ = PriceTrace::from_rates(vec![vec![0.1], vec![0.2, 0.3]]);
+    }
+
+    #[test]
+    fn workload_trace_stats() {
+        let mut w = ConstantWorkload::new(vec![2.0, 3.0]);
+        let trace = WorkloadTrace::generate(&mut w, 5, 1);
+        assert_eq!(trace.num_slots(), 5);
+        assert_eq!(trace.num_job_types(), 2);
+        assert_eq!(trace.mean_arrivals(1), 3.0);
+        assert_eq!(trace.arrivals(7), &[2.0, 3.0]); // cycles
+        assert_eq!(trace.work_per_slot(&[1.0, 2.0]), vec![8.0; 5]);
+    }
+
+    #[test]
+    fn work_by_account_groups_correctly() {
+        let trace = WorkloadTrace::from_rows(vec![vec![1.0, 2.0, 3.0]]);
+        let grouped = trace.work_by_account(&[1.0, 1.0, 2.0], &[0, 1, 0], 2);
+        assert_eq!(grouped, vec![vec![1.0 + 6.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn work_by_account_checks_indices() {
+        let trace = WorkloadTrace::from_rows(vec![vec![1.0]]);
+        let _ = trace.work_by_account(&[1.0], &[5], 2);
+    }
+}

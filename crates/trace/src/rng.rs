@@ -1,0 +1,124 @@
+//! Random-sampling helpers shared by the trace generators.
+//!
+//! The workspace deliberately depends only on `rand` (no `rand_distr`), so
+//! the Gaussian and Poisson samplers live here.
+
+use rand::RngCore;
+
+/// Uniform sample in `[0, 1)` built from 53 random mantissa bits.
+pub(crate) fn uniform(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A Box–Muller standard-normal sampler that caches the second variate of
+/// each pair.
+///
+/// # Example
+/// ```
+/// use grefar_trace::GaussianSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut g = GaussianSampler::new();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = g.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaussianSampler {
+    cached: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample(&mut self, rng: &mut dyn RngCore) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] to avoid ln(0).
+        let u1 = 1.0 - uniform(rng);
+        let u2 = uniform(rng);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * core::f64::consts::PI * u2;
+        self.cached = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+}
+
+/// Poisson sample via Knuth's algorithm (exact; fine for the small rates
+/// used by the arrival models).
+pub(crate) fn poisson(lambda: f64, rng: &mut dyn RngCore) -> u64 {
+    debug_assert!(lambda >= 0.0 && lambda.is_finite());
+    if lambda <= 0.0 {
+        return 0;
+    }
+    // For large rates, fall back to a normal approximation to keep the
+    // per-sample cost bounded.
+    if lambda > 64.0 {
+        let mut g = GaussianSampler::new();
+        let v = lambda + lambda.sqrt() * g.sample(rng);
+        return v.round().max(0.0) as u64;
+    }
+    let threshold = (-lambda).exp();
+    let mut count = 0u64;
+    let mut product = uniform(rng);
+    while product > threshold {
+        count += 1;
+        product *= uniform(rng);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut g = GaussianSampler::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 60_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 40_000;
+        let mean = (0..n).map(|_| poisson(3.5, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large_rate_uses_normal_approx() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(200.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = uniform(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the trace generators: boundedness (eq. (1)), price
+//! floors, reproducibility, and statistical calibration.
+
+use grefar_trace::{
+    ArrivalProcess, CosmosLikeWorkload, DiurnalPriceModel, JobArrivalSpec, PriceProcess,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec_strategy() -> impl Strategy<Value = JobArrivalSpec> {
+    (
+        0.1f64..10.0,  // base rate
+        0.0f64..1.0,   // amplitude
+        0.0f64..24.0,  // peak
+        0.0f64..0.3,   // burst probability
+        0.0f64..20.0,  // burst mean
+        0.2f64..1.0,   // weekend factor
+    )
+        .prop_map(|(base, amp, peak, bp, bm, wf)| {
+            let a_max = (3.0 * base + bm + 5.0).ceil();
+            JobArrivalSpec::diurnal(base, amp, peak, a_max)
+                .with_bursts(bp, bm)
+                .with_weekend_factor(wf)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Arrivals are integral, non-negative and bounded by a^max (eq. (1)),
+    /// whatever the spec.
+    #[test]
+    fn arrivals_bounded_and_integral(
+        specs in proptest::collection::vec(spec_strategy(), 1..=4),
+        seed in any::<u64>(),
+    ) {
+        let caps: Vec<f64> = specs.iter().map(|s| s.max_arrivals).collect();
+        let mut w = CosmosLikeWorkload::new(specs, 24.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in 0..500 {
+            let a = w.sample(t, &mut rng);
+            for (j, (&v, &cap)) in a.iter().zip(&caps).enumerate() {
+                prop_assert!(v >= 0.0, "negative arrivals for type {j}");
+                prop_assert!(v <= cap + 1e-9, "type {j}: {v} > a^max {cap}");
+                prop_assert_eq!(v, v.trunc(), "arrivals must be whole jobs");
+            }
+        }
+    }
+
+    /// The diurnal price model respects its floor and is reproducible.
+    #[test]
+    fn prices_floored_and_reproducible(
+        mean in 0.1f64..1.0,
+        amp_frac in 0.0f64..0.5,
+        sigma in 0.0f64..0.2,
+        floor_frac in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let make = || {
+            DiurnalPriceModel::new(mean, mean * amp_frac, 24.0, 6.0)
+                .with_noise(0.6, sigma)
+                .with_floor(mean * floor_frac)
+        };
+        let mut m1 = make();
+        let mut m2 = make();
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        for t in 0..300 {
+            let p1 = m1.sample(t, &mut r1).base_rate();
+            let p2 = m2.sample(t, &mut r2).base_rate();
+            prop_assert_eq!(p1, p2, "same seed must replay identically");
+            prop_assert!(p1 >= mean * floor_frac - 1e-12, "floor violated: {p1}");
+            prop_assert!(p1.is_finite());
+        }
+    }
+
+    /// Sampled arrival means track the configured rates within sampling
+    /// error when the cap is generous.
+    #[test]
+    fn arrival_means_track_rates(base in 0.5f64..6.0, seed in any::<u64>()) {
+        let spec = JobArrivalSpec::diurnal(base, 0.0, 0.0, 1e6);
+        let mut w = CosmosLikeWorkload::new(vec![spec], 24.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 8_000;
+        let mean: f64 = (0..n).map(|t| w.sample(t, &mut rng)[0]).sum::<f64>() / n as f64;
+        // 5-sigma tolerance for a Poisson mean estimate.
+        let tol = 5.0 * (base / n as f64).sqrt();
+        prop_assert!((mean - base).abs() < tol, "mean {mean} vs rate {base} (tol {tol})");
+    }
+}

@@ -1,0 +1,503 @@
+//! Static system configuration and its builder.
+
+use crate::{
+    AccountId, ConfigError, DataCenterId, Decision, JobClass, JobTypeId, ServerClass, ServerClassId,
+};
+
+/// An account/organization `m` with fairness weight `γ_m` — the desired share
+/// of total computing resource (§III-C.1, eq. (3)).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Account {
+    name: String,
+    gamma: f64,
+}
+
+impl Account {
+    /// Creates an account with a human-readable name and fairness weight
+    /// `γ_m ≥ 0`. Weights are validated by [`SystemConfig`].
+    pub fn new(name: impl Into<String>, gamma: f64) -> Self {
+        Self {
+            name: name.into(),
+            gamma,
+        }
+    }
+
+    /// The account's human-readable name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fairness weight `γ_m`: the desired fraction of total resource.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+/// Static description of one data center: a name and the maximum fleet
+/// (servers owned per class). The *available* counts `n_{i,k}(t) ≤ fleet`
+/// vary over time and live in
+/// [`DataCenterState`](crate::DataCenterState).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DataCenterInfo {
+    name: String,
+    fleet: Vec<f64>,
+}
+
+impl DataCenterInfo {
+    /// Creates a data center with `fleet[k]` servers of class `k`.
+    pub fn new(name: impl Into<String>, fleet: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            fleet,
+        }
+    }
+
+    /// The data center's human-readable name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum servers owned per class (length `K`).
+    #[inline]
+    pub fn fleet(&self) -> &[f64] {
+        &self.fleet
+    }
+}
+
+/// Immutable, validated description of the whole system: the `K` server
+/// classes, `N` data centers, `J` job classes and `M` accounts of §III.
+///
+/// Construct via [`SystemConfig::builder`]; validation runs once at
+/// [`SystemConfigBuilder::build`] so every accessor can be infallible.
+///
+/// # Example
+/// ```
+/// use grefar_types::{SystemConfig, ServerClass, JobClass, Account, DataCenterId};
+///
+/// # fn main() -> Result<(), grefar_types::ConfigError> {
+/// let cfg = SystemConfig::builder()
+///     .server_class(ServerClass::new(1.0, 1.0))
+///     .server_class(ServerClass::new(0.75, 0.6))
+///     .data_center("east", vec![100.0, 0.0])
+///     .data_center("west", vec![0.0, 200.0])
+///     .account("org-a", 0.6)
+///     .account("org-b", 0.4)
+///     .job_class(JobClass::new(1.0, vec![DataCenterId::new(0), DataCenterId::new(1)], 0))
+///     .job_class(JobClass::new(2.0, vec![DataCenterId::new(1)], 1))
+///     .build()?;
+/// assert_eq!(cfg.num_server_classes(), 2);
+/// assert_eq!(cfg.max_capacity(1), 150.0);
+/// assert_eq!(cfg.jobs_of_account(grefar_types::AccountId::new(1)).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystemConfig {
+    server_classes: Vec<ServerClass>,
+    data_centers: Vec<DataCenterInfo>,
+    job_classes: Vec<JobClass>,
+    accounts: Vec<Account>,
+    /// jobs_by_account[m] = job type indices owned by account m (derived).
+    jobs_by_account: Vec<Vec<JobTypeId>>,
+}
+
+impl SystemConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
+    /// Number of data centers `N`.
+    #[inline]
+    pub fn num_data_centers(&self) -> usize {
+        self.data_centers.len()
+    }
+
+    /// Number of server classes `K`.
+    #[inline]
+    pub fn num_server_classes(&self) -> usize {
+        self.server_classes.len()
+    }
+
+    /// Number of job classes `J`.
+    #[inline]
+    pub fn num_job_classes(&self) -> usize {
+        self.job_classes.len()
+    }
+
+    /// Number of accounts `M`.
+    #[inline]
+    pub fn num_accounts(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// All server classes, indexable by `ServerClassId::index`.
+    #[inline]
+    pub fn server_classes(&self) -> &[ServerClass] {
+        &self.server_classes
+    }
+
+    /// The server class `k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn server_class(&self, k: ServerClassId) -> &ServerClass {
+        &self.server_classes[k.index()]
+    }
+
+    /// All data centers, indexable by `DataCenterId::index`.
+    #[inline]
+    pub fn data_centers(&self) -> &[DataCenterInfo] {
+        &self.data_centers
+    }
+
+    /// The data center `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn data_center(&self, i: DataCenterId) -> &DataCenterInfo {
+        &self.data_centers[i.index()]
+    }
+
+    /// All job classes, indexable by `JobTypeId::index`.
+    #[inline]
+    pub fn job_classes(&self) -> &[JobClass] {
+        &self.job_classes
+    }
+
+    /// The job class `j`.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    #[inline]
+    pub fn job_class(&self, j: JobTypeId) -> &JobClass {
+        &self.job_classes[j.index()]
+    }
+
+    /// All accounts, indexable by `AccountId::index`.
+    #[inline]
+    pub fn accounts(&self) -> &[Account] {
+        &self.accounts
+    }
+
+    /// The account `m`.
+    ///
+    /// # Panics
+    /// Panics if `m` is out of range.
+    #[inline]
+    pub fn account(&self, m: AccountId) -> &Account {
+        &self.accounts[m.index()]
+    }
+
+    /// Job types owned by account `m` (precomputed).
+    ///
+    /// # Panics
+    /// Panics if `m` is out of range.
+    pub fn jobs_of_account(&self, m: AccountId) -> &[JobTypeId] {
+        &self.jobs_by_account[m.index()]
+    }
+
+    /// The fairness weight vector `γ = (γ_1, …, γ_M)`.
+    pub fn gammas(&self) -> Vec<f64> {
+        self.accounts.iter().map(Account::gamma).collect()
+    }
+
+    /// The job work vector `d = (d_1, …, d_J)`.
+    pub fn work_vector(&self) -> Vec<f64> {
+        self.job_classes.iter().map(JobClass::work).collect()
+    }
+
+    /// The server speed vector `s = (s_1, …, s_K)`.
+    pub fn speed_vector(&self) -> Vec<f64> {
+        self.server_classes.iter().map(ServerClass::speed).collect()
+    }
+
+    /// Peak capacity of data center `i` when its full fleet is available:
+    /// `Σ_k fleet_{i,k} · s_k`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn max_capacity(&self, i: usize) -> f64 {
+        self.data_centers[i]
+            .fleet()
+            .iter()
+            .zip(&self.server_classes)
+            .map(|(n, c)| n * c.speed())
+            .sum()
+    }
+
+    /// Peak capacity of the whole system across all data centers.
+    pub fn total_max_capacity(&self) -> f64 {
+        (0..self.num_data_centers())
+            .map(|i| self.max_capacity(i))
+            .sum()
+    }
+
+    /// An all-zero [`Decision`] of the right shape for this system.
+    pub fn decision_zeros(&self) -> Decision {
+        Decision::zeros(
+            self.num_data_centers(),
+            self.num_job_classes(),
+            self.num_server_classes(),
+        )
+    }
+
+    /// Iterates over all eligible (data center, job type) pairs — the index
+    /// set `{(i, j) : i ∈ 𝒟_j}` over which `r` and `h` may be non-zero.
+    pub fn eligible_pairs(&self) -> impl Iterator<Item = (DataCenterId, JobTypeId)> + '_ {
+        self.job_classes.iter().enumerate().flat_map(|(j, jc)| {
+            jc.eligible()
+                .iter()
+                .map(move |&i| (i, JobTypeId::new(j)))
+        })
+    }
+}
+
+/// Incremental builder for [`SystemConfig`] (C-BUILDER).
+#[derive(Debug, Clone, Default)]
+pub struct SystemConfigBuilder {
+    server_classes: Vec<ServerClass>,
+    data_centers: Vec<DataCenterInfo>,
+    job_classes: Vec<JobClass>,
+    accounts: Vec<Account>,
+}
+
+impl SystemConfigBuilder {
+    /// Adds a server class (in index order: the first call defines class 0).
+    pub fn server_class(mut self, class: ServerClass) -> Self {
+        self.server_classes.push(class);
+        self
+    }
+
+    /// Adds a data center with `fleet[k]` servers of class `k`.
+    pub fn data_center(mut self, name: impl Into<String>, fleet: Vec<f64>) -> Self {
+        self.data_centers.push(DataCenterInfo::new(name, fleet));
+        self
+    }
+
+    /// Adds a job class (in index order).
+    pub fn job_class(mut self, job: JobClass) -> Self {
+        self.job_classes.push(job);
+        self
+    }
+
+    /// Adds an account with fairness weight `gamma` (in index order).
+    pub fn account(mut self, name: impl Into<String>, gamma: f64) -> Self {
+        self.accounts.push(Account::new(name, gamma));
+        self
+    }
+
+    /// Validates and freezes the configuration.
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found: empty entity families,
+    /// fleet-length mismatches, negative fleets, dangling or duplicate
+    /// references in job eligibility/accounts, or invalid fairness weights.
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        if self.data_centers.is_empty() {
+            return Err(ConfigError::NoDataCenters);
+        }
+        if self.server_classes.is_empty() {
+            return Err(ConfigError::NoServerClasses);
+        }
+        if self.job_classes.is_empty() {
+            return Err(ConfigError::NoJobClasses);
+        }
+        if self.accounts.is_empty() {
+            return Err(ConfigError::NoAccounts);
+        }
+        let n = self.data_centers.len();
+        let k = self.server_classes.len();
+        let m = self.accounts.len();
+        for (i, dc) in self.data_centers.iter().enumerate() {
+            if dc.fleet().len() != k {
+                return Err(ConfigError::FleetLengthMismatch {
+                    data_center: i,
+                    expected: k,
+                    got: dc.fleet().len(),
+                });
+            }
+            for (kk, &count) in dc.fleet().iter().enumerate() {
+                if !count.is_finite() || count < 0.0 {
+                    return Err(ConfigError::InvalidFleet {
+                        data_center: i,
+                        server_class: kk,
+                    });
+                }
+            }
+        }
+        for (j, job) in self.job_classes.iter().enumerate() {
+            if job.eligible().is_empty() {
+                return Err(ConfigError::EmptyEligibility { job: j });
+            }
+            let mut seen = vec![false; n];
+            for &dc in job.eligible() {
+                if dc.index() >= n {
+                    return Err(ConfigError::UnknownDataCenter {
+                        job: j,
+                        data_center: dc.index(),
+                    });
+                }
+                if seen[dc.index()] {
+                    return Err(ConfigError::DuplicateEligibility {
+                        job: j,
+                        data_center: dc.index(),
+                    });
+                }
+                seen[dc.index()] = true;
+            }
+            if job.account().index() >= m {
+                return Err(ConfigError::UnknownAccount {
+                    job: j,
+                    account: job.account().index(),
+                });
+            }
+        }
+        for (mi, acct) in self.accounts.iter().enumerate() {
+            if !acct.gamma().is_finite() || acct.gamma() < 0.0 {
+                return Err(ConfigError::InvalidGamma { account: mi });
+            }
+        }
+        let mut jobs_by_account = vec![Vec::new(); m];
+        for (j, job) in self.job_classes.iter().enumerate() {
+            jobs_by_account[job.account().index()].push(JobTypeId::new(j));
+        }
+        Ok(SystemConfig {
+            server_classes: self.server_classes,
+            data_centers: self.data_centers,
+            job_classes: self.job_classes,
+            accounts: self.accounts,
+            jobs_by_account,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(i: usize) -> DataCenterId {
+        DataCenterId::new(i)
+    }
+
+    fn valid_builder() -> SystemConfigBuilder {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![10.0])
+            .account("x", 0.5)
+            .account("y", 0.5)
+            .job_class(JobClass::new(1.0, vec![dc(0)], 0))
+            .job_class(JobClass::new(2.0, vec![dc(0)], 1))
+    }
+
+    #[test]
+    fn builds_valid_config() {
+        let cfg = valid_builder().build().unwrap();
+        assert_eq!(cfg.num_data_centers(), 1);
+        assert_eq!(cfg.num_server_classes(), 1);
+        assert_eq!(cfg.num_job_classes(), 2);
+        assert_eq!(cfg.num_accounts(), 2);
+        assert_eq!(cfg.max_capacity(0), 10.0);
+        assert_eq!(cfg.total_max_capacity(), 10.0);
+        assert_eq!(cfg.work_vector(), vec![1.0, 2.0]);
+        assert_eq!(cfg.speed_vector(), vec![1.0]);
+        assert_eq!(cfg.gammas(), vec![0.5, 0.5]);
+        assert_eq!(cfg.jobs_of_account(AccountId::new(0)), &[JobTypeId::new(0)]);
+        assert_eq!(cfg.eligible_pairs().count(), 2);
+        let z = cfg.decision_zeros();
+        assert_eq!(z.num_data_centers(), 1);
+        assert_eq!(z.num_job_types(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_families() {
+        assert_eq!(
+            SystemConfig::builder().build().unwrap_err(),
+            ConfigError::NoDataCenters
+        );
+        assert_eq!(
+            SystemConfig::builder()
+                .data_center("a", vec![])
+                .build()
+                .unwrap_err(),
+            ConfigError::NoServerClasses
+        );
+    }
+
+    #[test]
+    fn rejects_fleet_mismatch() {
+        let err = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![1.0, 2.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(1.0, vec![dc(0)], 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::FleetLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_dangling_references() {
+        let err = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![1.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(1.0, vec![dc(5)], 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownDataCenter { .. }));
+
+        let err = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![1.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(1.0, vec![dc(0)], 3))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownAccount { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_eligibility() {
+        let err = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![1.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(1.0, vec![dc(0), dc(0)], 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::DuplicateEligibility { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_gamma() {
+        let err = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![1.0])
+            .account("x", -0.5)
+            .job_class(JobClass::new(1.0, vec![dc(0)], 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidGamma { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_fleet() {
+        let err = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![-1.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(1.0, vec![dc(0)], 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidFleet { .. }));
+    }
+}

@@ -1,0 +1,148 @@
+//! The per-slot control action `z(t)` (§III-C.2).
+
+use crate::Grid;
+
+/// The action `z(t) = {r_{i,j}(t), h_{i,j}(t), b_{i,k}(t)}` chosen at the
+/// beginning of slot `t` (§III-C.2):
+///
+/// * `routed[(i, j)] = r_{i,j}(t)` — jobs of type `j` routed from the
+///   central queue to data center `i` (integer-valued in the paper; kept as
+///   `f64`, the schedulers produce integral values),
+/// * `processed[(i, j)] = h_{i,j}(t)` — jobs of type `j` served in data
+///   center `i` (real-valued: jobs may be suspended/resumed),
+/// * `busy[(i, k)] = b_{i,k}(t)` — type-`k` servers kept busy in data
+///   center `i` (real-valued: a server may be on for part of a slot).
+///
+/// This is a passive data structure in the C spirit; the fields are public.
+///
+/// # Example
+/// ```
+/// use grefar_types::Decision;
+///
+/// let mut z = Decision::zeros(2, 3, 1);
+/// z.routed[(0, 2)] = 4.0;
+/// z.processed[(0, 2)] = 4.0;
+/// z.busy[(0, 0)] = 8.0;
+/// assert_eq!(z.routed.row_sum(0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Decision {
+    /// Routing matrix `r_{i,j}(t)`, shape `N × J`.
+    pub routed: Grid,
+    /// Processing matrix `h_{i,j}(t)`, shape `N × J`.
+    pub processed: Grid,
+    /// Busy-server matrix `b_{i,k}(t)`, shape `N × K`.
+    pub busy: Grid,
+}
+
+impl Decision {
+    /// An all-zero ("do nothing") action for a system with
+    /// `num_dcs` data centers, `num_jobs` job types and `num_classes`
+    /// server classes.
+    pub fn zeros(num_dcs: usize, num_jobs: usize, num_classes: usize) -> Self {
+        Self {
+            routed: Grid::zeros(num_dcs, num_jobs),
+            processed: Grid::zeros(num_dcs, num_jobs),
+            busy: Grid::zeros(num_dcs, num_classes),
+        }
+    }
+
+    /// Number of data centers this decision is shaped for.
+    #[inline]
+    pub fn num_data_centers(&self) -> usize {
+        self.routed.rows()
+    }
+
+    /// Number of job types this decision is shaped for.
+    #[inline]
+    pub fn num_job_types(&self) -> usize {
+        self.routed.cols()
+    }
+
+    /// Number of server classes this decision is shaped for.
+    #[inline]
+    pub fn num_server_classes(&self) -> usize {
+        self.busy.cols()
+    }
+
+    /// Returns `true` if every entry of every field is non-negative
+    /// (all three decision families are constrained `≥ 0`).
+    pub fn is_nonnegative(&self) -> bool {
+        self.routed.as_slice().iter().all(|&v| v >= 0.0)
+            && self.processed.as_slice().iter().all(|&v| v >= 0.0)
+            && self.busy.as_slice().iter().all(|&v| v >= 0.0)
+    }
+
+    /// Returns `true` if every entry of every field is finite.
+    pub fn is_finite(&self) -> bool {
+        self.routed.is_finite() && self.processed.is_finite() && self.busy.is_finite()
+    }
+
+    /// Total work served in data center `i`: `Σ_j h_{i,j}(t) · d_j`, where
+    /// `work[j] = d_j`.
+    ///
+    /// # Panics
+    /// Panics if `work.len()` differs from the number of job types.
+    pub fn work_processed(&self, i: usize, work: &[f64]) -> f64 {
+        assert_eq!(work.len(), self.num_job_types(), "job work vector mismatch");
+        self.processed
+            .row(i)
+            .iter()
+            .zip(work)
+            .map(|(h, d)| h * d)
+            .sum()
+    }
+
+    /// Computing supply switched on in data center `i`:
+    /// `Σ_k b_{i,k}(t) · s_k`, where `speed[k] = s_k`.
+    ///
+    /// # Panics
+    /// Panics if `speed.len()` differs from the number of server classes.
+    pub fn supply(&self, i: usize, speed: &[f64]) -> f64 {
+        assert_eq!(
+            speed.len(),
+            self.num_server_classes(),
+            "server speed vector mismatch"
+        );
+        self.busy.row(i).iter().zip(speed).map(|(b, s)| b * s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let z = Decision::zeros(3, 4, 2);
+        assert_eq!(z.num_data_centers(), 3);
+        assert_eq!(z.num_job_types(), 4);
+        assert_eq!(z.num_server_classes(), 2);
+        assert!(z.is_nonnegative());
+        assert!(z.is_finite());
+    }
+
+    #[test]
+    fn work_processed_weights_by_demand() {
+        let mut z = Decision::zeros(1, 2, 1);
+        z.processed[(0, 0)] = 3.0;
+        z.processed[(0, 1)] = 2.0;
+        assert_eq!(z.work_processed(0, &[1.0, 4.0]), 3.0 + 8.0);
+    }
+
+    #[test]
+    fn supply_weights_by_speed() {
+        let mut z = Decision::zeros(1, 1, 2);
+        z.busy[(0, 0)] = 2.0;
+        z.busy[(0, 1)] = 4.0;
+        assert_eq!(z.supply(0, &[1.0, 0.75]), 2.0 + 3.0);
+    }
+
+    #[test]
+    fn negativity_detection() {
+        let mut z = Decision::zeros(1, 1, 1);
+        z.routed[(0, 0)] = -1.0;
+        assert!(!z.is_nonnegative());
+    }
+}

@@ -1,0 +1,162 @@
+//! Validation errors for system configurations.
+
+use core::fmt;
+
+/// Error returned when a [`SystemConfig`](crate::SystemConfig) or
+/// [`Tariff`](crate::Tariff) fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The configuration declares no data centers (`N = 0`).
+    NoDataCenters,
+    /// The configuration declares no server classes (`K = 0`).
+    NoServerClasses,
+    /// The configuration declares no job classes (`J = 0`).
+    NoJobClasses,
+    /// The configuration declares no accounts (`M = 0`).
+    NoAccounts,
+    /// A data center's fleet vector length differs from `K`.
+    FleetLengthMismatch {
+        /// Index of the offending data center.
+        data_center: usize,
+        /// Expected length (`K`).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A fleet entry is negative or non-finite.
+    InvalidFleet {
+        /// Index of the offending data center.
+        data_center: usize,
+        /// Index of the offending server class.
+        server_class: usize,
+    },
+    /// A job class has an empty eligible set `𝒟_j`.
+    EmptyEligibility {
+        /// Index of the offending job class.
+        job: usize,
+    },
+    /// A job class references a data center outside `0..N`.
+    UnknownDataCenter {
+        /// Index of the offending job class.
+        job: usize,
+        /// The out-of-range data center index.
+        data_center: usize,
+    },
+    /// A job class lists the same data center twice in `𝒟_j`.
+    DuplicateEligibility {
+        /// Index of the offending job class.
+        job: usize,
+        /// The duplicated data center index.
+        data_center: usize,
+    },
+    /// A job class references an account outside `0..M`.
+    UnknownAccount {
+        /// Index of the offending job class.
+        job: usize,
+        /// The out-of-range account index.
+        account: usize,
+    },
+    /// An account's fairness weight `γ_m` is negative or non-finite.
+    InvalidGamma {
+        /// Index of the offending account.
+        account: usize,
+    },
+    /// A tariff failed validation; the payload describes why.
+    InvalidTariff(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoDataCenters => write!(f, "configuration has no data centers"),
+            Self::NoServerClasses => write!(f, "configuration has no server classes"),
+            Self::NoJobClasses => write!(f, "configuration has no job classes"),
+            Self::NoAccounts => write!(f, "configuration has no accounts"),
+            Self::FleetLengthMismatch {
+                data_center,
+                expected,
+                got,
+            } => write!(
+                f,
+                "data center {data_center} declares {got} fleet entries, expected {expected}"
+            ),
+            Self::InvalidFleet {
+                data_center,
+                server_class,
+            } => write!(
+                f,
+                "data center {data_center} has an invalid fleet size for server class {server_class}"
+            ),
+            Self::EmptyEligibility { job } => {
+                write!(f, "job class {job} has an empty eligible data-center set")
+            }
+            Self::UnknownDataCenter { job, data_center } => write!(
+                f,
+                "job class {job} references unknown data center {data_center}"
+            ),
+            Self::DuplicateEligibility { job, data_center } => write!(
+                f,
+                "job class {job} lists data center {data_center} more than once"
+            ),
+            Self::UnknownAccount { job, account } => {
+                write!(f, "job class {job} references unknown account {account}")
+            }
+            Self::InvalidGamma { account } => write!(
+                f,
+                "account {account} has a negative or non-finite fairness weight"
+            ),
+            Self::InvalidTariff(why) => write!(f, "invalid tariff: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            ConfigError::NoDataCenters,
+            ConfigError::NoServerClasses,
+            ConfigError::NoJobClasses,
+            ConfigError::NoAccounts,
+            ConfigError::FleetLengthMismatch {
+                data_center: 1,
+                expected: 2,
+                got: 3,
+            },
+            ConfigError::InvalidFleet {
+                data_center: 0,
+                server_class: 1,
+            },
+            ConfigError::EmptyEligibility { job: 0 },
+            ConfigError::UnknownDataCenter {
+                job: 0,
+                data_center: 9,
+            },
+            ConfigError::DuplicateEligibility {
+                job: 0,
+                data_center: 1,
+            },
+            ConfigError::UnknownAccount { job: 0, account: 9 },
+            ConfigError::InvalidGamma { account: 2 },
+            ConfigError::InvalidTariff("why".into()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

@@ -1,0 +1,120 @@
+//! Index newtypes for the four entity families of the model.
+//!
+//! The paper indexes data centers by `i = 1..N`, server types by `k = 1..K`,
+//! job types by `j = 1..J` and accounts by `m = 1..M`. These newtypes keep
+//! the four index spaces statically distinct (C-NEWTYPE) while remaining
+//! zero-cost wrappers around `usize` (0-based).
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $letter:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        #[cfg_attr(feature = "serde", serde(transparent))]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an id from a 0-based index.
+            ///
+            /// # Example
+            /// ```
+            /// let id = grefar_types::DataCenterId::new(2);
+            /// assert_eq!(id.index(), 2);
+            /// ```
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the 0-based index wrapped by this id.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                // 1-based in display to match the paper's "DC #1" convention.
+                write!(f, concat!($letter, "#{}"), self.0 + 1)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one of the `N` geographically distributed data centers
+    /// (the paper's index `i`).
+    DataCenterId,
+    "dc"
+);
+
+define_id!(
+    /// Identifies one of the `K` server types (the paper's index `k`).
+    ServerClassId,
+    "srv"
+);
+
+define_id!(
+    /// Identifies one of the `J` job types (the paper's index `j`).
+    JobTypeId,
+    "job"
+);
+
+define_id!(
+    /// Identifies one of the `M` accounts/organizations (the paper's
+    /// index `m` / `ρ`).
+    AccountId,
+    "acct"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_usize() {
+        let id = DataCenterId::new(7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(DataCenterId::from(7usize), id);
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(DataCenterId::new(0).to_string(), "dc#1");
+        assert_eq!(ServerClassId::new(1).to_string(), "srv#2");
+        assert_eq!(JobTypeId::new(2).to_string(), "job#3");
+        assert_eq!(AccountId::new(3).to_string(), "acct#4");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(JobTypeId::new(1) < JobTypeId::new(2));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        fn takes_dc(_: DataCenterId) {}
+        takes_dc(DataCenterId::new(0));
+        // `takes_dc(ServerClassId::new(0))` would not compile: the whole point.
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", AccountId::default()).is_empty());
+    }
+}

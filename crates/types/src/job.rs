@@ -1,0 +1,214 @@
+//! Job classes (§III-B).
+
+use crate::{AccountId, DataCenterId};
+
+/// A type-`j` job class `y_j = {d_j, 𝒟_j, ρ_j}` (§III-B) together with its
+/// boundedness parameters.
+///
+/// * `work` — the service demand `d_j > 0` in units of work (processor
+///   cycles, normalized). In the paper's evaluation, one unit is 1000 hours
+///   on a speed-1 server.
+/// * `eligible` — the set `𝒟_j ⊆ {1..N}` of data centers this job type may
+///   run in (data locality).
+/// * `account` — the organization `ρ_j` that submits these jobs.
+/// * `max_arrivals` — `a_j^max`, the bound on arrivals per slot (eq. (1)).
+/// * `max_route` — `r_{i,j}^max`, the per-DC routing bound (eq. (4)).
+/// * `max_process` — `h_{i,j}^max`, the per-DC processing bound (eq. (5)).
+///   Because a fully parallelizable job of the paper can also be given a
+///   *parallelism constraint* (§III-B), `max_process` doubles as that cap:
+///   at most `max_process · d_j` units of this class's work are served per
+///   DC per slot.
+///
+/// Jobs may be suspended and resumed (§III-B), which is why `h_{i,j}(t)` —
+/// and therefore `max_process` — are real-valued.
+///
+/// # Example
+/// ```
+/// use grefar_types::{JobClass, DataCenterId};
+///
+/// let j = JobClass::new(2.0, vec![DataCenterId::new(0), DataCenterId::new(2)], 1)
+///     .with_max_arrivals(8.0)
+///     .with_max_route(16.0)
+///     .with_max_process(16.0);
+/// assert_eq!(j.work(), 2.0);
+/// assert!(j.is_eligible(DataCenterId::new(2)));
+/// assert!(!j.is_eligible(DataCenterId::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobClass {
+    work: f64,
+    eligible: Vec<DataCenterId>,
+    account: AccountId,
+    max_arrivals: f64,
+    max_route: f64,
+    max_process: f64,
+}
+
+/// Default per-slot bound used for `a^max`, `r^max` and `h^max` when not
+/// explicitly configured. Generous enough to be non-binding in the paper's
+/// scenario, yet finite as required by eqs. (1), (4), (5).
+const DEFAULT_BOUND: f64 = 1.0e3;
+
+impl JobClass {
+    /// Creates a job class with service demand `work = d_j`, eligible data
+    /// centers `𝒟_j` and owning account `ρ_j`.
+    ///
+    /// The three per-slot bounds default to a generous finite value; tune
+    /// them with [`with_max_arrivals`](Self::with_max_arrivals),
+    /// [`with_max_route`](Self::with_max_route) and
+    /// [`with_max_process`](Self::with_max_process).
+    ///
+    /// # Panics
+    /// Panics if `work` is not positive and finite. Eligibility and account
+    /// ranges are validated by [`SystemConfig`](crate::SystemConfig).
+    pub fn new(work: f64, eligible: Vec<DataCenterId>, account: impl Into<AccountId>) -> Self {
+        assert!(
+            work.is_finite() && work > 0.0,
+            "job work must be positive and finite, got {work}"
+        );
+        Self {
+            work,
+            eligible,
+            account: account.into(),
+            max_arrivals: DEFAULT_BOUND,
+            max_route: DEFAULT_BOUND,
+            max_process: DEFAULT_BOUND,
+        }
+    }
+
+    /// Sets `a_j^max`, the bound on arrivals per slot (eq. (1)).
+    ///
+    /// # Panics
+    /// Panics if `max` is negative or non-finite.
+    #[must_use]
+    pub fn with_max_arrivals(mut self, max: f64) -> Self {
+        assert!(
+            max.is_finite() && max >= 0.0,
+            "max_arrivals must be non-negative and finite"
+        );
+        self.max_arrivals = max;
+        self
+    }
+
+    /// Sets `r_{i,j}^max`, the per-data-center routing bound (eq. (4)).
+    ///
+    /// # Panics
+    /// Panics if `max` is negative or non-finite.
+    #[must_use]
+    pub fn with_max_route(mut self, max: f64) -> Self {
+        assert!(
+            max.is_finite() && max >= 0.0,
+            "max_route must be non-negative and finite"
+        );
+        self.max_route = max;
+        self
+    }
+
+    /// Sets `h_{i,j}^max`, the per-data-center processing bound (eq. (5)),
+    /// which also encodes the optional parallelism constraint of §III-B.
+    ///
+    /// # Panics
+    /// Panics if `max` is negative or non-finite.
+    #[must_use]
+    pub fn with_max_process(mut self, max: f64) -> Self {
+        assert!(
+            max.is_finite() && max >= 0.0,
+            "max_process must be non-negative and finite"
+        );
+        self.max_process = max;
+        self
+    }
+
+    /// Service demand `d_j` in units of work.
+    #[inline]
+    pub fn work(&self) -> f64 {
+        self.work
+    }
+
+    /// The eligible data centers `𝒟_j`.
+    #[inline]
+    pub fn eligible(&self) -> &[DataCenterId] {
+        &self.eligible
+    }
+
+    /// Returns `true` if this job class may run in data center `dc`.
+    pub fn is_eligible(&self, dc: DataCenterId) -> bool {
+        self.eligible.contains(&dc)
+    }
+
+    /// The owning account `ρ_j`.
+    #[inline]
+    pub fn account(&self) -> AccountId {
+        self.account
+    }
+
+    /// Arrival bound `a_j^max` (jobs per slot).
+    #[inline]
+    pub fn max_arrivals(&self) -> f64 {
+        self.max_arrivals
+    }
+
+    /// Routing bound `r_{i,j}^max` (jobs per slot per data center).
+    #[inline]
+    pub fn max_route(&self) -> f64 {
+        self.max_route
+    }
+
+    /// Processing bound `h_{i,j}^max` (jobs per slot per data center).
+    #[inline]
+    pub fn max_process(&self) -> f64 {
+        self.max_process
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(i: usize) -> DataCenterId {
+        DataCenterId::new(i)
+    }
+
+    #[test]
+    fn builder_chain() {
+        let j = JobClass::new(1.5, vec![dc(0)], 2)
+            .with_max_arrivals(5.0)
+            .with_max_route(10.0)
+            .with_max_process(7.5);
+        assert_eq!(j.work(), 1.5);
+        assert_eq!(j.account(), AccountId::new(2));
+        assert_eq!(j.max_arrivals(), 5.0);
+        assert_eq!(j.max_route(), 10.0);
+        assert_eq!(j.max_process(), 7.5);
+    }
+
+    #[test]
+    fn eligibility() {
+        let j = JobClass::new(1.0, vec![dc(1), dc(2)], 0);
+        assert!(!j.is_eligible(dc(0)));
+        assert!(j.is_eligible(dc(1)));
+        assert!(j.is_eligible(dc(2)));
+        assert_eq!(j.eligible().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn rejects_nonpositive_work() {
+        let _ = JobClass::new(0.0, vec![dc(0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_arrivals")]
+    fn rejects_negative_arrival_bound() {
+        let _ = JobClass::new(1.0, vec![dc(0)], 0).with_max_arrivals(-1.0);
+    }
+
+    #[test]
+    fn defaults_are_finite() {
+        let j = JobClass::new(1.0, vec![dc(0)], 0);
+        assert!(j.max_arrivals().is_finite());
+        assert!(j.max_route().is_finite());
+        assert!(j.max_process().is_finite());
+    }
+}

@@ -1,0 +1,70 @@
+//! Common domain types for the GreFar geo-distributed job scheduler.
+//!
+//! This crate is the dependency-free leaf of the `grefar` workspace. It
+//! defines the vocabulary of the model in *"Provably-Efficient Job Scheduling
+//! for Energy and Fairness in Geographically Distributed Data Centers"*
+//! (Ren, He, Xu — ICDCS 2012):
+//!
+//! * [`ServerClass`] — a type-`k` server with speed `s_k` and active power
+//!   `p_k` (§III-A),
+//! * [`JobClass`] — a type-`j` job `y_j = {d_j, 𝒟_j, ρ_j}` together with the
+//!   boundedness parameters `a_j^max`, `r_{i,j}^max`, `h_{i,j}^max`
+//!   (§III-B, eqs. (1), (4), (5)),
+//! * [`Account`] — an organization `m` with fairness weight `γ_m` (§III-C),
+//! * [`DataCenterState`] / [`SystemState`] — the stochastic state
+//!   `x_i(t) = {n_i(t), φ_i(t)}` (§III-A),
+//! * [`Decision`] — the control action
+//!   `z(t) = {r_{i,j}(t), h_{i,j}(t), b_{i,k}(t)}` (§III-C),
+//! * [`SystemConfig`] — the static description of the whole system,
+//!   validated on construction.
+//!
+//! # Example
+//!
+//! ```
+//! use grefar_types::{SystemConfig, ServerClass, JobClass, Account, DataCenterId};
+//!
+//! # fn main() -> Result<(), grefar_types::ConfigError> {
+//! let config = SystemConfig::builder()
+//!     .server_class(ServerClass::new(1.0, 1.0))
+//!     .data_center("dc-east", vec![100.0])
+//!     .account("tenant-a", 1.0)
+//!     .job_class(
+//!         JobClass::new(2.0, vec![DataCenterId::new(0)], 0)
+//!             .with_max_arrivals(10.0)
+//!             .with_max_route(20.0)
+//!             .with_max_process(20.0),
+//!     )
+//!     .build()?;
+//! assert_eq!(config.num_data_centers(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod decision;
+mod error;
+mod grid;
+mod ids;
+mod job;
+mod server;
+mod state;
+mod tariff;
+
+pub use config::{Account, DataCenterInfo, SystemConfig, SystemConfigBuilder};
+pub use decision::Decision;
+pub use error::ConfigError;
+pub use grid::Grid;
+pub use ids::{AccountId, DataCenterId, JobTypeId, ServerClassId};
+pub use job::JobClass;
+pub use server::ServerClass;
+pub use state::{DataCenterState, SystemState};
+pub use tariff::Tariff;
+
+/// Discrete scheduling time, counted in slots `t = 0, 1, 2, …` (§III).
+///
+/// One slot corresponds to the electricity-market price-update period
+/// (e.g. 15 minutes or 1 hour; the paper's evaluation uses 1 hour).
+pub type Slot = u64;

@@ -1,0 +1,149 @@
+//! Server hardware classes (§III-A).
+
+/// A type-`k` server class, characterized by processing speed `s_k`, active
+/// power `p̄_k` and idle power `p̲_k` (§III-A).
+///
+/// Following the paper, what matters to the scheduler is the *differential*
+/// power between busy and idle, so the canonical form normalizes
+/// `idle_power = 0` and stores the busy-minus-idle differential in
+/// `active_power`. [`ServerClass::new`] builds the canonical form directly;
+/// [`ServerClass::with_idle_power`] accepts measured busy/idle pairs and
+/// normalizes them.
+///
+/// # Example
+/// ```
+/// use grefar_types::ServerClass;
+///
+/// // A server that draws 250 W busy, 100 W idle and processes 1.15 units of
+/// // work per slot is equivalent to the canonical (1.15, 150 W, 0 W) class.
+/// let k = ServerClass::with_idle_power(1.15, 250.0, 100.0);
+/// assert_eq!(k.active_power(), 150.0);
+/// assert_eq!(k.idle_power(), 0.0);
+/// // Energy cost efficiency: differential power per unit of work.
+/// assert!((k.power_per_work() - 150.0 / 1.15).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServerClass {
+    speed: f64,
+    active_power: f64,
+}
+
+impl ServerClass {
+    /// Creates a server class from its speed `s_k` (work units per slot) and
+    /// busy-minus-idle differential power `p_k`.
+    ///
+    /// # Panics
+    /// Panics if `speed <= 0`, if `active_power < 0`, or if either is
+    /// non-finite. (Use [`SystemConfig::builder`] for fallible validation of
+    /// whole configurations.)
+    ///
+    /// [`SystemConfig::builder`]: crate::SystemConfig::builder
+    pub fn new(speed: f64, active_power: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "server speed must be positive and finite, got {speed}"
+        );
+        assert!(
+            active_power.is_finite() && active_power >= 0.0,
+            "server active power must be non-negative and finite, got {active_power}"
+        );
+        Self {
+            speed,
+            active_power,
+        }
+    }
+
+    /// Creates a server class from measured busy and idle power, normalizing
+    /// to the canonical zero-idle form used throughout the paper (§III-C.1).
+    ///
+    /// # Panics
+    /// Panics if `busy_power < idle_power`, if `idle_power < 0`, or under the
+    /// same conditions as [`ServerClass::new`].
+    pub fn with_idle_power(speed: f64, busy_power: f64, idle_power: f64) -> Self {
+        assert!(
+            idle_power.is_finite() && idle_power >= 0.0,
+            "idle power must be non-negative and finite, got {idle_power}"
+        );
+        assert!(
+            busy_power >= idle_power,
+            "busy power ({busy_power}) must be at least idle power ({idle_power})"
+        );
+        Self::new(speed, busy_power - idle_power)
+    }
+
+    /// Processing speed `s_k`: units of work one busy server completes per slot.
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Differential (busy minus idle) power draw `p_k` of one busy server.
+    #[inline]
+    pub fn active_power(&self) -> f64 {
+        self.active_power
+    }
+
+    /// Idle power in the canonical form — always `0` (§III-C.1: the paper
+    /// normalizes `p̲ = 0` without loss of generality).
+    #[inline]
+    pub fn idle_power(&self) -> f64 {
+        0.0
+    }
+
+    /// Power consumed per unit of work, `p_k / s_k` — the hardware half of
+    /// the "energy cost per unit work" metric of Table I. Lower is more
+    /// energy-efficient.
+    #[inline]
+    pub fn power_per_work(&self) -> f64 {
+        self.active_power / self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        let k = ServerClass::new(0.75, 0.6);
+        assert_eq!(k.speed(), 0.75);
+        assert_eq!(k.active_power(), 0.6);
+        assert_eq!(k.idle_power(), 0.0);
+        assert!((k.power_per_work() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_power_is_subtracted() {
+        let k = ServerClass::with_idle_power(1.0, 1.5, 0.5);
+        assert_eq!(k.active_power(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn rejects_zero_speed() {
+        let _ = ServerClass::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least idle power")]
+    fn rejects_busy_below_idle() {
+        let _ = ServerClass::with_idle_power(1.0, 0.4, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_power() {
+        let _ = ServerClass::new(1.0, -0.1);
+    }
+
+    #[test]
+    fn table_one_ordering() {
+        // Table I: DC2's servers are the most energy-efficient per unit work.
+        let dc1 = ServerClass::new(1.00, 1.00);
+        let dc2 = ServerClass::new(0.75, 0.60);
+        let dc3 = ServerClass::new(1.15, 1.20);
+        assert!(dc2.power_per_work() < dc1.power_per_work());
+        assert!(dc1.power_per_work() < dc3.power_per_work());
+    }
+}

@@ -1,0 +1,206 @@
+//! Time-varying system state `x(t)` (§III-A).
+
+use crate::{ServerClass, Slot, Tariff};
+
+/// The state `x_i(t) = {n_i(t), φ_i(t)}` of one data center during one slot:
+/// per-class server availability and the electricity tariff (§III-A).
+///
+/// Availabilities are real-valued to model servers available for a fraction
+/// of a slot; in the common case they are integral counts.
+///
+/// # Example
+/// ```
+/// use grefar_types::{DataCenterState, ServerClass, Tariff};
+///
+/// let state = DataCenterState::new(vec![120.0, 40.0], Tariff::flat(0.43));
+/// let classes = [ServerClass::new(1.0, 1.0), ServerClass::new(0.75, 0.6)];
+/// assert_eq!(state.capacity(&classes), 120.0 + 40.0 * 0.75);
+/// assert_eq!(state.price(), 0.43);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DataCenterState {
+    available: Vec<f64>,
+    tariff: Tariff,
+}
+
+impl DataCenterState {
+    /// Creates the state from per-class availability `n_{i,·}(t)` (length
+    /// `K`) and the slot's tariff `φ_i(t)`.
+    ///
+    /// # Panics
+    /// Panics if any availability is negative or non-finite.
+    pub fn new(available: Vec<f64>, tariff: Tariff) -> Self {
+        for (k, &n) in available.iter().enumerate() {
+            assert!(
+                n.is_finite() && n >= 0.0,
+                "availability of server class {k} must be non-negative and finite, got {n}"
+            );
+        }
+        Self { available, tariff }
+    }
+
+    /// Number of available type-`k` servers, `n_{i,k}(t)`.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn available(&self, k: usize) -> f64 {
+        self.available[k]
+    }
+
+    /// Per-class availability vector `n_i(t)`.
+    #[inline]
+    pub fn available_slice(&self) -> &[f64] {
+        &self.available
+    }
+
+    /// The slot's electricity tariff `φ_i(t)`.
+    #[inline]
+    pub fn tariff(&self) -> &Tariff {
+        &self.tariff
+    }
+
+    /// The scalar electricity price: the tariff's base marginal rate. Equals
+    /// `φ_i(t)` exactly for flat tariffs (the paper's evaluation setting).
+    #[inline]
+    pub fn price(&self) -> f64 {
+        self.tariff.base_rate()
+    }
+
+    /// Maximum work this data center can process during the slot,
+    /// `Σ_k n_{i,k}(t) · s_k` (the right-hand side of constraint (11)).
+    ///
+    /// # Panics
+    /// Panics if `classes.len()` differs from the availability length.
+    pub fn capacity(&self, classes: &[ServerClass]) -> f64 {
+        assert_eq!(
+            classes.len(),
+            self.available.len(),
+            "server class count mismatch"
+        );
+        self.available
+            .iter()
+            .zip(classes)
+            .map(|(n, c)| n * c.speed())
+            .sum()
+    }
+}
+
+/// The joint state `x(t) = [x_1(t), …, x_N(t)]` observed by the scheduler at
+/// the beginning of slot `t` (§III-A).
+///
+/// Note that per the queue dynamics (12), the arrivals `a_j(t)` of the
+/// current slot are *not* part of the observation: they are revealed only
+/// after the slot's decisions are made.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystemState {
+    slot: Slot,
+    data_centers: Vec<DataCenterState>,
+}
+
+impl SystemState {
+    /// Creates the joint state for slot `slot`.
+    pub fn new(slot: Slot, data_centers: Vec<DataCenterState>) -> Self {
+        Self { slot, data_centers }
+    }
+
+    /// The slot index `t` this state belongs to.
+    #[inline]
+    pub fn slot(&self) -> Slot {
+        self.slot
+    }
+
+    /// Number of data centers `N`.
+    #[inline]
+    pub fn num_data_centers(&self) -> usize {
+        self.data_centers.len()
+    }
+
+    /// The state of data center `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn data_center(&self, i: usize) -> &DataCenterState {
+        &self.data_centers[i]
+    }
+
+    /// Iterates over the per-data-center states.
+    pub fn iter(&self) -> core::slice::Iter<'_, DataCenterState> {
+        self.data_centers.iter()
+    }
+
+    /// Total available computing resource
+    /// `R(t) = Σ_i Σ_k n_{i,k}(t) s_k` (used by the fairness function (3)).
+    pub fn total_capacity(&self, classes: &[ServerClass]) -> f64 {
+        self.data_centers.iter().map(|d| d.capacity(classes)).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a SystemState {
+    type Item = &'a DataCenterState;
+    type IntoIter = core::slice::Iter<'a, DataCenterState>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> Vec<ServerClass> {
+        vec![ServerClass::new(1.0, 1.0), ServerClass::new(2.0, 1.5)]
+    }
+
+    #[test]
+    fn capacity_weights_by_speed() {
+        let s = DataCenterState::new(vec![10.0, 5.0], Tariff::flat(0.5));
+        assert_eq!(s.capacity(&classes()), 10.0 + 10.0);
+    }
+
+    #[test]
+    fn total_capacity_sums_dcs() {
+        let sys = SystemState::new(
+            3,
+            vec![
+                DataCenterState::new(vec![10.0, 0.0], Tariff::flat(0.4)),
+                DataCenterState::new(vec![0.0, 4.0], Tariff::flat(0.6)),
+            ],
+        );
+        assert_eq!(sys.slot(), 3);
+        assert_eq!(sys.num_data_centers(), 2);
+        assert_eq!(sys.total_capacity(&classes()), 10.0 + 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_availability() {
+        let _ = DataCenterState::new(vec![-1.0], Tariff::flat(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn capacity_checks_class_count() {
+        let s = DataCenterState::new(vec![1.0], Tariff::flat(0.1));
+        let _ = s.capacity(&classes());
+    }
+
+    #[test]
+    fn iteration_yields_all() {
+        let sys = SystemState::new(
+            0,
+            vec![
+                DataCenterState::new(vec![1.0], Tariff::flat(0.1)),
+                DataCenterState::new(vec![2.0], Tariff::flat(0.2)),
+            ],
+        );
+        let prices: Vec<f64> = sys.iter().map(|d| d.price()).collect();
+        assert_eq!(prices, vec![0.1, 0.2]);
+        let count = (&sys).into_iter().count();
+        assert_eq!(count, 2);
+    }
+}

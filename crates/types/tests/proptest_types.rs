@@ -1,0 +1,130 @@
+//! Property tests for the foundational types: tariffs, grids and the
+//! configuration builder.
+
+use grefar_types::{
+    DataCenterId, Grid, JobClass, ServerClass, SystemConfig, Tariff,
+};
+use proptest::prelude::*;
+
+fn tariff_strategy() -> impl Strategy<Value = Tariff> {
+    prop_oneof![
+        (0.0f64..2.0).prop_map(Tariff::flat),
+        proptest::collection::vec((0.1f64..20.0, 0.0f64..0.5), 1..=4).prop_map(|mut segs| {
+            // Sort rates ascending to satisfy convexity.
+            segs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            Tariff::convex(segs).expect("sorted rates are convex")
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Tariff cost is 0 at 0, non-decreasing, convex, and its marginal rate
+    /// is the slope between nearby points.
+    #[test]
+    fn tariff_cost_is_convex(tariff in tariff_strategy(), scale in 1.0f64..100.0) {
+        prop_assert_eq!(tariff.cost(0.0), 0.0);
+        let samples: Vec<f64> = (0..=24).map(|i| tariff.cost(scale * i as f64 / 24.0)).collect();
+        for w in samples.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        for w in samples.windows(3) {
+            prop_assert!(w[2] - 2.0 * w[1] + w[0] >= -1e-9);
+        }
+        // Marginal rate bounds the local slope.
+        let e = scale * 0.37;
+        let h = 1e-7 * scale;
+        let slope = (tariff.cost(e + h) - tariff.cost(e)) / h;
+        prop_assert!((slope - tariff.marginal_rate(e)).abs() < 1e-3 * (1.0 + slope.abs()));
+    }
+
+    /// Grid algebra: axpy/lerp/dot behave like their vector definitions.
+    #[test]
+    fn grid_algebra(
+        a in proptest::collection::vec(-10.0f64..10.0, 6),
+        b in proptest::collection::vec(-10.0f64..10.0, 6),
+        alpha in -2.0f64..2.0,
+        theta in 0.0f64..1.0,
+    ) {
+        let ga0 = Grid::from_vec(2, 3, a.clone());
+        let gb = Grid::from_vec(2, 3, b.clone());
+
+        let mut axpy = ga0.clone();
+        axpy.axpy(alpha, &gb);
+        for i in 0..6 {
+            prop_assert!((axpy.as_slice()[i] - (a[i] + alpha * b[i])).abs() < 1e-12);
+        }
+
+        let mut lerp = ga0.clone();
+        lerp.lerp(theta, &gb);
+        for i in 0..6 {
+            let want = (1.0 - theta) * a[i] + theta * b[i];
+            prop_assert!((lerp.as_slice()[i] - want).abs() < 1e-12);
+        }
+
+        let dot = ga0.dot(&gb);
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((dot - want).abs() < 1e-9);
+
+        // Row/column sums tile the total.
+        let total: f64 = (0..2).map(|r| ga0.row_sum(r)).sum();
+        let total_c: f64 = (0..3).map(|c| ga0.col_sum(c)).sum();
+        prop_assert!((total - total_c).abs() < 1e-9);
+        prop_assert!((total - ga0.sum()).abs() < 1e-9);
+    }
+
+    /// Any structurally-consistent random configuration builds, and its
+    /// derived accessors are consistent with the inputs.
+    #[test]
+    fn valid_configs_build(
+        n in 1usize..4,
+        k in 1usize..3,
+        j in 1usize..5,
+        m in 1usize..3,
+        seedling in any::<u64>(),
+    ) {
+        let mut state = seedling;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let mut builder = SystemConfig::builder();
+        for _ in 0..k {
+            builder = builder.server_class(ServerClass::new(0.5 + next(), 0.1 + next()));
+        }
+        for i in 0..n {
+            let fleet: Vec<f64> = (0..k).map(|_| (20.0 * next()).floor()).collect();
+            builder = builder.data_center(format!("dc{i}"), fleet);
+        }
+        for mm in 0..m {
+            builder = builder.account(format!("m{mm}"), next());
+        }
+        for jj in 0..j {
+            let first = (next() * n as f64) as usize % n;
+            let mut eligible = vec![DataCenterId::new(first)];
+            for i in 0..n {
+                if i != first && next() < 0.5 {
+                    eligible.push(DataCenterId::new(i));
+                }
+            }
+            builder = builder.job_class(JobClass::new(0.1 + next(), eligible, jj % m));
+        }
+        let config = builder.build().expect("structurally consistent config");
+        prop_assert_eq!(config.num_data_centers(), n);
+        prop_assert_eq!(config.num_server_classes(), k);
+        prop_assert_eq!(config.num_job_classes(), j);
+        prop_assert_eq!(config.num_accounts(), m);
+        // jobs_of_account partitions the job set.
+        let total: usize = (0..m)
+            .map(|mm| config.jobs_of_account(grefar_types::AccountId::new(mm)).len())
+            .sum();
+        prop_assert_eq!(total, j);
+        // Total capacity is the sum of per-DC capacities.
+        let sum: f64 = (0..n).map(|i| config.max_capacity(i)).sum();
+        prop_assert!((sum - config.total_max_capacity()).abs() < 1e-9);
+        // Eligible pairs are exactly the jobs' eligibility lists.
+        let pair_count: usize = config.job_classes().iter().map(|jc| jc.eligible().len()).sum();
+        prop_assert_eq!(config.eligible_pairs().count(), pair_count);
+    }
+}

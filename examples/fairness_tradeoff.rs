@@ -1,0 +1,70 @@
+//! The energy-fairness frontier: sweeping the energy-fairness parameter β
+//! on the paper scenario, with both the paper's quadratic-deviation
+//! fairness function (3) and the α-fair alternative of footnote 5.
+//!
+//! Run with: `cargo run --release --example fairness_tradeoff`
+
+use grefar::core::AlphaFair;
+use grefar::prelude::*;
+use grefar::sim::sweep;
+
+fn main() {
+    let scenario = PaperScenario::default().with_seed(11);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(24 * 30);
+
+    // Part 1: the β frontier with the paper's fairness function.
+    let betas = [0.0, 10.0, 50.0, 100.0, 500.0];
+    let runs: Vec<(String, Box<dyn Scheduler>)> = betas
+        .iter()
+        .map(|&beta| {
+            let g = GreFar::new(&config, GreFarParams::new(7.5, beta)).expect("valid");
+            (format!("beta={beta}"), Box::new(g) as Box<dyn Scheduler>)
+        })
+        .collect();
+    let reports = sweep::run_all(&config, &inputs, runs);
+
+    println!("quadratic-deviation fairness (paper eq. (3)), V = 7.5\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "beta", "avg_energy", "fairness", "share1", "share2", "share3", "share4"
+    );
+    for ((_, r), &beta) in reports.iter().zip(&betas) {
+        println!(
+            "{:>8} {:>12.2} {:>12.4} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            beta,
+            r.average_energy_cost(),
+            r.average_fairness(),
+            r.average_account_share(0),
+            r.average_account_share(1),
+            r.average_account_share(2),
+            r.average_account_share(3),
+        );
+    }
+    println!(
+        "(γ targets are {:?}; larger β pulls the realized shares toward them)",
+        config.gammas()
+    );
+
+    // Part 2: α-fair utilities as the fairness function.
+    println!("\nalpha-fair utilities (footnote 5), beta = 100, V = 7.5\n");
+    println!("{:>8} {:>12} {:>12}", "alpha", "avg_energy", "quad_fairness");
+    for alpha in [0.5, 1.0, 2.0] {
+        let scheduler = GreFar::with_fairness(
+            &config,
+            GreFarParams::new(7.5, 100.0),
+            Box::new(AlphaFair::new(alpha, 1e-3)),
+        )
+        .expect("valid");
+        let report =
+            Simulation::new(config.clone(), inputs.clone(), Box::new(scheduler)).run();
+        println!(
+            "{:>8} {:>12.2} {:>12.4}",
+            alpha,
+            report.average_energy_cost(),
+            report.average_fairness(),
+        );
+    }
+    println!("\n(the reported fairness column is always the paper's quadratic score, so");
+    println!(" rows are comparable across fairness functions)");
+}

@@ -1,0 +1,70 @@
+//! Replaying recorded traces: export the synthetic price/workload traces
+//! to CSV, reload them, and drive a simulation from the files — the same
+//! path a user of *real* FERC/CAISO prices or an internal job log would
+//! take (see `grefar_trace::import`).
+//!
+//! Run with: `cargo run --release --example replay_trace`
+
+use grefar::cluster::{AvailabilityProcess, FullAvailability};
+use grefar::prelude::*;
+use grefar::sim::SimulationInputs;
+use grefar::trace::import::{
+    load_price_trace, load_workload_trace, save_price_trace, save_workload_trace,
+};
+use grefar::trace::{PriceTrace, ReplayPrice, ReplayWorkload, WorkloadTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hours = 24 * 14;
+    let scenario = PaperScenario::default().with_seed(3);
+    let config = scenario.config().clone();
+
+    // 1. Record one realization of the synthetic processes.
+    let mut price_models = scenario.price_processes();
+    let price_trace = PriceTrace::generate(&mut price_models, hours, scenario.seed());
+    let mut workload_model = scenario.workload();
+    let workload_trace = WorkloadTrace::generate(&mut workload_model, hours, scenario.seed());
+
+    // 2. Export to CSV — the interchange format for real market/job data.
+    let dir = std::env::temp_dir().join(format!("grefar-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let price_path = dir.join("prices.csv");
+    let work_path = dir.join("workload.csv");
+    save_price_trace(&price_path, &price_trace)?;
+    save_workload_trace(&work_path, &workload_trace)?;
+    println!("exported {} and {}", price_path.display(), work_path.display());
+
+    // 3. Reload and rebuild simulation inputs from the files alone.
+    let prices = load_price_trace(&price_path)?;
+    let workload = load_workload_trace(&work_path)?;
+    let mut price_procs: Vec<Box<dyn PriceModel + Send>> = (0..3)
+        .map(|i| Box::new(ReplayPrice::new(prices.rates(i))) as Box<dyn PriceModel + Send>)
+        .collect();
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> = (0..3)
+        .map(|_| Box::new(FullAvailability) as Box<dyn AvailabilityProcess + Send>)
+        .collect();
+    let mut workload_proc = ReplayWorkload::new(
+        (0..hours).map(|t| workload.arrivals(t as u64).to_vec()).collect(),
+    );
+    let inputs = SimulationInputs::generate(
+        &config,
+        hours,
+        0, // replays consume no randomness
+        &mut price_procs,
+        &mut availability,
+        &mut workload_proc,
+    );
+
+    // 4. Simulate against the replayed inputs.
+    let grefar = GreFar::new(&config, GreFarParams::new(7.5, 0.0))?;
+    let report = Simulation::new(config, inputs, Box::new(grefar)).run();
+    println!(
+        "replayed {} hours: avg energy {:.2}, delay DC#1 {:.2} h, {} jobs completed",
+        hours,
+        report.average_energy_cost(),
+        report.average_dc_delay(0),
+        report.completions.completed_total,
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

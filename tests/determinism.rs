@@ -1,0 +1,92 @@
+//! Reproducibility: every layer of the stack is a pure function of its
+//! seed, and parallel sweeps return bit-identical results to serial runs.
+
+use grefar::prelude::*;
+use grefar::sim::sweep;
+
+fn run_once(seed: u64, v: f64, beta: f64) -> SimulationReport {
+    let scenario = PaperScenario::default().with_seed(seed);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(24 * 6);
+    let g = GreFar::new(&config, GreFarParams::new(v, beta)).expect("valid");
+    Simulation::new(config, inputs, Box::new(g)).run()
+}
+
+#[test]
+fn same_seed_same_report() {
+    let a = run_once(100, 7.5, 0.0);
+    let b = run_once(100, 7.5, 0.0);
+    assert_eq!(a, b, "identical seeds must yield identical reports");
+}
+
+#[test]
+fn same_seed_same_report_with_fairness_path() {
+    // The Frank–Wolfe path must be exactly deterministic too.
+    let a = run_once(101, 7.5, 100.0);
+    let b = run_once(101, 7.5, 100.0);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(1, 7.5, 0.0);
+    let b = run_once(2, 7.5, 0.0);
+    assert_ne!(
+        a.energy.instant(),
+        b.energy.instant(),
+        "different seeds must produce different traces"
+    );
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let scenario = PaperScenario::default().with_seed(7);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(24 * 6);
+
+    let serial: Vec<SimulationReport> = [0.1, 7.5]
+        .iter()
+        .map(|&v| {
+            let g = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid");
+            Simulation::new(config.clone(), inputs.clone(), Box::new(g)).run()
+        })
+        .collect();
+
+    let runs: Vec<(String, Box<dyn Scheduler>)> = [0.1, 7.5]
+        .iter()
+        .map(|&v| {
+            let g = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid");
+            (format!("V={v}"), Box::new(g) as Box<dyn Scheduler>)
+        })
+        .collect();
+    let parallel = sweep::run_all(&config, &inputs, runs);
+
+    for (s, (_, p)) in serial.iter().zip(&parallel) {
+        assert_eq!(s, p, "parallel execution changed a result");
+    }
+}
+
+#[test]
+fn inputs_are_identical_across_schedulers() {
+    // The whole point of freezing inputs: GreFar and Always must observe
+    // the very same prices.
+    let scenario = PaperScenario::default().with_seed(13);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(24 * 4);
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
+        (
+            "g".into(),
+            Box::new(GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid")),
+        ),
+        ("a".into(), Box::new(Always::new(&config))),
+    ];
+    let reports = sweep::run_all(&config, &inputs, runs);
+    assert_eq!(
+        reports[0].1.prices, reports[1].1.prices,
+        "schedulers must see identical price traces"
+    );
+    assert_eq!(
+        reports[0].1.arriving_work, reports[1].1.arriving_work,
+        "schedulers must see identical arrivals"
+    );
+}

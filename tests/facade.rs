@@ -1,0 +1,78 @@
+//! Smoke tests for the facade crate's public surface: the prelude, the
+//! module re-exports, and a miniature end-to-end flow touching every layer.
+
+use grefar::prelude::*;
+
+#[test]
+fn prelude_covers_the_common_workflow() {
+    // types
+    let config = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("dc", vec![10.0])
+        .account("org", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(3.0)
+                .with_max_route(6.0)
+                .with_max_process(10.0),
+        )
+        .build()
+        .expect("valid");
+
+    // core
+    let queues = QueueState::new(&config);
+    assert_eq!(queues.total(), 0.0);
+    let mut grefar = GreFar::new(&config, GreFarParams::new(1.0, 0.0)).expect("valid");
+    let state = SystemState::new(0, vec![DataCenterState::new(vec![10.0], Tariff::flat(0.2))]);
+    let decision: Decision = grefar.decide(&state, &queues);
+    assert!(decision.is_nonnegative());
+
+    // sim via the paper scenario
+    let scenario = PaperScenario::default().with_seed(1);
+    let cfg = scenario.config().clone();
+    let report: SimulationReport =
+        Simulation::new(cfg.clone(), scenario.into_inputs(48), Box::new(Always::new(&cfg))).run();
+    assert_eq!(report.horizon, 48);
+}
+
+#[test]
+fn module_reexports_are_wired() {
+    // Each workspace crate is reachable under its facade module name.
+    let _ = grefar::lp::LpProblem::minimize(1);
+    let _ = grefar::convex::FwOptions::default();
+    let _ = grefar::cluster::FullAvailability;
+    let _ = grefar::trace::ConstantPrice(0.1);
+    let _ = grefar::core::QuadraticDeviation;
+    let _ = grefar::sim::PaperScenario::default();
+    let _ = grefar::types::Grid::zeros(1, 1);
+}
+
+#[test]
+fn lookahead_and_theory_reachable_from_facade() {
+    use grefar::core::theory::TheoryBounds;
+    use grefar::core::TStepLookahead;
+
+    let config = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("dc", vec![10.0])
+        .account("org", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(2.0)
+                .with_max_route(4.0)
+                .with_max_process(8.0),
+        )
+        .build()
+        .expect("valid");
+    let bounds = TheoryBounds::new(&config, 1.0, 1.0, 0.0);
+    assert!(bounds.queue_bound(5.0).is_finite());
+
+    let la = TStepLookahead::new(2).expect("valid");
+    let states = vec![
+        SystemState::new(0, vec![DataCenterState::new(vec![10.0], Tariff::flat(0.5))]),
+        SystemState::new(1, vec![DataCenterState::new(vec![10.0], Tariff::flat(0.1))]),
+    ];
+    let arrivals = vec![vec![2.0], vec![0.0]];
+    let plan = la.plan(&config, &states, &arrivals).expect("feasible");
+    assert!(plan.average_cost > 0.0);
+}

@@ -1,0 +1,204 @@
+//! Failure injection and overload behavior: outages, price spikes, and
+//! admission control under sustained overload.
+
+use grefar::cluster::{
+    AvailabilityProcess, FullAvailability, MarkovAvailability, OutageSchedule,
+    UniformAvailability,
+};
+use grefar::prelude::*;
+use grefar::sim::SimulationInputs;
+use grefar::trace::{ConstantPrice, ConstantWorkload, PriceModel, ReplayPrice};
+
+#[test]
+fn full_outage_of_one_site_is_absorbed() {
+    let scenario = PaperScenario::default().with_seed(31);
+    let config = scenario.config().clone();
+    let hours = 24 * 8;
+    let outage = (24 * 4, 24 * 5);
+
+    let mut prices = scenario.price_processes();
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> = vec![
+        Box::new(UniformAvailability::new(0.92, 1.0)),
+        Box::new(OutageSchedule::new(
+            Box::new(UniformAvailability::new(0.92, 1.0)),
+            vec![outage],
+        )),
+        Box::new(UniformAvailability::new(0.92, 1.0)),
+    ];
+    let mut workload = scenario.workload();
+    let inputs = SimulationInputs::generate(
+        &config,
+        hours,
+        31,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    );
+
+    let g = GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid");
+    let report = Simulation::new(config.clone(), inputs, Box::new(g)).run();
+
+    // No work can run in the downed site.
+    let down_range = outage.0 as usize..outage.1 as usize;
+    let during: f64 = report.work_per_dc[1].instant()[down_range].iter().sum();
+    assert_eq!(during, 0.0, "the downed site must serve nothing");
+
+    // The system keeps serving: the other sites' work rises during the
+    // outage day relative to their pre-outage average.
+    let pre: f64 = report.work_per_dc[0].instant()[..24 * 4].iter().sum::<f64>() / (24.0 * 4.0);
+    let dur: f64 = report.work_per_dc[0].instant()[24 * 4..24 * 5]
+        .iter()
+        .sum::<f64>()
+        / 24.0;
+    assert!(dur > pre, "surviving sites must absorb load: {dur} vs {pre}");
+
+    // Queues recover: the final total backlog is not materially above the
+    // pre-outage level.
+    let pre_q = report.queue_total[24 * 4 - 1];
+    let final_q = *report.queue_total.last().expect("non-empty");
+    assert!(
+        final_q <= pre_q * 2.0 + 50.0,
+        "backlog failed to recover: {final_q} vs pre-outage {pre_q}"
+    );
+}
+
+#[test]
+fn price_spike_is_waited_out() {
+    // One DC, price 0.2 except a 10-slot spike at 10.0. With a large V
+    // GreFar serves (almost) nothing during the spike.
+    let config = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("solo", vec![50.0])
+        .account("x", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(3.0)
+                .with_max_route(10.0)
+                .with_max_process(50.0),
+        )
+        .build()
+        .expect("valid");
+    let mut rates = vec![0.2; 60];
+    for r in rates.iter_mut().take(40).skip(30) {
+        *r = 10.0;
+    }
+    let mut prices: Vec<Box<dyn PriceModel + Send>> =
+        vec![Box::new(ReplayPrice::new(rates))];
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
+        vec![Box::new(FullAvailability)];
+    let mut workload = ConstantWorkload::new(vec![3.0]);
+    let inputs = SimulationInputs::generate(
+        &config,
+        60,
+        1,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    );
+
+    let g = GreFar::new(&config, GreFarParams::new(20.0, 0.0)).expect("valid");
+    let report = Simulation::new(config.clone(), inputs, Box::new(g)).run();
+
+    let spike_work: f64 = report.work_per_dc[0].instant()[30..40].iter().sum();
+    let after_work: f64 = report.work_per_dc[0].instant()[40..50].iter().sum();
+    assert!(
+        spike_work < 1.0,
+        "GreFar should not serve during a 50x price spike, served {spike_work}"
+    );
+    assert!(
+        after_work > 25.0,
+        "the deferred backlog must drain right after the spike, got {after_work}"
+    );
+}
+
+#[test]
+fn sustained_overload_with_admission_control_stays_bounded() {
+    // Arrivals exceed capacity: 8 jobs/slot of work 1 against capacity 5.
+    let config = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("tiny", vec![5.0])
+        .account("x", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(8.0)
+                .with_max_route(20.0)
+                .with_max_process(20.0),
+        )
+        .build()
+        .expect("valid");
+    let mut prices: Vec<Box<dyn PriceModel + Send>> = vec![Box::new(ConstantPrice(0.3))];
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
+        vec![Box::new(FullAvailability)];
+    let mut workload = ConstantWorkload::new(vec![8.0]);
+    let inputs = SimulationInputs::generate(
+        &config,
+        200,
+        1,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    );
+
+    let g = GreFar::new(&config, GreFarParams::new(1.0, 0.0)).expect("valid");
+    let report = Simulation::new(config.clone(), inputs, Box::new(g))
+        .with_admission_cap(30.0)
+        .run();
+
+    assert!(report.dropped_jobs > 300, "overload must trigger drops");
+    // The cap bounds the central queue directly; the local queue holds at
+    // most the routed backlog on top of it. Without admission control the
+    // total backlog would grow by (8 − 5) jobs every slot (600 by t=200);
+    // with it, the total must stabilize near the cap.
+    assert!(
+        report.max_queue_length() <= 30.0 + 20.0 + 8.0,
+        "admission control must bound every queue, saw {}",
+        report.max_queue_length()
+    );
+    let mid = report.queue_total[100];
+    let end = *report.queue_total.last().expect("non-empty");
+    assert!(
+        (end - mid).abs() <= 20.0,
+        "backlog must stabilize under admission control: {mid} -> {end}"
+    );
+    // The served rate equals capacity.
+    let served: f64 = report.work_per_dc[0].instant().iter().sum::<f64>()
+        / report.horizon as f64;
+    assert!((served - 5.0).abs() < 0.3, "must serve at capacity, got {served}");
+}
+
+#[test]
+fn markov_churn_does_not_break_invariants() {
+    // Heavy availability churn: servers failing/repairing constantly.
+    let config = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("flaky", vec![40.0])
+        .account("x", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(6.0)
+                .with_max_route(12.0)
+                .with_max_process(40.0),
+        )
+        .build()
+        .expect("valid");
+    let mut prices: Vec<Box<dyn PriceModel + Send>> = vec![Box::new(ConstantPrice(0.3))];
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
+        vec![Box::new(MarkovAvailability::new(0.2, 0.5))];
+    let mut workload = ConstantWorkload::new(vec![6.0]);
+    let inputs = SimulationInputs::generate(
+        &config,
+        400,
+        5,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    );
+
+    let g = GreFar::new(&config, GreFarParams::new(2.0, 0.0)).expect("valid");
+    let report = Simulation::new(config.clone(), inputs, Box::new(g)).run();
+
+    // Stationary capacity ≈ 40·(0.5/0.7) ≈ 28.6 > 6: the system is stable.
+    assert!(report.max_queue_length() < 100.0);
+    assert!(report.completions.completed_total > 6 * 350);
+    assert!(report.energy.instant().iter().all(|&e| e >= 0.0));
+}

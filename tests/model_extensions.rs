@@ -1,0 +1,121 @@
+//! Integration tests for the paper's model extensions: the parallelism
+//! constraint (§III-B), convex usage-dependent tariffs (§III-A.2), and
+//! alternative fairness functions (§III-C footnote 5).
+
+use grefar::cluster::{AvailabilityProcess, FullAvailability};
+use grefar::core::AlphaFair;
+use grefar::prelude::*;
+use grefar::sim::SimulationInputs;
+use grefar::trace::{ConstantPrice, ConstantWorkload, PriceModel, TieredPrice};
+
+fn single_dc_config(h_max: f64) -> SystemConfig {
+    SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("dc", vec![100.0])
+        .account("org", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(10.0)
+                .with_max_route(50.0)
+                .with_max_process(h_max),
+        )
+        .build()
+        .expect("valid")
+}
+
+fn flat_inputs(config: &SystemConfig, hours: usize, rate: f64, price: f64) -> SimulationInputs {
+    let mut prices: Vec<Box<dyn PriceModel + Send>> = vec![Box::new(ConstantPrice(price))];
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
+        vec![Box::new(FullAvailability)];
+    let mut workload = ConstantWorkload::new(vec![rate]);
+    SimulationInputs::generate(config, hours, 1, &mut prices, &mut availability, &mut workload)
+}
+
+/// §III-B: "the maximum number of servers that can be used to process a job
+/// simultaneously is upper bounded" — `h^max` caps per-slot service, so a
+/// backlog drains at most `h^max` jobs per slot even with idle capacity.
+#[test]
+fn parallelism_constraint_caps_service_rate() {
+    let config = single_dc_config(3.0); // at most 3 job-units served per slot
+    let inputs = flat_inputs(&config, 60, 10.0, 0.01); // overload vs h^max
+    let g = GreFar::new(&config, GreFarParams::new(0.1, 0.0)).expect("valid");
+    let report = Simulation::new(config.clone(), inputs, Box::new(g)).run();
+    // Service rate is pinned at the parallelism cap despite 100 idle servers.
+    for (t, w) in report.work_per_dc[0].instant().iter().enumerate().skip(2) {
+        assert!(*w <= 3.0 + 1e-9, "slot {t} served {w} > h^max");
+    }
+    let served: f64 = report.work_per_dc[0].instant().iter().sum();
+    assert!(
+        (served / report.horizon as f64 - 3.0).abs() < 0.2,
+        "cap should be saturated under overload"
+    );
+}
+
+/// §III-A.2: with a convex tiered tariff, a larger V spreads work to stay
+/// inside the cheap tier (peak shaving), lowering the premium-tier share.
+#[test]
+fn convex_tariff_peak_shaving() {
+    let config = single_dc_config(100.0);
+    let hours = 24 * 20;
+    let make_inputs = || {
+        let mut prices: Vec<Box<dyn PriceModel + Send>> =
+            vec![Box::new(TieredPrice::new(ConstantPrice(0.3), 6.0, 3.0))];
+        let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
+            vec![Box::new(FullAvailability)];
+        let mut workload = grefar::trace::CosmosLikeWorkload::new(
+            vec![grefar::trace::JobArrivalSpec::diurnal(5.0, 0.9, 14.0, 20.0)],
+            24.0,
+        );
+        SimulationInputs::generate(
+            &config,
+            hours,
+            3,
+            &mut prices,
+            &mut availability,
+            &mut workload,
+        )
+    };
+    let premium_fraction = |report: &SimulationReport| -> f64 {
+        let work = report.work_per_dc[0].instant();
+        let premium: f64 = work.iter().map(|&w| (w - 6.0).max(0.0)).sum();
+        premium / work.iter().sum::<f64>()
+    };
+    let eager = Simulation::new(
+        config.clone(),
+        make_inputs(),
+        Box::new(GreFar::new(&config, GreFarParams::new(0.0, 0.0)).expect("valid")),
+    )
+    .run();
+    let patient = Simulation::new(
+        config.clone(),
+        make_inputs(),
+        Box::new(GreFar::new(&config, GreFarParams::new(40.0, 0.0)).expect("valid")),
+    )
+    .run();
+    assert!(
+        premium_fraction(&patient) < premium_fraction(&eager) - 0.05,
+        "V must shave the premium tier: {} vs {}",
+        premium_fraction(&patient),
+        premium_fraction(&eager)
+    );
+    assert!(patient.average_energy_cost() < eager.average_energy_cost());
+}
+
+/// Footnote 5: the scheduler is generic over the fairness function — an
+/// α-fair GreFar runs end to end and still produces sane reports.
+#[test]
+fn alpha_fair_scheduler_runs_end_to_end() {
+    let scenario = PaperScenario::default().with_seed(8);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(24 * 5);
+    let scheduler = GreFar::with_fairness(
+        &config,
+        GreFarParams::new(7.5, 50.0),
+        Box::new(AlphaFair::new(1.0, 1e-3)),
+    )
+    .expect("valid");
+    let report = Simulation::new(config, inputs, Box::new(scheduler)).run();
+    assert!(report.average_energy_cost() > 0.0);
+    assert!(report.completions.completed_total > 0);
+    assert!(report.scheduler.contains("GreFar"));
+}

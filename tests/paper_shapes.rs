@@ -1,0 +1,215 @@
+//! Integration tests for the paper's headline experimental claims, on a
+//! shortened horizon of the §VI-A scenario. These are the qualitative
+//! *shapes* of Figs. 2–5 and §VI-B.1's work split; EXPERIMENTS.md records
+//! the full-length quantitative comparison.
+
+use grefar::prelude::*;
+use grefar::sim::sweep;
+
+const HOURS: usize = 24 * 15;
+
+fn reports_for_vs(vs: &[f64], beta: f64, seed: u64) -> Vec<SimulationReport> {
+    let scenario = PaperScenario::default().with_seed(seed);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(HOURS);
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vs
+        .iter()
+        .map(|&v| {
+            let g = GreFar::new(&config, GreFarParams::new(v, beta)).expect("valid");
+            (format!("V={v}"), Box::new(g) as Box<dyn Scheduler>)
+        })
+        .collect();
+    sweep::run_all(&config, &inputs, runs)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+/// Fig. 2(a): average energy cost decreases monotonically in V.
+#[test]
+fn energy_cost_decreases_in_v() {
+    let reports = reports_for_vs(&[0.1, 2.5, 7.5, 20.0], 0.0, 1);
+    let costs: Vec<f64> = reports.iter().map(|r| r.average_energy_cost()).collect();
+    for w in costs.windows(2) {
+        assert!(
+            w[1] <= w[0] + 0.15,
+            "energy cost must not increase with V: {costs:?}"
+        );
+    }
+    // And the spread is material (> 10 %).
+    assert!(
+        costs[0] / costs[costs.len() - 1] > 1.10,
+        "V sweep saves too little energy: {costs:?}"
+    );
+}
+
+/// Fig. 2(b)(c): average delays increase monotonically in V, and V = 0.1
+/// behaves like immediate scheduling (delay ≈ 1).
+#[test]
+fn delay_increases_in_v() {
+    let reports = reports_for_vs(&[0.1, 2.5, 7.5, 20.0], 0.0, 1);
+    for dc in 0..2 {
+        let delays: Vec<f64> = reports.iter().map(|r| r.average_dc_delay(dc)).collect();
+        for w in delays.windows(2) {
+            assert!(
+                w[1] >= w[0] - 0.05,
+                "delay in DC {dc} must grow with V: {delays:?}"
+            );
+        }
+    }
+    assert!(
+        (reports[0].average_dc_delay(0) - 1.0).abs() < 0.1,
+        "V = 0.1 should serve almost immediately"
+    );
+}
+
+/// §VI-B.1: more work is scheduled to data centers with lower average
+/// energy cost per unit work (Table I: DC2 < DC1 < DC3).
+#[test]
+fn work_split_follows_energy_cost_efficiency() {
+    let reports = reports_for_vs(&[7.5], 0.0, 2);
+    let r = &reports[0];
+    let (w1, w2, w3) = (
+        r.average_work_per_dc(0),
+        r.average_work_per_dc(1),
+        r.average_work_per_dc(2),
+    );
+    assert!(w2 > w1, "DC2 (cheapest/work) must get the most work: {w1} {w2} {w3}");
+    assert!(w1 > w3, "DC3 (priciest/work) must get the least work: {w1} {w2} {w3}");
+}
+
+/// Fig. 3: β at the calibrated operating point (300 in our units; the
+/// paper's "β = 100") achieves much better fairness than β = 0 at a marginal
+/// energy increase, and (the paper's observed side effect) no larger delay.
+#[test]
+fn beta_improves_fairness_at_marginal_energy_cost() {
+    let scenario = PaperScenario::default().with_seed(3);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(HOURS);
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
+        (
+            "b0".into(),
+            Box::new(GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid")),
+        ),
+        (
+            "b300".into(),
+            Box::new(GreFar::new(&config, GreFarParams::new(7.5, 300.0)).expect("valid")),
+        ),
+    ];
+    let reports = sweep::run_all(&config, &inputs, runs);
+    let (b0, b300) = (&reports[0].1, &reports[1].1);
+
+    assert!(
+        b300.average_fairness() > b0.average_fairness() + 1e-4,
+        "beta=300 must improve fairness: {} vs {}",
+        b300.average_fairness(),
+        b0.average_fairness()
+    );
+    assert!(
+        b300.average_energy_cost() < b0.average_energy_cost() * 1.10,
+        "fairness must cost only marginal energy: {} vs {}",
+        b300.average_energy_cost(),
+        b0.average_energy_cost()
+    );
+    assert!(
+        b300.average_dc_delay(0) <= b0.average_dc_delay(0) + 0.2,
+        "the quadratic fairness term encourages resource use, reducing delay"
+    );
+}
+
+/// Fig. 4: GreFar (V=7.5, calibrated β) beats Always on energy and fairness, at
+/// the expense of delay; Always's delay is ≈ 1.
+#[test]
+fn grefar_beats_always_on_energy_and_fairness() {
+    let scenario = PaperScenario::default().with_seed(4);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(HOURS);
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
+        (
+            "grefar".into(),
+            Box::new(GreFar::new(&config, GreFarParams::new(7.5, 300.0)).expect("valid")),
+        ),
+        ("always".into(), Box::new(Always::new(&config))),
+    ];
+    let reports = sweep::run_all(&config, &inputs, runs);
+    let (grefar, always) = (&reports[0].1, &reports[1].1);
+
+    assert!(
+        grefar.average_energy_cost() < always.average_energy_cost(),
+        "GreFar must save energy: {} vs {}",
+        grefar.average_energy_cost(),
+        always.average_energy_cost()
+    );
+    assert!(
+        grefar.average_fairness() >= always.average_fairness() - 5e-3,
+        "GreFar must be at least as fair: {} vs {}",
+        grefar.average_fairness(),
+        always.average_fairness()
+    );
+    assert!(
+        grefar.average_dc_delay(0) >= always.average_dc_delay(0),
+        "the energy saving is paid in delay"
+    );
+    assert!(
+        (always.average_dc_delay(0) - 1.0).abs() < 0.05,
+        "Always's delay should be about one slot, got {}",
+        always.average_dc_delay(0)
+    );
+}
+
+/// Fig. 5's claim, quantified: the work-weighted price GreFar pays in each
+/// data center is lower than what Always pays on the same inputs.
+#[test]
+fn grefar_pays_lower_work_weighted_prices() {
+    let scenario = PaperScenario::default().with_seed(5);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(HOURS);
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
+        (
+            "grefar".into(),
+            Box::new(GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid")),
+        ),
+        ("always".into(), Box::new(Always::new(&config))),
+    ];
+    let reports = sweep::run_all(&config, &inputs, runs);
+
+    let weighted = |r: &SimulationReport| -> f64 {
+        // Across all DCs: Σ work·price / Σ work.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..r.num_data_centers() {
+            for (w, p) in r.work_per_dc[i].instant().iter().zip(&r.prices[i]) {
+                num += w * p;
+                den += w;
+            }
+        }
+        num / den
+    };
+    let g = weighted(&reports[0].1);
+    let a = weighted(&reports[1].1);
+    assert!(g < a, "GreFar's work-weighted price {g} must beat Always's {a}");
+}
+
+/// The arrival calibration survives end to end: total served work per slot
+/// is close to the ≈ 97 units/hour of §VI-B.1, and the energy cost lands in
+/// Fig. 2(a)'s 25–50 band.
+#[test]
+fn absolute_scales_match_the_paper() {
+    let reports = reports_for_vs(&[7.5], 0.0, 6);
+    let r = &reports[0];
+    let total_work: f64 = (0..3).map(|i| r.average_work_per_dc(i)).sum();
+    assert!(
+        (85.0..=110.0).contains(&total_work),
+        "total work {total_work} out of calibration"
+    );
+    let energy = r.average_energy_cost();
+    assert!(
+        (25.0..=50.0).contains(&energy),
+        "energy cost {energy} outside Fig. 2(a)'s band"
+    );
+    let fairness = r.average_fairness();
+    assert!(
+        (-0.295..=0.0).contains(&fairness),
+        "fairness {fairness} outside the feasible band"
+    );
+}

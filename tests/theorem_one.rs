@@ -1,0 +1,196 @@
+//! Integration tests for Theorem 1: the queue bound (23), its O(V)
+//! scaling, the slackness certificate (20)–(22), and the O(1/V) optimality
+//! gap (24) against the T-step lookahead policy.
+
+use grefar::cluster::{AvailabilityProcess, UniformAvailability};
+use grefar::core::theory::{slackness_delta, slackness_delta_trace, TheoryBounds};
+use grefar::core::TStepLookahead;
+use grefar::prelude::*;
+use grefar::sim::{sweep, SimulationInputs};
+use grefar::trace::{CosmosLikeWorkload, DiurnalPriceModel, JobArrivalSpec, PriceModel};
+
+const HOURS: usize = 24 * 15;
+
+#[test]
+fn paper_scenario_is_slack_and_queue_bound_holds() {
+    let scenario = PaperScenario::default().with_seed(17);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(HOURS);
+
+    // The sporadic-burst workload requires the per-slot certificate: the
+    // static a^max-product witness is far too conservative for it.
+    let delta = slackness_delta_trace(&config, &inputs.capacities(&config), inputs.all_arrivals())
+        .expect("the paper scenario must satisfy the slackness conditions");
+    assert!(delta > 0.1, "slack too small: {delta}");
+
+    let price_max = (0..3)
+        .flat_map(|i| (0..inputs.horizon()).map(move |t| (i, t)))
+        .map(|(i, t)| inputs.state(t).data_center(i).price())
+        .fold(0.0f64, f64::max);
+    let bounds = TheoryBounds::new(&config, delta, price_max, 0.0);
+
+    let vs = [0.1, 2.5, 7.5, 20.0];
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vs
+        .iter()
+        .map(|&v| {
+            let g = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid");
+            (format!("V={v}"), Box::new(g) as Box<dyn Scheduler>)
+        })
+        .collect();
+    for (&v, (_, report)) in vs.iter().zip(sweep::run_all(&config, &inputs, runs)) {
+        let observed = report.max_queue_length();
+        let bound = bounds.queue_bound(v);
+        assert!(
+            observed <= bound,
+            "V={v}: observed {observed} exceeds the Theorem 1(a) bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn queue_growth_is_at_most_linear_in_v() {
+    let scenario = PaperScenario::default().with_seed(18);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(HOURS);
+
+    let vs = [5.0, 10.0, 20.0, 40.0];
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vs
+        .iter()
+        .map(|&v| {
+            let g = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid");
+            (format!("V={v}"), Box::new(g) as Box<dyn Scheduler>)
+        })
+        .collect();
+    let maxima: Vec<f64> = sweep::run_all(&config, &inputs, runs)
+        .into_iter()
+        .map(|(_, r)| r.max_queue_length())
+        .collect();
+    // Doubling V should grow the max queue by at most ~2× (plus slack for
+    // the additive arrival term).
+    for w in maxima.windows(2) {
+        assert!(
+            w[1] <= 2.5 * w[0] + 10.0,
+            "super-linear queue growth: {maxima:?}"
+        );
+    }
+}
+
+/// A small two-DC system where the frame LPs are cheap: the cost gap
+/// between GreFar and the optimal 24-step lookahead shrinks as V grows
+/// (Theorem 1(b)) and stays below the analytic bound.
+#[test]
+fn lookahead_gap_shrinks_with_v() {
+    let config = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("a", vec![25.0])
+        .data_center("b", vec![25.0])
+        .account("x", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0), DataCenterId::new(1)], 0)
+                .with_max_arrivals(6.0)
+                .with_max_route(6.0)
+                .with_max_process(15.0),
+        )
+        .build()
+        .expect("valid");
+
+    let mut prices: Vec<Box<dyn PriceModel + Send>> = vec![
+        Box::new(DiurnalPriceModel::new(0.40, 0.12, 24.0, 6.0).with_noise(0.4, 0.02)),
+        Box::new(DiurnalPriceModel::new(0.44, 0.12, 24.0, 18.0).with_noise(0.4, 0.02)),
+    ];
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> = vec![
+        Box::new(UniformAvailability::new(0.95, 1.0)),
+        Box::new(UniformAvailability::new(0.95, 1.0)),
+    ];
+    let mut workload = CosmosLikeWorkload::new(
+        vec![JobArrivalSpec::diurnal(2.5, 0.5, 14.0, 6.0)],
+        24.0,
+    );
+    let horizon = 24 * 10;
+    let inputs = SimulationInputs::generate(
+        &config,
+        horizon,
+        3,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    );
+
+    let lookahead = TStepLookahead::new(24).expect("valid frame");
+    let plan = lookahead
+        .plan(&config, inputs.states(), inputs.all_arrivals())
+        .expect("feasible");
+
+    let vs = [1.0, 5.0, 25.0];
+    let runs: Vec<(String, Box<dyn Scheduler>)> = vs
+        .iter()
+        .map(|&v| {
+            let g = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid");
+            (format!("V={v}"), Box::new(g) as Box<dyn Scheduler>)
+        })
+        .collect();
+    let gaps: Vec<f64> = sweep::run_all(&config, &inputs, runs)
+        .into_iter()
+        .map(|(_, r)| r.average_energy_cost() - plan.average_cost)
+        .collect();
+
+    assert!(
+        gaps[2] < gaps[0],
+        "the optimality gap must shrink from V=1 to V=25: {gaps:?}"
+    );
+    // Against the analytic bound: gap ≤ (B + D(T−1))/V, computed with the
+    // certificate delta.
+    let min_cap = inputs.min_capacity(&config);
+    let delta = slackness_delta(&config, &min_cap).expect("slack");
+    let bounds = TheoryBounds::new(&config, delta, 0.7, 0.0);
+    for (&v, &gap) in vs.iter().zip(&gaps) {
+        let analytic = bounds.cost_gap_bound(v, 24);
+        assert!(
+            gap <= analytic,
+            "V={v}: gap {gap} exceeds analytic bound {analytic}"
+        );
+    }
+}
+
+/// The lookahead planner itself: with full knowledge it never does worse
+/// than GreFar at any V on the same inputs (it is the benchmark).
+#[test]
+fn lookahead_lower_bounds_grefar() {
+    let config = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("solo", vec![20.0])
+        .account("x", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(5.0)
+                .with_max_route(8.0)
+                .with_max_process(20.0),
+        )
+        .build()
+        .expect("valid");
+    let mut prices: Vec<Box<dyn PriceModel + Send>> = vec![Box::new(
+        DiurnalPriceModel::new(0.5, 0.2, 24.0, 6.0).with_noise(0.3, 0.03),
+    )];
+    let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
+        vec![Box::new(grefar::cluster::FullAvailability)];
+    let mut workload =
+        CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(2.0, 0.4, 14.0, 5.0)], 24.0);
+    let inputs =
+        SimulationInputs::generate(&config, 24 * 8, 9, &mut prices, &mut availability, &mut workload);
+
+    let plan = TStepLookahead::new(24)
+        .expect("valid")
+        .plan(&config, inputs.states(), inputs.all_arrivals())
+        .expect("feasible");
+
+    for v in [0.5, 5.0, 50.0] {
+        let g = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid");
+        let report = Simulation::new(config.clone(), inputs.clone(), Box::new(g)).run();
+        assert!(
+            report.average_energy_cost() >= plan.average_cost - 1e-6,
+            "V={v}: online cost {} beat the offline benchmark {}",
+            report.average_energy_cost(),
+            plan.average_cost
+        );
+    }
+}
