@@ -2,8 +2,8 @@
 //! (β = 0) vs Frank–Wolfe (β > 0), and scaling in system size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grefar_core::{QuadraticDeviation, QueueState, SlotInstance};
 use grefar_convex::FwOptions;
+use grefar_core::{QuadraticDeviation, QueueState, SlotInstance};
 use grefar_sim::PaperScenario;
 use grefar_types::{
     DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, SystemState, Tariff,
@@ -114,5 +114,9 @@ fn bench_greedy_vs_fw_paper_scenario(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_greedy_scaling, bench_greedy_vs_fw_paper_scenario);
+criterion_group!(
+    benches,
+    bench_greedy_scaling,
+    bench_greedy_vs_fw_paper_scenario
+);
 criterion_main!(benches);

@@ -25,9 +25,8 @@ fn bench_simulation(c: &mut Criterion) {
     });
     group.bench_function("grefar_beta0", |b| {
         b.iter(|| {
-            let scheduler: Box<dyn Scheduler> = Box::new(
-                GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid"),
-            );
+            let scheduler: Box<dyn Scheduler> =
+                Box::new(GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid"));
             Simulation::new(config.clone(), inputs.clone(), scheduler)
                 .run()
                 .average_energy_cost()
@@ -35,9 +34,8 @@ fn bench_simulation(c: &mut Criterion) {
     });
     group.bench_function("grefar_beta100", |b| {
         b.iter(|| {
-            let scheduler: Box<dyn Scheduler> = Box::new(
-                GreFar::new(&config, GreFarParams::new(7.5, 100.0)).expect("valid"),
-            );
+            let scheduler: Box<dyn Scheduler> =
+                Box::new(GreFar::new(&config, GreFarParams::new(7.5, 100.0)).expect("valid"));
             Simulation::new(config.clone(), inputs.clone(), scheduler)
                 .run()
                 .average_energy_cost()

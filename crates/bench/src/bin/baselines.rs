@@ -13,14 +13,18 @@ use grefar_bench::{print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
 use grefar_sim::{sweep, MpcScheduler, PaperScenario};
 
-fn print_comparison(
-    title: &str,
-    reports: &[(String, grefar_sim::SimulationReport)],
-) {
+fn print_comparison(title: &str, reports: &[(String, grefar_sim::SimulationReport)]) {
     println!("{title}\n");
     println!(
         "{:<14} {:>11} {:>11} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "policy", "avg_energy", "fairness", "delay_dc1", "p95_dc1", "delay_dc2", "delay_dc3", "max_queue"
+        "policy",
+        "avg_energy",
+        "fairness",
+        "delay_dc1",
+        "p95_dc1",
+        "delay_dc2",
+        "delay_dc3",
+        "max_queue"
     );
     for (label, r) in reports {
         println!(
@@ -54,8 +58,7 @@ fn main() {
         (
             "GreFar b=100".into(),
             Box::new(
-                GreFar::new(&config, GreFarParams::new(DEFAULT_V, DEFAULT_BETA))
-                    .expect("valid"),
+                GreFar::new(&config, GreFarParams::new(DEFAULT_V, DEFAULT_BETA)).expect("valid"),
             ),
         ),
         (
@@ -63,7 +66,11 @@ fn main() {
             Box::new(MpcScheduler::new(&config, inputs.clone(), 6, 0.02)),
         ),
     ];
-    let reports = sweep::run_all(&config, &inputs, runs);
+    let mut telemetry = opts.telemetry();
+    let reports = match telemetry.as_mut() {
+        Some(tel) => sweep::run_all_observed(&config, &inputs, runs, tel),
+        None => sweep::run_all(&config, &inputs, runs),
+    };
     print_comparison(
         &format!(
             "Policy comparison, nominal load (≈22% utilization), {} hours, seed {}",
@@ -94,12 +101,13 @@ fn main() {
         ),
         (
             "GreFar b=0".into(),
-            Box::new(
-                GreFar::new(&heavy_config, GreFarParams::new(DEFAULT_V, 0.0)).expect("valid"),
-            ),
+            Box::new(GreFar::new(&heavy_config, GreFarParams::new(DEFAULT_V, 0.0)).expect("valid")),
         ),
     ];
-    let heavy_reports = sweep::run_all(&heavy_config, &heavy_inputs, heavy_runs);
+    let heavy_reports = match telemetry.as_mut() {
+        Some(tel) => sweep::run_all_observed(&heavy_config, &heavy_inputs, heavy_runs, tel),
+        None => sweep::run_all(&heavy_config, &heavy_inputs, heavy_runs),
+    };
     print_comparison(
         &format!(
             "Policy comparison, 2.5x load (≈55% utilization), {heavy_hours} hours, seed {}",
@@ -128,4 +136,8 @@ fn main() {
          (PriceGreedy) build deep queues at single sites; GreFar's queue-aware\n\
          routing spreads load and keeps tail delays bounded (Theorem 1a)"
     );
+
+    if let Some(tel) = telemetry {
+        tel.finish();
+    }
 }

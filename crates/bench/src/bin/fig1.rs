@@ -21,11 +21,8 @@ fn main() {
         .iter()
         .map(|j| j.account().index())
         .collect();
-    let by_org = work_trace.work_by_account(
-        &config.work_vector(),
-        &account_of,
-        config.num_accounts(),
-    );
+    let by_org =
+        work_trace.work_by_account(&config.work_vector(), &account_of, config.num_accounts());
 
     println!(
         "Fig. 1 — three-day trace of prices and arrived work ({} hours, seed {})\n",
@@ -52,8 +49,7 @@ fn main() {
     // Summary statistics (the features the paper's Fig. 1 demonstrates).
     println!("\nper-organization mean work/hour (target split 40/30/15/15 of ~97):");
     for m in 0..config.num_accounts() {
-        let mean: f64 =
-            by_org.iter().map(|row| row[m]).sum::<f64>() / by_org.len() as f64;
+        let mean: f64 = by_org.iter().map(|row| row[m]).sum::<f64>() / by_org.len() as f64;
         println!("  {}: {:.2}", config.accounts()[m].name(), mean);
     }
 

@@ -19,14 +19,20 @@ fn main() {
     let runs: Vec<(String, Box<dyn Scheduler>)> = FIG2_V_VALUES
         .iter()
         .map(|&v| {
-            let grefar = GreFar::new(&config, GreFarParams::new(v, 0.0))
-                .expect("valid parameters");
+            let grefar = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid parameters");
             (format!("V={v}"), Box::new(grefar) as Box<dyn Scheduler>)
         })
         .collect();
-    let reports = sweep::run_all(&config, &inputs, runs);
+    let mut telemetry = opts.telemetry();
+    let reports = match telemetry.as_mut() {
+        Some(tel) => sweep::run_all_observed(&config, &inputs, runs, tel),
+        None => sweep::run_all(&config, &inputs, runs),
+    };
 
-    println!("Fig. 2 — GreFar without fairness (beta = 0), {} hours, seed {}", opts.hours, opts.seed);
+    println!(
+        "Fig. 2 — GreFar without fairness (beta = 0), {} hours, seed {}",
+        opts.hours, opts.seed
+    );
     println!("\n(a) final average energy cost | (b) delay DC#1 | (c) delay DC#2 | delay DC#3 | max queue");
     let mut rows = Vec::new();
     for (label, report) in &reports {
@@ -41,7 +47,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["V", "avg_energy", "delay_dc1", "delay_dc2", "delay_dc3", "max_queue"],
+        &[
+            "V",
+            "avg_energy",
+            "delay_dc1",
+            "delay_dc2",
+            "delay_dc3",
+            "max_queue",
+        ],
         &rows,
     );
 
@@ -76,8 +89,18 @@ fn main() {
     let energy_cols: Vec<&[f64]> = reports.iter().map(|(_, r)| r.energy.running()).collect();
     let labels: Vec<&str> = reports.iter().map(|(l, _)| l.as_str()).collect();
     maybe_write_csv(opts.csv_path("fig2a_energy.csv"), &labels, &energy_cols);
-    let d1: Vec<&[f64]> = reports.iter().map(|(_, r)| r.dc_delay[0].as_slice()).collect();
+    let d1: Vec<&[f64]> = reports
+        .iter()
+        .map(|(_, r)| r.dc_delay[0].as_slice())
+        .collect();
     maybe_write_csv(opts.csv_path("fig2b_delay_dc1.csv"), &labels, &d1);
-    let d2: Vec<&[f64]> = reports.iter().map(|(_, r)| r.dc_delay[1].as_slice()).collect();
+    let d2: Vec<&[f64]> = reports
+        .iter()
+        .map(|(_, r)| r.dc_delay[1].as_slice())
+        .collect();
     maybe_write_csv(opts.csv_path("fig2c_delay_dc2.csv"), &labels, &d2);
+
+    if let Some(tel) = telemetry {
+        tel.finish();
+    }
 }

@@ -20,8 +20,8 @@ fn main() {
     let runs: Vec<(String, Box<dyn Scheduler>)> = betas
         .iter()
         .map(|&beta| {
-            let g = GreFar::new(&config, GreFarParams::new(DEFAULT_V, beta))
-                .expect("valid parameters");
+            let g =
+                GreFar::new(&config, GreFarParams::new(DEFAULT_V, beta)).expect("valid parameters");
             (format!("beta={beta}"), Box::new(g) as Box<dyn Scheduler>)
         })
         .collect();
@@ -47,7 +47,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["beta", "avg_energy", "avg_fairness", "delay_dc1", "delay_dc2", "delay_dc3"],
+        &[
+            "beta",
+            "avg_energy",
+            "avg_fairness",
+            "delay_dc1",
+            "delay_dc2",
+            "delay_dc3",
+        ],
         &rows,
     );
 

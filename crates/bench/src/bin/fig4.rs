@@ -25,7 +25,11 @@ fn main() {
         ),
         ("Always".into(), Box::new(Always::new(&config))),
     ];
-    let reports = sweep::run_all(&config, &inputs, runs);
+    let mut telemetry = opts.telemetry();
+    let reports = match telemetry.as_mut() {
+        Some(tel) => sweep::run_all_observed(&config, &inputs, runs, tel),
+        None => sweep::run_all(&config, &inputs, runs),
+    };
 
     println!(
         "Fig. 4 — GreFar (V={DEFAULT_V}, beta={DEFAULT_BETA}) vs Always, {} hours, seed {}\n",
@@ -47,7 +51,14 @@ fn main() {
         .collect();
     println!("(row 0 = GreFar, row 1 = Always)");
     print_table(
-        &["policy", "avg_energy", "avg_fairness", "delay_dc1", "delay_dc2", "delay_dc3"],
+        &[
+            "policy",
+            "avg_energy",
+            "avg_fairness",
+            "delay_dc1",
+            "delay_dc2",
+            "delay_dc3",
+        ],
         &rows,
     );
 
@@ -88,4 +99,8 @@ fn main() {
         .map(|(_, r)| r.dc_delay[0].as_slice())
         .collect();
     maybe_write_csv(opts.csv_path("fig4c_delay_dc1.csv"), &labels, &delay);
+
+    if let Some(tel) = telemetry {
+        tel.finish();
+    }
 }

@@ -20,8 +20,7 @@ fn main() {
         (
             "GreFar".into(),
             Box::new(
-                GreFar::new(&config, GreFarParams::new(DEFAULT_V, 0.0))
-                    .expect("valid parameters"),
+                GreFar::new(&config, GreFarParams::new(DEFAULT_V, 0.0)).expect("valid parameters"),
             ),
         ),
         ("Always".into(), Box::new(Always::new(&config))),
@@ -62,9 +61,7 @@ fn main() {
         .clone()
         .map(|t| grefar.work_per_dc[0].instant()[t])
         .collect();
-    let aw: Vec<f64> = window
-        .map(|t| always.work_per_dc[0].instant()[t])
-        .collect();
+    let aw: Vec<f64> = window.map(|t| always.work_per_dc[0].instant()[t]).collect();
     let weighted = |report: &grefar_sim::SimulationReport| -> f64 {
         let w = report.work_per_dc[0].instant();
         let p = &report.prices[0];
@@ -74,13 +71,15 @@ fn main() {
         }
         w.iter().zip(p).map(|(wi, pi)| wi * pi).sum::<f64>() / total
     };
-    let mean_price: f64 =
-        grefar.prices[0].iter().sum::<f64>() / grefar.prices[0].len() as f64;
+    let mean_price: f64 = grefar.prices[0].iter().sum::<f64>() / grefar.prices[0].len() as f64;
     let grefar_paid = weighted(grefar);
     println!("\nDC #1 work-weighted average price over the whole run:");
     println!("  time-average price: {mean_price:.4}");
     println!("  GreFar pays:        {grefar_paid:.4}  (below average: rides the dips)");
-    println!("  Always pays:        {:.4}  (price-blind)", weighted(always));
+    println!(
+        "  Always pays:        {:.4}  (price-blind)",
+        weighted(always)
+    );
 
     maybe_write_csv(
         opts.csv_path("fig5_snapshot.csv"),

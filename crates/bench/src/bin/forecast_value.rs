@@ -24,10 +24,7 @@ fn main() {
     for noise in [0.0, 0.1, 0.3, 0.6] {
         runs.push((
             format!("mpc_noise_{noise}"),
-            Box::new(
-                MpcScheduler::new(&config, inputs.clone(), 6, 0.02)
-                    .with_price_noise(noise),
-            ),
+            Box::new(MpcScheduler::new(&config, inputs.clone(), 6, 0.02).with_price_noise(noise)),
         ));
     }
     let reports = sweep::run_all(&config, &inputs, runs);

@@ -5,7 +5,7 @@
 //! USAGE:
 //!   grefar_cli [--scheduler NAME] [--v V] [--beta B] [--hours N] [--seed S]
 //!              [--load-scale X] [--prices FILE] [--workload FILE]
-//!              [--admission-cap C] [--csv DIR]
+//!              [--admission-cap C] [--csv DIR] [--telemetry FILE.jsonl]
 //!
 //! SCHEDULERS:
 //!   grefar (default) | always | local-only | price-greedy | mpc
@@ -15,12 +15,12 @@
 //! `grefar_trace::import`) replace the synthetic processes; both files must
 //! cover the requested horizon or they are cycled.
 
-use grefar_bench::{maybe_write_csv, print_table};
+use grefar_bench::{maybe_write_csv, print_table, Telemetry};
+use grefar_cluster::AvailabilityProcess;
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
 use grefar_sim::{MpcScheduler, PaperScenario, Simulation, SimulationInputs};
 use grefar_trace::import::{load_price_trace, load_workload_trace};
 use grefar_trace::{PriceProcess, ReplayPrice, ReplayWorkload};
-use grefar_cluster::AvailabilityProcess;
 use std::path::PathBuf;
 
 #[derive(Debug)]
@@ -35,6 +35,7 @@ struct CliOptions {
     workload: Option<PathBuf>,
     admission_cap: Option<f64>,
     csv_dir: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
 }
 
 fn parse_args() -> CliOptions {
@@ -49,6 +50,7 @@ fn parse_args() -> CliOptions {
         workload: None,
         admission_cap: None,
         csv_dir: None,
+        telemetry: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,11 +74,13 @@ fn parse_args() -> CliOptions {
                 opts.admission_cap = Some(value(i).parse().expect("--admission-cap number"))
             }
             "--csv" => opts.csv_dir = Some(PathBuf::from(value(i))),
+            "--telemetry" => opts.telemetry = Some(PathBuf::from(value(i))),
             "--help" | "-h" => {
                 println!(
                     "grefar_cli --scheduler grefar|always|local-only|price-greedy|mpc \\\n\
                      \x20          --v V --beta B --hours N --seed S --load-scale X \\\n\
-                     \x20          [--prices FILE] [--workload FILE] [--admission-cap C] [--csv DIR]"
+                     \x20          [--prices FILE] [--workload FILE] [--admission-cap C] \\\n\
+                     \x20          [--csv DIR] [--telemetry FILE.jsonl]"
                 );
                 std::process::exit(0);
             }
@@ -107,8 +111,7 @@ fn main() {
                 );
                 (0..trace.num_data_centers())
                     .map(|i| {
-                        Box::new(ReplayPrice::new(trace.rates(i)))
-                            as Box<dyn PriceProcess + Send>
+                        Box::new(ReplayPrice::new(trace.rates(i))) as Box<dyn PriceProcess + Send>
                     })
                     .collect()
             }
@@ -168,7 +171,11 @@ fn main() {
     if let Some(cap) = opts.admission_cap {
         sim = sim.with_admission_cap(cap);
     }
-    let report = sim.run();
+    let mut telemetry = opts.telemetry.as_deref().map(Telemetry::with_jsonl);
+    let report = match telemetry.as_mut() {
+        Some(tel) => sim.run_with_observer(tel),
+        None => sim.run(),
+    };
 
     println!("scheduler        : {}", report.scheduler);
     println!("hours            : {}", report.horizon);
@@ -176,7 +183,10 @@ fn main() {
     println!("avg fairness     : {:.4}", report.average_fairness());
     println!("arriving work/h  : {:.2}", report.arriving_work.mean());
     println!("jobs completed   : {}", report.completions.completed_total);
-    println!("mean sojourn     : {:.2} h", report.completions.mean_sojourn);
+    println!(
+        "mean sojourn     : {:.2} h",
+        report.completions.mean_sojourn
+    );
     println!("max queue        : {:.0}", report.max_queue_length());
     if report.dropped_jobs > 0 {
         println!("dropped (adm.)   : {}", report.dropped_jobs);
@@ -193,7 +203,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["dc", "avg_work", "avg_delay", "p95_delay", "completed"], &rows);
+    print_table(
+        &["dc", "avg_work", "avg_delay", "p95_delay", "completed"],
+        &rows,
+    );
 
     if opts.csv_dir.is_some() {
         let path = opts.csv_dir.as_ref().map(|d| d.join("run_series.csv"));
@@ -206,5 +219,9 @@ fn main() {
                 &report.queue_total,
             ],
         );
+    }
+
+    if let Some(tel) = telemetry {
+        tel.finish();
     }
 }

@@ -7,9 +7,9 @@
 //! generation first.
 
 use grefar_bench::{print_table, ExperimentOpts, DEFAULT_V};
+use grefar_cluster::{AvailabilityProcess, FullAvailability};
 use grefar_core::{GreFar, GreFarParams};
 use grefar_sim::{Simulation, SimulationInputs};
-use grefar_cluster::{AvailabilityProcess, FullAvailability};
 use grefar_trace::{CosmosLikeWorkload, DiurnalPriceModel, JobArrivalSpec, PriceProcess};
 use grefar_types::{DataCenterId, JobClass, ServerClass, SystemConfig};
 
@@ -46,10 +46,8 @@ fn run(mixed: bool, hours: usize, seed: u64) -> (f64, f64) {
     )];
     let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
         vec![Box::new(FullAvailability)];
-    let mut workload = CosmosLikeWorkload::new(
-        vec![JobArrivalSpec::diurnal(20.0, 0.5, 14.0, 45.0)],
-        24.0,
-    );
+    let mut workload =
+        CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(20.0, 0.5, 14.0, 45.0)], 24.0);
     let inputs = SimulationInputs::generate(
         &config,
         hours,

@@ -7,9 +7,9 @@
 //! conservative.
 
 use grefar_bench::{print_table, ExperimentOpts};
+use grefar_cluster::{AvailabilityProcess, UniformAvailability};
 use grefar_core::{GreFar, GreFarParams, Scheduler, TStepLookahead};
 use grefar_sim::{sweep, SimulationInputs};
-use grefar_cluster::{AvailabilityProcess, UniformAvailability};
 use grefar_trace::{CosmosLikeWorkload, DiurnalPriceModel, JobArrivalSpec, PriceProcess};
 use grefar_types::{DataCenterId, JobClass, ServerClass, SystemConfig};
 

@@ -13,9 +13,8 @@ fn main() {
     let config = scenario.config().clone();
     let inputs = scenario.into_inputs(opts.hours);
 
-    let delta =
-        slackness_delta_trace(&config, &inputs.capacities(&config), inputs.all_arrivals())
-            .expect("the paper scenario satisfies the slackness conditions");
+    let delta = slackness_delta_trace(&config, &inputs.capacities(&config), inputs.all_arrivals())
+        .expect("the paper scenario satisfies the slackness conditions");
     // A price bound for g^max: the observed maximum price across the trace.
     let price_max = (0..config.num_data_centers())
         .flat_map(|i| (0..inputs.horizon()).map(move |t| (i, t)))
@@ -27,8 +26,13 @@ fn main() {
         "Theorem 1(a) — queue bounds, {} hours, seed {} (delta = {delta:.3}, price_max = {price_max:.3})",
         opts.hours, opts.seed
     );
-    println!("constants: B = {:.1}, D = {:.1}, q_max = {:.1}, g_spread = {:.1}\n",
-        bounds.b_const(), bounds.d_const(), bounds.q_max(), bounds.g_spread());
+    println!(
+        "constants: B = {:.1}, D = {:.1}, q_max = {:.1}, g_spread = {:.1}\n",
+        bounds.b_const(),
+        bounds.d_const(),
+        bounds.q_max(),
+        bounds.g_spread()
+    );
 
     let vs = [0.1, 1.0, 2.5, 7.5, 20.0, 50.0];
     let runs: Vec<(String, Box<dyn Scheduler>)> = vs

@@ -59,7 +59,11 @@ fn main() {
     let monotone = energies.windows(2).all(|w| w[1] <= w[0] + 0.2);
     println!(
         "\nenergy monotone in V (±0.2 tolerance): {}",
-        if monotone { "yes" } else { "NO — investigate" }
+        if monotone {
+            "yes"
+        } else {
+            "NO — investigate"
+        }
     );
 
     let energy_col: Vec<f64> = rows.iter().map(|r| r[1]).collect();

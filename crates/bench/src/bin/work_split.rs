@@ -20,10 +20,9 @@ fn main() {
     println!("paper (V=7.5, beta=100): 33.967 / 48.502 / 14.770 (DC1 / DC2 / DC3)\n");
 
     for beta in [0.0, DEFAULT_BETA] {
-        let grefar = GreFar::new(&config, GreFarParams::new(DEFAULT_V, beta))
-            .expect("valid parameters");
-        let report =
-            Simulation::new(config.clone(), inputs.clone(), Box::new(grefar)).run();
+        let grefar =
+            GreFar::new(&config, GreFarParams::new(DEFAULT_V, beta)).expect("valid parameters");
+        let report = Simulation::new(config.clone(), inputs.clone(), Box::new(grefar)).run();
         println!("beta = {beta}:");
         let rows: Vec<Vec<f64>> = (0..3)
             .map(|i| {

@@ -5,14 +5,21 @@
 //!
 //! * `--hours N` — simulation horizon in slots (default experiment-specific),
 //! * `--seed S` — the master seed (default 2012),
-//! * `--csv DIR` — also write the plotted series as CSV files into `DIR`.
+//! * `--csv DIR` — also write the plotted series as CSV files into `DIR`,
+//! * `--telemetry FILE` — stream structured events (JSONL) to `FILE` and
+//!   print an aggregate summary after the regular output (see
+//!   [`Telemetry`]). Without the flag the regular output is byte-identical
+//!   and the instrumentation is disabled.
 //!
 //! Output is plain aligned text: the same rows/series the paper reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::path::PathBuf;
+use grefar_obs::{Event, JsonlSink, MemoryObserver, Observer};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 
 /// The cost-delay values swept in Fig. 2.
 pub const FIG2_V_VALUES: [f64; 4] = [0.1, 2.5, 7.5, 20.0];
@@ -40,6 +47,8 @@ pub struct ExperimentOpts {
     pub seed: u64,
     /// Optional directory for CSV dumps of the plotted series.
     pub csv_dir: Option<PathBuf>,
+    /// Optional JSONL file for structured telemetry events.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl ExperimentOpts {
@@ -53,6 +62,7 @@ impl ExperimentOpts {
             hours: default_hours,
             seed: 2012,
             csv_dir: None,
+            telemetry: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -74,7 +84,13 @@ impl ExperimentOpts {
                     opts.csv_dir = Some(PathBuf::from(value(i)));
                     i += 2;
                 }
-                other => panic!("unknown argument {other}; use --hours N --seed S --csv DIR"),
+                "--telemetry" => {
+                    opts.telemetry = Some(PathBuf::from(value(i)));
+                    i += 2;
+                }
+                other => panic!(
+                    "unknown argument {other}; use --hours N --seed S --csv DIR --telemetry FILE"
+                ),
             }
         }
         assert!(opts.hours > 0, "--hours must be positive");
@@ -84,6 +100,105 @@ impl ExperimentOpts {
     /// The CSV path for `name` if `--csv` was given.
     pub fn csv_path(&self, name: &str) -> Option<PathBuf> {
         self.csv_dir.as_ref().map(|d| d.join(name))
+    }
+
+    /// A [`Telemetry`] pipeline if `--telemetry` was given.
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.telemetry.as_deref().map(Telemetry::with_jsonl)
+    }
+}
+
+/// The telemetry pipeline shared by the experiment binaries: every event is
+/// aggregated in memory (for the end-of-run summary table) and, when a path
+/// is given, streamed to a JSONL file — one JSON object per line, schema
+/// documented at [`grefar_obs`].
+///
+/// Implements [`Observer`], so it plugs directly into
+/// [`grefar_sim::Simulation::run_with_observer`] or
+/// [`grefar_sim::sweep::run_all_observed`]. Call [`Telemetry::finish`] after
+/// the regular experiment output to flush the file and print the summary.
+pub struct Telemetry {
+    memory: MemoryObserver,
+    sink: Option<JsonlSink<BufWriter<File>>>,
+    path: Option<PathBuf>,
+}
+
+impl Telemetry {
+    /// In-memory aggregation only (no JSONL file).
+    pub fn new() -> Self {
+        Self {
+            memory: MemoryObserver::new(),
+            sink: None,
+            path: None,
+        }
+    }
+
+    /// Aggregates in memory *and* streams every event to `path` as JSONL.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be created.
+    pub fn with_jsonl(path: &Path) -> Self {
+        let sink = JsonlSink::create(path)
+            .unwrap_or_else(|e| panic!("cannot create telemetry file {}: {e}", path.display()));
+        Self {
+            memory: MemoryObserver::new(),
+            sink: Some(sink),
+            path: Some(path.to_path_buf()),
+        }
+    }
+
+    /// The in-memory aggregation (counters, gauges, histograms).
+    pub fn memory(&self) -> &MemoryObserver {
+        &self.memory
+    }
+
+    /// Flushes the JSONL file and prints the aggregate summary table.
+    ///
+    /// # Panics
+    /// Panics if the JSONL file saw write errors — a truncated event stream
+    /// should not pass silently.
+    pub fn finish(mut self) {
+        println!("\ntelemetry ({} events)", self.memory.total_events());
+        print!("{}", self.memory.summary());
+        if let Some(mut sink) = self.sink.take() {
+            sink.flush().expect("flush telemetry file");
+            assert_eq!(
+                sink.io_errors(),
+                0,
+                "telemetry file had {} write errors",
+                sink.io_errors()
+            );
+        }
+        if let Some(path) = &self.path {
+            println!("(wrote {})", path.display());
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observer for Telemetry {
+    fn record_event(&mut self, event: Event) {
+        if let Some(sink) = &mut self.sink {
+            sink.record_event(event.clone());
+        }
+        self.memory.record_event(event);
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        self.memory.add_counter(name, delta);
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.memory.set_gauge(name, value);
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        self.memory.record_value(name, value);
     }
 }
 
@@ -185,6 +300,7 @@ mod tests {
             hours: 10,
             seed: 1,
             csv_dir: Some(PathBuf::from("/tmp/x")),
+            telemetry: None,
         };
         assert_eq!(
             opts.csv_path("a.csv").unwrap(),
@@ -195,5 +311,16 @@ mod tests {
             ..opts
         };
         assert_eq!(no_csv.csv_path("a.csv"), None);
+    }
+
+    #[test]
+    fn telemetry_fans_out_to_memory() {
+        let mut tel = Telemetry::new();
+        tel.record_event(Event::new("slot").field("t", 0u64));
+        tel.record_value("slot.wall_us", 12.0);
+        tel.add_counter("slots", 1);
+        assert_eq!(tel.memory().event_count("slot"), 1);
+        assert_eq!(tel.memory().counter("slots"), 1);
+        assert_eq!(tel.memory().histogram("slot.wall_us").unwrap().count(), 1);
     }
 }

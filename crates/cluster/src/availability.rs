@@ -96,10 +96,7 @@ impl MarkovAvailability {
             (0.0..=1.0).contains(&fail) && (0.0..=1.0).contains(&repair),
             "probabilities must lie in [0, 1]"
         );
-        assert!(
-            fail + repair > 0.0,
-            "fail and repair cannot both be zero"
-        );
+        assert!(fail + repair > 0.0, "fail and repair cannot both be zero");
         Self {
             fail,
             repair,
@@ -116,9 +113,7 @@ impl MarkovAvailability {
 
 impl AvailabilityProcess for MarkovAvailability {
     fn sample(&mut self, _slot: Slot, fleet: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
-        let up = self
-            .up
-            .get_or_insert_with(|| fleet.to_vec());
+        let up = self.up.get_or_insert_with(|| fleet.to_vec());
         // Fleets can change between calls in principle; clamp defensively.
         for (u, &n) in up.iter_mut().zip(fleet) {
             *u = u.min(n);
@@ -290,8 +285,10 @@ mod tests {
     fn uniform_mean_is_about_midpoint() {
         let mut p = UniformAvailability::new(0.4, 0.8);
         let mut r = rng();
-        let mean: f64 =
-            (0..2000).map(|t| p.sample(t, &[1000.0], &mut r)[0]).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000)
+            .map(|t| p.sample(t, &[1000.0], &mut r)[0])
+            .sum::<f64>()
+            / 2000.0;
         assert!((mean - 600.0).abs() < 15.0, "mean {mean}");
     }
 
@@ -305,8 +302,10 @@ mod tests {
         for t in 0..200 {
             p.sample(t, &fleet, &mut r);
         }
-        let mean: f64 =
-            (200..1200).map(|t| p.sample(t, &fleet, &mut r)[0]).sum::<f64>() / 1000.0;
+        let mean: f64 = (200..1200)
+            .map(|t| p.sample(t, &fleet, &mut r)[0])
+            .sum::<f64>()
+            / 1000.0;
         assert!((mean - 300.0).abs() < 15.0, "mean {mean}");
     }
 

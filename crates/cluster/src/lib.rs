@@ -37,7 +37,7 @@ pub mod availability;
 pub mod power;
 
 pub use availability::{
-    AvailabilityProcess, DiurnalAvailability, FullAvailability, MarkovAvailability,
-    OutageSchedule, UniformAvailability,
+    AvailabilityProcess, DiurnalAvailability, FullAvailability, MarkovAvailability, OutageSchedule,
+    UniformAvailability,
 };
 pub use power::{energy_cost, PowerCurve, PowerSegment};

@@ -291,12 +291,11 @@ mod tests {
         let cls = classes();
         for w in [0.0, 1.0, 3.0, 7.0, 10.0] {
             let busy = curve.dispatch(w, &cls);
-            let total_work: f64 = busy
-                .iter()
-                .zip(&cls)
-                .map(|(b, c)| b * c.speed())
-                .sum();
-            assert!((total_work - w).abs() < 1e-9, "work {w}: served {total_work}");
+            let total_work: f64 = busy.iter().zip(&cls).map(|(b, c)| b * c.speed()).sum();
+            assert!(
+                (total_work - w).abs() < 1e-9,
+                "work {w}: served {total_work}"
+            );
             let power: f64 = busy
                 .iter()
                 .zip(&cls)

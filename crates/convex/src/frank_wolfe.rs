@@ -98,9 +98,7 @@ pub fn frank_wolfe(
         }
         let theta = match options.line_search {
             LineSearch::Diminishing => 2.0 / (t as f64 + 2.0),
-            LineSearch::GoldenSection { iters } => {
-                golden_section(objective, &x, &vertex, iters)
-            }
+            LineSearch::GoldenSection { iters } => golden_section(objective, &x, &vertex, iters),
         };
         for (xi, vi) in x.iter_mut().zip(&vertex) {
             *xi += theta * (vi - *xi);

@@ -78,12 +78,13 @@ impl Objective for Quadratic {
     fn value(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n);
         let mut quad = 0.0;
-        for i in 0..self.n {
-            let mut row = 0.0;
-            for j in 0..self.n {
-                row += self.q[i * self.n + j] * x[j];
-            }
-            quad += x[i] * row;
+        for (i, &xi) in x.iter().enumerate() {
+            let row: f64 = self.q[i * self.n..(i + 1) * self.n]
+                .iter()
+                .zip(x)
+                .map(|(q, xj)| q * xj)
+                .sum();
+            quad += xi * row;
         }
         0.5 * quad + self.c.iter().zip(x).map(|(a, b)| a * b).sum::<f64>()
     }
@@ -91,13 +92,13 @@ impl Objective for Quadratic {
     fn gradient(&self, x: &[f64], grad: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(grad.len(), self.n);
-        for i in 0..self.n {
+        for (i, g_out) in grad.iter_mut().enumerate() {
             let mut g = self.c[i];
-            for j in 0..self.n {
+            for (j, &xj) in x.iter().enumerate() {
                 // (Q + Qᵀ)/2 · x, exact for symmetric Q.
-                g += 0.5 * (self.q[i * self.n + j] + self.q[j * self.n + i]) * x[j];
+                g += 0.5 * (self.q[i * self.n + j] + self.q[j * self.n + i]) * xj;
             }
-            grad[i] = g;
+            *g_out = g;
         }
     }
 }

@@ -52,7 +52,10 @@ pub fn project_capped_box(x: &mut [f64], upper: &[f64], weights: &[f64], capacit
         "capacity must be non-negative and finite"
     );
     for &w in weights {
-        assert!(w > 0.0 && w.is_finite(), "weights must be positive, got {w}");
+        assert!(
+            w > 0.0 && w.is_finite(),
+            "weights must be positive, got {w}"
+        );
     }
     for &u in upper {
         assert!(u >= 0.0, "upper bounds must be non-negative, got {u}");
@@ -110,7 +113,9 @@ mod tests {
     use super::*;
 
     fn feasible(y: &[f64], upper: &[f64], weights: &[f64], capacity: f64, tol: f64) -> bool {
-        y.iter().zip(upper).all(|(v, &u)| *v >= -tol && *v <= u + tol)
+        y.iter()
+            .zip(upper)
+            .all(|(v, &u)| *v >= -tol && *v <= u + tol)
             && y.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() <= capacity + tol
     }
 
@@ -179,22 +184,17 @@ mod tests {
         let cap = 2.0;
         let mut x = orig.to_vec();
         project_capped_box(&mut x, &u, &w, cap);
-        let d_proj: f64 = orig
-            .iter()
-            .zip(&x)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let d_proj: f64 = orig.iter().zip(&x).map(|(a, b)| (a - b) * (a - b)).sum();
         let steps = 50;
         for i in 0..=steps {
             for j in 0..=steps {
                 let y = [2.0 * i as f64 / steps as f64, 2.0 * j as f64 / steps as f64];
                 if y[0] + y[1] <= cap {
-                    let d: f64 = orig
-                        .iter()
-                        .zip(&y)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
-                    assert!(d_proj <= d + 1e-6, "grid point {y:?} closer than projection");
+                    let d: f64 = orig.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+                    assert!(
+                        d_proj <= d + 1e-6,
+                        "grid point {y:?} closer than projection"
+                    );
                 }
             }
         }

@@ -68,7 +68,10 @@ pub fn projected_subgradient<P>(
 where
     P: FnMut(&mut [f64]),
 {
-    assert!(!x0.is_empty(), "projected_subgradient requires a non-empty start");
+    assert!(
+        !x0.is_empty(),
+        "projected_subgradient requires a non-empty start"
+    );
     let n = x0.len();
     let mut x = x0;
     project(&mut x);

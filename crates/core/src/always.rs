@@ -74,9 +74,7 @@ impl Scheduler for Always {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grefar_types::{
-        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
-    };
+    use grefar_types::{DataCenterId, DataCenterState, JobClass, ServerClass, Tariff};
 
     fn config() -> SystemConfig {
         SystemConfig::builder()

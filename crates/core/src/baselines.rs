@@ -129,9 +129,7 @@ impl Scheduler for PriceGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grefar_types::{
-        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
-    };
+    use grefar_types::{DataCenterId, DataCenterState, JobClass, ServerClass, Tariff};
 
     fn config() -> SystemConfig {
         SystemConfig::builder()

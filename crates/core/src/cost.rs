@@ -120,9 +120,7 @@ pub fn drift_penalty_objective(
 mod tests {
     use super::*;
     use crate::fairness::QuadraticDeviation;
-    use grefar_types::{
-        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
-    };
+    use grefar_types::{DataCenterId, DataCenterState, JobClass, ServerClass, Tariff};
 
     fn config() -> SystemConfig {
         SystemConfig::builder()

@@ -41,7 +41,9 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(ParamError::InvalidV(-1.0).to_string().contains("-1"));
-        assert!(ParamError::InvalidBeta(f64::NAN).to_string().contains("NaN"));
+        assert!(ParamError::InvalidBeta(f64::NAN)
+            .to_string()
+            .contains("NaN"));
         assert!(ParamError::InvalidFrame(0).to_string().contains('0'));
     }
 

@@ -91,7 +91,10 @@ impl AlphaFair {
     /// # Panics
     /// Panics if `alpha < 0` or `epsilon <= 0`.
     pub fn new(alpha: f64, epsilon: f64) -> Self {
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be non-negative");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be non-negative"
+        );
         assert!(epsilon > 0.0, "epsilon must be positive");
         Self { alpha, epsilon }
     }
@@ -224,10 +227,7 @@ mod tests {
         let b = [0.7, 0.5];
         for k in 0..=10 {
             let t = k as f64 / 10.0;
-            let mid = [
-                (1.0 - t) * a[0] + t * b[0],
-                (1.0 - t) * a[1] + t * b[1],
-            ];
+            let mid = [(1.0 - t) * a[0] + t * b[0], (1.0 - t) * a[1] + t * b[1]];
             let lhs = f.score(&mid, &g);
             let rhs = (1.0 - t) * f.score(&a, &g) + t * f.score(&b, &g);
             assert!(lhs >= rhs - 1e-12, "concavity violated at t={t}");

@@ -4,8 +4,9 @@ use crate::error::ParamError;
 use crate::fairness::{FairnessFunction, QuadraticDeviation};
 use crate::queue::QueueState;
 use crate::scheduler::Scheduler;
-use crate::solver::SlotInstance;
+use crate::solver::{SlotInstance, SlotSolution, SolverChoice};
 use grefar_convex::FwOptions;
+use grefar_obs::{Event, Observer, Timer};
 use grefar_types::{Decision, SystemConfig, SystemState};
 
 /// Tunable parameters of GreFar: the cost-delay parameter `V ≥ 0` and the
@@ -123,6 +124,20 @@ impl GreFar {
     pub fn fairness(&self) -> &dyn FairnessFunction {
         self.fairness.as_ref()
     }
+
+    /// Solves the slot problem (14), keeping the full [`SlotSolution`].
+    fn solve(&self, state: &SystemState, queues: &QueueState) -> SlotSolution {
+        let inst = SlotInstance::new(&self.config, state, queues, self.params.v);
+        if self.params.beta == 0.0 {
+            inst.solve_greedy()
+        } else {
+            inst.solve_with_fairness(
+                self.params.beta,
+                self.fairness.as_ref(),
+                self.params.fw_options,
+            )
+        }
+    }
 }
 
 impl Scheduler for GreFar {
@@ -131,26 +146,68 @@ impl Scheduler for GreFar {
     }
 
     fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
-        let inst = SlotInstance::new(&self.config, state, queues, self.params.v);
-        if self.params.beta == 0.0 {
-            inst.solve_greedy().decision
-        } else {
-            inst.solve_with_fairness(
-                self.params.beta,
-                self.fairness.as_ref(),
-                self.params.fw_options,
-            )
-            .decision
+        self.solve(state, queues).decision
+    }
+
+    fn decide_observed(
+        &mut self,
+        state: &SystemState,
+        queues: &QueueState,
+        obs: &mut dyn Observer,
+    ) -> Decision {
+        if !obs.enabled() {
+            return self.decide(state, queues);
         }
+        let timer = Timer::start();
+        let solution = self.solve(state, queues);
+        let elapsed = timer.elapsed();
+
+        // Decompose (14): penalty = V·g(t), drift = the queue terms.
+        let g = crate::cost::cost_breakdown(
+            &self.config,
+            state,
+            &solution.decision,
+            self.params.beta,
+            self.fairness.as_ref(),
+        )
+        .combined;
+        let penalty = self.params.v * g;
+        let drift = solution.objective - penalty;
+
+        let (fw_iterations, fw_gap) = match solution.solver {
+            SolverChoice::Greedy => (0usize, 0.0),
+            SolverChoice::FrankWolfe { iterations, gap } => (iterations, gap),
+        };
+        obs.record_event(
+            Event::new("grefar.decide")
+                .field("t", state.slot())
+                .field("v", self.params.v)
+                .field("beta", self.params.beta)
+                .field("objective", solution.objective)
+                .field("drift", drift)
+                .field("penalty", penalty)
+                .field("routed", solution.decision.routed.sum())
+                .field("processed", solution.decision.processed.sum())
+                .field("solver", solution.solver.label())
+                .field("fw_iterations", fw_iterations)
+                .field("fw_gap", fw_gap)
+                .field(
+                    "wall_us",
+                    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                ),
+        );
+        obs.record_duration("grefar.decide.wall_us", elapsed);
+        if let SolverChoice::FrankWolfe { iterations, .. } = solution.solver {
+            obs.record_value("grefar.fw_iterations", iterations as f64);
+        }
+        solution.decision
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grefar_types::{
-        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
-    };
+    use grefar_types::{DataCenterId, DataCenterState, JobClass, ServerClass, Tariff};
 
     fn config() -> SystemConfig {
         SystemConfig::builder()
@@ -195,10 +252,7 @@ mod tests {
         let mut z = cfg.decision_zeros();
         z.routed[(0, 0)] = 6.0;
         queues.apply(&z, &[0.0]); // q = 6 at the data center
-        let state = SystemState::new(
-            0,
-            vec![DataCenterState::new(vec![30.0], Tariff::flat(0.5))],
-        );
+        let state = SystemState::new(0, vec![DataCenterState::new(vec![30.0], Tariff::flat(0.5))]);
         // Threshold: serve while q/d > V·φ·p/s = 0.5 V.
         let mut eager = GreFar::new(&cfg, GreFarParams::new(1.0, 0.0)).unwrap();
         let mut patient = GreFar::new(&cfg, GreFarParams::new(100.0, 0.0)).unwrap();

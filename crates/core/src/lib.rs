@@ -75,4 +75,4 @@ pub use grefar::{GreFar, GreFarParams};
 pub use lookahead::{LookaheadPlan, TStepLookahead};
 pub use queue::QueueState;
 pub use scheduler::Scheduler;
-pub use solver::{SlotInstance, SlotSolution};
+pub use solver::{SlotInstance, SlotSolution, SolverChoice};

@@ -82,8 +82,7 @@ impl TStepLookahead {
         for r in 0..frames {
             let lo = r * self.frame;
             let hi = lo + self.frame;
-            let (cost, work) =
-                solve_frame(config, &states[lo..hi], &arrivals[lo..hi])?;
+            let (cost, work) = solve_frame(config, &states[lo..hi], &arrivals[lo..hi])?;
             frame_costs.push(cost);
             last_frame_work = work;
         }
@@ -224,9 +223,7 @@ fn solve_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grefar_types::{
-        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
-    };
+    use grefar_types::{DataCenterId, DataCenterState, JobClass, ServerClass, Tariff};
 
     fn config() -> SystemConfig {
         SystemConfig::builder()
@@ -266,7 +263,11 @@ mod tests {
         let arrivals = vec![vec![3.0], vec![0.0]];
         let plan = la.plan(&cfg, &states, &arrivals).unwrap();
         // Cost: 3 units of work × power 1 × price 0.1, averaged over T=2.
-        assert!((plan.average_cost - 0.15).abs() < 1e-9, "{}", plan.average_cost);
+        assert!(
+            (plan.average_cost - 0.15).abs() < 1e-9,
+            "{}",
+            plan.average_cost
+        );
         assert!((plan.last_frame_work[1][0] - 3.0).abs() < 1e-7);
         assert!(plan.last_frame_work[0][0] < 1e-7);
     }

@@ -96,15 +96,12 @@ impl QueueState {
         assert_eq!(arrivals.len(), j_count, "arrival vector mismatch");
         assert_eq!(decision.routed.rows(), n, "decision shape mismatch");
         assert_eq!(decision.routed.cols(), j_count, "decision shape mismatch");
-        assert!(
-            decision.is_nonnegative(),
-            "decision has negative entries"
-        );
+        assert!(decision.is_nonnegative(), "decision has negative entries");
 
-        for j in 0..j_count {
-            assert!(arrivals[j] >= 0.0, "negative arrivals for job type {j}");
+        for (j, &arrived) in arrivals.iter().enumerate() {
+            assert!(arrived >= 0.0, "negative arrivals for job type {j}");
             let routed_total = decision.routed.col_sum(j);
-            self.central[j] = (self.central[j] - routed_total).max(0.0) + arrivals[j];
+            self.central[j] = (self.central[j] - routed_total).max(0.0) + arrived;
             for i in 0..n {
                 let served = decision.processed[(i, j)];
                 let routed = decision.routed[(i, j)];
@@ -141,12 +138,7 @@ impl QueueState {
     /// Panics if dimensions mismatch.
     pub fn local_work(&self, i: usize, work: &[f64]) -> f64 {
         assert_eq!(work.len(), self.central.len(), "work vector mismatch");
-        self.local
-            .row(i)
-            .iter()
-            .zip(work)
-            .map(|(q, d)| q * d)
-            .sum()
+        self.local.row(i).iter().zip(work).map(|(q, d)| q * d).sum()
     }
 }
 

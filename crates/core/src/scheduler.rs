@@ -1,6 +1,7 @@
 //! The online-scheduler interface.
 
 use crate::queue::QueueState;
+use grefar_obs::Observer;
 use grefar_types::{Decision, SystemState};
 
 /// An online scheduler: at the beginning of every slot it observes the data
@@ -17,6 +18,22 @@ pub trait Scheduler: Send {
 
     /// Chooses the action for the slot `state.slot()`.
     fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision;
+
+    /// Like [`decide`](Scheduler::decide), but with a telemetry sink the
+    /// implementation may emit solver-internal events to (see the
+    /// `grefar-obs` event schema). The default ignores the observer, so
+    /// plain schedulers need not change; instrumented ones
+    /// ([`GreFar`](crate::GreFar), the simulator's MPC baseline) override
+    /// it and must return exactly what `decide` would.
+    fn decide_observed(
+        &mut self,
+        state: &SystemState,
+        queues: &QueueState,
+        obs: &mut dyn Observer,
+    ) -> Decision {
+        let _ = obs;
+        self.decide(state, queues)
+    }
 }
 
 #[cfg(test)]

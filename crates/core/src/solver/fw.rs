@@ -75,9 +75,7 @@ impl Objective for ProcessingObjective<'_> {
         let mut value = 0.0;
         // Energy term.
         for i in 0..l.n {
-            let power: f64 = (0..l.k)
-                .map(|k| x[l.b(i, k)] * self.inst.powers[k])
-                .sum();
+            let power: f64 = (0..l.k).map(|k| x[l.b(i, k)] * self.inst.powers[k]).sum();
             value += self.inst.v * self.inst.state.data_center(i).tariff().cost(power.max(0.0));
         }
         // Fairness term.
@@ -99,9 +97,7 @@ impl Objective for ProcessingObjective<'_> {
         grad.fill(0.0);
         // Energy: ∂/∂b_{i,k} = V · rate_i(power_i) · p_k.
         for i in 0..l.n {
-            let power: f64 = (0..l.k)
-                .map(|k| x[l.b(i, k)] * self.inst.powers[k])
-                .sum();
+            let power: f64 = (0..l.k).map(|k| x[l.b(i, k)] * self.inst.powers[k]).sum();
             let rate = self
                 .inst
                 .state
@@ -116,15 +112,16 @@ impl Objective for ProcessingObjective<'_> {
         let mut fair_grad = vec![0.0; self.gammas.len()];
         if self.beta > 0.0 && self.inst.total_capacity > 0.0 {
             let shares = self.shares(x);
-            self.fairness.gradient(&shares, &self.gammas, &mut fair_grad);
+            self.fairness
+                .gradient(&shares, &self.gammas, &mut fair_grad);
         }
         for i in 0..l.n {
             for j in 0..l.j {
                 let mut g = -self.inst.queues.local(i, j);
                 if self.beta > 0.0 && self.inst.total_capacity > 0.0 {
-                    g -= self.inst.v * self.beta * fair_grad[self.account_of[j]]
-                        * self.inst.work[j]
-                        / self.inst.total_capacity;
+                    g -=
+                        self.inst.v * self.beta * fair_grad[self.account_of[j]] * self.inst.work[j]
+                            / self.inst.total_capacity;
                 }
                 grad[l.h(i, j)] = g;
             }
@@ -165,14 +162,16 @@ impl Lmo for SlotLmo<'_> {
 }
 
 /// Solves the processing part of (14) with fairness via Frank–Wolfe,
-/// returning `(h, b)` grids. The final busy matrix is re-dispatched at
-/// minimum power for the chosen work (never worse, always feasible).
+/// returning `(h, b, iterations, gap)`. The final busy matrix is
+/// re-dispatched at minimum power for the chosen work (never worse, always
+/// feasible); the iteration count and final duality gap are passed through
+/// for telemetry.
 pub(crate) fn solve_processing_fw(
     inst: &SlotInstance<'_>,
     beta: f64,
     fairness: &dyn FairnessFunction,
     options: FwOptions,
-) -> (Grid, Grid) {
+) -> (Grid, Grid, usize, f64) {
     let layout = Layout {
         n: inst.config.num_data_centers(),
         j: inst.config.num_job_classes(),
@@ -213,7 +212,7 @@ pub(crate) fn solve_processing_fw(
         }
     }
     let busy = inst.min_power_busy(&work_by_dc);
-    (processed, busy)
+    (processed, busy, result.iterations, result.gap)
 }
 
 #[cfg(test)]
@@ -231,12 +230,8 @@ mod tests {
             .data_center("a", vec![20.0])
             .account("x", 0.5)
             .account("y", 0.5)
-            .job_class(
-                JobClass::new(1.0, vec![DataCenterId::new(0)], 0).with_max_process(20.0),
-            )
-            .job_class(
-                JobClass::new(1.0, vec![DataCenterId::new(0)], 1).with_max_process(20.0),
-            )
+            .job_class(JobClass::new(1.0, vec![DataCenterId::new(0)], 0).with_max_process(20.0))
+            .job_class(JobClass::new(1.0, vec![DataCenterId::new(0)], 1).with_max_process(20.0))
             .build()
             .unwrap()
     }
@@ -253,10 +248,7 @@ mod tests {
     #[test]
     fn beta_zero_fw_matches_greedy() {
         let cfg = two_account_config();
-        let st = SystemState::new(
-            0,
-            vec![DataCenterState::new(vec![20.0], Tariff::flat(0.4))],
-        );
+        let st = SystemState::new(0, vec![DataCenterState::new(vec![20.0], Tariff::flat(0.4))]);
         let q = queues_with(&cfg, 8.0, 2.0);
         let inst = SlotInstance::new(&cfg, &st, &q, 3.0);
         let greedy = inst.solve_greedy();
@@ -295,10 +287,7 @@ mod tests {
     #[test]
     fn fw_solution_is_feasible() {
         let cfg = two_account_config();
-        let st = SystemState::new(
-            0,
-            vec![DataCenterState::new(vec![5.0], Tariff::flat(0.2))],
-        );
+        let st = SystemState::new(0, vec![DataCenterState::new(vec![5.0], Tariff::flat(0.2))]);
         let q = queues_with(&cfg, 10.0, 10.0);
         let inst = SlotInstance::new(&cfg, &st, &q, 2.0);
         let d = inst
@@ -316,10 +305,7 @@ mod tests {
     #[test]
     fn zero_capacity_is_handled() {
         let cfg = two_account_config();
-        let st = SystemState::new(
-            0,
-            vec![DataCenterState::new(vec![0.0], Tariff::flat(0.2))],
-        );
+        let st = SystemState::new(0, vec![DataCenterState::new(vec![0.0], Tariff::flat(0.2))]);
         let q = queues_with(&cfg, 4.0, 4.0);
         let inst = SlotInstance::new(&cfg, &st, &q, 2.0);
         let d = inst

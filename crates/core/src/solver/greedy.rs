@@ -64,10 +64,11 @@ pub(crate) fn linear_dispatch_dc(
     supply.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
 
     // Demand: only jobs whose service improves the objective.
-    let mut demand: Vec<(usize, f64, f64)> = (0..j_count) // (j, value/work, work)
-        .filter(|&j| c_h[j] < 0.0 && h_cap[j] > 0.0 && work[j] > 0.0)
-        .map(|j| (j, -c_h[j] / work[j], h_cap[j] * work[j]))
-        .collect();
+    let mut demand: Vec<(usize, f64, f64)> =
+        (0..j_count) // (j, value/work, work)
+            .filter(|&j| c_h[j] < 0.0 && h_cap[j] > 0.0 && work[j] > 0.0)
+            .map(|j| (j, -c_h[j] / work[j], h_cap[j] * work[j]))
+            .collect();
     demand.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite values"));
 
     let mut supply_idx = 0usize;
@@ -183,7 +184,11 @@ pub(crate) fn price_aware_dispatch_dc(
                 break 'demand;
             }
             // Work that fits in this (class, tariff-tier) cell.
-            let tier_work = if ppw > 0.0 { tier_left / ppw } else { f64::INFINITY };
+            let tier_work = if ppw > 0.0 {
+                tier_left / ppw
+            } else {
+                f64::INFINITY
+            };
             let served = want.min(supply_left).min(tier_work);
             debug_assert!(served > 0.0);
             h_out[j] += served / work[j];

@@ -73,6 +73,32 @@ pub struct SlotInstance<'a> {
     pub(crate) total_capacity: f64,
 }
 
+/// Which processing solver produced a [`SlotSolution`] — surfaced so
+/// telemetry can distinguish the exact greedy path from Frank–Wolfe and
+/// report the latter's convergence effort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverChoice {
+    /// The exact greedy fractional matching (`β = 0`).
+    Greedy,
+    /// Frank–Wolfe with the greedy LMO (`β > 0`).
+    FrankWolfe {
+        /// Iterations actually performed.
+        iterations: usize,
+        /// Final duality gap (an upper bound on `f(x) − f*`).
+        gap: f64,
+    },
+}
+
+impl SolverChoice {
+    /// A short label for telemetry ("greedy" / "frank_wolfe").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolverChoice::Greedy => "greedy",
+            SolverChoice::FrankWolfe { .. } => "frank_wolfe",
+        }
+    }
+}
+
 /// The minimizer of (14) for one slot, plus its objective value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotSolution {
@@ -80,6 +106,8 @@ pub struct SlotSolution {
     pub decision: Decision,
     /// The drift-plus-penalty value (14) achieved by `decision`.
     pub objective: f64,
+    /// Which solver produced the decision (and how hard it worked).
+    pub solver: SolverChoice,
 }
 
 impl<'a> SlotInstance<'a> {
@@ -157,13 +185,11 @@ impl<'a> SlotInstance<'a> {
             targets.sort_by(|&a, &b| {
                 let qa = self.queues.local(a, j);
                 let qb = self.queues.local(b, j);
-                qa.partial_cmp(&qb)
-                    .expect("finite queues")
-                    .then_with(|| {
-                        let ra = (a + n - rotation) % n;
-                        let rb = (b + n - rotation) % n;
-                        ra.cmp(&rb)
-                    })
+                qa.partial_cmp(&qb).expect("finite queues").then_with(|| {
+                    let ra = (a + n - rotation) % n;
+                    let rb = (b + n - rotation) % n;
+                    ra.cmp(&rb)
+                })
             });
             for i in targets {
                 if remaining <= 0.0 {
@@ -190,8 +216,8 @@ impl<'a> SlotInstance<'a> {
         let mut b_row = vec![0.0; k_count];
         let mut values = vec![0.0; j_count];
         for i in 0..self.config.num_data_centers() {
-            for j in 0..j_count {
-                values[j] = self.queues.local(i, j);
+            for (j, value) in values.iter_mut().enumerate() {
+                *value = self.queues.local(i, j);
             }
             let dc = self.state.data_center(i);
             price_aware_dispatch_dc(
@@ -213,6 +239,7 @@ impl<'a> SlotInstance<'a> {
         SlotSolution {
             decision,
             objective,
+            solver: SolverChoice::Greedy,
         }
     }
 
@@ -231,7 +258,7 @@ impl<'a> SlotInstance<'a> {
         );
         let mut decision = self.config.decision_zeros();
         decision.routed = self.solve_routing();
-        let (processed, busy) = solve_processing_fw(self, beta, fairness, options);
+        let (processed, busy, iterations, gap) = solve_processing_fw(self, beta, fairness, options);
         decision.processed = processed;
         decision.busy = busy;
         let objective = crate::cost::drift_penalty_objective(
@@ -246,6 +273,7 @@ impl<'a> SlotInstance<'a> {
         SlotSolution {
             decision,
             objective,
+            solver: SolverChoice::FrankWolfe { iterations, gap },
         }
     }
 
@@ -261,12 +289,12 @@ impl<'a> SlotInstance<'a> {
         let n = self.config.num_data_centers();
         let k_count = self.config.num_server_classes();
         let mut busy = Grid::zeros(n, k_count);
-        for i in 0..n {
+        for (i, &dc_work) in work_by_dc.iter().enumerate() {
             let curve = PowerCurve::build(
                 self.state.data_center(i).available_slice(),
                 self.config.server_classes(),
             );
-            let w = work_by_dc[i].min(curve.total_capacity());
+            let w = dc_work.min(curve.total_capacity());
             let b = curve.dispatch(w, self.config.server_classes());
             busy.row_mut(i).copy_from_slice(&b);
         }
@@ -290,9 +318,7 @@ impl<'a> SlotInstance<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grefar_types::{
-        DataCenterId, DataCenterState, JobClass, ServerClass, Tariff,
-    };
+    use grefar_types::{DataCenterId, DataCenterState, JobClass, ServerClass, Tariff};
 
     fn config() -> SystemConfig {
         SystemConfig::builder()
@@ -326,7 +352,7 @@ mod tests {
         let st = state(0.5, 0.5);
         let mut q = QueueState::new(&cfg);
         q.apply(&cfg.decision_zeros(), &[10.0]); // Q = 10
-        // Put 3 jobs in DC 0's queue so DC 1 (empty) is preferred.
+                                                 // Put 3 jobs in DC 0's queue so DC 1 (empty) is preferred.
         let mut z = cfg.decision_zeros();
         z.routed[(0, 0)] = 3.0;
         q.apply(&z, &[3.0]); // Q = 10 − 3 + 3 = 10, q(0,0) = 3
@@ -414,7 +440,9 @@ mod tests {
         let mut z = cfg.decision_zeros();
         z.routed[(0, 0)] = 3.0;
         q.apply(&z, &[0.0]);
-        let d = SlotInstance::new(&cfg, &st, &q, 1.0).solve_greedy().decision;
+        let d = SlotInstance::new(&cfg, &st, &q, 1.0)
+            .solve_greedy()
+            .decision;
         // Only 3 jobs exist in DC 0 even though h^max = 20.
         assert_eq!(d.processed[(0, 0)], 3.0);
         assert_eq!(d.processed[(1, 0)], 0.0);

@@ -147,8 +147,7 @@ impl TheoryBounds {
     pub fn queue_bound(&self, v: f64) -> f64 {
         assert!(v >= 0.0 && v.is_finite(), "V must be non-negative");
         let p = self.b_const + v * self.g_spread;
-        ((p / self.delta).powi(2) + 2.0 * self.d_const + 2.0 * self.q_max * p / self.delta)
-            .sqrt()
+        ((p / self.delta).powi(2) + 2.0 * self.d_const + 2.0 * self.q_max * p / self.delta).sqrt()
     }
 
     /// Theorem 1(b): the optimality-gap bound `(B + D(T−1)) / V` of (24)
@@ -213,7 +212,7 @@ pub fn slackness_delta(config: &SystemConfig, min_capacity: &[f64]) -> Option<f6
             }
         }
         // Capacity: Σ_{j: i∈𝒟_j} h'_{i,j} d_j ≤ min_cap_i − δ.
-        for i in 0..config.num_data_centers() {
+        for (i, &cap) in min_capacity.iter().enumerate() {
             let mut load = 0.0;
             for job in config.job_classes() {
                 if job.is_eligible(grefar_types::DataCenterId::new(i)) {
@@ -221,7 +220,7 @@ pub fn slackness_delta(config: &SystemConfig, min_capacity: &[f64]) -> Option<f6
                     load += (r + delta) * job.work();
                 }
             }
-            if load > min_capacity[i] - delta {
+            if load > cap - delta {
                 return false;
             }
         }
@@ -303,7 +302,7 @@ pub fn slackness_delta_trace(
             }
             p.add_constraint(&coeffs, Relation::Ge, arr[j] + delta);
         }
-        for i in 0..n {
+        for (i, &cap) in caps.iter().enumerate() {
             let mut coeffs = Vec::new();
             let mut fixed = 0.0;
             for (j, job) in config.job_classes().iter().enumerate() {
@@ -312,7 +311,7 @@ pub fn slackness_delta_trace(
                     fixed += delta * job.work(); // h' = r' + δ
                 }
             }
-            p.add_constraint(&coeffs, Relation::Le, caps[i] - delta - fixed);
+            p.add_constraint(&coeffs, Relation::Le, cap - delta - fixed);
         }
         p.solve().is_ok()
     };
@@ -322,11 +321,7 @@ pub fn slackness_delta_trace(
             let mut load = vec![0.0; n];
             let mut proportional_ok = true;
             'jobs: for (j, job) in config.job_classes().iter().enumerate() {
-                let total: f64 = job
-                    .eligible()
-                    .iter()
-                    .map(|dc| caps[dc.index()])
-                    .sum();
+                let total: f64 = job.eligible().iter().map(|dc| caps[dc.index()]).sum();
                 for dc in job.eligible() {
                     let i = dc.index();
                     let share = if total > 0.0 {

@@ -2,10 +2,10 @@
 //! solver: against a brute-force grid on tiny instances, against projected
 //! subgradient descent, and against the exact greedy at `β = 0`.
 
+use grefar_convex::FwOptions;
 use grefar_core::{
     drift_penalty_objective, FairnessFunction, QuadraticDeviation, QueueState, SlotInstance,
 };
-use grefar_convex::FwOptions;
 use grefar_types::{
     DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, SystemState, Tariff,
 };
@@ -38,10 +38,7 @@ fn queues_with(cfg: &SystemConfig, loads: &[f64]) -> QueueState {
 #[test]
 fn fw_matches_brute_force_grid() {
     let cfg = tiny_config(20.0);
-    let st = SystemState::new(
-        0,
-        vec![DataCenterState::new(vec![20.0], Tariff::flat(0.8))],
-    );
+    let st = SystemState::new(0, vec![DataCenterState::new(vec![20.0], Tariff::flat(0.8))]);
     let q = queues_with(&cfg, &[9.0, 4.0]);
     let v = 4.0;
     let beta = 120.0;
@@ -113,8 +110,8 @@ fn fw_matches_projected_subgradient_on_random_instances() {
         impl Objective for Folded {
             fn value(&self, x: &[f64]) -> f64 {
                 let shares = [x[0] / self.total_capacity, x[1] / self.total_capacity];
-                let f = -(shares[0] - self.gammas[0]).powi(2)
-                    - (shares[1] - self.gammas[1]).powi(2);
+                let f =
+                    -(shares[0] - self.gammas[0]).powi(2) - (shares[1] - self.gammas[1]).powi(2);
                 self.v * (self.price * (x[0] + x[1]) - self.beta * f)
                     - self.q[0] * x[0]
                     - self.q[1] * x[1]
@@ -123,11 +120,7 @@ fn fw_matches_projected_subgradient_on_random_instances() {
                 for m in 0..2 {
                     let share = x[m] / self.total_capacity;
                     g[m] = self.v * self.price
-                        + self.v
-                            * self.beta
-                            * 2.0
-                            * (share - self.gammas[m])
-                            / self.total_capacity
+                        + self.v * self.beta * 2.0 * (share - self.gammas[m]) / self.total_capacity
                         - self.q[m];
                 }
             }
@@ -194,10 +187,7 @@ fn beta_zero_fw_equals_greedy_on_random_instances() {
 #[test]
 fn increasing_beta_improves_fairness_of_the_slot_decision() {
     let cfg = tiny_config(30.0);
-    let st = SystemState::new(
-        0,
-        vec![DataCenterState::new(vec![20.0], Tariff::flat(0.9))],
-    );
+    let st = SystemState::new(0, vec![DataCenterState::new(vec![20.0], Tariff::flat(0.9))]);
     // Asymmetric queues: account y has much more backlog than its γ = 0.3.
     let q = queues_with(&cfg, &[2.0, 12.0]);
     let inst = SlotInstance::new(&cfg, &st, &q, 5.0);

@@ -40,7 +40,9 @@ fn random_instance(seed: u64) -> Instance {
         ));
     }
     for i in 0..n {
-        let fleet: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0f64..12.0).floor()).collect();
+        let fleet: Vec<f64> = (0..k)
+            .map(|_| rng.gen_range(0.0f64..12.0).floor())
+            .collect();
         builder = builder.data_center(format!("dc{i}"), fleet);
     }
     builder = builder.account("only", 1.0);
@@ -127,7 +129,9 @@ fn lp_processing_optimum(inst: &Instance) -> f64 {
         }
         p.add_constraint(&coeffs, Relation::Le, 0.0);
     }
-    p.solve().expect("processing LP is feasible (0 works)").objective()
+    p.solve()
+        .expect("processing LP is feasible (0 works)")
+        .objective()
 }
 
 /// The processing part of the greedy decision's objective.

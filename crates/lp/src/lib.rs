@@ -49,4 +49,4 @@ mod solution;
 
 pub use problem::{LpProblem, Relation};
 pub use simplex::SimplexOptions;
-pub use solution::{Solution, SolveError};
+pub use solution::{Solution, SolveError, SolveStats};

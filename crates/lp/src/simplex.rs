@@ -21,7 +21,7 @@
 //! `tests/proptest_simplex.rs`.
 
 use crate::problem::{Relation, Row};
-use crate::solution::{Solution, SolveError};
+use crate::solution::{Solution, SolveError, SolveStats};
 
 /// Tunable solver options.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,8 +85,8 @@ impl Tableau {
             if factor == 0.0 {
                 continue;
             }
-            for c in 0..w {
-                self.data[r * w + c] -= factor * pivot_row[c];
+            for (c, &pv) in pivot_row.iter().enumerate() {
+                self.data[r * w + c] -= factor * pv;
             }
         }
         self.basis[row] = col;
@@ -106,6 +106,24 @@ impl Tableau {
     }
 }
 
+/// Running pivot counters shared across both phases; the Dantzig→Bland
+/// switch and the `max_pivots` cap are driven by the combined total.
+#[derive(Debug, Clone, Copy, Default)]
+struct PivotCounters {
+    /// Basis-changing pivots (both phases, incl. artificial drive-out).
+    pivots: usize,
+    /// Pivots whose ratio-test step was ~0.
+    degenerate: usize,
+    /// Nonbasic bound flips (no basis change).
+    flips: usize,
+}
+
+impl PivotCounters {
+    fn total(&self) -> usize {
+        self.pivots + self.flips
+    }
+}
+
 /// One phase of the bounded simplex: minimize `cost` over the current
 /// tableau, restricted to `allowed` entering columns.
 fn run_phase(
@@ -113,16 +131,16 @@ fn run_phase(
     cost: &[f64],
     allowed: &dyn Fn(usize) -> bool,
     opts: SimplexOptions,
-    pivots: &mut usize,
+    counters: &mut PivotCounters,
 ) -> Result<(), SolveError> {
     let tol = opts.tolerance;
     loop {
-        if *pivots >= opts.max_pivots {
+        if counters.total() >= opts.max_pivots {
             return Err(SolveError::IterationLimit {
                 limit: opts.max_pivots,
             });
         }
-        let use_bland = *pivots >= opts.bland_after;
+        let use_bland = counters.total() >= opts.bland_after;
 
         // Entering column: improving reduced cost given its resting bound.
         let mut entering: Option<(usize, f64)> = None; // (col, direction s)
@@ -213,6 +231,7 @@ fn run_phase(
                 // Bound flip: the entering variable traverses its whole
                 // span and rests at the opposite bound. No basis change.
                 t.at_upper[col] = !t.at_upper[col];
+                counters.flips += 1;
             }
             Some((row, leaves_at_upper)) => {
                 // The entering variable becomes basic with value:
@@ -226,9 +245,12 @@ fn run_phase(
                 t.pivot(row, col);
                 t.xb[row] = entering_value;
                 t.at_upper[col] = false; // basic now; flag meaningless but tidy
+                counters.pivots += 1;
+                if step <= tol {
+                    counters.degenerate += 1;
+                }
             }
         }
-        *pivots += 1;
     }
 }
 
@@ -251,6 +273,7 @@ pub(crate) fn simplex(
     opts: SimplexOptions,
 ) -> Result<Solution, SolveError> {
     debug_assert_eq!(upper_bounds.len(), num_vars);
+    let started = std::time::Instant::now();
     let m = rows.len();
 
     // Column layout: [structural | slack/surplus | artificial].
@@ -318,7 +341,7 @@ pub(crate) fn simplex(
         at_upper: vec![false; width],
         upper,
     };
-    let mut pivots = 0usize;
+    let mut counters = PivotCounters::default();
 
     // Phase 1.
     if num_art > 0 {
@@ -326,7 +349,7 @@ pub(crate) fn simplex(
         for j in art_range.clone() {
             phase1[j] = 1.0;
         }
-        run_phase(&mut t, &phase1, &|_| true, opts, &mut pivots)?;
+        run_phase(&mut t, &phase1, &|_| true, opts, &mut counters)?;
         let infeas: f64 = (0..t.m)
             .filter(|&i| art_range.contains(&t.basis[i]))
             .map(|i| t.xb[i])
@@ -344,7 +367,8 @@ pub(crate) fn simplex(
                         let value = t.xb[i]; // ≈ 0
                         t.pivot(i, j);
                         t.xb[i] = value;
-                        pivots += 1;
+                        counters.pivots += 1;
+                        counters.degenerate += 1;
                         pivoted = true;
                         break;
                     }
@@ -358,16 +382,18 @@ pub(crate) fn simplex(
         }
     }
 
+    let phase1_pivots = counters.pivots;
+
     // Phase 2: artificial columns are frozen out.
     let mut phase2 = vec![0.0; width];
     phase2[..num_vars].copy_from_slice(objective);
-    run_phase(&mut t, &phase2, &|j| j < art_start, opts, &mut pivots)?;
+    run_phase(&mut t, &phase2, &|j| j < art_start, opts, &mut counters)?;
 
     // Extract the solution: basic value, or resting bound.
     let mut x = vec![0.0; num_vars];
-    for j in 0..num_vars {
+    for (j, xj) in x.iter_mut().enumerate() {
         if t.at_upper[j] && !t.is_basic(j) {
-            x[j] = t.upper[j];
+            *xj = t.upper[j];
         }
     }
     for i in 0..t.m {
@@ -377,7 +403,14 @@ pub(crate) fn simplex(
         }
     }
     let objective_value = crate::linalg::dot(objective, &x);
-    Ok(Solution::new(x, objective_value, pivots))
+    let stats = SolveStats {
+        pivots_phase1: phase1_pivots,
+        pivots_phase2: counters.pivots - phase1_pivots,
+        degenerate_pivots: counters.degenerate,
+        bound_flips: counters.flips,
+        wall_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    };
+    Ok(Solution::new(x, objective_value, stats))
 }
 
 /// Relation after normalizing the row to a non-negative rhs.
@@ -449,7 +482,11 @@ mod tests {
         p.add_constraint(&[(2, 1.0), (5, 1.0)], Relation::Eq, 15.0);
         let sol = p.solve().unwrap();
         assert!(p.is_feasible(sol.x(), 1e-8));
-        assert!((sol.objective() - 465.0).abs() < 1e-7, "{}", sol.objective());
+        assert!(
+            (sol.objective() - 465.0).abs() < 1e-7,
+            "{}",
+            sol.objective()
+        );
     }
 
     #[test]
@@ -474,7 +511,9 @@ mod tests {
         let m = 12;
         let mut seed = 7u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64)
         };
         let mut p = LpProblem::minimize(n);

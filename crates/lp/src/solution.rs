@@ -2,20 +2,50 @@
 
 use core::fmt;
 
+/// Per-solve instrumentation: how hard the simplex had to work.
+///
+/// Cheap to collect (a handful of integer bumps plus one clock read), so
+/// it is always populated — telemetry layers read it off the returned
+/// [`Solution`] without the solver needing an observer dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Basis-changing pivots during phase 1 (artificial elimination
+    /// included).
+    pub pivots_phase1: usize,
+    /// Basis-changing pivots during phase 2.
+    pub pivots_phase2: usize,
+    /// Pivots whose ratio-test step was ~0 (degenerate; the Bland
+    /// fallback exists because of these).
+    pub degenerate_pivots: usize,
+    /// Nonbasic bound flips (upper-bounded simplex moves that change no
+    /// basis entry). These count toward the pivot limit.
+    pub bound_flips: usize,
+    /// Wall-clock time of the whole solve, in microseconds.
+    pub wall_us: u64,
+}
+
+impl SolveStats {
+    /// Total pivots and bound flips across both phases — the quantity
+    /// capped by [`SimplexOptions::max_pivots`](crate::SimplexOptions).
+    pub fn total_iterations(&self) -> usize {
+        self.pivots_phase1 + self.pivots_phase2 + self.bound_flips
+    }
+}
+
 /// An optimal solution to a linear program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     x: Vec<f64>,
     objective: f64,
-    iterations: usize,
+    stats: SolveStats,
 }
 
 impl Solution {
-    pub(crate) fn new(x: Vec<f64>, objective: f64, iterations: usize) -> Self {
+    pub(crate) fn new(x: Vec<f64>, objective: f64, stats: SolveStats) -> Self {
         Self {
             x,
             objective,
-            iterations,
+            stats,
         }
     }
 
@@ -33,10 +63,17 @@ impl Solution {
         self.objective
     }
 
-    /// Number of simplex pivots performed across both phases.
+    /// Number of simplex pivots and bound flips performed across both
+    /// phases. See [`stats`](Solution::stats) for the breakdown.
     #[inline]
     pub fn iterations(&self) -> usize {
-        self.iterations
+        self.stats.total_iterations()
+    }
+
+    /// The per-solve instrumentation counters.
+    #[inline]
+    pub fn stats(&self) -> SolveStats {
+        self.stats
     }
 
     /// Consumes the solution, returning the variable assignment.
@@ -84,10 +121,18 @@ mod tests {
 
     #[test]
     fn solution_accessors() {
-        let s = Solution::new(vec![1.0, 2.0], 3.5, 7);
+        let stats = SolveStats {
+            pivots_phase1: 3,
+            pivots_phase2: 2,
+            degenerate_pivots: 1,
+            bound_flips: 2,
+            wall_us: 15,
+        };
+        let s = Solution::new(vec![1.0, 2.0], 3.5, stats);
         assert_eq!(s.x(), &[1.0, 2.0]);
         assert_eq!(s.objective(), 3.5);
         assert_eq!(s.iterations(), 7);
+        assert_eq!(s.stats(), stats);
         assert_eq!(s.into_x(), vec![1.0, 2.0]);
     }
 

@@ -104,11 +104,7 @@ fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
 }
 
 fn relation_strategy() -> impl Strategy<Value = Relation> {
-    prop_oneof![
-        Just(Relation::Le),
-        Just(Relation::Eq),
-        Just(Relation::Ge)
-    ]
+    prop_oneof![Just(Relation::Le), Just(Relation::Eq), Just(Relation::Ge)]
 }
 
 fn random_lp() -> impl Strategy<Value = RandomLp> {

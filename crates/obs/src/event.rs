@@ -1,0 +1,217 @@
+//! Structured events and their hand-rolled JSON serialization.
+
+use core::fmt::Write as _;
+
+/// A typed field value.
+///
+/// Floats serialize through Rust's shortest-roundtrip `Display`; NaN and
+/// infinities (not valid JSON numbers) serialize as `null`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (slot numbers, counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (costs, queue lengths, gaps).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (scheduler / solver names).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A named, flat record of typed fields — one telemetry observation.
+///
+/// Field keys are `&'static str` so event construction allocates only the
+/// field vector (and any string values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    name: &'static str,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Starts an event with the given name.
+    pub fn new(name: &'static str) -> Self {
+        Event {
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The event name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(&'static str, Value)] {
+        &self.fields
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes to a single-line JSON object:
+    /// `{"event":"<name>","k":v,...}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + 16 * self.fields.len());
+        out.push_str("{\"event\":");
+        write_json_string(&mut out, self.name);
+        for (key, value) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, key);
+            out.push(':');
+            write_json_value(&mut out, value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => {
+            if v.is_finite() {
+                // Display for f64 is shortest-roundtrip; ensure the token
+                // stays a JSON number (it never produces exponents without
+                // digits or bare dots).
+                let _ = write!(out, "{v}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Str(s) => write_json_string(out, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let e = Event::new("slot").field("t", 3_u64).field("energy", 1.5);
+        assert_eq!(e.name(), "slot");
+        assert_eq!(e.get("t"), Some(&Value::U64(3)));
+        assert_eq!(e.get("energy"), Some(&Value::F64(1.5)));
+        assert_eq!(e.get("missing"), None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let e = Event::new("slot")
+            .field("t", 3_u64)
+            .field("neg", -2_i64)
+            .field("ok", true)
+            .field("who", "GreFar(V=7.5)");
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"slot","t":3,"neg":-2,"ok":true,"who":"GreFar(V=7.5)"}"#
+        );
+    }
+
+    #[test]
+    fn floats_roundtrip_and_nonfinite_is_null() {
+        let e = Event::new("x")
+            .field("v", 0.1)
+            .field("nan", f64::NAN)
+            .field("inf", f64::INFINITY);
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"x","v":0.1,"nan":null,"inf":null}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::new("x").field("s", "a\"b\\c\nd\te\u{1}");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"x\",\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Sample-holding histograms with empirical quantiles.
+
+/// Summary quantiles of an empirical distribution.
+///
+/// Field-for-field compatible with `grefar_sim::stats::Quantiles` (the
+/// "type 7" linear-interpolation estimator); the cross-crate parity test
+/// lives in the workspace-level test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quantiles {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// A histogram that keeps its raw samples (simulation-scale cardinalities:
+/// one sample per slot or per solve, so memory stays small) and summarizes
+/// them on demand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sum: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample; silently ignores non-finite values.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sum += value;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// The raw samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The `q`-quantile (type 7 estimator); 0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        quantile_sorted(&sorted, q)
+    }
+
+    /// The full quantile summary (all-zero when empty).
+    pub fn quantiles(&self) -> Quantiles {
+        if self.samples.is_empty() {
+            return Quantiles::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Quantiles {
+            count: sorted.len(),
+            p50: quantile_sorted(&sorted, 0.50),
+            p90: quantile_sorted(&sorted, 0.90),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// The `q`-quantile of an ascending-sorted non-empty slice, interpolating
+/// linearly between order statistics.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let position = q * (n - 1) as f64;
+    let lo = position.floor() as usize;
+    let hi = position.ceil() as usize;
+    let frac = position - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let q = h.quantiles();
+        assert_eq!(q.count, 100);
+        assert!((q.p50 - 50.5).abs() < 1e-12);
+        assert!((q.p90 - 90.1).abs() < 1e-9);
+        assert!((q.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(q.max, 100.0);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantiles(), Quantiles::default());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_dropped() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1.0);
+    }
+
+    #[test]
+    fn unsorted_input() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantiles().max, 5.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! `grefar-obs` — structured telemetry for the GreFar workspace.
+//!
+//! The paper's argument is a set of per-slot time series (energy `e(t)`,
+//! fairness `f(t)`, `O(V)` queue bounds), yet a simulation run used to be
+//! observable only through its final [`SimulationReport`]. This crate adds
+//! a first-class instrumentation seam with **zero external dependencies**:
+//!
+//! * [`Event`] — a named, flat record of typed fields ([`Value`]), with a
+//!   hand-rolled JSON serializer (no serde);
+//! * [`Observer`] — the sink trait: structured events plus
+//!   counter / gauge / histogram primitives and duration recording;
+//! * [`NullObserver`] — the default sink; reports `enabled() == false` so
+//!   instrumented hot paths can skip event construction entirely;
+//! * [`MemoryObserver`] — in-memory aggregation: event counts, counters,
+//!   gauges and [`Histogram`]s with [`Quantiles`], plus a rendered
+//!   end-of-run [summary table](MemoryObserver::summary);
+//! * [`JsonlSink`] — line-delimited JSON export of the event stream;
+//! * [`Tee`] — fan-out to two sinks (e.g. memory aggregation + JSONL);
+//! * [`Timer`] — monotonic wall-clock spans for per-solve / per-slot
+//!   timing histograms;
+//! * [`json`] — a minimal parser for the emitted JSONL (round-trip tests,
+//!   offline tooling).
+//!
+//! # Event schema used by the workspace
+//!
+//! The instrumented layers emit (see DESIGN.md "Observability"):
+//!
+//! | event | emitted by | fields |
+//! |---|---|---|
+//! | `run.start` | `Simulation::run_with_observer` | `scheduler`, `horizon`, `data_centers`, `job_classes` |
+//! | `slot` | `Simulation::run_with_observer` | `t`, `queue_central`, `queue_local`, `queue_max`, `energy`, `fairness`, `arrivals`, `dropped`, `wall_us` |
+//! | `grefar.decide` | `GreFar::decide_observed` | `t`, `v`, `beta`, `objective`, `drift`, `penalty`, `routed`, `processed`, `solver`, `fw_iterations`, `fw_gap`, `wall_us` |
+//! | `lp.solve` | `MpcScheduler::decide_observed` | `t`, `vars`, `rows`, `pivots_phase1`, `pivots_phase2`, `degenerate_pivots`, `bound_flips`, `wall_us` |
+//! | `run.end` | `Simulation::run_with_observer` | `slots`, `completed`, `dropped`, `wall_us` |
+//! | `sweep.run` | `sweep::run_all_observed` | `label` (marks the start of one labeled run) |
+//!
+//! Timing fields are suffixed `_us` (microseconds); everything else is
+//! deterministic for a fixed seed, which the determinism suite asserts by
+//! comparing two runs' streams with `_us` fields stripped.
+//!
+//! # Example
+//!
+//! ```
+//! use grefar_obs::{Event, JsonlSink, MemoryObserver, Observer, Tee, Timer};
+//!
+//! let mut memory = MemoryObserver::new();
+//! let mut sink = JsonlSink::new(Vec::new());
+//! {
+//!     let mut obs = Tee::new(&mut memory, &mut sink);
+//!     let timer = Timer::start();
+//!     obs.record_event(Event::new("slot").field("t", 0_u64).field("energy", 1.5));
+//!     obs.record_duration("slot.wall_us", timer.elapsed());
+//!     obs.add_counter("slots", 1);
+//! }
+//! assert_eq!(memory.event_count("slot"), 1);
+//! assert_eq!(memory.counter("slots"), 1);
+//! let line = String::from_utf8(sink.into_inner()).unwrap();
+//! assert!(line.starts_with("{\"event\":\"slot\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod histogram;
+pub mod json;
+mod jsonl;
+mod memory;
+mod observer;
+mod timer;
+
+pub use event::{Event, Value};
+pub use histogram::{Histogram, Quantiles};
+pub use jsonl::JsonlSink;
+pub use memory::MemoryObserver;
+pub use observer::{NullObserver, Observer, Tee};
+pub use timer::Timer;

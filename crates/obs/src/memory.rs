@@ -1,0 +1,166 @@
+//! In-memory aggregation sink with a rendered end-of-run summary.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::histogram::Histogram;
+use crate::observer::Observer;
+
+/// Aggregates telemetry in memory: per-name event counts, monotonic
+/// counters, last-value gauges, and sample [`Histogram`]s.
+///
+/// `BTreeMap`s keep iteration (and thus [`summary`](MemoryObserver::summary)
+/// output) deterministically ordered.
+#[derive(Debug, Default)]
+pub struct MemoryObserver {
+    event_counts: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MemoryObserver {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many events with this name were recorded.
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.event_counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total events recorded across all names.
+    pub fn total_events(&self) -> u64 {
+        self.event_counts.values().sum()
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Latest value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Renders a plain-text summary table: event counts, counters, gauges,
+    /// then one quantile row per histogram. Empty string when nothing was
+    /// recorded.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if !self.event_counts.is_empty() {
+            out.push_str("events\n");
+            for (name, count) in &self.event_counts {
+                out.push_str(&format!("  {name:<28} {count:>10}\n"));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<28} {value:>10}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<28} {value:>10.3}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            out.push_str(&format!(
+                "  {:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "", "count", "mean", "p50", "p95", "p99", "max"
+            ));
+            for (name, hist) in &self.histograms {
+                let q = hist.quantiles();
+                out.push_str(&format!(
+                    "  {:<28} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                    name,
+                    q.count,
+                    hist.mean(),
+                    q.p50,
+                    q.p95,
+                    q.p99,
+                    q.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Observer for MemoryObserver {
+    fn record_event(&mut self, event: Event) {
+        *self.event_counts.entry(event.name()).or_insert(0) += 1;
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_all_primitives() {
+        let mut obs = MemoryObserver::new();
+        obs.record_event(Event::new("slot").field("t", 0_u64));
+        obs.record_event(Event::new("slot").field("t", 1_u64));
+        obs.record_event(Event::new("run.end"));
+        obs.add_counter("arrivals", 5);
+        obs.add_counter("arrivals", 3);
+        obs.set_gauge("queue_max", 2.0);
+        obs.set_gauge("queue_max", 7.0);
+        obs.record_value("slot.wall_us", 10.0);
+        obs.record_value("slot.wall_us", 30.0);
+
+        assert_eq!(obs.event_count("slot"), 2);
+        assert_eq!(obs.event_count("run.end"), 1);
+        assert_eq!(obs.total_events(), 3);
+        assert_eq!(obs.counter("arrivals"), 8);
+        assert_eq!(obs.gauge("queue_max"), Some(7.0));
+        let hist = obs.histogram("slot.wall_us").unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.mean(), 20.0);
+    }
+
+    #[test]
+    fn summary_lists_every_section() {
+        let mut obs = MemoryObserver::new();
+        assert_eq!(obs.summary(), "");
+        obs.record_event(Event::new("slot"));
+        obs.add_counter("slots", 1);
+        obs.set_gauge("queue_max", 3.5);
+        obs.record_value("slot.wall_us", 12.0);
+        let summary = obs.summary();
+        for needle in ["events", "counters", "gauges", "histogram", "slot.wall_us"] {
+            assert!(
+                summary.contains(needle),
+                "missing {needle:?} in:\n{summary}"
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The `Observer` sink trait, the no-op default, and the `Tee` combinator.
+
+use std::time::Duration;
+
+use crate::event::Event;
+
+/// A telemetry sink.
+///
+/// Instrumented code talks to `&mut dyn Observer`. All methods have no-op
+/// defaults except [`record_event`](Observer::record_event), so simple
+/// sinks (like a pure JSONL writer) only implement what they care about.
+///
+/// Hot paths should guard event *construction* behind
+/// [`enabled`](Observer::enabled):
+///
+/// ```
+/// use grefar_obs::{Event, Observer};
+///
+/// fn per_slot(obs: &mut dyn Observer, t: u64, energy: f64) {
+///     if obs.enabled() {
+///         obs.record_event(Event::new("slot").field("t", t).field("energy", energy));
+///     }
+/// }
+/// ```
+pub trait Observer {
+    /// Whether this sink wants events at all. [`NullObserver`] returns
+    /// `false`; callers use this to skip building [`Event`]s (and taking
+    /// timestamps) on hot paths.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one structured event.
+    fn record_event(&mut self, event: Event);
+
+    /// Adds `delta` to the named monotonic counter.
+    fn add_counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    /// Sets the named gauge to its latest value.
+    fn set_gauge(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Records one sample into the named histogram.
+    fn record_value(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Records a wall-clock duration into the named histogram, in
+    /// microseconds (by convention the name ends in `_us`).
+    fn record_duration(&mut self, name: &'static str, duration: Duration) {
+        self.record_value(name, duration.as_secs_f64() * 1e6);
+    }
+}
+
+/// The default sink: drops everything and reports `enabled() == false`,
+/// so guarded instrumentation costs one virtual call per site.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_event(&mut self, _event: Event) {}
+}
+
+/// Fans every call out to two sinks (events are cloned for the first).
+///
+/// Typical use: aggregate in a [`MemoryObserver`](crate::MemoryObserver)
+/// for the end-of-run summary while streaming the same events to a
+/// [`JsonlSink`](crate::JsonlSink).
+pub struct Tee<'a> {
+    first: &'a mut dyn Observer,
+    second: &'a mut dyn Observer,
+}
+
+impl<'a> Tee<'a> {
+    /// Combines two sinks.
+    pub fn new(first: &'a mut dyn Observer, second: &'a mut dyn Observer) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl Observer for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+
+    fn record_event(&mut self, event: Event) {
+        self.first.record_event(event.clone());
+        self.second.record_event(event);
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        self.first.add_counter(name, delta);
+        self.second.add_counter(name, delta);
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.first.set_gauge(name, value);
+        self.second.set_gauge(name, value);
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        self.first.record_value(name, value);
+        self.second.record_value(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryObserver;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let obs = NullObserver;
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn tee_reaches_both_sinks() {
+        let mut a = MemoryObserver::new();
+        let mut b = MemoryObserver::new();
+        {
+            let mut tee = Tee::new(&mut a, &mut b);
+            assert!(tee.enabled());
+            tee.record_event(Event::new("slot"));
+            tee.add_counter("slots", 2);
+            tee.set_gauge("queue", 4.0);
+            tee.record_value("wall_us", 10.0);
+        }
+        for obs in [&a, &b] {
+            assert_eq!(obs.event_count("slot"), 1);
+            assert_eq!(obs.counter("slots"), 2);
+            assert_eq!(obs.gauge("queue"), Some(4.0));
+            assert_eq!(obs.histogram("wall_us").unwrap().count(), 1);
+        }
+    }
+
+    #[test]
+    fn tee_with_null_side_still_enabled() {
+        let mut null = NullObserver;
+        let mut mem = MemoryObserver::new();
+        let tee = Tee::new(&mut null, &mut mem);
+        assert!(tee.enabled());
+    }
+}

@@ -1,0 +1,58 @@
+//! Monotonic wall-clock spans.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic timer; pairs with
+/// [`Observer::record_duration`](crate::Observer::record_duration).
+///
+/// ```
+/// use grefar_obs::Timer;
+///
+/// let timer = Timer::start();
+/// let elapsed = timer.elapsed();
+/// assert!(elapsed >= std::time::Duration::ZERO);
+/// assert!(timer.elapsed_micros() as u128 >= elapsed.as_micros());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    started: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Timer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`start`](Timer::start).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed whole microseconds (saturating at `u64::MAX`).
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let timer = Timer::start();
+        let a = timer.elapsed();
+        let b = timer.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn micros_tracks_duration() {
+        let timer = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(timer.elapsed_micros() >= 1_000);
+    }
+}

@@ -57,11 +57,8 @@ impl SimulationInputs {
             let slot = t as Slot;
             let dcs = (0..config.num_data_centers())
                 .map(|i| {
-                    let avail = availability[i].sample(
-                        slot,
-                        config.data_centers()[i].fleet(),
-                        &mut rng,
-                    );
+                    let avail =
+                        availability[i].sample(slot, config.data_centers()[i].fleet(), &mut rng);
                     let tariff = prices[i].sample(slot, &mut rng);
                     DataCenterState::new(avail, tariff)
                 })
@@ -180,8 +177,7 @@ mod tests {
     fn generate_produces_full_horizon() {
         let cfg = config();
         let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(0.3))];
-        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
-            vec![Box::new(FullAvailability)];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> = vec![Box::new(FullAvailability)];
         let mut workload = ConstantWorkload::new(vec![2.0]);
         let inputs =
             SimulationInputs::generate(&cfg, 10, 1, &mut prices, &mut avail, &mut workload);
@@ -195,8 +191,7 @@ mod tests {
     fn generation_is_reproducible() {
         let cfg = config();
         let make = |seed| {
-            let mut prices: Vec<Box<dyn PriceProcess + Send>> =
-                vec![Box::new(ConstantPrice(0.3))];
+            let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(0.3))];
             let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
                 vec![Box::new(grefar_cluster::UniformAvailability::new(0.5, 1.0))];
             let mut workload = ConstantWorkload::new(vec![2.0]);
@@ -210,8 +205,7 @@ mod tests {
     fn truncation() {
         let cfg = config();
         let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(0.3))];
-        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
-            vec![Box::new(FullAvailability)];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> = vec![Box::new(FullAvailability)];
         let mut workload = ConstantWorkload::new(vec![1.0]);
         let inputs =
             SimulationInputs::generate(&cfg, 10, 1, &mut prices, &mut avail, &mut workload);

@@ -32,7 +32,8 @@
 
 use crate::inputs::SimulationInputs;
 use grefar_core::{QueueState, Scheduler, SlotInstance};
-use grefar_lp::{LpProblem, Relation};
+use grefar_lp::{LpProblem, Relation, SolveStats};
+use grefar_obs::{Event, Observer, Timer};
 use grefar_types::{Decision, SystemConfig, SystemState};
 
 /// Receding-horizon scheduler with an oracle (optionally noisy) forecast.
@@ -128,23 +129,15 @@ impl MpcScheduler {
         }
         self.forecast.arrivals(t)[j]
     }
-}
 
-impl Scheduler for MpcScheduler {
-    fn name(&self) -> String {
-        format!(
-            "MPC(H={}, w={}{})",
-            self.horizon,
-            self.holding_weight,
-            if self.price_noise > 0.0 {
-                format!(", noise={}", self.price_noise)
-            } else {
-                String::new()
-            }
-        )
-    }
-
-    fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
+    /// Builds and solves the horizon LP, maps its first slot onto the
+    /// two-tier dynamics, and reports the LP's shape and solve counters
+    /// (`None` when the solve failed and the greedy fallback was used).
+    fn plan(
+        &mut self,
+        state: &SystemState,
+        queues: &QueueState,
+    ) -> (Decision, Option<(usize, usize, SolveStats)>) {
         let now = state.slot() as usize;
         let n = self.config.num_data_centers();
         let j_count = self.config.num_job_classes();
@@ -239,11 +232,13 @@ impl Scheduler for MpcScheduler {
             }
         }
 
+        let num_rows = lp.num_constraints();
         let Ok(solution) = lp.solve() else {
             // Defensive fallback (the LP is always feasible: serve nothing).
-            return SlotInstance::new(&self.config, state, queues, 0.0)
+            let decision = SlotInstance::new(&self.config, state, queues, 0.0)
                 .solve_greedy()
                 .decision;
+            return (decision, None);
         };
         let x = solution.x();
 
@@ -278,6 +273,60 @@ impl Scheduler for MpcScheduler {
         // Minimum-power dispatch for the served work.
         let busy = SlotInstance::new(&self.config, state, queues, 0.0).min_power_busy(&work_by_dc);
         decision.busy = busy;
+        (decision, Some((total_vars, num_rows, solution.stats())))
+    }
+}
+
+impl Scheduler for MpcScheduler {
+    fn name(&self) -> String {
+        format!(
+            "MPC(H={}, w={}{})",
+            self.horizon,
+            self.holding_weight,
+            if self.price_noise > 0.0 {
+                format!(", noise={}", self.price_noise)
+            } else {
+                String::new()
+            }
+        )
+    }
+
+    fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
+        self.plan(state, queues).0
+    }
+
+    fn decide_observed(
+        &mut self,
+        state: &SystemState,
+        queues: &QueueState,
+        obs: &mut dyn Observer,
+    ) -> Decision {
+        if !obs.enabled() {
+            return self.decide(state, queues);
+        }
+        let timer = Timer::start();
+        let (decision, lp_info) = self.plan(state, queues);
+        let elapsed = timer.elapsed();
+        if let Some((vars, rows, stats)) = lp_info {
+            obs.record_event(
+                Event::new("lp.solve")
+                    .field("t", state.slot())
+                    .field("vars", vars)
+                    .field("rows", rows)
+                    .field("pivots_phase1", stats.pivots_phase1)
+                    .field("pivots_phase2", stats.pivots_phase2)
+                    .field("degenerate_pivots", stats.degenerate_pivots)
+                    .field("bound_flips", stats.bound_flips)
+                    .field("wall_us", stats.wall_us),
+            );
+            obs.record_value(
+                "lp.pivots",
+                (stats.pivots_phase1 + stats.pivots_phase2) as f64,
+            );
+            obs.record_duration("lp.solve.wall_us", elapsed);
+        } else {
+            obs.add_counter("lp.fallbacks", 1);
+        }
         decision
     }
 }
@@ -312,10 +361,8 @@ mod tests {
         let rates: Vec<f64> = (0..hours)
             .map(|t| if t % 3 == 2 { 0.1 } else { 0.9 })
             .collect();
-        let mut prices: Vec<Box<dyn PriceProcess + Send>> =
-            vec![Box::new(ReplayPrice::new(rates))];
-        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
-            vec![Box::new(FullAvailability)];
+        let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ReplayPrice::new(rates))];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> = vec![Box::new(FullAvailability)];
         let mut workload = ConstantWorkload::new(vec![4.0]);
         SimulationInputs::generate(cfg, hours, 1, &mut prices, &mut avail, &mut workload)
     }
@@ -361,10 +408,8 @@ mod tests {
         let cfg = config();
         let inputs = sawtooth_inputs(&cfg, 120);
         let oracle = MpcScheduler::new(&cfg, inputs.clone(), 6, 0.05);
-        let noisy =
-            MpcScheduler::new(&cfg, inputs.clone(), 6, 0.05).with_price_noise(1.5);
-        let r_oracle =
-            Simulation::new(cfg.clone(), inputs.clone(), Box::new(oracle)).run();
+        let noisy = MpcScheduler::new(&cfg, inputs.clone(), 6, 0.05).with_price_noise(1.5);
+        let r_oracle = Simulation::new(cfg.clone(), inputs.clone(), Box::new(oracle)).run();
         let r_noisy = Simulation::new(cfg.clone(), inputs, Box::new(noisy)).run();
         assert!(
             r_noisy.average_energy_cost() >= r_oracle.average_energy_cost() * 0.95,

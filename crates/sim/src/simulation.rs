@@ -4,6 +4,7 @@ use crate::inputs::SimulationInputs;
 use crate::report::{RunningSeries, SimulationReport};
 use crate::tracker::JobTracker;
 use grefar_core::{cost_breakdown, QuadraticDeviation, QueueState, Scheduler};
+use grefar_obs::{Event, NullObserver, Observer, Timer};
 use grefar_types::{Slot, SystemConfig};
 
 /// One simulation run: a scheduler against a frozen input horizon.
@@ -78,10 +79,35 @@ impl Simulation {
 
     /// Runs the whole horizon and returns the report.
     pub fn run(mut self) -> SimulationReport {
+        self.run_with_observer(&mut NullObserver)
+    }
+
+    /// Runs the whole horizon, streaming telemetry (`run.start`, one `slot`
+    /// per step, scheduler-internal events, `run.end`) to `obs`. With a
+    /// [`NullObserver`] this is exactly [`run`](Simulation::run): every
+    /// event construction and clock read is guarded by
+    /// [`Observer::enabled`], so the disabled path stays on the hot loop's
+    /// original cost.
+    ///
+    /// Takes `&mut self` (rather than consuming) so sweep runners can reuse
+    /// a built simulation; the report is identical either way.
+    pub fn run_with_observer(&mut self, obs: &mut dyn Observer) -> SimulationReport {
         let n = self.config.num_data_centers();
         let horizon = self.inputs.horizon();
         let work = self.config.work_vector();
         let fairness_fn = QuadraticDeviation;
+
+        let telemetry = obs.enabled();
+        let run_timer = Timer::start();
+        if telemetry {
+            obs.record_event(
+                Event::new("run.start")
+                    .field("scheduler", self.scheduler.name())
+                    .field("horizon", horizon)
+                    .field("data_centers", n)
+                    .field("job_classes", self.config.num_job_classes()),
+            );
+        }
 
         let mut queues = QueueState::new(&self.config);
         let mut tracker = JobTracker::new(&self.config);
@@ -98,8 +124,14 @@ impl Simulation {
         let mut dropped = 0u64;
 
         for t in 0..horizon {
+            let slot_timer = if telemetry {
+                Some(Timer::start())
+            } else {
+                None
+            };
+            let dropped_before = dropped;
             let state = self.inputs.state(t);
-            let decision = self.scheduler.decide(state, &queues);
+            let decision = self.scheduler.decide_observed(state, &queues, obs);
             debug_assert!(decision.is_nonnegative() && decision.is_finite());
 
             // Metering (energy (2), fairness (3)) — β only weighs the two
@@ -124,9 +156,7 @@ impl Simulation {
                     let mut admitted = raw_arrivals.to_vec();
                     for (j, a) in admitted.iter_mut().enumerate() {
                         // Queue after this slot's routing:
-                        let after_route = (queues.central(j)
-                            - decision.routed.col_sum(j))
-                        .max(0.0);
+                        let after_route = (queues.central(j) - decision.routed.col_sum(j)).max(0.0);
                         let room = (cap - after_route).max(0.0).floor();
                         if *a > room {
                             dropped += (*a - room).round() as u64;
@@ -168,11 +198,54 @@ impl Simulation {
                 let (count, sum) = tracker.dc_delay_accumulator(i);
                 series.push(if count > 0 { sum / count as f64 } else { 0.0 });
             }
+
+            if let Some(timer) = slot_timer {
+                let elapsed = timer.elapsed();
+                let central: f64 = (0..self.config.num_job_classes())
+                    .map(|j| queues.central(j))
+                    .sum();
+                let arrivals_total: f64 = raw_arrivals.iter().sum();
+                let dropped_now = dropped - dropped_before;
+                obs.record_event(
+                    Event::new("slot")
+                        .field("t", t)
+                        .field("queue_central", central)
+                        .field("queue_local", queues.total() - central)
+                        .field("queue_max", queues.max_len())
+                        .field("energy", breakdown.energy)
+                        .field("fairness", breakdown.fairness)
+                        .field("arrivals", arrivals_total)
+                        .field("dropped", dropped_now)
+                        .field(
+                            "wall_us",
+                            u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                        ),
+                );
+                obs.record_duration("slot.wall_us", elapsed);
+                obs.record_value("queue.total", queues.total());
+                obs.add_counter("slots", 1);
+                obs.add_counter("arrivals", arrivals_total.round() as u64);
+                if dropped_now > 0 {
+                    obs.add_counter("admission_cap.hits", 1);
+                    obs.add_counter("dropped", dropped_now);
+                }
+                obs.set_gauge("queue.max", queues.max_len());
+            }
         }
 
         let dc_delay_quantiles = (0..n)
             .map(|i| crate::stats::Quantiles::from_samples(tracker.dc_delay_samples(i)))
             .collect();
+
+        if telemetry {
+            obs.record_event(
+                Event::new("run.end")
+                    .field("slots", horizon)
+                    .field("completed", tracker.stats().completed_total)
+                    .field("dropped", dropped)
+                    .field("wall_us", run_timer.elapsed_micros()),
+            );
+        }
 
         SimulationReport {
             scheduler: self.scheduler.name(),
@@ -196,9 +269,9 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grefar_cluster::{AvailabilityProcess, FullAvailability};
     use grefar_core::{Always, GreFar, GreFarParams};
     use grefar_trace::{ConstantPrice, ConstantWorkload, PriceProcess};
-    use grefar_cluster::{AvailabilityProcess, FullAvailability};
     use grefar_types::{DataCenterId, JobClass, ServerClass};
 
     fn config() -> SystemConfig {
@@ -218,8 +291,7 @@ mod tests {
 
     fn inputs(cfg: &SystemConfig, horizon: usize, price: f64, rate: f64) -> SimulationInputs {
         let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(price))];
-        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> =
-            vec![Box::new(FullAvailability)];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> = vec![Box::new(FullAvailability)];
         let mut workload = ConstantWorkload::new(vec![rate]);
         SimulationInputs::generate(cfg, horizon, 1, &mut prices, &mut avail, &mut workload)
     }
@@ -228,8 +300,7 @@ mod tests {
     fn always_achieves_delay_one_and_serves_everything() {
         let cfg = config();
         let inp = inputs(&cfg, 200, 0.5, 3.0);
-        let report =
-            Simulation::new(cfg.clone(), inp, Box::new(Always::new(&cfg))).run();
+        let report = Simulation::new(cfg.clone(), inp, Box::new(Always::new(&cfg))).run();
         // 3 jobs/slot × ~198 completions; energy = 3 work × 0.5 = 1.5/slot.
         assert!(report.completions.completed_total >= 3 * 190);
         assert!((report.average_energy_cost() - 1.5).abs() < 0.1);
@@ -247,25 +318,28 @@ mod tests {
         let report = Simulation::new(cfg.clone(), inp, Box::new(g)).run();
         // The queue builds to ≈ threshold, then serves at arrival rate.
         // Delay is therefore well above Always's 1.
-        assert!(report.average_dc_delay(0) > 2.0, "{}", report.average_dc_delay(0));
+        assert!(
+            report.average_dc_delay(0) > 2.0,
+            "{}",
+            report.average_dc_delay(0)
+        );
         // Long-run service keeps up with arrivals (rate stability).
         let served: f64 = report.work_per_dc[0].instant().iter().sum();
         assert!(served >= 2.0 * 260.0, "served {served}");
         // Queue stays bounded (well under the Theorem 1 bound; the exact
         // O(V) scaling is exercised by the theory integration tests).
-        assert!(report.max_queue_length() <= 40.0, "{}", report.max_queue_length());
+        assert!(
+            report.max_queue_length() <= 40.0,
+            "{}",
+            report.max_queue_length()
+        );
     }
 
     #[test]
     fn grefar_energy_cost_never_exceeds_always_under_same_inputs() {
         let cfg = config();
         let inp = inputs(&cfg, 400, 0.7, 2.0);
-        let always = Simulation::new(
-            cfg.clone(),
-            inp.clone(),
-            Box::new(Always::new(&cfg)),
-        )
-        .run();
+        let always = Simulation::new(cfg.clone(), inp.clone(), Box::new(Always::new(&cfg))).run();
         let grefar = Simulation::new(
             cfg.clone(),
             inp,
@@ -299,8 +373,7 @@ mod tests {
     fn report_series_have_full_horizon() {
         let cfg = config();
         let inp = inputs(&cfg, 50, 0.4, 1.0);
-        let report =
-            Simulation::new(cfg.clone(), inp, Box::new(Always::new(&cfg))).run();
+        let report = Simulation::new(cfg.clone(), inp, Box::new(Always::new(&cfg))).run();
         assert_eq!(report.horizon, 50);
         assert_eq!(report.energy.len(), 50);
         assert_eq!(report.fairness.len(), 50);

@@ -3,12 +3,13 @@
 //! Fig. 2 sweeps `V ∈ {0.1, 2.5, 7.5, 20}`; Fig. 3 sweeps `β`; Fig. 4
 //! compares policies. All of these are embarrassingly parallel over the
 //! *same frozen inputs*, which is exactly what [`run_all`] does (one thread
-//! per scheduler via crossbeam's scoped threads).
+//! per scheduler via `std::thread::scope`).
 
 use crate::inputs::SimulationInputs;
 use crate::report::SimulationReport;
 use crate::simulation::Simulation;
 use grefar_core::Scheduler;
+use grefar_obs::{Event, Observer};
 use grefar_types::SystemConfig;
 
 /// Runs every `(label, scheduler)` pair against the same inputs in
@@ -37,12 +38,12 @@ pub fn run_all(
 ) -> Vec<(String, SimulationReport)> {
     let mut out: Vec<Option<(String, SimulationReport)>> =
         (0..schedulers.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (slot, (label, scheduler)) in out.iter_mut().zip(schedulers) {
             let config = config.clone();
             let inputs = inputs.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let report = Simulation::new(config, inputs, scheduler).run();
                 *slot = Some((label, report));
             }));
@@ -50,10 +51,33 @@ pub fn run_all(
         for h in handles {
             h.join().expect("simulation thread panicked");
         }
-    })
-    .expect("sweep scope panicked");
+    });
     out.into_iter()
         .map(|entry| entry.expect("every run completes"))
+        .collect()
+}
+
+/// The instrumented twin of [`run_all`]: runs the schedulers *serially*
+/// against the same inputs, streaming every run's telemetry into `obs`.
+///
+/// Serial execution keeps the event stream deterministic (runs appear in
+/// label order, never interleaved); a `sweep.run` marker event precedes
+/// each run so a JSONL consumer can attribute the events that follow.
+pub fn run_all_observed(
+    config: &SystemConfig,
+    inputs: &SimulationInputs,
+    schedulers: Vec<(String, Box<dyn Scheduler>)>,
+    obs: &mut dyn Observer,
+) -> Vec<(String, SimulationReport)> {
+    schedulers
+        .into_iter()
+        .map(|(label, scheduler)| {
+            if obs.enabled() {
+                obs.record_event(Event::new("sweep.run").field("label", label.as_str()));
+            }
+            let mut sim = Simulation::new(config.clone(), inputs.clone(), scheduler);
+            (label, sim.run_with_observer(obs))
+        })
         .collect()
 }
 
@@ -85,7 +109,10 @@ mod tests {
         ];
         let reports = run_all(&config, &inputs, runs);
         assert_eq!(reports.len(), 2);
-        assert_eq!(reports[0].1.average_energy_cost(), serial.average_energy_cost());
+        assert_eq!(
+            reports[0].1.average_energy_cost(),
+            serial.average_energy_cost()
+        );
         assert_eq!(reports[0].0, "a");
         assert_eq!(reports[1].0, "g");
     }

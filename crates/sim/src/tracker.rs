@@ -108,7 +108,7 @@ impl JobTracker {
         let mut completions = vec![0u64; n];
 
         // Serve: h_{i,j}(t) applies to jobs serviceable at t.
-        for i in 0..n {
+        for (i, done) in completions.iter_mut().enumerate() {
             for j in 0..j_count {
                 let mut budget = decision.processed[(i, j)];
                 let queue = &mut self.local[i][j];
@@ -125,7 +125,7 @@ impl JobTracker {
                     budget -= served;
                     if front.remaining <= 1e-12 {
                         let job = queue.pop_front().expect("front exists");
-                        completions[i] += 1;
+                        *done += 1;
                         self.completed_per_dc[i] += 1;
                         self.completed_total += 1;
                         // DC delay: w − u where u is the routing slot
@@ -165,7 +165,11 @@ impl JobTracker {
     /// # Panics
     /// Panics if the arrival vector length mismatches.
     pub fn arrive(&mut self, t: Slot, arrivals: &[f64]) {
-        assert_eq!(arrivals.len(), self.central.len(), "arrival vector mismatch");
+        assert_eq!(
+            arrivals.len(),
+            self.central.len(),
+            "arrival vector mismatch"
+        );
         for (j, &count) in arrivals.iter().enumerate() {
             for _ in 0..count.round() as usize {
                 self.central[j].push_back(CentralJob { arrival: t });

@@ -1,11 +1,11 @@
 //! Property-based end-to-end invariants: random small systems, random
 //! scheduler parameters, random traces — the conservation laws must hold.
 
+use grefar_cluster::{AvailabilityProcess, UniformAvailability};
+use grefar_core::QueueState;
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
 use grefar_sim::{JobTracker, Simulation, SimulationInputs};
-use grefar_core::QueueState;
 use grefar_trace::{CosmosLikeWorkload, DiurnalPriceModel, JobArrivalSpec, PriceProcess};
-use grefar_cluster::{AvailabilityProcess, UniformAvailability};
 use grefar_types::{DataCenterId, JobClass, ServerClass, SystemConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -82,12 +82,7 @@ fn random_system(seed: u64) -> (SystemConfig, SimulationInputs) {
     (config, inputs)
 }
 
-fn scheduler_for(
-    config: &SystemConfig,
-    choice: u8,
-    v: f64,
-    beta: f64,
-) -> Box<dyn Scheduler> {
+fn scheduler_for(config: &SystemConfig, choice: u8, v: f64, beta: f64) -> Box<dyn Scheduler> {
     match choice % 4 {
         0 => Box::new(Always::new(config)),
         1 => Box::new(LocalOnly::new(config)),
@@ -191,4 +186,3 @@ proptest! {
         }
     }
 }
-

@@ -62,7 +62,10 @@ pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<(Vec<String>, Vec<Vec<f64
     let header_line = lines
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv file"))??;
-    let headers: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    let headers: Vec<String> = header_line
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
     let mut rows = Vec::new();
     for (lineno, line) in lines.enumerate() {
         let line = line?;

@@ -42,9 +42,7 @@ pub mod record;
 mod rng;
 pub mod workload;
 
-pub use price::{
-    ConstantPrice, DiurnalPriceModel, PriceProcess, ReplayPrice, TieredPrice,
-};
+pub use price::{ConstantPrice, DiurnalPriceModel, PriceProcess, ReplayPrice, TieredPrice};
 pub use record::{PriceTrace, WorkloadTrace};
 pub use rng::GaussianSampler;
 pub use workload::{

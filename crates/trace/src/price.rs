@@ -136,7 +136,10 @@ impl DiurnalPriceModel {
     #[must_use]
     pub fn with_noise(mut self, ar: f64, sigma: f64) -> Self {
         assert!((0.0..1.0).contains(&ar), "ar must lie in [0, 1)");
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         self.ar = ar;
         self.sigma = sigma;
         self
@@ -162,7 +165,10 @@ impl DiurnalPriceModel {
     /// Panics if `floor < 0`.
     #[must_use]
     pub fn with_floor(mut self, floor: f64) -> Self {
-        assert!(floor >= 0.0 && floor.is_finite(), "floor must be non-negative");
+        assert!(
+            floor >= 0.0 && floor.is_finite(),
+            "floor must be non-negative"
+        );
         self.floor = floor;
         self
     }
@@ -332,7 +338,10 @@ mod tests {
         let mut means = [0.0; 3];
         for (i, mean) in means.iter_mut().enumerate() {
             let mut p = DiurnalPriceModel::table_one(i);
-            *mean = (0..2000).map(|t| p.sample(t, &mut r).base_rate()).sum::<f64>() / 2000.0;
+            *mean = (0..2000)
+                .map(|t| p.sample(t, &mut r).base_rate())
+                .sum::<f64>()
+                / 2000.0;
         }
         assert!(means[0] < means[1] && means[1] < means[2], "{means:?}");
     }

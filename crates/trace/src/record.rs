@@ -23,21 +23,13 @@ impl PriceTrace {
     ///
     /// # Panics
     /// Panics if `models` is empty or `slots == 0`.
-    pub fn generate(
-        models: &mut [Box<dyn PriceProcess + Send>],
-        slots: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(models: &mut [Box<dyn PriceProcess + Send>], slots: usize, seed: u64) -> Self {
         assert!(!models.is_empty(), "at least one price process is required");
         assert!(slots > 0, "trace must cover at least one slot");
         let mut rng = StdRng::seed_from_u64(seed);
         let per_dc = models
             .iter_mut()
-            .map(|m| {
-                (0..slots)
-                    .map(|t| m.sample(t as Slot, &mut rng))
-                    .collect()
-            })
+            .map(|m| (0..slots).map(|t| m.sample(t as Slot, &mut rng)).collect())
             .collect();
         Self { per_dc }
     }
@@ -218,10 +210,8 @@ mod tests {
 
     #[test]
     fn price_trace_generation_and_stats() {
-        let mut models: Vec<Box<dyn PriceProcess + Send>> = vec![
-            Box::new(ConstantPrice(0.4)),
-            Box::new(ConstantPrice(0.6)),
-        ];
+        let mut models: Vec<Box<dyn PriceProcess + Send>> =
+            vec![Box::new(ConstantPrice(0.4)), Box::new(ConstantPrice(0.6))];
         let trace = PriceTrace::generate(&mut models, 10, 1);
         assert_eq!(trace.num_data_centers(), 2);
         assert_eq!(trace.num_slots(), 10);

@@ -218,11 +218,14 @@ impl CosmosLikeWorkload {
     /// and clamping) — exposed for calibration tests.
     pub fn rate(&self, j: usize, slot: Slot) -> f64 {
         let s = &self.specs[j];
-        let angle = 2.0 * core::f64::consts::PI
-            * (slot as f64 - s.peak_slot + self.period / 4.0)
+        let angle = 2.0 * core::f64::consts::PI * (slot as f64 - s.peak_slot + self.period / 4.0)
             / self.period;
         let day_of_week = ((slot as f64 / self.period).floor() as u64) % 7;
-        let weekly = if day_of_week >= 5 { s.weekend_factor } else { 1.0 };
+        let weekly = if day_of_week >= 5 {
+            s.weekend_factor
+        } else {
+            1.0
+        };
         s.base_rate * weekly * (1.0 + s.diurnal_amplitude * angle.sin())
     }
 }
@@ -237,7 +240,11 @@ impl ArrivalProcess for CosmosLikeWorkload {
                 let mut count = poisson(self.rate(j, slot), rng) as f64;
                 if s.burst_probability > 0.0 && uniform(rng) < s.burst_probability {
                     // Sporadic dumps dip on weekends like the base flow.
-                    let weekly = if day_of_week >= 5 { s.weekend_factor } else { 1.0 };
+                    let weekly = if day_of_week >= 5 {
+                        s.weekend_factor
+                    } else {
+                        1.0
+                    };
                     count += poisson(s.burst_mean * weekly, rng) as f64;
                 }
                 count.min(s.max_arrivals)
@@ -284,19 +291,15 @@ mod tests {
 
     #[test]
     fn rate_peaks_at_peak_slot() {
-        let w = CosmosLikeWorkload::new(
-            vec![JobArrivalSpec::diurnal(10.0, 0.5, 14.0, 100.0)],
-            24.0,
-        );
+        let w =
+            CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(10.0, 0.5, 14.0, 100.0)], 24.0);
         assert!((w.rate(0, 14) - 15.0).abs() < 1e-9);
         assert!((w.rate(0, 2) - 5.0).abs() < 1e-9); // 12 h later: trough
     }
 
     #[test]
     fn arrivals_are_bounded_and_integral() {
-        let specs = vec![
-            JobArrivalSpec::diurnal(8.0, 0.6, 14.0, 12.0).with_bursts(0.3, 10.0),
-        ];
+        let specs = vec![JobArrivalSpec::diurnal(8.0, 0.6, 14.0, 12.0).with_bursts(0.3, 10.0)];
         let mut w = CosmosLikeWorkload::new(specs, 24.0);
         let mut r = rng();
         for t in 0..2000 {
@@ -308,10 +311,8 @@ mod tests {
 
     #[test]
     fn mean_tracks_rate_without_bursts() {
-        let mut w = CosmosLikeWorkload::new(
-            vec![JobArrivalSpec::diurnal(6.0, 0.0, 0.0, 1e6)],
-            24.0,
-        );
+        let mut w =
+            CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(6.0, 0.0, 0.0, 1e6)], 24.0);
         let mut r = rng();
         let n = 30_000;
         let mean: f64 = (0..n).map(|t| w.sample(t, &mut r)[0]).sum::<f64>() / n as f64;
@@ -320,10 +321,8 @@ mod tests {
 
     #[test]
     fn bursts_add_sporadic_mass() {
-        let smooth = CosmosLikeWorkload::new(
-            vec![JobArrivalSpec::diurnal(2.0, 0.0, 0.0, 1e6)],
-            24.0,
-        );
+        let smooth =
+            CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(2.0, 0.0, 0.0, 1e6)], 24.0);
         let mut bursty = CosmosLikeWorkload::new(
             vec![JobArrivalSpec::diurnal(2.0, 0.0, 0.0, 1e6).with_bursts(0.1, 20.0)],
             24.0,
@@ -339,10 +338,8 @@ mod tests {
 
     #[test]
     fn diurnal_shape_visible_in_sample_means() {
-        let mut w = CosmosLikeWorkload::new(
-            vec![JobArrivalSpec::diurnal(10.0, 0.8, 14.0, 1e6)],
-            24.0,
-        );
+        let mut w =
+            CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(10.0, 0.8, 14.0, 1e6)], 24.0);
         let mut r = rng();
         let days = 600;
         let mut by_hour = vec![0.0f64; 24];

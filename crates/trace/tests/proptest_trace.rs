@@ -10,12 +10,12 @@ use rand::SeedableRng;
 
 fn spec_strategy() -> impl Strategy<Value = JobArrivalSpec> {
     (
-        0.1f64..10.0,  // base rate
-        0.0f64..1.0,   // amplitude
-        0.0f64..24.0,  // peak
-        0.0f64..0.3,   // burst probability
-        0.0f64..20.0,  // burst mean
-        0.2f64..1.0,   // weekend factor
+        0.1f64..10.0, // base rate
+        0.0f64..1.0,  // amplitude
+        0.0f64..24.0, // peak
+        0.0f64..0.3,  // burst probability
+        0.0f64..20.0, // burst mean
+        0.2f64..1.0,  // weekend factor
     )
         .prop_map(|(base, amp, peak, bp, bm, wf)| {
             let a_max = (3.0 * base + bm + 5.0).ceil();

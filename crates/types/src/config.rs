@@ -7,7 +7,6 @@ use crate::{
 /// An account/organization `m` with fairness weight `γ_m` — the desired share
 /// of total computing resource (§III-C.1, eq. (3)).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Account {
     name: String,
     gamma: f64,
@@ -41,7 +40,6 @@ impl Account {
 /// vary over time and live in
 /// [`DataCenterState`](crate::DataCenterState).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataCenterInfo {
     name: String,
     fleet: Vec<f64>,
@@ -97,7 +95,6 @@ impl DataCenterInfo {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemConfig {
     server_classes: Vec<ServerClass>,
     data_centers: Vec<DataCenterInfo>,
@@ -253,11 +250,10 @@ impl SystemConfig {
     /// Iterates over all eligible (data center, job type) pairs — the index
     /// set `{(i, j) : i ∈ 𝒟_j}` over which `r` and `h` may be non-zero.
     pub fn eligible_pairs(&self) -> impl Iterator<Item = (DataCenterId, JobTypeId)> + '_ {
-        self.job_classes.iter().enumerate().flat_map(|(j, jc)| {
-            jc.eligible()
-                .iter()
-                .map(move |&i| (i, JobTypeId::new(j)))
-        })
+        self.job_classes
+            .iter()
+            .enumerate()
+            .flat_map(|(j, jc)| jc.eligible().iter().map(move |&i| (i, JobTypeId::new(j))))
     }
 }
 

@@ -26,7 +26,6 @@ use crate::Grid;
 /// assert_eq!(z.routed.row_sum(0), 4.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Decision {
     /// Routing matrix `r_{i,j}(t)`, shape `N × J`.
     pub routed: Grid,

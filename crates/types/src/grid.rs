@@ -22,7 +22,6 @@ use core::ops::{Index, IndexMut};
 /// assert_eq!(g.sum(), 4.5);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Grid {
     rows: usize,
     cols: usize,

@@ -9,8 +9,6 @@ macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $letter:literal) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-        #[cfg_attr(feature = "serde", serde(transparent))]
         pub struct $name(usize);
 
         impl $name {

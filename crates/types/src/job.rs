@@ -35,7 +35,6 @@ use crate::{AccountId, DataCenterId};
 /// assert!(!j.is_eligible(DataCenterId::new(1)));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobClass {
     work: f64,
     eligible: Vec<DataCenterId>,

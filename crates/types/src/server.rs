@@ -23,7 +23,6 @@
 /// assert!((k.power_per_work() - 150.0 / 1.15).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServerClass {
     speed: f64,
     active_power: f64,

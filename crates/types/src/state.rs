@@ -18,7 +18,6 @@ use crate::{ServerClass, Slot, Tariff};
 /// assert_eq!(state.price(), 0.43);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataCenterState {
     available: Vec<f64>,
     tariff: Tariff,
@@ -94,7 +93,6 @@ impl DataCenterState {
 /// current slot are *not* part of the observation: they are revealed only
 /// after the slot's decisions are made.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemState {
     slot: Slot,
     data_centers: Vec<DataCenterState>,

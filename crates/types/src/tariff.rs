@@ -11,7 +11,6 @@ use crate::ConfigError;
 /// One linear segment of a convex piecewise-linear tariff: up to `width`
 /// units of energy are billed at marginal price `rate`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TariffSegment {
     /// Energy capacity of the segment. `f64::INFINITY` is allowed for the
     /// final segment.
@@ -38,7 +37,6 @@ pub struct TariffSegment {
 /// assert_eq!(tiered.marginal_rate(60.0), 0.6);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tariff {
     segments: Vec<TariffSegment>,
 }
@@ -77,7 +75,7 @@ impl Tariff {
         let mut prev_rate = 0.0;
         let last = segments.len() - 1;
         for (idx, &(width, rate)) in segments.iter().enumerate() {
-            if !(width > 0.0) {
+            if width <= 0.0 || width.is_nan() {
                 return Err(ConfigError::InvalidTariff(format!(
                     "segment {idx} has non-positive width {width}"
                 )));

@@ -1,9 +1,7 @@
 //! Property tests for the foundational types: tariffs, grids and the
 //! configuration builder.
 
-use grefar_types::{
-    DataCenterId, Grid, JobClass, ServerClass, SystemConfig, Tariff,
-};
+use grefar_types::{DataCenterId, Grid, JobClass, ServerClass, SystemConfig, Tariff};
 use proptest::prelude::*;
 
 fn tariff_strategy() -> impl Strategy<Value = Tariff> {

@@ -36,10 +36,8 @@ fn main() {
     let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
         vec![Box::new(FullAvailability)];
     // Strongly diurnal arrivals: peak hours far exceed the cheap block.
-    let mut workload = CosmosLikeWorkload::new(
-        vec![JobArrivalSpec::diurnal(10.0, 0.9, 14.0, 40.0)],
-        24.0,
-    );
+    let mut workload =
+        CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(10.0, 0.9, 14.0, 40.0)], 24.0);
     let inputs = SimulationInputs::generate(
         &config,
         24 * 30,

@@ -45,7 +45,10 @@ fn main() {
     let scheduler = GreFar::new(&config, GreFarParams::new(7.5, 0.0)).expect("valid");
     let report = Simulation::new(config.clone(), inputs, Box::new(scheduler)).run();
 
-    println!("24-hour outage of dc-2 during day 6 (hours {}..{})\n", outage.0, outage.1);
+    println!(
+        "24-hour outage of dc-2 during day 6 (hours {}..{})\n",
+        outage.0, outage.1
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>12} {:>10}",
         "day", "work_dc1", "work_dc2", "work_dc3", "queue_total", "energy"
@@ -67,8 +70,10 @@ fn main() {
     }
 
     let outage_day = outage.0 / 24;
-    let w2_before: f64 =
-        report.work_per_dc[1].instant()[..outage.0].iter().sum::<f64>() / outage.0 as f64;
+    let w2_before: f64 = report.work_per_dc[1].instant()[..outage.0]
+        .iter()
+        .sum::<f64>()
+        / outage.0 as f64;
     let w2_during: f64 = report.work_per_dc[1].instant()[outage.0..outage.1]
         .iter()
         .sum::<f64>()

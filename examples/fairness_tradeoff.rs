@@ -48,7 +48,10 @@ fn main() {
 
     // Part 2: α-fair utilities as the fairness function.
     println!("\nalpha-fair utilities (footnote 5), beta = 100, V = 7.5\n");
-    println!("{:>8} {:>12} {:>12}", "alpha", "avg_energy", "quad_fairness");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "alpha", "avg_energy", "quad_fairness"
+    );
     for alpha in [0.5, 1.0, 2.0] {
         let scheduler = GreFar::with_fairness(
             &config,
@@ -56,8 +59,7 @@ fn main() {
             Box::new(AlphaFair::new(alpha, 1e-3)),
         )
         .expect("valid");
-        let report =
-            Simulation::new(config.clone(), inputs.clone(), Box::new(scheduler)).run();
+        let report = Simulation::new(config.clone(), inputs.clone(), Box::new(scheduler)).run();
         println!(
             "{:>8} {:>12.2} {:>12.4}",
             alpha,

@@ -35,10 +35,8 @@ fn main() {
     ];
     let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
         vec![Box::new(FullAvailability), Box::new(FullAvailability)];
-    let mut workload = CosmosLikeWorkload::new(
-        vec![JobArrivalSpec::diurnal(5.0, 0.4, 14.0, 14.0)],
-        24.0,
-    );
+    let mut workload =
+        CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(5.0, 0.4, 14.0, 14.0)], 24.0);
     let inputs = SimulationInputs::generate(
         &config,
         24 * 40,

@@ -14,15 +14,17 @@ fn main() {
     let inputs = scenario.into_inputs(24 * 7);
 
     // GreFar with cost-delay parameter V = 7.5 and fairness weight β = 100.
-    let scheduler =
-        GreFar::new(&config, GreFarParams::new(7.5, 100.0)).expect("valid parameters");
+    let scheduler = GreFar::new(&config, GreFarParams::new(7.5, 100.0)).expect("valid parameters");
 
     let report = Simulation::new(config.clone(), inputs, Box::new(scheduler)).run();
 
     println!("scheduler           : {}", report.scheduler);
     println!("simulated hours     : {}", report.horizon);
     println!("avg energy cost     : {:.2}", report.average_energy_cost());
-    println!("avg fairness score  : {:.4} (0 is ideal)", report.average_fairness());
+    println!(
+        "avg fairness score  : {:.4} (0 is ideal)",
+        report.average_fairness()
+    );
     for i in 0..report.num_data_centers() {
         println!(
             "{}: avg work {:.1}/h, avg job delay {:.2} h",
@@ -31,7 +33,16 @@ fn main() {
             report.average_dc_delay(i),
         );
     }
-    println!("jobs completed      : {}", report.completions.completed_total);
-    println!("mean sojourn        : {:.2} h", report.completions.mean_sojourn);
-    println!("max queue observed  : {:.0} jobs", report.max_queue_length());
+    println!(
+        "jobs completed      : {}",
+        report.completions.completed_total
+    );
+    println!(
+        "mean sojourn        : {:.2} h",
+        report.completions.mean_sojourn
+    );
+    println!(
+        "max queue observed  : {:.0} jobs",
+        report.max_queue_length()
+    );
 }

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let work_path = dir.join("workload.csv");
     save_price_trace(&price_path, &price_trace)?;
     save_workload_trace(&work_path, &workload_trace)?;
-    println!("exported {} and {}", price_path.display(), work_path.display());
+    println!(
+        "exported {} and {}",
+        price_path.display(),
+        work_path.display()
+    );
 
     // 3. Reload and rebuild simulation inputs from the files alone.
     let prices = load_price_trace(&price_path)?;
@@ -43,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|_| Box::new(FullAvailability) as Box<dyn AvailabilityProcess + Send>)
         .collect();
     let mut workload_proc = ReplayWorkload::new(
-        (0..hours).map(|t| workload.arrivals(t as u64).to_vec()).collect(),
+        (0..hours)
+            .map(|t| workload.arrivals(t as u64).to_vec())
+            .collect(),
     );
     let inputs = SimulationInputs::generate(
         &config,

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: build, tests, formatting, lints.
+# Everything runs offline against the vendored dependency stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --offline --all-targets -- -D warnings
+echo "all checks passed"

@@ -12,7 +12,9 @@
 //! * [`cluster`] — data-center fleets, availability processes, energy model,
 //! * [`trace`] — electricity-price and Cosmos-like workload generators,
 //! * [`core`] — the GreFar scheduler, baselines and Theorem 1 machinery,
-//! * [`sim`] — the discrete-time simulator and experiment runner.
+//! * [`sim`] — the discrete-time simulator and experiment runner,
+//! * [`obs`] — the structured telemetry layer (observers, JSONL export,
+//!   timing histograms); see `Simulation::run_with_observer`.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use grefar_cluster as cluster;
 pub use grefar_convex as convex;
 pub use grefar_core as core;
 pub use grefar_lp as lp;
+pub use grefar_obs as obs;
 pub use grefar_sim as sim;
 pub use grefar_trace as trace;
 pub use grefar_types as types;

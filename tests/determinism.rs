@@ -1,8 +1,11 @@
 //! Reproducibility: every layer of the stack is a pure function of its
 //! seed, and parallel sweeps return bit-identical results to serial runs.
 
+use grefar::obs::json::{self, JsonValue};
+use grefar::obs::JsonlSink;
 use grefar::prelude::*;
 use grefar::sim::sweep;
+use std::collections::BTreeMap;
 
 fn run_once(seed: u64, v: f64, beta: f64) -> SimulationReport {
     let scenario = PaperScenario::default().with_seed(seed);
@@ -64,6 +67,34 @@ fn parallel_sweep_is_bit_identical_to_serial() {
     for (s, (_, p)) in serial.iter().zip(&parallel) {
         assert_eq!(s, p, "parallel execution changed a result");
     }
+}
+
+#[test]
+fn telemetry_event_stream_is_deterministic() {
+    // Two identical seeded runs must emit identical event streams; only the
+    // `_us` wall-clock fields may differ between runs.
+    fn events_without_timings(seed: u64) -> Vec<BTreeMap<String, JsonValue>> {
+        let scenario = PaperScenario::default().with_seed(seed);
+        let config = scenario.config().clone();
+        let inputs = scenario.into_inputs(24 * 3);
+        let g = GreFar::new(&config, GreFarParams::new(7.5, 100.0)).expect("valid");
+        let mut sim = Simulation::new(config, inputs, Box::new(g));
+        let mut sink = JsonlSink::new(Vec::new());
+        sim.run_with_observer(&mut sink);
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let mut events = json::parse_lines(&text).expect("valid JSONL");
+        for event in &mut events {
+            event.retain(|key, _| !key.ends_with("_us"));
+        }
+        events
+    }
+    let a = events_without_timings(42);
+    let b = events_without_timings(42);
+    assert_eq!(a.len(), b.len(), "event counts differ");
+    assert_eq!(a, b, "event streams differ beyond wall-clock fields");
+
+    let c = events_without_timings(43);
+    assert_ne!(a, c, "different seeds must yield different event streams");
 }
 
 #[test]

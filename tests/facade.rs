@@ -30,8 +30,12 @@ fn prelude_covers_the_common_workflow() {
     // sim via the paper scenario
     let scenario = PaperScenario::default().with_seed(1);
     let cfg = scenario.config().clone();
-    let report: SimulationReport =
-        Simulation::new(cfg.clone(), scenario.into_inputs(48), Box::new(Always::new(&cfg))).run();
+    let report: SimulationReport = Simulation::new(
+        cfg.clone(),
+        scenario.into_inputs(48),
+        Box::new(Always::new(&cfg)),
+    )
+    .run();
     assert_eq!(report.horizon, 48);
 }
 

@@ -2,8 +2,7 @@
 //! admission control under sustained overload.
 
 use grefar::cluster::{
-    AvailabilityProcess, FullAvailability, MarkovAvailability, OutageSchedule,
-    UniformAvailability,
+    AvailabilityProcess, FullAvailability, MarkovAvailability, OutageSchedule, UniformAvailability,
 };
 use grefar::prelude::*;
 use grefar::sim::SimulationInputs;
@@ -45,12 +44,18 @@ fn full_outage_of_one_site_is_absorbed() {
 
     // The system keeps serving: the other sites' work rises during the
     // outage day relative to their pre-outage average.
-    let pre: f64 = report.work_per_dc[0].instant()[..24 * 4].iter().sum::<f64>() / (24.0 * 4.0);
+    let pre: f64 = report.work_per_dc[0].instant()[..24 * 4]
+        .iter()
+        .sum::<f64>()
+        / (24.0 * 4.0);
     let dur: f64 = report.work_per_dc[0].instant()[24 * 4..24 * 5]
         .iter()
         .sum::<f64>()
         / 24.0;
-    assert!(dur > pre, "surviving sites must absorb load: {dur} vs {pre}");
+    assert!(
+        dur > pre,
+        "surviving sites must absorb load: {dur} vs {pre}"
+    );
 
     // Queues recover: the final total backlog is not materially above the
     // pre-outage level.
@@ -82,8 +87,7 @@ fn price_spike_is_waited_out() {
     for r in rates.iter_mut().take(40).skip(30) {
         *r = 10.0;
     }
-    let mut prices: Vec<Box<dyn PriceModel + Send>> =
-        vec![Box::new(ReplayPrice::new(rates))];
+    let mut prices: Vec<Box<dyn PriceModel + Send>> = vec![Box::new(ReplayPrice::new(rates))];
     let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
         vec![Box::new(FullAvailability)];
     let mut workload = ConstantWorkload::new(vec![3.0]);
@@ -161,9 +165,11 @@ fn sustained_overload_with_admission_control_stays_bounded() {
         "backlog must stabilize under admission control: {mid} -> {end}"
     );
     // The served rate equals capacity.
-    let served: f64 = report.work_per_dc[0].instant().iter().sum::<f64>()
-        / report.horizon as f64;
-    assert!((served - 5.0).abs() < 0.3, "must serve at capacity, got {served}");
+    let served: f64 = report.work_per_dc[0].instant().iter().sum::<f64>() / report.horizon as f64;
+    assert!(
+        (served - 5.0).abs() < 0.3,
+        "must serve at capacity, got {served}"
+    );
 }
 
 #[test]

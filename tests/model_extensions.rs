@@ -28,7 +28,14 @@ fn flat_inputs(config: &SystemConfig, hours: usize, rate: f64, price: f64) -> Si
     let mut availability: Vec<Box<dyn AvailabilityProcess + Send>> =
         vec![Box::new(FullAvailability)];
     let mut workload = ConstantWorkload::new(vec![rate]);
-    SimulationInputs::generate(config, hours, 1, &mut prices, &mut availability, &mut workload)
+    SimulationInputs::generate(
+        config,
+        hours,
+        1,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    )
 }
 
 /// §III-B: "the maximum number of servers that can be used to process a job

@@ -74,8 +74,14 @@ fn work_split_follows_energy_cost_efficiency() {
         r.average_work_per_dc(1),
         r.average_work_per_dc(2),
     );
-    assert!(w2 > w1, "DC2 (cheapest/work) must get the most work: {w1} {w2} {w3}");
-    assert!(w1 > w3, "DC3 (priciest/work) must get the least work: {w1} {w2} {w3}");
+    assert!(
+        w2 > w1,
+        "DC2 (cheapest/work) must get the most work: {w1} {w2} {w3}"
+    );
+    assert!(
+        w1 > w3,
+        "DC3 (priciest/work) must get the least work: {w1} {w2} {w3}"
+    );
 }
 
 /// Fig. 3: β at the calibrated operating point (300 in our units; the
@@ -187,7 +193,10 @@ fn grefar_pays_lower_work_weighted_prices() {
     };
     let g = weighted(&reports[0].1);
     let a = weighted(&reports[1].1);
-    assert!(g < a, "GreFar's work-weighted price {g} must beat Always's {a}");
+    assert!(
+        g < a,
+        "GreFar's work-weighted price {g} must beat Always's {a}"
+    );
 }
 
 /// The arrival calibration survives end to end: total served work per slot

@@ -102,10 +102,8 @@ fn lookahead_gap_shrinks_with_v() {
         Box::new(UniformAvailability::new(0.95, 1.0)),
         Box::new(UniformAvailability::new(0.95, 1.0)),
     ];
-    let mut workload = CosmosLikeWorkload::new(
-        vec![JobArrivalSpec::diurnal(2.5, 0.5, 14.0, 6.0)],
-        24.0,
-    );
+    let mut workload =
+        CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(2.5, 0.5, 14.0, 6.0)], 24.0);
     let horizon = 24 * 10;
     let inputs = SimulationInputs::generate(
         &config,
@@ -175,8 +173,14 @@ fn lookahead_lower_bounds_grefar() {
         vec![Box::new(grefar::cluster::FullAvailability)];
     let mut workload =
         CosmosLikeWorkload::new(vec![JobArrivalSpec::diurnal(2.0, 0.4, 14.0, 5.0)], 24.0);
-    let inputs =
-        SimulationInputs::generate(&config, 24 * 8, 9, &mut prices, &mut availability, &mut workload);
+    let inputs = SimulationInputs::generate(
+        &config,
+        24 * 8,
+        9,
+        &mut prices,
+        &mut availability,
+        &mut workload,
+    );
 
     let plan = TStepLookahead::new(24)
         .expect("valid")
