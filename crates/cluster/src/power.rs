@@ -106,7 +106,7 @@ impl PowerCurve {
             work.is_finite() && work >= 0.0,
             "work must be non-negative and finite, got {work}"
         );
-        if work == 0.0 {
+        if grefar_types::approx_zero(work, 0.0) {
             return 0.0;
         }
         assert!(

@@ -128,7 +128,7 @@ impl GreFar {
     /// Solves the slot problem (14), keeping the full [`SlotSolution`].
     fn solve(&self, state: &SystemState, queues: &QueueState) -> SlotSolution {
         let inst = SlotInstance::new(&self.config, state, queues, self.params.v);
-        if self.params.beta == 0.0 {
+        if grefar_types::approx_zero(self.params.beta, grefar_types::TOL_SENTINEL) {
             inst.solve_greedy()
         } else {
             inst.solve_with_fairness(
@@ -136,6 +136,32 @@ impl GreFar {
                 self.fairness.as_ref(),
                 self.params.fw_options,
             )
+        }
+    }
+
+    /// `strict-invariants` enforcement: every decision must satisfy
+    /// (4), (5), (11) and GreFar's backlog discipline. Aborts on violation,
+    /// emitting an `invariant.violation` event first when an observer is
+    /// attached.
+    #[cfg(feature = "strict-invariants")]
+    fn enforce(
+        &self,
+        state: &SystemState,
+        queues: &QueueState,
+        decision: &Decision,
+        obs: Option<&mut dyn Observer>,
+    ) {
+        let result =
+            crate::invariant::check_decision(&self.config, state, decision).and_then(|()| {
+                crate::invariant::check_backlog_discipline(&self.config, queues, decision)
+            });
+        if let Err(violation) = result {
+            if let Some(obs) = obs {
+                if obs.enabled() {
+                    obs.record_event(violation.event(state.slot()));
+                }
+            }
+            panic!("strict-invariants: GreFar produced an infeasible decision: {violation}");
         }
     }
 }
@@ -146,7 +172,10 @@ impl Scheduler for GreFar {
     }
 
     fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
-        self.solve(state, queues).decision
+        let decision = self.solve(state, queues).decision;
+        #[cfg(feature = "strict-invariants")]
+        self.enforce(state, queues, &decision, None);
+        decision
     }
 
     fn decide_observed(
@@ -200,6 +229,8 @@ impl Scheduler for GreFar {
         if let SolverChoice::FrankWolfe { iterations, .. } = solution.solver {
             obs.record_value("grefar.fw_iterations", iterations as f64);
         }
+        #[cfg(feature = "strict-invariants")]
+        self.enforce(state, queues, &solution.decision, Some(obs));
         solution.decision
     }
 }

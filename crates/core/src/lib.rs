@@ -58,6 +58,7 @@ mod cost;
 mod error;
 pub mod fairness;
 mod grefar;
+pub mod invariant;
 mod lookahead;
 mod queue;
 mod scheduler;

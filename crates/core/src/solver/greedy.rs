@@ -61,7 +61,7 @@ pub(crate) fn linear_dispatch_dc(
             supply.push((k, c_b[k] / speeds[k], avail[k] * speeds[k]));
         }
     }
-    supply.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    supply.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     // Demand: only jobs whose service improves the objective.
     let mut demand: Vec<(usize, f64, f64)> =
@@ -69,7 +69,7 @@ pub(crate) fn linear_dispatch_dc(
             .filter(|&j| c_h[j] < 0.0 && h_cap[j] > 0.0 && work[j] > 0.0)
             .map(|j| (j, -c_h[j] / work[j], h_cap[j] * work[j]))
             .collect();
-    demand.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite values"));
+    demand.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut supply_idx = 0usize;
     let mut supply_left = supply.first().map_or(0.0, |s| s.2);
@@ -110,8 +110,11 @@ fn tier_at(tariff: &Tariff, e: f64) -> (f64, f64) {
         }
         level -= seg.width;
     }
-    let last = &tariff.segments()[tariff.segments().len() - 1];
-    (last.rate, f64::INFINITY)
+    match tariff.segments().last() {
+        Some(last) => (last.rate, f64::INFINITY),
+        // Tariff validates segment lists non-empty; an empty curve bills 0.
+        None => (0.0, f64::INFINITY),
+    }
 }
 
 /// Solves the β = 0 GreFar per-DC processing problem *exactly*, including
@@ -158,14 +161,14 @@ pub(crate) fn price_aware_dispatch_dc(
         .filter(|&k| avail[k] > 0.0)
         .map(|k| (k, powers[k] / speeds[k], avail[k] * speeds[k]))
         .collect();
-    supply.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite power ratios"));
+    supply.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     // Demand: positive queues by value-per-work descending.
     let mut demand: Vec<(usize, f64, f64)> = (0..j_count)
         .filter(|&j| queue_values[j] > 0.0 && h_cap[j] > 0.0 && work[j] > 0.0)
         .map(|j| (j, queue_values[j] / work[j], h_cap[j] * work[j]))
         .collect();
-    demand.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite values"));
+    demand.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut energy = 0.0f64;
     let mut supply_idx = 0usize;

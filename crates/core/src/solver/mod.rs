@@ -185,7 +185,7 @@ impl<'a> SlotInstance<'a> {
             targets.sort_by(|&a, &b| {
                 let qa = self.queues.local(a, j);
                 let qb = self.queues.local(b, j);
-                qa.partial_cmp(&qb).expect("finite queues").then_with(|| {
+                qa.total_cmp(&qb).then_with(|| {
                     let ra = (a + n - rotation) % n;
                     let rb = (b + n - rotation) % n;
                     ra.cmp(&rb)
@@ -246,6 +246,9 @@ impl<'a> SlotInstance<'a> {
     /// Solves the slot problem with fairness (`β > 0`) via Frank–Wolfe with
     /// the greedy linear-minimization oracle, then re-dispatches the final
     /// work at minimum power (a strict improvement that keeps feasibility).
+    ///
+    /// # Panics
+    /// Panics if `beta` is negative or non-finite.
     pub fn solve_with_fairness(
         &self,
         beta: f64,

@@ -144,6 +144,9 @@ impl TheoryBounds {
     /// ```
     ///
     /// which equals `V·C3/δ` with `C3` as in (39)–(42).
+    ///
+    /// # Panics
+    /// Panics if `v` is negative or non-finite.
     pub fn queue_bound(&self, v: f64) -> f64 {
         assert!(v >= 0.0 && v.is_finite(), "V must be non-negative");
         let p = self.b_const + v * self.g_spread;

@@ -1,0 +1,127 @@
+//! Property test behind the `strict-invariants` layer: whatever the system
+//! looks like, `GreFar::decide` must return an action satisfying the
+//! constraints the analysis assumes — (4), (5), (11), non-negativity —
+//! plus GreFar's own backlog discipline (never route or serve more than
+//! is queued). The checkers of `grefar_core::invariant` are the oracle,
+//! so this test also pins down that the deployed checkers accept real
+//! scheduler output (no false alarms).
+
+use grefar_core::{invariant, GreFar, GreFarParams, QueueState, Scheduler};
+use grefar_types::{
+    DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, SystemState, Tariff,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized but always-valid system: 1–3 data centers, 1–2 server
+/// classes, 1–3 job classes with random eligibility sets and bounds.
+fn random_system(rng: &mut StdRng) -> SystemConfig {
+    let n = rng.gen_range(1..=3);
+    let k = rng.gen_range(1..=2);
+    let j = rng.gen_range(1..=3);
+    let mut builder = SystemConfig::builder();
+    for _ in 0..k {
+        builder = builder.server_class(ServerClass::new(
+            rng.gen_range(0.5f64..2.0),
+            rng.gen_range(0.2f64..1.5),
+        ));
+    }
+    for i in 0..n {
+        let fleet: Vec<f64> = (0..k)
+            .map(|_| rng.gen_range(0.0f64..30.0).floor())
+            .collect();
+        builder = builder.data_center(format!("dc{i}"), fleet);
+    }
+    let accounts = rng.gen_range(1usize..=2);
+    for m in 0..accounts {
+        builder = builder.account(format!("org{m}"), rng.gen_range(0.1f64..1.0));
+    }
+    for _ in 0..j {
+        // Non-empty random eligibility set.
+        let mut eligible: Vec<DataCenterId> = (0..n)
+            .filter(|_| rng.gen_bool(0.6))
+            .map(DataCenterId::new)
+            .collect();
+        if eligible.is_empty() {
+            eligible.push(DataCenterId::new(rng.gen_range(0..n)));
+        }
+        builder = builder.job_class(
+            JobClass::new(
+                rng.gen_range(0.5f64..3.0),
+                eligible,
+                rng.gen_range(0..accounts),
+            )
+            .with_max_arrivals(rng.gen_range(1.0f64..6.0).floor())
+            .with_max_route(rng.gen_range(1.0f64..10.0).floor())
+            .with_max_process(rng.gen_range(1.0f64..12.0)),
+        );
+    }
+    builder.build().expect("randomized config is valid")
+}
+
+/// A random state: partial availability (including fully-failed data
+/// centers) and random flat prices.
+fn random_state(config: &SystemConfig, rng: &mut StdRng, slot: u64) -> SystemState {
+    let dcs = config
+        .data_centers()
+        .iter()
+        .map(|dc| {
+            let avail: Vec<f64> = dc
+                .fleet()
+                .iter()
+                .map(|&f| (f * rng.gen_range(0.0f64..=1.0)).floor())
+                .collect();
+            DataCenterState::new(avail, Tariff::flat(rng.gen_range(0.01f64..2.0)))
+        })
+        .collect();
+    SystemState::new(slot, dcs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Every decision on every reachable queue state is feasible and
+    /// respects backlogs, for both the greedy (β = 0) and the
+    /// Frank–Wolfe (β > 0) solve paths.
+    #[test]
+    fn grefar_decisions_are_always_feasible(seed in any::<u64>(), fair in any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = random_system(&mut rng);
+        let v = rng.gen_range(0.0f64..50.0);
+        let beta = if fair { rng.gen_range(0.1f64..5.0) } else { 0.0 };
+        let mut grefar = GreFar::new(&config, GreFarParams::new(v, beta)).expect("valid params");
+        let mut queues = QueueState::new(&config);
+        let j = config.num_job_classes();
+
+        for t in 0..12u64 {
+            let state = random_state(&config, &mut rng, t);
+            let decision = grefar.decide(&state, &queues);
+
+            if let Err(violation) = invariant::check_decision(&config, &state, &decision) {
+                prop_assert!(false, "slot {t}: infeasible decision: {violation}");
+            }
+            if let Err(violation) =
+                invariant::check_backlog_discipline(&config, &queues, &decision)
+            {
+                prop_assert!(false, "slot {t}: backlog discipline broken: {violation}");
+            }
+
+            // Advance with admissible random arrivals and re-check that the
+            // realized transition matches (12)-(13).
+            let arrivals: Vec<f64> = (0..j)
+                .map(|jj| {
+                    let a_max = config.job_classes()[jj].max_arrivals();
+                    rng.gen_range(0.0f64..=a_max).floor()
+                })
+                .collect();
+            let prev = queues.clone();
+            queues.apply(&decision, &arrivals);
+            if let Err(violation) =
+                invariant::check_queue_update(&config, &prev, &decision, &arrivals, &queues)
+            {
+                prop_assert!(false, "slot {t}: queue dynamics drifted: {violation}");
+            }
+        }
+    }
+}

@@ -48,6 +48,7 @@ pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
         let pivot = m[col * n + col];
         for row in (col + 1)..n {
             let factor = m[row * n + col] / pivot;
+            // verify: allow(float-eq): exact-zero skip — elimination with a zero factor is a no-op
             if factor == 0.0 {
                 continue;
             }

@@ -82,6 +82,7 @@ impl Tableau {
                 continue;
             }
             let factor = self.data[r * w + col];
+            // verify: allow(float-eq): exact-zero skip — elimination with a zero factor is a no-op
             if factor == 0.0 {
                 continue;
             }
@@ -103,6 +104,44 @@ impl Tableau {
 
     fn is_basic(&self, col: usize) -> bool {
         self.basis.contains(&col)
+    }
+
+    /// `strict-invariants` sanity sweep over the basis and bound-flip
+    /// bookkeeping: every basis column distinct and in range, every basic
+    /// value within `[0, upper]` (up to `tol`), and no nonbasic column
+    /// resting at a non-finite upper bound.
+    #[cfg(feature = "strict-invariants")]
+    fn check_invariants(&self, tol: f64) -> Result<(), SolveError> {
+        let mut seen = vec![false; self.width];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b >= self.width {
+                return Err(SolveError::InvariantViolation(format!(
+                    "basis[{i}] = {b} out of range (width {})",
+                    self.width
+                )));
+            }
+            if seen[b] {
+                return Err(SolveError::InvariantViolation(format!(
+                    "column {b} appears twice in the basis"
+                )));
+            }
+            seen[b] = true;
+            let v = self.xb[i];
+            if !v.is_finite() || v < -tol || v > self.upper[b] + tol {
+                return Err(SolveError::InvariantViolation(format!(
+                    "basic variable {b} = {v} outside [0, {}]",
+                    self.upper[b]
+                )));
+            }
+        }
+        for (j, &basic) in seen.iter().enumerate() {
+            if !basic && self.at_upper[j] && !self.upper[j].is_finite() {
+                return Err(SolveError::InvariantViolation(format!(
+                    "nonbasic column {j} rests at a non-finite upper bound"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -152,6 +191,7 @@ fn run_phase(
             let mut rc = cost[j];
             for i in 0..t.m {
                 let cb = cost[t.basis[i]];
+                // verify: allow(float-eq): exact-zero skip — zero basic cost contributes nothing
                 if cb != 0.0 {
                     rc -= cb * t.at(i, j);
                 }
@@ -174,6 +214,8 @@ fn run_phase(
             }
         }
         let Some((col, s)) = entering else {
+            #[cfg(feature = "strict-invariants")]
+            t.check_invariants(opts.tolerance.max(1e-6))?;
             return Ok(()); // phase optimal
         };
 
@@ -273,6 +315,7 @@ pub(crate) fn simplex(
     opts: SimplexOptions,
 ) -> Result<Solution, SolveError> {
     debug_assert_eq!(upper_bounds.len(), num_vars);
+    // verify: allow(determinism): wall-clock feeds SolveStats telemetry only, never a pivot choice
     let started = std::time::Instant::now();
     let m = rows.len();
 
@@ -380,6 +423,8 @@ pub(crate) fn simplex(
             }
             i += 1;
         }
+        #[cfg(feature = "strict-invariants")]
+        t.check_invariants(opts.tolerance.max(1e-6))?;
     }
 
     let phase1_pivots = counters.pivots;

@@ -98,6 +98,11 @@ pub enum SolveError {
     },
     /// The model itself is malformed (e.g. a variable index out of range).
     BadModel(String),
+    /// An internal consistency check failed (duplicate basis column,
+    /// basic value outside its bounds, bound flip on an unbounded
+    /// column). Only produced with the `strict-invariants` feature; always
+    /// indicates a solver bug, never a property of the model.
+    InvariantViolation(String),
 }
 
 impl fmt::Display for SolveError {
@@ -109,6 +114,9 @@ impl fmt::Display for SolveError {
                 write!(f, "simplex exceeded the pivot limit of {limit}")
             }
             Self::BadModel(why) => write!(f, "malformed linear program: {why}"),
+            Self::InvariantViolation(why) => {
+                write!(f, "simplex internal invariant violated: {why}")
+            }
         }
     }
 }
@@ -144,6 +152,9 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(SolveError::BadModel("x".into()).to_string().contains('x'));
+        assert!(SolveError::InvariantViolation("basis".into())
+            .to_string()
+            .contains("basis"));
     }
 
     #[test]

@@ -103,7 +103,7 @@ impl MpcScheduler {
     fn price_hat(&self, t: usize, i: usize) -> f64 {
         let t = t.min(self.forecast.horizon() - 1);
         let base = self.forecast.state(t).data_center(i).price();
-        if self.price_noise == 0.0 {
+        if grefar_types::approx_zero(self.price_noise, grefar_types::TOL_SENTINEL) {
             return base;
         }
         // Deterministic pseudo-noise: a cheap hash of (t, i) mapped to

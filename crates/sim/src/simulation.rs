@@ -24,6 +24,7 @@ pub struct Simulation {
     inputs: SimulationInputs,
     scheduler: Box<dyn Scheduler>,
     admission_cap: Option<f64>,
+    queue_bound: Option<f64>,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -31,6 +32,7 @@ impl core::fmt::Debug for Simulation {
         f.debug_struct("Simulation")
             .field("horizon", &self.inputs.horizon())
             .field("admission_cap", &self.admission_cap)
+            .field("queue_bound", &self.queue_bound)
             .finish_non_exhaustive()
     }
 }
@@ -60,7 +62,27 @@ impl Simulation {
             inputs,
             scheduler,
             admission_cap: None,
+            queue_bound: None,
         }
+    }
+
+    /// Declares the inputs Theorem-1 admissible with queue bound
+    /// `bound = V·C3/δ` (eq. (23); compute it with
+    /// `grefar_core::theory::TheoryBounds::queue_bound`). Under the
+    /// `strict-invariants` feature the run then asserts, every slot, that no
+    /// queue exceeds the bound — in the default build the value is recorded
+    /// but not enforced.
+    ///
+    /// # Panics
+    /// Panics if `bound` is negative or non-finite.
+    #[must_use]
+    pub fn with_queue_bound(mut self, bound: f64) -> Self {
+        assert!(
+            bound.is_finite() && bound >= 0.0,
+            "queue bound must be non-negative"
+        );
+        self.queue_bound = Some(bound);
+        self
     }
 
     /// Enables admission control (§V-B: "in the worst case where the data
@@ -167,7 +189,34 @@ impl Simulation {
                 }
             };
             tracker.arrive(t as Slot, &arrivals);
+            #[cfg(feature = "strict-invariants")]
+            let prev_queues = queues.clone();
             queues.apply(&decision, &arrivals);
+
+            // `strict-invariants`: the realized transition must match the
+            // dynamics (12)-(13) exactly, and on a declared-admissible trace
+            // every queue must respect the Theorem 1(a) bound.
+            #[cfg(feature = "strict-invariants")]
+            {
+                use grefar_core::invariant;
+                let check = invariant::check_queue_update(
+                    &self.config,
+                    &prev_queues,
+                    &decision,
+                    &arrivals,
+                    &queues,
+                )
+                .and_then(|()| match self.queue_bound {
+                    Some(bound) => invariant::check_queue_bound(&queues, bound),
+                    None => Ok(()),
+                });
+                if let Err(violation) = check {
+                    if obs.enabled() {
+                        obs.record_event(violation.event(t as u64));
+                    }
+                    panic!("strict-invariants: slot {t}: {violation}");
+                }
+            }
 
             // The job tracker and the (12)–(13) queues must agree whenever
             // the scheduler respects backlogs (all built-in ones do).

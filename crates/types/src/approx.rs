@@ -1,0 +1,74 @@
+//! Tolerance-aware float comparison.
+//!
+//! The workspace's lint pass (`grefar-verify`, rule `float-eq`) forbids
+//! raw `==`/`!=` against float expressions in decision-path crates:
+//! almost every such comparison is either a latent bug (values that went
+//! through arithmetic) or an exact-zero fast path that deserves an
+//! explicit justification. Tolerance comparisons route through here so
+//! there is exactly one definition of "close enough" to audit.
+
+/// Absolute-tolerance equality: `|a − b| ≤ tol`, plus same-signed
+/// infinities. NaN compares unequal to everything (as with `==`).
+///
+/// For "is this parameter exactly its sentinel value" checks (e.g.
+/// `β = 0` selecting the greedy solver), pass a tiny tolerance such as
+/// [`TOL_SENTINEL`] — values within it are indistinguishable from the
+/// sentinel for every downstream computation.
+///
+/// # Example
+/// ```
+/// use grefar_types::approx_eq;
+///
+/// assert!(approx_eq(0.1 + 0.2, 0.3, 1e-12));
+/// assert!(!approx_eq(0.1, 0.2, 1e-12));
+/// assert!(approx_eq(f64::INFINITY, f64::INFINITY, 1e-12));
+/// assert!(!approx_eq(f64::NAN, f64::NAN, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    debug_assert!(tol >= 0.0, "tolerance must be non-negative");
+    // The exact-equality backstop makes equal infinities compare equal
+    // ((inf - inf).abs() is NaN).
+    (a - b).abs() <= tol || (a == b)
+}
+
+/// Shorthand for [`approx_eq`]`(a, 0.0, tol)`.
+#[inline]
+pub fn approx_zero(a: f64, tol: f64) -> bool {
+    approx_eq(a, 0.0, tol)
+}
+
+/// Tolerance for sentinel-value parameter checks (`β = 0`, zero noise
+/// amplitude): far below any physically meaningful parameter, far above
+/// rounding error from parameter arithmetic.
+pub const TOL_SENTINEL: f64 = 1e-12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tolerance() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.001, 1e-12));
+        assert!(approx_zero(0.0, 0.0));
+        assert!(approx_zero(-1e-13, TOL_SENTINEL));
+    }
+
+    #[test]
+    fn infinities_and_nan() {
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(approx_eq(f64::NEG_INFINITY, f64::NEG_INFINITY, 0.0));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, 1e9));
+        assert!(!approx_eq(f64::NAN, f64::NAN, f64::INFINITY.min(1e300)));
+        assert!(!approx_eq(f64::NAN, 0.0, 1.0));
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [(0.3, 0.1 + 0.2), (5.0, -5.0), (1e300, 1e300 + 1e288)] {
+            assert_eq!(approx_eq(a, b, 1e-9), approx_eq(b, a, 1e-9));
+        }
+    }
+}

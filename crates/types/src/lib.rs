@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod approx;
 mod config;
 mod decision;
 mod error;
@@ -53,6 +54,7 @@ mod server;
 mod state;
 mod tariff;
 
+pub use approx::{approx_eq, approx_zero, TOL_SENTINEL};
 pub use config::{Account, DataCenterInfo, SystemConfig, SystemConfigBuilder};
 pub use decision::Decision;
 pub use error::ConfigError;

@@ -1,0 +1,54 @@
+//! `grefar-verify` — the workspace's repo-specific lint pass.
+//!
+//! GreFar's guarantees (Theorem 1) are only as good as the code's
+//! discipline: per-slot decisions must be bit-deterministic and feasible,
+//! float comparisons must be tolerance-aware, and hot paths must not
+//! panic. Clippy cannot express those rules, so this crate carries a
+//! small hand-rolled scanner (offline, zero dependencies, no `syn`) plus
+//! four rules, run over the workspace by the `grefar-verify` binary:
+//!
+//! ```text
+//! cargo run -p grefar-verify
+//! ```
+//!
+//! See [`rules`] for the rule definitions and [`scanner`] for the lexical
+//! preprocessing (comment/string blanking, `#[cfg(test)]` detection, and
+//! `verify: allow(<rule>): <justification>` suppression directives).
+//!
+//! The library half exists so the rules are testable against fixture
+//! source (see `tests/fixtures.rs`) — the binary is a thin driver that
+//! maps rules onto workspace directories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scanner;
+
+pub use rules::{
+    check_determinism, check_directives, check_errors_doc, check_float_eq, check_no_panic,
+    Violation, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_ERRORS_DOC, RULE_FLOAT_EQ, RULE_NO_PANIC,
+};
+pub use scanner::{clean, CleanedSource};
+
+/// Runs the named rules over one file's source, returning violations
+/// (including malformed suppression directives).
+pub fn check_source(source: &str, rule_names: &[&str]) -> Vec<Violation> {
+    let cleaned = clean(source);
+    let mut out = check_directives(&cleaned);
+    for rule in rule_names {
+        match *rule {
+            RULE_DETERMINISM => out.extend(check_determinism(&cleaned)),
+            RULE_FLOAT_EQ => out.extend(check_float_eq(&cleaned)),
+            RULE_NO_PANIC => out.extend(check_no_panic(&cleaned)),
+            RULE_ERRORS_DOC => out.extend(check_errors_doc(&cleaned, source)),
+            other => out.push(Violation {
+                line: 0,
+                rule: RULE_DIRECTIVE,
+                message: format!("unknown rule `{other}`"),
+            }),
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}

@@ -1,0 +1,138 @@
+//! The `grefar-verify` driver: maps lint rules onto workspace directories
+//! and exits non-zero when any rule fires.
+//!
+//! Scopes (kept in sync with DESIGN.md §"Correctness tooling"):
+//!
+//! | rule          | scope                                             |
+//! |---------------|---------------------------------------------------|
+//! | `determinism` | `crates/{core,convex,lp,sim}/src`                 |
+//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster}/src`   |
+//! | `no-panic`    | `crates/lp/src`, `crates/core/src/solver`         |
+//! | `errors-doc`  | `crates/{core,lp}/src`                            |
+//!
+//! Test files (`tests/`, `benches/`, `examples/`, `src/bin`) and
+//! `#[cfg(test)]` modules are exempt everywhere.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use grefar_verify::{check_source, Violation};
+
+/// A rule applied to a set of workspace-relative directories.
+struct Scope {
+    rule: &'static str,
+    dirs: &'static [&'static str],
+}
+
+const SCOPES: &[Scope] = &[
+    Scope {
+        rule: grefar_verify::RULE_DETERMINISM,
+        dirs: &[
+            "crates/core/src",
+            "crates/convex/src",
+            "crates/lp/src",
+            "crates/sim/src",
+        ],
+    },
+    Scope {
+        rule: grefar_verify::RULE_FLOAT_EQ,
+        dirs: &[
+            "crates/core/src",
+            "crates/convex/src",
+            "crates/lp/src",
+            "crates/sim/src",
+            "crates/types/src",
+            "crates/cluster/src",
+        ],
+    },
+    Scope {
+        rule: grefar_verify::RULE_NO_PANIC,
+        dirs: &["crates/lp/src", "crates/core/src/solver"],
+    },
+    Scope {
+        rule: grefar_verify::RULE_ERRORS_DOC,
+        dirs: &["crates/core/src", "crates/lp/src"],
+    },
+];
+
+fn workspace_root() -> PathBuf {
+    // crates/verify -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Collects `.rs` files under `dir`, skipping generated/exempt trees.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "bin" | "tests" | "benches" | "examples" | "target"
+            ) {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+
+    // rules per file (a file can be in several scopes).
+    let mut per_file: Vec<(PathBuf, Vec<&'static str>)> = Vec::new();
+    for scope in SCOPES {
+        for dir in scope.dirs {
+            let mut files = Vec::new();
+            rust_files(&root.join(dir), &mut files);
+            files.sort();
+            for f in files {
+                match per_file.iter_mut().find(|(p, _)| *p == f) {
+                    Some((_, rules)) => {
+                        if !rules.contains(&scope.rule) {
+                            rules.push(scope.rule);
+                        }
+                    }
+                    None => per_file.push((f, vec![scope.rule])),
+                }
+            }
+        }
+    }
+    per_file.sort();
+
+    let mut total = 0usize;
+    let mut files_scanned = 0usize;
+    for (path, rules) in &per_file {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("grefar-verify: cannot read {}", path.display());
+            total += 1;
+            continue;
+        };
+        files_scanned += 1;
+        let violations: Vec<Violation> = check_source(&source, rules);
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        for v in &violations {
+            println!("{}:{}: [{}] {}", rel.display(), v.line, v.rule, v.message);
+        }
+        total += violations.len();
+    }
+
+    if total > 0 {
+        eprintln!("grefar-verify: {total} violation(s) in {files_scanned} scanned file(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("grefar-verify: {files_scanned} files clean");
+        ExitCode::SUCCESS
+    }
+}

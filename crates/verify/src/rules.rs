@@ -1,0 +1,489 @@
+//! The repo-specific lint rules.
+//!
+//! Each rule takes a [`CleanedSource`] (and, where doc comments matter,
+//! the raw source) and returns [`Violation`]s. Rules skip `#[cfg(test)]`
+//! lines and honor `verify: allow(<rule>): <justification>` directives;
+//! which *files* a rule applies to is the driver's decision (see
+//! `main.rs` — the scopes mirror DESIGN.md §"Correctness tooling").
+//!
+//! * [`RULE_DETERMINISM`] — decision-path crates must stay bit-
+//!   deterministic: no `HashMap`/`HashSet` (iteration order), no raw
+//!   `Instant::now`/`SystemTime` (wall-clock reads belong in `grefar-obs`
+//!   behind `Observer::enabled`).
+//! * [`RULE_FLOAT_EQ`] — no `==`/`!=` against float literals; route
+//!   tolerance comparisons through `grefar_types::approx_eq`.
+//! * [`RULE_NO_PANIC`] — hot paths must not `unwrap`/`expect`/`panic!`
+//!   or index slices by integer literals.
+//! * [`RULE_ERRORS_DOC`] — `pub fn`s returning `Result` document
+//!   `# Errors`; `pub fn`s that assert document `# Panics`.
+
+use crate::scanner::CleanedSource;
+
+/// Rule name: determinism of decision-path crates.
+pub const RULE_DETERMINISM: &str = "determinism";
+/// Rule name: float equality outside the tolerance helper.
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+/// Rule name: panic-free hot paths.
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule name: `# Errors` / `# Panics` doc sections on `pub fn`s.
+pub const RULE_ERRORS_DOC: &str = "errors-doc";
+/// Pseudo-rule for malformed `verify:` directives.
+pub const RULE_DIRECTIVE: &str = "directive";
+
+/// One finding: file-relative line plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Finds `needle` in `line` at identifier boundaries (so `HashMap` does
+/// not match `MyHashMapLike`). Path-segment needles (`Instant::now`)
+/// bound-check their outer identifiers.
+fn find_word(line: &str, needle: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find(needle) {
+        let at = from + rel;
+        from = at + 1;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Determinism: forbidden identifiers in decision-path code.
+pub fn check_determinism(src: &CleanedSource) -> Vec<Violation> {
+    const FORBIDDEN: &[(&str, &str)] = &[
+        (
+            "HashMap",
+            "iteration order is not deterministic; use Vec/BTreeMap",
+        ),
+        (
+            "HashSet",
+            "iteration order is not deterministic; use Vec/BTreeSet",
+        ),
+        (
+            "Instant::now",
+            "raw wall-clock read; use grefar_obs::Timer behind Observer::enabled",
+        ),
+        (
+            "SystemTime",
+            "raw wall-clock read; decision paths must be replayable",
+        ),
+    ];
+    let mut out = Vec::new();
+    for (idx, line) in src.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if src.is_test(lineno) {
+            continue;
+        }
+        for (needle, why) in FORBIDDEN {
+            if find_word(line, needle).is_some() && !src.is_allowed(RULE_DETERMINISM, lineno) {
+                out.push(Violation {
+                    line: lineno,
+                    rule: RULE_DETERMINISM,
+                    message: format!("`{needle}` in decision-path code: {why}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does `text` contain a float literal (`1.0`, `.5`, `1e-9`, `f64::NAN`,
+/// an `f64`/`f32` suffix)?
+fn has_float_literal(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+        {
+            return true;
+        }
+        // Exponent form without a dot: 1e9, 2E-6 — but not hex (0x1e9).
+        if (b == b'e' || b == b'E')
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && bytes
+                .get(i + 1)
+                .is_some_and(|&c| c.is_ascii_digit() || c == b'-' || c == b'+')
+        {
+            let mut s = i;
+            while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+                s -= 1;
+            }
+            if !text[s..i].starts_with("0x") && !text[s..i].starts_with("0X") {
+                return true;
+            }
+        }
+    }
+    ["f64::", "f32::", "_f64", "_f32"]
+        .iter()
+        .any(|t| text.contains(t))
+}
+
+/// Float equality: `==` / `!=` where an operand is a float literal.
+pub fn check_float_eq(src: &CleanedSource) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in src.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if src.is_test(lineno) {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0usize;
+        while i + 1 < bytes.len() {
+            let two = &bytes[i..i + 2];
+            let is_eq = two == b"==";
+            let is_ne = two == b"!=";
+            if !(is_eq || is_ne) {
+                i += 1;
+                continue;
+            }
+            // Not part of `<=`, `>=`, `=>`, `===`-like runs or `!=` tail.
+            if is_eq {
+                let prev = i.checked_sub(1).map(|p| bytes[p]);
+                if matches!(prev, Some(b'=') | Some(b'!') | Some(b'<') | Some(b'>')) {
+                    i += 2;
+                    continue;
+                }
+                if bytes.get(i + 2) == Some(&b'=') {
+                    i += 3;
+                    continue;
+                }
+            }
+            // Operands: out to the nearest expression delimiter.
+            let left_start = line[..i]
+                .rfind(['(', ',', ';', '{', '}', '&', '|', '='])
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let right_end = i
+                + 2
+                + line[i + 2..]
+                    .find([')', ',', ';', '{', '}', '&', '|'])
+                    .unwrap_or(line.len() - i - 2);
+            let lhs = &line[left_start..i];
+            let rhs = &line[i + 2..right_end];
+            if (has_float_literal(lhs) || has_float_literal(rhs))
+                && !src.is_allowed(RULE_FLOAT_EQ, lineno)
+            {
+                let op = if is_eq { "==" } else { "!=" };
+                out.push(Violation {
+                    line: lineno,
+                    rule: RULE_FLOAT_EQ,
+                    message: format!(
+                        "float `{op}` comparison; use grefar_types::approx_eq(a, b, tol) \
+                         (or allow with a justification for exact-zero skips)"
+                    ),
+                });
+            }
+            i += 2;
+        }
+    }
+    out
+}
+
+/// Panic-free hot paths: no `unwrap`/`expect`/`panic!`-family macros, no
+/// integer-literal slice indexing.
+pub fn check_no_panic(src: &CleanedSource) -> Vec<Violation> {
+    const CALLS: &[&str] = &[".unwrap()", ".expect("];
+    const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+    let mut out = Vec::new();
+    for (idx, line) in src.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if src.is_test(lineno) || src.is_allowed(RULE_NO_PANIC, lineno) {
+            continue;
+        }
+        for needle in CALLS {
+            if line.contains(needle) {
+                out.push(Violation {
+                    line: lineno,
+                    rule: RULE_NO_PANIC,
+                    message: format!(
+                        "`{}` in a hot path; return a typed error instead",
+                        needle.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        for needle in MACROS {
+            if find_word(line, needle.trim_end_matches('!')).is_some() && line.contains(needle) {
+                out.push(Violation {
+                    line: lineno,
+                    rule: RULE_NO_PANIC,
+                    message: format!("`{needle}` in a hot path; return a typed error instead"),
+                });
+            }
+        }
+        // ident[<int>] or )[<int>] or ][<int>]: panicking literal index.
+        let bytes = line.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b != b'[' || i == 0 {
+                continue;
+            }
+            let prev = bytes[i - 1];
+            if !(is_ident_char(prev) || prev == b')' || prev == b']') {
+                continue;
+            }
+            let rest = &bytes[i + 1..];
+            let digits = rest.iter().take_while(|c| c.is_ascii_digit()).count();
+            if digits > 0 && rest.get(digits) == Some(&b']') {
+                out.push(Violation {
+                    line: lineno,
+                    rule: RULE_NO_PANIC,
+                    message: "integer-literal slice index in a hot path; use .get()/.first() \
+                              or prove the bound and allow with a justification"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `pub fn` documentation: `-> Result` requires `# Errors`; a body that
+/// asserts (or unwraps) requires `# Panics`. Only checked in the crates
+/// the driver scopes this rule to (`core`, `lp`).
+pub fn check_errors_doc(src: &CleanedSource, raw: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let code_lines: Vec<&str> = src.code.lines().collect();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let code = &src.code;
+    let bytes = code.as_bytes();
+
+    // Byte offset -> 0-based line.
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut l = 0usize;
+    for &b in bytes {
+        line_of.push(l);
+        if b == b'\n' {
+            l += 1;
+        }
+    }
+    line_of.push(l);
+
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("fn ") {
+        let at = from + rel;
+        from = at + 1;
+        if at > 0 && is_ident_char(bytes[at - 1]) {
+            continue;
+        }
+        // Only `pub fn` / `pub const fn` (not `pub(crate)`, not private).
+        let head = code[..at].trim_end();
+        let head = head
+            .strip_suffix("const")
+            .map(str::trim_end)
+            .unwrap_or(head);
+        let Some(pre) = head.strip_suffix("pub") else {
+            continue;
+        };
+        if pre.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let fn_line = line_of[at] + 1; // 1-based
+        if src.is_test(fn_line) || src.is_allowed(RULE_ERRORS_DOC, fn_line) {
+            continue;
+        }
+        let name: String = code[at + "fn ".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+
+        // Signature: up to the body `{` or a trait-decl `;`.
+        let sig_end = code[at..]
+            .find(['{', ';'])
+            .map(|p| at + p)
+            .unwrap_or(code.len());
+        let sig = &code[at..sig_end];
+        let returns_result = sig
+            .split("->")
+            .nth(1)
+            .map(|ret| ret.contains("Result<") || ret.contains("Result "))
+            .unwrap_or(false);
+
+        // Body extent (if any) by brace matching.
+        let mut asserts = false;
+        if bytes.get(sig_end) == Some(&b'{') {
+            let mut depth = 0usize;
+            let mut end = bytes.len();
+            for (off, &b) in bytes.iter().enumerate().skip(sig_end) {
+                if b == b'{' {
+                    depth += 1;
+                } else if b == b'}' {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = off;
+                        break;
+                    }
+                }
+            }
+            let body_start_line = line_of[sig_end];
+            let body_end_line = line_of[end.min(bytes.len() - 1)];
+            asserts = code_lines[body_start_line..=body_end_line].iter().any(|b| {
+                find_word(b, "assert").is_some()
+                    || find_word(b, "assert_eq").is_some()
+                    || find_word(b, "assert_ne").is_some()
+                    || find_word(b, "panic").is_some()
+                    || b.contains(".expect(")
+                    || b.contains(".unwrap()")
+            });
+        }
+
+        // Doc block: contiguous `///` lines above, skipping attributes.
+        let mut docs = String::new();
+        let mut j = fn_line.saturating_sub(1); // 0-based index of line above
+        while j > 0 {
+            j -= 1;
+            let t = raw_lines.get(j).map(|s| s.trim()).unwrap_or("");
+            if t.starts_with("#[") || t.starts_with("#![") {
+                continue;
+            }
+            if let Some(doc) = t.strip_prefix("///") {
+                docs.push_str(doc);
+                docs.push('\n');
+                continue;
+            }
+            break;
+        }
+
+        if returns_result && !docs.contains("# Errors") {
+            out.push(Violation {
+                line: fn_line,
+                rule: RULE_ERRORS_DOC,
+                message: format!(
+                    "`pub fn {name}` returns Result but has no `# Errors` doc section"
+                ),
+            });
+        }
+        if asserts && !docs.contains("# Panics") {
+            out.push(Violation {
+                line: fn_line,
+                rule: RULE_ERRORS_DOC,
+                message: format!("`pub fn {name}` can panic but has no `# Panics` doc section"),
+            });
+        }
+    }
+    out
+}
+
+/// Malformed `verify:` directives, reported so the allowlist stays honest.
+pub fn check_directives(src: &CleanedSource) -> Vec<Violation> {
+    src.bad_directives
+        .iter()
+        .map(|&line| Violation {
+            line,
+            rule: RULE_DIRECTIVE,
+            message: "malformed directive; expected `verify: allow(<rule>): <justification>`"
+                .to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::clean;
+
+    #[test]
+    fn determinism_fires_on_hashmap_and_clock() {
+        let src = "use std::collections::HashMap;\nlet t = std::time::Instant::now();\n";
+        let v = check_determinism(&clean(src));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn determinism_respects_allow_and_tests() {
+        let src =
+            "let t = std::time::Instant::now(); // verify: allow(determinism): telemetry only\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(check_determinism(&clean(src)).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_literal_comparison() {
+        let src = "if beta == 0.0 { }\nif n != 1e-9 { }\nif k == 3 { }\n";
+        let v = check_float_eq(&clean(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn float_eq_skips_integer_and_allowed() {
+        let src =
+            "if factor == 0.0 { } // verify: allow(float-eq): exact-zero skip\nif i == 0 { }\n";
+        assert!(check_float_eq(&clean(src)).is_empty());
+    }
+
+    #[test]
+    fn no_panic_fires_on_unwrap_expect_macros_and_index() {
+        let src =
+            "let a = x.unwrap();\nlet b = y.expect(\"msg\");\npanic!(\"boom\");\nlet c = v[0];\n";
+        let v = check_no_panic(&clean(src));
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn no_panic_skips_variable_index_and_array_literals() {
+        let src = "let a = v[i];\nlet b = &[0.0];\nlet t: [f64; 2] = [0.0, 1.0];\n";
+        assert!(check_no_panic(&clean(src)).is_empty());
+    }
+
+    #[test]
+    fn errors_doc_requires_sections() {
+        let src = "\
+/// Does a thing.\n\
+pub fn fallible() -> Result<(), String> { Ok(()) }\n\
+/// Checks input.\n\
+pub fn checked(x: f64) {\n    assert!(x >= 0.0);\n}\n";
+        let c = clean(src);
+        let v = check_errors_doc(&c, src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("# Errors"));
+        assert!(v[1].message.contains("# Panics"));
+    }
+
+    #[test]
+    fn errors_doc_satisfied_by_sections() {
+        let src = "\
+/// Does a thing.\n\
+///\n\
+/// # Errors\n\
+/// When it fails.\n\
+pub fn fallible() -> Result<(), String> { Ok(()) }\n\
+/// Checks input.\n\
+///\n\
+/// # Panics\n\
+/// If x is negative.\n\
+#[inline]\n\
+pub fn checked(x: f64) {\n    assert!(x >= 0.0);\n}\n";
+        let c = clean(src);
+        let v = check_errors_doc(&c, src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn debug_assert_does_not_require_panics_doc() {
+        let src = "/// Fast path.\npub fn fast(x: f64) -> f64 {\n    debug_assert!(x.is_finite());\n    x\n}\n";
+        let c = clean(src);
+        assert!(check_errors_doc(&c, src).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end scanner tests on fixture source: each rule must fire on a
+//! seeded violation and stay quiet on the clean counterpart. This is the
+//! gate's proof that `grefar-verify` actually detects what it claims to.
+
+use grefar_verify::{
+    check_source, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_ERRORS_DOC, RULE_FLOAT_EQ, RULE_NO_PANIC,
+};
+
+const ALL: &[&str] = &[
+    RULE_DETERMINISM,
+    RULE_FLOAT_EQ,
+    RULE_NO_PANIC,
+    RULE_ERRORS_DOC,
+];
+
+fn rules_fired(source: &str) -> Vec<&'static str> {
+    let mut fired: Vec<&'static str> = check_source(source, ALL).iter().map(|v| v.rule).collect();
+    fired.sort_unstable();
+    fired.dedup();
+    fired
+}
+
+#[test]
+fn seeded_violations_all_fire() {
+    // One violation per rule, in realistic-looking code.
+    let source = r#"
+use std::collections::HashMap;
+
+/// Pick the cheaper of two rates.
+pub fn cheaper(a: f64, b: f64) -> f64 {
+    if a == 1.0 { return b; }
+    a.min(b)
+}
+
+/// Read the first price.
+pub fn first(prices: &HashMap<u32, f64>) -> f64 {
+    *prices.get(&0).unwrap()
+}
+"#;
+    let fired = rules_fired(source);
+    assert!(fired.contains(&RULE_DETERMINISM), "HashMap not flagged");
+    assert!(fired.contains(&RULE_FLOAT_EQ), "float == not flagged");
+    assert!(fired.contains(&RULE_NO_PANIC), "unwrap() not flagged");
+}
+
+#[test]
+fn clean_source_is_clean() {
+    let source = r#"
+use std::collections::BTreeMap;
+
+/// Pick the cheaper of two rates.
+pub fn cheaper(a: f64, b: f64) -> f64 {
+    if grefar_types::approx_eq(a, 1.0, 1e-12) { return b; }
+    a.min(b)
+}
+
+/// Read the first price.
+///
+/// # Errors
+/// Returns `None`... wait, this returns Option; no section needed.
+pub fn first(prices: &BTreeMap<u32, f64>) -> Option<f64> {
+    prices.get(&0).copied()
+}
+"#;
+    assert_eq!(check_source(source, ALL), vec![]);
+}
+
+#[test]
+fn violation_lines_are_accurate() {
+    let source = "fn a() {}\nfn b() { x.unwrap(); }\n";
+    let v = check_source(source, &[RULE_NO_PANIC]);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let source = r#"
+fn helper() -> f64 { 0.0 }
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing() {
+        let t = Instant::now();
+        assert!(helper() == 0.0);
+        let _ = t.elapsed();
+        let v: Vec<f64> = vec![1.0];
+        assert_eq!(v[0], super::helper().max(1.0));
+    }
+}
+"#;
+    assert_eq!(check_source(source, ALL), vec![]);
+}
+
+#[test]
+fn allow_directive_suppresses_and_requires_justification() {
+    // Justified: suppressed.
+    let justified = "fn f(a: f64) -> bool {\n    \
+        // verify: allow(float-eq): exact sentinel comparison is intended\n    \
+        a == 0.0\n}\n";
+    assert_eq!(check_source(justified, &[RULE_FLOAT_EQ]), vec![]);
+
+    // Unjustified: the directive itself is a violation AND the rule fires.
+    let bare = "fn f(a: f64) -> bool {\n    \
+        // verify: allow(float-eq)\n    \
+        a == 0.0\n}\n";
+    let fired = check_source(bare, &[RULE_FLOAT_EQ]);
+    assert!(fired.iter().any(|v| v.rule == RULE_DIRECTIVE));
+    assert!(fired.iter().any(|v| v.rule == RULE_FLOAT_EQ));
+}
+
+#[test]
+fn errors_doc_fires_on_undocumented_result() {
+    let source = r#"
+/// Parse a rate.
+pub fn parse_rate(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| String::from("bad"))
+}
+"#;
+    let fired = rules_fired(source);
+    assert_eq!(fired, vec![RULE_ERRORS_DOC]);
+
+    let documented = r#"
+/// Parse a rate.
+///
+/// # Errors
+/// Returns a message when `s` is not a number.
+pub fn parse_rate(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| String::from("bad"))
+}
+"#;
+    assert_eq!(check_source(documented, ALL), vec![]);
+}
+
+#[test]
+fn strings_and_comments_do_not_trip_rules() {
+    let source = r#"
+/// Explains that "x.unwrap()" and HashMap appear in prose. Also == here.
+pub fn doc_only() -> &'static str {
+    // A comment mentioning panic!("nope") and Instant::now().
+    "contains x.unwrap() and a == b and HashMap"
+}
+"#;
+    assert_eq!(check_source(source, ALL), vec![]);
+}

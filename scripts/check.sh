@@ -6,6 +6,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+# Repo-specific lint pass: determinism, float comparisons, panic-free hot
+# paths, error docs (see crates/verify).
+cargo run -q -p grefar-verify --offline
+cargo test -q -p grefar-verify --offline
+# The whole suite again with the runtime paper-invariant checks compiled in.
+cargo test -q --offline --features strict-invariants
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
 echo "all checks passed"

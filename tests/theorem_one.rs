@@ -3,6 +3,7 @@
 //! gap (24) against the T-step lookahead policy.
 
 use grefar::cluster::{AvailabilityProcess, UniformAvailability};
+use grefar::core::invariant;
 use grefar::core::theory::{slackness_delta, slackness_delta_trace, TheoryBounds};
 use grefar::core::TStepLookahead;
 use grefar::prelude::*;
@@ -197,4 +198,104 @@ fn lookahead_lower_bounds_grefar() {
             plan.average_cost
         );
     }
+}
+
+/// The queue-bound invariant checker against both kinds of trace: on a
+/// Theorem-1-admissible one (positive slack `δ`) the whole GreFar run
+/// stays under `V·C3/δ` and the checker passes every slot; on an
+/// inadmissible one (arrivals beyond capacity, no certificate) the same
+/// checker fires once the queues outgrow the would-be bound.
+#[test]
+fn queue_bound_checker_separates_admissible_from_inadmissible() {
+    let scenario = PaperScenario::default().with_seed(23);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(24 * 6);
+    let delta = slackness_delta_trace(&config, &inputs.capacities(&config), inputs.all_arrivals())
+        .expect("the paper scenario is admissible");
+    let v = 5.0;
+    let bound = TheoryBounds::new(&config, delta, 1.0, 0.0).queue_bound(v);
+
+    // Admissible trace: replay GreFar slot by slot, checking every state.
+    let mut grefar = GreFar::new(&config, GreFarParams::new(v, 0.0)).expect("valid");
+    let mut queues = QueueState::new(&config);
+    for t in 0..inputs.horizon() {
+        let decision = grefar.decide(inputs.state(t), &queues);
+        queues.apply(&decision, inputs.arrivals(t));
+        invariant::check_queue_bound(&queues, bound)
+            .unwrap_or_else(|e| panic!("admissible trace broke the bound at slot {t}: {e}"));
+    }
+
+    // Inadmissible trace: a system whose arrivals exceed its capacity has
+    // no slackness certificate, and its queues cross any finite bound.
+    let overloaded = SystemConfig::builder()
+        .server_class(ServerClass::new(1.0, 1.0))
+        .data_center("tiny", vec![2.0])
+        .account("x", 1.0)
+        .job_class(
+            JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                .with_max_arrivals(5.0)
+                .with_max_route(8.0)
+                .with_max_process(10.0),
+        )
+        .build()
+        .expect("valid");
+    assert!(
+        slackness_delta(&overloaded, &[2.0]).is_none(),
+        "an overloaded system must not certify slack"
+    );
+    // The bound one would wrongly assume by pretending slack δ = 1: without
+    // an actual certificate, Theorem 1(a) gives no protection and the
+    // checker must eventually fire against it.
+    let hypothetical = TheoryBounds::new(&overloaded, 1.0, 0.5, 0.0).queue_bound(v);
+    let mut grefar = GreFar::new(&overloaded, GreFarParams::new(v, 0.0)).expect("valid");
+    let mut queues = QueueState::new(&overloaded);
+    let state = SystemState::new(0, vec![DataCenterState::new(vec![2.0], Tariff::flat(0.5))]);
+    let mut fired = false;
+    // Total backlog grows by ≥ 3/slot (5 arrivals vs capacity 2) across 2
+    // queues, so this horizon is guaranteed to cross the bound.
+    let slots = hypothetical.ceil() as usize + 100;
+    for _ in 0..slots {
+        let decision = grefar.decide(&state, &queues);
+        queues.apply(&decision, &[5.0]); // 5 arrivals vs capacity 2
+        if let Err(e) = invariant::check_queue_bound(&queues, hypothetical) {
+            assert!(matches!(
+                e,
+                invariant::InvariantViolation::QueueBound { .. }
+            ));
+            fired = true;
+            break;
+        }
+    }
+    assert!(fired, "checker never fired on the inadmissible trace");
+}
+
+/// In the default build, `with_queue_bound` records the bound without
+/// enforcing it: a run that grossly exceeds a tiny bound still completes.
+/// (The enforcing counterpart lives below, feature-gated.)
+#[cfg(not(feature = "strict-invariants"))]
+#[test]
+fn queue_bound_is_not_enforced_by_default() {
+    let scenario = PaperScenario::default().with_seed(29);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(48);
+    let g = GreFar::new(&config, GreFarParams::new(20.0, 0.0)).expect("valid");
+    let report = Simulation::new(config, inputs, Box::new(g))
+        .with_queue_bound(1e-3)
+        .run();
+    assert_eq!(report.horizon, 48);
+}
+
+/// Under `strict-invariants`, the simulator aborts the moment a declared
+/// queue bound is crossed — end-to-end proof the enforcement is wired in.
+#[cfg(feature = "strict-invariants")]
+#[test]
+#[should_panic(expected = "strict-invariants")]
+fn queue_bound_is_enforced_under_strict_invariants() {
+    let scenario = PaperScenario::default().with_seed(29);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(48);
+    let g = GreFar::new(&config, GreFarParams::new(20.0, 0.0)).expect("valid");
+    let _ = Simulation::new(config, inputs, Box::new(g))
+        .with_queue_bound(1e-3)
+        .run();
 }
