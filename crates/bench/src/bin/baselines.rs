@@ -11,7 +11,7 @@
 
 use grefar_bench::{print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
-use grefar_sim::{sweep, MpcScheduler, PaperScenario};
+use grefar_sim::{sweep, theory_obs, MpcScheduler, PaperScenario};
 
 fn print_comparison(title: &str, reports: &[(String, grefar_sim::SimulationReport)]) {
     println!("{title}\n");
@@ -68,7 +68,14 @@ fn main() {
     ];
     let mut telemetry = opts.telemetry();
     let reports = match telemetry.as_mut() {
-        Some(tel) => sweep::run_all_observed(&config, &inputs, runs, tel),
+        Some(tel) => {
+            let bounded = vec![
+                ("GreFar b=0".to_string(), DEFAULT_V, 0.0),
+                ("GreFar b=100".to_string(), DEFAULT_V, DEFAULT_BETA),
+            ];
+            theory_obs::emit_theory_bounds(&config, &inputs, &bounded, tel);
+            sweep::run_all_observed(&config, &inputs, runs, tel)
+        }
         None => sweep::run_all(&config, &inputs, runs),
     };
     print_comparison(
@@ -105,7 +112,11 @@ fn main() {
         ),
     ];
     let heavy_reports = match telemetry.as_mut() {
-        Some(tel) => sweep::run_all_observed(&heavy_config, &heavy_inputs, heavy_runs, tel),
+        Some(tel) => {
+            let bounded = vec![("GreFar b=0".to_string(), DEFAULT_V, 0.0)];
+            theory_obs::emit_theory_bounds(&heavy_config, &heavy_inputs, &bounded, tel);
+            sweep::run_all_observed(&heavy_config, &heavy_inputs, heavy_runs, tel)
+        }
         None => sweep::run_all(&heavy_config, &heavy_inputs, heavy_runs),
     };
     print_comparison(

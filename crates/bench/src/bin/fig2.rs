@@ -8,7 +8,7 @@
 
 use grefar_bench::{maybe_write_csv, print_table, ExperimentOpts, FIG2_V_VALUES};
 use grefar_core::{GreFar, GreFarParams, Scheduler};
-use grefar_sim::{sweep, PaperScenario};
+use grefar_sim::{sweep, theory_obs, PaperScenario};
 
 fn main() {
     let opts = ExperimentOpts::from_args(2000);
@@ -25,7 +25,14 @@ fn main() {
         .collect();
     let mut telemetry = opts.telemetry();
     let reports = match telemetry.as_mut() {
-        Some(tel) => sweep::run_all_observed(&config, &inputs, runs, tel),
+        Some(tel) => {
+            let bounded: Vec<(String, f64, f64)> = FIG2_V_VALUES
+                .iter()
+                .map(|&v| (format!("V={v}"), v, 0.0))
+                .collect();
+            theory_obs::emit_theory_bounds(&config, &inputs, &bounded, tel);
+            sweep::run_all_observed(&config, &inputs, runs, tel)
+        }
         None => sweep::run_all(&config, &inputs, runs),
     };
 

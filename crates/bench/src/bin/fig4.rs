@@ -7,7 +7,7 @@
 
 use grefar_bench::{maybe_write_csv, print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
 use grefar_core::{Always, GreFar, GreFarParams, Scheduler};
-use grefar_sim::{sweep, PaperScenario};
+use grefar_sim::{sweep, theory_obs, PaperScenario};
 
 fn main() {
     let opts = ExperimentOpts::from_args(2000);
@@ -27,7 +27,11 @@ fn main() {
     ];
     let mut telemetry = opts.telemetry();
     let reports = match telemetry.as_mut() {
-        Some(tel) => sweep::run_all_observed(&config, &inputs, runs, tel),
+        Some(tel) => {
+            let bounded = vec![("GreFar".to_string(), DEFAULT_V, DEFAULT_BETA)];
+            theory_obs::emit_theory_bounds(&config, &inputs, &bounded, tel);
+            sweep::run_all_observed(&config, &inputs, runs, tel)
+        }
         None => sweep::run_all(&config, &inputs, runs),
     };
 

@@ -15,7 +15,7 @@
 //! `grefar_trace::import`) replace the synthetic processes; both files must
 //! cover the requested horizon or they are cycled.
 
-use grefar_bench::{maybe_write_csv, print_table, Telemetry};
+use grefar_bench::{maybe_write_csv, print_table, usage_error, Telemetry};
 use grefar_cluster::AvailabilityProcess;
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
 use grefar_sim::{MpcScheduler, PaperScenario, Simulation, SimulationInputs};
@@ -52,43 +52,58 @@ fn parse_args() -> CliOptions {
         csv_dir: None,
         telemetry: None,
     };
+    const USAGE: &str = "grefar_cli [--scheduler grefar|always|local-only|price-greedy|mpc] \
+                         [--v V] [--beta B] [--hours N] [--seed S] [--load-scale X] \
+                         [--prices FILE] [--workload FILE] [--admission-cap C] \
+                         [--csv DIR] [--telemetry FILE.jsonl]";
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> &str {
-            args.get(i + 1)
-                .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+            match args.get(i + 1) {
+                Some(v) => v,
+                None => usage_error(&format!("missing value after {}", args[i]), USAGE),
+            }
+        };
+        let number = |i: usize, what: &str| -> f64 {
+            match value(i).parse() {
+                Ok(v) => v,
+                Err(_) => usage_error(&format!("{what} expects a number"), USAGE),
+            }
         };
         match args[i].as_str() {
             "--scheduler" => opts.scheduler = value(i).to_string(),
-            "--v" => opts.v = value(i).parse().expect("--v expects a number"),
-            "--beta" => opts.beta = value(i).parse().expect("--beta expects a number"),
-            "--hours" => opts.hours = value(i).parse().expect("--hours expects an integer"),
-            "--seed" => opts.seed = value(i).parse().expect("--seed expects an integer"),
-            "--load-scale" => {
-                opts.load_scale = value(i).parse().expect("--load-scale expects a number")
+            "--v" => opts.v = number(i, "--v"),
+            "--beta" => opts.beta = number(i, "--beta"),
+            "--hours" => {
+                opts.hours = match value(i).parse() {
+                    Ok(v) => v,
+                    Err(_) => usage_error("--hours expects an integer", USAGE),
+                }
             }
+            "--seed" => {
+                opts.seed = match value(i).parse() {
+                    Ok(v) => v,
+                    Err(_) => usage_error("--seed expects an integer", USAGE),
+                }
+            }
+            "--load-scale" => opts.load_scale = number(i, "--load-scale"),
             "--prices" => opts.prices = Some(PathBuf::from(value(i))),
             "--workload" => opts.workload = Some(PathBuf::from(value(i))),
-            "--admission-cap" => {
-                opts.admission_cap = Some(value(i).parse().expect("--admission-cap number"))
-            }
+            "--admission-cap" => opts.admission_cap = Some(number(i, "--admission-cap")),
             "--csv" => opts.csv_dir = Some(PathBuf::from(value(i))),
             "--telemetry" => opts.telemetry = Some(PathBuf::from(value(i))),
             "--help" | "-h" => {
-                println!(
-                    "grefar_cli --scheduler grefar|always|local-only|price-greedy|mpc \\\n\
-                     \x20          --v V --beta B --hours N --seed S --load-scale X \\\n\
-                     \x20          [--prices FILE] [--workload FILE] [--admission-cap C] \\\n\
-                     \x20          [--csv DIR] [--telemetry FILE.jsonl]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => panic!("unknown argument {other}; try --help"),
+            other => usage_error(&format!("unknown argument {other}"), USAGE),
         }
         i += 2;
     }
-    assert!(opts.hours > 0, "--hours must be positive");
+    if opts.hours == 0 {
+        usage_error("--hours must be positive", USAGE);
+    }
     opts
 }
 
@@ -173,7 +188,15 @@ fn main() {
     }
     let mut telemetry = opts.telemetry.as_deref().map(Telemetry::with_jsonl);
     let report = match telemetry.as_mut() {
-        Some(tel) => sim.run_with_observer(tel),
+        Some(tel) => {
+            if opts.scheduler == "grefar" {
+                // Theorem 1 only speaks about GreFar runs; the label must
+                // match run.start's scheduler name for grefar-report.
+                let bounded = vec![(sim.scheduler_name(), opts.v, opts.beta)];
+                grefar_sim::theory_obs::emit_theory_bounds(&config, sim.inputs(), &bounded, tel);
+            }
+            sim.run_with_observer(tel)
+        }
         None => sim.run(),
     };
 

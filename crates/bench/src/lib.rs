@@ -51,12 +51,26 @@ pub struct ExperimentOpts {
     pub telemetry: Option<PathBuf>,
 }
 
+/// Prints a usage error to stderr and exits with status 2, the
+/// conventional "command-line usage error" code.
+///
+/// Shared by every experiment binary so malformed invocations (a flag
+/// missing its value, an unknown flag) produce a clean diagnostic instead
+/// of a panic with a backtrace.
+pub fn usage_error(message: &str, usage: &str) -> ! {
+    eprintln!("error: {message}\nusage: {usage}");
+    std::process::exit(2);
+}
+
+/// The flag set shared by every experiment binary (for [`usage_error`]).
+pub const COMMON_USAGE: &str = "[--hours N] [--seed S] [--csv DIR] [--telemetry FILE]";
+
 impl ExperimentOpts {
-    /// Parses `--hours`, `--seed` and `--csv` from the process arguments,
-    /// with `default_hours` as the horizon default.
+    /// Parses `--hours`, `--seed`, `--csv` and `--telemetry` from the
+    /// process arguments, with `default_hours` as the horizon default.
     ///
-    /// # Panics
-    /// Panics with a usage message on malformed arguments.
+    /// On malformed arguments (unknown flag, missing or unparsable value)
+    /// prints a usage message to stderr and exits with status 2.
     pub fn from_args(default_hours: usize) -> Self {
         let mut opts = Self {
             hours: default_hours,
@@ -68,16 +82,22 @@ impl ExperimentOpts {
         let mut i = 0;
         while i < args.len() {
             let value = |i: usize| -> &str {
-                args.get(i + 1)
-                    .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+                match args.get(i + 1) {
+                    Some(v) => v,
+                    None => usage_error(&format!("missing value after {}", args[i]), COMMON_USAGE),
+                }
             };
             match args[i].as_str() {
                 "--hours" => {
-                    opts.hours = value(i).parse().expect("--hours expects an integer");
+                    opts.hours = value(i).parse().unwrap_or_else(|_| {
+                        usage_error("--hours expects an integer", COMMON_USAGE)
+                    });
                     i += 2;
                 }
                 "--seed" => {
-                    opts.seed = value(i).parse().expect("--seed expects an integer");
+                    opts.seed = value(i)
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--seed expects an integer", COMMON_USAGE));
                     i += 2;
                 }
                 "--csv" => {
@@ -88,12 +108,12 @@ impl ExperimentOpts {
                     opts.telemetry = Some(PathBuf::from(value(i)));
                     i += 2;
                 }
-                other => panic!(
-                    "unknown argument {other}; use --hours N --seed S --csv DIR --telemetry FILE"
-                ),
+                other => usage_error(&format!("unknown argument {other}"), COMMON_USAGE),
             }
         }
-        assert!(opts.hours > 0, "--hours must be positive");
+        if opts.hours == 0 {
+            usage_error("--hours must be positive", COMMON_USAGE);
+        }
         opts
     }
 

@@ -114,15 +114,30 @@ impl Event {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(32 + 16 * self.fields.len());
         out.push_str("{\"event\":");
-        write_json_string(&mut out, self.name);
+        self.write_fields(&mut out);
+        out
+    }
+
+    /// Serializes like [`to_json`](Event::to_json) but with a leading
+    /// `"schema":<version>` field, marking the line's wire-format version
+    /// (see [`SCHEMA_VERSION`](crate::SCHEMA_VERSION)). Consumers reject
+    /// versions newer than the one they were built against.
+    pub fn to_json_with_schema(&self, version: u32) -> String {
+        let mut out = String::with_capacity(44 + 16 * self.fields.len());
+        let _ = write!(out, "{{\"schema\":{version},\"event\":");
+        self.write_fields(&mut out);
+        out
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        write_json_string(out, self.name);
         for (key, value) in &self.fields {
             out.push(',');
-            write_json_string(&mut out, key);
+            write_json_string(out, key);
             out.push(':');
-            write_json_value(&mut out, value);
+            write_json_value(out, value);
         }
         out.push('}');
-        out
     }
 }
 
@@ -192,6 +207,17 @@ mod tests {
             e.to_json(),
             r#"{"event":"slot","t":3,"neg":-2,"ok":true,"who":"GreFar(V=7.5)"}"#
         );
+    }
+
+    #[test]
+    fn schema_field_leads_the_line() {
+        let e = Event::new("slot").field("t", 3_u64);
+        assert_eq!(
+            e.to_json_with_schema(1),
+            r#"{"schema":1,"event":"slot","t":3}"#
+        );
+        // The unversioned form is unchanged.
+        assert_eq!(e.to_json(), r#"{"event":"slot","t":3}"#);
     }
 
     #[test]

@@ -40,7 +40,8 @@ impl JsonValue {
 
 /// Parses one flat JSON object line into an ordered key → value map.
 ///
-/// Returns `Err` with a position-tagged message on malformed input.
+/// Returns `Err` with a position-tagged message on malformed input,
+/// including duplicate keys (which would silently lose data).
 pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     let mut parser = Parser {
         bytes: line.as_bytes(),
@@ -60,7 +61,9 @@ pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
             parser.expect(b':')?;
             parser.skip_ws();
             let value = parser.parse_value()?;
-            map.insert(key, value);
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key {key:?} at byte {}", parser.pos));
+            }
             parser.skip_ws();
             match parser.next() {
                 Some(b',') => continue,
@@ -279,5 +282,60 @@ mod tests {
     #[test]
     fn empty_object() {
         assert!(parse_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_truncated_lines() {
+        // Every prefix of a valid line must fail cleanly, never panic.
+        let full = Event::new("slot")
+            .field("t", 3_u64)
+            .field("s", "a\\nb")
+            .to_json();
+        for cut in 1..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                parse_object(&full[..cut]).is_err(),
+                "prefix {:?} unexpectedly parsed",
+                &full[..cut]
+            );
+        }
+        assert!(parse_object("{\"a\":tru").is_err());
+        assert!(parse_object("{\"a\":\"x").is_err());
+        assert!(parse_object("{\"a\":\"x\\").is_err());
+    }
+
+    #[test]
+    fn rejects_non_object_lines() {
+        for line in ["not json", "42", "\"string\"", "null", "[{\"a\":1}]", ""] {
+            assert!(parse_object(line).is_err(), "{line:?} unexpectedly parsed");
+        }
+        assert!(parse_lines("{\"a\":1}\n[1,2]\n").is_err());
+        assert!(parse_lines("{\"a\":1}\n{\"b\":}\n").is_err());
+        // Blank lines stay permitted between objects.
+        assert_eq!(parse_lines("{\"a\":1}\n\n{\"b\":2}\n").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_unicode_escapes() {
+        assert!(parse_object("{\"s\":\"\\uZZZZ\"}").is_err());
+        assert!(parse_object("{\"s\":\"\\u12\"}").is_err());
+        assert!(parse_object("{\"s\":\"\\u\"}").is_err());
+        assert!(parse_object("{\"s\":\"\\x41\"}").is_err());
+        // A valid escape still round-trips.
+        assert_eq!(
+            parse_object("{\"s\":\"\\u0041\"}").unwrap()["s"].as_str(),
+            Some("A")
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse_object("{\"a\":1,\"a\":2}").unwrap_err();
+        assert!(err.contains("duplicate key"), "unexpected error: {err}");
+        assert!(parse_lines("{\"a\":1}\n{\"b\":1,\"b\":1}\n").is_err());
+        // Distinct keys are of course fine.
+        assert_eq!(parse_object("{\"a\":1,\"b\":2}").unwrap().len(), 2);
     }
 }

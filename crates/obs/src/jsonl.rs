@@ -9,6 +9,12 @@ use crate::observer::Observer;
 
 /// Streams each recorded [`Event`] as one JSON object per line.
 ///
+/// Every line carries a leading `"schema":N` field (the current
+/// [`SCHEMA_VERSION`](crate::SCHEMA_VERSION)), so offline consumers such as
+/// `grefar-report` can reject streams written by an incompatible future
+/// format. Self-describing lines (rather than a single header) survive
+/// concatenation, truncation and grep.
+///
 /// Counters / gauges / histogram samples are aggregation concerns and are
 /// not written; pair with a [`MemoryObserver`](crate::MemoryObserver) via
 /// [`Tee`](crate::Tee) when both views are wanted.
@@ -55,7 +61,7 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> Observer for JsonlSink<W> {
     fn record_event(&mut self, event: Event) {
-        let mut line = event.to_json();
+        let mut line = event.to_json_with_schema(crate::SCHEMA_VERSION);
         line.push('\n');
         if self.writer.write_all(line.as_bytes()).is_err() {
             self.io_errors += 1;
@@ -76,7 +82,10 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(
             lines,
-            vec![r#"{"event":"slot","t":0}"#, r#"{"event":"slot","t":1}"#]
+            vec![
+                r#"{"schema":1,"event":"slot","t":0}"#,
+                r#"{"schema":1,"event":"slot","t":1}"#
+            ]
         );
         assert!(text.ends_with('\n'));
     }

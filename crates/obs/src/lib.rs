@@ -38,6 +38,10 @@
 //! deterministic for a fixed seed, which the determinism suite asserts by
 //! comparing two runs' streams with `_us` fields stripped.
 //!
+//! Every JSONL line additionally leads with `"schema":N` — the wire-format
+//! version ([`SCHEMA_VERSION`]) that offline consumers (`grefar-report`)
+//! check before interpreting a stream.
+//!
 //! # Example
 //!
 //! ```
@@ -55,7 +59,7 @@
 //! assert_eq!(memory.event_count("slot"), 1);
 //! assert_eq!(memory.counter("slots"), 1);
 //! let line = String::from_utf8(sink.into_inner()).unwrap();
-//! assert!(line.starts_with("{\"event\":\"slot\""));
+//! assert!(line.starts_with("{\"schema\":1,\"event\":\"slot\""));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -70,6 +74,11 @@ mod observer;
 mod timer;
 
 pub use event::{Event, Value};
+
+/// The JSONL wire-format version stamped onto every line written by
+/// [`JsonlSink`]. Bump when an emitted event's meaning changes
+/// incompatibly; consumers must reject streams with a larger version.
+pub const SCHEMA_VERSION: u32 = 1;
 pub use histogram::{Histogram, Quantiles};
 pub use jsonl::JsonlSink;
 pub use memory::MemoryObserver;

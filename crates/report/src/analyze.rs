@@ -1,0 +1,502 @@
+//! Per-run analytics over a parsed telemetry stream: the Lyapunov
+//! drift/penalty decomposition, queue trajectories against the Theorem 1(a)
+//! bound, time-average cost convergence with the Theorem 1(b) gap, solver
+//! mix, and wall-time quantiles.
+
+use crate::stream::{BoundsEvent, Run, TelemetryStream};
+use grefar_obs::{Histogram, Quantiles};
+use std::fmt::Write as _;
+
+/// The queue/bound verdict for one run (requires a matched `theory.bounds`
+/// event in the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundCheck {
+    /// Theorem 1(a) bound `V·C3/δ`.
+    pub queue_bound: f64,
+    /// `100 · peak_queue / queue_bound`.
+    pub occupancy_pct: f64,
+    /// Theorem 1(b) gap bound `(B + D(T−1))/V`.
+    pub cost_gap_bound: f64,
+    /// The certified slackness `δ`.
+    pub delta: f64,
+    /// The frame `T` of the gap bound.
+    pub frame: u64,
+}
+
+/// Everything the analyzer derives from one run.
+#[derive(Debug, Clone)]
+pub struct RunAnalysis {
+    /// Sweep label or scheduler name.
+    pub label: String,
+    /// Scheduler name from `run.start`.
+    pub scheduler: String,
+    /// Observed slots.
+    pub slots: usize,
+    /// GreFar `V`, when the run carries `grefar.decide` events.
+    pub v: Option<f64>,
+    /// GreFar `β`.
+    pub beta: Option<f64>,
+    /// Time-average combined cost `e(t) − β·f(t)`.
+    pub avg_cost: f64,
+    /// Time-average cost over the first half of the run.
+    pub first_half_cost: f64,
+    /// Time-average cost over the second half of the run.
+    pub second_half_cost: f64,
+    /// Time-average Lyapunov drift term of objective (14).
+    pub avg_drift: Option<f64>,
+    /// Time-average penalty term `V·g(t)`.
+    pub avg_penalty: Option<f64>,
+    /// Largest single queue observed anywhere in the run.
+    pub peak_queue: f64,
+    /// Queue maximum in the final slot.
+    pub final_queue: f64,
+    /// Bound verdict, when the stream carries bounds for this run.
+    pub bound: Option<BoundCheck>,
+    /// Decisions taken by the exact greedy solver.
+    pub greedy_decisions: usize,
+    /// Decisions taken by Frank–Wolfe.
+    pub fw_decisions: usize,
+    /// Mean Frank–Wolfe iterations over FW decisions.
+    pub fw_iterations_mean: f64,
+    /// Largest final FW duality gap seen.
+    pub fw_gap_max: f64,
+    /// Jobs dropped by admission control.
+    pub dropped: f64,
+    /// `invariant.violation` events seen.
+    pub invariant_violations: usize,
+    /// Wall-time quantiles per phase: `(phase, quantiles)`.
+    pub wall: Vec<(&'static str, Quantiles)>,
+    /// Sampled trajectory rows: `(t, avg_cost, avg_drift, avg_penalty,
+    /// queue_max)` — running averages up to `t`.
+    pub trajectory: Vec<(u64, f64, f64, f64, f64)>,
+}
+
+/// A full analysis of one telemetry stream.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-run results, in stream order.
+    pub runs: Vec<RunAnalysis>,
+    /// Total events in the stream.
+    pub total_events: usize,
+}
+
+fn quantiles_of(samples: &[f64]) -> Quantiles {
+    let mut hist = Histogram::new();
+    for &s in samples {
+        hist.record(s);
+    }
+    hist.quantiles()
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn analyze_run(run: &Run, bounds: Option<&BoundsEvent>) -> RunAnalysis {
+    let slots = run.slots.len();
+    let beta = run.decides.first().map(|d| d.beta);
+    let v = run.decides.first().map(|d| d.v);
+    let b = beta.unwrap_or(0.0);
+    let costs: Vec<f64> = run
+        .slots
+        .iter()
+        .map(|s| s.energy - b * s.fairness)
+        .collect();
+    let avg_cost = mean(costs.iter().copied());
+    let half = slots / 2;
+    let first_half_cost = mean(costs.iter().take(half.max(1)).copied());
+    let second_half_cost = mean(costs.iter().skip(half).copied());
+
+    let peak_queue = run.slots.iter().map(|s| s.queue_max).fold(0.0, f64::max);
+    let final_queue = run.slots.last().map_or(0.0, |s| s.queue_max);
+    let bound = bounds.map(|be| BoundCheck {
+        queue_bound: be.queue_bound,
+        occupancy_pct: if be.queue_bound > 0.0 {
+            100.0 * peak_queue / be.queue_bound
+        } else {
+            f64::INFINITY
+        },
+        cost_gap_bound: be.cost_gap_bound,
+        delta: be.delta,
+        frame: be.frame,
+    });
+
+    let greedy_decisions = run.decides.iter().filter(|d| d.solver == "greedy").count();
+    let fw_decisions = run.decides.len() - greedy_decisions;
+    let fw_iterations_mean = mean(
+        run.decides
+            .iter()
+            .filter(|d| d.solver != "greedy")
+            .map(|d| d.fw_iterations as f64),
+    );
+    let fw_gap_max = run.decides.iter().map(|d| d.fw_gap).fold(0.0f64, f64::max);
+
+    let mut wall = Vec::new();
+    for (phase, samples) in [
+        ("slot", &run.slot_wall_us),
+        ("decide", &run.decide_wall_us),
+        ("lp.solve", &run.lp_wall_us),
+    ] {
+        if !samples.is_empty() {
+            wall.push((phase, quantiles_of(samples)));
+        }
+    }
+
+    // Running-average trajectory, sampled at ~6 evenly spaced slots.
+    let mut trajectory = Vec::new();
+    if slots > 0 {
+        let points: Vec<usize> = (1..=6).map(|p| p * (slots - 1) / 6).collect();
+        let mut cost_sum = 0.0;
+        let mut drift_sum = 0.0;
+        let mut penalty_sum = 0.0;
+        let mut next = 0usize;
+        for (i, slot) in run.slots.iter().enumerate() {
+            cost_sum += costs[i];
+            if let Some(d) = run.decides.get(i) {
+                drift_sum += d.drift;
+                penalty_sum += d.penalty;
+            }
+            while next < points.len() && points[next] == i {
+                let n = (i + 1) as f64;
+                trajectory.push((
+                    slot.t,
+                    cost_sum / n,
+                    drift_sum / n,
+                    penalty_sum / n,
+                    slot.queue_max,
+                ));
+                next += 1;
+            }
+        }
+        trajectory.dedup_by_key(|row| row.0);
+    }
+
+    RunAnalysis {
+        label: run.display_label().to_string(),
+        scheduler: run.scheduler.clone(),
+        slots,
+        v,
+        beta,
+        avg_cost,
+        first_half_cost,
+        second_half_cost,
+        avg_drift: (!run.decides.is_empty()).then(|| mean(run.decides.iter().map(|d| d.drift))),
+        avg_penalty: (!run.decides.is_empty()).then(|| mean(run.decides.iter().map(|d| d.penalty))),
+        peak_queue,
+        final_queue,
+        bound,
+        greedy_decisions,
+        fw_decisions,
+        fw_iterations_mean,
+        fw_gap_max,
+        dropped: run.dropped.unwrap_or(0.0),
+        invariant_violations: run.invariant_violations,
+        wall,
+        trajectory,
+    }
+}
+
+impl Analysis {
+    /// Analyzes every run of a segmented stream.
+    pub fn from_stream(stream: &TelemetryStream) -> Self {
+        let bounds = stream.bounds_per_run();
+        let runs = stream
+            .runs
+            .iter()
+            .zip(&bounds)
+            .map(|(run, b)| analyze_run(run, *b))
+            .collect();
+        Analysis {
+            runs,
+            total_events: stream.total_events,
+        }
+    }
+
+    /// True when any run with a matched bound exceeded Theorem 1(a), or any
+    /// run recorded a runtime invariant violation.
+    pub fn any_bound_exceeded(&self) -> bool {
+        self.runs.iter().any(|r| {
+            r.invariant_violations > 0 || r.bound.as_ref().is_some_and(|b| b.occupancy_pct >= 100.0)
+        })
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "telemetry stream: {} run(s), {} events",
+            self.runs.len(),
+            self.total_events
+        );
+        for r in &self.runs {
+            let _ = writeln!(
+                out,
+                "\nrun \"{}\" ({}, {} slots)",
+                r.label, r.scheduler, r.slots
+            );
+            if let (Some(v), Some(beta)) = (r.v, r.beta) {
+                let _ = writeln!(out, "  operating point : V={v}, beta={beta}");
+            }
+            let drift_pct = 100.0 * (self.halves_drift(r));
+            let _ = writeln!(
+                out,
+                "  avg cost        : {:.4} (first half {:.4}, second half {:.4}, drift {:+.1}%)",
+                r.avg_cost, r.first_half_cost, r.second_half_cost, drift_pct
+            );
+            if let (Some(drift), Some(penalty)) = (r.avg_drift, r.avg_penalty) {
+                let _ = writeln!(
+                    out,
+                    "  lyapunov (14)   : avg drift {drift:.4}, avg penalty {penalty:.4}"
+                );
+            }
+            match &r.bound {
+                Some(b) => {
+                    let verdict = if b.occupancy_pct < 100.0 {
+                        "ok"
+                    } else {
+                        "EXCEEDED"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  queues          : peak {:.2}, final {:.2} | Theorem 1(a) bound \
+                         {:.2} (delta {:.3}) -> occupancy {:.1}% [{verdict}]",
+                        r.peak_queue, r.final_queue, b.queue_bound, b.delta, b.occupancy_pct
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  queues          : peak {:.2}, final {:.2} (no theory.bounds in stream)",
+                        r.peak_queue, r.final_queue
+                    );
+                }
+            }
+            if !r.trajectory.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    "t", "avg_cost", "avg_drift", "avg_penalty", "queue_max"
+                );
+                for (t, cost, drift, penalty, qmax) in &r.trajectory {
+                    let _ = writeln!(
+                        out,
+                        "  {t:>10} {cost:>12.4} {drift:>12.4} {penalty:>12.4} {qmax:>12.2}"
+                    );
+                }
+            }
+            if !r.wall.is_empty() {
+                let mix = if r.greedy_decisions + r.fw_decisions > 0 {
+                    format!(
+                        "greedy {} / frank_wolfe {} (fw iters mean {:.1}, max gap {:.2e})",
+                        r.greedy_decisions, r.fw_decisions, r.fw_iterations_mean, r.fw_gap_max
+                    )
+                } else {
+                    "n/a".to_string()
+                };
+                let _ = writeln!(out, "  solver mix      : {mix}");
+                for (phase, q) in &r.wall {
+                    let _ = writeln!(
+                        out,
+                        "  wall {phase:<11}: p50 {:.0} us, p95 {:.0} us, p99 {:.0} us, max {:.0} us",
+                        q.p50, q.p95, q.p99, q.max
+                    );
+                }
+            }
+            if r.dropped > 0.0 {
+                let _ = writeln!(out, "  dropped jobs    : {:.0}", r.dropped);
+            }
+            if r.invariant_violations > 0 {
+                let _ = writeln!(
+                    out,
+                    "  INVARIANT VIOLATIONS: {} (see invariant.violation events)",
+                    r.invariant_violations
+                );
+            }
+        }
+        self.render_gap_table(&mut out);
+        out
+    }
+
+    // Second-half vs first-half relative cost drift (convergence measure).
+    fn halves_drift(&self, r: &RunAnalysis) -> f64 {
+        if r.first_half_cost.abs() > 0.0 {
+            (r.second_half_cost - r.first_half_cost) / r.first_half_cost.abs()
+        } else {
+            0.0
+        }
+    }
+
+    /// Theorem 1(b) table: GreFar runs grouped by β, each compared against
+    /// the cheapest run of its group (an observable stand-in for the
+    /// offline optimum — the true gap to `g*` is at most the gap bound
+    /// whenever the observed gap-to-best is, since best ≥ `g*`).
+    fn render_gap_table(&self, out: &mut String) {
+        let grefar: Vec<&RunAnalysis> = self
+            .runs
+            .iter()
+            .filter(|r| r.v.is_some() && r.bound.is_some())
+            .collect();
+        if grefar.len() < 2 {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "\nTheorem 1(b) cost-gap table (per swept V; gap measured against \
+             the best run with the same beta):"
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>12} {:>12} {:>14} {:>8}",
+            "V", "beta", "avg_cost", "gap_to_best", "bound(O(1/V))", "within"
+        );
+        for r in &grefar {
+            let beta = r.beta.unwrap_or(0.0);
+            let best = grefar
+                .iter()
+                .filter(|o| (o.beta.unwrap_or(0.0) - beta).abs() < 1e-12)
+                .map(|o| o.avg_cost)
+                .fold(f64::INFINITY, f64::min);
+            let gap = r.avg_cost - best;
+            let bound = r.bound.as_ref().map_or(f64::INFINITY, |b| b.cost_gap_bound);
+            let _ = writeln!(
+                out,
+                "{:>8} {:>8} {:>12.4} {:>12.4} {:>14.4} {:>8}",
+                r.v.unwrap_or(0.0),
+                beta,
+                r.avg_cost,
+                gap,
+                bound,
+                if gap <= bound { "yes" } else { "NO" }
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{DecideSample, SlotSample};
+
+    fn synthetic_run(label: &str, v: f64, cost: f64, qmax: f64, slots: usize) -> Run {
+        let mut run = Run {
+            label: Some(label.to_string()),
+            scheduler: format!("GreFar(V={v})"),
+            horizon: slots as u64,
+            ..Run::default()
+        };
+        for t in 0..slots {
+            run.slots.push(SlotSample {
+                t: t as u64,
+                queue_total: qmax * 1.5,
+                queue_max: qmax,
+                energy: cost,
+                fairness: 0.0,
+                arrivals: 5.0,
+                dropped: 0.0,
+            });
+            run.slot_wall_us.push(10.0 + t as f64);
+            run.decides.push(DecideSample {
+                v,
+                beta: 0.0,
+                objective: -1.0,
+                drift: -2.0,
+                penalty: 1.0,
+                solver: "greedy".to_string(),
+                fw_iterations: 0,
+                fw_gap: 0.0,
+            });
+            run.decide_wall_us.push(5.0);
+        }
+        run
+    }
+
+    fn stream_with_bounds(qbound: f64) -> TelemetryStream {
+        TelemetryStream {
+            runs: vec![synthetic_run("V=1", 1.0, 8.0, 10.0, 40)],
+            bounds: vec![BoundsEvent {
+                label: "V=1".to_string(),
+                v: 1.0,
+                beta: 0.0,
+                delta: 2.0,
+                queue_bound: qbound,
+                cost_gap_bound: 5.0,
+                frame: 24,
+            }],
+            total_events: 42,
+        }
+    }
+
+    #[test]
+    fn occupancy_and_verdict() {
+        let ok = Analysis::from_stream(&stream_with_bounds(40.0));
+        assert!((ok.runs[0].bound.as_ref().unwrap().occupancy_pct - 25.0).abs() < 1e-9);
+        assert!(!ok.any_bound_exceeded());
+        assert!(ok.render().contains("occupancy 25.0% [ok]"));
+
+        let bad = Analysis::from_stream(&stream_with_bounds(5.0));
+        assert!(bad.any_bound_exceeded());
+        assert!(bad.render().contains("[EXCEEDED]"));
+    }
+
+    #[test]
+    fn invariant_violations_fail_the_gate() {
+        let mut stream = stream_with_bounds(40.0);
+        stream.runs[0].invariant_violations = 1;
+        assert!(Analysis::from_stream(&stream).any_bound_exceeded());
+    }
+
+    #[test]
+    fn gap_table_marks_runs_within_bound() {
+        let stream = TelemetryStream {
+            runs: vec![
+                synthetic_run("V=1", 1.0, 8.0, 10.0, 20),
+                synthetic_run("V=10", 10.0, 6.0, 30.0, 20),
+            ],
+            bounds: vec![
+                BoundsEvent {
+                    label: "V=1".to_string(),
+                    v: 1.0,
+                    beta: 0.0,
+                    delta: 2.0,
+                    queue_bound: 50.0,
+                    cost_gap_bound: 50.0,
+                    frame: 24,
+                },
+                BoundsEvent {
+                    label: "V=10".to_string(),
+                    v: 10.0,
+                    beta: 0.0,
+                    delta: 2.0,
+                    queue_bound: 200.0,
+                    cost_gap_bound: 5.0,
+                    frame: 24,
+                },
+            ],
+            total_events: 84,
+        };
+        let analysis = Analysis::from_stream(&stream);
+        let rendered = analysis.render();
+        assert!(rendered.contains("cost-gap table"), "{rendered}");
+        // V=1 has gap 2.0 <= bound 50; V=10 is the best (gap 0 <= 5).
+        assert!(!rendered.contains(" NO\n"), "{rendered}");
+    }
+
+    #[test]
+    fn solver_mix_and_wall_quantiles_render() {
+        let analysis = Analysis::from_stream(&stream_with_bounds(40.0));
+        let rendered = analysis.render();
+        assert!(rendered.contains("greedy 40 / frank_wolfe 0"), "{rendered}");
+        assert!(rendered.contains("wall slot"), "{rendered}");
+        assert!(rendered.contains("avg drift -2.0000"), "{rendered}");
+    }
+}

@@ -1,0 +1,281 @@
+//! The perf-trajectory gate: compares two `BENCH_*.json` files (written by
+//! `cargo bench -- --json`, see the vendored `criterion` shim) and fails
+//! when any case's best observed wall time regressed beyond a threshold.
+//!
+//! Comparisons use the **min** of the recorded samples: the minimum is the
+//! least noisy location statistic for wall-clock microbenchmarks (any
+//! measurement above it is the same work plus interference).
+
+use crate::stream::parse_versioned_lines;
+use grefar_obs::json::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One benchmark case from a `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Best (minimum) observed wall time, nanoseconds.
+    pub min_ns: f64,
+    /// Mean over the recorded samples, nanoseconds.
+    pub mean_ns: f64,
+    /// Samples recorded.
+    pub samples: u64,
+}
+
+/// A parsed `BENCH_*.json` file: the env fingerprint plus its cases.
+#[derive(Debug, Clone, Default)]
+pub struct BenchFile {
+    /// Environment fingerprint from the `bench.meta` header (arch, os,
+    /// cpus, profile, ...), flattened to strings for display.
+    pub meta: BTreeMap<String, String>,
+    /// Cases by fully qualified name (`group/function/input`).
+    pub cases: BTreeMap<String, BenchCase>,
+}
+
+impl BenchFile {
+    /// Parses a BENCH JSONL document.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` on malformed JSONL, an unsupported schema version, or
+    /// a `bench.case` line missing its name or timings.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let events = parse_versioned_lines(text)?;
+        let mut file = BenchFile::default();
+        for (idx, event) in events.iter().enumerate() {
+            let name = event
+                .get("event")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {}: missing \"event\" field", idx + 1))?;
+            match name {
+                "bench.meta" => {
+                    for (key, value) in event {
+                        if key == "event" || key == "schema" {
+                            continue;
+                        }
+                        let rendered = match value {
+                            JsonValue::String(s) => s.clone(),
+                            JsonValue::Number(n) => format!("{n}"),
+                            other => format!("{other:?}"),
+                        };
+                        file.meta.insert(key.clone(), rendered);
+                    }
+                }
+                "bench.case" => {
+                    let case_name = event
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| format!("line {}: bench.case without name", idx + 1))?;
+                    let get = |key: &str| {
+                        event
+                            .get(key)
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| format!("line {}: bench.case missing {key:?}", idx + 1))
+                    };
+                    file.cases.insert(
+                        case_name.to_string(),
+                        BenchCase {
+                            min_ns: get("min_ns")?,
+                            mean_ns: get("mean_ns")?,
+                            samples: get("samples")? as u64,
+                        },
+                    );
+                }
+                _ => {} // additive lines are fine
+            }
+        }
+        Ok(file)
+    }
+}
+
+/// One case's old-vs-new verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseVerdict {
+    /// `new_min ≤ old_min · (1 + threshold)` — possibly faster.
+    Ok {
+        /// Relative change `new/old − 1` (negative = faster).
+        change: f64,
+    },
+    /// Slower beyond the threshold.
+    Regressed {
+        /// Relative change `new/old − 1`.
+        change: f64,
+    },
+    /// Present in the old file only.
+    Removed,
+    /// Present in the new file only.
+    Added,
+}
+
+/// The full gate outcome.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-case verdicts, sorted by case name.
+    pub verdicts: Vec<(String, CaseVerdict)>,
+    /// The threshold the gate ran with.
+    pub threshold: f64,
+    /// True when the old and new env fingerprints differ (timings across
+    /// different machines are not comparable — reported, not fatal).
+    pub env_mismatch: bool,
+}
+
+impl GateReport {
+    /// True when no case regressed beyond the threshold.
+    pub fn passes(&self) -> bool {
+        !self
+            .verdicts
+            .iter()
+            .any(|(_, v)| matches!(v, CaseVerdict::Regressed { .. }))
+    }
+
+    /// Renders the per-case table and the verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.env_mismatch {
+            let _ = writeln!(
+                out,
+                "warning: env fingerprints differ between the two files — \
+                 timings may not be comparable"
+            );
+        }
+        let _ = writeln!(out, "{:<44} {:>10}  verdict", "case", "change");
+        for (name, verdict) in &self.verdicts {
+            let (change, word) = match verdict {
+                CaseVerdict::Ok { change } => (Some(*change), "ok"),
+                CaseVerdict::Regressed { change } => (Some(*change), "REGRESSED"),
+                CaseVerdict::Removed => (None, "removed"),
+                CaseVerdict::Added => (None, "added"),
+            };
+            match change {
+                Some(c) => {
+                    let _ = writeln!(out, "{name:<44} {:>+9.1}%  {word}", 100.0 * c);
+                }
+                None => {
+                    let _ = writeln!(out, "{name:<44} {:>10}  {word}", "-");
+                }
+            }
+        }
+        let regressions = self
+            .verdicts
+            .iter()
+            .filter(|(_, v)| matches!(v, CaseVerdict::Regressed { .. }))
+            .count();
+        let _ = writeln!(
+            out,
+            "bench-gate: {} case(s), {} regression(s) at threshold {:.0}% -> {}",
+            self.verdicts.len(),
+            regressions,
+            100.0 * self.threshold,
+            if self.passes() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Gates `new` against `old`: a case regresses when
+/// `new.min_ns > old.min_ns · (1 + threshold)`.
+pub fn gate(old: &BenchFile, new: &BenchFile, threshold: f64) -> GateReport {
+    let mut verdicts = Vec::new();
+    for (name, old_case) in &old.cases {
+        match new.cases.get(name) {
+            None => verdicts.push((name.clone(), CaseVerdict::Removed)),
+            Some(new_case) => {
+                let change = if old_case.min_ns > 0.0 {
+                    new_case.min_ns / old_case.min_ns - 1.0
+                } else {
+                    0.0
+                };
+                let verdict = if change > threshold {
+                    CaseVerdict::Regressed { change }
+                } else {
+                    CaseVerdict::Ok { change }
+                };
+                verdicts.push((name.clone(), verdict));
+            }
+        }
+    }
+    for name in new.cases.keys() {
+        if !old.cases.contains_key(name) {
+            verdicts.push((name.clone(), CaseVerdict::Added));
+        }
+    }
+    verdicts.sort_by(|a, b| a.0.cmp(&b.0));
+    GateReport {
+        verdicts,
+        threshold,
+        env_mismatch: old.meta != new.meta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_text(min_a: f64, min_b: f64) -> String {
+        format!(
+            "{{\"schema\":1,\"event\":\"bench.meta\",\"crate\":\"lp\",\"arch\":\"x86_64\",\
+             \"cpus\":8,\"profile\":\"release\"}}\n\
+             {{\"schema\":1,\"event\":\"bench.case\",\"name\":\"lp/solve/3dc\",\
+             \"min_ns\":{min_a},\"mean_ns\":{},\"median_ns\":{min_a},\"samples\":20}}\n\
+             {{\"schema\":1,\"event\":\"bench.case\",\"name\":\"lp/solve/9dc\",\
+             \"min_ns\":{min_b},\"mean_ns\":{},\"median_ns\":{min_b},\"samples\":20}}\n",
+            min_a * 1.1,
+            min_b * 1.1,
+        )
+    }
+
+    #[test]
+    fn parses_meta_and_cases() {
+        let file = BenchFile::parse(&bench_text(100.0, 900.0)).unwrap();
+        assert_eq!(file.meta.get("arch").map(String::as_str), Some("x86_64"));
+        assert_eq!(file.cases.len(), 2);
+        assert!((file.cases["lp/solve/3dc"].min_ns - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let file = BenchFile::parse(&bench_text(100.0, 900.0)).unwrap();
+        let report = gate(&file, &file, 0.10);
+        assert!(report.passes());
+        assert!(!report.env_mismatch);
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails() {
+        let old = BenchFile::parse(&bench_text(100.0, 900.0)).unwrap();
+        let new = BenchFile::parse(&bench_text(125.0, 900.0)).unwrap();
+        let report = gate(&old, &new, 0.10);
+        assert!(!report.passes());
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        assert!(rendered.contains("+25.0%"), "{rendered}");
+        // A 25% slowdown passes a 30% gate.
+        assert!(gate(&old, &new, 0.30).passes());
+    }
+
+    #[test]
+    fn improvements_and_case_churn_do_not_fail() {
+        let old = BenchFile::parse(&bench_text(100.0, 900.0)).unwrap();
+        let faster = BenchFile::parse(&bench_text(80.0, 900.0)).unwrap();
+        assert!(gate(&old, &faster, 0.10).passes());
+
+        let renamed = bench_text(100.0, 900.0).replace("9dc", "27dc");
+        let churned = BenchFile::parse(&renamed).unwrap();
+        let report = gate(&old, &churned, 0.10);
+        assert!(report.passes());
+        let kinds: Vec<&CaseVerdict> = report.verdicts.iter().map(|(_, v)| v).collect();
+        assert!(kinds.contains(&&CaseVerdict::Removed));
+        assert!(kinds.contains(&&CaseVerdict::Added));
+    }
+
+    #[test]
+    fn env_fingerprint_mismatch_is_flagged() {
+        let old = BenchFile::parse(&bench_text(100.0, 900.0)).unwrap();
+        let other_arch = bench_text(100.0, 900.0).replace("x86_64", "aarch64");
+        let new = BenchFile::parse(&other_arch).unwrap();
+        let report = gate(&old, &new, 0.10);
+        assert!(report.env_mismatch);
+        assert!(report.render().contains("env fingerprints differ"));
+    }
+}

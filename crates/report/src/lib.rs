@@ -1,0 +1,34 @@
+//! Offline analytics over GreFar telemetry.
+//!
+//! The experiment binaries (`fig2`, `fig4`, `baselines`, `grefar`) emit a
+//! JSONL event stream with `--telemetry FILE`; this crate turns those
+//! streams into answers, entirely offline:
+//!
+//! * [`Analysis`] (`grefar-report analyze`) — the Lyapunov drift/penalty
+//!   decomposition over time, queue backlog against the Theorem 1(a) bound
+//!   `V·C3/δ` with a peak-occupancy percentage, time-average cost
+//!   convergence with the Theorem 1(b) `O(1/V)` gap per swept `V`, the
+//!   greedy/Frank–Wolfe solver mix, and p50/p95/p99 wall-time breakdowns
+//!   per phase.
+//! * [`diff_streams`] (`grefar-report diff`) — structural and
+//!   tolerance-aware numeric comparison of two streams, ignoring `_us`
+//!   timing fields; the replay-determinism check as a reusable tool.
+//! * [`bench_gate`] (`grefar-report bench-gate`) — compares two
+//!   `BENCH_*.json` files written by `cargo bench -- --json` and fails on
+//!   wall-time regressions beyond a threshold.
+//!
+//! Everything consumes the hand-rolled `grefar_obs::json` parser — the
+//! crate adds no dependencies beyond `grefar-obs` itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod bench_gate;
+pub mod diff;
+pub mod stream;
+
+pub use analyze::{Analysis, BoundCheck, RunAnalysis};
+pub use bench_gate::{gate, BenchCase, BenchFile, CaseVerdict, GateReport};
+pub use diff::{diff_streams, DiffOptions, StreamDiff};
+pub use stream::{parse_versioned_lines, Run, TelemetryStream};

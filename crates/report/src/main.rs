@@ -1,0 +1,148 @@
+//! `grefar-report` — offline telemetry analytics CLI.
+//!
+//! ```text
+//! grefar-report analyze RUN.jsonl [--assert-bound]
+//! grefar-report diff A.jsonl B.jsonl [--tolerance X]
+//! grefar-report bench-gate OLD.json NEW.json [--threshold 10%]
+//! ```
+//!
+//! Exit codes: 0 = pass, 1 = semantic failure (bound exceeded, streams
+//! differ, bench regression), 2 = usage or parse error.
+
+use grefar_report::{bench_gate, diff_streams, Analysis, BenchFile, DiffOptions, TelemetryStream};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: grefar-report <command>\n\
+\n\
+commands:\n\
+  analyze RUN.jsonl [--assert-bound]\n\
+      Lyapunov decomposition, Theorem 1(a/b) bound occupancy, solver mix\n\
+      and wall-time quantiles. With --assert-bound, exits 1 if any run\n\
+      exceeds its queue bound or recorded an invariant violation.\n\
+  diff A.jsonl B.jsonl [--tolerance X]\n\
+      Compares two streams ignoring _us timing fields; exits 1 when they\n\
+      differ semantically. X is a relative tolerance (default 0 = exact).\n\
+  bench-gate OLD.json NEW.json [--threshold 10%]\n\
+      Compares two BENCH_*.json files (cargo bench -- --json); exits 1\n\
+      when any case's min wall time regressed beyond the threshold.";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("grefar-report: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Parses `"0.1"`, `"10%"` or `"10 %"` into a fraction.
+fn parse_fraction(text: &str) -> Result<f64, String> {
+    let trimmed = text.trim();
+    let (digits, percent) = match trimmed.strip_suffix('%') {
+        Some(d) => (d.trim(), true),
+        None => (trimmed, false),
+    };
+    let value: f64 = digits
+        .parse()
+        .map_err(|_| format!("not a number: {text:?}"))?;
+    if value < 0.0 {
+        return Err(format!("must be non-negative: {text:?}"));
+    }
+    Ok(if percent { value / 100.0 } else { value })
+}
+
+fn run_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut assert_bound = false;
+    for arg in args {
+        match arg.as_str() {
+            "--assert-bound" => assert_bound = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("analyze needs a RUN.jsonl path")?;
+    let stream = TelemetryStream::parse(&read(path)?)?;
+    let analysis = Analysis::from_stream(&stream);
+    print!("{}", analysis.render());
+    if assert_bound && analysis.any_bound_exceeded() {
+        eprintln!("grefar-report: Theorem 1(a) bound exceeded (or invariant violated)");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let value = iter.next().ok_or("--tolerance needs a value")?;
+                opts.tolerance = parse_fraction(value)?;
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let [a, b] = paths.as_slice() else {
+        return Err("diff needs exactly two stream paths".to_string());
+    };
+    let diff = diff_streams(&read(a)?, &read(b)?, &opts)?;
+    print!("{}", diff.render());
+    Ok(if diff.is_match() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn run_bench_gate(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut threshold = 0.10;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let value = iter.next().ok_or("--threshold needs a value")?;
+                threshold = parse_fraction(value)?;
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("bench-gate needs exactly two BENCH_*.json paths".to_string());
+    };
+    let old = BenchFile::parse(&read(old_path)?).map_err(|e| format!("{old_path}: {e}"))?;
+    let new = BenchFile::parse(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    let report = bench_gate::gate(&old, &new, threshold);
+    print!("{}", report.render());
+    Ok(if report.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage_error("missing command");
+    };
+    let outcome = match command.as_str() {
+        "analyze" => run_analyze(rest),
+        "diff" => run_diff(rest),
+        "bench-gate" => run_bench_gate(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return usage_error(&format!("unknown command {other:?}")),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(message) => usage_error(&message),
+    }
+}

@@ -1,0 +1,418 @@
+//! Parsing and segmentation of a GreFar JSONL telemetry stream.
+//!
+//! A stream (see the `grefar-obs` crate docs for the event schema) is a
+//! flat sequence of events; this module checks the wire-format version of
+//! every line, groups the events into per-run segments delimited by
+//! `run.start`/`run.end` (with optional `sweep.run` labels), and extracts
+//! the typed samples the analyzers consume.
+
+use grefar_obs::json::{self, JsonValue};
+use std::collections::BTreeMap;
+
+/// One parsed JSONL object.
+pub type JsonObject = BTreeMap<String, JsonValue>;
+
+/// Parses a JSONL document and validates the per-line `"schema"` field.
+///
+/// Lines without a `schema` field are accepted (streams written before the
+/// format was versioned); lines with `schema >` the supported
+/// [`grefar_obs::SCHEMA_VERSION`] are rejected — they were written by a
+/// newer, incompatible emitter.
+pub fn parse_versioned_lines(text: &str) -> Result<Vec<JsonObject>, String> {
+    let events = json::parse_lines(text)?;
+    for (idx, event) in events.iter().enumerate() {
+        if let Some(value) = event.get("schema") {
+            let version = value
+                .as_f64()
+                .ok_or_else(|| format!("event {}: non-numeric schema field", idx + 1))?;
+            if version < 0.0 || version.fract() > 0.0 {
+                return Err(format!(
+                    "event {}: invalid schema version {version}",
+                    idx + 1
+                ));
+            }
+            let version = version as u32;
+            if version > grefar_obs::SCHEMA_VERSION {
+                return Err(format!(
+                    "event {}: stream uses schema version {version}, but this \
+                     tool only understands versions up to {} — upgrade grefar-report",
+                    idx + 1,
+                    grefar_obs::SCHEMA_VERSION
+                ));
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// One `slot` event's deterministic payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotSample {
+    /// Slot index `t`.
+    pub t: u64,
+    /// Total backlog across all queues.
+    pub queue_total: f64,
+    /// Longest single queue this slot.
+    pub queue_max: f64,
+    /// Metered energy cost `e(t)`.
+    pub energy: f64,
+    /// Metered fairness score `f(t)`.
+    pub fairness: f64,
+    /// Jobs arriving this slot.
+    pub arrivals: f64,
+    /// Jobs dropped by admission control this slot.
+    pub dropped: f64,
+}
+
+/// One `grefar.decide` event's deterministic payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecideSample {
+    /// The cost-delay parameter `V`.
+    pub v: f64,
+    /// The energy-fairness parameter `β`.
+    pub beta: f64,
+    /// Value of the drift-plus-penalty objective (14).
+    pub objective: f64,
+    /// The queue-drift share of the objective.
+    pub drift: f64,
+    /// The `V·g(t)` penalty share of the objective.
+    pub penalty: f64,
+    /// Which solver produced the decision (`greedy` / `frank_wolfe`).
+    pub solver: String,
+    /// Frank–Wolfe iterations (0 for the greedy path).
+    pub fw_iterations: u64,
+    /// Final Frank–Wolfe duality gap (0 for the greedy path).
+    pub fw_gap: f64,
+}
+
+/// Theorem 1 bounds attached to one labeled run (a `theory.bounds` event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsEvent {
+    /// The run label the bounds apply to.
+    pub label: String,
+    /// The GreFar operating point.
+    pub v: f64,
+    /// The energy-fairness parameter.
+    pub beta: f64,
+    /// The certified slackness `δ` of (20)–(22).
+    pub delta: f64,
+    /// Theorem 1(a): the queue bound `V·C3/δ` of (23).
+    pub queue_bound: f64,
+    /// Theorem 1(b): the gap bound `(B + D(T−1))/V` of (24).
+    pub cost_gap_bound: f64,
+    /// The frame length `T` the gap bound is stated against.
+    pub frame: u64,
+}
+
+/// One simulation run's telemetry: the events between a `run.start` and its
+/// `run.end`, plus the preceding `sweep.run` label when present.
+#[derive(Debug, Clone, Default)]
+pub struct Run {
+    /// The `sweep.run` label, if the run was part of a labeled sweep.
+    pub label: Option<String>,
+    /// The scheduler name from `run.start`.
+    pub scheduler: String,
+    /// Declared horizon from `run.start`.
+    pub horizon: u64,
+    /// Per-slot samples in slot order.
+    pub slots: Vec<SlotSample>,
+    /// Per-decision scheduler samples in slot order.
+    pub decides: Vec<DecideSample>,
+    /// `wall_us` of every `slot` event.
+    pub slot_wall_us: Vec<f64>,
+    /// `wall_us` of every `grefar.decide` event.
+    pub decide_wall_us: Vec<f64>,
+    /// `wall_us` of every `lp.solve` event.
+    pub lp_wall_us: Vec<f64>,
+    /// Simplex pivot counts (phase 1 + phase 2) of every `lp.solve` event.
+    pub lp_pivots: Vec<f64>,
+    /// Total completed jobs from `run.end`.
+    pub completed: Option<f64>,
+    /// Total dropped jobs from `run.end`.
+    pub dropped: Option<f64>,
+    /// Whole-run wall time from `run.end`.
+    pub run_wall_us: Option<f64>,
+    /// Number of `invariant.violation` events seen during the run.
+    pub invariant_violations: usize,
+}
+
+impl Run {
+    /// The label to display: the sweep label when present, the scheduler
+    /// name otherwise.
+    pub fn display_label(&self) -> &str {
+        self.label.as_deref().unwrap_or(&self.scheduler)
+    }
+}
+
+/// A fully segmented telemetry stream.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryStream {
+    /// The runs, in stream order.
+    pub runs: Vec<Run>,
+    /// Theorem-1 bounds events, in stream order.
+    pub bounds: Vec<BoundsEvent>,
+    /// Total events parsed (including markers).
+    pub total_events: usize,
+}
+
+fn number(event: &JsonObject, key: &str, idx: usize) -> Result<f64, String> {
+    event
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("event {}: missing numeric field {key:?}", idx + 1))
+}
+
+fn string(event: &JsonObject, key: &str, idx: usize) -> Result<String, String> {
+    event
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("event {}: missing string field {key:?}", idx + 1))
+}
+
+impl TelemetryStream {
+    /// Parses and segments a JSONL document.
+    ///
+    /// Unknown event names are skipped (they are additive within a schema
+    /// version); structurally impossible sequences (samples outside any
+    /// run) are errors.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let events = parse_versioned_lines(text)?;
+        let total_events = events.len();
+        let mut runs: Vec<Run> = Vec::new();
+        let mut bounds = Vec::new();
+        let mut pending_label: Option<String> = None;
+        let mut in_run = false;
+
+        for (idx, event) in events.iter().enumerate() {
+            let name = string(event, "event", idx)?;
+            // Events that may appear outside a run segment:
+            match name.as_str() {
+                "sweep.run" => {
+                    pending_label = Some(string(event, "label", idx)?);
+                    continue;
+                }
+                "theory.bounds" => {
+                    bounds.push(BoundsEvent {
+                        label: string(event, "label", idx)?,
+                        v: number(event, "v", idx)?,
+                        beta: number(event, "beta", idx)?,
+                        delta: number(event, "delta", idx)?,
+                        queue_bound: number(event, "queue_bound", idx)?,
+                        cost_gap_bound: number(event, "cost_gap_bound", idx)?,
+                        frame: number(event, "frame", idx)? as u64,
+                    });
+                    continue;
+                }
+                "run.start" => {
+                    runs.push(Run {
+                        label: pending_label.take(),
+                        scheduler: string(event, "scheduler", idx)?,
+                        horizon: number(event, "horizon", idx)? as u64,
+                        ..Run::default()
+                    });
+                    in_run = true;
+                    continue;
+                }
+                _ => {}
+            }
+            let run = match runs.last_mut() {
+                Some(run) if in_run => run,
+                _ => {
+                    return Err(format!(
+                        "event {}: {name:?} outside any run (no preceding run.start)",
+                        idx + 1
+                    ))
+                }
+            };
+            match name.as_str() {
+                "slot" => {
+                    run.slots.push(SlotSample {
+                        t: number(event, "t", idx)? as u64,
+                        queue_total: number(event, "queue_central", idx)?
+                            + number(event, "queue_local", idx)?,
+                        queue_max: number(event, "queue_max", idx)?,
+                        energy: number(event, "energy", idx)?,
+                        fairness: number(event, "fairness", idx)?,
+                        arrivals: number(event, "arrivals", idx)?,
+                        dropped: number(event, "dropped", idx)?,
+                    });
+                    run.slot_wall_us.push(number(event, "wall_us", idx)?);
+                }
+                "grefar.decide" => {
+                    run.decides.push(DecideSample {
+                        v: number(event, "v", idx)?,
+                        beta: number(event, "beta", idx)?,
+                        objective: number(event, "objective", idx)?,
+                        drift: number(event, "drift", idx)?,
+                        penalty: number(event, "penalty", idx)?,
+                        solver: string(event, "solver", idx)?,
+                        fw_iterations: number(event, "fw_iterations", idx)? as u64,
+                        // The greedy path reports gap 0; nulls (serialized
+                        // NaN) read back as absent and default to 0 too.
+                        fw_gap: number(event, "fw_gap", idx).unwrap_or(0.0),
+                    });
+                    run.decide_wall_us.push(number(event, "wall_us", idx)?);
+                }
+                "lp.solve" => {
+                    run.lp_wall_us.push(number(event, "wall_us", idx)?);
+                    run.lp_pivots.push(
+                        number(event, "pivots_phase1", idx)? + number(event, "pivots_phase2", idx)?,
+                    );
+                }
+                "run.end" => {
+                    run.completed = Some(number(event, "completed", idx)?);
+                    run.dropped = Some(number(event, "dropped", idx)?);
+                    run.run_wall_us = Some(number(event, "wall_us", idx)?);
+                    in_run = false;
+                }
+                "invariant.violation" => run.invariant_violations += 1,
+                _ => {} // additive events from the same schema version
+            }
+        }
+        Ok(TelemetryStream {
+            runs,
+            bounds,
+            total_events,
+        })
+    }
+
+    /// Matches each run to its `theory.bounds` event by label, consuming
+    /// bounds in stream order so repeated labels (e.g. the same scheduler
+    /// against two scenarios) pair positionally.
+    pub fn bounds_per_run(&self) -> Vec<Option<&BoundsEvent>> {
+        let mut used = vec![false; self.bounds.len()];
+        self.runs
+            .iter()
+            .map(|run| {
+                let slot = self
+                    .bounds
+                    .iter()
+                    .enumerate()
+                    .find(|(i, b)| !used[*i] && b.label == run.display_label())?;
+                used[slot.0] = true;
+                Some(slot.1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_obs::{Event, JsonlSink, Observer};
+
+    fn sample_stream() -> String {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record_event(
+            Event::new("theory.bounds")
+                .field("label", "V=7.5")
+                .field("v", 7.5)
+                .field("beta", 0.0)
+                .field("delta", 2.0)
+                .field("price_max", 0.8)
+                .field("queue_bound", 100.0)
+                .field("cost_gap_bound", 3.0)
+                .field("frame", 24_u64),
+        );
+        sink.record_event(Event::new("sweep.run").field("label", "V=7.5"));
+        sink.record_event(
+            Event::new("run.start")
+                .field("scheduler", "GreFar(V=7.5)")
+                .field("horizon", 2_u64)
+                .field("data_centers", 3_u64)
+                .field("job_classes", 4_u64),
+        );
+        for t in 0..2_u64 {
+            sink.record_event(
+                Event::new("grefar.decide")
+                    .field("t", t)
+                    .field("v", 7.5)
+                    .field("beta", 0.0)
+                    .field("objective", -5.0)
+                    .field("drift", -6.0)
+                    .field("penalty", 1.0)
+                    .field("routed", 4.0)
+                    .field("processed", 4.0)
+                    .field("solver", "greedy")
+                    .field("fw_iterations", 0_u64)
+                    .field("fw_gap", 0.0)
+                    .field("wall_us", 12_u64),
+            );
+            sink.record_event(
+                Event::new("slot")
+                    .field("t", t)
+                    .field("queue_central", 3.0)
+                    .field("queue_local", 2.0)
+                    .field("queue_max", 4.0)
+                    .field("energy", 1.5)
+                    .field("fairness", -0.2)
+                    .field("arrivals", 5.0)
+                    .field("dropped", 0_u64)
+                    .field("wall_us", 20_u64),
+            );
+        }
+        sink.record_event(
+            Event::new("run.end")
+                .field("slots", 2_u64)
+                .field("completed", 9_u64)
+                .field("dropped", 0_u64)
+                .field("wall_us", 55_u64),
+        );
+        String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn segments_a_labeled_run() {
+        let stream = TelemetryStream::parse(&sample_stream()).unwrap();
+        assert_eq!(stream.runs.len(), 1);
+        assert_eq!(stream.bounds.len(), 1);
+        let run = &stream.runs[0];
+        assert_eq!(run.display_label(), "V=7.5");
+        assert_eq!(run.scheduler, "GreFar(V=7.5)");
+        assert_eq!(run.slots.len(), 2);
+        assert_eq!(run.decides.len(), 2);
+        assert!((run.slots[0].queue_total - 5.0).abs() < 1e-12);
+        assert_eq!(run.completed, Some(9.0));
+        let per_run = stream.bounds_per_run();
+        assert!((per_run[0].unwrap().queue_bound - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_labels_pair_positionally() {
+        let text = sample_stream();
+        let double = format!("{text}{text}");
+        let stream = TelemetryStream::parse(&double).unwrap();
+        assert_eq!(stream.runs.len(), 2);
+        assert_eq!(stream.bounds.len(), 2);
+        let per_run = stream.bounds_per_run();
+        assert!(per_run.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn rejects_future_schema_versions() {
+        let line = "{\"schema\":2,\"event\":\"run.start\",\"scheduler\":\"x\",\"horizon\":1,\
+                    \"data_centers\":1,\"job_classes\":1}\n";
+        let err = TelemetryStream::parse(line).unwrap_err();
+        assert!(err.contains("schema version 2"), "{err}");
+        assert!(parse_versioned_lines("{\"schema\":-1,\"event\":\"x\"}\n").is_err());
+        assert!(parse_versioned_lines("{\"schema\":\"x\",\"event\":\"x\"}\n").is_err());
+    }
+
+    #[test]
+    fn accepts_unversioned_legacy_lines() {
+        // Pre-versioning PR-1 streams carry no schema field.
+        let text = "{\"event\":\"run.start\",\"scheduler\":\"Always\",\"horizon\":0,\
+                    \"data_centers\":1,\"job_classes\":1}\n\
+                    {\"event\":\"run.end\",\"slots\":0,\"completed\":0,\"dropped\":0,\"wall_us\":1}\n";
+        let stream = TelemetryStream::parse(text).unwrap();
+        assert_eq!(stream.runs.len(), 1);
+        assert_eq!(stream.runs[0].scheduler, "Always");
+    }
+
+    #[test]
+    fn samples_outside_a_run_are_an_error() {
+        let err = TelemetryStream::parse("{\"event\":\"slot\",\"t\":0}\n").unwrap_err();
+        assert!(err.contains("outside any run"), "{err}");
+    }
+}

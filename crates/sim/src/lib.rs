@@ -44,6 +44,7 @@ mod scenario;
 mod simulation;
 pub mod stats;
 pub mod sweep;
+pub mod theory_obs;
 mod tracker;
 
 pub use inputs::SimulationInputs;

@@ -99,6 +99,16 @@ impl Simulation {
         self
     }
 
+    /// The scheduler's self-reported name (what `run.start` will carry).
+    pub fn scheduler_name(&self) -> String {
+        self.scheduler.name()
+    }
+
+    /// The frozen inputs this run will execute against.
+    pub fn inputs(&self) -> &SimulationInputs {
+        &self.inputs
+    }
+
     /// Runs the whole horizon and returns the report.
     pub fn run(mut self) -> SimulationReport {
         self.run_with_observer(&mut NullObserver)

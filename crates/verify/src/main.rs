@@ -3,12 +3,12 @@
 //!
 //! Scopes (kept in sync with DESIGN.md §"Correctness tooling"):
 //!
-//! | rule          | scope                                             |
-//! |---------------|---------------------------------------------------|
-//! | `determinism` | `crates/{core,convex,lp,sim}/src`                 |
-//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster}/src`   |
-//! | `no-panic`    | `crates/lp/src`, `crates/core/src/solver`         |
-//! | `errors-doc`  | `crates/{core,lp}/src`                            |
+//! | rule          | scope                                                  |
+//! |---------------|--------------------------------------------------------|
+//! | `determinism` | `crates/{core,convex,lp,sim,report}/src`               |
+//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster,report}/src` |
+//! | `no-panic`    | `crates/lp/src`, `crates/core/src/solver`              |
+//! | `errors-doc`  | `crates/{core,lp}/src`                                 |
 //!
 //! Test files (`tests/`, `benches/`, `examples/`, `src/bin`) and
 //! `#[cfg(test)]` modules are exempt everywhere.
@@ -32,6 +32,7 @@ const SCOPES: &[Scope] = &[
             "crates/convex/src",
             "crates/lp/src",
             "crates/sim/src",
+            "crates/report/src",
         ],
     },
     Scope {
@@ -43,6 +44,7 @@ const SCOPES: &[Scope] = &[
             "crates/sim/src",
             "crates/types/src",
             "crates/cluster/src",
+            "crates/report/src",
         ],
     },
     Scope {

@@ -12,6 +12,23 @@ cargo run -q -p grefar-verify --offline
 cargo test -q -p grefar-verify --offline
 # The whole suite again with the runtime paper-invariant checks compiled in.
 cargo test -q --offline --features strict-invariants
+
+# Telemetry tooling end to end (see EXPERIMENTS.md, "Reading telemetry"):
+# a real fig2 V-sweep must analyze clean against the Theorem 1(a) queue
+# bound, and an identical-seed replay must diff as semantically identical.
+report_tmp="$(mktemp -d)"
+trap 'rm -rf "$report_tmp"' EXIT
+./target/release/fig2 --hours 48 --telemetry "$report_tmp/run_a.jsonl" > /dev/null
+./target/release/grefar-report analyze "$report_tmp/run_a.jsonl" --assert-bound > /dev/null
+./target/release/fig2 --hours 48 --telemetry "$report_tmp/run_b.jsonl" > /dev/null
+./target/release/grefar-report diff "$report_tmp/run_a.jsonl" "$report_tmp/run_b.jsonl" > /dev/null
+# Perf trajectory: benches emit machine-readable BENCH_<target>.json; a
+# self-comparison through the gate must pass.
+cargo bench -q -p grefar-bench --bench trace --offline -- --json "$report_tmp" > /dev/null
+./target/release/grefar-report bench-gate \
+    "$report_tmp/BENCH_trace.json" "$report_tmp/BENCH_trace.json" --threshold 10% > /dev/null
+echo "report tooling ok"
+
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
 echo "all checks passed"

@@ -1,11 +1,10 @@
 //! Reproducibility: every layer of the stack is a pure function of its
 //! seed, and parallel sweeps return bit-identical results to serial runs.
 
-use grefar::obs::json::{self, JsonValue};
 use grefar::obs::JsonlSink;
 use grefar::prelude::*;
 use grefar::sim::sweep;
-use std::collections::BTreeMap;
+use grefar_report::{diff_streams, DiffOptions};
 
 fn run_once(seed: u64, v: f64, beta: f64) -> SimulationReport {
     let scenario = PaperScenario::default().with_seed(seed);
@@ -71,9 +70,11 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 
 #[test]
 fn telemetry_event_stream_is_deterministic() {
-    // Two identical seeded runs must emit identical event streams; only the
-    // `_us` wall-clock fields may differ between runs.
-    fn events_without_timings(seed: u64) -> Vec<BTreeMap<String, JsonValue>> {
+    // Two identical seeded runs must emit semantically identical event
+    // streams; only the `_us` wall-clock fields may differ between runs.
+    // The comparison is `grefar-report diff`'s — the same tool CI runs
+    // against real telemetry files.
+    fn stream(seed: u64) -> String {
         let scenario = PaperScenario::default().with_seed(seed);
         let config = scenario.config().clone();
         let inputs = scenario.into_inputs(24 * 3);
@@ -81,20 +82,19 @@ fn telemetry_event_stream_is_deterministic() {
         let mut sim = Simulation::new(config, inputs, Box::new(g));
         let mut sink = JsonlSink::new(Vec::new());
         sim.run_with_observer(&mut sink);
-        let text = String::from_utf8(sink.into_inner()).expect("utf8");
-        let mut events = json::parse_lines(&text).expect("valid JSONL");
-        for event in &mut events {
-            event.retain(|key, _| !key.ends_with("_us"));
-        }
-        events
+        String::from_utf8(sink.into_inner()).expect("utf8")
     }
-    let a = events_without_timings(42);
-    let b = events_without_timings(42);
-    assert_eq!(a.len(), b.len(), "event counts differ");
-    assert_eq!(a, b, "event streams differ beyond wall-clock fields");
+    let a = stream(42);
+    let b = stream(42);
+    let same = diff_streams(&a, &b, &DiffOptions::default()).expect("parsable streams");
+    assert!(same.is_match(), "replay diverged:\n{}", same.render());
 
-    let c = events_without_timings(43);
-    assert_ne!(a, c, "different seeds must yield different event streams");
+    let c = stream(43);
+    let different = diff_streams(&a, &c, &DiffOptions::default()).expect("parsable streams");
+    assert!(
+        !different.is_match(),
+        "different seeds must yield different event streams"
+    );
 }
 
 #[test]

@@ -5,8 +5,20 @@
 //! declared). There is no statistical regression analysis, HTML report or
 //! baseline store — the output is intended for relative before/after
 //! comparisons on the same machine.
+//!
+//! # Machine-readable output
+//!
+//! `cargo bench -- --json [DIR]` additionally writes `BENCH_<target>.json`
+//! (to `DIR`, default the current directory): a flat JSONL document with a
+//! `bench.meta` header line carrying an environment fingerprint and one
+//! `bench.case` line per benchmark with min/mean/median nanoseconds and
+//! the sample count. Every line carries the telemetry wire-format version
+//! (`"schema":1`, see `grefar-obs`), so `grefar_obs::json::parse_lines`
+//! and `grefar-report bench-gate` consume the files directly. Without
+//! `--json` the printed output is unchanged, byte for byte.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -235,6 +247,96 @@ impl Bencher {
     }
 }
 
+// Completed-case results, collected for the optional `--json` report.
+struct CaseResult {
+    label: String,
+    min_ns: u128,
+    mean_ns: u128,
+    median_ns: u128,
+    samples: usize,
+}
+
+static RESULTS: Mutex<Vec<CaseResult>> = Mutex::new(Vec::new());
+
+// The telemetry wire-format version (grefar_obs::SCHEMA_VERSION); the shim
+// stays dependency-free, so the constant is mirrored here.
+const SCHEMA_VERSION: u32 = 1;
+
+/// The `--json [DIR]` directory from the process arguments, if present.
+/// `cargo bench -p CRATE -- --json target` forwards everything after `--`
+/// to each (harness = false) bench binary.
+fn json_output_dir() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return Some(match args.next() {
+                Some(dir) if !dir.starts_with("--") => dir,
+                _ => String::from("."),
+            });
+        }
+        if let Some(dir) = arg.strip_prefix("--json=") {
+            return Some(dir.to_string());
+        }
+    }
+    None
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `BENCH_<target>.json` when the process ran with `--json [DIR]`.
+///
+/// Called by [`criterion_main!`] after every group has run; `target` is the
+/// bench target's crate name. A no-op without the flag.
+pub fn write_json_report(target: &str) {
+    let Some(dir) = json_output_dir() else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut out = format!(
+        "{{\"schema\":{SCHEMA_VERSION},\"event\":\"bench.meta\",\"crate\":\"{}\",\
+         \"arch\":\"{}\",\"os\":\"{}\",\"family\":\"{}\",\"cpus\":{cpus},\
+         \"profile\":\"{profile}\",\"harness\":\"{}\"}}\n",
+        escape_json(target),
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        std::env::consts::FAMILY,
+        env!("CARGO_PKG_VERSION"),
+    );
+    for case in results.iter() {
+        out.push_str(&format!(
+            "{{\"schema\":{SCHEMA_VERSION},\"event\":\"bench.case\",\"name\":\"{}\",\
+             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"samples\":{}}}\n",
+            escape_json(&case.label),
+            case.min_ns,
+            case.mean_ns,
+            case.median_ns,
+            case.samples,
+        ));
+    }
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("criterion shim: cannot write {}: {e}", path.display()),
+    }
+}
+
 fn run_one(
     label: &str,
     sample_size: usize,
@@ -258,6 +360,16 @@ fn run_one(
     let mean = total / sorted.len() as u32;
     let median = sorted[sorted.len() / 2];
     let min = sorted[0];
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(CaseResult {
+            label: label.to_string(),
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            median_ns: median.as_nanos(),
+            samples: sorted.len(),
+        });
     let rate = throughput.map(|tp| {
         let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
         match tp {
@@ -299,12 +411,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the given groups.
+/// Declares `main` running the given groups, then writing the optional
+/// `BENCH_<target>.json` report (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report(env!("CARGO_CRATE_NAME"));
         }
     };
 }
