@@ -6,6 +6,8 @@
 //!   grefar_cli [--scheduler NAME] [--v V] [--beta B] [--hours N] [--seed S]
 //!              [--load-scale X] [--prices FILE] [--workload FILE]
 //!              [--admission-cap C] [--csv DIR] [--telemetry FILE.jsonl]
+//!              [--faults PLAN] [--checkpoint FILE] [--checkpoint-every N]
+//!              [--kill-at SLOT] [--resume]
 //!
 //! SCHEDULERS:
 //!   grefar (default) | always | local-only | price-greedy | mpc
@@ -14,14 +16,33 @@
 //! With `--prices`/`--workload`, the CSV traces (see
 //! `grefar_trace::import`) replace the synthetic processes; both files must
 //! cover the requested horizon or they are cycled.
+//!
+//! `--faults` overlays a fault plan (inline DSL spec or a path to a spec
+//! file) on the run: data faults transform the frozen inputs, solver
+//! squeezes throttle the scheduler at run time, and `fault.inject` /
+//! `degraded.mode` events appear in the telemetry.
+//!
+//! `--checkpoint FILE` snapshots the full simulation state to `FILE` every
+//! `--checkpoint-every N` slots (default 100). `--kill-at SLOT` injects a
+//! crash just before `SLOT` (checkpoint written first; exit status 3), and
+//! `--resume` continues bit-identically from the checkpoint — rebuild the
+//! run with the *same* seed/scheduler/fault flags, and pass the same
+//! `--telemetry FILE` to extend the original stream in place.
 
-use grefar_bench::{maybe_write_csv, print_table, usage_error, Telemetry};
+use grefar_bench::{load_fault_plan, maybe_write_csv, print_table, usage_error, Telemetry};
 use grefar_cluster::AvailabilityProcess;
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
-use grefar_sim::{MpcScheduler, PaperScenario, Simulation, SimulationInputs};
+use grefar_obs::{NullObserver, Observer};
+use grefar_sim::{
+    Checkpoint, MpcScheduler, PaperScenario, RunPolicy, SimError, Simulation, SimulationInputs,
+};
 use grefar_trace::import::{load_price_trace, load_workload_trace};
 use grefar_trace::{PriceProcess, ReplayPrice, ReplayWorkload};
 use std::path::PathBuf;
+
+/// Exit status when `--kill-at` fired: the run was deliberately cut short
+/// after writing its checkpoint (distinct from usage errors, status 2).
+const EXIT_KILLED: i32 = 3;
 
 #[derive(Debug)]
 struct CliOptions {
@@ -36,7 +57,18 @@ struct CliOptions {
     admission_cap: Option<f64>,
     csv_dir: Option<PathBuf>,
     telemetry: Option<PathBuf>,
+    faults: Option<String>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    kill_at: Option<u64>,
+    resume: bool,
 }
+
+const USAGE: &str = "grefar_cli [--scheduler grefar|always|local-only|price-greedy|mpc] \
+                     [--v V] [--beta B] [--hours N] [--seed S] [--load-scale X] \
+                     [--prices FILE] [--workload FILE] [--admission-cap C] \
+                     [--csv DIR] [--telemetry FILE.jsonl] [--faults PLAN] \
+                     [--checkpoint FILE] [--checkpoint-every N] [--kill-at SLOT] [--resume]";
 
 fn parse_args() -> CliOptions {
     let mut opts = CliOptions {
@@ -51,11 +83,12 @@ fn parse_args() -> CliOptions {
         admission_cap: None,
         csv_dir: None,
         telemetry: None,
+        faults: None,
+        checkpoint: None,
+        checkpoint_every: 100,
+        kill_at: None,
+        resume: false,
     };
-    const USAGE: &str = "grefar_cli [--scheduler grefar|always|local-only|price-greedy|mpc] \
-                         [--v V] [--beta B] [--hours N] [--seed S] [--load-scale X] \
-                         [--prices FILE] [--workload FILE] [--admission-cap C] \
-                         [--csv DIR] [--telemetry FILE.jsonl]";
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -93,6 +126,24 @@ fn parse_args() -> CliOptions {
             "--admission-cap" => opts.admission_cap = Some(number(i, "--admission-cap")),
             "--csv" => opts.csv_dir = Some(PathBuf::from(value(i))),
             "--telemetry" => opts.telemetry = Some(PathBuf::from(value(i))),
+            "--faults" => opts.faults = Some(value(i).to_string()),
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value(i))),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = match value(i).parse() {
+                    Ok(v) => v,
+                    Err(_) => usage_error("--checkpoint-every expects an integer", USAGE),
+                }
+            }
+            "--kill-at" => {
+                opts.kill_at = match value(i).parse() {
+                    Ok(v) => Some(v),
+                    Err(_) => usage_error("--kill-at expects a slot number", USAGE),
+                }
+            }
+            "--resume" => {
+                opts.resume = true;
+                i -= 1; // flag without a value
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -103,6 +154,12 @@ fn parse_args() -> CliOptions {
     }
     if opts.hours == 0 {
         usage_error("--hours must be positive", USAGE);
+    }
+    if opts.checkpoint_every == 0 {
+        usage_error("--checkpoint-every must be positive", USAGE);
+    }
+    if opts.checkpoint.is_none() && (opts.kill_at.is_some() || opts.resume) {
+        usage_error("--kill-at/--resume require --checkpoint FILE", USAGE);
     }
     opts
 }
@@ -186,18 +243,76 @@ fn main() {
     if let Some(cap) = opts.admission_cap {
         sim = sim.with_admission_cap(cap);
     }
-    let mut telemetry = opts.telemetry.as_deref().map(Telemetry::with_jsonl);
-    let report = match telemetry.as_mut() {
-        Some(tel) => {
-            if opts.scheduler == "grefar" {
-                // Theorem 1 only speaks about GreFar runs; the label must
-                // match run.start's scheduler name for grefar-report.
-                let bounded = vec![(sim.scheduler_name(), opts.v, opts.beta)];
-                grefar_sim::theory_obs::emit_theory_bounds(&config, sim.inputs(), &bounded, tel);
-            }
-            sim.run_with_observer(tel)
+    if let Some(spec) = &opts.faults {
+        let plan = load_fault_plan(spec, USAGE);
+        sim = match sim.with_fault_plan(plan) {
+            Ok(sim) => sim,
+            Err(e) => usage_error(&format!("--faults: {e}"), USAGE),
+        };
+    }
+
+    let mut telemetry = match (&opts.telemetry, opts.resume) {
+        (Some(path), false) => Some(Telemetry::with_jsonl(path)),
+        // A resumed run extends the original stream in place.
+        (Some(path), true) => Some(Telemetry::append_jsonl(path)),
+        (None, _) => None,
+    };
+    if let Some(tel) = telemetry.as_mut() {
+        // Theorem 1 only speaks about GreFar runs; the label must match
+        // run.start's scheduler name for grefar-report. A resumed run's
+        // stream already carries its bounds.
+        if opts.scheduler == "grefar" && !opts.resume {
+            let bounded = vec![(sim.scheduler_name(), opts.v, opts.beta)];
+            grefar_sim::theory_obs::emit_theory_bounds(&config, sim.inputs(), &bounded, tel);
         }
-        None => sim.run(),
+    }
+
+    let report = match &opts.checkpoint {
+        None => match telemetry.as_mut() {
+            Some(tel) => sim.run_with_observer(tel),
+            None => sim.run(),
+        },
+        Some(ck_path) => {
+            let mut policy = RunPolicy::new(ck_path.clone(), opts.checkpoint_every);
+            if let Some(slot) = opts.kill_at {
+                policy = policy.with_kill_at(slot);
+            }
+            let mut null = NullObserver;
+            let obs: &mut dyn Observer = match telemetry.as_mut() {
+                Some(tel) => tel,
+                None => &mut null,
+            };
+            let result = if opts.resume {
+                match Checkpoint::load(ck_path) {
+                    Ok(ck) => sim.resume(ck, obs, Some(&policy)),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                sim.run_resumable(obs, &policy)
+            };
+            match result {
+                Ok(report) => report,
+                Err(SimError::Killed { slot, checkpoint }) => {
+                    // Flush the (deliberately truncated) telemetry stream so
+                    // the resumed run can append to a well-formed prefix.
+                    if let Some(tel) = telemetry.take() {
+                        tel.finish();
+                    }
+                    eprintln!(
+                        "run killed before slot {slot}; checkpoint written to {}",
+                        checkpoint.display()
+                    );
+                    std::process::exit(EXIT_KILLED);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     };
 
     println!("scheduler        : {}", report.scheduler);

@@ -10,6 +10,9 @@
 //!   print an aggregate summary after the regular output (see
 //!   [`Telemetry`]). Without the flag the regular output is byte-identical
 //!   and the instrumentation is disabled.
+//! * `--faults PLAN` — overlay a `grefar_faults::FaultPlan` (inline DSL
+//!   spec or a path to a spec file) on the generated inputs before any
+//!   scheduler runs; without the flag the inputs are untouched.
 //!
 //! Output is plain aligned text: the same rows/series the paper reports.
 
@@ -49,6 +52,8 @@ pub struct ExperimentOpts {
     pub csv_dir: Option<PathBuf>,
     /// Optional JSONL file for structured telemetry events.
     pub telemetry: Option<PathBuf>,
+    /// Optional fault plan: an inline DSL spec or a path to a spec file.
+    pub faults: Option<String>,
 }
 
 /// Prints a usage error to stderr and exits with status 2, the
@@ -63,7 +68,25 @@ pub fn usage_error(message: &str, usage: &str) -> ! {
 }
 
 /// The flag set shared by every experiment binary (for [`usage_error`]).
-pub const COMMON_USAGE: &str = "[--hours N] [--seed S] [--csv DIR] [--telemetry FILE]";
+pub const COMMON_USAGE: &str =
+    "[--hours N] [--seed S] [--csv DIR] [--telemetry FILE] [--faults PLAN]";
+
+/// Resolves a `--faults` value into a [`grefar_faults::FaultPlan`]: if the
+/// value names a readable file its contents are the spec, otherwise the
+/// value itself is parsed as an inline DSL spec
+/// (e.g. `"outage:dc=0,start=30,end=40"`).
+///
+/// Exits with a usage error (status 2) when the spec does not parse.
+pub fn load_fault_plan(spec: &str, usage: &str) -> grefar_faults::FaultPlan {
+    let text = match std::fs::read_to_string(spec) {
+        Ok(contents) => contents.trim().to_string(),
+        Err(_) => spec.to_string(),
+    };
+    match grefar_faults::FaultPlan::parse(&text) {
+        Ok(plan) => plan,
+        Err(e) => usage_error(&format!("--faults: {e}"), usage),
+    }
+}
 
 impl ExperimentOpts {
     /// Parses `--hours`, `--seed`, `--csv` and `--telemetry` from the
@@ -77,6 +100,7 @@ impl ExperimentOpts {
             seed: 2012,
             csv_dir: None,
             telemetry: None,
+            faults: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -108,6 +132,10 @@ impl ExperimentOpts {
                     opts.telemetry = Some(PathBuf::from(value(i)));
                     i += 2;
                 }
+                "--faults" => {
+                    opts.faults = Some(value(i).to_string());
+                    i += 2;
+                }
                 other => usage_error(&format!("unknown argument {other}"), COMMON_USAGE),
             }
         }
@@ -125,6 +153,18 @@ impl ExperimentOpts {
     /// A [`Telemetry`] pipeline if `--telemetry` was given.
     pub fn telemetry(&self) -> Option<Telemetry> {
         self.telemetry.as_deref().map(Telemetry::with_jsonl)
+    }
+
+    /// The parsed `--faults` plan, if one was given. The experiment
+    /// binaries apply its *data* faults to the frozen inputs (see
+    /// `grefar_sim::SimulationInputs::with_faults`); solver squeezes act
+    /// through the full runtime path, which only `grefar_cli` drives.
+    ///
+    /// Exits with a usage error (status 2) when the spec does not parse.
+    pub fn fault_plan(&self) -> Option<grefar_faults::FaultPlan> {
+        self.faults
+            .as_deref()
+            .map(|spec| load_fault_plan(spec, COMMON_USAGE))
     }
 }
 
@@ -160,6 +200,27 @@ impl Telemetry {
     pub fn with_jsonl(path: &Path) -> Self {
         let sink = JsonlSink::create(path)
             .unwrap_or_else(|e| panic!("cannot create telemetry file {}: {e}", path.display()));
+        Self {
+            memory: MemoryObserver::new(),
+            sink: Some(sink),
+            path: Some(path.to_path_buf()),
+        }
+    }
+
+    /// Like [`with_jsonl`](Telemetry::with_jsonl), but *appends* to `path`
+    /// instead of truncating it — used when resuming a checkpointed run so
+    /// the continued events extend the original stream into one contiguous
+    /// JSONL document.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be opened for append.
+    pub fn append_jsonl(path: &Path) -> Self {
+        let sink = JsonlSink::append(path).unwrap_or_else(|e| {
+            panic!(
+                "cannot open telemetry file {} for append: {e}",
+                path.display()
+            )
+        });
         Self {
             memory: MemoryObserver::new(),
             sink: Some(sink),
@@ -321,6 +382,7 @@ mod tests {
             seed: 1,
             csv_dir: Some(PathBuf::from("/tmp/x")),
             telemetry: None,
+            faults: None,
         };
         assert_eq!(
             opts.csv_path("a.csv").unwrap(),

@@ -221,6 +221,18 @@ impl OutageSchedule {
     pub fn is_down(&self, slot: Slot) -> bool {
         self.windows.iter().any(|&(s, e)| (s..e).contains(&slot))
     }
+
+    /// The scheduled `[start, end)` outage windows, as given to
+    /// [`new`](OutageSchedule::new).
+    pub fn windows(&self) -> &[(Slot, Slot)] {
+        &self.windows
+    }
+
+    /// Number of down slots within `[0, horizon)` — windows may overlap, so
+    /// this counts slots, not window lengths.
+    pub fn down_slots(&self, horizon: Slot) -> u64 {
+        (0..horizon).filter(|&t| self.is_down(t)).count() as u64
+    }
 }
 
 impl AvailabilityProcess for OutageSchedule {
@@ -344,6 +356,16 @@ mod tests {
         assert_eq!(p.sample(20, &[5.0], &mut r), vec![5.0]);
         assert!(p.is_down(15));
         assert!(!p.is_down(25));
+    }
+
+    #[test]
+    fn outage_window_accounting() {
+        let p = OutageSchedule::new(Box::new(FullAvailability), vec![(10, 20), (15, 25)]);
+        assert_eq!(p.windows(), &[(10, 20), (15, 25)]);
+        // Overlapping windows cover slots 10..25 — 15 slots, not 20.
+        assert_eq!(p.down_slots(100), 15);
+        assert_eq!(p.down_slots(12), 2);
+        assert_eq!(p.down_slots(0), 0);
     }
 
     #[test]

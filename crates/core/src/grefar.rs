@@ -4,6 +4,7 @@ use crate::error::ParamError;
 use crate::fairness::{FairnessFunction, QuadraticDeviation};
 use crate::queue::QueueState;
 use crate::scheduler::Scheduler;
+use crate::solver::fallback::{self, Degradation, SolverBudget};
 use crate::solver::{SlotInstance, SlotSolution, SolverChoice};
 use grefar_convex::FwOptions;
 use grefar_obs::{Event, Observer, Timer};
@@ -71,6 +72,7 @@ pub struct GreFar {
     config: SystemConfig,
     params: GreFarParams,
     fairness: Box<dyn FairnessFunction>,
+    budget: Option<SolverBudget>,
 }
 
 impl core::fmt::Debug for GreFar {
@@ -112,6 +114,7 @@ impl GreFar {
             config: config.clone(),
             params,
             fairness,
+            budget: None,
         })
     }
 
@@ -125,18 +128,89 @@ impl GreFar {
         self.fairness.as_ref()
     }
 
-    /// Solves the slot problem (14), keeping the full [`SlotSolution`].
-    fn solve(&self, state: &SystemState, queues: &QueueState) -> SlotSolution {
+    /// Solves the slot problem (14) with the typed fallback chain
+    /// *Frank–Wolfe → greedy → capacity projection* wrapped around it.
+    /// Every downgrade taken is returned as a [`Degradation`] (rendered as
+    /// `degraded.mode` events by
+    /// [`decide_observed`](Scheduler::decide_observed)).
+    ///
+    /// With no [`SolverBudget`] imposed and a feasible solver output — the
+    /// healthy case — this is exactly `solve` and the degradation list is
+    /// empty, so default runs are unchanged.
+    fn solve_hardened(
+        &self,
+        state: &SystemState,
+        queues: &QueueState,
+    ) -> (SlotSolution, Vec<Degradation>) {
+        let mut degradations: Vec<Degradation> =
+            fallback::offline_dcs_with_backlog(&self.config, state, queues)
+                .into_iter()
+                .map(Degradation::dc_offline)
+                .collect();
+
         let inst = SlotInstance::new(&self.config, state, queues, self.params.v);
-        if grefar_types::approx_zero(self.params.beta, grefar_types::TOL_SENTINEL) {
+        let beta_zero = grefar_types::approx_zero(self.params.beta, grefar_types::TOL_SENTINEL);
+        #[allow(unused_mut)] // reassigned only by the non-strict repair path
+        let mut solution = if beta_zero {
             inst.solve_greedy()
         } else {
-            inst.solve_with_fairness(
+            match self.budget {
+                None => inst.solve_with_fairness(
+                    self.params.beta,
+                    self.fairness.as_ref(),
+                    self.params.fw_options,
+                ),
+                Some(budget) => {
+                    let squeezed = grefar_convex::FwOptions {
+                        max_iters: self.params.fw_options.max_iters.min(budget.max_fw_iters()),
+                        ..self.params.fw_options
+                    };
+                    let attempt = inst.solve_with_fairness(
+                        self.params.beta,
+                        self.fairness.as_ref(),
+                        squeezed,
+                    );
+                    match attempt.solver {
+                        SolverChoice::FrankWolfe { iterations, gap }
+                            if gap > squeezed.gap_tolerance =>
+                        {
+                            // Budget exhausted without convergence: fall
+                            // back to the exact (fairness-blind) greedy.
+                            degradations.push(Degradation::budget_exhausted(iterations, gap));
+                            inst.solve_greedy()
+                        }
+                        _ => attempt,
+                    }
+                }
+            }
+        };
+
+        // Outside `strict-invariants` an infeasible decision is quarantined
+        // and repaired by capacity projection rather than aborting the run;
+        // the strict build keeps the fatal check in `enforce`.
+        #[cfg(not(feature = "strict-invariants"))]
+        if let Err(kind) =
+            fallback::validate_decision(&self.config, state, queues, &solution.decision)
+        {
+            let repaired =
+                fallback::project_decision(&self.config, state, queues, &solution.decision);
+            degradations.push(Degradation::infeasible_repaired(kind));
+            let objective = crate::cost::drift_penalty_objective(
+                &self.config,
+                state,
+                queues,
+                &repaired,
+                self.params.v,
                 self.params.beta,
                 self.fairness.as_ref(),
-                self.params.fw_options,
-            )
+            );
+            solution = SlotSolution {
+                decision: repaired,
+                objective,
+                solver: solution.solver,
+            };
         }
+        (solution, degradations)
     }
 
     /// `strict-invariants` enforcement: every decision must satisfy
@@ -172,7 +246,7 @@ impl Scheduler for GreFar {
     }
 
     fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
-        let decision = self.solve(state, queues).decision;
+        let decision = self.solve_hardened(state, queues).0.decision;
         #[cfg(feature = "strict-invariants")]
         self.enforce(state, queues, &decision, None);
         decision
@@ -188,7 +262,7 @@ impl Scheduler for GreFar {
             return self.decide(state, queues);
         }
         let timer = Timer::start();
-        let solution = self.solve(state, queues);
+        let (solution, degradations) = self.solve_hardened(state, queues);
         let elapsed = timer.elapsed();
 
         // Decompose (14): penalty = V·g(t), drift = the queue terms.
@@ -229,9 +303,17 @@ impl Scheduler for GreFar {
         if let SolverChoice::FrankWolfe { iterations, .. } = solution.solver {
             obs.record_value("grefar.fw_iterations", iterations as f64);
         }
+        for degradation in &degradations {
+            obs.record_event(degradation.event(state.slot()));
+            obs.add_counter("degraded.events", 1);
+        }
         #[cfg(feature = "strict-invariants")]
         self.enforce(state, queues, &solution.decision, Some(obs));
         solution.decision
+    }
+
+    fn set_solver_budget(&mut self, budget: Option<SolverBudget>) {
+        self.budget = budget;
     }
 }
 
@@ -295,5 +377,80 @@ mod tests {
     fn debug_is_nonempty() {
         let g = GreFar::new(&config(), GreFarParams::new(1.0, 1.0)).unwrap();
         assert!(!format!("{g:?}").is_empty());
+    }
+
+    #[test]
+    fn squeezed_budget_falls_back_to_greedy_and_reports_it() {
+        use grefar_obs::MemoryObserver;
+        // Two accounts so the fairness quadratic actually couples the
+        // problem and Frank–Wolfe needs iterations to converge.
+        let cfg = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![30.0])
+            .account("x", 0.5)
+            .account("y", 0.5)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 1)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .build()
+            .unwrap();
+        let mut queues = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 8.0;
+        z.routed[(0, 1)] = 2.0;
+        queues.apply(&z, &[0.0, 0.0]);
+        let state = SystemState::new(0, vec![DataCenterState::new(vec![30.0], Tariff::flat(0.2))]);
+
+        let mut g = GreFar::new(&cfg, GreFarParams::new(1.0, 500.0)).unwrap();
+        let unbudgeted = g.decide(&state, &queues);
+
+        // A one-iteration budget cannot reach the 1e-6 gap tolerance here:
+        // the chain must fall back to greedy and say so.
+        g.set_solver_budget(Some(SolverBudget::fw_iters(1)));
+        let mut obs = MemoryObserver::new();
+        let degraded = g.decide_observed(&state, &queues, &mut obs);
+        assert_eq!(obs.event_count("degraded.mode"), 1);
+        assert!(degraded.is_finite() && degraded.is_nonnegative());
+        let greedy_only = {
+            let inst = SlotInstance::new(&cfg, &state, &queues, 1.0);
+            inst.solve_greedy().decision
+        };
+        assert_eq!(
+            degraded, greedy_only,
+            "fallback must be the greedy decision"
+        );
+
+        // Lifting the budget restores the original behavior.
+        g.set_solver_budget(None);
+        let mut obs = MemoryObserver::new();
+        let restored = g.decide_observed(&state, &queues, &mut obs);
+        assert_eq!(obs.event_count("degraded.mode"), 0);
+        assert_eq!(restored, unbudgeted);
+    }
+
+    #[test]
+    fn offline_dc_with_backlog_is_reported_not_fatal() {
+        use grefar_obs::MemoryObserver;
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 4.0;
+        queues.apply(&z, &[0.0]);
+        // Full outage: zero servers available.
+        let state = SystemState::new(5, vec![DataCenterState::new(vec![0.0], Tariff::flat(0.5))]);
+        let mut g = GreFar::new(&cfg, GreFarParams::new(1.0, 0.0)).unwrap();
+        let mut obs = MemoryObserver::new();
+        let decision = g.decide_observed(&state, &queues, &mut obs);
+        assert_eq!(obs.event_count("degraded.mode"), 1);
+        assert_eq!(decision.processed.sum(), 0.0);
     }
 }

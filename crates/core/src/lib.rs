@@ -76,4 +76,5 @@ pub use grefar::{GreFar, GreFarParams};
 pub use lookahead::{LookaheadPlan, TStepLookahead};
 pub use queue::QueueState;
 pub use scheduler::Scheduler;
+pub use solver::fallback::{Degradation, DegradedReason, SolverBudget};
 pub use solver::{SlotInstance, SlotSolution, SolverChoice};

@@ -54,6 +54,26 @@ impl QueueState {
         }
     }
 
+    /// Rebuilds a queue state from explicit values (checkpoint restore).
+    ///
+    /// # Errors
+    /// Returns a message if the shape is inconsistent or any entry is
+    /// negative or non-finite.
+    pub fn from_parts(central: Vec<f64>, local: Grid) -> Result<Self, String> {
+        if local.cols() != central.len() {
+            return Err(format!(
+                "local grid has {} columns but {} central queues",
+                local.cols(),
+                central.len()
+            ));
+        }
+        let bad = |v: &f64| !v.is_finite() || *v < 0.0;
+        if central.iter().any(bad) || local.as_slice().iter().any(bad) {
+            return Err("queue lengths must be finite and non-negative".to_string());
+        }
+        Ok(Self { central, local })
+    }
+
     /// The central queue length `Q_j(t)`.
     ///
     /// # Panics

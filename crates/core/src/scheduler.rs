@@ -1,6 +1,7 @@
 //! The online-scheduler interface.
 
 use crate::queue::QueueState;
+use crate::solver::fallback::SolverBudget;
 use grefar_obs::Observer;
 use grefar_types::{Decision, SystemState};
 
@@ -33,6 +34,17 @@ pub trait Scheduler: Send {
     ) -> Decision {
         let _ = obs;
         self.decide(state, queues)
+    }
+
+    /// Imposes (or with `None` lifts) a per-slot solver budget for all
+    /// subsequent decisions — how a harness models slot deadlines under
+    /// load (fault injection, load shedding). Schedulers without an
+    /// iterative solver have nothing to budget; the default ignores the
+    /// call. [`GreFar`](crate::GreFar) caps its Frank–Wolfe iterations and
+    /// falls back to the exact greedy solution when the budget is
+    /// exhausted (emitting a `degraded.mode` event).
+    fn set_solver_budget(&mut self, budget: Option<SolverBudget>) {
+        let _ = budget;
     }
 }
 

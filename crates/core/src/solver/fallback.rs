@@ -1,0 +1,381 @@
+//! Degraded-mode scheduling: per-slot solver budgets, the typed fallback
+//! chain and the capacity-projected safe decision.
+//!
+//! The decision path must never panic mid-run: when the Frank–Wolfe solver
+//! cannot converge inside an externally imposed iteration budget the
+//! scheduler falls back to the exact greedy solution, and when a produced
+//! decision fails the paper's feasibility invariants (outside
+//! `strict-invariants`, where violations abort) it is *quarantined* and
+//! replaced by its projection onto the feasible set. Every downgrade is
+//! reported as a [`Degradation`], which renders as a `degraded.mode`
+//! telemetry event:
+//!
+//! ```json
+//! {"event":"degraded.mode","t":141,"reason":"solver_budget_exhausted","fw_iterations":2,"fw_gap":0.4}
+//! ```
+//!
+//! Budgets are *iteration* budgets, never wall-clock deadlines: a
+//! wall-clock cutoff would make decisions depend on machine speed, which
+//! the determinism lint (`grefar-verify`) forbids in decision crates. A
+//! deployment's per-slot time limit maps to an iteration cap through the
+//! measured per-iteration cost (see `grefar-report` timing histograms).
+
+use crate::invariant;
+use crate::queue::QueueState;
+use grefar_cluster::PowerCurve;
+use grefar_obs::Event;
+use grefar_types::{Decision, SystemConfig, SystemState};
+
+/// A per-slot solver budget imposed from outside the scheduler (load
+/// shedding, fault injection). See
+/// [`Scheduler::set_solver_budget`](crate::Scheduler::set_solver_budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverBudget {
+    max_fw_iters: usize,
+}
+
+impl SolverBudget {
+    /// A budget of at most `max_fw_iters` Frank–Wolfe iterations per slot
+    /// (clamped to at least 1 — a zero budget would leave no solver at
+    /// all; the greedy fallback handles the rest).
+    pub fn fw_iters(max_fw_iters: usize) -> Self {
+        Self {
+            max_fw_iters: max_fw_iters.max(1),
+        }
+    }
+
+    /// The iteration cap.
+    pub fn max_fw_iters(&self) -> usize {
+        self.max_fw_iters
+    }
+}
+
+/// Why a slot's decision was produced in degraded mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// Frank–Wolfe hit an imposed [`SolverBudget`] before reaching its gap
+    /// tolerance; the exact greedy solution was used instead.
+    SolverBudgetExhausted,
+    /// The solver's decision violated a feasibility invariant and was
+    /// replaced by its capacity projection (only outside
+    /// `strict-invariants`, which aborts instead).
+    InfeasibleRepaired,
+    /// A data center holds backlog but has zero capacity this slot (full
+    /// outage) — its queues cannot drain until servers return.
+    DcOffline,
+}
+
+impl DegradedReason {
+    /// The `reason` field of `degraded.mode` events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradedReason::SolverBudgetExhausted => "solver_budget_exhausted",
+            DegradedReason::InfeasibleRepaired => "infeasible_repaired",
+            DegradedReason::DcOffline => "dc_offline",
+        }
+    }
+}
+
+/// One downgrade taken while producing a slot's decision, with the context
+/// that explains it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Why the decision degraded.
+    pub reason: DegradedReason,
+    /// The affected data center, when one is ([`DegradedReason::DcOffline`]).
+    pub dc: Option<usize>,
+    /// Iterations the abandoned Frank–Wolfe run performed.
+    pub fw_iterations: Option<usize>,
+    /// Its final duality gap (why it did not count as converged).
+    pub fw_gap: Option<f64>,
+    /// The violated invariant's kind ([`DegradedReason::InfeasibleRepaired`]).
+    pub violation: Option<&'static str>,
+}
+
+impl Degradation {
+    /// A budget-exhaustion record.
+    pub fn budget_exhausted(fw_iterations: usize, fw_gap: f64) -> Self {
+        Self {
+            reason: DegradedReason::SolverBudgetExhausted,
+            dc: None,
+            fw_iterations: Some(fw_iterations),
+            fw_gap: Some(fw_gap),
+            violation: None,
+        }
+    }
+
+    /// An infeasible-decision-repaired record.
+    pub fn infeasible_repaired(violation: &'static str) -> Self {
+        Self {
+            reason: DegradedReason::InfeasibleRepaired,
+            dc: None,
+            fw_iterations: None,
+            fw_gap: None,
+            violation: Some(violation),
+        }
+    }
+
+    /// An offline-data-center record.
+    pub fn dc_offline(dc: usize) -> Self {
+        Self {
+            reason: DegradedReason::DcOffline,
+            dc: Some(dc),
+            fw_iterations: None,
+            fw_gap: None,
+            violation: None,
+        }
+    }
+
+    /// Renders the record as a `degraded.mode` telemetry event for slot
+    /// `slot`.
+    pub fn event(&self, slot: u64) -> Event {
+        let mut event = Event::new("degraded.mode")
+            .field("t", slot)
+            .field("reason", self.reason.label());
+        if let Some(dc) = self.dc {
+            event = event.field("dc", dc as u64);
+        }
+        if let Some(iters) = self.fw_iterations {
+            event = event.field("fw_iterations", iters as u64);
+        }
+        if let Some(gap) = self.fw_gap {
+            event = event.field("fw_gap", gap);
+        }
+        if let Some(kind) = self.violation {
+            event = event.field("violation", kind);
+        }
+        event
+    }
+}
+
+/// Data centers that hold local backlog but have zero processing capacity
+/// this slot (a full outage): their queues cannot drain no matter what the
+/// solver does. Pure detection — the decision itself needs no adjustment,
+/// the solver already processes nothing there.
+pub fn offline_dcs_with_backlog(
+    config: &SystemConfig,
+    state: &SystemState,
+    queues: &QueueState,
+) -> Vec<usize> {
+    let classes = config.server_classes();
+    (0..config.num_data_centers())
+        .filter(|&i| {
+            state.data_center(i).capacity(classes) <= 0.0
+                && (0..config.num_job_classes()).any(|j| queues.local(i, j) > 0.0)
+        })
+        .collect()
+}
+
+/// Projects an arbitrary (possibly infeasible, possibly non-finite)
+/// decision onto the feasible set of (4), (5), (11) and the backlog
+/// discipline — the safe end of the fallback chain.
+///
+/// * non-finite or negative entries are zeroed;
+/// * routing is clamped to `r^max`, restricted to eligible data centers
+///   and capped by the integral central backlog;
+/// * processing is clamped to `min(h^max, q_{i,j})` and scaled down
+///   uniformly where it exceeds the data center's capacity;
+/// * busy servers are re-dispatched at minimum power for the projected
+///   work.
+///
+/// Projecting the zero decision yields the zero decision, which is always
+/// feasible: the chain therefore terminates with a valid action for any
+/// input.
+pub fn project_decision(
+    config: &SystemConfig,
+    state: &SystemState,
+    queues: &QueueState,
+    raw: &Decision,
+) -> Decision {
+    let n = config.num_data_centers();
+    let j_count = config.num_job_classes();
+    let work = config.work_vector();
+    let mut out = config.decision_zeros();
+
+    for (j, job) in config.job_classes().iter().enumerate() {
+        // Routing: eligible targets only, per-pair cap r^max, column total
+        // capped by the whole jobs actually queued centrally.
+        let mut remaining = queues.central(j).floor().max(0.0);
+        for &dc in job.eligible() {
+            let i = dc.index();
+            let want = sanitize(raw.routed[(i, j)]).min(job.max_route()).floor();
+            let give = want.min(remaining);
+            if give > 0.0 {
+                out.routed[(i, j)] = give;
+                remaining -= give;
+            }
+        }
+        // Processing: never above h^max or the local backlog.
+        for &dc in job.eligible() {
+            let i = dc.index();
+            let cap = job.max_process().min(queues.local(i, j)).max(0.0);
+            out.processed[(i, j)] = sanitize(raw.processed[(i, j)]).min(cap);
+        }
+    }
+
+    // Capacity (11) and minimum-power dispatch of the busy servers.
+    for i in 0..n {
+        let dc_work: f64 = (0..j_count).map(|j| out.processed[(i, j)] * work[j]).sum();
+        let curve = PowerCurve::build(
+            state.data_center(i).available_slice(),
+            config.server_classes(),
+        );
+        let capacity = curve.total_capacity();
+        if dc_work > capacity && dc_work > 0.0 {
+            let scale = capacity / dc_work;
+            for j in 0..j_count {
+                out.processed[(i, j)] *= scale;
+            }
+        }
+        let dispatched: f64 = (0..j_count).map(|j| out.processed[(i, j)] * work[j]).sum();
+        let busy = curve.dispatch(dispatched.min(capacity), config.server_classes());
+        out.busy.row_mut(i).copy_from_slice(&busy);
+    }
+    out
+}
+
+/// Validates a decision against the paper invariants, returning the first
+/// violation's kind if any. A thin wrapper over [`crate::invariant`] used
+/// by the quarantine path.
+///
+/// # Errors
+/// The first violated invariant's machine-readable kind (see
+/// `InvariantViolation::kind`).
+pub fn validate_decision(
+    config: &SystemConfig,
+    state: &SystemState,
+    queues: &QueueState,
+    decision: &Decision,
+) -> Result<(), &'static str> {
+    invariant::check_decision(config, state, decision)
+        .and_then(|()| invariant::check_backlog_discipline(config, queues, decision))
+        .map_err(|violation| violation.kind())
+}
+
+fn sanitize(v: f64) -> f64 {
+    if v.is_finite() && v > 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{DataCenterId, DataCenterState, JobClass, ServerClass, Tariff};
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![10.0])
+            .data_center("b", vec![10.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(4.0)
+                    .with_max_process(10.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn state(avail0: f64, avail1: f64) -> SystemState {
+        SystemState::new(
+            0,
+            vec![
+                DataCenterState::new(vec![avail0], Tariff::flat(0.5)),
+                DataCenterState::new(vec![avail1], Tariff::flat(0.5)),
+            ],
+        )
+    }
+
+    #[test]
+    fn projection_of_garbage_is_feasible() {
+        let cfg = config();
+        let st = state(10.0, 10.0);
+        let mut queues = QueueState::new(&cfg);
+        let mut fill = cfg.decision_zeros();
+        fill.routed[(0, 0)] = 3.0;
+        queues.apply(&fill, &[6.0]); // Q = 6, q(0,0) = 3
+        let mut raw = cfg.decision_zeros();
+        raw.routed[(0, 0)] = f64::NAN;
+        raw.routed[(1, 0)] = 99.0; // ineligible
+        raw.processed[(0, 0)] = 99.0; // far above the local backlog
+        raw.processed[(1, 0)] = f64::INFINITY; // non-finite: zeroed
+        raw.busy[(0, 0)] = -5.0;
+        let projected = project_decision(&cfg, &st, &queues, &raw);
+        assert!(validate_decision(&cfg, &st, &queues, &projected).is_ok());
+        assert_eq!(projected.routed[(0, 0)], 0.0); // NaN: zeroed
+        assert_eq!(projected.routed[(1, 0)], 0.0);
+        assert_eq!(projected.processed[(0, 0)], 3.0); // clamped to backlog
+        assert_eq!(projected.processed[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn projection_respects_capacity() {
+        let cfg = config();
+        let st = state(2.0, 10.0); // DC 0 capacity 2
+        let mut queues = QueueState::new(&cfg);
+        let mut fill = cfg.decision_zeros();
+        fill.routed[(0, 0)] = 8.0;
+        queues.apply(&fill, &[0.0]); // q(0,0) = 8
+        let mut raw = cfg.decision_zeros();
+        raw.processed[(0, 0)] = 8.0; // backlog allows it; capacity does not
+        let projected = project_decision(&cfg, &st, &queues, &raw);
+        assert!(validate_decision(&cfg, &st, &queues, &projected).is_ok());
+        assert!((projected.processed[(0, 0)] - 2.0).abs() < 1e-9);
+        assert!((projected.busy[(0, 0)] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_of_zero_is_zero_and_feasible() {
+        let cfg = config();
+        let st = state(0.0, 0.0); // total outage
+        let queues = QueueState::new(&cfg);
+        let zero = cfg.decision_zeros();
+        let projected = project_decision(&cfg, &st, &queues, &zero);
+        assert!(validate_decision(&cfg, &st, &queues, &projected).is_ok());
+        assert_eq!(projected.routed.sum(), 0.0);
+        assert_eq!(projected.processed.sum(), 0.0);
+        assert_eq!(projected.busy.sum(), 0.0);
+    }
+
+    #[test]
+    fn offline_detection_requires_backlog() {
+        let cfg = config();
+        let st = state(0.0, 10.0);
+        let mut queues = QueueState::new(&cfg);
+        assert!(offline_dcs_with_backlog(&cfg, &st, &queues).is_empty());
+        let mut fill = cfg.decision_zeros();
+        fill.routed[(0, 0)] = 2.0;
+        queues.apply(&fill, &[2.0]);
+        assert_eq!(offline_dcs_with_backlog(&cfg, &st, &queues), vec![0]);
+    }
+
+    #[test]
+    fn degradation_events_carry_context() {
+        let e = Degradation::budget_exhausted(2, 0.5).event(7);
+        let json = e.to_json();
+        assert!(
+            json.contains("\"reason\":\"solver_budget_exhausted\""),
+            "{json}"
+        );
+        assert!(json.contains("\"fw_iterations\":2"), "{json}");
+        let e = Degradation::dc_offline(1).event(3);
+        assert!(e.to_json().contains("\"dc\":1"));
+        let e = Degradation::infeasible_repaired("route_bound").event(0);
+        assert!(e.to_json().contains("\"violation\":\"route_bound\""));
+        assert_eq!(
+            DegradedReason::InfeasibleRepaired.label(),
+            "infeasible_repaired"
+        );
+    }
+
+    #[test]
+    fn budget_clamps_to_one() {
+        assert_eq!(SolverBudget::fw_iters(0).max_fw_iters(), 1);
+        assert_eq!(SolverBudget::fw_iters(9).max_fw_iters(), 9);
+    }
+}

@@ -21,6 +21,7 @@
 //! * **Processing, `β > 0`** — the fairness quadratic couples data centers;
 //!   [`fw`] runs Frank–Wolfe with the greedy as linear-minimization oracle.
 
+pub mod fallback;
 mod fw;
 mod greedy;
 

@@ -6,7 +6,9 @@
 //! so this test also pins down that the deployed checkers accept real
 //! scheduler output (no false alarms).
 
-use grefar_core::{invariant, GreFar, GreFarParams, QueueState, Scheduler};
+use grefar_core::theory::{slackness_delta_trace, TheoryBounds};
+use grefar_core::{invariant, GreFar, GreFarParams, QueueState, Scheduler, SolverBudget};
+use grefar_faults::FaultPlan;
 use grefar_types::{
     DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, SystemState, Tariff,
 };
@@ -58,6 +60,88 @@ fn random_system(rng: &mut StdRng) -> SystemConfig {
         );
     }
     builder.build().expect("randomized config is valid")
+}
+
+/// A nominal horizon for the fault-plan property test: full availability,
+/// flat random prices, admissible whole-number arrivals. Returns the state
+/// trace, the arrival trace and the largest flat price used.
+fn nominal_horizon(
+    config: &SystemConfig,
+    rng: &mut StdRng,
+    horizon: u64,
+) -> (Vec<SystemState>, Vec<Vec<f64>>, f64) {
+    let j = config.num_job_classes();
+    let mut price_max: f64 = 0.0;
+    let mut states = Vec::with_capacity(horizon as usize);
+    let mut arrivals = Vec::with_capacity(horizon as usize);
+    for t in 0..horizon {
+        let dcs = config
+            .data_centers()
+            .iter()
+            .map(|dc| {
+                let price = rng.gen_range(0.01f64..1.0);
+                price_max = price_max.max(price);
+                DataCenterState::new(dc.fleet().to_vec(), Tariff::flat(price))
+            })
+            .collect();
+        states.push(SystemState::new(t, dcs));
+        arrivals.push(
+            (0..j)
+                .map(|jj| {
+                    let a_max = config.job_classes()[jj].max_arrivals();
+                    rng.gen_range(0.0f64..=a_max).floor()
+                })
+                .collect(),
+        );
+    }
+    (states, arrivals, price_max)
+}
+
+/// A random fault plan whose targets are in range for `config` and whose
+/// windows fall inside `[0, horizon)`. Magnitudes are biased mild (partial
+/// collapses, small bursts) so a useful share of sampled traces stays
+/// admissible. Returns the plan plus the largest price-spike factor, which
+/// the caller needs to keep `price_max` an upper bound after faulting.
+fn random_fault_plan(config: &SystemConfig, rng: &mut StdRng, horizon: u64) -> (FaultPlan, f64) {
+    let n = config.num_data_centers();
+    let j = config.num_job_classes();
+    let mut spike_max: f64 = 1.0;
+    let clauses: Vec<String> = (0..rng.gen_range(1usize..=3))
+        .map(|_| {
+            let start = rng.gen_range(0..horizon - 1);
+            let end = rng.gen_range(start + 1..=(start + horizon / 2).min(horizon));
+            let window = format!("start={start},end={end}");
+            let dc = rng.gen_range(0..n);
+            match rng.gen_range(0..6) {
+                0 => format!("outage:dc={dc},{window}"),
+                1 => {
+                    let fraction = rng.gen_range(0.5f64..1.0);
+                    format!("collapse:dc={dc},fraction={fraction:.3},{window}")
+                }
+                2 => {
+                    let factor = rng.gen_range(1.0f64..4.0);
+                    spike_max = spike_max.max(factor);
+                    format!("spike:dc={dc},factor={factor:.3},{window}")
+                }
+                3 => format!("gap:dc={dc},{window}"),
+                4 => {
+                    let factor = rng.gen_range(1.0f64..2.0);
+                    if rng.gen_bool(0.5) {
+                        let job = rng.gen_range(0..j);
+                        format!("burst:factor={factor:.3},job={job},{window}")
+                    } else {
+                        format!("burst:factor={factor:.3},{window}")
+                    }
+                }
+                _ => {
+                    let iters = rng.gen_range(1usize..=3);
+                    format!("squeeze:iters={iters},{window}")
+                }
+            }
+        })
+        .collect();
+    let plan = FaultPlan::parse(&clauses.join(";")).expect("generated clauses are well-formed");
+    (plan, spike_max)
 }
 
 /// A random state: partial availability (including fully-failed data
@@ -122,6 +206,70 @@ proptest! {
             {
                 prop_assert!(false, "slot {t}: queue dynamics drifted: {violation}");
             }
+        }
+    }
+}
+
+proptest! {
+    // Each case simulates a full horizon and a large share of sampled
+    // traces is rejected as inadmissible, so fewer (but heavier) cases.
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Theorem 1(a) under faults: for any randomly generated fault plan
+    /// that leaves the realized trace *admissible* (certified slack
+    /// δ > 0), every queue stays below the `queue_bound(V)` envelope —
+    /// outages, collapses, price spikes/gaps, bursts and solver squeezes
+    /// included. Squeezes exercise the degraded-mode fallback chain, so
+    /// this also pins down that fallback decisions preserve the bound.
+    #[test]
+    fn queue_bound_holds_under_admissible_fault_plans(seed in any::<u64>(), fair in any::<bool>()) {
+        let horizon = 36u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = random_system(&mut rng);
+        let (mut states, mut arrivals, mut price_max) =
+            nominal_horizon(&config, &mut rng, horizon);
+        let (plan, spike_max) = random_fault_plan(&config, &mut rng, horizon);
+        plan.apply(&mut states, &mut arrivals)
+            .expect("generated plan targets are in range");
+        price_max *= spike_max;
+
+        // Admissibility after faulting: the trace must still certify a
+        // positive slackness δ, with a small margin so the bound is not
+        // vacuously astronomical near δ = 0.
+        let capacities: Vec<Vec<f64>> = states
+            .iter()
+            .map(|state| {
+                (0..config.num_data_centers())
+                    .map(|i| state.data_center(i).capacity(config.server_classes()))
+                    .collect()
+            })
+            .collect();
+        let delta = slackness_delta_trace(&config, &capacities, &arrivals);
+        prop_assume!(matches!(delta, Some(d) if d > 0.05));
+        let delta = delta.expect("assumed Some above");
+
+        let v = rng.gen_range(1.0f64..30.0);
+        let beta = if fair { rng.gen_range(0.1f64..5.0) } else { 0.0 };
+        let bound = TheoryBounds::new(&config, delta, price_max, beta).queue_bound(v);
+
+        let mut grefar = GreFar::new(&config, GreFarParams::new(v, beta)).expect("valid params");
+        let mut queues = QueueState::new(&config);
+        for t in 0..horizon {
+            grefar.set_solver_budget(plan.fw_budget_at(t).map(SolverBudget::fw_iters));
+            let decision = grefar.decide(&states[t as usize], &queues);
+            if let Err(violation) =
+                invariant::check_decision(&config, &states[t as usize], &decision)
+            {
+                prop_assert!(false, "slot {t}: infeasible decision under faults: {violation}");
+            }
+            queues.apply(&decision, &arrivals[t as usize]);
+            prop_assert!(
+                queues.max_len() <= bound + 1e-6,
+                "slot {t}: queue {} exceeded Theorem 1(a) bound {bound} \
+                 (delta {delta}, V {v}, plan `{}`)",
+                queues.max_len(),
+                plan.spec(),
+            );
         }
     }
 }

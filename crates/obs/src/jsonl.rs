@@ -31,6 +31,14 @@ impl JsonlSink<BufWriter<File>> {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
     }
+
+    /// Opens a JSONL file at `path` for appending (creating it when
+    /// absent), buffered. Used by checkpoint/resume to continue a partial
+    /// telemetry stream rather than truncate it.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::options().create(true).append(true).open(path)?;
+        Ok(JsonlSink::new(BufWriter::new(file)))
+    }
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -88,6 +96,25 @@ mod tests {
             ]
         );
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn append_continues_an_existing_stream() {
+        let dir = std::env::temp_dir().join(format!("grefar-jsonl-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let mut first = JsonlSink::create(&path).unwrap();
+        first.record_event(Event::new("slot").field("t", 0_u64));
+        first.flush().unwrap();
+        drop(first);
+        let mut second = JsonlSink::append(&path).unwrap();
+        second.record_event(Event::new("slot").field("t", 1_u64));
+        second.flush().unwrap();
+        drop(second);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().nth(1).unwrap().contains("\"t\":1"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::stream::{BoundsEvent, Run, TelemetryStream};
 use grefar_obs::{Histogram, Quantiles};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// The queue/bound verdict for one run (requires a matched `theory.bounds`
@@ -21,6 +22,48 @@ pub struct BoundCheck {
     pub delta: f64,
     /// The frame `T` of the gap bound.
     pub frame: u64,
+}
+
+/// Queue impact of one injected fault window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultImpact {
+    /// Fault kind label (`outage`, `collapse`, `spike`, `gap`, `burst`,
+    /// `squeeze`).
+    pub kind: String,
+    /// First slot of the fault window.
+    pub start: u64,
+    /// One past the window's last slot.
+    pub end: u64,
+    /// Targeted data center, for DC-scoped faults.
+    pub dc: Option<u64>,
+    /// `queue_max` in the last slot before the window opened — the level
+    /// the disturbance is measured against (0 when the fault opens at
+    /// slot 0).
+    pub baseline_queue: f64,
+    /// Largest `queue_max` over the disturbance: from the window's first
+    /// slot until the queue recovered (or the run ended).
+    pub peak_queue: f64,
+    /// `max(0, peak_queue − baseline_queue)` — backlog attributable to the
+    /// fault.
+    pub overshoot: f64,
+    /// Slots past the window's close until `queue_max` first returned to
+    /// the baseline (0 = recovered by the slot the window closed);
+    /// `None` when it never recovered within the run.
+    pub recovery_slots: Option<u64>,
+}
+
+/// Resilience summary of one run: how often the scheduler degraded and how
+/// the queues absorbed each injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resilience {
+    /// Distinct slots with at least one `degraded.mode` event.
+    pub degraded_slots: usize,
+    /// Total `degraded.mode` events.
+    pub degraded_events: usize,
+    /// Degradation counts per reason, sorted by reason label.
+    pub by_reason: Vec<(String, usize)>,
+    /// Per-fault queue impact, in injection order.
+    pub faults: Vec<FaultImpact>,
 }
 
 /// Everything the analyzer derives from one run.
@@ -64,6 +107,9 @@ pub struct RunAnalysis {
     pub dropped: f64,
     /// `invariant.violation` events seen.
     pub invariant_violations: usize,
+    /// Resilience summary, when the run carries `fault.inject` or
+    /// `degraded.mode` events.
+    pub resilience: Option<Resilience>,
     /// Wall-time quantiles per phase: `(phase, quantiles)`.
     pub wall: Vec<(&'static str, Quantiles)>,
     /// Sampled trajectory rows: `(t, avg_cost, avg_drift, avg_penalty,
@@ -99,6 +145,63 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
     } else {
         sum / n as f64
     }
+}
+
+/// Derives the resilience summary, or `None` for a fault-free, never-
+/// degraded run (the section is omitted entirely then).
+fn resilience_of(run: &Run) -> Option<Resilience> {
+    if run.faults.is_empty() && run.degraded.is_empty() {
+        return None;
+    }
+    let mut by_reason: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut degraded_slots: BTreeSet<u64> = BTreeSet::new();
+    for d in &run.degraded {
+        *by_reason.entry(d.reason.as_str()).or_insert(0) += 1;
+        degraded_slots.insert(d.t);
+    }
+    let faults = run
+        .faults
+        .iter()
+        .map(|f| {
+            let baseline_queue = run
+                .slots
+                .iter()
+                .rev()
+                .find(|s| s.t < f.start)
+                .map_or(0.0, |s| s.queue_max);
+            let recovered_at = run
+                .slots
+                .iter()
+                .find(|s| s.t >= f.end && s.queue_max <= baseline_queue + 1e-9)
+                .map(|s| s.t);
+            let peak_queue = run
+                .slots
+                .iter()
+                .filter(|s| s.t >= f.start && recovered_at.is_none_or(|r| s.t <= r))
+                .map(|s| s.queue_max)
+                .fold(baseline_queue, f64::max);
+            let recovery_slots = recovered_at.map(|t| t - f.end);
+            FaultImpact {
+                kind: f.kind.clone(),
+                start: f.start,
+                end: f.end,
+                dc: f.dc,
+                baseline_queue,
+                peak_queue,
+                overshoot: (peak_queue - baseline_queue).max(0.0),
+                recovery_slots,
+            }
+        })
+        .collect();
+    Some(Resilience {
+        degraded_slots: degraded_slots.len(),
+        degraded_events: run.degraded.len(),
+        by_reason: by_reason
+            .into_iter()
+            .map(|(reason, n)| (reason.to_string(), n))
+            .collect(),
+        faults,
+    })
 }
 
 fn analyze_run(run: &Run, bounds: Option<&BoundsEvent>) -> RunAnalysis {
@@ -200,6 +303,7 @@ fn analyze_run(run: &Run, bounds: Option<&BoundsEvent>) -> RunAnalysis {
         fw_gap_max,
         dropped: run.dropped.unwrap_or(0.0),
         invariant_violations: run.invariant_violations,
+        resilience: resilience_of(run),
         wall,
         trajectory,
     }
@@ -278,6 +382,38 @@ impl Analysis {
                         out,
                         "  queues          : peak {:.2}, final {:.2} (no theory.bounds in stream)",
                         r.peak_queue, r.final_queue
+                    );
+                }
+            }
+            if let Some(res) = &r.resilience {
+                let reasons = if res.by_reason.is_empty() {
+                    "no degradations".to_string()
+                } else {
+                    res.by_reason
+                        .iter()
+                        .map(|(reason, n)| format!("{reason} {n}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                let _ = writeln!(
+                    out,
+                    "  resilience      : {} degraded slot(s), {} event(s) ({reasons})",
+                    res.degraded_slots, res.degraded_events
+                );
+                for f in &res.faults {
+                    let target = match f.dc {
+                        Some(dc) => format!(" dc{dc}"),
+                        None => String::new(),
+                    };
+                    let recovery = match f.recovery_slots {
+                        Some(n) => format!("recovered {n} slot(s) after close"),
+                        None => "NOT RECOVERED within the run".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  fault {:<10}: slots [{}, {}){target} | baseline {:.2}, peak {:.2} \
+                         (overshoot +{:.2}), {recovery}",
+                        f.kind, f.start, f.end, f.baseline_queue, f.peak_queue, f.overshoot
                     );
                 }
             }
@@ -489,6 +625,92 @@ mod tests {
         assert!(rendered.contains("cost-gap table"), "{rendered}");
         // V=1 has gap 2.0 <= bound 50; V=10 is the best (gap 0 <= 5).
         assert!(!rendered.contains(" NO\n"), "{rendered}");
+    }
+
+    #[test]
+    fn resilience_section_reports_overshoot_and_recovery() {
+        use crate::stream::{DegradedSample, FaultSample};
+        let mut run = synthetic_run("V=1", 1.0, 8.0, 4.0, 0);
+        // Queue steady at 4 until an outage at t=10 drives it to 20; it
+        // drains back to the 4.0 baseline at t=18 (3 slots after close).
+        let q = |t: u64| -> f64 {
+            match t {
+                0..=9 => 4.0,
+                10..=14 => 20.0,
+                15 => 12.0,
+                16 => 8.0,
+                17 => 5.0,
+                _ => 4.0,
+            }
+        };
+        for t in 0..25u64 {
+            run.slots.push(SlotSample {
+                t,
+                queue_total: q(t) * 1.5,
+                queue_max: q(t),
+                energy: 1.0,
+                fairness: 0.0,
+                arrivals: 5.0,
+                dropped: 0.0,
+            });
+        }
+        run.faults.push(FaultSample {
+            t: 10,
+            kind: "outage".to_string(),
+            start: 10,
+            end: 15,
+            dc: Some(0),
+        });
+        for t in 10..15u64 {
+            run.degraded.push(DegradedSample {
+                t,
+                reason: "dc_offline".to_string(),
+                dc: Some(0),
+            });
+        }
+        run.degraded.push(DegradedSample {
+            t: 12,
+            reason: "solver_budget_exhausted".to_string(),
+            dc: None,
+        });
+        let analysis = Analysis::from_stream(&TelemetryStream {
+            runs: vec![run],
+            bounds: vec![],
+            total_events: 31,
+        });
+        let res = analysis.runs[0].resilience.as_ref().unwrap();
+        assert_eq!(res.degraded_slots, 5);
+        assert_eq!(res.degraded_events, 6);
+        assert_eq!(
+            res.by_reason,
+            vec![
+                ("dc_offline".to_string(), 5),
+                ("solver_budget_exhausted".to_string(), 1),
+            ]
+        );
+        let f = &res.faults[0];
+        assert!((f.baseline_queue - 4.0).abs() < 1e-12);
+        assert!((f.peak_queue - 20.0).abs() < 1e-12);
+        assert!((f.overshoot - 16.0).abs() < 1e-12);
+        assert_eq!(f.recovery_slots, Some(3));
+        let rendered = analysis.render();
+        assert!(
+            rendered.contains("resilience      : 5 degraded slot(s)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("dc_offline 5"), "{rendered}");
+        assert!(rendered.contains("overshoot +16.00"), "{rendered}");
+        assert!(
+            rendered.contains("recovered 3 slot(s) after close"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn fault_free_runs_render_no_resilience_section() {
+        let analysis = Analysis::from_stream(&stream_with_bounds(40.0));
+        assert!(analysis.runs[0].resilience.is_none());
+        assert!(!analysis.render().contains("resilience"));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   `V·C3/δ` with a peak-occupancy percentage, time-average cost
 //!   convergence with the Theorem 1(b) `O(1/V)` gap per swept `V`, the
 //!   greedy/Frank–Wolfe solver mix, and p50/p95/p99 wall-time breakdowns
-//!   per phase.
+//!   per phase. Fault-injected runs additionally get a resilience section:
+//!   degraded slots, the fallback-reason mix, and per-fault queue
+//!   overshoot/recovery time.
 //! * [`diff_streams`] (`grefar-report diff`) — structural and
 //!   tolerance-aware numeric comparison of two streams, ignoring `_us`
 //!   timing fields; the replay-determinism check as a reusable tool.
@@ -28,7 +30,7 @@ pub mod bench_gate;
 pub mod diff;
 pub mod stream;
 
-pub use analyze::{Analysis, BoundCheck, RunAnalysis};
+pub use analyze::{Analysis, BoundCheck, FaultImpact, Resilience, RunAnalysis};
 pub use bench_gate::{gate, BenchCase, BenchFile, CaseVerdict, GateReport};
 pub use diff::{diff_streams, DiffOptions, StreamDiff};
-pub use stream::{parse_versioned_lines, Run, TelemetryStream};
+pub use stream::{parse_versioned_lines, DegradedSample, FaultSample, Run, TelemetryStream};

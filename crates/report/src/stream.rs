@@ -85,6 +85,36 @@ pub struct DecideSample {
     pub fw_gap: f64,
 }
 
+/// One `fault.inject` event — a fault window opening (emitted once, at the
+/// window's first slot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSample {
+    /// Slot the event was emitted at (the window's first slot).
+    pub t: u64,
+    /// Fault kind label (`outage`, `collapse`, `spike`, `gap`, `burst`,
+    /// `squeeze`).
+    pub kind: String,
+    /// First slot of the fault window.
+    pub start: u64,
+    /// One past the last slot of the fault window.
+    pub end: u64,
+    /// Targeted data center, for DC-scoped faults.
+    pub dc: Option<u64>,
+}
+
+/// One `degraded.mode` event — the scheduler fell back or repaired a
+/// decision instead of failing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedSample {
+    /// Slot the degradation happened at.
+    pub t: u64,
+    /// Machine-readable reason (`solver_budget_exhausted`,
+    /// `infeasible_repaired`, `dc_offline`).
+    pub reason: String,
+    /// The data center involved, when the reason is DC-scoped.
+    pub dc: Option<u64>,
+}
+
 /// Theorem 1 bounds attached to one labeled run (a `theory.bounds` event).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundsEvent {
@@ -134,6 +164,10 @@ pub struct Run {
     pub run_wall_us: Option<f64>,
     /// Number of `invariant.violation` events seen during the run.
     pub invariant_violations: usize,
+    /// `fault.inject` events in stream order.
+    pub faults: Vec<FaultSample>,
+    /// `degraded.mode` events in stream order.
+    pub degraded: Vec<DegradedSample>,
 }
 
 impl Run {
@@ -160,6 +194,10 @@ fn number(event: &JsonObject, key: &str, idx: usize) -> Result<f64, String> {
         .get(key)
         .and_then(JsonValue::as_f64)
         .ok_or_else(|| format!("event {}: missing numeric field {key:?}", idx + 1))
+}
+
+fn opt_number(event: &JsonObject, key: &str) -> Option<f64> {
+    event.get(key).and_then(JsonValue::as_f64)
 }
 
 fn string(event: &JsonObject, key: &str, idx: usize) -> Result<String, String> {
@@ -267,6 +305,22 @@ impl TelemetryStream {
                     in_run = false;
                 }
                 "invariant.violation" => run.invariant_violations += 1,
+                "fault.inject" => {
+                    run.faults.push(FaultSample {
+                        t: number(event, "t", idx)? as u64,
+                        kind: string(event, "kind", idx)?,
+                        start: number(event, "start", idx)? as u64,
+                        end: number(event, "end", idx)? as u64,
+                        dc: opt_number(event, "dc").map(|d| d as u64),
+                    });
+                }
+                "degraded.mode" => {
+                    run.degraded.push(DegradedSample {
+                        t: number(event, "t", idx)? as u64,
+                        reason: string(event, "reason", idx)?,
+                        dc: opt_number(event, "dc").map(|d| d as u64),
+                    });
+                }
                 _ => {} // additive events from the same schema version
             }
         }
@@ -408,6 +462,65 @@ mod tests {
         let stream = TelemetryStream::parse(text).unwrap();
         assert_eq!(stream.runs.len(), 1);
         assert_eq!(stream.runs[0].scheduler, "Always");
+    }
+
+    #[test]
+    fn fault_and_degraded_events_are_parsed() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record_event(
+            Event::new("run.start")
+                .field("scheduler", "GreFar(V=1)")
+                .field("horizon", 3_u64)
+                .field("data_centers", 2_u64)
+                .field("job_classes", 1_u64),
+        );
+        sink.record_event(
+            Event::new("fault.inject")
+                .field("t", 1_u64)
+                .field("kind", "outage")
+                .field("start", 1_u64)
+                .field("end", 3_u64)
+                .field("dc", 0_u64),
+        );
+        sink.record_event(
+            Event::new("degraded.mode")
+                .field("t", 1_u64)
+                .field("reason", "dc_offline")
+                .field("dc", 0_u64),
+        );
+        sink.record_event(
+            Event::new("degraded.mode")
+                .field("t", 2_u64)
+                .field("reason", "solver_budget_exhausted")
+                .field("fw_iterations", 1_u64)
+                .field("fw_gap", 0.5),
+        );
+        sink.record_event(
+            Event::new("run.end")
+                .field("slots", 3_u64)
+                .field("completed", 0_u64)
+                .field("dropped", 0_u64)
+                .field("wall_us", 10_u64),
+        );
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let stream = TelemetryStream::parse(&text).unwrap();
+        assert_eq!(stream.runs.len(), 1);
+        let run = &stream.runs[0];
+        assert_eq!(
+            run.faults,
+            vec![FaultSample {
+                t: 1,
+                kind: "outage".to_string(),
+                start: 1,
+                end: 3,
+                dc: Some(0),
+            }]
+        );
+        assert_eq!(run.degraded.len(), 2);
+        assert_eq!(run.degraded[0].reason, "dc_offline");
+        assert_eq!(run.degraded[0].dc, Some(0));
+        assert_eq!(run.degraded[1].reason, "solver_budget_exhausted");
+        assert_eq!(run.degraded[1].dc, None);
     }
 
     #[test]

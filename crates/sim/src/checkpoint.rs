@@ -1,0 +1,594 @@
+//! Schema-versioned checkpoint/resume for simulation runs.
+//!
+//! A checkpoint captures *everything* the slot loop carries between slots —
+//! queues, the job-level tracker, every metric series, the drop counter and
+//! the fault-plan spec — as flat JSONL, one self-describing object per
+//! line, parseable by `grefar_obs::json` (which is deliberately
+//! array-free: vectors are comma-joined strings). Floats are encoded via
+//! Rust's shortest-roundtrip `Display`, so a resumed run continues
+//! **bit-identically**: the exogenous inputs are regenerated from the seed
+//! and the accumulated state parses back to the exact same bits.
+//!
+//! Files are written atomically (temp file + rename), and the final
+//! `ckpt.end` line carries the line count, so a crash mid-write leaves
+//! either the previous complete checkpoint or a detectably-truncated file —
+//! never a silently half-updated one.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use grefar_obs::json::{self, JsonValue};
+use grefar_obs::Event;
+use grefar_types::Slot;
+
+use crate::error::SimError;
+use crate::tracker::TrackerSnapshot;
+
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_SCHEMA: u64 = 1;
+
+/// Every per-slot metric series the report accumulates, by raw per-slot
+/// values (running averages are rebuilt by replaying
+/// [`RunningSeries::push`](crate::RunningSeries)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Energy cost per slot.
+    pub energy: Vec<f64>,
+    /// Fairness score per slot.
+    pub fairness: Vec<f64>,
+    /// Per-account resource shares, `[account][slot]`.
+    pub account_shares: Vec<Vec<f64>>,
+    /// Per-DC scheduled work, `[dc][slot]`.
+    pub work_per_dc: Vec<Vec<f64>>,
+    /// Per-DC running-average delay curve, `[dc][slot]`.
+    pub dc_delay: Vec<Vec<f64>>,
+    /// Per-DC price series, `[dc][slot]`.
+    pub prices: Vec<Vec<f64>>,
+    /// Arriving work per slot.
+    pub arriving_work: Vec<f64>,
+    /// Total queue length per slot.
+    pub queue_total: Vec<f64>,
+    /// Max single queue length per slot.
+    pub queue_max: Vec<f64>,
+}
+
+/// A complete mid-run snapshot: the next slot to execute plus all
+/// accumulated state. Produced by
+/// [`Simulation::run_resumable`](crate::Simulation::run_resumable), consumed
+/// by [`Simulation::resume`](crate::Simulation::resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The first slot that has *not* been executed.
+    pub slot: u64,
+    /// The full horizon of the run being checkpointed.
+    pub horizon: u64,
+    /// The scheduler's self-reported name (sanity-checked on resume).
+    pub scheduler: String,
+    /// The fault-plan spec in force (empty string when none).
+    pub faults: String,
+    /// Jobs dropped by admission control so far.
+    pub dropped: u64,
+    /// Central queue lengths `Q_j`.
+    pub queues_central: Vec<f64>,
+    /// Local queue lengths `q_{i,j}` as `[dc][job]` rows.
+    pub queues_local: Vec<Vec<f64>>,
+    /// The job-level tracker state.
+    pub tracker: TrackerSnapshot,
+    /// All metric series.
+    pub series: SeriesSnapshot,
+}
+
+impl Checkpoint {
+    /// Serializes to the JSONL checkpoint format.
+    pub fn to_jsonl(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        lines.push(
+            Event::new("ckpt.header")
+                .field("v", CHECKPOINT_SCHEMA)
+                .field("slot", self.slot)
+                .field("horizon", self.horizon)
+                .field("scheduler", self.scheduler.clone())
+                .field("faults", self.faults.clone())
+                .field("dropped", self.dropped)
+                .field("data_centers", self.queues_local.len())
+                .field("job_classes", self.queues_central.len())
+                .field("accounts", self.series.account_shares.len())
+                .field("completed_total", self.tracker.completed_total)
+                .field("sojourn_sum", fmt_f64(self.tracker.sojourn_sum))
+                .to_json(),
+        );
+        lines.push(
+            Event::new("ckpt.queues")
+                .field("central", join_f64(&self.queues_central))
+                .to_json(),
+        );
+        for (i, row) in self.queues_local.iter().enumerate() {
+            lines.push(
+                Event::new("ckpt.local_queues")
+                    .field("dc", i)
+                    .field("values", join_f64(row))
+                    .to_json(),
+            );
+        }
+        for (j, arrivals) in self.tracker.central.iter().enumerate() {
+            lines.push(
+                Event::new("ckpt.central_jobs")
+                    .field("job", j)
+                    .field("arrivals", join_u64(arrivals))
+                    .to_json(),
+            );
+        }
+        for (i, row) in self.tracker.local.iter().enumerate() {
+            for (j, jobs) in row.iter().enumerate() {
+                let arrivals: Vec<Slot> = jobs.iter().map(|&(a, _, _)| a).collect();
+                let serviceable: Vec<Slot> = jobs.iter().map(|&(_, s, _)| s).collect();
+                let remaining: Vec<f64> = jobs.iter().map(|&(_, _, r)| r).collect();
+                lines.push(
+                    Event::new("ckpt.local_jobs")
+                        .field("dc", i)
+                        .field("job", j)
+                        .field("arrivals", join_u64(&arrivals))
+                        .field("serviceable", join_u64(&serviceable))
+                        .field("remaining", join_f64(&remaining))
+                        .to_json(),
+                );
+            }
+        }
+        for i in 0..self.tracker.completed_per_dc.len() {
+            lines.push(
+                Event::new("ckpt.tracker_dc")
+                    .field("dc", i)
+                    .field("completed", self.tracker.completed_per_dc[i])
+                    .field("delay_sum", fmt_f64(self.tracker.dc_delay_sum[i]))
+                    .field("delay_samples", join_f64(&self.tracker.dc_delay_samples[i]))
+                    .to_json(),
+            );
+        }
+        let scalar_series = [
+            ("energy", &self.series.energy),
+            ("fairness", &self.series.fairness),
+            ("arriving_work", &self.series.arriving_work),
+            ("queue_total", &self.series.queue_total),
+            ("queue_max", &self.series.queue_max),
+        ];
+        for (name, values) in scalar_series {
+            lines.push(
+                Event::new("ckpt.series")
+                    .field("name", name)
+                    .field("values", join_f64(values))
+                    .to_json(),
+            );
+        }
+        let indexed_series = [
+            ("account_shares", &self.series.account_shares),
+            ("work_per_dc", &self.series.work_per_dc),
+            ("dc_delay", &self.series.dc_delay),
+            ("prices", &self.series.prices),
+        ];
+        for (name, family) in indexed_series {
+            for (index, values) in family.iter().enumerate() {
+                lines.push(
+                    Event::new("ckpt.series")
+                        .field("name", name)
+                        .field("index", index)
+                        .field("values", join_f64(values))
+                        .to_json(),
+                );
+            }
+        }
+        lines.push(
+            Event::new("ckpt.end")
+                .field("lines", lines.len() + 1)
+                .to_json(),
+        );
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, then
+    /// rename over `path`, so an interrupted write never corrupts an
+    /// existing checkpoint.
+    ///
+    /// # Errors
+    /// [`SimError::CheckpointIo`] when the temp file cannot be written or
+    /// renamed.
+    pub fn write(&self, path: &Path) -> Result<(), SimError> {
+        let tmp = path.with_extension("tmp");
+        let io_err = |source| SimError::CheckpointIo {
+            path: path.to_path_buf(),
+            source,
+        };
+        std::fs::write(&tmp, self.to_jsonl()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Reads a checkpoint file written by [`write`](Self::write).
+    ///
+    /// # Errors
+    /// [`SimError::CheckpointIo`] when the file cannot be read,
+    /// [`SimError::CheckpointSchema`] on a version mismatch, and
+    /// [`SimError::CheckpointFormat`] (with the offending line number) on
+    /// malformed or truncated content.
+    pub fn load(path: &Path) -> Result<Self, SimError> {
+        let text = std::fs::read_to_string(path).map_err(|source| SimError::CheckpointIo {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Parses checkpoint JSONL text. See [`load`](Self::load) for errors.
+    ///
+    /// # Errors
+    /// As for [`load`](Self::load), minus the I/O case.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let parsed: Vec<BTreeMap<String, JsonValue>> = lines
+            .iter()
+            .enumerate()
+            .map(|(idx, line)| {
+                json::parse_object(line).map_err(|message| SimError::CheckpointFormat {
+                    line: idx + 1,
+                    message,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let header = parsed.first().ok_or(SimError::CheckpointFormat {
+            line: 1,
+            message: "empty checkpoint".to_string(),
+        })?;
+        if event_name(header) != Some("ckpt.header") {
+            return Err(bad(1, "first line is not ckpt.header"));
+        }
+        let version = get_u64(header, "v", 1)?;
+        if version != CHECKPOINT_SCHEMA {
+            return Err(SimError::CheckpointSchema {
+                found: version,
+                expected: CHECKPOINT_SCHEMA,
+            });
+        }
+        let last_line = parsed.len();
+        let end = parsed.last().ok_or_else(|| bad(1, "empty checkpoint"))?;
+        if event_name(end) != Some("ckpt.end") {
+            return Err(bad(last_line, "checkpoint is truncated (no ckpt.end)"));
+        }
+        let declared = get_u64(end, "lines", last_line)?;
+        if declared != parsed.len() as u64 {
+            return Err(bad(
+                last_line,
+                &format!("expected {declared} lines, found {}", parsed.len()),
+            ));
+        }
+
+        let n = get_u64(header, "data_centers", 1)? as usize;
+        let j_count = get_u64(header, "job_classes", 1)? as usize;
+        let accounts = get_u64(header, "accounts", 1)? as usize;
+        let mut out = Checkpoint {
+            slot: get_u64(header, "slot", 1)?,
+            horizon: get_u64(header, "horizon", 1)?,
+            scheduler: get_str(header, "scheduler", 1)?.to_string(),
+            faults: get_str(header, "faults", 1)?.to_string(),
+            dropped: get_u64(header, "dropped", 1)?,
+            queues_central: Vec::new(),
+            queues_local: vec![Vec::new(); n],
+            tracker: TrackerSnapshot {
+                central: vec![Vec::new(); j_count],
+                local: vec![vec![Vec::new(); j_count]; n],
+                completed_per_dc: vec![0; n],
+                dc_delay_sum: vec![0.0; n],
+                dc_delay_samples: vec![Vec::new(); n],
+                completed_total: get_u64(header, "completed_total", 1)?,
+                sojourn_sum: parse_f64(get_str(header, "sojourn_sum", 1)?, 1)?,
+            },
+            series: SeriesSnapshot {
+                account_shares: vec![Vec::new(); accounts],
+                work_per_dc: vec![Vec::new(); n],
+                dc_delay: vec![Vec::new(); n],
+                prices: vec![Vec::new(); n],
+                ..SeriesSnapshot::default()
+            },
+        };
+
+        for (idx, obj) in parsed.iter().enumerate().skip(1).take(parsed.len() - 2) {
+            let lineno = idx + 1;
+            match event_name(obj) {
+                Some("ckpt.queues") => {
+                    out.queues_central = split_f64(get_str(obj, "central", lineno)?, lineno)?;
+                }
+                Some("ckpt.local_queues") => {
+                    let i = index_in(obj, "dc", n, lineno)?;
+                    out.queues_local[i] = split_f64(get_str(obj, "values", lineno)?, lineno)?;
+                }
+                Some("ckpt.central_jobs") => {
+                    let j = index_in(obj, "job", j_count, lineno)?;
+                    out.tracker.central[j] = split_u64(get_str(obj, "arrivals", lineno)?, lineno)?;
+                }
+                Some("ckpt.local_jobs") => {
+                    let i = index_in(obj, "dc", n, lineno)?;
+                    let j = index_in(obj, "job", j_count, lineno)?;
+                    let arrivals = split_u64(get_str(obj, "arrivals", lineno)?, lineno)?;
+                    let serviceable = split_u64(get_str(obj, "serviceable", lineno)?, lineno)?;
+                    let remaining = split_f64(get_str(obj, "remaining", lineno)?, lineno)?;
+                    if arrivals.len() != serviceable.len() || arrivals.len() != remaining.len() {
+                        return Err(bad(lineno, "ragged local job lists"));
+                    }
+                    out.tracker.local[i][j] = arrivals
+                        .into_iter()
+                        .zip(serviceable)
+                        .zip(remaining)
+                        .map(|((a, s), r)| (a, s, r))
+                        .collect();
+                }
+                Some("ckpt.tracker_dc") => {
+                    let i = index_in(obj, "dc", n, lineno)?;
+                    out.tracker.completed_per_dc[i] = get_u64(obj, "completed", lineno)?;
+                    out.tracker.dc_delay_sum[i] =
+                        parse_f64(get_str(obj, "delay_sum", lineno)?, lineno)?;
+                    out.tracker.dc_delay_samples[i] =
+                        split_f64(get_str(obj, "delay_samples", lineno)?, lineno)?;
+                }
+                Some("ckpt.series") => {
+                    let values = split_f64(get_str(obj, "values", lineno)?, lineno)?;
+                    let name = get_str(obj, "name", lineno)?;
+                    match name {
+                        "energy" => out.series.energy = values,
+                        "fairness" => out.series.fairness = values,
+                        "arriving_work" => out.series.arriving_work = values,
+                        "queue_total" => out.series.queue_total = values,
+                        "queue_max" => out.series.queue_max = values,
+                        "account_shares" => {
+                            let k = index_in(obj, "index", accounts, lineno)?;
+                            out.series.account_shares[k] = values;
+                        }
+                        "work_per_dc" => {
+                            let i = index_in(obj, "index", n, lineno)?;
+                            out.series.work_per_dc[i] = values;
+                        }
+                        "dc_delay" => {
+                            let i = index_in(obj, "index", n, lineno)?;
+                            out.series.dc_delay[i] = values;
+                        }
+                        "prices" => {
+                            let i = index_in(obj, "index", n, lineno)?;
+                            out.series.prices[i] = values;
+                        }
+                        other => return Err(bad(lineno, &format!("unknown series {other:?}"))),
+                    }
+                }
+                Some(other) => return Err(bad(lineno, &format!("unknown line kind {other:?}"))),
+                None => return Err(bad(lineno, "line has no event field")),
+            }
+        }
+
+        let executed = out.slot as usize;
+        if out.queues_central.len() != j_count
+            || out.queues_local.iter().any(|row| row.len() != j_count)
+            || out.series.energy.len() != executed
+            || out.series.fairness.len() != executed
+            || out.series.queue_total.len() != executed
+        {
+            return Err(bad(1, "checkpoint shapes disagree with its header"));
+        }
+        Ok(out)
+    }
+}
+
+fn bad(line: usize, message: &str) -> SimError {
+    SimError::CheckpointFormat {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn event_name(obj: &BTreeMap<String, JsonValue>) -> Option<&str> {
+    obj.get("event").and_then(JsonValue::as_str)
+}
+
+fn get_str<'a>(
+    obj: &'a BTreeMap<String, JsonValue>,
+    key: &str,
+    line: usize,
+) -> Result<&'a str, SimError> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad(line, &format!("missing string field {key:?}")))
+}
+
+fn get_u64(obj: &BTreeMap<String, JsonValue>, key: &str, line: usize) -> Result<u64, SimError> {
+    let v = obj
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| bad(line, &format!("missing numeric field {key:?}")))?;
+    if v < 0.0 || v.fract() > 0.0 {
+        return Err(bad(line, &format!("field {key:?} is not a whole number")));
+    }
+    Ok(v as u64)
+}
+
+fn index_in(
+    obj: &BTreeMap<String, JsonValue>,
+    key: &str,
+    len: usize,
+    line: usize,
+) -> Result<usize, SimError> {
+    let v = get_u64(obj, key, line)? as usize;
+    if v >= len {
+        return Err(bad(
+            line,
+            &format!("{key} index {v} out of range (< {len})"),
+        ));
+    }
+    Ok(v)
+}
+
+/// Rust's `Display` for finite `f64` is shortest-roundtrip, so formatting
+/// and reparsing reproduces the exact bits — the foundation of
+/// bit-identical resume.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn join_f64(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| fmt_f64(*v))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_u64(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_f64(text: &str, line: usize) -> Result<f64, SimError> {
+    text.parse::<f64>()
+        .map_err(|_| bad(line, &format!("bad float {text:?}")))
+}
+
+fn split_f64(text: &str, line: usize) -> Result<Vec<f64>, SimError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|tok| {
+            tok.parse::<f64>()
+                .map_err(|_| bad(line, &format!("bad float {tok:?}")))
+        })
+        .collect()
+}
+
+fn split_u64(text: &str, line: usize) -> Result<Vec<u64>, SimError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|tok| {
+            tok.parse::<u64>()
+                .map_err(|_| bad(line, &format!("bad integer {tok:?}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            slot: 3,
+            horizon: 10,
+            scheduler: "GreFar(V=7.5, beta=0)".to_string(),
+            faults: "outage:dc=0,start=2,end=4".to_string(),
+            dropped: 1,
+            queues_central: vec![2.0, 0.5],
+            queues_local: vec![vec![1.0, 0.0], vec![0.25, 3.0]],
+            tracker: TrackerSnapshot {
+                central: vec![vec![1, 2], vec![]],
+                local: vec![
+                    vec![vec![(0, 1, 1.0), (0, 2, 0.125)], vec![]],
+                    vec![vec![], vec![(1, 2, 0.7)]],
+                ],
+                completed_per_dc: vec![4, 0],
+                dc_delay_sum: vec![5.5, 0.0],
+                dc_delay_samples: vec![vec![1.0, 2.0, 1.5, 1.0], vec![]],
+                completed_total: 4,
+                sojourn_sum: 9.25,
+            },
+            series: SeriesSnapshot {
+                energy: vec![0.1, 0.2, 0.30000000000000004],
+                fairness: vec![0.0, 0.0, 0.0],
+                account_shares: vec![vec![1.0, 1.0, 1.0]],
+                work_per_dc: vec![vec![0.5, 0.5, 0.5], vec![0.0, 0.0, 0.0]],
+                dc_delay: vec![vec![0.0, 1.0, 1.375], vec![0.0, 0.0, 0.0]],
+                prices: vec![vec![0.3, 0.3, 0.3], vec![0.9, 0.9, 0.9]],
+                arriving_work: vec![2.0, 2.0, 2.0],
+                queue_total: vec![2.0, 4.0, 6.875],
+                queue_max: vec![2.0, 3.0, 3.0],
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_exact() {
+        let ck = sample();
+        let text = ck.to_jsonl();
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn write_load_roundtrip_and_atomicity() {
+        let dir = std::env::temp_dir().join(format!("grefar-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.jsonl");
+        let ck = sample();
+        ck.write(&path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file left behind"
+        );
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let text = sample().to_jsonl();
+        let cut: String = text
+            .lines()
+            .take(text.lines().count() - 2)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = Checkpoint::parse(&cut).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let text = sample().to_jsonl().replace("\"v\":1", "\"v\":99");
+        match Checkpoint::parse(&text) {
+            Err(SimError::CheckpointSchema {
+                found: 99,
+                expected,
+            }) => {
+                assert_eq!(expected, CHECKPOINT_SCHEMA);
+            }
+            other => panic!("expected schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_values_carry_line_numbers() {
+        let text = sample()
+            .to_jsonl()
+            .replace("\"central\":\"2,0.5\"", "\"central\":\"2,oops\"");
+        match Checkpoint::parse(&text) {
+            Err(SimError::CheckpointFormat { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("oops"), "{message}");
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_encoding_roundtrips_extremes() {
+        let values = vec![
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            12345.678901234567,
+            0.0,
+        ];
+        let back = split_f64(&join_f64(&values), 1).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -83,6 +83,25 @@ impl SimulationInputs {
         Self { states, arrivals }
     }
 
+    /// Applies a fault plan to the frozen horizon: outages zero
+    /// availability, collapses scale it, spikes/gaps rewrite tariffs and
+    /// bursts multiply arrivals (solver squeezes leave the data untouched —
+    /// they act on the scheduler at run time). The transformation is
+    /// deterministic, so two runs with the same seed and plan see identical
+    /// faulted inputs.
+    ///
+    /// # Errors
+    /// [`grefar_faults::FaultPlanError`] if the plan references data
+    /// centers or job classes beyond this horizon's shape; the inputs are
+    /// untouched on error.
+    pub fn with_faults(
+        mut self,
+        plan: &grefar_faults::FaultPlan,
+    ) -> Result<Self, grefar_faults::FaultPlanError> {
+        plan.apply(&mut self.states, &mut self.arrivals)?;
+        Ok(self)
+    }
+
     /// The number of slots `t_end`.
     pub fn horizon(&self) -> usize {
         self.states.len()

@@ -37,6 +37,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+mod error;
 mod inputs;
 mod mpc;
 mod report;
@@ -47,9 +49,11 @@ pub mod sweep;
 pub mod theory_obs;
 mod tracker;
 
+pub use checkpoint::{Checkpoint, SeriesSnapshot, CHECKPOINT_SCHEMA};
+pub use error::SimError;
 pub use inputs::SimulationInputs;
 pub use mpc::MpcScheduler;
 pub use report::{RunningSeries, SimulationReport};
 pub use scenario::PaperScenario;
-pub use simulation::Simulation;
-pub use tracker::{CompletionStats, JobTracker};
+pub use simulation::{RunPolicy, Simulation};
+pub use tracker::{CompletionStats, JobTracker, TrackerSnapshot};

@@ -30,6 +30,18 @@ impl RunningSeries {
         self.running.push(self.sum / self.instant.len() as f64);
     }
 
+    /// Rebuilds a series from its raw per-slot values by replaying
+    /// [`push`](Self::push) — the running averages and sum come out
+    /// bit-identical to the original accumulation, which is what makes
+    /// checkpoint/resume exact.
+    pub fn from_instant(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut series = Self::new();
+        for v in values {
+            series.push(v);
+        }
+        series
+    }
+
     /// The raw per-slot values.
     pub fn instant(&self) -> &[f64] {
         &self.instant

@@ -1,11 +1,16 @@
 //! The discrete-time simulation engine (§VI-A's "time-based simulator").
 
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{Checkpoint, SeriesSnapshot};
+use crate::error::SimError;
 use crate::inputs::SimulationInputs;
 use crate::report::{RunningSeries, SimulationReport};
 use crate::tracker::JobTracker;
-use grefar_core::{cost_breakdown, QuadraticDeviation, QueueState, Scheduler};
+use grefar_core::{cost_breakdown, QuadraticDeviation, QueueState, Scheduler, SolverBudget};
+use grefar_faults::FaultPlan;
 use grefar_obs::{Event, NullObserver, Observer, Timer};
-use grefar_types::{Slot, SystemConfig};
+use grefar_types::{Grid, Slot, SystemConfig};
 
 /// One simulation run: a scheduler against a frozen input horizon.
 ///
@@ -17,6 +22,23 @@ use grefar_types::{Slot, SystemConfig};
 /// 4. serve/route jobs at the job level ([`JobTracker`]),
 /// 5. update the queues by (12)–(13) with the slot's arrivals `a(t)`.
 ///
+/// # Fault injection
+///
+/// [`with_fault_plan`](Simulation::with_fault_plan) overlays a
+/// deterministic [`FaultPlan`] on the run: data faults (outages,
+/// availability collapses, price spikes/gaps, arrival bursts) rewrite the
+/// frozen inputs up front, solver squeezes impose per-slot
+/// [`SolverBudget`]s on the scheduler at run time, and each fault window's
+/// opening emits a `fault.inject` telemetry event. Without a plan the run
+/// is byte-identical to the unfaulted engine.
+///
+/// # Checkpoint/resume
+///
+/// [`run_resumable`](Simulation::run_resumable) writes a schema-versioned
+/// [`Checkpoint`] every `k` slots (atomically);
+/// [`resume`](Simulation::resume) continues from one **bit-identically** —
+/// the resumed report equals the uninterrupted run's exactly.
+///
 /// # Example
 /// See the [crate-level documentation](crate).
 pub struct Simulation {
@@ -25,6 +47,7 @@ pub struct Simulation {
     scheduler: Box<dyn Scheduler>,
     admission_cap: Option<f64>,
     queue_bound: Option<f64>,
+    faults: Option<FaultPlan>,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -33,7 +56,190 @@ impl core::fmt::Debug for Simulation {
             .field("horizon", &self.inputs.horizon())
             .field("admission_cap", &self.admission_cap)
             .field("queue_bound", &self.queue_bound)
+            .field("faults", &self.faults.as_ref().map(FaultPlan::spec))
             .finish_non_exhaustive()
+    }
+}
+
+/// Checkpointing (and optional crash-injection) policy for
+/// [`Simulation::run_resumable`].
+#[derive(Debug, Clone)]
+pub struct RunPolicy {
+    path: PathBuf,
+    every: usize,
+    kill_at: Option<u64>,
+}
+
+impl RunPolicy {
+    /// Checkpoint to `path` after every `every` slots.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        Self {
+            path: path.into(),
+            every,
+            kill_at: None,
+        }
+    }
+
+    /// Kill the run just before executing `slot`: a final checkpoint is
+    /// written and the run returns [`SimError::Killed`]. This is the
+    /// crash-injection half of the crash-recovery test — the process
+    /// survives (buffers flush), but the run ends exactly as an abrupt
+    /// death at that slot would leave it.
+    #[must_use]
+    pub fn with_kill_at(mut self, slot: u64) -> Self {
+        self.kill_at = Some(slot);
+        self
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Everything the slot loop carries between slots — the unit a
+/// [`Checkpoint`] captures.
+struct RunState {
+    next_slot: usize,
+    queues: QueueState,
+    tracker: JobTracker,
+    energy: RunningSeries,
+    fairness: RunningSeries,
+    account_shares: Vec<RunningSeries>,
+    work_per_dc: Vec<RunningSeries>,
+    dc_delay: Vec<Vec<f64>>,
+    prices: Vec<Vec<f64>>,
+    arriving_work: RunningSeries,
+    queue_total: Vec<f64>,
+    queue_max: Vec<f64>,
+    dropped: u64,
+}
+
+impl RunState {
+    fn fresh(config: &SystemConfig) -> Self {
+        let n = config.num_data_centers();
+        Self {
+            next_slot: 0,
+            queues: QueueState::new(config),
+            tracker: JobTracker::new(config),
+            energy: RunningSeries::new(),
+            fairness: RunningSeries::new(),
+            account_shares: vec![RunningSeries::new(); config.num_accounts()],
+            work_per_dc: vec![RunningSeries::new(); n],
+            dc_delay: vec![Vec::new(); n],
+            prices: vec![Vec::new(); n],
+            arriving_work: RunningSeries::new(),
+            queue_total: Vec::new(),
+            queue_max: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn from_checkpoint(config: &SystemConfig, ck: Checkpoint) -> Result<Self, SimError> {
+        let n = config.num_data_centers();
+        let j_count = config.num_job_classes();
+        if ck.queues_local.len() != n
+            || ck.queues_central.len() != j_count
+            || ck.series.account_shares.len() != config.num_accounts()
+            || ck.series.work_per_dc.len() != n
+        {
+            return Err(SimError::Mismatch(
+                "checkpoint shape mismatches the configuration".to_string(),
+            ));
+        }
+        let mut local = Grid::zeros(n, j_count);
+        for (i, row) in ck.queues_local.iter().enumerate() {
+            local.row_mut(i).copy_from_slice(row);
+        }
+        let queues =
+            QueueState::from_parts(ck.queues_central, local).map_err(SimError::Mismatch)?;
+        let tracker = JobTracker::from_snapshot(config, ck.tracker).map_err(SimError::Mismatch)?;
+        Ok(Self {
+            next_slot: ck.slot as usize,
+            queues,
+            tracker,
+            energy: RunningSeries::from_instant(ck.series.energy),
+            fairness: RunningSeries::from_instant(ck.series.fairness),
+            account_shares: ck
+                .series
+                .account_shares
+                .into_iter()
+                .map(RunningSeries::from_instant)
+                .collect(),
+            work_per_dc: ck
+                .series
+                .work_per_dc
+                .into_iter()
+                .map(RunningSeries::from_instant)
+                .collect(),
+            dc_delay: ck.series.dc_delay,
+            prices: ck.series.prices,
+            arriving_work: RunningSeries::from_instant(ck.series.arriving_work),
+            queue_total: ck.series.queue_total,
+            queue_max: ck.series.queue_max,
+            dropped: ck.dropped,
+        })
+    }
+
+    fn to_checkpoint(&self, horizon: usize, scheduler: &str, faults: &str) -> Checkpoint {
+        Checkpoint {
+            slot: self.next_slot as u64,
+            horizon: horizon as u64,
+            scheduler: scheduler.to_string(),
+            faults: faults.to_string(),
+            dropped: self.dropped,
+            queues_central: self.queues.central_slice().to_vec(),
+            queues_local: (0..self.queues.local_grid().rows())
+                .map(|i| self.queues.local_grid().row(i).to_vec())
+                .collect(),
+            tracker: self.tracker.snapshot(),
+            series: SeriesSnapshot {
+                energy: self.energy.instant().to_vec(),
+                fairness: self.fairness.instant().to_vec(),
+                account_shares: self
+                    .account_shares
+                    .iter()
+                    .map(|s| s.instant().to_vec())
+                    .collect(),
+                work_per_dc: self
+                    .work_per_dc
+                    .iter()
+                    .map(|s| s.instant().to_vec())
+                    .collect(),
+                dc_delay: self.dc_delay.clone(),
+                prices: self.prices.clone(),
+                arriving_work: self.arriving_work.instant().to_vec(),
+                queue_total: self.queue_total.clone(),
+                queue_max: self.queue_max.clone(),
+            },
+        }
+    }
+
+    fn into_report(self, scheduler: String, horizon: usize) -> SimulationReport {
+        let n = self.dc_delay.len();
+        let dc_delay_quantiles = (0..n)
+            .map(|i| crate::stats::Quantiles::from_samples(self.tracker.dc_delay_samples(i)))
+            .collect();
+        SimulationReport {
+            scheduler,
+            horizon,
+            energy: self.energy,
+            fairness: self.fairness,
+            account_shares: self.account_shares,
+            work_per_dc: self.work_per_dc,
+            dc_delay: self.dc_delay,
+            prices: self.prices,
+            arriving_work: self.arriving_work,
+            queue_total: self.queue_total,
+            queue_max: self.queue_max,
+            completions: self.tracker.stats(),
+            dc_delay_quantiles,
+            dropped_jobs: self.dropped,
+        }
     }
 }
 
@@ -41,29 +247,51 @@ impl Simulation {
     /// Creates a run.
     ///
     /// # Panics
-    /// Panics if the inputs' shapes mismatch the configuration.
+    /// Panics if the inputs' shapes mismatch the configuration (use
+    /// [`try_new`](Simulation::try_new) for a typed error instead).
     pub fn new(
         config: SystemConfig,
         inputs: SimulationInputs,
         scheduler: Box<dyn Scheduler>,
     ) -> Self {
-        assert_eq!(
-            inputs.state(0).num_data_centers(),
-            config.num_data_centers(),
-            "inputs/config data-center mismatch"
-        );
-        assert_eq!(
-            inputs.arrivals(0).len(),
-            config.num_job_classes(),
-            "inputs/config job-class mismatch"
-        );
-        Self {
+        match Self::try_new(config, inputs, scheduler) {
+            Ok(sim) => sim,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Creates a run, reporting shape mismatches as a typed error.
+    ///
+    /// # Errors
+    /// [`SimError::Mismatch`] if the inputs' data-center or job-class
+    /// counts disagree with the configuration.
+    pub fn try_new(
+        config: SystemConfig,
+        inputs: SimulationInputs,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<Self, SimError> {
+        if inputs.state(0).num_data_centers() != config.num_data_centers() {
+            return Err(SimError::Mismatch(format!(
+                "inputs have {} data centers, configuration has {}",
+                inputs.state(0).num_data_centers(),
+                config.num_data_centers()
+            )));
+        }
+        if inputs.arrivals(0).len() != config.num_job_classes() {
+            return Err(SimError::Mismatch(format!(
+                "inputs have {} job classes, configuration has {}",
+                inputs.arrivals(0).len(),
+                config.num_job_classes()
+            )));
+        }
+        Ok(Self {
             config,
             inputs,
             scheduler,
             admission_cap: None,
             queue_bound: None,
-        }
+            faults: None,
+        })
     }
 
     /// Declares the inputs Theorem-1 admissible with queue bound
@@ -99,14 +327,52 @@ impl Simulation {
         self
     }
 
+    /// Overlays a fault plan: applies its data faults to the frozen inputs
+    /// and registers it for run-time effects (solver budgets,
+    /// `fault.inject` events). See the
+    /// [type-level docs](Simulation#fault-injection).
+    ///
+    /// # Errors
+    /// [`SimError::Mismatch`] if the plan references data centers or job
+    /// classes the system does not have.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Result<Self, SimError> {
+        let Self {
+            config,
+            inputs,
+            scheduler,
+            admission_cap,
+            queue_bound,
+            faults: _,
+        } = self;
+        plan.validate_for(config.num_data_centers(), config.num_job_classes())
+            .map_err(|e| SimError::Mismatch(e.to_string()))?;
+        let inputs = inputs
+            .with_faults(&plan)
+            .map_err(|e| SimError::Mismatch(e.to_string()))?;
+        Ok(Self {
+            config,
+            inputs,
+            scheduler,
+            admission_cap,
+            queue_bound,
+            faults: Some(plan),
+        })
+    }
+
     /// The scheduler's self-reported name (what `run.start` will carry).
     pub fn scheduler_name(&self) -> String {
         self.scheduler.name()
     }
 
-    /// The frozen inputs this run will execute against.
+    /// The frozen inputs this run will execute against (already
+    /// fault-transformed when a plan is set).
     pub fn inputs(&self) -> &SimulationInputs {
         &self.inputs
+    }
+
+    /// The fault plan in force, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Runs the whole horizon and returns the report.
@@ -124,63 +390,210 @@ impl Simulation {
     /// Takes `&mut self` (rather than consuming) so sweep runners can reuse
     /// a built simulation; the report is identical either way.
     pub fn run_with_observer(&mut self, obs: &mut dyn Observer) -> SimulationReport {
-        let n = self.config.num_data_centers();
         let horizon = self.inputs.horizon();
-        let work = self.config.work_vector();
-        let fairness_fn = QuadraticDeviation;
-
-        let telemetry = obs.enabled();
         let run_timer = Timer::start();
-        if telemetry {
+        let mut rs = RunState::fresh(&self.config);
+        self.emit_run_start(obs);
+        self.run_span(&mut rs, horizon, obs);
+        self.emit_run_end(&rs, &run_timer, obs);
+        rs.into_report(self.scheduler.name(), horizon)
+    }
+
+    /// Like [`run_with_observer`], but checkpointing per `policy`, and
+    /// honoring its crash injection.
+    ///
+    /// # Errors
+    /// [`SimError::Killed`] when the policy's kill slot is reached (the
+    /// checkpoint has been written), or a checkpoint I/O error.
+    pub fn run_resumable(
+        &mut self,
+        obs: &mut dyn Observer,
+        policy: &RunPolicy,
+    ) -> Result<SimulationReport, SimError> {
+        let rs = RunState::fresh(&self.config);
+        self.drive(rs, obs, Some(policy))
+    }
+
+    /// Resumes a checkpointed run, continuing bit-identically to the
+    /// uninterrupted execution. The simulation must be built from the same
+    /// configuration, inputs (same seed!), scheduler and fault plan as the
+    /// original run; `run.start` is not re-emitted, so appending the
+    /// resumed telemetry to the truncated original yields one contiguous
+    /// stream. Pass a `policy` to keep checkpointing during the remainder.
+    ///
+    /// # Errors
+    /// [`SimError::Mismatch`] when the checkpoint disagrees with this
+    /// simulation (horizon, scheduler, fault plan or shapes), plus the
+    /// [`run_resumable`](Simulation::run_resumable) errors when a policy is
+    /// given.
+    pub fn resume(
+        &mut self,
+        checkpoint: Checkpoint,
+        obs: &mut dyn Observer,
+        policy: Option<&RunPolicy>,
+    ) -> Result<SimulationReport, SimError> {
+        let horizon = self.inputs.horizon();
+        if checkpoint.horizon as usize != horizon {
+            return Err(SimError::Mismatch(format!(
+                "checkpoint horizon {} but inputs have {horizon} slots",
+                checkpoint.horizon
+            )));
+        }
+        if checkpoint.slot as usize > horizon {
+            return Err(SimError::Mismatch(format!(
+                "checkpoint is at slot {} beyond the horizon {horizon}",
+                checkpoint.slot
+            )));
+        }
+        let name = self.scheduler.name();
+        if checkpoint.scheduler != name {
+            return Err(SimError::Mismatch(format!(
+                "checkpoint was written by {:?}, this run uses {name:?}",
+                checkpoint.scheduler
+            )));
+        }
+        let spec = self
+            .faults
+            .as_ref()
+            .map(FaultPlan::spec)
+            .unwrap_or_default();
+        if checkpoint.faults != spec {
+            return Err(SimError::Mismatch(format!(
+                "checkpoint fault plan {:?} differs from this run's {spec:?}",
+                checkpoint.faults
+            )));
+        }
+        let rs = RunState::from_checkpoint(&self.config, checkpoint)?;
+        self.drive(rs, obs, policy)
+    }
+
+    /// The shared driver: runs `rs` to the horizon in checkpoint-bounded
+    /// spans. The slot loop itself is infallible; errors only arise at
+    /// span boundaries (checkpoint writes, crash injection).
+    fn drive(
+        &mut self,
+        mut rs: RunState,
+        obs: &mut dyn Observer,
+        policy: Option<&RunPolicy>,
+    ) -> Result<SimulationReport, SimError> {
+        let horizon = self.inputs.horizon();
+        let run_timer = Timer::start();
+        if rs.next_slot == 0 {
+            self.emit_run_start(obs);
+        }
+        loop {
+            let mut until = horizon;
+            let mut kill = false;
+            if let Some(p) = policy {
+                until = until.min((rs.next_slot / p.every + 1) * p.every);
+                if let Some(k) = p.kill_at {
+                    let k = k as usize;
+                    if k >= rs.next_slot && k < until && k < horizon {
+                        until = k;
+                    }
+                    kill = k == until && k < horizon;
+                }
+            }
+            self.run_span(&mut rs, until, obs);
+            if let Some(p) = policy {
+                if kill {
+                    self.write_checkpoint(&rs, p)?;
+                    return Err(SimError::Killed {
+                        slot: rs.next_slot as u64,
+                        checkpoint: p.path.clone(),
+                    });
+                }
+                if rs.next_slot < horizon {
+                    self.write_checkpoint(&rs, p)?;
+                }
+            }
+            if rs.next_slot >= horizon {
+                break;
+            }
+        }
+        self.emit_run_end(&rs, &run_timer, obs);
+        Ok(rs.into_report(self.scheduler.name(), horizon))
+    }
+
+    fn write_checkpoint(&self, rs: &RunState, policy: &RunPolicy) -> Result<(), SimError> {
+        let spec = self
+            .faults
+            .as_ref()
+            .map(FaultPlan::spec)
+            .unwrap_or_default();
+        rs.to_checkpoint(self.inputs.horizon(), &self.scheduler.name(), &spec)
+            .write(&policy.path)
+    }
+
+    fn emit_run_start(&mut self, obs: &mut dyn Observer) {
+        if obs.enabled() {
             obs.record_event(
                 Event::new("run.start")
                     .field("scheduler", self.scheduler.name())
-                    .field("horizon", horizon)
-                    .field("data_centers", n)
+                    .field("horizon", self.inputs.horizon())
+                    .field("data_centers", self.config.num_data_centers())
                     .field("job_classes", self.config.num_job_classes()),
             );
         }
+    }
 
-        let mut queues = QueueState::new(&self.config);
-        let mut tracker = JobTracker::new(&self.config);
+    fn emit_run_end(&mut self, rs: &RunState, run_timer: &Timer, obs: &mut dyn Observer) {
+        if obs.enabled() {
+            obs.record_event(
+                Event::new("run.end")
+                    .field("slots", self.inputs.horizon())
+                    .field("completed", rs.tracker.stats().completed_total)
+                    .field("dropped", rs.dropped)
+                    .field("wall_us", run_timer.elapsed_micros()),
+            );
+        }
+    }
 
-        let mut energy = RunningSeries::new();
-        let mut fairness = RunningSeries::new();
-        let mut account_shares = vec![RunningSeries::new(); self.config.num_accounts()];
-        let mut work_per_dc = vec![RunningSeries::new(); n];
-        let mut dc_delay = vec![Vec::with_capacity(horizon); n];
-        let mut prices = vec![Vec::with_capacity(horizon); n];
-        let mut arriving_work = RunningSeries::new();
-        let mut queue_total = Vec::with_capacity(horizon);
-        let mut queue_max = Vec::with_capacity(horizon);
-        let mut dropped = 0u64;
+    /// Executes slots `rs.next_slot .. until` of the Algorithm-1 loop.
+    /// Infallible: every slot yields a decision (the scheduler's fallback
+    /// chain guarantees one) and every update is total.
+    fn run_span(&mut self, rs: &mut RunState, until: usize, obs: &mut dyn Observer) {
+        let n = self.config.num_data_centers();
+        let work = self.config.work_vector();
+        let fairness_fn = QuadraticDeviation;
+        let telemetry = obs.enabled();
 
-        for t in 0..horizon {
+        for t in rs.next_slot..until {
             let slot_timer = if telemetry {
                 Some(Timer::start())
             } else {
                 None
             };
-            let dropped_before = dropped;
+            if let Some(plan) = &self.faults {
+                if telemetry {
+                    for fault in plan.starting_at(t as u64) {
+                        obs.record_event(fault_inject_event(fault, t as u64));
+                        obs.add_counter("faults.injected", 1);
+                    }
+                }
+                self.scheduler
+                    .set_solver_budget(plan.fw_budget_at(t as u64).map(SolverBudget::fw_iters));
+            }
+            let dropped_before = rs.dropped;
             let state = self.inputs.state(t);
-            let decision = self.scheduler.decide_observed(state, &queues, obs);
+            let decision = self.scheduler.decide_observed(state, &rs.queues, obs);
             debug_assert!(decision.is_nonnegative() && decision.is_finite());
 
             // Metering (energy (2), fairness (3)) — β only weighs the two
             // into g; record the components themselves.
             let breakdown = cost_breakdown(&self.config, state, &decision, 0.0, &fairness_fn);
-            energy.push(breakdown.energy);
-            fairness.push(breakdown.fairness);
-            for (series, &share) in account_shares.iter_mut().zip(&breakdown.shares) {
+            rs.energy.push(breakdown.energy);
+            rs.fairness.push(breakdown.fairness);
+            for (series, &share) in rs.account_shares.iter_mut().zip(&breakdown.shares) {
                 series.push(share);
             }
             for i in 0..n {
-                work_per_dc[i].push(decision.work_processed(i, &work));
-                prices[i].push(state.data_center(i).price());
+                rs.work_per_dc[i].push(decision.work_processed(i, &work));
+                rs.prices[i].push(state.data_center(i).price());
             }
 
             // Job-level execution, then queue dynamics (12)–(13).
-            tracker.step(t as Slot, &decision);
+            rs.tracker.step(t as Slot, &decision);
             let raw_arrivals = self.inputs.arrivals(t);
             let arrivals = match self.admission_cap {
                 None => raw_arrivals.to_vec(),
@@ -188,20 +601,21 @@ impl Simulation {
                     let mut admitted = raw_arrivals.to_vec();
                     for (j, a) in admitted.iter_mut().enumerate() {
                         // Queue after this slot's routing:
-                        let after_route = (queues.central(j) - decision.routed.col_sum(j)).max(0.0);
+                        let after_route =
+                            (rs.queues.central(j) - decision.routed.col_sum(j)).max(0.0);
                         let room = (cap - after_route).max(0.0).floor();
                         if *a > room {
-                            dropped += (*a - room).round() as u64;
+                            rs.dropped += (*a - room).round() as u64;
                             *a = room;
                         }
                     }
                     admitted
                 }
             };
-            tracker.arrive(t as Slot, &arrivals);
+            rs.tracker.arrive(t as Slot, &arrivals);
             #[cfg(feature = "strict-invariants")]
-            let prev_queues = queues.clone();
-            queues.apply(&decision, &arrivals);
+            let prev_queues = rs.queues.clone();
+            rs.queues.apply(&decision, &arrivals);
 
             // `strict-invariants`: the realized transition must match the
             // dynamics (12)-(13) exactly, and on a declared-admissible trace
@@ -214,10 +628,10 @@ impl Simulation {
                     &prev_queues,
                     &decision,
                     &arrivals,
-                    &queues,
+                    &rs.queues,
                 )
                 .and_then(|()| match self.queue_bound {
-                    Some(bound) => invariant::check_queue_bound(&queues, bound),
+                    Some(bound) => invariant::check_queue_bound(&rs.queues, bound),
                     None => Ok(()),
                 });
                 if let Err(violation) = check {
@@ -233,44 +647,44 @@ impl Simulation {
             #[cfg(debug_assertions)]
             for j in 0..self.config.num_job_classes() {
                 debug_assert!(
-                    (queues.central(j) - tracker.central_backlog(j)).abs() < 1e-6,
+                    (rs.queues.central(j) - rs.tracker.central_backlog(j)).abs() < 1e-6,
                     "slot {t}: central queue {j} diverged"
                 );
                 for i in 0..n {
                     debug_assert!(
-                        (queues.local(i, j) - tracker.local_backlog(i, j)).abs() < 1e-6,
+                        (rs.queues.local(i, j) - rs.tracker.local_backlog(i, j)).abs() < 1e-6,
                         "slot {t}: local queue ({i},{j}) diverged"
                     );
                 }
             }
 
-            arriving_work.push(
+            rs.arriving_work.push(
                 raw_arrivals
                     .iter()
                     .zip(&work)
                     .map(|(a, d)| a * d)
                     .sum::<f64>(),
             );
-            queue_total.push(queues.total());
-            queue_max.push(queues.max_len());
-            for (i, series) in dc_delay.iter_mut().enumerate() {
-                let (count, sum) = tracker.dc_delay_accumulator(i);
+            rs.queue_total.push(rs.queues.total());
+            rs.queue_max.push(rs.queues.max_len());
+            for (i, series) in rs.dc_delay.iter_mut().enumerate() {
+                let (count, sum) = rs.tracker.dc_delay_accumulator(i);
                 series.push(if count > 0 { sum / count as f64 } else { 0.0 });
             }
 
             if let Some(timer) = slot_timer {
                 let elapsed = timer.elapsed();
                 let central: f64 = (0..self.config.num_job_classes())
-                    .map(|j| queues.central(j))
+                    .map(|j| rs.queues.central(j))
                     .sum();
                 let arrivals_total: f64 = raw_arrivals.iter().sum();
-                let dropped_now = dropped - dropped_before;
+                let dropped_now = rs.dropped - dropped_before;
                 obs.record_event(
                     Event::new("slot")
                         .field("t", t)
                         .field("queue_central", central)
-                        .field("queue_local", queues.total() - central)
-                        .field("queue_max", queues.max_len())
+                        .field("queue_local", rs.queues.total() - central)
+                        .field("queue_max", rs.queues.max_len())
                         .field("energy", breakdown.energy)
                         .field("fairness", breakdown.fairness)
                         .field("arrivals", arrivals_total)
@@ -281,48 +695,38 @@ impl Simulation {
                         ),
                 );
                 obs.record_duration("slot.wall_us", elapsed);
-                obs.record_value("queue.total", queues.total());
+                obs.record_value("queue.total", rs.queues.total());
                 obs.add_counter("slots", 1);
                 obs.add_counter("arrivals", arrivals_total.round() as u64);
                 if dropped_now > 0 {
                     obs.add_counter("admission_cap.hits", 1);
                     obs.add_counter("dropped", dropped_now);
                 }
-                obs.set_gauge("queue.max", queues.max_len());
+                obs.set_gauge("queue.max", rs.queues.max_len());
             }
+            rs.next_slot = t + 1;
         }
-
-        let dc_delay_quantiles = (0..n)
-            .map(|i| crate::stats::Quantiles::from_samples(tracker.dc_delay_samples(i)))
-            .collect();
-
-        if telemetry {
-            obs.record_event(
-                Event::new("run.end")
-                    .field("slots", horizon)
-                    .field("completed", tracker.stats().completed_total)
-                    .field("dropped", dropped)
-                    .field("wall_us", run_timer.elapsed_micros()),
-            );
-        }
-
-        SimulationReport {
-            scheduler: self.scheduler.name(),
-            horizon,
-            energy,
-            fairness,
-            account_shares,
-            work_per_dc,
-            dc_delay,
-            prices,
-            arriving_work,
-            queue_total,
-            queue_max,
-            completions: tracker.stats(),
-            dc_delay_quantiles,
-            dropped_jobs: dropped,
-        }
+        rs.next_slot = rs.next_slot.max(until);
     }
+}
+
+/// Renders a fault window's opening as a `fault.inject` telemetry event.
+fn fault_inject_event(fault: &grefar_faults::Fault, t: u64) -> Event {
+    let mut event = Event::new("fault.inject")
+        .field("t", t)
+        .field("kind", fault.label())
+        .field("start", fault.start)
+        .field("end", fault.end);
+    if let Some(dc) = fault.dc() {
+        event = event.field("dc", dc);
+    }
+    if let Some(job) = fault.job() {
+        event = event.field("job", job);
+    }
+    if let Some(magnitude) = fault.magnitude() {
+        event = event.field("magnitude", magnitude);
+    }
+    event
 }
 
 #[cfg(test)]
@@ -330,6 +734,7 @@ mod tests {
     use super::*;
     use grefar_cluster::{AvailabilityProcess, FullAvailability};
     use grefar_core::{Always, GreFar, GreFarParams};
+    use grefar_obs::MemoryObserver;
     use grefar_trace::{ConstantPrice, ConstantWorkload, PriceProcess};
     use grefar_types::{DataCenterId, JobClass, ServerClass};
 
@@ -440,5 +845,167 @@ mod tests {
         assert_eq!(report.prices[0].len(), 50);
         assert_eq!(report.queue_total.len(), 50);
         assert_eq!(report.num_data_centers(), 1);
+    }
+
+    #[test]
+    fn try_new_reports_shape_mismatch() {
+        let cfg = config();
+        let other = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![10.0])
+            .data_center("b", vec![10.0])
+            .account("x", 1.0)
+            .job_class(JobClass::new(
+                1.0,
+                vec![DataCenterId::new(0), DataCenterId::new(1)],
+                0,
+            ))
+            .build()
+            .unwrap();
+        let inp = inputs(&cfg, 10, 0.5, 1.0);
+        let err = Simulation::try_new(other, inp, Box::new(Always::new(&cfg))).unwrap_err();
+        assert!(matches!(err, SimError::Mismatch(_)));
+    }
+
+    #[test]
+    fn full_outage_run_completes_degrades_and_recovers() {
+        let cfg = config();
+        let inp = inputs(&cfg, 120, 0.5, 2.0);
+        let plan = FaultPlan::parse("outage:dc=0,start=30,end=40").unwrap();
+        let g = GreFar::new(&cfg, GreFarParams::new(1.0, 0.0)).unwrap();
+        let mut sim = Simulation::new(cfg, inp, Box::new(g))
+            .with_fault_plan(plan)
+            .unwrap();
+        let mut obs = MemoryObserver::new();
+        let report = sim.run_with_observer(&mut obs);
+        // The fault window opening is announced, the offline DC reported.
+        assert_eq!(obs.event_count("fault.inject"), 1);
+        assert!(obs.event_count("degraded.mode") > 0);
+        // Queues pile up during the outage and drain afterwards.
+        let peak = report.queue_total.iter().cloned().fold(0.0f64, f64::max);
+        let final_q = *report.queue_total.last().unwrap();
+        assert!(peak >= 10.0, "outage should grow the backlog, peak {peak}");
+        assert!(
+            final_q < peak / 2.0,
+            "backlog should recover, final {final_q}"
+        );
+    }
+
+    #[test]
+    fn without_fault_plan_no_fault_events_are_emitted() {
+        let cfg = config();
+        let inp = inputs(&cfg, 50, 0.5, 2.0);
+        let g = GreFar::new(&cfg, GreFarParams::new(1.0, 0.0)).unwrap();
+        let mut sim = Simulation::new(cfg, inp, Box::new(g));
+        let mut obs = MemoryObserver::new();
+        sim.run_with_observer(&mut obs);
+        assert_eq!(obs.event_count("fault.inject"), 0);
+        assert_eq!(obs.event_count("degraded.mode"), 0);
+    }
+
+    #[test]
+    fn fault_plan_rejects_out_of_range_targets() {
+        let cfg = config();
+        let inp = inputs(&cfg, 10, 0.5, 1.0);
+        let plan = FaultPlan::parse("outage:dc=7,start=0,end=5").unwrap();
+        let g = GreFar::new(&cfg, GreFarParams::new(1.0, 0.0)).unwrap();
+        let err = Simulation::new(cfg, inp, Box::new(g))
+            .with_fault_plan(plan)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Mismatch(_)));
+    }
+
+    #[test]
+    fn kill_and_resume_reproduce_the_uninterrupted_run_exactly() {
+        let cfg = config();
+        let inp = inputs(&cfg, 120, 0.8, 2.0);
+        let make = |cfg: &SystemConfig| {
+            Box::new(GreFar::new(cfg, GreFarParams::new(5.0, 0.0)).unwrap()) as Box<dyn Scheduler>
+        };
+        let full = Simulation::new(cfg.clone(), inp.clone(), make(&cfg)).run();
+
+        let dir = std::env::temp_dir().join(format!("grefar-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.jsonl");
+        let policy = RunPolicy::new(&path, 25).with_kill_at(60);
+        let mut killed = Simulation::new(cfg.clone(), inp.clone(), make(&cfg));
+        match killed.run_resumable(&mut NullObserver, &policy) {
+            Err(SimError::Killed { slot: 60, .. }) => {}
+            other => panic!("expected kill at 60, got {other:?}"),
+        }
+
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.slot, 60);
+        let mut resumed_sim = Simulation::new(cfg.clone(), inp, make(&cfg));
+        let resumed = resumed_sim.resume(ck, &mut NullObserver, None).unwrap();
+        assert_eq!(resumed, full, "resume must be bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_runs() {
+        let cfg = config();
+        let inp = inputs(&cfg, 40, 0.5, 2.0);
+        let dir = std::env::temp_dir().join(format!("grefar-resume-mm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.jsonl");
+        let policy = RunPolicy::new(&path, 10).with_kill_at(10);
+        let g = GreFar::new(&cfg, GreFarParams::new(5.0, 0.0)).unwrap();
+        let mut sim = Simulation::new(cfg.clone(), inp.clone(), Box::new(g));
+        assert!(sim.run_resumable(&mut NullObserver, &policy).is_err());
+        let ck = Checkpoint::load(&path).unwrap();
+
+        // Different scheduler: refuse to resume.
+        let mut other = Simulation::new(cfg.clone(), inp.clone(), Box::new(Always::new(&cfg)));
+        assert!(matches!(
+            other.resume(ck.clone(), &mut NullObserver, None),
+            Err(SimError::Mismatch(_))
+        ));
+        // Different horizon: refuse to resume.
+        let g = GreFar::new(&cfg, GreFarParams::new(5.0, 0.0)).unwrap();
+        let mut short = Simulation::new(cfg.clone(), inp.truncated(20), Box::new(g));
+        assert!(matches!(
+            short.resume(ck, &mut NullObserver, None),
+            Err(SimError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solver_squeeze_budget_reaches_the_scheduler() {
+        // β > 0 forces Frank–Wolfe; a 1-iteration squeeze forces the greedy
+        // fallback, which the telemetry must report.
+        let cfg = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![30.0])
+            .account("x", 0.5)
+            .account("y", 0.5)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 1)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .build()
+            .unwrap();
+        let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(0.5))];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> = vec![Box::new(FullAvailability)];
+        let mut workload = ConstantWorkload::new(vec![4.0, 1.0]);
+        let inp = SimulationInputs::generate(&cfg, 40, 1, &mut prices, &mut avail, &mut workload);
+        let plan = FaultPlan::parse("squeeze:start=10,end=20,iters=1").unwrap();
+        let g = GreFar::new(&cfg, GreFarParams::new(1.0, 500.0)).unwrap();
+        let mut sim = Simulation::new(cfg, inp, Box::new(g))
+            .with_fault_plan(plan)
+            .unwrap();
+        let mut obs = MemoryObserver::new();
+        sim.run_with_observer(&mut obs);
+        assert!(obs.event_count("degraded.mode") > 0);
+        assert_eq!(obs.event_count("fault.inject"), 1);
     }
 }

@@ -124,7 +124,8 @@ impl JobTracker {
                     front.remaining -= served;
                     budget -= served;
                     if front.remaining <= 1e-12 {
-                        let job = queue.pop_front().expect("front exists");
+                        let job = *front;
+                        queue.pop_front();
                         *done += 1;
                         self.completed_per_dc[i] += 1;
                         self.completed_total += 1;
@@ -211,6 +212,121 @@ impl JobTracker {
     pub fn dc_delay_samples(&self, i: usize) -> &[f64] {
         &self.dc_delay_samples[i]
     }
+
+    /// Captures the tracker's complete job-level state for a checkpoint.
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        TrackerSnapshot {
+            central: self
+                .central
+                .iter()
+                .map(|q| q.iter().map(|job| job.arrival).collect())
+                .collect(),
+            local: self
+                .local
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|q| {
+                            q.iter()
+                                .map(|job| (job.arrival, job.serviceable_from, job.remaining))
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+            completed_per_dc: self.completed_per_dc.clone(),
+            dc_delay_sum: self.dc_delay_sum.clone(),
+            dc_delay_samples: self.dc_delay_samples.clone(),
+            completed_total: self.completed_total,
+            sojourn_sum: self.sojourn_sum,
+        }
+    }
+
+    /// Rebuilds a tracker from a [`snapshot`](Self::snapshot) — the exact
+    /// inverse, so `from_snapshot(config, t.snapshot())` continues precisely
+    /// where `t` stopped.
+    ///
+    /// # Errors
+    /// Returns a message if the snapshot's shape mismatches the
+    /// configuration or any job fraction is out of `(0, 1]`.
+    pub fn from_snapshot(config: &SystemConfig, snap: TrackerSnapshot) -> Result<Self, String> {
+        let n = config.num_data_centers();
+        let j_count = config.num_job_classes();
+        if snap.central.len() != j_count
+            || snap.local.len() != n
+            || snap.local.iter().any(|row| row.len() != j_count)
+            || snap.completed_per_dc.len() != n
+            || snap.dc_delay_sum.len() != n
+            || snap.dc_delay_samples.len() != n
+        {
+            return Err("tracker snapshot shape mismatches the configuration".to_string());
+        }
+        for row in &snap.local {
+            for queue in row {
+                for &(_, _, remaining) in queue {
+                    if !(remaining > 0.0 && remaining <= 1.0) {
+                        return Err(format!(
+                            "job fraction {remaining} outside (0, 1] in tracker snapshot"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            central: snap
+                .central
+                .into_iter()
+                .map(|q| {
+                    q.into_iter()
+                        .map(|arrival| CentralJob { arrival })
+                        .collect()
+                })
+                .collect(),
+            local: snap
+                .local
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|q| {
+                            q.into_iter()
+                                .map(|(arrival, serviceable_from, remaining)| LocalJob {
+                                    arrival,
+                                    serviceable_from,
+                                    remaining,
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect(),
+            completed_per_dc: snap.completed_per_dc,
+            dc_delay_sum: snap.dc_delay_sum,
+            dc_delay_samples: snap.dc_delay_samples,
+            completed_total: snap.completed_total,
+            sojourn_sum: snap.sojourn_sum,
+        })
+    }
+}
+
+/// A plain-data copy of a [`JobTracker`]'s state, as written to and read
+/// from checkpoints. Local jobs are `(arrival, serviceable_from,
+/// remaining)` triples in FIFO order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerSnapshot {
+    /// Arrival slots of jobs waiting centrally, per job class, FIFO order.
+    pub central: Vec<Vec<Slot>>,
+    /// Jobs waiting in each data center: `[dc][job class]` FIFO queues.
+    pub local: Vec<Vec<Vec<(Slot, Slot, f64)>>>,
+    /// Completions per data center.
+    pub completed_per_dc: Vec<u64>,
+    /// Cumulative data-center delay per data center.
+    pub dc_delay_sum: Vec<f64>,
+    /// Every completed job's delay, per data center.
+    pub dc_delay_samples: Vec<Vec<f64>>,
+    /// Total completions.
+    pub completed_total: u64,
+    /// Cumulative sojourn time over all completed jobs.
+    pub sojourn_sum: f64,
 }
 
 #[cfg(test)]
@@ -316,6 +432,41 @@ mod tests {
         tr.step(2, &z);
         assert_eq!(tr.local_backlog(0, 0), 0.0);
         assert_eq!(tr.stats().completed_total, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        let cfg = config();
+        let mut tr = JobTracker::new(&cfg);
+        tr.arrive(0, &[3.0]);
+        let mut route = cfg.decision_zeros();
+        route.routed[(0, 0)] = 3.0;
+        tr.step(1, &route);
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 1.4; // one done, one at 0.6 remaining
+        tr.step(2, &z);
+
+        let restored = JobTracker::from_snapshot(&cfg, tr.snapshot()).unwrap();
+        assert_eq!(restored.stats(), tr.stats());
+        assert_eq!(restored.local_backlog(0, 0), tr.local_backlog(0, 0));
+        // Both continue to the same future.
+        let mut a = tr.clone();
+        let mut b = restored;
+        z.processed[(0, 0)] = 2.0;
+        assert_eq!(a.step(3, &z), b.step(3, &z));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn from_snapshot_rejects_bad_shapes_and_fractions() {
+        let cfg = config();
+        let tr = JobTracker::new(&cfg);
+        let mut snap = tr.snapshot();
+        snap.completed_per_dc.push(0);
+        assert!(JobTracker::from_snapshot(&cfg, snap).is_err());
+        let mut snap = tr.snapshot();
+        snap.local[0][0].push((0, 1, 1.5));
+        assert!(JobTracker::from_snapshot(&cfg, snap).is_err());
     }
 
     #[test]

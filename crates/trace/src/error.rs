@@ -1,0 +1,177 @@
+//! Typed errors for trace import, with file positions.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Why a trace CSV could not be loaded. Every data-dependent variant
+/// carries the 1-based line number (and, where it applies, the 1-based
+/// column) of the offending cell, so a user fixing a multi-thousand-row
+/// trace export is pointed at the exact row.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be opened or read.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The file is completely empty — not even a header line.
+    MissingHeader {
+        /// The file involved.
+        path: PathBuf,
+    },
+    /// The file has a header but no data rows.
+    NoDataRows {
+        /// The file involved.
+        path: PathBuf,
+    },
+    /// A cell failed to parse as a number.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// The unparsable cell text.
+        cell: String,
+    },
+    /// A row has the wrong number of cells (a truncated or ragged file).
+    Ragged {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// Cells the header promises.
+        expected: usize,
+        /// Cells the row has.
+        found: usize,
+    },
+    /// A cell parsed but its value is invalid for the trace being loaded
+    /// (negative or non-finite price / arrival count).
+    InvalidValue {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// What the cell is supposed to be ("price", "arrival count").
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl TraceError {
+    /// The 1-based line number, for variants anchored to one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            TraceError::Parse { line, .. }
+            | TraceError::Ragged { line, .. }
+            | TraceError::InvalidValue { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            TraceError::MissingHeader { path } => {
+                write!(f, "{}: empty file (no header line)", path.display())
+            }
+            TraceError::NoDataRows { path } => {
+                write!(f, "{}: header only, no data rows", path.display())
+            }
+            TraceError::Parse {
+                path,
+                line,
+                column,
+                cell,
+            } => write!(
+                f,
+                "{}:{line}: column {column}: {cell:?} is not a number",
+                path.display()
+            ),
+            TraceError::Ragged {
+                path,
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{}:{line}: expected {expected} cells, found {found}",
+                path.display()
+            ),
+            TraceError::InvalidValue {
+                path,
+                line,
+                column,
+                what,
+                value,
+            } => write!(
+                f,
+                "{}:{line}: column {column}: invalid {what} {value}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Back-compatibility with callers treating trace loading as I/O:
+/// non-I/O variants map to [`io::ErrorKind::InvalidData`] keeping the full
+/// positioned message.
+impl From<TraceError> for io::Error {
+    fn from(err: TraceError) -> Self {
+        match err {
+            TraceError::Io { source, .. } => source,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = TraceError::InvalidValue {
+            path: PathBuf::from("p.csv"),
+            line: 7,
+            column: 2,
+            what: "price",
+            value: -0.5,
+        };
+        assert_eq!(e.line(), Some(7));
+        let text = e.to_string();
+        assert!(text.contains("p.csv:7"), "{text}");
+        assert!(text.contains("column 2"), "{text}");
+    }
+
+    #[test]
+    fn io_error_conversion_keeps_the_message() {
+        let e = TraceError::Ragged {
+            path: PathBuf::from("w.csv"),
+            line: 3,
+            expected: 4,
+            found: 2,
+        };
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("w.csv:3"));
+    }
+}

@@ -12,33 +12,91 @@
 //! * **workload CSV** — header `job1,job2,…`, one arrival count per job
 //!   type per row.
 
-use crate::csv::{read_csv, write_csv};
+use crate::csv::write_csv;
+use crate::error::TraceError;
 use crate::record::{PriceTrace, WorkloadTrace};
-use std::io;
+use std::io::{self, BufRead, BufReader};
 use std::path::Path;
+
+/// Data rows, each tagged with its 1-based line number in the source file.
+type PositionedRows = Vec<(usize, Vec<f64>)>;
+
+/// Reads a numeric CSV with full position tracking: returns the headers
+/// and data rows, where each row carries its 1-based line number in the
+/// file (blank lines are skipped, so numbers need not be contiguous).
+fn read_positioned_csv(path: &Path) -> Result<(Vec<String>, PositionedRows), TraceError> {
+    let trace_io = |source| TraceError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let file = std::fs::File::open(path).map_err(trace_io)?;
+    let mut lines = BufReader::new(file).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| TraceError::MissingHeader {
+            path: path.to_path_buf(),
+        })?
+        .map_err(trace_io)?;
+    let headers: Vec<String> = header_line
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let lineno = idx + 2; // 1-based, after the header
+        let line = line.map_err(trace_io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = Vec::with_capacity(headers.len());
+        for (column, cell) in line.split(',').enumerate() {
+            let value = cell.trim().parse::<f64>().map_err(|_| TraceError::Parse {
+                path: path.to_path_buf(),
+                line: lineno,
+                column: column + 1,
+                cell: cell.trim().to_string(),
+            })?;
+            row.push(value);
+        }
+        if row.len() != headers.len() {
+            return Err(TraceError::Ragged {
+                path: path.to_path_buf(),
+                line: lineno,
+                expected: headers.len(),
+                found: row.len(),
+            });
+        }
+        rows.push((lineno, row));
+    }
+    if rows.is_empty() {
+        return Err(TraceError::NoDataRows {
+            path: path.to_path_buf(),
+        });
+    }
+    Ok((headers, rows))
+}
 
 /// Loads a price trace from CSV (columns = data centers, rows = slots).
 ///
 /// # Errors
-/// I/O errors, or [`io::ErrorKind::InvalidData`] if the file is empty,
-/// ragged, or contains negative/non-finite prices.
-pub fn load_price_trace<P: AsRef<Path>>(path: P) -> io::Result<PriceTrace> {
-    let (headers, rows) = read_csv(path)?;
-    if rows.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "price csv has no data rows",
-        ));
-    }
+/// [`TraceError`], positioned at the offending line/column: I/O failures,
+/// an empty or header-only file, ragged rows, unparsable cells, and
+/// negative or non-finite prices.
+pub fn load_price_trace<P: AsRef<Path>>(path: P) -> Result<PriceTrace, TraceError> {
+    let path = path.as_ref();
+    let (headers, rows) = read_positioned_csv(path)?;
     let dcs = headers.len();
     let mut per_dc = vec![Vec::with_capacity(rows.len()); dcs];
-    for (lineno, row) in rows.iter().enumerate() {
+    for (lineno, row) in &rows {
         for (i, &price) in row.iter().enumerate() {
             if !price.is_finite() || price < 0.0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("row {}: invalid price {price}", lineno + 2),
-                ));
+                return Err(TraceError::InvalidValue {
+                    path: path.to_path_buf(),
+                    line: *lineno,
+                    column: i + 1,
+                    what: "price",
+                    value: price,
+                });
             }
             per_dc[i].push(price);
         }
@@ -62,27 +120,28 @@ pub fn save_price_trace<P: AsRef<Path>>(path: P, trace: &PriceTrace) -> io::Resu
 /// Loads a workload trace from CSV (columns = job types, rows = slots).
 ///
 /// # Errors
-/// I/O errors, or [`io::ErrorKind::InvalidData`] if the file is empty or
-/// contains negative/non-finite counts.
-pub fn load_workload_trace<P: AsRef<Path>>(path: P) -> io::Result<WorkloadTrace> {
-    let (_, rows) = read_csv(path)?;
-    if rows.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "workload csv has no data rows",
-        ));
-    }
-    for (lineno, row) in rows.iter().enumerate() {
-        for &a in row {
+/// [`TraceError`], positioned at the offending line/column: I/O failures,
+/// an empty or header-only file, ragged rows, unparsable cells, and
+/// negative or non-finite arrival counts.
+pub fn load_workload_trace<P: AsRef<Path>>(path: P) -> Result<WorkloadTrace, TraceError> {
+    let path = path.as_ref();
+    let (_, rows) = read_positioned_csv(path)?;
+    for (lineno, row) in &rows {
+        for (column, &a) in row.iter().enumerate() {
             if !a.is_finite() || a < 0.0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("row {}: invalid arrival count {a}", lineno + 2),
-                ));
+                return Err(TraceError::InvalidValue {
+                    path: path.to_path_buf(),
+                    line: *lineno,
+                    column: column + 1,
+                    what: "arrival count",
+                    value: a,
+                });
             }
         }
     }
-    Ok(WorkloadTrace::from_rows(rows))
+    Ok(WorkloadTrace::from_rows(
+        rows.into_iter().map(|(_, row)| row).collect(),
+    ))
 }
 
 /// Saves a workload trace to CSV.
@@ -132,20 +191,119 @@ mod tests {
     }
 
     #[test]
-    fn rejects_negative_prices() {
+    fn rejects_negative_prices_with_position() {
         let path = temp_path("bad-prices.csv");
-        std::fs::write(&path, "dc1\n-0.5\n").unwrap();
-        assert!(load_price_trace(&path).is_err());
+        std::fs::write(&path, "dc1,dc2\n0.4,0.5\n0.3,-0.5\n").unwrap();
+        match load_price_trace(&path).unwrap_err() {
+            TraceError::InvalidValue {
+                line,
+                column,
+                what,
+                value,
+                ..
+            } => {
+                assert_eq!((line, column), (3, 2));
+                assert_eq!(what, "price");
+                assert_eq!(value, -0.5);
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
         std::fs::remove_file(path).ok();
     }
 
     #[test]
-    fn rejects_empty_files() {
-        let path = temp_path("empty.csv");
-        std::fs::write(&path, "dc1\n").unwrap();
-        assert!(load_price_trace(&path).is_err());
-        assert!(load_workload_trace(&path).is_err());
+    fn rejects_nan_prices_with_position() {
+        let path = temp_path("nan-prices.csv");
+        // "NaN" parses as an f64, so this exercises the value check, not
+        // the parser.
+        std::fs::write(&path, "dc1\n0.4\nNaN\n").unwrap();
+        match load_price_trace(&path).unwrap_err() {
+            TraceError::InvalidValue { line, value, .. } => {
+                assert_eq!(line, 3);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_rows_with_position() {
+        let path = temp_path("truncated.csv");
+        // The last row was cut off mid-write: 1 cell instead of 3.
+        std::fs::write(&path, "dc1,dc2,dc3\n0.1,0.2,0.3\n0.1\n").unwrap();
+        match load_price_trace(&path).unwrap_err() {
+            TraceError::Ragged {
+                line,
+                expected,
+                found,
+                ..
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!((expected, found), (3, 1));
+            }
+            other => panic!("expected Ragged, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_unparsable_cells_with_position() {
+        let path = temp_path("garbage.csv");
+        std::fs::write(&path, "job1\n3\ntwo\n").unwrap();
+        match load_workload_trace(&path).unwrap_err() {
+            TraceError::Parse { line, cell, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(cell, "two");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_negative_arrival_counts() {
+        let path = temp_path("neg-work.csv");
+        std::fs::write(&path, "job1,job2\n2,3\n1,-4\n").unwrap();
+        match load_workload_trace(&path).unwrap_err() {
+            TraceError::InvalidValue {
+                line, column, what, ..
+            } => {
+                assert_eq!((line, column), (3, 2));
+                assert_eq!(what, "arrival count");
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_header_only_and_empty_files() {
+        let path = temp_path("header-only.csv");
+        std::fs::write(&path, "dc1\n").unwrap();
+        assert!(matches!(
+            load_price_trace(&path).unwrap_err(),
+            TraceError::NoDataRows { .. }
+        ));
+        assert!(matches!(
+            load_workload_trace(&path).unwrap_err(),
+            TraceError::NoDataRows { .. }
+        ));
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            load_price_trace(&path).unwrap_err(),
+            TraceError::MissingHeader { .. }
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = temp_path("does-not-exist.csv");
+        assert!(matches!(
+            load_price_trace(&path).unwrap_err(),
+            TraceError::Io { .. }
+        ));
     }
 
     #[test]

@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+mod error;
 pub mod import;
 pub mod price;
 pub mod record;
 mod rng;
 pub mod workload;
 
+pub use error::TraceError;
 pub use price::{ConstantPrice, DiurnalPriceModel, PriceProcess, ReplayPrice, TieredPrice};
 pub use record::{PriceTrace, WorkloadTrace};
 pub use rng::GaussianSampler;

@@ -131,6 +131,31 @@ impl Tariff {
         self.segments[0].rate
     }
 
+    /// This tariff with every marginal rate multiplied by `factor` (price
+    /// spikes, currency scaling). Segment widths are unchanged; scaling by
+    /// a non-negative factor preserves the non-decreasing rate order, so
+    /// the result is still convex.
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "tariff scale factor must be non-negative and finite, got {factor}"
+        );
+        Self {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| TariffSegment {
+                    width: s.width,
+                    rate: s.rate * factor,
+                })
+                .collect(),
+        }
+    }
+
     /// Total cost of consuming `energy` units during the slot. Convex,
     /// non-decreasing and piecewise linear in `energy`.
     ///

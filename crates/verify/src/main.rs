@@ -5,8 +5,8 @@
 //!
 //! | rule          | scope                                                  |
 //! |---------------|--------------------------------------------------------|
-//! | `determinism` | `crates/{core,convex,lp,sim,report}/src`               |
-//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster,report}/src` |
+//! | `determinism` | `crates/{core,convex,lp,sim,report,faults}/src`        |
+//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster,report,faults}/src` |
 //! | `no-panic`    | `crates/lp/src`, `crates/core/src/solver`              |
 //! | `errors-doc`  | `crates/{core,lp}/src`                                 |
 //!
@@ -33,6 +33,7 @@ const SCOPES: &[Scope] = &[
             "crates/lp/src",
             "crates/sim/src",
             "crates/report/src",
+            "crates/faults/src",
         ],
     },
     Scope {
@@ -45,6 +46,7 @@ const SCOPES: &[Scope] = &[
             "crates/types/src",
             "crates/cluster/src",
             "crates/report/src",
+            "crates/faults/src",
         ],
     },
     Scope {

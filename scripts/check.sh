@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+cargo build --release --offline --workspace
 cargo test -q --offline
 # Repo-specific lint pass: determinism, float comparisons, panic-free hot
 # paths, error docs (see crates/verify).
@@ -22,6 +22,31 @@ trap 'rm -rf "$report_tmp"' EXIT
 ./target/release/grefar-report analyze "$report_tmp/run_a.jsonl" --assert-bound > /dev/null
 ./target/release/fig2 --hours 48 --telemetry "$report_tmp/run_b.jsonl" > /dev/null
 ./target/release/grefar-report diff "$report_tmp/run_a.jsonl" "$report_tmp/run_b.jsonl" > /dev/null
+# Resilience (see EXPERIMENTS.md, "Fault injection"): a run with a full
+# data-center outage must complete, report degraded slots, and still hold
+# the Theorem 1(a) bound; a run killed mid-flight (exit 3) must resume from
+# its checkpoint into a telemetry stream the diff tool certifies as
+# identical to the uninterrupted one.
+outage='outage:dc=0,start=30,end=40'
+./target/release/grefar_cli --hours 500 --faults "$outage" \
+    --telemetry "$report_tmp/faulted.jsonl" > /dev/null
+./target/release/grefar-report analyze "$report_tmp/faulted.jsonl" --assert-bound \
+    | grep -q 'degraded slot' || { echo "resilience section missing" >&2; exit 1; }
+if ./target/release/grefar_cli --hours 500 --faults "$outage" \
+    --telemetry "$report_tmp/cut.jsonl" \
+    --checkpoint "$report_tmp/run.ckpt.jsonl" --checkpoint-every 50 --kill-at 250 \
+    > /dev/null 2>&1; then
+    echo "killed run should exit non-zero" >&2; exit 1
+else
+    [ $? -eq 3 ] || { echo "killed run should exit 3" >&2; exit 1; }
+fi
+./target/release/grefar_cli --hours 500 --faults "$outage" \
+    --telemetry "$report_tmp/cut.jsonl" \
+    --checkpoint "$report_tmp/run.ckpt.jsonl" --resume > /dev/null
+./target/release/grefar-report diff \
+    "$report_tmp/faulted.jsonl" "$report_tmp/cut.jsonl" > /dev/null
+echo "resilience ok"
+
 # Perf trajectory: benches emit machine-readable BENCH_<target>.json; a
 # self-comparison through the gate must pass.
 cargo bench -q -p grefar-bench --bench trace --offline -- --json "$report_tmp" > /dev/null

@@ -12,6 +12,8 @@
 //! * [`cluster`] — data-center fleets, availability processes, energy model,
 //! * [`trace`] — electricity-price and Cosmos-like workload generators,
 //! * [`core`] — the GreFar scheduler, baselines and Theorem 1 machinery,
+//! * [`faults`] — seeded fault-injection plans (outages, price spikes,
+//!   arrival bursts, solver squeezes) for resilience testing,
 //! * [`sim`] — the discrete-time simulator and experiment runner,
 //! * [`obs`] — the structured telemetry layer (observers, JSONL export,
 //!   timing histograms); see `Simulation::run_with_observer`.
@@ -37,6 +39,7 @@
 pub use grefar_cluster as cluster;
 pub use grefar_convex as convex;
 pub use grefar_core as core;
+pub use grefar_faults as faults;
 pub use grefar_lp as lp;
 pub use grefar_obs as obs;
 pub use grefar_sim as sim;

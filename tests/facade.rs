@@ -47,6 +47,7 @@ fn module_reexports_are_wired() {
     let _ = grefar::cluster::FullAvailability;
     let _ = grefar::trace::ConstantPrice(0.1);
     let _ = grefar::core::QuadraticDeviation;
+    let _ = grefar::faults::FaultPlan::parse("").expect("empty plan is valid");
     let _ = grefar::sim::PaperScenario::default();
     let _ = grefar::types::Grid::zeros(1, 1);
 }
