@@ -9,7 +9,7 @@
 //! * `MPC`       — receding-horizon planning with an oracle forecast
 //!   (what §II's prediction-based approaches could at best achieve).
 
-use grefar_bench::{print_table, usage_error, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
+use grefar_bench::{apply_fault_plan, print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
 use grefar_sim::{sweep, theory_obs, MpcScheduler, PaperScenario};
 
@@ -45,13 +45,7 @@ fn main() {
     let opts = ExperimentOpts::from_args(500);
     let scenario = PaperScenario::default().with_seed(opts.seed);
     let config = scenario.config().clone();
-    let apply_faults = |inputs: grefar_sim::SimulationInputs| match opts.fault_plan() {
-        Some(plan) => inputs
-            .with_faults(&plan)
-            .unwrap_or_else(|e| usage_error(&format!("--faults: {e}"), grefar_bench::COMMON_USAGE)),
-        None => inputs,
-    };
-    let inputs = apply_faults(scenario.clone().into_inputs(opts.hours));
+    let inputs = apply_fault_plan(scenario.clone().into_inputs(opts.hours), &opts);
 
     let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
         ("Always".into(), Box::new(Always::new(&config))),
@@ -104,7 +98,7 @@ fn main() {
         .with_load_scale(2.5);
     let heavy_config = heavy.config().clone();
     let heavy_hours = opts.hours.min(500);
-    let heavy_inputs = apply_faults(heavy.into_inputs(heavy_hours));
+    let heavy_inputs = apply_fault_plan(heavy.into_inputs(heavy_hours), &opts);
     let heavy_runs: Vec<(String, Box<dyn Scheduler>)> = vec![
         ("Always".into(), Box::new(Always::new(&heavy_config))),
         ("LocalOnly".into(), Box::new(LocalOnly::new(&heavy_config))),

@@ -6,7 +6,7 @@
 //! Expected shape (paper §VI-B.1): larger V → lower energy cost, higher
 //! delay; V = 0.1 ≈ delay 1.
 
-use grefar_bench::{maybe_write_csv, print_table, usage_error, ExperimentOpts, FIG2_V_VALUES};
+use grefar_bench::{apply_fault_plan, maybe_write_csv, print_table, ExperimentOpts, FIG2_V_VALUES};
 use grefar_core::{GreFar, GreFarParams, Scheduler};
 use grefar_sim::{sweep, theory_obs, PaperScenario};
 
@@ -14,12 +14,7 @@ fn main() {
     let opts = ExperimentOpts::from_args(2000);
     let scenario = PaperScenario::default().with_seed(opts.seed);
     let config = scenario.config().clone();
-    let mut inputs = scenario.into_inputs(opts.hours);
-    if let Some(plan) = opts.fault_plan() {
-        inputs = inputs
-            .with_faults(&plan)
-            .unwrap_or_else(|e| usage_error(&format!("--faults: {e}"), grefar_bench::COMMON_USAGE));
-    }
+    let inputs = apply_fault_plan(scenario.into_inputs(opts.hours), &opts);
 
     let runs: Vec<(String, Box<dyn Scheduler>)> = FIG2_V_VALUES
         .iter()

@@ -5,7 +5,9 @@
 //! Expected shape (§VI-B.3): GreFar wins on energy and fairness at the
 //! expense of delay; Always's delay is ≈ 1.
 
-use grefar_bench::{maybe_write_csv, print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
+use grefar_bench::{
+    apply_fault_plan, maybe_write_csv, print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V,
+};
 use grefar_core::{Always, GreFar, GreFarParams, Scheduler};
 use grefar_sim::{sweep, theory_obs, PaperScenario};
 
@@ -13,7 +15,7 @@ fn main() {
     let opts = ExperimentOpts::from_args(2000);
     let scenario = PaperScenario::default().with_seed(opts.seed);
     let config = scenario.config().clone();
-    let inputs = scenario.into_inputs(opts.hours);
+    let inputs = apply_fault_plan(scenario.into_inputs(opts.hours), &opts);
 
     let runs: Vec<(String, Box<dyn Scheduler>)> = vec![
         (

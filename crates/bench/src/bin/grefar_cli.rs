@@ -6,8 +6,8 @@
 //!   grefar_cli [--scheduler NAME] [--v V] [--beta B] [--hours N] [--seed S]
 //!              [--load-scale X] [--prices FILE] [--workload FILE]
 //!              [--admission-cap C] [--csv DIR] [--telemetry FILE.jsonl]
-//!              [--faults PLAN] [--checkpoint FILE] [--checkpoint-every N]
-//!              [--kill-at SLOT] [--resume]
+//!              [--faults PLAN] [--feeds PROFILE] [--checkpoint FILE]
+//!              [--checkpoint-every N] [--kill-at SLOT] [--resume]
 //!
 //! SCHEDULERS:
 //!   grefar (default) | always | local-only | price-greedy | mpc
@@ -22,6 +22,13 @@
 //! squeezes throttle the scheduler at run time, and `fault.inject` /
 //! `degraded.mode` events appear in the telemetry.
 //!
+//! `--feeds` interposes the resilient feed layer (inline
+//! `grefar_ingest::FeedProfile` DSL spec or a path to a spec file): the
+//! scheduler acts on estimated state with retry/backoff/breaker semantics,
+//! `feed.*` / `state.stale` events appear in the telemetry, and the
+//! emitted `theory.bounds` carries the degraded staleness certificate.
+//! Without the flag the run is byte-identical to the plain engine.
+//!
 //! `--checkpoint FILE` snapshots the full simulation state to `FILE` every
 //! `--checkpoint-every N` slots (default 100). `--kill-at SLOT` injects a
 //! crash just before `SLOT` (checkpoint written first; exit status 3), and
@@ -29,7 +36,9 @@
 //! run with the *same* seed/scheduler/fault flags, and pass the same
 //! `--telemetry FILE` to extend the original stream in place.
 
-use grefar_bench::{load_fault_plan, maybe_write_csv, print_table, usage_error, Telemetry};
+use grefar_bench::{
+    load_fault_plan, load_feed_profile, maybe_write_csv, print_table, usage_error, Telemetry,
+};
 use grefar_cluster::AvailabilityProcess;
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
 use grefar_obs::{NullObserver, Observer};
@@ -58,6 +67,7 @@ struct CliOptions {
     csv_dir: Option<PathBuf>,
     telemetry: Option<PathBuf>,
     faults: Option<String>,
+    feeds: Option<String>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
     kill_at: Option<u64>,
@@ -67,7 +77,7 @@ struct CliOptions {
 const USAGE: &str = "grefar_cli [--scheduler grefar|always|local-only|price-greedy|mpc] \
                      [--v V] [--beta B] [--hours N] [--seed S] [--load-scale X] \
                      [--prices FILE] [--workload FILE] [--admission-cap C] \
-                     [--csv DIR] [--telemetry FILE.jsonl] [--faults PLAN] \
+                     [--csv DIR] [--telemetry FILE.jsonl] [--faults PLAN] [--feeds PROFILE] \
                      [--checkpoint FILE] [--checkpoint-every N] [--kill-at SLOT] [--resume]";
 
 fn parse_args() -> CliOptions {
@@ -84,6 +94,7 @@ fn parse_args() -> CliOptions {
         csv_dir: None,
         telemetry: None,
         faults: None,
+        feeds: None,
         checkpoint: None,
         checkpoint_every: 100,
         kill_at: None,
@@ -127,6 +138,7 @@ fn parse_args() -> CliOptions {
             "--csv" => opts.csv_dir = Some(PathBuf::from(value(i))),
             "--telemetry" => opts.telemetry = Some(PathBuf::from(value(i))),
             "--faults" => opts.faults = Some(value(i).to_string()),
+            "--feeds" => opts.feeds = Some(value(i).to_string()),
             "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value(i))),
             "--checkpoint-every" => {
                 opts.checkpoint_every = match value(i).parse() {
@@ -250,6 +262,13 @@ fn main() {
             Err(e) => usage_error(&format!("--faults: {e}"), USAGE),
         };
     }
+    if let Some(spec) = &opts.feeds {
+        let profile = load_feed_profile(spec, USAGE);
+        sim = match sim.with_feed_profile(profile) {
+            Ok(sim) => sim,
+            Err(e) => usage_error(&format!("--feeds: {e}"), USAGE),
+        };
+    }
 
     let mut telemetry = match (&opts.telemetry, opts.resume) {
         (Some(path), false) => Some(Telemetry::with_jsonl(path)),
@@ -263,7 +282,19 @@ fn main() {
         // stream already carries its bounds.
         if opts.scheduler == "grefar" && !opts.resume {
             let bounded = vec![(sim.scheduler_name(), opts.v, opts.beta)];
-            grefar_sim::theory_obs::emit_theory_bounds(&config, sim.inputs(), &bounded, tel);
+            // Behind an unreliable feed layer the certificate is the
+            // degraded one: Theorem 1(a) relaxed by the profile's
+            // admissible staleness.
+            let stale_slots = sim
+                .feed_profile()
+                .map_or(0, |p| p.staleness_bound(config.num_data_centers()));
+            grefar_sim::theory_obs::emit_theory_bounds_stale(
+                &config,
+                sim.inputs(),
+                &bounded,
+                stale_slots,
+                tel,
+            );
         }
     }
 

@@ -88,6 +88,42 @@ pub fn load_fault_plan(spec: &str, usage: &str) -> grefar_faults::FaultPlan {
     }
 }
 
+/// Resolves a `--feeds` value into a [`grefar_ingest::FeedProfile`]: if the
+/// value names a readable file its contents are the spec, otherwise the
+/// value itself is parsed as an inline DSL spec
+/// (e.g. `"drop:feed=price,p=0.25,start=0,end=500;policy:retries=1"`).
+///
+/// Exits with a usage error (status 2) when the spec does not parse.
+pub fn load_feed_profile(spec: &str, usage: &str) -> grefar_ingest::FeedProfile {
+    let text = match std::fs::read_to_string(spec) {
+        Ok(contents) => contents.trim().to_string(),
+        Err(_) => spec.to_string(),
+    };
+    match grefar_ingest::FeedProfile::parse(&text) {
+        Ok(profile) => profile,
+        Err(e) => usage_error(&format!("--feeds: {e}"), usage),
+    }
+}
+
+/// Applies the `--faults` plan (when one was given) to freshly generated
+/// inputs — the shared wiring for sweep-style experiment binaries, whose
+/// faults act through the data path only (solver squeezes need the full
+/// runtime path, which only `grefar_cli` drives).
+///
+/// Exits with a usage error (status 2) when the plan does not parse or
+/// references data centers or job classes the scenario does not have.
+pub fn apply_fault_plan(
+    inputs: grefar_sim::SimulationInputs,
+    opts: &ExperimentOpts,
+) -> grefar_sim::SimulationInputs {
+    match opts.fault_plan() {
+        Some(plan) => inputs
+            .with_faults(&plan)
+            .unwrap_or_else(|e| usage_error(&format!("--faults: {e}"), COMMON_USAGE)),
+        None => inputs,
+    }
+}
+
 impl ExperimentOpts {
     /// Parses `--hours`, `--seed`, `--csv` and `--telemetry` from the
     /// process arguments, with `default_hours` as the horizon default.

@@ -63,6 +63,7 @@ mod lookahead;
 mod queue;
 mod scheduler;
 mod solver;
+pub mod stale;
 pub mod theory;
 
 pub use always::Always;

@@ -63,6 +63,11 @@ pub enum DegradedReason {
     /// A data center holds backlog but has zero capacity this slot (full
     /// outage) — its queues cannot drain until servers return.
     DcOffline,
+    /// The decision was computed on a *stale state estimate* (degraded
+    /// feeds) and turned out infeasible against the true state; it was
+    /// replaced by its capacity projection onto the truth (see
+    /// [`crate::stale::decide_estimated`]).
+    StaleStateRepaired,
 }
 
 impl DegradedReason {
@@ -72,6 +77,7 @@ impl DegradedReason {
             DegradedReason::SolverBudgetExhausted => "solver_budget_exhausted",
             DegradedReason::InfeasibleRepaired => "infeasible_repaired",
             DegradedReason::DcOffline => "dc_offline",
+            DegradedReason::StaleStateRepaired => "stale_state_repaired",
         }
     }
 }
@@ -108,6 +114,17 @@ impl Degradation {
     pub fn infeasible_repaired(violation: &'static str) -> Self {
         Self {
             reason: DegradedReason::InfeasibleRepaired,
+            dc: None,
+            fw_iterations: None,
+            fw_gap: None,
+            violation: Some(violation),
+        }
+    }
+
+    /// A stale-estimate-decision-repaired record.
+    pub fn stale_repaired(violation: &'static str) -> Self {
+        Self {
+            reason: DegradedReason::StaleStateRepaired,
             dc: None,
             fw_iterations: None,
             fw_gap: None,
@@ -377,5 +394,118 @@ mod tests {
     fn budget_clamps_to_one() {
         assert_eq!(SolverBudget::fw_iters(0).max_fw_iters(), 1);
         assert_eq!(SolverBudget::fw_iters(9).max_fw_iters(), 9);
+    }
+
+    /// Job class eligible on both DCs so backlog can build at each site.
+    fn two_site_config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![10.0])
+            .data_center("b", vec![10.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0), DataCenterId::new(1)], 0)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(4.0)
+                    .with_max_process(10.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_dc_offline_is_detected_and_projection_serves_nothing() {
+        let cfg = two_site_config();
+        let st = state(0.0, 0.0); // fleet-wide outage
+        let mut queues = QueueState::new(&cfg);
+        let mut fill = cfg.decision_zeros();
+        fill.routed[(0, 0)] = 2.0;
+        fill.routed[(1, 0)] = 3.0;
+        queues.apply(&fill, &[5.0]); // backlog stranded at both sites
+        assert_eq!(offline_dcs_with_backlog(&cfg, &st, &queues), vec![0, 1]);
+        for dc in [0, 1] {
+            let json = Degradation::dc_offline(dc).event(0).to_json();
+            assert!(json.contains("\"reason\":\"dc_offline\""), "{json}");
+            assert!(json.contains(&format!("\"dc\":{dc}")), "{json}");
+        }
+        // A scheduler that tries to serve everything anyway must be
+        // projected down to zero processing: there is no capacity.
+        let mut raw = cfg.decision_zeros();
+        raw.processed[(0, 0)] = 2.0;
+        raw.processed[(1, 0)] = 3.0;
+        raw.busy[(0, 0)] = 10.0;
+        raw.busy[(1, 0)] = 10.0;
+        let projected = project_decision(&cfg, &st, &queues, &raw);
+        assert!(validate_decision(&cfg, &st, &queues, &projected).is_ok());
+        assert_eq!(projected.processed.sum(), 0.0);
+        assert_eq!(projected.busy.sum(), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_slot_clamps_processing_not_routing() {
+        let cfg = config();
+        let st = state(0.0, 10.0); // DC 0 dark, DC 1 healthy
+        let mut queues = QueueState::new(&cfg);
+        let mut fill = cfg.decision_zeros();
+        fill.routed[(0, 0)] = 3.0;
+        queues.apply(&fill, &[6.0]); // Q = 6, q(0,0) = 3
+        let mut raw = cfg.decision_zeros();
+        raw.routed[(0, 0)] = 2.0; // routing into a dark DC is legal (4)
+        raw.processed[(0, 0)] = 3.0; // backlog allows it; capacity is 0
+        let projected = project_decision(&cfg, &st, &queues, &raw);
+        assert!(validate_decision(&cfg, &st, &queues, &projected).is_ok());
+        assert_eq!(projected.processed[(0, 0)], 0.0);
+        assert_eq!(projected.busy.sum(), 0.0);
+        assert_eq!(projected.routed[(0, 0)], 2.0); // queued for recovery
+    }
+
+    #[test]
+    fn budget_exhausted_at_slot_zero_reports_reason_and_stays_feasible() {
+        use crate::{GreFar, GreFarParams, Scheduler};
+        use grefar_obs::JsonlSink;
+        // Two accounts so the fairness quadratic couples the problem and a
+        // one-iteration Frank–Wolfe budget cannot reach the gap tolerance.
+        let cfg = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![30.0])
+            .account("x", 0.5)
+            .account("y", 0.5)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 1)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .build()
+            .unwrap();
+        let mut queues = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 8.0;
+        z.routed[(0, 1)] = 2.0;
+        queues.apply(&z, &[0.0, 0.0]);
+        let st = SystemState::new(0, vec![DataCenterState::new(vec![30.0], Tariff::flat(0.2))]);
+        let mut g = GreFar::new(&cfg, GreFarParams::new(1.0, 500.0)).unwrap();
+        g.set_solver_budget(Some(SolverBudget::fw_iters(1)));
+        let mut sink = JsonlSink::new(Vec::new());
+        let decision = g.decide_observed(&st, &queues, &mut sink);
+        assert!(validate_decision(&cfg, &st, &queues, &decision).is_ok());
+        let stream = String::from_utf8(sink.into_inner()).unwrap();
+        let degraded: Vec<&str> = stream
+            .lines()
+            .filter(|l| l.contains("\"event\":\"degraded.mode\""))
+            .collect();
+        assert_eq!(degraded.len(), 1, "{stream}");
+        assert!(
+            degraded[0].contains("\"reason\":\"solver_budget_exhausted\""),
+            "{}",
+            degraded[0]
+        );
+        assert!(degraded[0].contains("\"t\":0"), "{}", degraded[0]);
     }
 }

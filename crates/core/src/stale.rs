@@ -1,0 +1,229 @@
+//! Stale-state scheduling: the decision entry point for estimated states.
+//!
+//! When the feed layer (`grefar-ingest`) degrades, the scheduler no longer
+//! sees the true `x(t)` but an estimate `x̂(t)` with per-field staleness.
+//! Acting on `x̂(t)` is fine for the *economic* part of the decision — a
+//! stale price just steers cost — but the *physical* part (capacity,
+//! backlog discipline) must hold against the truth: a decision sized for
+//! yesterday's availability can overcommit today's servers.
+//!
+//! [`decide_estimated`] therefore runs the scheduler on the estimate and
+//! then validates the resulting decision against the **true** state,
+//! repairing it by capacity projection when it is infeasible
+//! ([`DegradedReason::StaleStateRepaired`]). With a fresh estimate the path
+//! collapses to plain [`Scheduler::decide_observed`] — no extra telemetry,
+//! no behavioral difference — which is what keeps perfect-feed runs
+//! byte-identical to runs without the feed layer.
+
+use crate::queue::QueueState;
+use crate::scheduler::Scheduler;
+use crate::solver::fallback::{project_decision, validate_decision, Degradation};
+use grefar_ingest::EstimatedState;
+use grefar_obs::{Event, Observer};
+use grefar_types::{Decision, SystemConfig, SystemState};
+
+/// Mean absolute error of the estimated per-data-center price against the
+/// truth — the headline estimation-error metric of `state.stale` telemetry
+/// (price is the input GreFar's cost actually reads).
+pub fn price_mae(estimate: &SystemState, truth: &SystemState) -> f64 {
+    let n = truth.num_data_centers();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n)
+        .map(|i| (estimate.data_center(i).price() - truth.data_center(i).price()).abs())
+        .sum::<f64>()
+        / n as f64
+}
+
+/// One slot of stale-aware scheduling: decide on the estimate `x̂(t)`,
+/// guarantee feasibility against the truth `x(t)`.
+///
+/// * Emits a `state.stale` event (slot, stale field count, max age, price
+///   MAE) and bumps the `state.stale_slots` counter whenever the estimate
+///   is not fully fresh.
+/// * Runs [`Scheduler::decide_observed`] on the estimated state.
+/// * Validates the decision against the *true* state and queues; on any
+///   violated invariant the decision is replaced by its projection onto
+///   the true feasible set and a `degraded.mode` event with reason
+///   `stale_state_repaired` is emitted.
+///
+/// `truth` must describe the same slot and fleet shape as the estimate.
+/// The returned decision is always feasible for the true state (the
+/// projection of any input is — see
+/// [`project_decision`](crate::solver::fallback::project_decision)).
+pub fn decide_estimated(
+    scheduler: &mut dyn Scheduler,
+    config: &SystemConfig,
+    estimated: &EstimatedState,
+    truth: &SystemState,
+    queues: &QueueState,
+    obs: &mut dyn Observer,
+) -> Decision {
+    if estimated.is_fresh() {
+        // Perfect feeds: exactly the plain path, bit for bit.
+        return scheduler.decide_observed(truth, queues, obs);
+    }
+
+    if obs.enabled() {
+        obs.record_event(
+            Event::new("state.stale")
+                .field("t", truth.slot())
+                .field("stale_fields", estimated.stale_field_count() as u64)
+                .field("max_age", estimated.max_age())
+                .field("price_mae", price_mae(estimated.state(), truth)),
+        );
+        obs.add_counter("state.stale_slots", 1);
+    }
+
+    let decision = scheduler.decide_observed(estimated.state(), queues, obs);
+    match validate_decision(config, truth, queues, &decision) {
+        Ok(()) => decision,
+        Err(kind) => {
+            let repaired = project_decision(config, truth, queues, &decision);
+            if obs.enabled() {
+                obs.record_event(Degradation::stale_repaired(kind).event(truth.slot()));
+                obs.add_counter("state.stale_repairs", 1);
+            }
+            debug_assert!(
+                validate_decision(config, truth, queues, &repaired).is_ok(),
+                "projection must be feasible"
+            );
+            repaired
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GreFar, GreFarParams};
+    use grefar_obs::{MemoryObserver, NullObserver};
+    use grefar_types::{
+        DataCenterId, DataCenterState, JobClass, ServerClass, SystemConfig, Tariff,
+    };
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![20.0])
+            .data_center("b", vec![20.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0), DataCenterId::new(1)], 0)
+                    .with_max_arrivals(8.0)
+                    .with_max_route(16.0)
+                    .with_max_process(20.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn state(slot: u64, avail: [f64; 2], price: [f64; 2]) -> SystemState {
+        SystemState::new(
+            slot,
+            vec![
+                DataCenterState::new(vec![avail[0]], Tariff::flat(price[0])),
+                DataCenterState::new(vec![avail[1]], Tariff::flat(price[1])),
+            ],
+        )
+    }
+
+    #[test]
+    fn fresh_estimate_matches_plain_path_exactly() {
+        let cfg = config();
+        let truth = state(1, [20.0, 20.0], [0.3, 0.9]);
+        let mut queues = QueueState::new(&cfg);
+        queues.apply(&cfg.decision_zeros(), &[6.0]);
+        let est = EstimatedState::fresh(truth.clone(), vec![6.0]);
+
+        let mut a = GreFar::new(&cfg, GreFarParams::new(4.0, 0.0)).unwrap();
+        let mut b = GreFar::new(&cfg, GreFarParams::new(4.0, 0.0)).unwrap();
+        let mut obs = MemoryObserver::new();
+        let via_stale = decide_estimated(&mut a, &cfg, &est, &truth, &queues, &mut obs);
+        let plain = b.decide(&truth, &queues);
+        assert_eq!(via_stale, plain);
+        assert_eq!(obs.event_count("state.stale"), 0);
+        assert_eq!(obs.counter("state.stale_slots"), 0);
+    }
+
+    #[test]
+    fn stale_overcommit_is_repaired_against_truth() {
+        let cfg = config();
+        // The estimate believes both DCs are fully up; in truth DC 0 lost
+        // every server. A backlog sits at DC 0.
+        let truth = state(5, [0.0, 20.0], [0.3, 0.9]);
+        let estimate = state(5, [20.0, 20.0], [0.1, 0.9]);
+        let mut queues = QueueState::new(&cfg);
+        let mut fill = cfg.decision_zeros();
+        fill.routed[(0, 0)] = 8.0;
+        queues.apply(&fill, &[8.0]);
+
+        // Build an EstimatedState by hand marking the fields stale.
+        let est = EstimatedState::new(
+            estimate,
+            vec![
+                grefar_ingest::FieldEstimate {
+                    age: 3,
+                    provenance: grefar_ingest::Provenance::HeldLast,
+                },
+                grefar_ingest::FieldEstimate::fresh(),
+            ],
+            vec![
+                grefar_ingest::FieldEstimate {
+                    age: 3,
+                    provenance: grefar_ingest::Provenance::HeldLast,
+                },
+                grefar_ingest::FieldEstimate::fresh(),
+            ],
+            vec![0.0],
+            grefar_ingest::FieldEstimate::fresh(),
+        );
+
+        let mut sched = GreFar::new(&cfg, GreFarParams::new(4.0, 0.0)).unwrap();
+        let mut obs = MemoryObserver::new();
+        let decision = decide_estimated(&mut sched, &cfg, &est, &truth, &queues, &mut obs);
+        // The repaired decision is feasible for the true (outage) state.
+        assert!(validate_decision(&cfg, &truth, &queues, &decision).is_ok());
+        assert_eq!(decision.processed[(0, 0)], 0.0, "no capacity at DC 0");
+        assert_eq!(obs.event_count("state.stale"), 1);
+        assert_eq!(obs.event_count("degraded.mode"), 1);
+        assert_eq!(obs.counter("state.stale_repairs"), 1);
+    }
+
+    #[test]
+    fn stale_but_feasible_decision_passes_through() {
+        let cfg = config();
+        // Only the price is stale; availability is correct, so the decision
+        // stays feasible and must NOT be repaired (cost may differ, physics
+        // does not).
+        let truth = state(3, [20.0, 20.0], [0.9, 0.3]);
+        let estimate = state(3, [20.0, 20.0], [0.3, 0.9]);
+        let mut queues = QueueState::new(&cfg);
+        queues.apply(&cfg.decision_zeros(), &[6.0]);
+        let est = EstimatedState::new(
+            estimate.clone(),
+            vec![
+                grefar_ingest::FieldEstimate {
+                    age: 2,
+                    provenance: grefar_ingest::Provenance::HeldLast,
+                },
+                grefar_ingest::FieldEstimate::fresh(),
+            ],
+            vec![grefar_ingest::FieldEstimate::fresh(); 2],
+            vec![6.0],
+            grefar_ingest::FieldEstimate::fresh(),
+        );
+        let mut sched = GreFar::new(&cfg, GreFarParams::new(4.0, 0.0)).unwrap();
+        let mut on_estimate = GreFar::new(&cfg, GreFarParams::new(4.0, 0.0)).unwrap();
+        let mut obs = MemoryObserver::new();
+        let decision = decide_estimated(&mut sched, &cfg, &est, &truth, &queues, &mut obs);
+        let mut null = NullObserver;
+        let wanted = on_estimate.decide_observed(&estimate, &queues, &mut null);
+        assert_eq!(decision, wanted, "feasible stale decision is untouched");
+        assert_eq!(obs.event_count("state.stale"), 1);
+        assert_eq!(obs.event_count("degraded.mode"), 0);
+        // price_mae reflects the swap: |0.3-0.9| and |0.9-0.3| average 0.6.
+        assert!((price_mae(&estimate, &truth) - 0.6).abs() < 1e-12);
+    }
+}

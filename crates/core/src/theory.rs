@@ -153,6 +153,30 @@ impl TheoryBounds {
         ((p / self.delta).powi(2) + 2.0 * self.d_const + 2.0 * self.q_max * p / self.delta).sqrt()
     }
 
+    /// The degraded queue bound under bounded state staleness — an
+    /// engineering corollary of Theorem 1(a), **not** a bound from the
+    /// paper (which assumes the scheduler observes `x(t)` exactly).
+    ///
+    /// When the scheduler acts on estimates at most `stale_slots` slots old
+    /// (the feed layer's admissible staleness,
+    /// `FeedProfile::staleness_bound`), every threshold crossing the exact
+    /// algorithm would react to is seen at most `stale_slots` slots late,
+    /// and during that blind window each queue moves by at most `q^max`
+    /// per slot (the same one-slot bound used inside (38)). The uniform
+    /// bound therefore relaxes additively:
+    ///
+    /// ```text
+    /// Q_j(t), q_{i,j}(t) ≤ queue_bound(V) + S · q^max,   S = stale_slots
+    /// ```
+    ///
+    /// With `S = 0` this is exactly [`queue_bound`](TheoryBounds::queue_bound).
+    ///
+    /// # Panics
+    /// Panics if `v` is negative or non-finite.
+    pub fn stale_queue_bound(&self, v: f64, stale_slots: u64) -> f64 {
+        self.queue_bound(v) + stale_slots as f64 * self.q_max
+    }
+
     /// Theorem 1(b): the optimality-gap bound `(B + D(T−1)) / V` of (24)
     /// against the `T`-step lookahead policy.
     ///

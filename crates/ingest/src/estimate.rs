@@ -1,0 +1,251 @@
+//! The scheduler-facing estimate: a [`SystemState`] assembled from
+//! possibly-degraded feed reads, with per-field staleness and provenance.
+
+use grefar_types::SystemState;
+
+/// Where a field's current estimate came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// A record for this very slot arrived and validated.
+    Fresh,
+    /// A record arrived this slot but describes an older slot (delivery
+    /// delay / out-of-order arrival).
+    Delayed,
+    /// No record arrived; the last-known-good cache is serving (zero-order
+    /// hold).
+    HeldLast,
+    /// No record arrived; the diurnal prior (same hour of day, most recent
+    /// observation) is serving.
+    DiurnalPrior,
+    /// The estimate exceeded the policy's `max_stale` budget. It is still
+    /// served — the scheduler must act every slot — but downstream
+    /// consumers should treat the field as unreliable.
+    Expired,
+    /// The feed has never delivered a valid record; a conservative
+    /// zero prior is serving (zero availability, zero price).
+    Prior,
+}
+
+impl Provenance {
+    /// A short machine label (used in `state.stale` telemetry).
+    pub fn label(self) -> &'static str {
+        match self {
+            Provenance::Fresh => "fresh",
+            Provenance::Delayed => "delayed",
+            Provenance::HeldLast => "held_last",
+            Provenance::DiurnalPrior => "diurnal_prior",
+            Provenance::Expired => "expired",
+            Provenance::Prior => "prior",
+        }
+    }
+
+    /// Whether the field reflects the current slot exactly.
+    pub fn is_fresh(self) -> bool {
+        matches!(self, Provenance::Fresh)
+    }
+}
+
+/// Staleness and provenance of one estimated field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldEstimate {
+    /// How many slots old the serving record is (0 when fresh; for a
+    /// never-seen feed, one past the current slot index).
+    pub age: u64,
+    /// Where the value came from.
+    pub provenance: Provenance,
+}
+
+impl FieldEstimate {
+    /// A fresh, current-slot field.
+    pub fn fresh() -> Self {
+        Self {
+            age: 0,
+            provenance: Provenance::Fresh,
+        }
+    }
+}
+
+/// The state estimate `x̂(t)` the scheduler acts on, with per-field
+/// staleness/provenance: per-data-center price and availability estimates
+/// plus the (telemetry-only) arrivals estimate.
+///
+/// Built by `FeedHarness::observe`; consumed by
+/// `grefar_core::stale::decide_estimated`, which runs the scheduler on
+/// [`state`](EstimatedState::state) and repairs the resulting decision
+/// against the *true* state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatedState {
+    state: SystemState,
+    price: Vec<FieldEstimate>,
+    avail: Vec<FieldEstimate>,
+    arrivals_prev: Vec<f64>,
+    arrivals_meta: FieldEstimate,
+}
+
+impl EstimatedState {
+    /// Assembles an estimate. `price`/`avail` carry one entry per data
+    /// center of `state`; `arrivals_prev` is the estimated previous-slot
+    /// arrival vector.
+    ///
+    /// # Panics
+    /// Panics if the per-field vectors do not match the state's data-center
+    /// count.
+    pub fn new(
+        state: SystemState,
+        price: Vec<FieldEstimate>,
+        avail: Vec<FieldEstimate>,
+        arrivals_prev: Vec<f64>,
+        arrivals_meta: FieldEstimate,
+    ) -> Self {
+        assert_eq!(
+            price.len(),
+            state.num_data_centers(),
+            "one price estimate per data center"
+        );
+        assert_eq!(
+            avail.len(),
+            state.num_data_centers(),
+            "one availability estimate per data center"
+        );
+        Self {
+            state,
+            price,
+            avail,
+            arrivals_prev,
+            arrivals_meta,
+        }
+    }
+
+    /// An estimate that *is* the truth: every field fresh (what a perfect
+    /// profile produces).
+    pub fn fresh(state: SystemState, arrivals_prev: Vec<f64>) -> Self {
+        let n = state.num_data_centers();
+        Self::new(
+            state,
+            vec![FieldEstimate::fresh(); n],
+            vec![FieldEstimate::fresh(); n],
+            arrivals_prev,
+            FieldEstimate::fresh(),
+        )
+    }
+
+    /// The estimated system state `x̂(t)` (what the scheduler sees).
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// The price estimate metadata for data center `i`.
+    pub fn price_estimate(&self, i: usize) -> FieldEstimate {
+        self.price[i]
+    }
+
+    /// The availability estimate metadata for data center `i`.
+    pub fn avail_estimate(&self, i: usize) -> FieldEstimate {
+        self.avail[i]
+    }
+
+    /// The estimated previous-slot arrivals (telemetry only; GreFar's
+    /// decisions never read arrivals — §II).
+    pub fn arrivals_prev(&self) -> &[f64] {
+        &self.arrivals_prev
+    }
+
+    /// The arrivals feed's estimate metadata.
+    pub fn arrivals_estimate(&self) -> FieldEstimate {
+        self.arrivals_meta
+    }
+
+    /// All per-field estimates: every price and availability entry, then
+    /// the arrivals entry.
+    pub fn fields(&self) -> impl Iterator<Item = FieldEstimate> + '_ {
+        self.price
+            .iter()
+            .chain(self.avail.iter())
+            .copied()
+            .chain(core::iter::once(self.arrivals_meta))
+    }
+
+    /// Number of fields that are not fresh.
+    pub fn stale_field_count(&self) -> usize {
+        self.fields().filter(|f| !f.provenance.is_fresh()).count()
+    }
+
+    /// The largest age across all fields (0 when everything is fresh).
+    pub fn max_age(&self) -> u64 {
+        self.fields().map(|f| f.age).max().unwrap_or(0)
+    }
+
+    /// Whether every field is fresh (the estimate equals the truth).
+    pub fn is_fresh(&self) -> bool {
+        self.fields().all(|f| f.provenance.is_fresh())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{DataCenterState, Tariff};
+
+    fn state() -> SystemState {
+        SystemState::new(
+            3,
+            vec![
+                DataCenterState::new(vec![10.0], Tariff::flat(0.5)),
+                DataCenterState::new(vec![4.0], Tariff::flat(0.9)),
+            ],
+        )
+    }
+
+    #[test]
+    fn fresh_estimate_has_no_stale_fields() {
+        let est = EstimatedState::fresh(state(), vec![2.0]);
+        assert!(est.is_fresh());
+        assert_eq!(est.stale_field_count(), 0);
+        assert_eq!(est.max_age(), 0);
+        assert_eq!(est.arrivals_prev(), &[2.0]);
+    }
+
+    #[test]
+    fn staleness_aggregates_across_fields() {
+        let est = EstimatedState::new(
+            state(),
+            vec![
+                FieldEstimate::fresh(),
+                FieldEstimate {
+                    age: 5,
+                    provenance: Provenance::HeldLast,
+                },
+            ],
+            vec![
+                FieldEstimate {
+                    age: 2,
+                    provenance: Provenance::Delayed,
+                },
+                FieldEstimate::fresh(),
+            ],
+            vec![0.0],
+            FieldEstimate {
+                age: 30,
+                provenance: Provenance::Expired,
+            },
+        );
+        assert!(!est.is_fresh());
+        assert_eq!(est.stale_field_count(), 3);
+        assert_eq!(est.max_age(), 30);
+        assert_eq!(est.price_estimate(1).provenance, Provenance::HeldLast);
+        assert_eq!(est.avail_estimate(0).age, 2);
+        assert_eq!(est.arrivals_estimate().provenance.label(), "expired");
+    }
+
+    #[test]
+    #[should_panic(expected = "one price estimate per data center")]
+    fn shape_mismatch_panics() {
+        let _ = EstimatedState::new(
+            state(),
+            vec![FieldEstimate::fresh()],
+            vec![FieldEstimate::fresh(); 2],
+            vec![],
+            FieldEstimate::fresh(),
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Resilient input-feed layer for GreFar: a deterministic, seeded
+//! unreliable-feed model between the frozen traces and the scheduler.
+//!
+//! GreFar's analysis (PAPER.md, §III) assumes the scheduler reads the slot's
+//! electricity prices and server availability exactly. Real control planes
+//! read them over feeds that time out, drop, delay, reorder and corrupt.
+//! This crate models that gap end to end:
+//!
+//! - [`FeedProfile`] — a `;`-separated disturbance DSL in the style of
+//!   `grefar_faults::FaultPlan` (e.g.
+//!   `drop:feed=price,p=0.4,start=0,end=500;policy:retries=3,seed=7`),
+//!   plus a [`FeedPolicy`] tuning the client. Disturbances are *pure
+//!   hashes* of `(seed, slot, feed, attempt)` — stateless, so replays and
+//!   checkpoint resume are bit-identical.
+//! - A resilient client per feed: per-slot deadline budgets, bounded retry
+//!   with exponential backoff and deterministic jitter, a circuit breaker
+//!   (closed → open → half-open probing), record validation that
+//!   quarantines NaN/negative garbage, and a last-known-good cache with
+//!   staleness-bounded fallback estimators ([`Estimator::HoldLast`],
+//!   [`Estimator::DiurnalPrior`]).
+//! - [`EstimatedState`] — the state `x̂(t)` the scheduler acts on, carrying
+//!   per-field [`FieldEstimate`] staleness/provenance so downstream code
+//!   (`grefar_core::stale`, `grefar-report`) can reason about degradation.
+//!
+//! [`FeedHarness::observe`] drives one slot; `grefar-sim` wires it behind
+//! `--feeds PROFILE` and `grefar_core::stale::decide_estimated` repairs the
+//! estimated decision against the true state, so the run never violates
+//! physical capacity even when every feed lies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod estimate;
+mod profile;
+mod upstream;
+
+pub use client::{FeedHarness, DIURNAL_PERIOD};
+pub use estimate::{EstimatedState, FieldEstimate, Provenance};
+pub use profile::{
+    CorruptMode, Disruption, DisruptionKind, Estimator, FeedKind, FeedPolicy, FeedProfile,
+    FeedProfileError,
+};

@@ -1,0 +1,822 @@
+//! The `FeedProfile` DSL: a compact, replayable description of *how* the
+//! input feeds misbehave and *how* the resilient client is tuned.
+//!
+//! Mirrors the `grefar_faults::FaultPlan` spec style: `;`-separated clauses
+//! of the form `kind:key=value,...`, half-open slot windows `[start, end)`,
+//! and an exact [`FeedProfile::parse`] / [`FeedProfile::spec`] round-trip so
+//! a run (or a checkpoint) can carry its feed schedule verbatim.
+
+use core::fmt;
+
+/// A malformed or inapplicable feed profile (bad spec syntax, out-of-range
+/// indices, inverted windows, invalid probabilities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedProfileError {
+    message: String,
+}
+
+impl FeedProfileError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FeedProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid feed profile: {}", self.message)
+    }
+}
+
+impl std::error::Error for FeedProfileError {}
+
+/// Which signal a feed delivers (§III-A: prices and availability are the
+/// *remote*, time-varying inputs; arrivals are measured at the front end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedKind {
+    /// Per-data-center electricity tariff (§III-A.2).
+    Price,
+    /// Per-data-center server availability `n_{i,k}(t)` (§III-A.1).
+    Availability,
+    /// The front end's arrival counter `a_j(t-1)` (one global feed; GreFar
+    /// itself never *needs* it — §II — so its estimate is carried for
+    /// telemetry and estimation-error accounting only).
+    Arrivals,
+}
+
+impl FeedKind {
+    /// The DSL keyword (`"price"`, `"avail"`, `"arrivals"`) — also the
+    /// `feed` field of `feed.*` telemetry events.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeedKind::Price => "price",
+            FeedKind::Availability => "avail",
+            FeedKind::Arrivals => "arrivals",
+        }
+    }
+}
+
+/// How a corrupt record is mangled on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorruptMode {
+    /// The payload carries a NaN (caught by validation, quarantined).
+    Nan,
+    /// The payload turns negative (caught by validation, quarantined).
+    Negative,
+    /// The payload is scaled by `factor` — *well-formed but wrong*, so it
+    /// passes validation and silently skews the estimate.
+    Spike {
+        /// Multiplier applied to the payload.
+        factor: f64,
+    },
+}
+
+impl CorruptMode {
+    fn label(self) -> &'static str {
+        match self {
+            CorruptMode::Nan => "nan",
+            CorruptMode::Negative => "negative",
+            CorruptMode::Spike { .. } => "spike",
+        }
+    }
+}
+
+/// What a single disruption clause does to matching feeds inside its window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DisruptionKind {
+    /// `outage:` — the upstream is hard-down (every attempt fails).
+    Outage,
+    /// `drop:p=P` — each fetch attempt fails fast with probability `P`.
+    Drop {
+        /// Per-attempt drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// `timeout:p=P` — each attempt times out with probability `P`,
+    /// burning the policy's `timeout_ms` from the slot's deadline budget.
+    Timeout {
+        /// Per-attempt timeout probability in `[0, 1]`.
+        p: f64,
+    },
+    /// `delay:slots=K` — served records lag `K` slots behind real time.
+    Delay {
+        /// Lag in slots (`≥ 1`).
+        slots: u64,
+    },
+    /// `reorder:window=K,p=P` — with probability `P` the served record is
+    /// an out-of-order one, `1..=K` slots old.
+    Reorder {
+        /// Maximum out-of-order age in slots (`≥ 1`).
+        window: u64,
+        /// Per-fetch reorder probability in `[0, 1]`.
+        p: f64,
+    },
+    /// `corrupt:p=P,mode=M[,factor=F]` — each delivered record is mangled
+    /// with probability `P` per [`CorruptMode`].
+    Corrupt {
+        /// Per-record corruption probability in `[0, 1]`.
+        p: f64,
+        /// How the record is mangled.
+        mode: CorruptMode,
+    },
+}
+
+/// One timed disruption: a [`DisruptionKind`] applied to every matching
+/// feed over the half-open slot window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disruption {
+    /// What happens.
+    pub kind: DisruptionKind,
+    /// Which feed kind it hits.
+    pub feed: FeedKind,
+    /// The targeted data center, or `None` for every data center
+    /// (always `None` for the arrivals feed).
+    pub dc: Option<usize>,
+    /// First affected slot.
+    pub start: u64,
+    /// First slot past the window.
+    pub end: u64,
+}
+
+impl Disruption {
+    /// The DSL keyword for this disruption's kind.
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            DisruptionKind::Outage => "outage",
+            DisruptionKind::Drop { .. } => "drop",
+            DisruptionKind::Timeout { .. } => "timeout",
+            DisruptionKind::Delay { .. } => "delay",
+            DisruptionKind::Reorder { .. } => "reorder",
+            DisruptionKind::Corrupt { .. } => "corrupt",
+        }
+    }
+
+    /// Whether the disruption is active during `slot`.
+    pub fn active_at(&self, slot: u64) -> bool {
+        self.start <= slot && slot < self.end
+    }
+
+    /// Whether the disruption applies to the feed `(kind, dc)`.
+    pub fn matches(&self, kind: FeedKind, dc: Option<usize>) -> bool {
+        self.feed == kind && (self.dc.is_none() || self.dc == dc)
+    }
+
+    /// Whether this disruption can make a whole slot-fetch fail (as opposed
+    /// to merely aging or skewing the record). Spikes pass validation, so
+    /// only detectable corruption counts.
+    pub(crate) fn can_fail_fetch(&self) -> bool {
+        match self.kind {
+            DisruptionKind::Outage
+            | DisruptionKind::Drop { .. }
+            | DisruptionKind::Timeout { .. } => true,
+            DisruptionKind::Corrupt { mode, .. } => !matches!(mode, CorruptMode::Spike { .. }),
+            DisruptionKind::Delay { .. } | DisruptionKind::Reorder { .. } => false,
+        }
+    }
+
+    /// The canonical DSL clause for this disruption (parses back to `self`).
+    pub fn spec(&self) -> String {
+        let mut out = format!("{}:feed={}", self.label(), self.feed.label());
+        if let Some(dc) = self.dc {
+            out.push_str(&format!(",dc={dc}"));
+        }
+        match self.kind {
+            DisruptionKind::Outage => {}
+            DisruptionKind::Drop { p } | DisruptionKind::Timeout { p } => {
+                out.push_str(&format!(",p={p}"));
+            }
+            DisruptionKind::Delay { slots } => out.push_str(&format!(",slots={slots}")),
+            DisruptionKind::Reorder { window, p } => {
+                out.push_str(&format!(",window={window},p={p}"));
+            }
+            DisruptionKind::Corrupt { p, mode } => {
+                out.push_str(&format!(",p={p},mode={}", mode.label()));
+                if let CorruptMode::Spike { factor } = mode {
+                    out.push_str(&format!(",factor={factor}"));
+                }
+            }
+        }
+        out.push_str(&format!(",start={},end={}", self.start, self.end));
+        out
+    }
+
+    fn validate(&self, index: usize) -> Result<(), FeedProfileError> {
+        let err = |msg: String| {
+            FeedProfileError::new(format!("disruption {index} ({}): {msg}", self.label()))
+        };
+        if self.start >= self.end {
+            return Err(err(format!("empty window [{}, {})", self.start, self.end)));
+        }
+        if self.feed == FeedKind::Arrivals && self.dc.is_some() {
+            return Err(err("the arrivals feed is global; drop the `dc` key".into()));
+        }
+        let prob = |p: f64| -> Result<(), FeedProfileError> {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(err(format!("probability must lie in [0, 1], got {p}")));
+            }
+            Ok(())
+        };
+        match self.kind {
+            DisruptionKind::Outage => {}
+            DisruptionKind::Drop { p } | DisruptionKind::Timeout { p } => prob(p)?,
+            DisruptionKind::Delay { slots } => {
+                if slots == 0 {
+                    return Err(err("slots must be at least 1".into()));
+                }
+            }
+            DisruptionKind::Reorder { window, p } => {
+                prob(p)?;
+                if window == 0 {
+                    return Err(err("window must be at least 1".into()));
+                }
+            }
+            DisruptionKind::Corrupt { p, mode } => {
+                prob(p)?;
+                if let CorruptMode::Spike { factor } = mode {
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return Err(err(format!(
+                            "spike factor must be finite and positive, got {factor}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which fallback estimator fills in for a feed that produced no fresh
+/// record this slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Estimator {
+    /// Serve the last-known-good record (zero-order hold).
+    #[default]
+    HoldLast,
+    /// Serve the last-known-good record *for this hour of day* (period-24
+    /// diurnal prior; prices and availability are diurnal in §VI-A),
+    /// falling back to hold-last when the hour was never observed.
+    DiurnalPrior,
+}
+
+impl Estimator {
+    /// The DSL keyword (`"hold"` / `"diurnal"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Estimator::HoldLast => "hold",
+            Estimator::DiurnalPrior => "diurnal",
+        }
+    }
+}
+
+/// Tuning of the resilient client: retry/backoff, per-slot deadline budget,
+/// circuit breaker and staleness policy. Set via a single `policy:` clause;
+/// every key is optional and defaults to the values of
+/// [`FeedPolicy::default`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedPolicy {
+    /// Retries after the first attempt (so at most `1 + retries` attempts).
+    pub retries: u64,
+    /// Base backoff between attempts, in simulated milliseconds; attempt
+    /// `k` waits `backoff_ms · 2^(k-1)` plus deterministic jitter in
+    /// `[0, backoff_ms)`.
+    pub backoff_ms: u64,
+    /// Cost of a timed-out attempt, in simulated milliseconds.
+    pub timeout_ms: u64,
+    /// Per-slot deadline budget, in simulated milliseconds: a new attempt
+    /// launches only while the budget is not exhausted.
+    pub deadline_ms: u64,
+    /// Sliding-window length (in slot-fetches) the breaker watches.
+    pub breaker_window: u64,
+    /// Failures within the window that trip the breaker open.
+    pub breaker_fails: u64,
+    /// Slots the breaker stays open before half-open probing.
+    pub cooldown: u64,
+    /// Admissible staleness in slots; older estimates are still served (the
+    /// scheduler must act every slot) but carry `expired` provenance.
+    pub max_stale: u64,
+    /// Fallback estimator for slots without a fresh record.
+    pub estimator: Estimator,
+    /// Seed of the deterministic disturbance/jitter hash.
+    pub seed: u64,
+}
+
+impl Default for FeedPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 2,
+            backoff_ms: 4,
+            timeout_ms: 20,
+            deadline_ms: 60,
+            breaker_window: 8,
+            breaker_fails: 4,
+            cooldown: 6,
+            max_stale: 24,
+            estimator: Estimator::HoldLast,
+            seed: 0,
+        }
+    }
+}
+
+impl FeedPolicy {
+    /// The canonical `policy:` clause (parses back to `self`).
+    pub fn spec(&self) -> String {
+        format!(
+            "policy:retries={},backoff_ms={},timeout_ms={},deadline_ms={},breaker_window={},\
+             breaker_fails={},cooldown={},max_stale={},estimator={},seed={}",
+            self.retries,
+            self.backoff_ms,
+            self.timeout_ms,
+            self.deadline_ms,
+            self.breaker_window,
+            self.breaker_fails,
+            self.cooldown,
+            self.max_stale,
+            self.estimator.label(),
+            self.seed
+        )
+    }
+
+    fn validate(&self) -> Result<(), FeedProfileError> {
+        let err = |msg: &str| FeedProfileError::new(format!("policy: {msg}"));
+        if self.deadline_ms == 0 {
+            return Err(err("deadline_ms must be at least 1"));
+        }
+        if self.breaker_window == 0 || self.breaker_window > 64 {
+            return Err(err("breaker_window must lie in 1..=64"));
+        }
+        if self.breaker_fails == 0 || self.breaker_fails > self.breaker_window {
+            return Err(err("breaker_fails must lie in 1..=breaker_window"));
+        }
+        if self.cooldown == 0 {
+            return Err(err("cooldown must be at least 1"));
+        }
+        if self.max_stale == 0 {
+            return Err(err("max_stale must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of timed feed disruptions plus the client policy. See
+/// the [module docs](self) for the compact spec DSL.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeedProfile {
+    disruptions: Vec<Disruption>,
+    policy: FeedPolicy,
+}
+
+impl FeedProfile {
+    /// A profile with no disruptions and the default policy (feeds are
+    /// perfect; every estimate is fresh).
+    pub fn perfect() -> Self {
+        Self::default()
+    }
+
+    /// Builds a profile from explicit parts, validating each disruption and
+    /// the policy.
+    ///
+    /// # Errors
+    /// [`FeedProfileError`] naming the first invalid disruption or policy
+    /// field.
+    pub fn new(disruptions: Vec<Disruption>, policy: FeedPolicy) -> Result<Self, FeedProfileError> {
+        for (index, d) in disruptions.iter().enumerate() {
+            d.validate(index)?;
+        }
+        policy.validate()?;
+        Ok(Self {
+            disruptions,
+            policy,
+        })
+    }
+
+    /// Whether the profile disturbs nothing.
+    pub fn is_perfect(&self) -> bool {
+        self.disruptions.is_empty()
+    }
+
+    /// The disruptions, in profile order.
+    pub fn disruptions(&self) -> &[Disruption] {
+        &self.disruptions
+    }
+
+    /// The client policy.
+    pub fn policy(&self) -> &FeedPolicy {
+        &self.policy
+    }
+
+    /// Parses the compact spec DSL: `;`-separated clauses of the form
+    /// `kind:key=value,...`. Whitespace around clauses is ignored; empty
+    /// clauses are skipped (so trailing `;` is fine).
+    ///
+    /// ```text
+    /// outage:feed=price,dc=0,start=50,end=80
+    /// drop:feed=price,p=0.4,start=0,end=500
+    /// timeout:feed=avail,dc=1,p=0.5,start=100,end=200
+    /// delay:feed=price,slots=4,start=0,end=500
+    /// reorder:feed=avail,window=3,p=0.5,start=0,end=240
+    /// corrupt:feed=price,mode=nan,p=0.25,start=0,end=100
+    /// corrupt:feed=avail,mode=spike,factor=8,p=0.1,start=0,end=100
+    /// policy:retries=3,deadline_ms=40,estimator=diurnal,seed=7
+    /// ```
+    ///
+    /// # Errors
+    /// [`FeedProfileError`] with the offending clause and key on any syntax
+    /// or range problem (including a duplicate `policy:` clause).
+    pub fn parse(spec: &str) -> Result<Self, FeedProfileError> {
+        let mut disruptions = Vec::new();
+        let mut policy: Option<FeedPolicy> = None;
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            if clause.starts_with("policy:") || clause == "policy" {
+                if policy.is_some() {
+                    return Err(FeedProfileError::new("duplicate `policy:` clause"));
+                }
+                policy = Some(parse_policy_clause(clause)?);
+            } else {
+                disruptions.push(parse_disruption_clause(clause)?);
+            }
+        }
+        Self::new(disruptions, policy.unwrap_or_default())
+    }
+
+    /// The canonical one-line spec: disruption clauses in profile order,
+    /// then the full `policy:` clause.
+    /// `FeedProfile::parse(&profile.spec())` reproduces the profile exactly.
+    pub fn spec(&self) -> String {
+        let mut clauses: Vec<String> = self.disruptions.iter().map(Disruption::spec).collect();
+        clauses.push(self.policy.spec());
+        clauses.join(";")
+    }
+
+    /// Checks every targeted data center against a concrete system shape.
+    ///
+    /// # Errors
+    /// [`FeedProfileError`] naming the first disruption whose data center
+    /// is out of range.
+    pub fn validate_for(&self, num_dcs: usize) -> Result<(), FeedProfileError> {
+        for (index, d) in self.disruptions.iter().enumerate() {
+            if let Some(dc) = d.dc {
+                if dc >= num_dcs {
+                    return Err(FeedProfileError::new(format!(
+                        "disruption {index} ({}): data center {dc} out of range (system has {num_dcs})",
+                        d.label()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Disruptions whose window starts exactly at `slot`.
+    pub fn starting_at(&self, slot: u64) -> impl Iterator<Item = &Disruption> {
+        self.disruptions.iter().filter(move |d| d.start == slot)
+    }
+
+    /// A conservative bound, in slots, on how stale any feed's estimate can
+    /// get under this profile — the *admissible staleness* the degraded
+    /// Theorem 1(a) certificate is stated against (see
+    /// `grefar_core::theory::TheoryBounds::stale_queue_bound`).
+    ///
+    /// Worst case per feed: every fetch inside the longest merged window of
+    /// failure-capable disruptions fails (staleness grows across the whole
+    /// span), the breaker then stays open for one more `cooldown` before the
+    /// half-open probe recovers, and the recovering record itself lags by
+    /// the largest delay/reorder age. Zero for a perfect profile.
+    pub fn staleness_bound(&self, num_dcs: usize) -> u64 {
+        let mut lag = 0u64; // worst delay/reorder age of any served record
+        for d in &self.disruptions {
+            match d.kind {
+                DisruptionKind::Delay { slots } => lag = lag.max(slots),
+                DisruptionKind::Reorder { window, .. } => lag = lag.max(window),
+                _ => {}
+            }
+        }
+        let mut worst_span = 0u64;
+        let feeds = all_feeds(num_dcs);
+        for (kind, dc) in feeds {
+            let mut windows: Vec<(u64, u64)> = self
+                .disruptions
+                .iter()
+                .filter(|d| d.can_fail_fetch() && d.matches(kind, dc))
+                .map(|d| (d.start, d.end))
+                .collect();
+            if windows.is_empty() {
+                continue;
+            }
+            windows.sort_unstable();
+            let (mut start, mut end) = windows[0];
+            for &(s, e) in &windows[1..] {
+                if s <= end {
+                    end = end.max(e);
+                } else {
+                    worst_span = worst_span.max(end - start);
+                    (start, end) = (s, e);
+                }
+            }
+            worst_span = worst_span.max(end - start);
+        }
+        if worst_span == 0 && lag == 0 {
+            return 0;
+        }
+        worst_span + lag + self.policy.cooldown + 1
+    }
+}
+
+/// Every feed of a system with `num_dcs` data centers: per-DC price and
+/// availability feeds plus the global arrivals feed.
+pub(crate) fn all_feeds(num_dcs: usize) -> Vec<(FeedKind, Option<usize>)> {
+    let mut feeds = Vec::with_capacity(2 * num_dcs + 1);
+    for i in 0..num_dcs {
+        feeds.push((FeedKind::Price, Some(i)));
+    }
+    for i in 0..num_dcs {
+        feeds.push((FeedKind::Availability, Some(i)));
+    }
+    feeds.push((FeedKind::Arrivals, None));
+    feeds
+}
+
+struct Clause<'a> {
+    name: &'a str,
+    text: &'a str,
+    keys: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Clause<'a> {
+    fn split(clause: &'a str) -> Result<Self, FeedProfileError> {
+        let err = |msg: String| FeedProfileError::new(format!("clause {clause:?}: {msg}"));
+        let (name, rest) = clause
+            .split_once(':')
+            .ok_or_else(|| err("expected `kind:key=value,...`".into()))?;
+        let mut keys: Vec<(&str, &str)> = Vec::new();
+        for pair in rest.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `key=value`, got {pair:?}")))?;
+            let key = key.trim();
+            if keys.iter().any(|(k, _)| *k == key) {
+                return Err(err(format!("duplicate key `{key}`")));
+            }
+            keys.push((key, value.trim()));
+        }
+        Ok(Self {
+            name: name.trim(),
+            text: clause,
+            keys,
+        })
+    }
+
+    fn err(&self, msg: String) -> FeedProfileError {
+        FeedProfileError::new(format!("clause {:?}: {msg}", self.text))
+    }
+
+    fn take(&self, key: &str) -> Option<&'a str> {
+        self.keys.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn int(&self, key: &str) -> Result<u64, FeedProfileError> {
+        let raw = self
+            .take(key)
+            .ok_or_else(|| self.err(format!("missing key `{key}`")))?;
+        raw.parse()
+            .map_err(|_| self.err(format!("key `{key}`: expected an integer, got {raw:?}")))
+    }
+
+    fn float(&self, key: &str) -> Result<f64, FeedProfileError> {
+        let raw = self
+            .take(key)
+            .ok_or_else(|| self.err(format!("missing key `{key}`")))?;
+        raw.parse()
+            .map_err(|_| self.err(format!("key `{key}`: expected a number, got {raw:?}")))
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), FeedProfileError> {
+        if let Some((key, _)) = self.keys.iter().find(|(k, _)| !known.contains(k)) {
+            return Err(self.err(format!("unknown key `{key}`")));
+        }
+        Ok(())
+    }
+}
+
+fn parse_disruption_clause(clause: &str) -> Result<Disruption, FeedProfileError> {
+    let c = Clause::split(clause)?;
+    let known: &[&str] = match c.name {
+        "outage" => &["feed", "dc", "start", "end"],
+        "drop" | "timeout" => &["feed", "dc", "p", "start", "end"],
+        "delay" => &["feed", "dc", "slots", "start", "end"],
+        "reorder" => &["feed", "dc", "window", "p", "start", "end"],
+        "corrupt" => &["feed", "dc", "p", "mode", "factor", "start", "end"],
+        other => return Err(c.err(format!("unknown disruption kind `{other}`"))),
+    };
+    c.reject_unknown(known)?;
+    let feed = match c
+        .take("feed")
+        .ok_or_else(|| c.err("missing key `feed`".into()))?
+    {
+        "price" => FeedKind::Price,
+        "avail" => FeedKind::Availability,
+        "arrivals" => FeedKind::Arrivals,
+        other => {
+            return Err(c.err(format!(
+                "key `feed`: expected price|avail|arrivals, got {other:?}"
+            )))
+        }
+    };
+    let dc = match c.take("dc") {
+        Some(_) => Some(c.int("dc")? as usize),
+        None => None,
+    };
+    let kind = match c.name {
+        "outage" => DisruptionKind::Outage,
+        "drop" => DisruptionKind::Drop { p: c.float("p")? },
+        "timeout" => DisruptionKind::Timeout { p: c.float("p")? },
+        "delay" => DisruptionKind::Delay {
+            slots: c.int("slots")?,
+        },
+        "reorder" => DisruptionKind::Reorder {
+            window: c.int("window")?,
+            p: c.float("p")?,
+        },
+        "corrupt" => {
+            let mode = match c
+                .take("mode")
+                .ok_or_else(|| c.err("missing key `mode`".into()))?
+            {
+                "nan" => CorruptMode::Nan,
+                "negative" => CorruptMode::Negative,
+                "spike" => CorruptMode::Spike {
+                    factor: c.float("factor")?,
+                },
+                other => {
+                    return Err(c.err(format!(
+                        "key `mode`: expected nan|negative|spike, got {other:?}"
+                    )))
+                }
+            };
+            if !matches!(mode, CorruptMode::Spike { .. }) && c.take("factor").is_some() {
+                return Err(c.err("key `factor` only applies to mode=spike".into()));
+            }
+            DisruptionKind::Corrupt {
+                p: c.float("p")?,
+                mode,
+            }
+        }
+        _ => unreachable!("kind validated above"),
+    };
+    Ok(Disruption {
+        kind,
+        feed,
+        dc,
+        start: c.int("start")?,
+        end: c.int("end")?,
+    })
+}
+
+fn parse_policy_clause(clause: &str) -> Result<FeedPolicy, FeedProfileError> {
+    let c = Clause::split(clause)?;
+    c.reject_unknown(&[
+        "retries",
+        "backoff_ms",
+        "timeout_ms",
+        "deadline_ms",
+        "breaker_window",
+        "breaker_fails",
+        "cooldown",
+        "max_stale",
+        "estimator",
+        "seed",
+    ])?;
+    let mut policy = FeedPolicy::default();
+    let set = |field: &mut u64, key: &str| -> Result<(), FeedProfileError> {
+        if c.take(key).is_some() {
+            *field = c.int(key)?;
+        }
+        Ok(())
+    };
+    set(&mut policy.retries, "retries")?;
+    set(&mut policy.backoff_ms, "backoff_ms")?;
+    set(&mut policy.timeout_ms, "timeout_ms")?;
+    set(&mut policy.deadline_ms, "deadline_ms")?;
+    set(&mut policy.breaker_window, "breaker_window")?;
+    set(&mut policy.breaker_fails, "breaker_fails")?;
+    set(&mut policy.cooldown, "cooldown")?;
+    set(&mut policy.max_stale, "max_stale")?;
+    set(&mut policy.seed, "seed")?;
+    if let Some(est) = c.take("estimator") {
+        policy.estimator = match est {
+            "hold" => Estimator::HoldLast,
+            "diurnal" => Estimator::DiurnalPrior,
+            other => {
+                return Err(c.err(format!(
+                    "key `estimator`: expected hold|diurnal, got {other:?}"
+                )))
+            }
+        };
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_roundtrip() {
+        let spec = "outage:feed=price,dc=0,start=50,end=80;drop:feed=price,p=0.4,start=0,end=500;\
+                    timeout:feed=avail,dc=1,p=0.5,start=100,end=200;\
+                    delay:feed=price,slots=4,start=0,end=500;\
+                    reorder:feed=avail,window=3,p=0.5,start=0,end=240;\
+                    corrupt:feed=price,dc=0,p=0.25,mode=nan,start=0,end=100;\
+                    corrupt:feed=avail,p=0.1,mode=spike,factor=8,start=0,end=100;\
+                    policy:retries=3,deadline_ms=40,estimator=diurnal,seed=7";
+        let profile = FeedProfile::parse(spec).unwrap();
+        assert_eq!(profile.disruptions().len(), 7);
+        assert_eq!(profile.policy().retries, 3);
+        assert_eq!(profile.policy().deadline_ms, 40);
+        assert_eq!(profile.policy().estimator, Estimator::DiurnalPrior);
+        assert_eq!(profile.policy().seed, 7);
+        // Unset policy keys keep their defaults.
+        assert_eq!(
+            profile.policy().backoff_ms,
+            FeedPolicy::default().backoff_ms
+        );
+        assert_eq!(FeedProfile::parse(&profile.spec()).unwrap(), profile);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "meteor:feed=price,start=0,end=1",
+            "outage:feed=price,start=2,end=2",
+            "outage:feed=widgets,start=0,end=1",
+            "outage:start=0,end=1",
+            "drop:feed=price,p=1.5,start=0,end=1",
+            "drop:feed=price,p=nope,start=0,end=1",
+            "delay:feed=price,slots=0,start=0,end=1",
+            "reorder:feed=price,window=0,p=0.5,start=0,end=1",
+            "corrupt:feed=price,p=0.5,mode=wild,start=0,end=1",
+            "corrupt:feed=price,p=0.5,mode=spike,factor=-1,start=0,end=1",
+            "corrupt:feed=price,p=0.5,mode=nan,factor=2,start=0,end=1",
+            "outage:feed=arrivals,dc=0,start=0,end=1",
+            "outage:feed=price,dc=0,dc=1,start=0,end=1",
+            "outage:feed=price,job=1,start=0,end=1",
+            "policy:breaker_window=0",
+            "policy:breaker_fails=9,breaker_window=8",
+            "policy:deadline_ms=0",
+            "policy:estimator=psychic",
+            "policy:retries=1;policy:retries=2",
+            "outage feed=price",
+        ] {
+            assert!(FeedProfile::parse(bad).is_err(), "{bad:?} parsed");
+        }
+        // Trailing separators and whitespace are tolerated.
+        assert!(FeedProfile::parse(" drop:feed=price,p=0.5,start=0,end=9 ; ").is_ok());
+        assert!(FeedProfile::parse("").unwrap().is_perfect());
+    }
+
+    #[test]
+    fn validate_for_checks_dc_range() {
+        let p = FeedProfile::parse("outage:feed=price,dc=2,start=0,end=5").unwrap();
+        assert!(p.validate_for(3).is_ok());
+        assert!(p.validate_for(2).is_err());
+    }
+
+    #[test]
+    fn matching_honors_feed_and_dc() {
+        let p = FeedProfile::parse(
+            "drop:feed=price,p=0.5,start=0,end=9;outage:feed=avail,dc=1,start=0,end=9",
+        )
+        .unwrap();
+        let d = p.disruptions();
+        assert!(d[0].matches(FeedKind::Price, Some(0)));
+        assert!(d[0].matches(FeedKind::Price, Some(7)));
+        assert!(!d[0].matches(FeedKind::Availability, Some(0)));
+        assert!(d[1].matches(FeedKind::Availability, Some(1)));
+        assert!(!d[1].matches(FeedKind::Availability, Some(0)));
+    }
+
+    #[test]
+    fn staleness_bound_merges_windows_and_adds_lag_and_cooldown() {
+        // Perfect profile: nothing can go stale.
+        assert_eq!(FeedProfile::perfect().staleness_bound(3), 0);
+        // Pure delay: just the lag (no failure span, no breaker episode).
+        let p = FeedProfile::parse("delay:feed=price,slots=4,start=0,end=100").unwrap();
+        assert_eq!(p.staleness_bound(2), 4 + FeedPolicy::default().cooldown + 1);
+        // Two overlapping failure windows on the same feed merge: [10,30)
+        // and [20,50) span 40 slots; cooldown 6 + 1 on top.
+        let p = FeedProfile::parse(
+            "outage:feed=price,dc=0,start=10,end=30;drop:feed=price,p=0.5,start=20,end=50",
+        )
+        .unwrap();
+        assert_eq!(p.staleness_bound(2), 40 + 6 + 1);
+        // Disjoint windows on *different* feeds do not merge.
+        let p = FeedProfile::parse(
+            "outage:feed=price,dc=0,start=0,end=10;outage:feed=avail,dc=1,start=5,end=40",
+        )
+        .unwrap();
+        assert_eq!(p.staleness_bound(2), 35 + 6 + 1);
+        // Spike corruption passes validation, so it cannot fail a fetch.
+        let p = FeedProfile::parse("corrupt:feed=price,p=1,mode=spike,factor=2,start=0,end=100")
+            .unwrap();
+        assert_eq!(p.staleness_bound(1), 0);
+    }
+}

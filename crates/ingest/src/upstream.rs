@@ -1,0 +1,439 @@
+//! The seeded unreliable upstream: serves wire records for each feed out of
+//! the frozen truth, disturbed per the profile's clauses.
+//!
+//! Fully deterministic: every coin flip is a pure hash of
+//! `(seed, slot, feed, attempt, clause, purpose)` — no RNG state, no wall
+//! clock — so identical seeds replay identical disturbance schedules and a
+//! resumed run can reconstruct the feed layer exactly.
+
+use crate::profile::{CorruptMode, DisruptionKind, FeedKind, FeedProfile};
+use grefar_types::{SystemState, Tariff};
+
+/// Simulated cost of a successful (or fast-failing) fetch attempt, in the
+/// same synthetic milliseconds as the policy's deadline budget.
+pub(crate) const FETCH_COST_MS: u64 = 2;
+
+/// What came over the wire — *before* validation, so it can carry garbage
+/// (NaN rates, negative availability) that a real feed could emit.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WirePayload {
+    /// A price quote: the raw base rate plus the full tariff when the quote
+    /// is representable (`None` when corruption produced an invalid rate).
+    Price {
+        /// The quoted base rate (may be NaN or negative on the wire).
+        rate: f64,
+        /// The tariff, when the quote is well-formed.
+        tariff: Option<Tariff>,
+    },
+    /// A level vector: per-class availability, or per-class arrivals.
+    Levels(Vec<f64>),
+}
+
+/// One wire record: the slot it describes plus its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WireRecord {
+    pub slot: u64,
+    pub payload: WirePayload,
+}
+
+/// A failed fetch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FetchFailure {
+    /// The upstream is hard-down (`outage:` clause).
+    Outage,
+    /// The attempt failed fast (`drop:` clause).
+    Drop,
+    /// The attempt timed out, burning `timeout_ms` of deadline budget.
+    Timeout,
+}
+
+impl FetchFailure {
+    pub(crate) fn reason(self) -> &'static str {
+        match self {
+            FetchFailure::Outage => "outage",
+            FetchFailure::Drop => "drop",
+            FetchFailure::Timeout => "timeout",
+        }
+    }
+
+    /// Budget the attempt burned, in simulated milliseconds.
+    pub(crate) fn cost_ms(self, timeout_ms: u64) -> u64 {
+        match self {
+            FetchFailure::Timeout => timeout_ms,
+            FetchFailure::Outage | FetchFailure::Drop => FETCH_COST_MS,
+        }
+    }
+}
+
+/// A validated record, safe to hand to `grefar_types` constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum GoodPayload {
+    Price(Tariff),
+    Levels(Vec<f64>),
+}
+
+/// Validates a wire payload (the NaN/negative-price guards). Spiked records
+/// are well-formed and pass — detecting *plausible but wrong* data is
+/// exactly what validation cannot do.
+pub(crate) fn validate(payload: WirePayload) -> Result<GoodPayload, &'static str> {
+    match payload {
+        WirePayload::Price { rate, tariff } => {
+            if !rate.is_finite() {
+                return Err("non_finite_rate");
+            }
+            if rate < 0.0 {
+                return Err("negative_rate");
+            }
+            tariff.map(GoodPayload::Price).ok_or("malformed_tariff")
+        }
+        WirePayload::Levels(values) => {
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err("non_finite_level");
+            }
+            if values.iter().any(|v| *v < 0.0) {
+                return Err("negative_level");
+            }
+            Ok(GoodPayload::Levels(values))
+        }
+    }
+}
+
+// Hash-roll purposes: each independent coin flip salts the hash with a
+// distinct purpose code so outcomes do not correlate across clauses.
+const PURPOSE_DROP: u64 = 1;
+const PURPOSE_TIMEOUT: u64 = 2;
+const PURPOSE_REORDER_HIT: u64 = 3;
+const PURPOSE_REORDER_AGE: u64 = 4;
+const PURPOSE_CORRUPT_HIT: u64 = 5;
+const PURPOSE_CORRUPT_IDX: u64 = 6;
+pub(crate) const PURPOSE_JITTER: u64 = 7;
+
+/// SplitMix64 (the same mixer as `grefar_faults`): small, well-mixed, no
+/// external RNG dependency, no ambient entropy.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A pure hash of the seed and the roll coordinates.
+pub(crate) fn hash_roll(seed: u64, slot: u64, feed_idx: u64, attempt: u64, salt: u64) -> u64 {
+    let mut state = seed ^ 0x6a09_e667_f3bc_c908;
+    let mut out = 0u64;
+    for part in [slot, feed_idx, attempt, salt] {
+        state ^= part ^ out;
+        out = splitmix64(&mut state);
+    }
+    out
+}
+
+/// Maps a hash to a uniform fraction in `[0, 1)`.
+fn as_fraction(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The unreliable upstream for one slot-fetch session: borrows the frozen
+/// truth and the profile, and answers fetch attempts.
+pub(crate) struct Upstream<'a> {
+    profile: &'a FeedProfile,
+    states: &'a [SystemState],
+    arrivals: &'a [Vec<f64>],
+}
+
+impl<'a> Upstream<'a> {
+    pub(crate) fn new(
+        profile: &'a FeedProfile,
+        states: &'a [SystemState],
+        arrivals: &'a [Vec<f64>],
+    ) -> Self {
+        Self {
+            profile,
+            states,
+            arrivals,
+        }
+    }
+
+    /// One fetch attempt against feed `(kind, dc)` at slot `t`.
+    /// `feed_idx` is the feed's stable hash index; `attempt` is 0-based so
+    /// retries re-roll every disturbance (a retry can dodge a drop — or
+    /// fetch a *different* corrupt record).
+    pub(crate) fn fetch(
+        &self,
+        kind: FeedKind,
+        dc: Option<usize>,
+        feed_idx: u64,
+        t: u64,
+        attempt: u64,
+    ) -> Result<WireRecord, FetchFailure> {
+        let seed = self.profile.policy().seed;
+        let active = || {
+            self.profile
+                .disruptions()
+                .iter()
+                .enumerate()
+                .filter(move |(_, d)| d.active_at(t) && d.matches(kind, dc))
+        };
+        let salt = |purpose: u64, clause: usize| (purpose << 32) | clause as u64;
+        let hit = |purpose: u64, clause: usize, p: f64| {
+            as_fraction(hash_roll(seed, t, feed_idx, attempt, salt(purpose, clause))) < p
+        };
+
+        // 1. Connection-level failures.
+        for (index, d) in active() {
+            match d.kind {
+                DisruptionKind::Outage => return Err(FetchFailure::Outage),
+                DisruptionKind::Drop { p } if hit(PURPOSE_DROP, index, p) => {
+                    return Err(FetchFailure::Drop);
+                }
+                DisruptionKind::Timeout { p } if hit(PURPOSE_TIMEOUT, index, p) => {
+                    return Err(FetchFailure::Timeout);
+                }
+                _ => {}
+            }
+        }
+
+        // 2. Which slot's record is served: delivery delay plus possible
+        // out-of-order arrival.
+        let mut lag = 0u64;
+        for (index, d) in active() {
+            match d.kind {
+                DisruptionKind::Delay { slots } => lag = lag.max(slots),
+                DisruptionKind::Reorder { window, p } if hit(PURPOSE_REORDER_HIT, index, p) => {
+                    let age =
+                        1 + hash_roll(seed, t, feed_idx, attempt, salt(PURPOSE_REORDER_AGE, index))
+                            % window;
+                    lag = lag.max(age);
+                }
+                _ => {}
+            }
+        }
+        let slot = t.saturating_sub(lag);
+        let mut payload = self.payload_at(kind, dc, slot);
+
+        // 3. Corruption on the wire.
+        for (index, d) in active() {
+            if let DisruptionKind::Corrupt { p, mode } = d.kind {
+                if hit(PURPOSE_CORRUPT_HIT, index, p) {
+                    let pick =
+                        hash_roll(seed, t, feed_idx, attempt, salt(PURPOSE_CORRUPT_IDX, index));
+                    payload = corrupt(payload, mode, pick);
+                }
+            }
+        }
+        Ok(WireRecord { slot, payload })
+    }
+
+    /// The truthful payload of feed `(kind, dc)` for slot `slot`.
+    fn payload_at(&self, kind: FeedKind, dc: Option<usize>, slot: u64) -> WirePayload {
+        let state = &self.states[slot as usize];
+        match kind {
+            FeedKind::Price => {
+                let d = state.data_center(dc.expect("price feeds are per data center"));
+                WirePayload::Price {
+                    rate: d.price(),
+                    tariff: Some(d.tariff().clone()),
+                }
+            }
+            FeedKind::Availability => {
+                let d = state.data_center(dc.expect("availability feeds are per data center"));
+                WirePayload::Levels(d.available_slice().to_vec())
+            }
+            FeedKind::Arrivals => {
+                // The arrivals counter reports the *previous* slot's
+                // realized arrivals; at slot 0 nothing has arrived yet.
+                if slot == 0 {
+                    WirePayload::Levels(vec![0.0; self.arrivals[0].len()])
+                } else {
+                    WirePayload::Levels(self.arrivals[slot as usize - 1].clone())
+                }
+            }
+        }
+    }
+}
+
+/// Mangles a payload per the corrupt mode. `pick` selects the poisoned
+/// entry of a level vector.
+fn corrupt(payload: WirePayload, mode: CorruptMode, pick: u64) -> WirePayload {
+    match payload {
+        WirePayload::Price { rate, tariff } => match mode {
+            CorruptMode::Nan => WirePayload::Price {
+                rate: f64::NAN,
+                tariff: None,
+            },
+            CorruptMode::Negative => WirePayload::Price {
+                rate: -(rate.abs() + 1.0),
+                tariff: None,
+            },
+            CorruptMode::Spike { factor } => WirePayload::Price {
+                rate: rate * factor,
+                tariff: tariff.map(|t| t.scaled(factor)),
+            },
+        },
+        WirePayload::Levels(mut values) => {
+            if values.is_empty() {
+                return WirePayload::Levels(values);
+            }
+            let idx = (pick % values.len() as u64) as usize;
+            match mode {
+                CorruptMode::Nan => values[idx] = f64::NAN,
+                CorruptMode::Negative => values[idx] = -(values[idx].abs() + 1.0),
+                CorruptMode::Spike { factor } => {
+                    for v in values.iter_mut() {
+                        *v *= factor;
+                    }
+                }
+            }
+            WirePayload::Levels(values)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::DataCenterState;
+
+    fn truth(slots: usize) -> (Vec<SystemState>, Vec<Vec<f64>>) {
+        let states = (0..slots)
+            .map(|t| {
+                SystemState::new(
+                    t as u64,
+                    vec![DataCenterState::new(
+                        vec![10.0, 4.0],
+                        Tariff::flat(0.1 * (t as f64 + 1.0)),
+                    )],
+                )
+            })
+            .collect();
+        let arrivals = (0..slots).map(|t| vec![t as f64]).collect();
+        (states, arrivals)
+    }
+
+    #[test]
+    fn perfect_profile_serves_fresh_truth() {
+        let (states, arrivals) = truth(5);
+        let profile = FeedProfile::perfect();
+        let up = Upstream::new(&profile, &states, &arrivals);
+        let rec = up.fetch(FeedKind::Price, Some(0), 0, 3, 0).unwrap();
+        assert_eq!(rec.slot, 3);
+        match rec.payload {
+            WirePayload::Price { rate, tariff } => {
+                assert!((rate - 0.4).abs() < 1e-12);
+                assert!(tariff.is_some());
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        // Arrivals report the previous slot; slot 0 reports zeros.
+        let rec = up.fetch(FeedKind::Arrivals, None, 2, 3, 0).unwrap();
+        assert_eq!(rec.payload, WirePayload::Levels(vec![2.0]));
+        let rec = up.fetch(FeedKind::Arrivals, None, 2, 0, 0).unwrap();
+        assert_eq!(rec.payload, WirePayload::Levels(vec![0.0]));
+    }
+
+    #[test]
+    fn outage_fails_and_delay_ages_records() {
+        let (states, arrivals) = truth(10);
+        let profile = FeedProfile::parse(
+            "outage:feed=price,start=2,end=4;delay:feed=avail,slots=3,start=0,end=10",
+        )
+        .unwrap();
+        let up = Upstream::new(&profile, &states, &arrivals);
+        assert_eq!(
+            up.fetch(FeedKind::Price, Some(0), 0, 2, 0),
+            Err(FetchFailure::Outage)
+        );
+        assert!(up.fetch(FeedKind::Price, Some(0), 0, 4, 0).is_ok());
+        let rec = up.fetch(FeedKind::Availability, Some(0), 1, 7, 0).unwrap();
+        assert_eq!(rec.slot, 4);
+        // Delay clamps at slot 0 early in the horizon.
+        let rec = up.fetch(FeedKind::Availability, Some(0), 1, 1, 0).unwrap();
+        assert_eq!(rec.slot, 0);
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_roughly_calibrated() {
+        let (states, arrivals) = truth(1000);
+        let profile = FeedProfile::parse("drop:feed=price,p=0.3,start=0,end=1000").unwrap();
+        let up = Upstream::new(&profile, &states, &arrivals);
+        let outcomes: Vec<bool> = (0..1000)
+            .map(|t| up.fetch(FeedKind::Price, Some(0), 0, t, 0).is_err())
+            .collect();
+        let again: Vec<bool> = (0..1000)
+            .map(|t| up.fetch(FeedKind::Price, Some(0), 0, t, 0).is_err())
+            .collect();
+        assert_eq!(outcomes, again, "identical rolls must replay identically");
+        let dropped = outcomes.iter().filter(|d| **d).count();
+        assert!(
+            (200..400).contains(&dropped),
+            "p=0.3 over 1000 slots dropped {dropped}"
+        );
+        // A different attempt number re-rolls.
+        let retry_differs = (0..1000).any(|t| {
+            up.fetch(FeedKind::Price, Some(0), 0, t, 0).is_err()
+                != up.fetch(FeedKind::Price, Some(0), 0, t, 1).is_err()
+        });
+        assert!(retry_differs, "retries must re-roll the drop");
+    }
+
+    #[test]
+    fn corruption_modes_mangle_and_validation_catches_detectable_ones() {
+        let (states, arrivals) = truth(4);
+        let profile = FeedProfile::parse("corrupt:feed=price,p=1,mode=nan,start=0,end=4").unwrap();
+        let up = Upstream::new(&profile, &states, &arrivals);
+        let rec = up.fetch(FeedKind::Price, Some(0), 0, 1, 0).unwrap();
+        assert!(validate(rec.payload).is_err());
+
+        let profile =
+            FeedProfile::parse("corrupt:feed=avail,p=1,mode=negative,start=0,end=4").unwrap();
+        let up = Upstream::new(&profile, &states, &arrivals);
+        let rec = up.fetch(FeedKind::Availability, Some(0), 1, 1, 0).unwrap();
+        assert_eq!(validate(rec.payload), Err("negative_level"));
+
+        // Spikes pass validation but skew the value.
+        let profile =
+            FeedProfile::parse("corrupt:feed=price,p=1,mode=spike,factor=5,start=0,end=4").unwrap();
+        let up = Upstream::new(&profile, &states, &arrivals);
+        let rec = up.fetch(FeedKind::Price, Some(0), 0, 1, 0).unwrap();
+        match validate(rec.payload).unwrap() {
+            GoodPayload::Price(tariff) => assert!((tariff.base_rate() - 1.0).abs() < 1e-12),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reorder_serves_records_within_the_window() {
+        let (states, arrivals) = truth(200);
+        let profile =
+            FeedProfile::parse("reorder:feed=price,window=4,p=1,start=0,end=200").unwrap();
+        let up = Upstream::new(&profile, &states, &arrivals);
+        let mut seen_old = false;
+        for t in 10..200 {
+            let rec = up.fetch(FeedKind::Price, Some(0), 0, t, 0).unwrap();
+            assert!(
+                rec.slot < t && t - rec.slot <= 4,
+                "slot {} at t {t}",
+                rec.slot
+            );
+            if t - rec.slot > 1 {
+                seen_old = true;
+            }
+        }
+        assert!(seen_old, "window=4 should produce ages beyond 1");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let (states, arrivals) = truth(500);
+        let a = FeedProfile::parse("drop:feed=price,p=0.5,start=0,end=500").unwrap();
+        let b = FeedProfile::parse("drop:feed=price,p=0.5,start=0,end=500;policy:seed=9").unwrap();
+        let ua = Upstream::new(&a, &states, &arrivals);
+        let ub = Upstream::new(&b, &states, &arrivals);
+        let differs = (0..500).any(|t| {
+            ua.fetch(FeedKind::Price, Some(0), 0, t, 0).is_err()
+                != ub.fetch(FeedKind::Price, Some(0), 0, t, 0).is_err()
+        });
+        assert!(differs);
+    }
+}

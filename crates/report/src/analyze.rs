@@ -14,7 +14,16 @@ use std::fmt::Write as _;
 pub struct BoundCheck {
     /// Theorem 1(a) bound `V·C3/δ`.
     pub queue_bound: f64,
-    /// `100 · peak_queue / queue_bound`.
+    /// Admissible staleness certified for the run, when it executed behind
+    /// an unreliable feed layer.
+    pub stale_slots: Option<u64>,
+    /// The degraded bound `queue_bound + stale_slots·q^max` (present iff
+    /// `stale_slots` is).
+    pub stale_queue_bound: Option<f64>,
+    /// The bound occupancy is measured against: the degraded stale bound
+    /// when certified, the plain Theorem 1(a) bound otherwise.
+    pub effective_bound: f64,
+    /// `100 · peak_queue / effective_bound`.
     pub occupancy_pct: f64,
     /// Theorem 1(b) gap bound `(B + D(T−1))/V`.
     pub cost_gap_bound: f64,
@@ -50,6 +59,35 @@ pub struct FaultImpact {
     /// the baseline (0 = recovered by the slot the window closed);
     /// `None` when it never recovered within the run.
     pub recovery_slots: Option<u64>,
+}
+
+/// Feed-layer health summary of one run: staleness distribution, retry and
+/// breaker activity, and estimation error against the realized prices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedHealth {
+    /// Slots scheduled on a not-fully-fresh estimate.
+    pub stale_slots: usize,
+    /// `100 · stale_slots / slots`.
+    pub stale_pct: f64,
+    /// Largest estimate age (slots) seen anywhere in the run.
+    pub max_age: u64,
+    /// Mean of the per-slot maximum estimate age over stale slots.
+    pub mean_age: f64,
+    /// Mean price MAE (estimate vs realized truth) over stale slots.
+    pub mean_price_mae: f64,
+    /// Total retry attempts (beyond each poll's first try).
+    pub retries: u64,
+    /// Polls that failed outright.
+    pub failures: usize,
+    /// Failure counts per reason, sorted by reason label.
+    pub failures_by_reason: Vec<(String, usize)>,
+    /// Records rejected by validation.
+    pub quarantined: usize,
+    /// Circuit-breaker trips (transitions to `open`).
+    pub breaker_opens: usize,
+    /// Decisions repaired against the truth after a stale estimate made
+    /// them infeasible (`degraded.mode` reason `stale_state_repaired`).
+    pub stale_repairs: usize,
 }
 
 /// Resilience summary of one run: how often the scheduler degraded and how
@@ -110,6 +148,9 @@ pub struct RunAnalysis {
     /// Resilience summary, when the run carries `fault.inject` or
     /// `degraded.mode` events.
     pub resilience: Option<Resilience>,
+    /// Feed-layer health, when the run carries `feed.*` or `state.stale`
+    /// events.
+    pub feed: Option<FeedHealth>,
     /// Wall-time quantiles per phase: `(phase, quantiles)`.
     pub wall: Vec<(&'static str, Quantiles)>,
     /// Sampled trajectory rows: `(t, avg_cost, avg_drift, avg_penalty,
@@ -204,6 +245,54 @@ fn resilience_of(run: &Run) -> Option<Resilience> {
     })
 }
 
+/// Derives the feed-health summary, or `None` for a run without any feed
+/// telemetry (the section is omitted entirely then).
+fn feed_health_of(run: &Run) -> Option<FeedHealth> {
+    if run.feed_fetches.is_empty()
+        && run.feed_breakers.is_empty()
+        && run.feed_quarantined.is_empty()
+        && run.stale.is_empty()
+    {
+        return None;
+    }
+    let mut failures_by_reason: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut retries = 0u64;
+    let mut failures = 0usize;
+    for f in &run.feed_fetches {
+        retries += f.attempts.saturating_sub(1);
+        if f.outcome != "ok" {
+            failures += 1;
+            let reason = f.reason.as_deref().unwrap_or("unknown");
+            *failures_by_reason.entry(reason).or_insert(0) += 1;
+        }
+    }
+    let stale_slots = run.stale.len();
+    Some(FeedHealth {
+        stale_slots,
+        stale_pct: if run.slots.is_empty() {
+            0.0
+        } else {
+            100.0 * stale_slots as f64 / run.slots.len() as f64
+        },
+        max_age: run.stale.iter().map(|s| s.max_age).max().unwrap_or(0),
+        mean_age: mean(run.stale.iter().map(|s| s.max_age as f64)),
+        mean_price_mae: mean(run.stale.iter().map(|s| s.price_mae)),
+        retries,
+        failures,
+        failures_by_reason: failures_by_reason
+            .into_iter()
+            .map(|(reason, n)| (reason.to_string(), n))
+            .collect(),
+        quarantined: run.feed_quarantined.len(),
+        breaker_opens: run.feed_breakers.iter().filter(|b| b.to == "open").count(),
+        stale_repairs: run
+            .degraded
+            .iter()
+            .filter(|d| d.reason == "stale_state_repaired")
+            .count(),
+    })
+}
+
 fn analyze_run(run: &Run, bounds: Option<&BoundsEvent>) -> RunAnalysis {
     let slots = run.slots.len();
     let beta = run.decides.first().map(|d| d.beta);
@@ -221,16 +310,24 @@ fn analyze_run(run: &Run, bounds: Option<&BoundsEvent>) -> RunAnalysis {
 
     let peak_queue = run.slots.iter().map(|s| s.queue_max).fold(0.0, f64::max);
     let final_queue = run.slots.last().map_or(0.0, |s| s.queue_max);
-    let bound = bounds.map(|be| BoundCheck {
-        queue_bound: be.queue_bound,
-        occupancy_pct: if be.queue_bound > 0.0 {
-            100.0 * peak_queue / be.queue_bound
-        } else {
-            f64::INFINITY
-        },
-        cost_gap_bound: be.cost_gap_bound,
-        delta: be.delta,
-        frame: be.frame,
+    let bound = bounds.map(|be| {
+        // A run certified against admissible staleness is judged against
+        // the degraded bound; a perfect-feed run against Theorem 1(a)'s.
+        let effective_bound = be.stale_queue_bound.unwrap_or(be.queue_bound);
+        BoundCheck {
+            queue_bound: be.queue_bound,
+            stale_slots: be.stale_slots,
+            stale_queue_bound: be.stale_queue_bound,
+            effective_bound,
+            occupancy_pct: if effective_bound > 0.0 {
+                100.0 * peak_queue / effective_bound
+            } else {
+                f64::INFINITY
+            },
+            cost_gap_bound: be.cost_gap_bound,
+            delta: be.delta,
+            frame: be.frame,
+        }
     });
 
     let greedy_decisions = run.decides.iter().filter(|d| d.solver == "greedy").count();
@@ -304,6 +401,7 @@ fn analyze_run(run: &Run, bounds: Option<&BoundsEvent>) -> RunAnalysis {
         dropped: run.dropped.unwrap_or(0.0),
         invariant_violations: run.invariant_violations,
         resilience: resilience_of(run),
+        feed: feed_health_of(run),
         wall,
         trajectory,
     }
@@ -370,12 +468,31 @@ impl Analysis {
                     } else {
                         "EXCEEDED"
                     };
-                    let _ = writeln!(
-                        out,
-                        "  queues          : peak {:.2}, final {:.2} | Theorem 1(a) bound \
-                         {:.2} (delta {:.3}) -> occupancy {:.1}% [{verdict}]",
-                        r.peak_queue, r.final_queue, b.queue_bound, b.delta, b.occupancy_pct
-                    );
+                    match (b.stale_slots, b.stale_queue_bound) {
+                        (Some(s), Some(sb)) => {
+                            let _ = writeln!(
+                                out,
+                                "  queues          : peak {:.2}, final {:.2} | degraded 1(a) \
+                                 bound {sb:.2} (= {:.2} + {s} stale slots, delta {:.3}) -> \
+                                 occupancy {:.1}% [{verdict}]",
+                                r.peak_queue,
+                                r.final_queue,
+                                b.queue_bound,
+                                b.delta,
+                                b.occupancy_pct
+                            );
+                        }
+                        _ => {
+                            let _ =
+                                writeln!(
+                                out,
+                                "  queues          : peak {:.2}, final {:.2} | Theorem 1(a) bound \
+                                 {:.2} (delta {:.3}) -> occupancy {:.1}% [{verdict}]",
+                                r.peak_queue, r.final_queue, b.queue_bound, b.delta,
+                                b.occupancy_pct
+                            );
+                        }
+                    }
                 }
                 None => {
                     let _ = writeln!(
@@ -416,6 +533,32 @@ impl Analysis {
                         f.kind, f.start, f.end, f.baseline_queue, f.peak_queue, f.overshoot
                     );
                 }
+            }
+            if let Some(fh) = &r.feed {
+                let _ = writeln!(
+                    out,
+                    "  feed health     : {} stale slot(s) ({:.1}% of run), max age {}, \
+                     mean age {:.1}, price MAE {:.4}",
+                    fh.stale_slots, fh.stale_pct, fh.max_age, fh.mean_age, fh.mean_price_mae
+                );
+                let reasons = if fh.failures_by_reason.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " ({})",
+                        fh.failures_by_reason
+                            .iter()
+                            .map(|(reason, n)| format!("{reason} {n}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                let _ = writeln!(
+                    out,
+                    "  feed traffic    : {} retries, {} failed poll(s){reasons}, \
+                     {} quarantined, {} breaker trip(s), {} stale repair(s)",
+                    fh.retries, fh.failures, fh.quarantined, fh.breaker_opens, fh.stale_repairs
+                );
             }
             if !r.trajectory.is_empty() {
                 let _ = writeln!(
@@ -460,6 +603,7 @@ impl Analysis {
             }
         }
         self.render_gap_table(&mut out);
+        self.render_feed_degradation(&mut out);
         out
     }
 
@@ -469,6 +613,49 @@ impl Analysis {
             (r.second_half_cost - r.first_half_cost) / r.first_half_cost.abs()
         } else {
             0.0
+        }
+    }
+
+    /// Feed-degradation table: each run that executed behind an unreliable
+    /// feed layer compared against the first perfect-feed run of the same
+    /// scheduler in the stream — the observable price of staleness in cost
+    /// and backlog.
+    fn render_feed_degradation(&self, out: &mut String) {
+        let mut rows = Vec::new();
+        for r in self.runs.iter().filter(|r| r.feed.is_some()) {
+            let Some(clean) = self
+                .runs
+                .iter()
+                .find(|o| o.feed.is_none() && o.scheduler == r.scheduler)
+            else {
+                continue;
+            };
+            rows.push((r, clean));
+        }
+        if rows.is_empty() {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "\nfeed degradation (each lossy-feed run vs the perfect-feed run \
+             of the same scheduler):"
+        );
+        let _ = writeln!(
+            out,
+            "{:>16} {:>12} {:>12} {:>10} {:>12} {:>12}",
+            "run", "avg_cost", "clean_cost", "cost_pct", "peak_queue", "clean_peak"
+        );
+        for (r, clean) in rows {
+            let cost_pct = if clean.avg_cost.abs() > 0.0 {
+                100.0 * (r.avg_cost - clean.avg_cost) / clean.avg_cost.abs()
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:>16} {:>12.4} {:>12.4} {:>+9.1}% {:>12.2} {:>12.2}",
+                r.label, r.avg_cost, clean.avg_cost, cost_pct, r.peak_queue, clean.peak_queue
+            );
         }
     }
 
@@ -567,6 +754,8 @@ mod tests {
                 queue_bound: qbound,
                 cost_gap_bound: 5.0,
                 frame: 24,
+                stale_slots: None,
+                stale_queue_bound: None,
             }],
             total_events: 42,
         }
@@ -607,6 +796,8 @@ mod tests {
                     queue_bound: 50.0,
                     cost_gap_bound: 50.0,
                     frame: 24,
+                    stale_slots: None,
+                    stale_queue_bound: None,
                 },
                 BoundsEvent {
                     label: "V=10".to_string(),
@@ -616,6 +807,8 @@ mod tests {
                     queue_bound: 200.0,
                     cost_gap_bound: 5.0,
                     frame: 24,
+                    stale_slots: None,
+                    stale_queue_bound: None,
                 },
             ],
             total_events: 84,
@@ -704,6 +897,148 @@ mod tests {
             rendered.contains("recovered 3 slot(s) after close"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn feed_health_aggregates_staleness_and_traffic() {
+        use crate::stream::{BreakerSample, DegradedSample, FeedFetchSample, StaleSample};
+        let mut run = synthetic_run("V=1", 1.0, 8.0, 10.0, 40);
+        run.feed_fetches.push(FeedFetchSample {
+            t: 3,
+            feed: "price".to_string(),
+            dc: Some(0),
+            outcome: "fail".to_string(),
+            attempts: 3,
+            reason: Some("retries_exhausted".to_string()),
+        });
+        run.feed_fetches.push(FeedFetchSample {
+            t: 4,
+            feed: "price".to_string(),
+            dc: Some(0),
+            outcome: "ok".to_string(),
+            attempts: 2,
+            reason: None,
+        });
+        run.feed_fetches.push(FeedFetchSample {
+            t: 5,
+            feed: "price".to_string(),
+            dc: Some(0),
+            outcome: "fail".to_string(),
+            attempts: 0,
+            reason: Some("breaker_open".to_string()),
+        });
+        run.feed_breakers.push(BreakerSample {
+            t: 4,
+            feed: "price".to_string(),
+            dc: Some(0),
+            from: "closed".to_string(),
+            to: "open".to_string(),
+        });
+        run.feed_quarantined
+            .push((6, "arrivals".to_string(), "nan".to_string()));
+        for (t, age, mae) in [(3u64, 1u64, 0.1), (4, 2, 0.3)] {
+            run.stale.push(StaleSample {
+                t,
+                stale_fields: 1,
+                max_age: age,
+                price_mae: mae,
+            });
+        }
+        run.degraded.push(DegradedSample {
+            t: 4,
+            reason: "stale_state_repaired".to_string(),
+            dc: None,
+        });
+        let analysis = Analysis::from_stream(&TelemetryStream {
+            runs: vec![run],
+            bounds: vec![],
+            total_events: 50,
+        });
+        let fh = analysis.runs[0].feed.as_ref().unwrap();
+        assert_eq!(fh.stale_slots, 2);
+        assert!((fh.stale_pct - 5.0).abs() < 1e-9); // 2 of 40 slots
+        assert_eq!(fh.max_age, 2);
+        assert!((fh.mean_age - 1.5).abs() < 1e-12);
+        assert!((fh.mean_price_mae - 0.2).abs() < 1e-12);
+        assert_eq!(fh.retries, 3); // (3-1) + (2-1) + 0
+        assert_eq!(fh.failures, 2);
+        assert_eq!(
+            fh.failures_by_reason,
+            vec![
+                ("breaker_open".to_string(), 1),
+                ("retries_exhausted".to_string(), 1),
+            ]
+        );
+        assert_eq!(fh.quarantined, 1);
+        assert_eq!(fh.breaker_opens, 1);
+        assert_eq!(fh.stale_repairs, 1);
+        let rendered = analysis.render();
+        assert!(
+            rendered.contains("feed health     : 2 stale slot(s)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("1 breaker trip(s), 1 stale repair(s)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn stale_bound_governs_occupancy_when_certified() {
+        use crate::stream::StaleSample;
+        // Peak queue 10 exceeds the plain bound 8 but sits inside the
+        // degraded bound 16 — a staleness-certified run passes the gate.
+        let mut stream = TelemetryStream {
+            runs: vec![synthetic_run("V=1", 1.0, 8.0, 10.0, 40)],
+            bounds: vec![BoundsEvent {
+                label: "V=1".to_string(),
+                v: 1.0,
+                beta: 0.0,
+                delta: 2.0,
+                queue_bound: 8.0,
+                cost_gap_bound: 5.0,
+                frame: 24,
+                stale_slots: Some(2),
+                stale_queue_bound: Some(16.0),
+            }],
+            total_events: 42,
+        };
+        stream.runs[0].stale.push(StaleSample {
+            t: 1,
+            stale_fields: 1,
+            max_age: 1,
+            price_mae: 0.0,
+        });
+        let analysis = Analysis::from_stream(&stream);
+        let b = analysis.runs[0].bound.as_ref().unwrap();
+        assert_eq!(b.effective_bound, 16.0);
+        assert!((b.occupancy_pct - 62.5).abs() < 1e-9);
+        assert!(!analysis.any_bound_exceeded());
+        let rendered = analysis.render();
+        assert!(rendered.contains("degraded 1(a) bound 16.00"), "{rendered}");
+        assert!(rendered.contains("2 stale slots"), "{rendered}");
+    }
+
+    #[test]
+    fn feed_degradation_table_compares_against_clean_run() {
+        use crate::stream::StaleSample;
+        let clean = synthetic_run("clean", 1.0, 8.0, 10.0, 20);
+        let mut lossy = synthetic_run("lossy", 1.0, 10.0, 14.0, 20);
+        lossy.stale.push(StaleSample {
+            t: 0,
+            stale_fields: 1,
+            max_age: 1,
+            price_mae: 0.2,
+        });
+        let analysis = Analysis::from_stream(&TelemetryStream {
+            runs: vec![clean, lossy],
+            bounds: vec![],
+            total_events: 80,
+        });
+        let rendered = analysis.render();
+        assert!(rendered.contains("feed degradation"), "{rendered}");
+        // 10 vs 8 cost: +25%.
+        assert!(rendered.contains("+25.0%"), "{rendered}");
     }
 
     #[test]

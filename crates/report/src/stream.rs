@@ -115,6 +115,55 @@ pub struct DegradedSample {
     pub dc: Option<u64>,
 }
 
+/// One `feed.fetch` event — a poll that failed or needed retries (clean
+/// single-attempt fetches stay silent, so these samples *are* the feed
+/// layer's retry/failure activity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedFetchSample {
+    /// Slot of the poll.
+    pub t: u64,
+    /// Feed kind label (`price`, `avail`, `arrivals`).
+    pub feed: String,
+    /// Targeted data center, for per-DC feeds.
+    pub dc: Option<u64>,
+    /// `ok` (arrived after retries) or `fail`.
+    pub outcome: String,
+    /// Fetch attempts spent (0 when the breaker skipped the poll).
+    pub attempts: u64,
+    /// Failure reason (`timeout`, `dropped`, `breaker_open`,
+    /// `retries_exhausted`, `deadline`, `quarantined`), absent on `ok`.
+    pub reason: Option<String>,
+}
+
+/// One `feed.breaker` event — a circuit-breaker state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerSample {
+    /// Slot of the transition.
+    pub t: u64,
+    /// Feed kind label.
+    pub feed: String,
+    /// Targeted data center, for per-DC feeds.
+    pub dc: Option<u64>,
+    /// State left (`closed`, `open`, `half_open`).
+    pub from: String,
+    /// State entered.
+    pub to: String,
+}
+
+/// One `state.stale` event — a slot scheduled on a not-fully-fresh
+/// estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaleSample {
+    /// The slot.
+    pub t: u64,
+    /// Number of estimated fields that were not fresh.
+    pub stale_fields: u64,
+    /// Largest estimate age (slots) across all fields.
+    pub max_age: u64,
+    /// Mean absolute error of the estimated prices vs the truth.
+    pub price_mae: f64,
+}
+
 /// Theorem 1 bounds attached to one labeled run (a `theory.bounds` event).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundsEvent {
@@ -132,6 +181,12 @@ pub struct BoundsEvent {
     pub cost_gap_bound: f64,
     /// The frame length `T` the gap bound is stated against.
     pub frame: u64,
+    /// Admissible staleness the run was certified against, when it ran
+    /// behind an unreliable feed layer.
+    pub stale_slots: Option<u64>,
+    /// The degraded Theorem 1(a) bound `queue_bound + stale_slots·q^max`
+    /// (an engineering corollary; present iff `stale_slots` is).
+    pub stale_queue_bound: Option<f64>,
 }
 
 /// One simulation run's telemetry: the events between a `run.start` and its
@@ -168,6 +223,14 @@ pub struct Run {
     pub faults: Vec<FaultSample>,
     /// `degraded.mode` events in stream order.
     pub degraded: Vec<DegradedSample>,
+    /// `feed.fetch` events (retried or failed polls) in stream order.
+    pub feed_fetches: Vec<FeedFetchSample>,
+    /// `feed.breaker` transitions in stream order.
+    pub feed_breakers: Vec<BreakerSample>,
+    /// `feed.quarantine` events as `(t, feed, reason)` in stream order.
+    pub feed_quarantined: Vec<(u64, String, String)>,
+    /// `state.stale` events in slot order.
+    pub stale: Vec<StaleSample>,
 }
 
 impl Run {
@@ -239,6 +302,8 @@ impl TelemetryStream {
                         queue_bound: number(event, "queue_bound", idx)?,
                         cost_gap_bound: number(event, "cost_gap_bound", idx)?,
                         frame: number(event, "frame", idx)? as u64,
+                        stale_slots: opt_number(event, "stale_slots").map(|s| s as u64),
+                        stale_queue_bound: opt_number(event, "stale_queue_bound"),
                     });
                     continue;
                 }
@@ -319,6 +384,43 @@ impl TelemetryStream {
                         t: number(event, "t", idx)? as u64,
                         reason: string(event, "reason", idx)?,
                         dc: opt_number(event, "dc").map(|d| d as u64),
+                    });
+                }
+                "feed.fetch" => {
+                    run.feed_fetches.push(FeedFetchSample {
+                        t: number(event, "t", idx)? as u64,
+                        feed: string(event, "feed", idx)?,
+                        dc: opt_number(event, "dc").map(|d| d as u64),
+                        outcome: string(event, "outcome", idx)?,
+                        attempts: number(event, "attempts", idx)? as u64,
+                        reason: event
+                            .get("reason")
+                            .and_then(JsonValue::as_str)
+                            .map(str::to_string),
+                    });
+                }
+                "feed.breaker" => {
+                    run.feed_breakers.push(BreakerSample {
+                        t: number(event, "t", idx)? as u64,
+                        feed: string(event, "feed", idx)?,
+                        dc: opt_number(event, "dc").map(|d| d as u64),
+                        from: string(event, "from", idx)?,
+                        to: string(event, "to", idx)?,
+                    });
+                }
+                "feed.quarantine" => {
+                    run.feed_quarantined.push((
+                        number(event, "t", idx)? as u64,
+                        string(event, "feed", idx)?,
+                        string(event, "reason", idx)?,
+                    ));
+                }
+                "state.stale" => {
+                    run.stale.push(StaleSample {
+                        t: number(event, "t", idx)? as u64,
+                        stale_fields: number(event, "stale_fields", idx)? as u64,
+                        max_age: number(event, "max_age", idx)? as u64,
+                        price_mae: number(event, "price_mae", idx)?,
                     });
                 }
                 _ => {} // additive events from the same schema version
@@ -521,6 +623,96 @@ mod tests {
         assert_eq!(run.degraded[0].dc, Some(0));
         assert_eq!(run.degraded[1].reason, "solver_budget_exhausted");
         assert_eq!(run.degraded[1].dc, None);
+    }
+
+    #[test]
+    fn feed_and_stale_events_are_parsed() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record_event(
+            Event::new("run.start")
+                .field("scheduler", "GreFar(V=1)")
+                .field("horizon", 3_u64)
+                .field("data_centers", 1_u64)
+                .field("job_classes", 1_u64),
+        );
+        sink.record_event(
+            Event::new("feed.fetch")
+                .field("t", 0_u64)
+                .field("feed", "price")
+                .field("dc", 0_u64)
+                .field("outcome", "fail")
+                .field("attempts", 3_u64)
+                .field("reason", "retries_exhausted"),
+        );
+        sink.record_event(
+            Event::new("feed.fetch")
+                .field("t", 1_u64)
+                .field("feed", "price")
+                .field("dc", 0_u64)
+                .field("outcome", "ok")
+                .field("attempts", 2_u64),
+        );
+        sink.record_event(
+            Event::new("feed.breaker")
+                .field("t", 1_u64)
+                .field("feed", "price")
+                .field("dc", 0_u64)
+                .field("from", "closed")
+                .field("to", "open"),
+        );
+        sink.record_event(
+            Event::new("feed.quarantine")
+                .field("t", 2_u64)
+                .field("feed", "arrivals")
+                .field("reason", "nan"),
+        );
+        sink.record_event(
+            Event::new("state.stale")
+                .field("t", 2_u64)
+                .field("stale_fields", 1_u64)
+                .field("max_age", 4_u64)
+                .field("price_mae", 0.25),
+        );
+        sink.record_event(
+            Event::new("run.end")
+                .field("slots", 3_u64)
+                .field("completed", 0_u64)
+                .field("dropped", 0_u64)
+                .field("wall_us", 10_u64),
+        );
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let stream = TelemetryStream::parse(&text).unwrap();
+        let run = &stream.runs[0];
+        assert_eq!(run.feed_fetches.len(), 2);
+        assert_eq!(
+            run.feed_fetches[0].reason.as_deref(),
+            Some("retries_exhausted")
+        );
+        assert_eq!(run.feed_fetches[1].outcome, "ok");
+        assert_eq!(run.feed_fetches[1].reason, None);
+        assert_eq!(run.feed_breakers.len(), 1);
+        assert_eq!(run.feed_breakers[0].to, "open");
+        assert_eq!(
+            run.feed_quarantined,
+            vec![(2, "arrivals".to_string(), "nan".to_string())]
+        );
+        assert_eq!(run.stale.len(), 1);
+        assert_eq!(run.stale[0].max_age, 4);
+        assert!((run.stale[0].price_mae - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_event_reads_optional_stale_fields() {
+        let text = "{\"event\":\"theory.bounds\",\"label\":\"V=1\",\"v\":1,\"beta\":0,\
+                    \"delta\":2,\"queue_bound\":50,\"cost_gap_bound\":5,\"frame\":24,\
+                    \"stale_slots\":6,\"stale_queue_bound\":74}\n";
+        let stream = TelemetryStream::parse(text).unwrap();
+        assert_eq!(stream.bounds[0].stale_slots, Some(6));
+        assert_eq!(stream.bounds[0].stale_queue_bound, Some(74.0));
+        // And the fields stay None when absent (pre-feed-layer emitters).
+        let plain = TelemetryStream::parse(&sample_stream()).unwrap();
+        assert_eq!(plain.bounds[0].stale_slots, None);
+        assert_eq!(plain.bounds[0].stale_queue_bound, None);
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub struct Checkpoint {
     pub scheduler: String,
     /// The fault-plan spec in force (empty string when none).
     pub faults: String,
+    /// The feed-profile spec in force (empty string when none).
+    pub feeds: String,
     /// Jobs dropped by admission control so far.
     pub dropped: u64,
     /// Central queue lengths `Q_j`.
@@ -89,6 +91,7 @@ impl Checkpoint {
                 .field("horizon", self.horizon)
                 .field("scheduler", self.scheduler.clone())
                 .field("faults", self.faults.clone())
+                .field("feeds", self.feeds.clone())
                 .field("dropped", self.dropped)
                 .field("data_centers", self.queues_local.len())
                 .field("job_classes", self.queues_central.len())
@@ -186,21 +189,35 @@ impl Checkpoint {
         out
     }
 
-    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, then
-    /// rename over `path`, so an interrupted write never corrupts an
-    /// existing checkpoint.
+    /// Writes the checkpoint atomically *and durably*: serialize to
+    /// `<path>.tmp`, `fsync` the temp file, rename over `path`, then
+    /// `fsync` the parent directory. An interrupted write never corrupts an
+    /// existing checkpoint, and once `write` returns the new checkpoint
+    /// survives power loss — without the data sync a rename can land before
+    /// the bytes do (leaving a valid name over empty content), and without
+    /// the directory sync the rename itself may not be on disk.
     ///
     /// # Errors
-    /// [`SimError::CheckpointIo`] when the temp file cannot be written or
-    /// renamed.
+    /// [`SimError::CheckpointIo`] when the temp file cannot be written,
+    /// synced or renamed, or the parent directory cannot be synced.
     pub fn write(&self, path: &Path) -> Result<(), SimError> {
+        use std::io::Write as _;
         let tmp = path.with_extension("tmp");
         let io_err = |source| SimError::CheckpointIo {
             path: path.to_path_buf(),
             source,
         };
-        std::fs::write(&tmp, self.to_jsonl()).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(self.to_jsonl().as_bytes()).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::File::open(parent)
+                .and_then(|dir| dir.sync_all())
+                .map_err(io_err)?;
+        }
+        Ok(())
     }
 
     /// Reads a checkpoint file written by [`write`](Self::write).
@@ -270,6 +287,9 @@ impl Checkpoint {
             horizon: get_u64(header, "horizon", 1)?,
             scheduler: get_str(header, "scheduler", 1)?.to_string(),
             faults: get_str(header, "faults", 1)?.to_string(),
+            // Absent in pre-feed-layer checkpoints; a missing field means
+            // the run had no feed profile, so the schema stays at 1.
+            feeds: get_str(header, "feeds", 1).unwrap_or("").to_string(),
             dropped: get_u64(header, "dropped", 1)?,
             queues_central: Vec::new(),
             queues_local: vec![Vec::new(); n],
@@ -485,6 +505,7 @@ mod tests {
             horizon: 10,
             scheduler: "GreFar(V=7.5, beta=0)".to_string(),
             faults: "outage:dc=0,start=2,end=4".to_string(),
+            feeds: "drop:feed=price,p=0.25,start=0,end=10".to_string(),
             dropped: 1,
             queues_central: vec![2.0, 0.5],
             queues_local: vec![vec![1.0, 0.0], vec![0.25, 3.0]],
@@ -535,6 +556,17 @@ mod tests {
         );
         assert_eq!(Checkpoint::load(&path).unwrap(), ck);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_feed_layer_checkpoints_parse_with_empty_feeds() {
+        // Checkpoints written before the feed layer existed have no
+        // `feeds` header field; they must load with an empty profile.
+        let text = sample()
+            .to_jsonl()
+            .replace(",\"feeds\":\"drop:feed=price,p=0.25,start=0,end=10\"", "");
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(back.feeds, "");
     }
 
     #[test]

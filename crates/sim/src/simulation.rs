@@ -7,8 +7,9 @@ use crate::error::SimError;
 use crate::inputs::SimulationInputs;
 use crate::report::{RunningSeries, SimulationReport};
 use crate::tracker::JobTracker;
-use grefar_core::{cost_breakdown, QuadraticDeviation, QueueState, Scheduler, SolverBudget};
+use grefar_core::{cost_breakdown, stale, QuadraticDeviation, QueueState, Scheduler, SolverBudget};
 use grefar_faults::FaultPlan;
+use grefar_ingest::{FeedHarness, FeedProfile};
 use grefar_obs::{Event, NullObserver, Observer, Timer};
 use grefar_types::{Grid, Slot, SystemConfig};
 
@@ -32,12 +33,26 @@ use grefar_types::{Grid, Slot, SystemConfig};
 /// opening emits a `fault.inject` telemetry event. Without a plan the run
 /// is byte-identical to the unfaulted engine.
 ///
+/// # Unreliable feeds
+///
+/// [`with_feed_profile`](Simulation::with_feed_profile) interposes the
+/// `grefar-ingest` resilient feed layer between the frozen inputs and the
+/// scheduler: every slot the scheduler acts on the layer's *estimated*
+/// state (with retry/breaker/fallback semantics per the
+/// [`FeedProfile`]) and the decision is repaired against the truth when
+/// staleness made it infeasible (`grefar_core::stale`). Physics — queue
+/// updates, metering, admission — always use the true inputs. Without a
+/// profile the run is byte-identical to the plain engine.
+///
 /// # Checkpoint/resume
 ///
 /// [`run_resumable`](Simulation::run_resumable) writes a schema-versioned
 /// [`Checkpoint`] every `k` slots (atomically);
 /// [`resume`](Simulation::resume) continues from one **bit-identically** —
-/// the resumed report equals the uninterrupted run's exactly.
+/// the resumed report equals the uninterrupted run's exactly. Feed-client
+/// state (breakers, caches) is not serialized: it evolves deterministically
+/// from the profile and the frozen inputs alone, so resume replays it with
+/// [`FeedHarness::fast_forward`].
 ///
 /// # Example
 /// See the [crate-level documentation](crate).
@@ -48,6 +63,7 @@ pub struct Simulation {
     admission_cap: Option<f64>,
     queue_bound: Option<f64>,
     faults: Option<FaultPlan>,
+    feeds: Option<FeedHarness>,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -57,6 +73,7 @@ impl core::fmt::Debug for Simulation {
             .field("admission_cap", &self.admission_cap)
             .field("queue_bound", &self.queue_bound)
             .field("faults", &self.faults.as_ref().map(FaultPlan::spec))
+            .field("feeds", &self.feeds.as_ref().map(|h| h.profile().spec()))
             .finish_non_exhaustive()
     }
 }
@@ -185,12 +202,19 @@ impl RunState {
         })
     }
 
-    fn to_checkpoint(&self, horizon: usize, scheduler: &str, faults: &str) -> Checkpoint {
+    fn to_checkpoint(
+        &self,
+        horizon: usize,
+        scheduler: &str,
+        faults: &str,
+        feeds: &str,
+    ) -> Checkpoint {
         Checkpoint {
             slot: self.next_slot as u64,
             horizon: horizon as u64,
             scheduler: scheduler.to_string(),
             faults: faults.to_string(),
+            feeds: feeds.to_string(),
             dropped: self.dropped,
             queues_central: self.queues.central_slice().to_vec(),
             queues_local: (0..self.queues.local_grid().rows())
@@ -291,6 +315,7 @@ impl Simulation {
             admission_cap: None,
             queue_bound: None,
             faults: None,
+            feeds: None,
         })
     }
 
@@ -343,6 +368,7 @@ impl Simulation {
             admission_cap,
             queue_bound,
             faults: _,
+            feeds,
         } = self;
         plan.validate_for(config.num_data_centers(), config.num_job_classes())
             .map_err(|e| SimError::Mismatch(e.to_string()))?;
@@ -356,7 +382,24 @@ impl Simulation {
             admission_cap,
             queue_bound,
             faults: Some(plan),
+            feeds,
         })
+    }
+
+    /// Interposes the resilient feed layer: the scheduler now acts on the
+    /// profile's estimated state instead of the truth. See the
+    /// [type-level docs](Simulation#unreliable-feeds). A
+    /// [perfect](FeedProfile::is_perfect) profile short-circuits to the
+    /// plain path, keeping output byte-identical to a run without one.
+    ///
+    /// # Errors
+    /// [`SimError::Mismatch`] if the profile targets data centers the
+    /// system does not have.
+    pub fn with_feed_profile(mut self, profile: FeedProfile) -> Result<Self, SimError> {
+        let harness = FeedHarness::new(profile, self.config.num_data_centers())
+            .map_err(|e| SimError::Mismatch(e.to_string()))?;
+        self.feeds = Some(harness);
+        Ok(self)
     }
 
     /// The scheduler's self-reported name (what `run.start` will carry).
@@ -373,6 +416,11 @@ impl Simulation {
     /// The fault plan in force, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The feed profile in force, if any.
+    pub fn feed_profile(&self) -> Option<&FeedProfile> {
+        self.feeds.as_ref().map(FeedHarness::profile)
     }
 
     /// Runs the whole horizon and returns the report.
@@ -463,8 +511,31 @@ impl Simulation {
                 checkpoint.faults
             )));
         }
+        let feed_spec = self.feed_spec();
+        if checkpoint.feeds != feed_spec {
+            return Err(SimError::Mismatch(format!(
+                "checkpoint feed profile {:?} differs from this run's {feed_spec:?}",
+                checkpoint.feeds
+            )));
+        }
+        // Feed-client state (breakers, caches) is deterministic in the
+        // profile and frozen inputs: replay it up to the checkpoint slot.
+        if let Some(harness) = &mut self.feeds {
+            harness.fast_forward(
+                self.inputs.states(),
+                self.inputs.all_arrivals(),
+                checkpoint.slot,
+            );
+        }
         let rs = RunState::from_checkpoint(&self.config, checkpoint)?;
         self.drive(rs, obs, policy)
+    }
+
+    fn feed_spec(&self) -> String {
+        self.feeds
+            .as_ref()
+            .map(|h| h.profile().spec())
+            .unwrap_or_default()
     }
 
     /// The shared driver: runs `rs` to the horizon in checkpoint-bounded
@@ -521,8 +592,13 @@ impl Simulation {
             .as_ref()
             .map(FaultPlan::spec)
             .unwrap_or_default();
-        rs.to_checkpoint(self.inputs.horizon(), &self.scheduler.name(), &spec)
-            .write(&policy.path)
+        rs.to_checkpoint(
+            self.inputs.horizon(),
+            &self.scheduler.name(),
+            &spec,
+            &self.feed_spec(),
+        )
+        .write(&policy.path)
     }
 
     fn emit_run_start(&mut self, obs: &mut dyn Observer) {
@@ -576,7 +652,28 @@ impl Simulation {
             }
             let dropped_before = rs.dropped;
             let state = self.inputs.state(t);
-            let decision = self.scheduler.decide_observed(state, &rs.queues, obs);
+            // With a feed layer the scheduler sees the layer's *estimate*
+            // and the decision is repaired against the truth; metering and
+            // queue physics below always use the true `state`.
+            let decision = match &mut self.feeds {
+                Some(harness) => {
+                    let estimated = harness.observe(
+                        t as u64,
+                        self.inputs.states(),
+                        self.inputs.all_arrivals(),
+                        obs,
+                    );
+                    stale::decide_estimated(
+                        self.scheduler.as_mut(),
+                        &self.config,
+                        &estimated,
+                        state,
+                        &rs.queues,
+                        obs,
+                    )
+                }
+                None => self.scheduler.decide_observed(state, &rs.queues, obs),
+            };
             debug_assert!(decision.is_nonnegative() && decision.is_finite());
 
             // Metering (energy (2), fairness (3)) — β only weighs the two
@@ -968,6 +1065,98 @@ mod tests {
             short.resume(ck, &mut NullObserver, None),
             Err(SimError::Mismatch(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perfect_feed_profile_is_byte_identical_to_plain_run() {
+        let cfg = config();
+        let inp = inputs(&cfg, 80, 0.6, 2.0);
+        let make = |cfg: &SystemConfig| {
+            Box::new(GreFar::new(cfg, GreFarParams::new(5.0, 0.0)).unwrap()) as Box<dyn Scheduler>
+        };
+        let plain = Simulation::new(cfg.clone(), inp.clone(), make(&cfg)).run();
+        let mut with_feeds = Simulation::new(cfg.clone(), inp, make(&cfg))
+            .with_feed_profile(FeedProfile::perfect())
+            .unwrap();
+        let mut obs = MemoryObserver::new();
+        let report = with_feeds.run_with_observer(&mut obs);
+        assert_eq!(report, plain, "perfect feeds must not change the run");
+        assert_eq!(obs.event_count("state.stale"), 0);
+        assert_eq!(obs.event_count("feed.fetch"), 0);
+        assert_eq!(obs.event_count("feed.breaker"), 0);
+    }
+
+    #[test]
+    fn lossy_feeds_run_completes_and_reports_staleness() {
+        let cfg = config();
+        let inp = inputs(&cfg, 120, 0.6, 2.0);
+        let profile = FeedProfile::parse(
+            "drop:feed=price,p=0.5,start=0,end=120;\
+             outage:feed=avail,dc=0,start=30,end=40;\
+             policy:seed=9,retries=1",
+        )
+        .unwrap();
+        let g = GreFar::new(&cfg, GreFarParams::new(5.0, 0.0)).unwrap();
+        let mut sim = Simulation::new(cfg.clone(), inp, Box::new(g))
+            .with_feed_profile(profile)
+            .unwrap();
+        let mut obs = MemoryObserver::new();
+        let report = sim.run_with_observer(&mut obs);
+        // The run finishes the whole horizon with feasible decisions (the
+        // engine debug-asserts feasibility every slot) while degradation is
+        // visible in telemetry.
+        assert_eq!(report.horizon, 120);
+        assert!(obs.event_count("state.stale") > 0, "stale slots expected");
+        assert!(obs.counter("feed.failures") > 0, "drops must be recorded");
+        // Work still gets served: hold-last of a constant price/availability
+        // estimates the truth well, so throughput survives the lossy feed.
+        assert!(report.completions.completed_total > 0);
+    }
+
+    #[test]
+    fn kill_and_resume_with_feeds_reproduce_the_uninterrupted_run_exactly() {
+        let cfg = config();
+        let inp = inputs(&cfg, 120, 0.8, 2.0);
+        let spec = "drop:feed=price,p=0.4,start=0,end=120;policy:seed=3";
+        let make = |cfg: &SystemConfig| {
+            Simulation::new(
+                cfg.clone(),
+                inputs(cfg, 120, 0.8, 2.0),
+                Box::new(GreFar::new(cfg, GreFarParams::new(5.0, 0.0)).unwrap())
+                    as Box<dyn Scheduler>,
+            )
+            .with_feed_profile(FeedProfile::parse(spec).unwrap())
+            .unwrap()
+        };
+        let _ = inp;
+        let full = make(&cfg).run();
+
+        let dir = std::env::temp_dir().join(format!("grefar-feed-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.jsonl");
+        let policy = RunPolicy::new(&path, 25).with_kill_at(60);
+        let mut killed = make(&cfg);
+        match killed.run_resumable(&mut NullObserver, &policy) {
+            Err(SimError::Killed { slot: 60, .. }) => {}
+            other => panic!("expected kill at 60, got {other:?}"),
+        }
+
+        let ck = Checkpoint::load(&path).unwrap();
+        // The checkpoint stores the canonical (fully-spelled) spec.
+        assert_eq!(ck.feeds, FeedProfile::parse(spec).unwrap().spec());
+        // Resuming under a *different* profile is refused.
+        let g = GreFar::new(&cfg, GreFarParams::new(5.0, 0.0)).unwrap();
+        let mut plain = Simulation::new(cfg.clone(), inputs(&cfg, 120, 0.8, 2.0), Box::new(g));
+        assert!(matches!(
+            plain.resume(ck.clone(), &mut NullObserver, None),
+            Err(SimError::Mismatch(_))
+        ));
+        // The matching profile resumes bit-identically: breaker and cache
+        // state is replayed by fast_forward, not serialized.
+        let mut resumed_sim = make(&cfg);
+        let resumed = resumed_sim.resume(ck, &mut NullObserver, None).unwrap();
+        assert_eq!(resumed, full, "feed-layer resume must be bit-identical");
         std::fs::remove_dir_all(&dir).ok();
     }
 

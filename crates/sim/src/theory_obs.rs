@@ -40,6 +40,24 @@ pub fn emit_theory_bounds(
     runs: &[(String, f64, f64)],
     obs: &mut dyn Observer,
 ) -> Option<f64> {
+    emit_theory_bounds_stale(config, inputs, runs, 0, obs)
+}
+
+/// Like [`emit_theory_bounds`], but for runs executed behind an unreliable
+/// feed layer with admissible staleness `stale_slots`
+/// (`FeedProfile::staleness_bound`). Each event additionally carries the
+/// degraded slackness certificate: `stale_slots` and the relaxed
+/// `stale_queue_bound = queue_bound + stale_slots·q^max`
+/// (`TheoryBounds::stale_queue_bound` — an engineering corollary, not a
+/// paper theorem). With `stale_slots == 0` the extra fields are omitted and
+/// the event is byte-identical to [`emit_theory_bounds`]'s.
+pub fn emit_theory_bounds_stale(
+    config: &SystemConfig,
+    inputs: &SimulationInputs,
+    runs: &[(String, f64, f64)],
+    stale_slots: u64,
+    obs: &mut dyn Observer,
+) -> Option<f64> {
     if !obs.enabled() {
         return None;
     }
@@ -54,17 +72,22 @@ pub fn emit_theory_bounds(
         .fold(0.0f64, f64::max);
     for (label, v, beta) in runs {
         let bounds = TheoryBounds::new(config, delta, price_max, *beta);
-        obs.record_event(
-            Event::new("theory.bounds")
-                .field("label", label.as_str())
-                .field("v", *v)
-                .field("beta", *beta)
-                .field("delta", delta)
-                .field("price_max", price_max)
-                .field("queue_bound", bounds.queue_bound(*v))
-                .field("cost_gap_bound", bounds.cost_gap_bound(*v, GAP_BOUND_FRAME))
-                .field("frame", GAP_BOUND_FRAME),
-        );
+        let mut event = Event::new("theory.bounds")
+            .field("label", label.as_str())
+            .field("v", *v)
+            .field("beta", *beta)
+            .field("delta", delta)
+            .field("price_max", price_max)
+            .field("queue_bound", bounds.queue_bound(*v))
+            .field("cost_gap_bound", bounds.cost_gap_bound(*v, GAP_BOUND_FRAME))
+            .field("frame", GAP_BOUND_FRAME);
+        if stale_slots > 0 {
+            event = event.field("stale_slots", stale_slots).field(
+                "stale_queue_bound",
+                bounds.stale_queue_bound(*v, stale_slots),
+            );
+        }
+        obs.record_event(event);
     }
     Some(delta)
 }

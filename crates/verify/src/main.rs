@@ -5,8 +5,8 @@
 //!
 //! | rule          | scope                                                  |
 //! |---------------|--------------------------------------------------------|
-//! | `determinism` | `crates/{core,convex,lp,sim,report,faults}/src`        |
-//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster,report,faults}/src` |
+//! | `determinism` | `crates/{core,convex,lp,sim,report,faults,ingest}/src` |
+//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster,report,faults,ingest}/src` |
 //! | `no-panic`    | `crates/lp/src`, `crates/core/src/solver`              |
 //! | `errors-doc`  | `crates/{core,lp}/src`                                 |
 //!
@@ -34,6 +34,7 @@ const SCOPES: &[Scope] = &[
             "crates/sim/src",
             "crates/report/src",
             "crates/faults/src",
+            "crates/ingest/src",
         ],
     },
     Scope {
@@ -47,6 +48,7 @@ const SCOPES: &[Scope] = &[
             "crates/cluster/src",
             "crates/report/src",
             "crates/faults/src",
+            "crates/ingest/src",
         ],
     },
     Scope {

@@ -47,6 +47,24 @@ fi
     "$report_tmp/faulted.jsonl" "$report_tmp/cut.jsonl" > /dev/null
 echo "resilience ok"
 
+# Chaos soak (see EXPERIMENTS.md, "Unreliable feeds & the staleness
+# sweep"): a 500-slot run on lossy feeds must complete, report feed
+# health, and hold the *degraded* Theorem 1(a) bound; an identical-seed
+# replay must reproduce the feed.* event stream byte for byte.
+lossy='drop:feed=price,p=0.4,start=0,end=500;outage:feed=avail,dc=1,start=50,end=80;policy:seed=11,retries=1'
+./target/release/grefar_cli --hours 500 --feeds "$lossy" \
+    --telemetry "$report_tmp/feeds_a.jsonl" > /dev/null
+./target/release/grefar-report analyze "$report_tmp/feeds_a.jsonl" --assert-bound \
+    | grep -q 'feed health' || { echo "feed-health section missing" >&2; exit 1; }
+./target/release/grefar_cli --hours 500 --feeds "$lossy" \
+    --telemetry "$report_tmp/feeds_b.jsonl" > /dev/null
+grep -e '"event":"feed\.' -e '"event":"state.stale"' "$report_tmp/feeds_a.jsonl" > "$report_tmp/feeds_a.events"
+grep -e '"event":"feed\.' -e '"event":"state.stale"' "$report_tmp/feeds_b.jsonl" > "$report_tmp/feeds_b.events"
+[ -s "$report_tmp/feeds_a.events" ] || { echo "lossy run emitted no feed events" >&2; exit 1; }
+cmp -s "$report_tmp/feeds_a.events" "$report_tmp/feeds_b.events" \
+    || { echo "feed event stream is not deterministic" >&2; exit 1; }
+echo "chaos soak ok"
+
 # Perf trajectory: benches emit machine-readable BENCH_<target>.json; a
 # self-comparison through the gate must pass.
 cargo bench -q -p grefar-bench --bench trace --offline -- --json "$report_tmp" > /dev/null

@@ -14,6 +14,9 @@
 //! * [`core`] — the GreFar scheduler, baselines and Theorem 1 machinery,
 //! * [`faults`] — seeded fault-injection plans (outages, price spikes,
 //!   arrival bursts, solver squeezes) for resilience testing,
+//! * [`ingest`] — the unreliable-feed model: seeded feed disturbances,
+//!   retry/backoff/circuit-breaker resilient clients, and staleness-bounded
+//!   state estimation for stale-state scheduling,
 //! * [`sim`] — the discrete-time simulator and experiment runner,
 //! * [`obs`] — the structured telemetry layer (observers, JSONL export,
 //!   timing histograms); see `Simulation::run_with_observer`.
@@ -40,6 +43,7 @@ pub use grefar_cluster as cluster;
 pub use grefar_convex as convex;
 pub use grefar_core as core;
 pub use grefar_faults as faults;
+pub use grefar_ingest as ingest;
 pub use grefar_lp as lp;
 pub use grefar_obs as obs;
 pub use grefar_sim as sim;
