@@ -66,17 +66,16 @@ fn main() {
             Box::new(MpcScheduler::new(&config, inputs.clone(), 6, 0.02)),
         ),
     ];
-    let mut telemetry = opts.telemetry();
-    let reports = match telemetry.as_mut() {
-        Some(tel) => {
-            let bounded = vec![
-                ("GreFar b=0".to_string(), DEFAULT_V, 0.0),
-                ("GreFar b=100".to_string(), DEFAULT_V, DEFAULT_BETA),
-            ];
-            theory_obs::emit_theory_bounds(&config, &inputs, &bounded, tel);
-            sweep::run_all_observed(&config, &inputs, runs, tel)
-        }
-        None => sweep::run_all(&config, &inputs, runs),
+    let mut plane = opts.observability();
+    let reports = if plane.is_active() {
+        let bounded = vec![
+            ("GreFar b=0".to_string(), DEFAULT_V, 0.0),
+            ("GreFar b=100".to_string(), DEFAULT_V, DEFAULT_BETA),
+        ];
+        theory_obs::emit_theory_bounds(&config, &inputs, &bounded, &mut plane);
+        sweep::run_all_observed(&config, &inputs, runs, &mut plane)
+    } else {
+        sweep::run_all(&config, &inputs, runs)
     };
     print_comparison(
         &format!(
@@ -111,13 +110,12 @@ fn main() {
             Box::new(GreFar::new(&heavy_config, GreFarParams::new(DEFAULT_V, 0.0)).expect("valid")),
         ),
     ];
-    let heavy_reports = match telemetry.as_mut() {
-        Some(tel) => {
-            let bounded = vec![("GreFar b=0".to_string(), DEFAULT_V, 0.0)];
-            theory_obs::emit_theory_bounds(&heavy_config, &heavy_inputs, &bounded, tel);
-            sweep::run_all_observed(&heavy_config, &heavy_inputs, heavy_runs, tel)
-        }
-        None => sweep::run_all(&heavy_config, &heavy_inputs, heavy_runs),
+    let heavy_reports = if plane.is_active() {
+        let bounded = vec![("GreFar b=0".to_string(), DEFAULT_V, 0.0)];
+        theory_obs::emit_theory_bounds(&heavy_config, &heavy_inputs, &bounded, &mut plane);
+        sweep::run_all_observed(&heavy_config, &heavy_inputs, heavy_runs, &mut plane)
+    } else {
+        sweep::run_all(&heavy_config, &heavy_inputs, heavy_runs)
     };
     print_comparison(
         &format!(
@@ -148,7 +146,5 @@ fn main() {
          routing spreads load and keeps tail delays bounded (Theorem 1a)"
     );
 
-    if let Some(tel) = telemetry {
-        tel.finish();
-    }
+    plane.finish();
 }

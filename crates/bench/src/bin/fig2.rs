@@ -23,17 +23,16 @@ fn main() {
             (format!("V={v}"), Box::new(grefar) as Box<dyn Scheduler>)
         })
         .collect();
-    let mut telemetry = opts.telemetry();
-    let reports = match telemetry.as_mut() {
-        Some(tel) => {
-            let bounded: Vec<(String, f64, f64)> = FIG2_V_VALUES
-                .iter()
-                .map(|&v| (format!("V={v}"), v, 0.0))
-                .collect();
-            theory_obs::emit_theory_bounds(&config, &inputs, &bounded, tel);
-            sweep::run_all_observed(&config, &inputs, runs, tel)
-        }
-        None => sweep::run_all(&config, &inputs, runs),
+    let mut plane = opts.observability();
+    let reports = if plane.is_active() {
+        let bounded: Vec<(String, f64, f64)> = FIG2_V_VALUES
+            .iter()
+            .map(|&v| (format!("V={v}"), v, 0.0))
+            .collect();
+        theory_obs::emit_theory_bounds(&config, &inputs, &bounded, &mut plane);
+        sweep::run_all_observed(&config, &inputs, runs, &mut plane)
+    } else {
+        sweep::run_all(&config, &inputs, runs)
     };
 
     println!(
@@ -107,7 +106,5 @@ fn main() {
         .collect();
     maybe_write_csv(opts.csv_path("fig2c_delay_dc2.csv"), &labels, &d2);
 
-    if let Some(tel) = telemetry {
-        tel.finish();
-    }
+    plane.finish();
 }

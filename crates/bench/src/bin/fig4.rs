@@ -27,14 +27,13 @@ fn main() {
         ),
         ("Always".into(), Box::new(Always::new(&config))),
     ];
-    let mut telemetry = opts.telemetry();
-    let reports = match telemetry.as_mut() {
-        Some(tel) => {
-            let bounded = vec![("GreFar".to_string(), DEFAULT_V, DEFAULT_BETA)];
-            theory_obs::emit_theory_bounds(&config, &inputs, &bounded, tel);
-            sweep::run_all_observed(&config, &inputs, runs, tel)
-        }
-        None => sweep::run_all(&config, &inputs, runs),
+    let mut plane = opts.observability();
+    let reports = if plane.is_active() {
+        let bounded = vec![("GreFar".to_string(), DEFAULT_V, DEFAULT_BETA)];
+        theory_obs::emit_theory_bounds(&config, &inputs, &bounded, &mut plane);
+        sweep::run_all_observed(&config, &inputs, runs, &mut plane)
+    } else {
+        sweep::run_all(&config, &inputs, runs)
     };
 
     println!(
@@ -106,7 +105,5 @@ fn main() {
         .collect();
     maybe_write_csv(opts.csv_path("fig4c_delay_dc1.csv"), &labels, &delay);
 
-    if let Some(tel) = telemetry {
-        tel.finish();
-    }
+    plane.finish();
 }

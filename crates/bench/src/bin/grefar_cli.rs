@@ -5,9 +5,11 @@
 //! USAGE:
 //!   grefar_cli [--scheduler NAME] [--v V] [--beta B] [--hours N] [--seed S]
 //!              [--load-scale X] [--prices FILE] [--workload FILE]
-//!              [--admission-cap C] [--csv DIR] [--telemetry FILE.jsonl]
+//!              [--admission-cap C] [--csv DIR] [--telemetry FILE.jsonl|-]
 //!              [--faults PLAN] [--feeds PROFILE] [--checkpoint FILE]
 //!              [--checkpoint-every N] [--kill-at SLOT] [--resume]
+//!              [--metrics-snapshot FILE|-] [--metrics-listen ADDR]
+//!              [--profile logical|wall]
 //!
 //! SCHEDULERS:
 //!   grefar (default) | always | local-only | price-greedy | mpc
@@ -35,13 +37,22 @@
 //! `--resume` continues bit-identically from the checkpoint — rebuild the
 //! run with the *same* seed/scheduler/fault flags, and pass the same
 //! `--telemetry FILE` to extend the original stream in place.
+//!
+//! `--metrics-snapshot FILE` folds the event stream into a Prometheus
+//! text-format exposition, atomically rewritten on a slot cadence (`-` =
+//! one dump to stdout at the end). `--metrics-listen ADDR` serves the same
+//! exposition live at `GET /metrics` plus a three-state health verdict at
+//! `GET /healthz`. `--profile logical|wall` attributes time across the
+//! per-slot span tree and appends `profile.span` events to the telemetry
+//! stream (`grefar-report profile` renders them; the logical clock is
+//! fully deterministic).
 
 use grefar_bench::{
-    load_fault_plan, load_feed_profile, maybe_write_csv, print_table, usage_error, Telemetry,
+    format_table, load_fault_plan, load_feed_profile, maybe_write_csv, usage_error, ObsPlane,
 };
 use grefar_cluster::AvailabilityProcess;
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
-use grefar_obs::{NullObserver, Observer};
+use grefar_obs::SpanClock;
 use grefar_sim::{
     Checkpoint, MpcScheduler, PaperScenario, RunPolicy, SimError, Simulation, SimulationInputs,
 };
@@ -72,13 +83,18 @@ struct CliOptions {
     checkpoint_every: usize,
     kill_at: Option<u64>,
     resume: bool,
+    metrics_snapshot: Option<PathBuf>,
+    metrics_listen: Option<String>,
+    profile: Option<SpanClock>,
 }
 
 const USAGE: &str = "grefar_cli [--scheduler grefar|always|local-only|price-greedy|mpc] \
                      [--v V] [--beta B] [--hours N] [--seed S] [--load-scale X] \
                      [--prices FILE] [--workload FILE] [--admission-cap C] \
-                     [--csv DIR] [--telemetry FILE.jsonl] [--faults PLAN] [--feeds PROFILE] \
-                     [--checkpoint FILE] [--checkpoint-every N] [--kill-at SLOT] [--resume]";
+                     [--csv DIR] [--telemetry FILE.jsonl|-] [--faults PLAN] [--feeds PROFILE] \
+                     [--checkpoint FILE] [--checkpoint-every N] [--kill-at SLOT] [--resume] \
+                     [--metrics-snapshot FILE|-] [--metrics-listen ADDR] \
+                     [--profile logical|wall]";
 
 fn parse_args() -> CliOptions {
     let mut opts = CliOptions {
@@ -99,6 +115,9 @@ fn parse_args() -> CliOptions {
         checkpoint_every: 100,
         kill_at: None,
         resume: false,
+        metrics_snapshot: None,
+        metrics_listen: None,
+        profile: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -155,6 +174,14 @@ fn parse_args() -> CliOptions {
             "--resume" => {
                 opts.resume = true;
                 i -= 1; // flag without a value
+            }
+            "--metrics-snapshot" => opts.metrics_snapshot = Some(PathBuf::from(value(i))),
+            "--metrics-listen" => opts.metrics_listen = Some(value(i).to_string()),
+            "--profile" => {
+                opts.profile =
+                    Some(SpanClock::parse(value(i)).unwrap_or_else(|| {
+                        usage_error("--profile expects 'logical' or 'wall'", USAGE)
+                    }))
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -270,13 +297,18 @@ fn main() {
         };
     }
 
-    let mut telemetry = match (&opts.telemetry, opts.resume) {
-        (Some(path), false) => Some(Telemetry::with_jsonl(path)),
-        // A resumed run extends the original stream in place.
-        (Some(path), true) => Some(Telemetry::append_jsonl(path)),
-        (None, _) => None,
-    };
-    if let Some(tel) = telemetry.as_mut() {
+    // A resumed run extends the original telemetry stream in place; when
+    // metrics are on, the truncated prefix is pre-folded so aggregates
+    // rebuild identically.
+    let mut plane = ObsPlane::build(
+        opts.telemetry.as_deref(),
+        opts.resume,
+        opts.metrics_snapshot.as_deref(),
+        opts.metrics_listen.as_deref(),
+        opts.profile,
+        USAGE,
+    );
+    if plane.is_active() {
         // Theorem 1 only speaks about GreFar runs; the label must match
         // run.start's scheduler name for grefar-report. A resumed run's
         // stream already carries its bounds.
@@ -293,45 +325,41 @@ fn main() {
                 sim.inputs(),
                 &bounded,
                 stale_slots,
-                tel,
+                &mut plane,
             );
         }
     }
 
     let report = match &opts.checkpoint {
-        None => match telemetry.as_mut() {
-            Some(tel) => sim.run_with_observer(tel),
-            None => sim.run(),
-        },
+        None => {
+            if plane.is_active() {
+                sim.run_with_observer(&mut plane)
+            } else {
+                sim.run()
+            }
+        }
         Some(ck_path) => {
             let mut policy = RunPolicy::new(ck_path.clone(), opts.checkpoint_every);
             if let Some(slot) = opts.kill_at {
                 policy = policy.with_kill_at(slot);
             }
-            let mut null = NullObserver;
-            let obs: &mut dyn Observer = match telemetry.as_mut() {
-                Some(tel) => tel,
-                None => &mut null,
-            };
             let result = if opts.resume {
                 match Checkpoint::load(ck_path) {
-                    Ok(ck) => sim.resume(ck, obs, Some(&policy)),
+                    Ok(ck) => sim.resume(ck, &mut plane, Some(&policy)),
                     Err(e) => {
                         eprintln!("error: {e}");
                         std::process::exit(1);
                     }
                 }
             } else {
-                sim.run_resumable(obs, &policy)
+                sim.run_resumable(&mut plane, &policy)
             };
             match result {
                 Ok(report) => report,
                 Err(SimError::Killed { slot, checkpoint }) => {
                     // Flush the (deliberately truncated) telemetry stream so
                     // the resumed run can append to a well-formed prefix.
-                    if let Some(tel) = telemetry.take() {
-                        tel.finish();
-                    }
+                    plane.finish();
                     eprintln!(
                         "run killed before slot {slot}; checkpoint written to {}",
                         checkpoint.display()
@@ -346,21 +374,37 @@ fn main() {
         }
     };
 
-    println!("scheduler        : {}", report.scheduler);
-    println!("hours            : {}", report.horizon);
-    println!("avg energy cost  : {:.3}", report.average_energy_cost());
-    println!("avg fairness     : {:.4}", report.average_fairness());
-    println!("arriving work/h  : {:.2}", report.arriving_work.mean());
-    println!("jobs completed   : {}", report.completions.completed_total);
-    println!(
-        "mean sojourn     : {:.2} h",
+    let mut summary = String::new();
+    summary.push_str(&format!("scheduler        : {}\n", report.scheduler));
+    summary.push_str(&format!("hours            : {}\n", report.horizon));
+    summary.push_str(&format!(
+        "avg energy cost  : {:.3}\n",
+        report.average_energy_cost()
+    ));
+    summary.push_str(&format!(
+        "avg fairness     : {:.4}\n",
+        report.average_fairness()
+    ));
+    summary.push_str(&format!(
+        "arriving work/h  : {:.2}\n",
+        report.arriving_work.mean()
+    ));
+    summary.push_str(&format!(
+        "jobs completed   : {}\n",
+        report.completions.completed_total
+    ));
+    summary.push_str(&format!(
+        "mean sojourn     : {:.2} h\n",
         report.completions.mean_sojourn
-    );
-    println!("max queue        : {:.0}", report.max_queue_length());
+    ));
+    summary.push_str(&format!(
+        "max queue        : {:.0}\n",
+        report.max_queue_length()
+    ));
     if report.dropped_jobs > 0 {
-        println!("dropped (adm.)   : {}", report.dropped_jobs);
+        summary.push_str(&format!("dropped (adm.)   : {}\n", report.dropped_jobs));
     }
-    println!();
+    summary.push('\n');
     let rows: Vec<Vec<f64>> = (0..report.num_data_centers())
         .map(|i| {
             vec![
@@ -372,10 +416,17 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    summary.push_str(&format_table(
         &["dc", "avg_work", "avg_delay", "p95_delay", "completed"],
         &rows,
-    );
+    ));
+    // With `--telemetry -`, stdout is a machine-readable JSONL stream; the
+    // human summary moves to stderr so the stream stays parseable.
+    if opts.telemetry.as_deref() == Some(std::path::Path::new("-")) {
+        eprint!("{summary}");
+    } else {
+        print!("{summary}");
+    }
 
     if opts.csv_dir.is_some() {
         let path = opts.csv_dir.as_ref().map(|d| d.join("run_series.csv"));
@@ -390,7 +441,5 @@ fn main() {
         );
     }
 
-    if let Some(tel) = telemetry {
-        tel.finish();
-    }
+    plane.finish();
 }

@@ -19,9 +19,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use grefar_obs::{Event, JsonlSink, MemoryObserver, Observer};
+use grefar_metrics::{shared_handle, MetricsConfig, MetricsLayer, MetricsServer, SnapshotSink};
+use grefar_obs::{Event, JsonlSink, MemoryObserver, Observer, SpanClock, SpanProfiler};
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// The cost-delay values swept in Fig. 2.
@@ -50,10 +51,19 @@ pub struct ExperimentOpts {
     pub seed: u64,
     /// Optional directory for CSV dumps of the plotted series.
     pub csv_dir: Option<PathBuf>,
-    /// Optional JSONL file for structured telemetry events.
+    /// Optional JSONL file for structured telemetry events (`-` = stdout).
     pub telemetry: Option<PathBuf>,
     /// Optional fault plan: an inline DSL spec or a path to a spec file.
     pub faults: Option<String>,
+    /// Optional Prometheus exposition snapshot file (`-` = one dump to
+    /// stdout at the end of the run).
+    pub metrics_snapshot: Option<PathBuf>,
+    /// Optional `ADDR:PORT` for the blocking `/metrics` + `/healthz`
+    /// listener.
+    pub metrics_listen: Option<String>,
+    /// Optional span-profiler clock (requires `--telemetry`, which carries
+    /// the `profile.span` trailer events).
+    pub profile: Option<SpanClock>,
 }
 
 /// Prints a usage error to stderr and exits with status 2, the
@@ -68,8 +78,9 @@ pub fn usage_error(message: &str, usage: &str) -> ! {
 }
 
 /// The flag set shared by every experiment binary (for [`usage_error`]).
-pub const COMMON_USAGE: &str =
-    "[--hours N] [--seed S] [--csv DIR] [--telemetry FILE] [--faults PLAN]";
+pub const COMMON_USAGE: &str = "[--hours N] [--seed S] [--csv DIR] [--telemetry FILE|-] \
+     [--faults PLAN] [--metrics-snapshot FILE|-] [--metrics-listen ADDR] \
+     [--profile logical|wall]";
 
 /// Resolves a `--faults` value into a [`grefar_faults::FaultPlan`]: if the
 /// value names a readable file its contents are the spec, otherwise the
@@ -137,6 +148,9 @@ impl ExperimentOpts {
             csv_dir: None,
             telemetry: None,
             faults: None,
+            metrics_snapshot: None,
+            metrics_listen: None,
+            profile: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -172,12 +186,32 @@ impl ExperimentOpts {
                     opts.faults = Some(value(i).to_string());
                     i += 2;
                 }
+                "--metrics-snapshot" => {
+                    opts.metrics_snapshot = Some(PathBuf::from(value(i)));
+                    i += 2;
+                }
+                "--metrics-listen" => {
+                    opts.metrics_listen = Some(value(i).to_string());
+                    i += 2;
+                }
+                "--profile" => {
+                    opts.profile = Some(SpanClock::parse(value(i)).unwrap_or_else(|| {
+                        usage_error("--profile expects 'logical' or 'wall'", COMMON_USAGE)
+                    }));
+                    i += 2;
+                }
                 other => usage_error(&format!("unknown argument {other}"), COMMON_USAGE),
             }
         }
         if opts.hours == 0 {
             usage_error("--hours must be positive", COMMON_USAGE);
         }
+        validate_obs_flags(
+            opts.telemetry.as_deref(),
+            opts.metrics_snapshot.as_deref(),
+            opts.profile,
+            COMMON_USAGE,
+        );
         opts
     }
 
@@ -186,9 +220,18 @@ impl ExperimentOpts {
         self.csv_dir.as_ref().map(|d| d.join(name))
     }
 
-    /// A [`Telemetry`] pipeline if `--telemetry` was given.
-    pub fn telemetry(&self) -> Option<Telemetry> {
-        self.telemetry.as_deref().map(Telemetry::with_jsonl)
+    /// The observability stack for this invocation: telemetry sink,
+    /// metrics layer, span profiler and `/metrics` listener, as requested
+    /// by the flags. Inactive (a pass-through) when none were given.
+    pub fn observability(&self) -> ObsPlane {
+        ObsPlane::build(
+            self.telemetry.as_deref(),
+            false,
+            self.metrics_snapshot.as_deref(),
+            self.metrics_listen.as_deref(),
+            self.profile,
+            COMMON_USAGE,
+        )
     }
 
     /// The parsed `--faults` plan, if one was given. The experiment
@@ -215,8 +258,9 @@ impl ExperimentOpts {
 /// the regular experiment output to flush the file and print the summary.
 pub struct Telemetry {
     memory: MemoryObserver,
-    sink: Option<JsonlSink<BufWriter<File>>>,
+    sink: Option<JsonlSink<Box<dyn Write>>>,
     path: Option<PathBuf>,
+    to_stdout: bool,
 }
 
 impl Telemetry {
@@ -226,6 +270,7 @@ impl Telemetry {
             memory: MemoryObserver::new(),
             sink: None,
             path: None,
+            to_stdout: false,
         }
     }
 
@@ -234,12 +279,13 @@ impl Telemetry {
     /// # Panics
     /// Panics if the file cannot be created.
     pub fn with_jsonl(path: &Path) -> Self {
-        let sink = JsonlSink::create(path)
+        let file = File::create(path)
             .unwrap_or_else(|e| panic!("cannot create telemetry file {}: {e}", path.display()));
         Self {
             memory: MemoryObserver::new(),
-            sink: Some(sink),
+            sink: Some(JsonlSink::new(Box::new(BufWriter::new(file)))),
             path: Some(path.to_path_buf()),
+            to_stdout: false,
         }
     }
 
@@ -251,16 +297,33 @@ impl Telemetry {
     /// # Panics
     /// Panics if the file cannot be opened for append.
     pub fn append_jsonl(path: &Path) -> Self {
-        let sink = JsonlSink::append(path).unwrap_or_else(|e| {
-            panic!(
-                "cannot open telemetry file {} for append: {e}",
-                path.display()
-            )
-        });
+        let file = File::options()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "cannot open telemetry file {} for append: {e}",
+                    path.display()
+                )
+            });
         Self {
             memory: MemoryObserver::new(),
-            sink: Some(sink),
+            sink: Some(JsonlSink::new(Box::new(BufWriter::new(file)))),
             path: Some(path.to_path_buf()),
+            to_stdout: false,
+        }
+    }
+
+    /// Streams every event to stdout as JSONL (`--telemetry -`). The
+    /// aggregate summary then goes to *stderr*, so stdout stays a pure,
+    /// pipeable JSONL document.
+    pub fn to_stdout() -> Self {
+        Self {
+            memory: MemoryObserver::new(),
+            sink: Some(JsonlSink::new(Box::new(std::io::stdout().lock()))),
+            path: None,
+            to_stdout: true,
         }
     }
 
@@ -269,14 +332,24 @@ impl Telemetry {
         &self.memory
     }
 
-    /// Flushes the JSONL file and prints the aggregate summary table.
+    /// Flushes the JSONL output and prints the aggregate summary table —
+    /// to stdout normally, to stderr when the events themselves stream to
+    /// stdout.
     ///
     /// # Panics
     /// Panics if the JSONL file saw write errors — a truncated event stream
     /// should not pass silently.
     pub fn finish(mut self) {
-        println!("\ntelemetry ({} events)", self.memory.total_events());
-        print!("{}", self.memory.summary());
+        let summary = format!(
+            "\ntelemetry ({} events)\n{}",
+            self.memory.total_events(),
+            self.memory.summary()
+        );
+        if self.to_stdout {
+            eprint!("{summary}");
+        } else {
+            print!("{summary}");
+        }
         if let Some(mut sink) = self.sink.take() {
             sink.flush().expect("flush telemetry file");
             assert_eq!(
@@ -319,19 +392,290 @@ impl Observer for Telemetry {
     }
 }
 
+/// Validates the combinations of observability flags shared by every
+/// binary; exits with a usage error (status 2) on conflicts.
+///
+/// * `--profile` needs `--telemetry` — the profiler's `profile.span`
+///   trailer events have nowhere to go otherwise.
+/// * `--telemetry -` and `--metrics-snapshot -` cannot both claim stdout.
+pub fn validate_obs_flags(
+    telemetry: Option<&Path>,
+    metrics_snapshot: Option<&Path>,
+    profile: Option<SpanClock>,
+    usage: &str,
+) {
+    let is_stdout = |p: Option<&Path>| p.is_some_and(|p| p.as_os_str() == "-");
+    if profile.is_some() && telemetry.is_none() {
+        usage_error("--profile requires --telemetry", usage);
+    }
+    if is_stdout(telemetry) && is_stdout(metrics_snapshot) {
+        usage_error(
+            "--telemetry - and --metrics-snapshot - both claim stdout; \
+             give at least one of them a file",
+            usage,
+        );
+    }
+}
+
+/// The telemetry end of the stack: a [`Telemetry`] pipeline, or nothing.
+enum TelemetrySink {
+    Null(grefar_obs::NullObserver),
+    Telemetry(Telemetry),
+}
+
+impl Observer for TelemetrySink {
+    fn enabled(&self) -> bool {
+        matches!(self, TelemetrySink::Telemetry(_))
+    }
+
+    fn record_event(&mut self, event: Event) {
+        if let TelemetrySink::Telemetry(tel) = self {
+            tel.record_event(event);
+        }
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        if let TelemetrySink::Telemetry(tel) = self {
+            tel.add_counter(name, delta);
+        }
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        if let TelemetrySink::Telemetry(tel) = self {
+            tel.set_gauge(name, value);
+        }
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        if let TelemetrySink::Telemetry(tel) = self {
+            tel.record_value(name, value);
+        }
+    }
+}
+
+/// The stack below the profiler: the metrics layer wraps the telemetry
+/// sink when any metrics surface was requested, otherwise events pass
+/// straight through.
+enum Stack {
+    Plain(TelemetrySink),
+    Metrics(Box<MetricsLayer<TelemetrySink>>),
+}
+
+impl Stack {
+    fn observer(&mut self) -> &mut dyn Observer {
+        match self {
+            Stack::Plain(sink) => sink,
+            Stack::Metrics(layer) => layer.as_mut(),
+        }
+    }
+
+    fn observer_enabled(&self) -> bool {
+        match self {
+            Stack::Plain(sink) => sink.enabled(),
+            Stack::Metrics(layer) => layer.enabled(),
+        }
+    }
+}
+
+/// The live observability plane of one experiment invocation, composed
+/// from the shared flags (see [`ExperimentOpts::observability`]):
+///
+/// ```text
+/// instrumented code
+///   └─ ObsPlane                  (this struct, an Observer)
+///        ├─ SpanProfiler         (--profile; consumes span_* hooks)
+///        └─ MetricsLayer         (--metrics-snapshot / --metrics-listen)
+///             └─ Telemetry       (--telemetry; JSONL file or stdout)
+/// ```
+///
+/// Pass `&mut plane` wherever a `&mut dyn Observer` is expected, then call
+/// [`finish`](ObsPlane::finish) after the regular experiment output. When
+/// no observability flag was given the plane [is
+/// inactive](ObsPlane::is_active) and everything is a no-op — callers keep
+/// using the unobserved fast path so default output stays byte-identical.
+pub struct ObsPlane {
+    stack: Stack,
+    profiler: Option<SpanProfiler>,
+    server: Option<MetricsServer>,
+}
+
+impl ObsPlane {
+    /// Composes the plane. `telemetry`/`metrics_snapshot` understand `-`
+    /// as stdout; `append_telemetry` opens the telemetry file in append
+    /// mode (resumed runs) and pre-seeds the metrics fold from the
+    /// truncated stream so aggregates rebuild identically.
+    ///
+    /// Exits with a usage error (status 2) on conflicting flags or an
+    /// unbindable `--metrics-listen` address.
+    pub fn build(
+        telemetry: Option<&Path>,
+        append_telemetry: bool,
+        metrics_snapshot: Option<&Path>,
+        metrics_listen: Option<&str>,
+        profile: Option<SpanClock>,
+        usage: &str,
+    ) -> Self {
+        validate_obs_flags(telemetry, metrics_snapshot, profile, usage);
+        let telemetry_is_stdout = telemetry.is_some_and(|p| p.as_os_str() == "-");
+        let sink = match telemetry {
+            None => TelemetrySink::Null(grefar_obs::NullObserver),
+            Some(_) if telemetry_is_stdout => TelemetrySink::Telemetry(Telemetry::to_stdout()),
+            Some(path) if append_telemetry => {
+                TelemetrySink::Telemetry(Telemetry::append_jsonl(path))
+            }
+            Some(path) => TelemetrySink::Telemetry(Telemetry::with_jsonl(path)),
+        };
+        let metrics_wanted = metrics_snapshot.is_some() || metrics_listen.is_some();
+        let (stack, shared) = if metrics_wanted {
+            let config = MetricsConfig {
+                sink: match metrics_snapshot {
+                    None => SnapshotSink::None,
+                    Some(p) if p.as_os_str() == "-" => SnapshotSink::Stdout,
+                    Some(p) => SnapshotSink::File(p.to_path_buf()),
+                },
+                ..MetricsConfig::default()
+            };
+            let shared = shared_handle();
+            let mut layer = MetricsLayer::new(sink, config).with_shared(shared.clone());
+            if append_telemetry && !telemetry_is_stdout {
+                if let Some(path) = telemetry {
+                    match std::fs::read_to_string(path) {
+                        Ok(text) => {
+                            if let Err(e) = layer.prefold_jsonl(&text) {
+                                eprintln!("warning: metrics prefold of {}: {e}", path.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("warning: cannot re-read {}: {e}", path.display());
+                        }
+                    }
+                }
+            }
+            (Stack::Metrics(Box::new(layer)), Some(shared))
+        } else {
+            (Stack::Plain(sink), None)
+        };
+        let server = metrics_listen.map(|addr| {
+            let shared = shared.expect("metrics stack present when listening");
+            match MetricsServer::spawn(addr, shared) {
+                Ok(server) => {
+                    eprintln!("metrics listener on http://{}/metrics", server.addr());
+                    server
+                }
+                Err(e) => usage_error(&format!("--metrics-listen {addr}: {e}"), usage),
+            }
+        });
+        ObsPlane {
+            stack,
+            profiler: profile.map(SpanProfiler::new),
+            server,
+        }
+    }
+
+    /// Whether any observability flag is in play. Callers branch on this
+    /// to keep the unobserved fast path byte-identical.
+    pub fn is_active(&self) -> bool {
+        !matches!(&self.stack, Stack::Plain(TelemetrySink::Null(_))) || self.profiler.is_some()
+    }
+
+    /// Tears the plane down in trailer order: the metrics layer's final
+    /// `health.snapshot`, then the profiler's `profile.span` events, then
+    /// the telemetry summary. Shuts the `/metrics` listener down last.
+    /// Snapshot-write failures are reported to stderr but do not fail the
+    /// run.
+    pub fn finish(self) {
+        let mut sink = match self.stack {
+            Stack::Plain(sink) => sink,
+            Stack::Metrics(layer) => {
+                let (sink, outcome) = layer.into_parts();
+                if let Err(e) = outcome {
+                    eprintln!("warning: {e}");
+                }
+                sink
+            }
+        };
+        if let Some(mut profiler) = self.profiler {
+            profiler.emit_into(&mut sink);
+        }
+        if let TelemetrySink::Telemetry(tel) = sink {
+            tel.finish();
+        }
+        if let Some(server) = self.server {
+            server.shutdown();
+        }
+    }
+}
+
+impl Observer for ObsPlane {
+    fn enabled(&self) -> bool {
+        self.stack.observer_enabled()
+    }
+
+    fn record_event(&mut self, event: Event) {
+        self.stack.observer().record_event(event);
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        self.stack.observer().add_counter(name, delta);
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.stack.observer().set_gauge(name, value);
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        self.stack.observer().record_value(name, value);
+    }
+
+    fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        if let Some(profiler) = &mut self.profiler {
+            profiler.span_enter(name);
+        }
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        if let Some(profiler) = &mut self.profiler {
+            profiler.span_exit(name);
+        }
+    }
+
+    fn span_leaf(&mut self, name: &'static str, count: u64) {
+        if let Some(profiler) = &mut self.profiler {
+            profiler.span_leaf(name, count);
+        }
+    }
+}
+
+/// Renders an aligned text table (a header row and numeric rows) to a
+/// string, one trailing newline per row.
+///
+/// # Panics
+/// Panics if a row's width differs from the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<f64>]) -> String {
+    let width = 12usize;
+    let mut out = String::new();
+    let header_line: Vec<String> = headers.iter().map(|h| format!("{h:>width$}")).collect();
+    out.push_str(&header_line.join(" "));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        let line: Vec<String> = row.iter().map(|v| format!("{v:>width$.4}")).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
 /// Prints an aligned text table: a header row and numeric rows.
 ///
 /// # Panics
 /// Panics if a row's width differs from the header's.
 pub fn print_table(headers: &[&str], rows: &[Vec<f64>]) {
-    let width = 12usize;
-    let header_line: Vec<String> = headers.iter().map(|h| format!("{h:>width$}")).collect();
-    println!("{}", header_line.join(" "));
-    for row in rows {
-        assert_eq!(row.len(), headers.len(), "row width mismatch");
-        let line: Vec<String> = row.iter().map(|v| format!("{v:>width$.4}")).collect();
-        println!("{}", line.join(" "));
-    }
+    print!("{}", format_table(headers, rows));
 }
 
 /// Downsamples a series to at most `points` evenly spaced samples,
@@ -419,6 +763,9 @@ mod tests {
             csv_dir: Some(PathBuf::from("/tmp/x")),
             telemetry: None,
             faults: None,
+            metrics_snapshot: None,
+            metrics_listen: None,
+            profile: None,
         };
         assert_eq!(
             opts.csv_path("a.csv").unwrap(),

@@ -1,5 +1,7 @@
 //! The Frank–Wolfe (conditional gradient) method.
 
+use grefar_obs::{NullObserver, Observer};
+
 use crate::objective::{Lmo, Objective};
 
 /// Step-size strategy for [`frank_wolfe`].
@@ -71,7 +73,22 @@ pub fn frank_wolfe(
     x0: Vec<f64>,
     options: FwOptions,
 ) -> FwResult {
+    frank_wolfe_observed(objective, oracle, x0, options, &mut NullObserver)
+}
+
+/// [`frank_wolfe`] with per-iteration span attribution: when the sink is
+/// [profiling](Observer::profiling), every iteration opens an `fw.iter`
+/// span under the caller's current span. Sinks that do not profile pay
+/// one virtual call up front and nothing per iteration.
+pub fn frank_wolfe_observed(
+    objective: &dyn Objective,
+    oracle: &dyn Lmo,
+    x0: Vec<f64>,
+    options: FwOptions,
+    obs: &mut dyn Observer,
+) -> FwResult {
     assert!(!x0.is_empty(), "frank_wolfe requires a non-empty start");
+    let profiling = obs.profiling();
     let n = x0.len();
     let mut x = x0;
     let mut grad = vec![0.0; n];
@@ -81,6 +98,9 @@ pub fn frank_wolfe(
 
     for t in 0..options.max_iters {
         iterations = t + 1;
+        if profiling {
+            obs.span_enter("fw.iter");
+        }
         objective.gradient(&x, &mut grad);
         oracle.minimize(&grad, &mut vertex);
         assert!(
@@ -94,6 +114,9 @@ pub fn frank_wolfe(
             .map(|(g, (xi, vi))| g * (xi - vi))
             .sum();
         if gap <= options.gap_tolerance {
+            if profiling {
+                obs.span_exit("fw.iter");
+            }
             break;
         }
         let theta = match options.line_search {
@@ -102,6 +125,9 @@ pub fn frank_wolfe(
         };
         for (xi, vi) in x.iter_mut().zip(&vertex) {
             *xi += theta * (vi - *xi);
+        }
+        if profiling {
+            obs.span_exit("fw.iter");
         }
     }
 

@@ -58,6 +58,6 @@ mod objective;
 pub mod projection;
 mod subgradient;
 
-pub use frank_wolfe::{frank_wolfe, FwOptions, FwResult, LineSearch};
+pub use frank_wolfe::{frank_wolfe, frank_wolfe_observed, FwOptions, FwResult, LineSearch};
 pub use objective::{Lmo, Objective, Quadratic};
 pub use subgradient::{projected_subgradient, SubgradientOptions, SubgradientResult};

@@ -141,6 +141,7 @@ impl GreFar {
         &self,
         state: &SystemState,
         queues: &QueueState,
+        obs: &mut dyn Observer,
     ) -> (SlotSolution, Vec<Degradation>) {
         let mut degradations: Vec<Degradation> =
             fallback::offline_dcs_with_backlog(&self.config, state, queues)
@@ -155,20 +156,22 @@ impl GreFar {
             inst.solve_greedy()
         } else {
             match self.budget {
-                None => inst.solve_with_fairness(
+                None => inst.solve_with_fairness_observed(
                     self.params.beta,
                     self.fairness.as_ref(),
                     self.params.fw_options,
+                    obs,
                 ),
                 Some(budget) => {
                     let squeezed = grefar_convex::FwOptions {
                         max_iters: self.params.fw_options.max_iters.min(budget.max_fw_iters()),
                         ..self.params.fw_options
                     };
-                    let attempt = inst.solve_with_fairness(
+                    let attempt = inst.solve_with_fairness_observed(
                         self.params.beta,
                         self.fairness.as_ref(),
                         squeezed,
+                        obs,
                     );
                     match attempt.solver {
                         SolverChoice::FrankWolfe { iterations, gap }
@@ -246,7 +249,10 @@ impl Scheduler for GreFar {
     }
 
     fn decide(&mut self, state: &SystemState, queues: &QueueState) -> Decision {
-        let decision = self.solve_hardened(state, queues).0.decision;
+        let decision = self
+            .solve_hardened(state, queues, &mut grefar_obs::NullObserver)
+            .0
+            .decision;
         #[cfg(feature = "strict-invariants")]
         self.enforce(state, queues, &decision, None);
         decision
@@ -258,12 +264,18 @@ impl Scheduler for GreFar {
         queues: &QueueState,
         obs: &mut dyn Observer,
     ) -> Decision {
-        if !obs.enabled() {
+        if !obs.enabled() && !obs.profiling() {
             return self.decide(state, queues);
         }
         let timer = Timer::start();
-        let (solution, degradations) = self.solve_hardened(state, queues);
+        let (solution, degradations) = self.solve_hardened(state, queues, obs);
         let elapsed = timer.elapsed();
+        if !obs.enabled() {
+            // Profiling-only sink: spans are attributed, events skipped.
+            #[cfg(feature = "strict-invariants")]
+            self.enforce(state, queues, &solution.decision, Some(obs));
+            return solution.decision;
+        }
 
         // Decompose (14): penalty = V·g(t), drift = the queue terms.
         let g = crate::cost::cost_breakdown(

@@ -17,7 +17,8 @@
 use super::greedy::linear_dispatch_dc;
 use super::SlotInstance;
 use crate::fairness::FairnessFunction;
-use grefar_convex::{frank_wolfe, FwOptions, Lmo, Objective};
+use grefar_convex::{frank_wolfe_observed, FwOptions, Lmo, Objective};
+use grefar_obs::Observer;
 use grefar_types::Grid;
 
 /// Flat layout: `x[0 .. N*J]` is `h` row-major, `x[N*J ..]` is `b` row-major.
@@ -165,12 +166,14 @@ impl Lmo for SlotLmo<'_> {
 /// returning `(h, b, iterations, gap)`. The final busy matrix is
 /// re-dispatched at minimum power for the chosen work (never worse, always
 /// feasible); the iteration count and final duality gap are passed through
-/// for telemetry.
-pub(crate) fn solve_processing_fw(
+/// for telemetry. A profiling observer additionally sees one `fw.iter`
+/// span per Frank–Wolfe iteration.
+pub(crate) fn solve_processing_fw_observed(
     inst: &SlotInstance<'_>,
     beta: f64,
     fairness: &dyn FairnessFunction,
     options: FwOptions,
+    obs: &mut dyn Observer,
 ) -> (Grid, Grid, usize, f64) {
     let layout = Layout {
         n: inst.config.num_data_centers(),
@@ -199,7 +202,7 @@ pub(crate) fn solve_processing_fw(
             k: objective.layout.k,
         },
     };
-    let result = frank_wolfe(&objective, &lmo, x0, options);
+    let result = frank_wolfe_observed(&objective, &lmo, x0, options, obs);
 
     let l = &objective.layout;
     let mut processed = Grid::zeros(l.n, l.j);

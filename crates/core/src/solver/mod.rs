@@ -31,7 +31,6 @@ use grefar_cluster::PowerCurve;
 use grefar_convex::FwOptions;
 use grefar_types::{Decision, Grid, SystemConfig, SystemState};
 
-pub(crate) use fw::solve_processing_fw;
 pub(crate) use greedy::price_aware_dispatch_dc;
 
 /// One slot's drift-plus-penalty instance: everything (14) depends on,
@@ -256,13 +255,30 @@ impl<'a> SlotInstance<'a> {
         fairness: &dyn FairnessFunction,
         options: FwOptions,
     ) -> SlotSolution {
+        self.solve_with_fairness_observed(beta, fairness, options, &mut grefar_obs::NullObserver)
+    }
+
+    /// [`solve_with_fairness`](Self::solve_with_fairness) with span
+    /// attribution: a profiling observer sees one `fw.iter` span per
+    /// Frank–Wolfe iteration under the caller's current span.
+    ///
+    /// # Panics
+    /// Panics if `beta` is negative or non-finite.
+    pub fn solve_with_fairness_observed(
+        &self,
+        beta: f64,
+        fairness: &dyn FairnessFunction,
+        options: FwOptions,
+        obs: &mut dyn grefar_obs::Observer,
+    ) -> SlotSolution {
         assert!(
             beta.is_finite() && beta >= 0.0,
             "beta must be non-negative and finite"
         );
         let mut decision = self.config.decision_zeros();
         decision.routed = self.solve_routing();
-        let (processed, busy, iterations, gap) = solve_processing_fw(self, beta, fairness, options);
+        let (processed, busy, iterations, gap) =
+            fw::solve_processing_fw_observed(self, beta, fairness, options, obs);
         decision.processed = processed;
         decision.busy = busy;
         let objective = crate::cost::drift_penalty_objective(

@@ -1,0 +1,743 @@
+//! Folding the workspace event stream into metric aggregates.
+//!
+//! [`MetricsFold`] is the single source of truth for how telemetry events
+//! become Prometheus series: the live [`MetricsLayer`](crate::MetricsLayer)
+//! and the offline `grefar-report metrics` rebuild both drive this type,
+//! so a snapshot taken live and a fold of the same JSONL stream agree
+//! (the kill/resume rebuild test pins this).
+//!
+//! Wall-clock (`_us`) fields are only folded when `include_timings` is on:
+//! live snapshots want them, offline rebuilds exclude them so the output
+//! is deterministic per seed (mirroring the determinism diff's `_us`
+//! convention).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use grefar_obs::json::JsonValue;
+use grefar_obs::{Event, Value};
+
+use crate::health::{Health, Verdict};
+use crate::registry::Registry;
+
+/// Histogram bounds for microsecond timings (slot / decide / LP solve).
+pub const DURATION_US_BUCKETS: &[f64] = &[
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
+/// A uniform read-only view over a live [`Event`] and a parsed JSONL
+/// object, so the fold logic exists once.
+enum Fields<'a> {
+    Live(&'a Event),
+    Json(&'a BTreeMap<String, JsonValue>),
+}
+
+impl Fields<'_> {
+    fn name(&self) -> &str {
+        match self {
+            Fields::Live(event) => event.name(),
+            Fields::Json(obj) => obj.get("event").and_then(JsonValue::as_str).unwrap_or(""),
+        }
+    }
+
+    fn f64(&self, key: &str) -> Option<f64> {
+        match self {
+            Fields::Live(event) => match event.get(key)? {
+                Value::U64(v) => Some(*v as f64),
+                Value::I64(v) => Some(*v as f64),
+                Value::F64(v) => Some(*v),
+                _ => None,
+            },
+            Fields::Json(obj) => obj.get(key).and_then(JsonValue::as_f64),
+        }
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        match self {
+            Fields::Live(event) => match event.get(key)? {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            },
+            Fields::Json(obj) => obj.get(key).and_then(JsonValue::as_str),
+        }
+    }
+}
+
+/// Per-run-label health accumulators (the queue-bound check is stated per
+/// labeled run, exactly like `grefar-report analyze`).
+#[derive(Debug, Clone, Default)]
+struct LabelHealth {
+    queue_peak: f64,
+    queue_bound: Option<f64>,
+    invariant_violations: u64,
+    degraded_events: u64,
+    stale_events: u64,
+}
+
+/// Folds the telemetry event stream into a metric [`Registry`] plus
+/// [`Health`] state. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct MetricsFold {
+    include_timings: bool,
+    registry: Registry,
+    label: String,
+    per_label: BTreeMap<String, LabelHealth>,
+    /// Labels that have actually seen a `run.start` (as opposed to being
+    /// pre-registered by a `theory.bounds` certificate).
+    runs_started: BTreeSet<String>,
+    /// Latest breaker state per `(feed, dc)` key: true while open.
+    breakers_open: BTreeMap<String, bool>,
+    last_slot: u64,
+    last_checkpoint: Option<u64>,
+    events: u64,
+}
+
+impl MetricsFold {
+    /// A fresh fold. `include_timings` controls whether `_us` fields feed
+    /// duration histograms (live snapshots: yes; deterministic offline
+    /// rebuilds: no).
+    pub fn new(include_timings: bool) -> Self {
+        MetricsFold {
+            include_timings,
+            registry: Registry::new(),
+            label: String::new(),
+            per_label: BTreeMap::new(),
+            runs_started: BTreeSet::new(),
+            breakers_open: BTreeMap::new(),
+            last_slot: 0,
+            last_checkpoint: None,
+            events: 0,
+        }
+    }
+
+    /// Folds one live event.
+    pub fn fold_event(&mut self, event: &Event) {
+        self.fold(&Fields::Live(event));
+    }
+
+    /// Folds one parsed JSONL object (as produced by
+    /// `grefar_obs::json::parse_object`; the `schema` key is ignored).
+    pub fn fold_json(&mut self, object: &BTreeMap<String, JsonValue>) {
+        self.fold(&Fields::Json(object));
+    }
+
+    /// Folds a whole JSONL document, skipping blank lines.
+    ///
+    /// # Errors
+    /// The first unparsable line, with its line number.
+    pub fn fold_jsonl(&mut self, text: &str) -> Result<usize, String> {
+        let mut folded = 0usize;
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let object = grefar_obs::json::parse_object(line)
+                .map_err(|e| format!("line {}: {e}", idx + 1))?;
+            self.fold_json(&object);
+            folded += 1;
+        }
+        Ok(folded)
+    }
+
+    /// Events folded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The metric registry built so far.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Renders the registry as Prometheus text exposition.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+
+    /// The current health summary (worst verdict across labeled runs).
+    pub fn health(&self) -> Health {
+        let mut health = Health {
+            verdict: Verdict::Ok,
+            slot: self.last_slot,
+            queue_peak: 0.0,
+            queue_bound: None,
+            occupancy_pct: None,
+            invariant_violations: 0,
+            degraded_events: 0,
+            stale_events: 0,
+            open_breakers: self.breakers_open.values().filter(|open| **open).count() as u64,
+            checkpoint_age_slots: self
+                .last_checkpoint
+                .map(|at| self.last_slot.saturating_sub(at)),
+        };
+        for accum in self.per_label.values() {
+            health.invariant_violations += accum.invariant_violations;
+            health.degraded_events += accum.degraded_events;
+            health.stale_events += accum.stale_events;
+            if accum.queue_peak > health.queue_peak {
+                health.queue_peak = accum.queue_peak;
+            }
+            if let Some(bound) = accum.queue_bound {
+                let occupancy = if bound > 0.0 {
+                    100.0 * accum.queue_peak / bound
+                } else {
+                    100.0
+                };
+                if health.occupancy_pct.is_none_or(|worst| occupancy > worst) {
+                    health.occupancy_pct = Some(occupancy);
+                    health.queue_bound = Some(bound);
+                }
+            }
+        }
+        // Mirrors `grefar-report analyze --assert-bound`: a run violates
+        // when an invariant fired or the peak queue reached the (possibly
+        // stale-widened) Theorem 1(a) bound.
+        let violating =
+            health.invariant_violations > 0 || health.occupancy_pct.is_some_and(|pct| pct >= 100.0);
+        let degraded =
+            health.degraded_events > 0 || health.stale_events > 0 || health.open_breakers > 0;
+        health.verdict = if violating {
+            Verdict::Violating
+        } else if degraded {
+            Verdict::Degraded
+        } else {
+            Verdict::Ok
+        };
+        health
+    }
+
+    fn accum(&mut self) -> &mut LabelHealth {
+        self.per_label.entry(self.label.clone()).or_default()
+    }
+
+    fn fold(&mut self, fields: &Fields<'_>) {
+        self.events += 1;
+        let name = fields.name();
+        match name {
+            "sweep.run" => {
+                if let Some(label) = fields.str("label") {
+                    self.label = label.to_string();
+                }
+            }
+            "run.start" => {
+                // A sweep marker names the run; a bare run adopts the
+                // scheduler's self-description. `runs_started` (not
+                // `per_label`) decides whether the current label is free:
+                // a `theory.bounds` certificate pre-registers its label's
+                // health accumulator before the run begins.
+                if self.label.is_empty() || self.runs_started.contains(&self.label) {
+                    if let Some(scheduler) = fields.str("scheduler") {
+                        if !self.runs_started.contains(scheduler) {
+                            self.label = scheduler.to_string();
+                        }
+                    }
+                }
+                self.runs_started.insert(self.label.clone());
+                self.accum();
+                let label = self.label.clone();
+                if let Some(horizon) = fields.f64("horizon") {
+                    self.registry.gauge_set(
+                        "grefar_run_horizon_slots",
+                        "Planned horizon of the labeled run, in slots.",
+                        &[("scheduler", &label)],
+                        horizon,
+                    );
+                }
+            }
+            "slot" => self.fold_slot(fields),
+            "grefar.decide" => self.fold_decide(fields),
+            "lp.solve" => self.fold_lp(fields),
+            "run.end" => {
+                let label = self.label.clone();
+                if let Some(completed) = fields.f64("completed") {
+                    self.registry.gauge_set(
+                        "grefar_jobs_completed",
+                        "Jobs completed over the labeled run.",
+                        &[("scheduler", &label)],
+                        completed,
+                    );
+                }
+            }
+            "theory.bounds" => self.fold_bounds(fields),
+            "fault.inject" => {
+                let label = self.label.clone();
+                let kind = fields.str("kind").unwrap_or("unknown").to_string();
+                self.registry.counter_add(
+                    "grefar_faults_injected_total",
+                    "Fault windows opened by the injection plan.",
+                    &[("scheduler", &label), ("kind", &kind)],
+                    1.0,
+                );
+            }
+            "degraded.mode" => {
+                let reason = fields.str("reason").unwrap_or("unknown").to_string();
+                self.accum().degraded_events += 1;
+                let label = self.label.clone();
+                self.registry.counter_add(
+                    "grefar_degraded_events_total",
+                    "Slots the solver served through a degradation fallback.",
+                    &[("scheduler", &label), ("reason", &reason)],
+                    1.0,
+                );
+            }
+            "state.stale" => {
+                self.accum().stale_events += 1;
+                let label = self.label.clone();
+                self.registry.counter_add(
+                    "grefar_stale_slots_total",
+                    "Slots decided on stale (estimated) feed state.",
+                    &[("scheduler", &label)],
+                    1.0,
+                );
+            }
+            "invariant.violation" => {
+                let kind = fields.str("kind").unwrap_or("unknown").to_string();
+                self.accum().invariant_violations += 1;
+                let label = self.label.clone();
+                self.registry.counter_add(
+                    "grefar_invariant_violations_total",
+                    "Paper-invariant violations observed at runtime.",
+                    &[("scheduler", &label), ("kind", &kind)],
+                    1.0,
+                );
+            }
+            "feed.fetch" => {
+                let feed = fields.str("feed").unwrap_or("unknown").to_string();
+                let outcome = fields.str("outcome").unwrap_or("unknown").to_string();
+                self.registry.counter_add(
+                    "grefar_feed_fetch_events_total",
+                    "Noteworthy feed fetches (failures, or successes that needed retries).",
+                    &[("feed", &feed), ("outcome", &outcome)],
+                    1.0,
+                );
+            }
+            "feed.quarantine" => {
+                let feed = fields.str("feed").unwrap_or("unknown").to_string();
+                self.registry.counter_add(
+                    "grefar_feed_quarantined_total",
+                    "Feed payloads rejected by validation.",
+                    &[("feed", &feed)],
+                    1.0,
+                );
+            }
+            "feed.breaker" => self.fold_breaker(fields),
+            "checkpoint.write" => {
+                if let Some(t) = fields.f64("t") {
+                    self.last_checkpoint = Some(t as u64);
+                }
+                let label = self.label.clone();
+                self.registry.counter_add(
+                    "grefar_checkpoint_writes_total",
+                    "Checkpoints written by the run policy.",
+                    &[("scheduler", &label)],
+                    1.0,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn fold_slot(&mut self, fields: &Fields<'_>) {
+        let label = self.label.clone();
+        let labels = [("scheduler", label.as_str())];
+        if let Some(t) = fields.f64("t") {
+            self.last_slot = t as u64;
+        }
+        self.registry
+            .counter_add("grefar_slots_total", "Slots executed.", &labels, 1.0);
+        if let Some(energy) = fields.f64("energy") {
+            self.registry.counter_add(
+                "grefar_energy_cost_total",
+                "Accumulated energy cost g(t).",
+                &labels,
+                energy,
+            );
+        }
+        if let Some(arrivals) = fields.f64("arrivals") {
+            self.registry.counter_add(
+                "grefar_jobs_arrived_total",
+                "Jobs arrived.",
+                &labels,
+                arrivals,
+            );
+        }
+        if let Some(dropped) = fields.f64("dropped") {
+            if dropped > 0.0 {
+                self.registry.counter_add(
+                    "grefar_jobs_dropped_total",
+                    "Jobs dropped by admission control.",
+                    &labels,
+                    dropped,
+                );
+            }
+        }
+        let central = fields.f64("queue_central");
+        let local = fields.f64("queue_local");
+        if let Some(central) = central {
+            self.registry.gauge_set(
+                "grefar_queue_jobs",
+                "Current queue backlog, central vs local.",
+                &[("scheduler", &label), ("queue", "central")],
+                central,
+            );
+        }
+        if let Some(local) = local {
+            self.registry.gauge_set(
+                "grefar_queue_jobs",
+                "Current queue backlog, central vs local.",
+                &[("scheduler", &label), ("queue", "local")],
+                local,
+            );
+        }
+        if let Some(queue_max) = fields.f64("queue_max") {
+            self.registry.gauge_set(
+                "grefar_queue_max_jobs",
+                "Longest single queue this slot.",
+                &labels,
+                queue_max,
+            );
+            let accum = self.accum();
+            if queue_max > accum.queue_peak {
+                accum.queue_peak = queue_max;
+            }
+            let (peak, bound) = {
+                let accum = self.accum();
+                (accum.queue_peak, accum.queue_bound)
+            };
+            self.registry.gauge_set(
+                "grefar_queue_peak_jobs",
+                "Peak of the longest single queue over the run.",
+                &labels,
+                peak,
+            );
+            if let Some(bound) = bound {
+                self.set_occupancy(&label, peak, bound);
+            }
+        }
+        if self.include_timings {
+            if let Some(wall) = fields.f64("wall_us") {
+                self.registry.histogram_observe(
+                    "grefar_slot_duration_us",
+                    "Wall time per slot, microseconds.",
+                    DURATION_US_BUCKETS,
+                    &labels,
+                    wall,
+                );
+            }
+        }
+        if let Some(age) = self
+            .last_checkpoint
+            .map(|at| self.last_slot.saturating_sub(at))
+        {
+            self.registry.gauge_set(
+                "grefar_checkpoint_age_slots",
+                "Slots since the last checkpoint write.",
+                &labels,
+                age as f64,
+            );
+        }
+    }
+
+    fn fold_decide(&mut self, fields: &Fields<'_>) {
+        let label = self.label.clone();
+        let labels = [("scheduler", label.as_str())];
+        let solver = fields.str("solver").unwrap_or("unknown").to_string();
+        self.registry.counter_add(
+            "grefar_decisions_total",
+            "Per-slot decisions, by solver path.",
+            &[("scheduler", &label), ("solver", &solver)],
+            1.0,
+        );
+        if let Some(iters) = fields.f64("fw_iterations") {
+            if iters > 0.0 {
+                self.registry.counter_add(
+                    "grefar_fw_iterations_total",
+                    "Frank-Wolfe iterations spent.",
+                    &labels,
+                    iters,
+                );
+            }
+        }
+        if self.include_timings {
+            if let Some(wall) = fields.f64("wall_us") {
+                self.registry.histogram_observe(
+                    "grefar_decide_duration_us",
+                    "Wall time per drift-plus-penalty solve, microseconds.",
+                    DURATION_US_BUCKETS,
+                    &labels,
+                    wall,
+                );
+            }
+        }
+    }
+
+    fn fold_lp(&mut self, fields: &Fields<'_>) {
+        let label = self.label.clone();
+        let labels = [("scheduler", label.as_str())];
+        let pivots =
+            fields.f64("pivots_phase1").unwrap_or(0.0) + fields.f64("pivots_phase2").unwrap_or(0.0);
+        self.registry.counter_add(
+            "grefar_lp_pivots_total",
+            "Simplex pivots spent by the MPC baseline.",
+            &labels,
+            pivots,
+        );
+        if self.include_timings {
+            if let Some(wall) = fields.f64("wall_us") {
+                self.registry.histogram_observe(
+                    "grefar_lp_solve_duration_us",
+                    "Wall time per LP solve, microseconds.",
+                    DURATION_US_BUCKETS,
+                    &labels,
+                    wall,
+                );
+            }
+        }
+    }
+
+    fn fold_bounds(&mut self, fields: &Fields<'_>) {
+        // theory.bounds names its run explicitly; fall back to the current
+        // label for streams that predate the `label` field.
+        let label = fields
+            .str("label")
+            .map(str::to_string)
+            .unwrap_or_else(|| self.label.clone());
+        let bound = fields
+            .f64("stale_queue_bound")
+            .or_else(|| fields.f64("queue_bound"));
+        let Some(bound) = bound else { return };
+        self.per_label.entry(label.clone()).or_default().queue_bound = Some(bound);
+        self.registry.gauge_set(
+            "grefar_queue_bound_jobs",
+            "Theorem 1(a) queue bound (stale-widened when the run declares staleness).",
+            &[("scheduler", &label)],
+            bound,
+        );
+        let peak = self.per_label[&label].queue_peak;
+        self.set_occupancy(&label, peak, bound);
+    }
+
+    fn set_occupancy(&mut self, label: &str, peak: f64, bound: f64) {
+        let occupancy = if bound > 0.0 {
+            100.0 * peak / bound
+        } else {
+            100.0
+        };
+        self.registry.gauge_set(
+            "grefar_queue_occupancy_percent",
+            "Peak queue length as a percentage of the Theorem 1(a) bound.",
+            &[("scheduler", label)],
+            occupancy,
+        );
+    }
+
+    fn fold_breaker(&mut self, fields: &Fields<'_>) {
+        let feed = fields.str("feed").unwrap_or("unknown").to_string();
+        let dc = fields
+            .f64("dc")
+            .map(|dc| format!("{}", dc as u64))
+            .unwrap_or_default();
+        let to = fields.str("to").unwrap_or("unknown").to_string();
+        let state = match to.as_str() {
+            "closed" => 0.0,
+            "half_open" | "half-open" => 1.0,
+            "open" => 2.0,
+            _ => -1.0,
+        };
+        self.breakers_open
+            .insert(format!("{feed}/{dc}"), to == "open");
+        self.registry.counter_add(
+            "grefar_feed_breaker_transitions_total",
+            "Circuit-breaker transitions, by target state.",
+            &[("feed", &feed), ("dc", &dc), ("to", &to)],
+            1.0,
+        );
+        self.registry.gauge_set(
+            "grefar_feed_breaker_state",
+            "Circuit-breaker state: 0 closed, 1 half-open, 2 open.",
+            &[("feed", &feed), ("dc", &dc)],
+            state,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_obs::Event;
+
+    fn slot_event(t: u64, queue_max: f64) -> Event {
+        Event::new("slot")
+            .field("t", t)
+            .field("queue_central", 4.0)
+            .field("queue_local", 2.0)
+            .field("queue_max", queue_max)
+            .field("energy", 0.5)
+            .field("arrivals", 3.0)
+            .field("dropped", 0_u64)
+            .field("wall_us", 120_u64)
+    }
+
+    #[test]
+    fn live_and_json_folds_agree() {
+        let events = vec![
+            Event::new("run.start")
+                .field("scheduler", "GreFar")
+                .field("horizon", 2_u64),
+            slot_event(0, 5.0),
+            slot_event(1, 7.0),
+            Event::new("run.end")
+                .field("slots", 2_u64)
+                .field("completed", 4_u64)
+                .field("dropped", 0_u64)
+                .field("wall_us", 99_u64),
+        ];
+        let mut live = MetricsFold::new(true);
+        let mut text = String::new();
+        for event in &events {
+            live.fold_event(event);
+            text.push_str(&event.to_json_with_schema(1));
+            text.push('\n');
+        }
+        let mut offline = MetricsFold::new(true);
+        offline.fold_jsonl(&text).unwrap();
+        assert_eq!(live.render(), offline.render());
+        assert_eq!(
+            live.registry()
+                .scalar("grefar_slots_total", &[("scheduler", "GreFar")]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn occupancy_tracks_peak_over_bound() {
+        let mut fold = MetricsFold::new(false);
+        fold.fold_event(
+            &Event::new("run.start")
+                .field("scheduler", "g")
+                .field("horizon", 9_u64),
+        );
+        fold.fold_event(
+            &Event::new("theory.bounds")
+                .field("label", "g")
+                .field("queue_bound", 20.0),
+        );
+        fold.fold_event(&slot_event(0, 5.0));
+        fold.fold_event(&slot_event(1, 4.0));
+        let occ = fold
+            .registry()
+            .scalar("grefar_queue_occupancy_percent", &[("scheduler", "g")])
+            .unwrap();
+        assert!((occ - 25.0).abs() < 1e-9, "{occ}");
+        let health = fold.health();
+        assert_eq!(health.verdict, Verdict::Ok);
+        assert!((health.queue_peak - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_widened_bound_is_preferred() {
+        let mut fold = MetricsFold::new(false);
+        fold.fold_event(
+            &Event::new("theory.bounds")
+                .field("label", "g")
+                .field("queue_bound", 10.0)
+                .field("stale_slots", 2_u64)
+                .field("stale_queue_bound", 30.0),
+        );
+        assert_eq!(
+            fold.registry()
+                .scalar("grefar_queue_bound_jobs", &[("scheduler", "g")]),
+            Some(30.0)
+        );
+    }
+
+    #[test]
+    fn verdict_degrades_and_violates() {
+        let mut fold = MetricsFold::new(false);
+        fold.fold_event(
+            &Event::new("run.start")
+                .field("scheduler", "g")
+                .field("horizon", 9_u64),
+        );
+        assert_eq!(fold.health().verdict, Verdict::Ok);
+        fold.fold_event(
+            &Event::new("degraded.mode")
+                .field("t", 3_u64)
+                .field("reason", "offline_dc"),
+        );
+        assert_eq!(fold.health().verdict, Verdict::Degraded);
+        fold.fold_event(
+            &Event::new("invariant.violation")
+                .field("t", 4_u64)
+                .field("kind", "capacity")
+                .field("detail", "x"),
+        );
+        assert_eq!(fold.health().verdict, Verdict::Violating);
+    }
+
+    #[test]
+    fn breaker_state_round_trips() {
+        let mut fold = MetricsFold::new(false);
+        fold.fold_event(
+            &Event::new("feed.breaker")
+                .field("t", 5_u64)
+                .field("feed", "price")
+                .field("dc", 1_u64)
+                .field("from", "closed")
+                .field("to", "open"),
+        );
+        assert_eq!(fold.health().open_breakers, 1);
+        assert_eq!(
+            fold.registry().scalar(
+                "grefar_feed_breaker_state",
+                &[("feed", "price"), ("dc", "1")]
+            ),
+            Some(2.0)
+        );
+        fold.fold_event(
+            &Event::new("feed.breaker")
+                .field("t", 9_u64)
+                .field("feed", "price")
+                .field("dc", 1_u64)
+                .field("from", "open")
+                .field("to", "half_open"),
+        );
+        assert_eq!(fold.health().open_breakers, 0);
+    }
+
+    #[test]
+    fn timings_are_excluded_unless_requested() {
+        let mut with = MetricsFold::new(true);
+        let mut without = MetricsFold::new(false);
+        with.fold_event(&slot_event(0, 1.0));
+        without.fold_event(&slot_event(0, 1.0));
+        assert!(with.render().contains("grefar_slot_duration_us"));
+        assert!(!without.render().contains("grefar_slot_duration_us"));
+    }
+
+    #[test]
+    fn checkpoint_age_tracks_slots_since_write() {
+        let mut fold = MetricsFold::new(false);
+        fold.fold_event(&slot_event(0, 1.0));
+        assert_eq!(fold.health().checkpoint_age_slots, None);
+        fold.fold_event(&Event::new("checkpoint.write").field("t", 1_u64));
+        fold.fold_event(&slot_event(1, 1.0));
+        fold.fold_event(&slot_event(2, 1.0));
+        assert_eq!(fold.health().checkpoint_age_slots, Some(1));
+        let age = fold
+            .registry()
+            .scalar("grefar_checkpoint_age_slots", &[("scheduler", "")])
+            .unwrap();
+        assert!((age - 1.0).abs() < 1e-12);
+    }
+}

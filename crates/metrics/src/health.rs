@@ -1,0 +1,153 @@
+//! Health snapshots: a compact run-state summary for `/healthz` and the
+//! `health.snapshot` event.
+//!
+//! The verdict mirrors `grefar-report analyze --assert-bound` so the live
+//! plane and the offline analyzer can never disagree about whether a run
+//! is healthy: `violating` when an invariant fired or the peak queue
+//! reached the (possibly stale-widened) Theorem 1(a) bound; `degraded`
+//! when the run leaned on fallbacks (degraded-mode slots, stale state,
+//! open circuit breakers); `ok` otherwise.
+
+use grefar_obs::Event;
+
+/// Three-state health verdict, ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// No bound pressure, no fallbacks.
+    Ok,
+    /// Serving, but through fallbacks (degraded mode, stale state, or an
+    /// open breaker).
+    Degraded,
+    /// An invariant fired, or the peak queue reached the Theorem 1(a)
+    /// bound.
+    Violating,
+}
+
+impl Verdict {
+    /// The wire spelling (`ok` / `degraded` / `violating`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Degraded => "degraded",
+            Verdict::Violating => "violating",
+        }
+    }
+}
+
+/// A point-in-time run-health summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Health {
+    /// Overall verdict (see [`Verdict`]).
+    pub verdict: Verdict,
+    /// Latest slot folded.
+    pub slot: u64,
+    /// Peak of the longest single queue across labeled runs.
+    pub queue_peak: f64,
+    /// The Theorem 1(a) bound of the worst-occupancy run, when declared.
+    pub queue_bound: Option<f64>,
+    /// Worst `100 * peak / bound` across labeled runs, when a bound is
+    /// declared.
+    pub occupancy_pct: Option<f64>,
+    /// Runtime paper-invariant violations observed.
+    pub invariant_violations: u64,
+    /// Slots served through a degradation fallback.
+    pub degraded_events: u64,
+    /// Slots decided on stale feed state.
+    pub stale_events: u64,
+    /// Circuit breakers currently open.
+    pub open_breakers: u64,
+    /// Slots since the last checkpoint write (absent until one lands).
+    pub checkpoint_age_slots: Option<u64>,
+}
+
+impl Health {
+    /// Renders the flat JSON object served by `GET /healthz`.
+    ///
+    /// Kept flat (no nesting, no arrays) so `grefar_obs::json` can parse
+    /// it back in tests and tooling.
+    pub fn to_json(&self) -> String {
+        // Route through the event encoder for consistent escaping and
+        // float formatting.
+        self.event().to_json()
+    }
+
+    /// The `health.snapshot` telemetry event carrying the same fields as
+    /// [`Health::to_json`].
+    pub fn event(&self) -> Event {
+        let mut event = Event::new("health.snapshot")
+            .field("t", self.slot)
+            .field("verdict", self.verdict.label())
+            .field("queue_peak", self.queue_peak)
+            .field("invariant_violations", self.invariant_violations)
+            .field("degraded_events", self.degraded_events)
+            .field("stale_events", self.stale_events)
+            .field("open_breakers", self.open_breakers);
+        if let Some(bound) = self.queue_bound {
+            event = event.field("queue_bound", bound);
+        }
+        if let Some(pct) = self.occupancy_pct {
+            event = event.field("occupancy_pct", pct);
+        }
+        if let Some(age) = self.checkpoint_age_slots {
+            event = event.field("checkpoint_age_slots", age);
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_order_from_best_to_worst() {
+        assert!(Verdict::Ok < Verdict::Degraded);
+        assert!(Verdict::Degraded < Verdict::Violating);
+        assert_eq!(Verdict::Violating.label(), "violating");
+    }
+
+    #[test]
+    fn json_is_flat_and_parseable() {
+        let health = Health {
+            verdict: Verdict::Degraded,
+            slot: 42,
+            queue_peak: 7.5,
+            queue_bound: Some(30.0),
+            occupancy_pct: Some(25.0),
+            invariant_violations: 0,
+            degraded_events: 3,
+            stale_events: 1,
+            open_breakers: 0,
+            checkpoint_age_slots: Some(6),
+        };
+        let parsed = grefar_obs::json::parse_object(&health.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("verdict").and_then(|v| v.as_str()),
+            Some("degraded")
+        );
+        assert_eq!(
+            parsed.get("occupancy_pct").and_then(|v| v.as_f64()),
+            Some(25.0)
+        );
+        assert_eq!(parsed.get("t").and_then(|v| v.as_f64()), Some(42.0));
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_when_absent() {
+        let health = Health {
+            verdict: Verdict::Ok,
+            slot: 0,
+            queue_peak: 0.0,
+            queue_bound: None,
+            occupancy_pct: None,
+            invariant_violations: 0,
+            degraded_events: 0,
+            stale_events: 0,
+            open_breakers: 0,
+            checkpoint_age_slots: None,
+        };
+        let json = health.to_json();
+        assert!(!json.contains("queue_bound"));
+        assert!(!json.contains("checkpoint_age_slots"));
+    }
+}

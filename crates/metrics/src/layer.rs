@@ -1,0 +1,353 @@
+//! The live metrics layer: an [`Observer`] middleware that folds every
+//! event into a [`MetricsFold`] while forwarding it to the wrapped sink.
+//!
+//! The layer periodically (every `snapshot_every_slots` slots) refreshes
+//! the snapshot surface: a `health.snapshot` event into the inner sink,
+//! an atomic (`tmp` + rename) dump of the Prometheus exposition to the
+//! configured path, and the shared in-memory snapshot the
+//! [`MetricsServer`](crate::MetricsServer) serves from. [`finish`]
+//! (`MetricsLayer::finish`) flushes one final snapshot; runs that resume
+//! from a checkpoint pre-seed the fold from the truncated telemetry file
+//! via [`MetricsLayer::prefold_jsonl`] so aggregates rebuild identically.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use grefar_obs::{Event, Observer};
+
+use crate::fold::MetricsFold;
+use crate::health::Health;
+
+/// Where periodic exposition snapshots go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotSink {
+    /// No file dumps (the shared handle / listener may still be live).
+    None,
+    /// Atomic `tmp` + rename dumps to this path.
+    File(PathBuf),
+    /// One dump to stdout at [`MetricsLayer::finish`] (stdout cannot be
+    /// rewritten in place).
+    Stdout,
+}
+
+/// Configuration for [`MetricsLayer`].
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Where to dump exposition text.
+    pub sink: SnapshotSink,
+    /// Refresh the snapshot surface every this many `slot` events.
+    pub snapshot_every_slots: u64,
+    /// Fold `_us` timing fields into duration histograms (live default:
+    /// on; deterministic offline rebuilds turn it off).
+    pub include_timings: bool,
+    /// Emit `health.snapshot` events into the wrapped sink on refresh.
+    pub emit_health_events: bool,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            sink: SnapshotSink::None,
+            snapshot_every_slots: 64,
+            include_timings: true,
+            emit_health_events: true,
+        }
+    }
+}
+
+/// The shared snapshot read by the HTTP listener.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSnapshot {
+    /// Prometheus text exposition of the current registry.
+    pub exposition: String,
+    /// Flat JSON body for `GET /healthz`.
+    pub health_json: String,
+    /// The current verdict label (`ok` / `degraded` / `violating`).
+    pub verdict: String,
+}
+
+/// Handle to the snapshot shared between the run thread and the listener.
+pub type SharedHandle = Arc<Mutex<SharedSnapshot>>;
+
+/// Allocates a fresh, empty [`SharedHandle`].
+pub fn shared_handle() -> SharedHandle {
+    Arc::new(Mutex::new(SharedSnapshot::default()))
+}
+
+/// Observer middleware folding events into metrics. See the
+/// [module docs](self).
+///
+/// Generic over the wrapped sink so callers can either own the inner
+/// observer (`MetricsLayer<Telemetry>`) or borrow it
+/// (`MetricsLayer<&mut MemoryObserver>`, via the blanket `&mut T`
+/// forwarding impl in `grefar_obs`).
+pub struct MetricsLayer<I: Observer> {
+    inner: I,
+    fold: MetricsFold,
+    config: MetricsConfig,
+    shared: Option<SharedHandle>,
+    slots_since_snapshot: u64,
+    last_error: Option<String>,
+}
+
+impl<I: Observer> MetricsLayer<I> {
+    /// Wraps `inner` with fresh fold state.
+    pub fn new(inner: I, config: MetricsConfig) -> Self {
+        let include_timings = config.include_timings;
+        MetricsLayer {
+            inner,
+            fold: MetricsFold::new(include_timings),
+            config,
+            shared: None,
+            slots_since_snapshot: 0,
+            last_error: None,
+        }
+    }
+
+    /// Attaches the shared snapshot the HTTP listener serves from.
+    pub fn with_shared(mut self, shared: SharedHandle) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// Pre-seeds the fold from an existing telemetry JSONL document, so a
+    /// resumed run's aggregates continue from the truncated prefix instead
+    /// of restarting at zero.
+    ///
+    /// # Errors
+    /// The first unparsable line, with its line number.
+    pub fn prefold_jsonl(&mut self, text: &str) -> Result<usize, String> {
+        self.fold.fold_jsonl(text)
+    }
+
+    /// The current health summary.
+    pub fn health(&self) -> Health {
+        self.fold.health()
+    }
+
+    /// The fold accumulated so far.
+    pub fn fold(&self) -> &MetricsFold {
+        &self.fold
+    }
+
+    /// Refreshes the snapshot surface now, regardless of the slot cadence.
+    pub fn snapshot_now(&mut self) {
+        self.slots_since_snapshot = 0;
+        let health = self.fold.health();
+        if self.config.emit_health_events && self.inner.enabled() {
+            self.inner.record_event(health.event());
+        }
+        let exposition = self.fold.render();
+        if let Some(shared) = &self.shared {
+            if let Ok(mut snap) = shared.lock() {
+                snap.exposition = exposition.clone();
+                snap.health_json = health.to_json();
+                snap.verdict = health.verdict.label().to_string();
+            }
+        }
+        if let SnapshotSink::File(path) = &self.config.sink {
+            if let Err(error) = write_atomic(path, &exposition) {
+                self.last_error = Some(format!("metrics snapshot {}: {error}", path.display()));
+            }
+        }
+    }
+
+    /// Emits the final snapshot and tears the layer down.
+    ///
+    /// # Errors
+    /// The last snapshot-write failure, if any (snapshots are otherwise
+    /// best-effort and never fail the run mid-flight).
+    pub fn finish(self) -> Result<Health, String> {
+        self.into_parts().1
+    }
+
+    /// Like [`finish`](MetricsLayer::finish), but also hands back the
+    /// wrapped sink — for owned stacks that still need to flush it (e.g.
+    /// the experiment binaries' telemetry summary, or a span profiler
+    /// emitting its `profile.span` trailer after the final
+    /// `health.snapshot`).
+    pub fn into_parts(mut self) -> (I, Result<Health, String>) {
+        self.snapshot_now();
+        if self.config.sink == SnapshotSink::Stdout {
+            let mut stdout = std::io::stdout().lock();
+            if let Err(error) = stdout.write_all(self.fold.render().as_bytes()) {
+                self.last_error = Some(format!("metrics snapshot to stdout: {error}"));
+            }
+        }
+        let outcome = match self.last_error {
+            Some(error) => Err(error),
+            None => Ok(self.fold.health()),
+        };
+        (self.inner, outcome)
+    }
+}
+
+impl<I: Observer> Observer for MetricsLayer<I> {
+    // Always enabled: the fold needs every event even when the wrapped
+    // sink is a NullObserver (e.g. `--metrics-listen` without
+    // `--telemetry`).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record_event(&mut self, event: Event) {
+        self.fold.fold_event(&event);
+        let is_slot = event.name() == "slot";
+        if self.inner.enabled() {
+            self.inner.record_event(event);
+        }
+        if is_slot {
+            self.slots_since_snapshot += 1;
+            if self.slots_since_snapshot >= self.config.snapshot_every_slots {
+                self.snapshot_now();
+            }
+        }
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        self.inner.add_counter(name, delta);
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.inner.set_gauge(name, value);
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        self.inner.record_value(name, value);
+    }
+
+    fn profiling(&self) -> bool {
+        self.inner.profiling()
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        self.inner.span_enter(name);
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        self.inner.span_exit(name);
+    }
+
+    fn span_leaf(&mut self, name: &'static str, count: u64) {
+        self.inner.span_leaf(name, count);
+    }
+}
+
+/// Writes `text` to `path` atomically: full write to a sibling `.tmp`
+/// file, then rename over the target (same pattern as the checkpoint
+/// store, minus the fsyncs — snapshots are advisory).
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_obs::{MemoryObserver, NullObserver};
+
+    fn slot(t: u64) -> Event {
+        Event::new("slot")
+            .field("t", t)
+            .field("queue_central", 1.0)
+            .field("queue_local", 1.0)
+            .field("queue_max", 1.0)
+            .field("energy", 0.1)
+            .field("arrivals", 1.0)
+            .field("dropped", 0_u64)
+    }
+
+    #[test]
+    fn forwards_events_and_folds_them() {
+        let mut mem = MemoryObserver::new();
+        let mut layer = MetricsLayer::new(&mut mem, MetricsConfig::default());
+        layer.record_event(slot(0));
+        layer.record_event(slot(1));
+        assert_eq!(
+            layer
+                .fold()
+                .registry()
+                .scalar("grefar_slots_total", &[("scheduler", "")]),
+            Some(2.0)
+        );
+        drop(layer);
+        assert_eq!(mem.event_count("slot"), 2);
+    }
+
+    #[test]
+    fn snapshots_on_the_slot_cadence() {
+        let mut mem = MemoryObserver::new();
+        let config = MetricsConfig {
+            snapshot_every_slots: 2,
+            ..MetricsConfig::default()
+        };
+        let mut layer = MetricsLayer::new(&mut mem, config);
+        for t in 0..5 {
+            layer.record_event(slot(t));
+        }
+        drop(layer);
+        // Slots 2 and 4 cross the cadence.
+        assert_eq!(mem.event_count("health.snapshot"), 2);
+    }
+
+    #[test]
+    fn finish_writes_the_snapshot_file_atomically() {
+        let dir = std::env::temp_dir().join("grefar-metrics-layer-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let mut null = NullObserver;
+        let config = MetricsConfig {
+            sink: SnapshotSink::File(path.clone()),
+            ..MetricsConfig::default()
+        };
+        let mut layer = MetricsLayer::new(&mut null, config);
+        layer.record_event(slot(0));
+        layer.finish().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("grefar_slots_total"));
+        assert!(crate::lint(&text).is_empty(), "{:?}", crate::lint(&text));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_handle_sees_refreshes() {
+        let shared = shared_handle();
+        let mut null = NullObserver;
+        let config = MetricsConfig {
+            snapshot_every_slots: 1,
+            ..MetricsConfig::default()
+        };
+        let mut layer = MetricsLayer::new(&mut null, config).with_shared(shared.clone());
+        layer.record_event(slot(0));
+        let snap = shared.lock().unwrap();
+        assert!(snap.exposition.contains("grefar_slots_total"));
+        assert_eq!(snap.verdict, "ok");
+        assert!(snap.health_json.contains("\"verdict\":\"ok\""));
+    }
+
+    #[test]
+    fn prefold_then_live_matches_a_single_fold() {
+        let events: Vec<Event> = (0..4).map(slot).collect();
+        let text: String = events
+            .iter()
+            .take(2)
+            .map(|e| format!("{}\n", e.to_json_with_schema(1)))
+            .collect();
+        let mut null = NullObserver;
+        let mut resumed = MetricsLayer::new(&mut null, MetricsConfig::default());
+        resumed.prefold_jsonl(&text).unwrap();
+        for event in &events[2..] {
+            resumed.record_event(event.clone());
+        }
+        let mut whole = MetricsFold::new(true);
+        for event in &events {
+            whole.fold_event(event);
+        }
+        assert_eq!(resumed.fold().render(), whole.render());
+    }
+}

@@ -1,0 +1,295 @@
+//! A hand-rolled lint for Prometheus text exposition format 0.0.4.
+//!
+//! Used three ways: as the golden self-check in this crate's tests, by
+//! `grefar-report promlint` in `scripts/check.sh`'s observability stage,
+//! and as documentation-by-executable-spec of the workspace's metric
+//! naming conventions (DESIGN.md): `grefar_` prefix everywhere, counters
+//! end `_total`, histograms carry a `+Inf` bucket plus `_sum`/`_count`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lints `text` as Prometheus exposition format; returns one message per
+/// finding (empty means clean).
+pub fn lint(text: &str) -> Vec<String> {
+    let mut findings = Vec::new();
+    // name -> declared type ("counter" | "gauge" | "histogram" | ...).
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut samples_seen: BTreeSet<String> = BTreeSet::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, _help)) = rest.split_once(' ') else {
+                findings.push(format!("line {lineno}: HELP without text"));
+                continue;
+            };
+            if !helped.insert(name.to_string()) {
+                findings.push(format!("line {lineno}: duplicate HELP for {name}"));
+            }
+            if samples_seen.contains(name) {
+                findings.push(format!("line {lineno}: HELP for {name} after its samples"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                findings.push(format!("line {lineno}: TYPE without kind"));
+                continue;
+            };
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                findings.push(format!("line {lineno}: unknown TYPE {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                findings.push(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            if !helped.contains(name) {
+                findings.push(format!("line {lineno}: TYPE for {name} without HELP"));
+            }
+            if samples_seen.contains(name) {
+                findings.push(format!("line {lineno}: TYPE for {name} after its samples"));
+            }
+            check_name(name, lineno, &mut findings);
+            if kind == "counter" && !name.ends_with("_total") {
+                findings.push(format!(
+                    "line {lineno}: counter {name} does not end in _total"
+                ));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        lint_sample(
+            line,
+            lineno,
+            &types,
+            &mut seen_series,
+            &mut samples_seen,
+            &mut findings,
+        );
+    }
+
+    // Histogram completeness: every histogram family needs +Inf, _sum and
+    // _count samples.
+    for (name, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        if !samples_seen.contains(name) {
+            continue; // declared but no series — acceptable
+        }
+        for suffix in ["_sum", "_count"] {
+            if !seen_series
+                .iter()
+                .any(|s| series_name(s) == format!("{name}{suffix}"))
+            {
+                findings.push(format!("histogram {name} is missing {name}{suffix}"));
+            }
+        }
+        if !seen_series
+            .iter()
+            .any(|s| series_name(s) == format!("{name}_bucket") && s.contains("le=\"+Inf\""))
+        {
+            findings.push(format!("histogram {name} is missing the +Inf bucket"));
+        }
+    }
+    findings
+}
+
+fn series_name(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
+fn check_name(name: &str, lineno: usize, findings: &mut Vec<String>) {
+    let valid = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            .unwrap_or(false)
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    if !valid {
+        findings.push(format!("line {lineno}: invalid metric name {name:?}"));
+    }
+    if !name.starts_with("grefar_") {
+        findings.push(format!(
+            "line {lineno}: metric {name} lacks the grefar_ prefix"
+        ));
+    }
+}
+
+/// The base family a sample line belongs to, resolving histogram suffixes.
+fn base_family<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+fn lint_sample(
+    line: &str,
+    lineno: usize,
+    types: &BTreeMap<String, String>,
+    seen_series: &mut BTreeSet<String>,
+    samples_seen: &mut BTreeSet<String>,
+    findings: &mut Vec<String>,
+) {
+    // Split "name{labels} value" / "name value".
+    let (series, value) = match line.rfind(' ') {
+        Some(pos) => (&line[..pos], &line[pos + 1..]),
+        None => {
+            findings.push(format!("line {lineno}: sample without value"));
+            return;
+        }
+    };
+    let name = series_name(series);
+    if let Some(labels) = series.strip_prefix(name) {
+        if !labels.is_empty() {
+            lint_labels(labels, lineno, findings);
+        }
+    }
+    let parses = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+    if !parses {
+        findings.push(format!("line {lineno}: unparsable value {value:?}"));
+    }
+    match base_family(name, types) {
+        Some(base) => {
+            samples_seen.insert(base.to_string());
+        }
+        None => findings.push(format!(
+            "line {lineno}: sample {name} has no preceding # TYPE"
+        )),
+    }
+    if !seen_series.insert(series.to_string()) {
+        findings.push(format!("line {lineno}: duplicate series {series}"));
+    }
+}
+
+fn lint_labels(labels: &str, lineno: usize, findings: &mut Vec<String>) {
+    let Some(inner) = labels
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+    else {
+        findings.push(format!("line {lineno}: malformed label block {labels:?}"));
+        return;
+    };
+    // Walk key="value" pairs, honoring escapes inside values.
+    let mut chars = inner.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            findings.push(format!("line {lineno}: label {key:?} missing =\"...\""));
+            return;
+        }
+        let key_ok = !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !key_ok {
+            findings.push(format!("line {lineno}: invalid label name {key:?}"));
+        }
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !closed {
+            findings.push(format!("line {lineno}: unterminated label value"));
+            return;
+        }
+        match chars.next() {
+            Some(',') => continue,
+            None => return,
+            Some(other) => {
+                findings.push(format!(
+                    "line {lineno}: unexpected {other:?} after label value"
+                ));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_exposition_passes() {
+        let text = "# HELP grefar_slots_total Slots.\n\
+                    # TYPE grefar_slots_total counter\n\
+                    grefar_slots_total{scheduler=\"g\"} 5\n";
+        assert!(lint(text).is_empty(), "{:?}", lint(text));
+    }
+
+    #[test]
+    fn missing_type_is_flagged() {
+        let findings = lint("grefar_x 1\n");
+        assert!(findings.iter().any(|f| f.contains("no preceding # TYPE")));
+    }
+
+    #[test]
+    fn counter_without_total_suffix_is_flagged() {
+        let text = "# HELP grefar_slots Slots.\n# TYPE grefar_slots counter\ngrefar_slots 1\n";
+        assert!(lint(text).iter().any(|f| f.contains("_total")));
+    }
+
+    #[test]
+    fn missing_prefix_is_flagged() {
+        let text = "# HELP slots_total S.\n# TYPE slots_total counter\nslots_total 1\n";
+        assert!(lint(text).iter().any(|f| f.contains("grefar_ prefix")));
+    }
+
+    #[test]
+    fn duplicate_series_is_flagged() {
+        let text = "# HELP grefar_q Q.\n# TYPE grefar_q gauge\ngrefar_q 1\ngrefar_q 2\n";
+        assert!(lint(text).iter().any(|f| f.contains("duplicate series")));
+    }
+
+    #[test]
+    fn incomplete_histogram_is_flagged() {
+        let text = "# HELP grefar_wait_us W.\n# TYPE grefar_wait_us histogram\n\
+                    grefar_wait_us_bucket{le=\"1\"} 1\n";
+        let findings = lint(text);
+        assert!(findings.iter().any(|f| f.contains("+Inf")));
+        assert!(findings.iter().any(|f| f.contains("_sum")));
+        assert!(findings.iter().any(|f| f.contains("_count")));
+    }
+
+    #[test]
+    fn bad_value_and_bad_labels_are_flagged() {
+        let text = "# HELP grefar_q Q.\n# TYPE grefar_q gauge\ngrefar_q{dc=0} oops\n";
+        let findings = lint(text);
+        assert!(findings.iter().any(|f| f.contains("missing =")));
+        assert!(findings.iter().any(|f| f.contains("unparsable value")));
+    }
+}

@@ -68,21 +68,32 @@ impl Histogram {
         &self.samples
     }
 
-    /// The `q`-quantile (type 7 estimator); 0 when empty.
+    /// The `q`-quantile (type 7 estimator).
+    ///
+    /// Edge cases are defined, not accidental: an **empty** histogram has
+    /// no order statistics, so every quantile is `NaN` (check
+    /// [`count`](Self::count) first; `NaN` cannot be mistaken for a real
+    /// sample, which a silent `0.0` could). A **single-sample** histogram
+    /// answers every quantile — including `p0` and `p100` — with that
+    /// sample.
     ///
     /// # Panics
     /// Panics if `q ∉ [0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
         if self.samples.is_empty() {
-            return 0.0;
+            return f64::NAN;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         quantile_sorted(&sorted, q)
     }
 
-    /// The full quantile summary (all-zero when empty).
+    /// The full quantile summary. When empty, returns
+    /// [`Quantiles::default()`] — `count == 0` marks the summary as
+    /// vacuous and its quantile fields as placeholders (kept at `0.0`, not
+    /// `NaN`, so summaries stay comparable with `==`); single-sample
+    /// summaries report that sample for every quantile and the max.
     pub fn quantiles(&self) -> Quantiles {
         if self.samples.is_empty() {
             return Quantiles::default();
@@ -134,11 +145,50 @@ mod tests {
     }
 
     #[test]
-    fn empty_is_zero() {
+    fn empty_quantile_is_nan_and_summary_is_vacuous() {
         let h = Histogram::new();
+        // No samples: every quantile is NaN — defined, and impossible to
+        // confuse with a real observation.
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.quantile(0.95).is_nan());
+        assert!(h.quantile(0.99).is_nan());
+        assert!(h.quantile(0.0).is_nan());
+        // The summary stays `==`-comparable: count 0 marks it vacuous.
         assert_eq!(h.quantiles(), Quantiles::default());
+        assert_eq!(h.quantiles().count, 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_with_the_sample() {
+        let mut h = Histogram::new();
+        h.record(7.25);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.25, "q = {q}");
+        }
+        let s = h.quantiles();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 7.25);
+        assert_eq!(s.p95, 7.25);
+        assert_eq!(s.p99, 7.25);
+        assert_eq!(s.max, 7.25);
+    }
+
+    #[test]
+    fn two_samples_interpolate_linearly() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        h.record(20.0);
+        // Type 7: position = q·(n−1), so p50 is the midpoint and the tails
+        // interpolate toward the max.
+        assert_eq!(h.quantile(0.5), 15.0);
+        let s = h.quantiles();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, 15.0);
+        assert!((s.p95 - 19.5).abs() < 1e-12);
+        assert!((s.p99 - 19.9).abs() < 1e-12);
+        assert_eq!(s.max, 20.0);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`Tee`] — fan-out to two sinks (e.g. memory aggregation + JSONL);
 //! * [`Timer`] — monotonic wall-clock spans for per-solve / per-slot
 //!   timing histograms;
+//! * [`SpanProfiler`] — hierarchical span attribution over the
+//!   `span_enter` / `span_exit` / `span_leaf` observer hooks, with a
+//!   deterministic logical clock ([`SpanClock`]) and folded-stack
+//!   flamegraph export;
 //! * [`json`] — a minimal parser for the emitted JSONL (round-trip tests,
 //!   offline tooling).
 //!
@@ -33,6 +37,9 @@
 //! | `lp.solve` | `MpcScheduler::decide_observed` | `t`, `vars`, `rows`, `pivots_phase1`, `pivots_phase2`, `degenerate_pivots`, `bound_flips`, `wall_us` |
 //! | `run.end` | `Simulation::run_with_observer` | `slots`, `completed`, `dropped`, `wall_us` |
 //! | `sweep.run` | `sweep::run_all_observed` | `label` (marks the start of one labeled run) |
+//! | `checkpoint.write` | `Simulation::drive` | `t` (slot the checkpoint cut at) |
+//! | `profile.span` | [`SpanProfiler::emit_into`] | `stack`, `clock`, `count`, then `total_ticks`/`self_ticks` (logical) or `total_us`/`self_us` (wall) |
+//! | `health.snapshot` | `grefar_metrics::MetricsLayer` | `t`, `verdict`, `queue_peak`, `queue_bound`, `occupancy_pct`, `degraded_slots`, `stale_events`, `open_breakers`, `invariant_violations`, `checkpoint_age_slots` |
 //!
 //! Timing fields are suffixed `_us` (microseconds); everything else is
 //! deterministic for a fixed seed, which the determinism suite asserts by
@@ -71,6 +78,7 @@ pub mod json;
 mod jsonl;
 mod memory;
 mod observer;
+mod span;
 mod timer;
 
 pub use event::{Event, Value};
@@ -83,4 +91,5 @@ pub use histogram::{Histogram, Quantiles};
 pub use jsonl::JsonlSink;
 pub use memory::MemoryObserver;
 pub use observer::{NullObserver, Observer, Tee};
+pub use span::{folded_from, SpanClock, SpanProfiler, SpanStat};
 pub use timer::Timer;

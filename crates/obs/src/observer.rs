@@ -47,6 +47,69 @@ pub trait Observer {
     fn record_duration(&mut self, name: &'static str, duration: Duration) {
         self.record_value(name, duration.as_secs_f64() * 1e6);
     }
+
+    /// Whether this sink attributes hierarchical span timings
+    /// ([`SpanProfiler`](crate::SpanProfiler) opts in). Off by default, so
+    /// instrumented code can skip building span arguments entirely; the
+    /// `span_*` calls themselves are no-ops on every other sink.
+    fn profiling(&self) -> bool {
+        false
+    }
+
+    /// Opens a named span nested under the innermost open span.
+    fn span_enter(&mut self, _name: &'static str) {}
+
+    /// Closes the innermost open span (named `name`, by convention).
+    fn span_exit(&mut self, _name: &'static str) {}
+
+    /// Records `count` un-timed leaf invocations under the innermost open
+    /// span — for work reported in bulk after the fact (e.g. simplex
+    /// pivots), where per-invocation enter/exit would be too hot.
+    fn span_leaf(&mut self, _name: &'static str, _count: u64) {}
+}
+
+/// Forwarding impl so combinators generic over an *owned* sink
+/// (e.g. `grefar_metrics::MetricsLayer<I>`) also accept `&mut sink`.
+impl<T: Observer + ?Sized> Observer for &mut T {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record_event(&mut self, event: Event) {
+        (**self).record_event(event);
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        (**self).add_counter(name, delta);
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        (**self).set_gauge(name, value);
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        (**self).record_value(name, value);
+    }
+
+    fn record_duration(&mut self, name: &'static str, duration: Duration) {
+        (**self).record_duration(name, duration);
+    }
+
+    fn profiling(&self) -> bool {
+        (**self).profiling()
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        (**self).span_enter(name);
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        (**self).span_exit(name);
+    }
+
+    fn span_leaf(&mut self, name: &'static str, count: u64) {
+        (**self).span_leaf(name, count);
+    }
 }
 
 /// The default sink: drops everything and reports `enabled() == false`,
@@ -102,6 +165,25 @@ impl Observer for Tee<'_> {
     fn record_value(&mut self, name: &'static str, value: f64) {
         self.first.record_value(name, value);
         self.second.record_value(name, value);
+    }
+
+    fn profiling(&self) -> bool {
+        self.first.profiling() || self.second.profiling()
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        self.first.span_enter(name);
+        self.second.span_enter(name);
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        self.first.span_exit(name);
+        self.second.span_exit(name);
+    }
+
+    fn span_leaf(&mut self, name: &'static str, count: u64) {
+        self.first.span_leaf(name, count);
+        self.second.span_leaf(name, count);
     }
 }
 

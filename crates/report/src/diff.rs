@@ -1,9 +1,13 @@
 //! Structural + numeric comparison of two telemetry streams.
 //!
 //! Timing fields (keys ending in `_us`) are never compared — they vary
-//! between machines and runs. Everything else in the event schema is
-//! deterministic per seed, so two runs of the same binary with the same
-//! seed must compare equal, and two runs with different seeds must not.
+//! between machines and runs. Side-channel events (`checkpoint.write`,
+//! `health.snapshot`) are skipped entirely: they depend on run policy
+//! (checkpoint interval, snapshot cadence) rather than on the schedule,
+//! so a checkpointed run must still diff clean against an uninterrupted
+//! one. Everything else in the event schema is deterministic per seed, so
+//! two runs of the same binary with the same seed must compare equal, and
+//! two runs with different seeds must not.
 
 use crate::stream::{parse_versioned_lines, JsonObject};
 use grefar_obs::json::JsonValue;
@@ -85,6 +89,12 @@ fn is_timing_key(key: &str) -> bool {
     key.ends_with("_us")
 }
 
+/// Events excluded from comparison: emitted on policy cadences
+/// (checkpoint interval, snapshot interval), not by the schedule itself.
+fn is_policy_event(event: &JsonObject) -> bool {
+    matches!(event_name(event), "checkpoint.write" | "health.snapshot")
+}
+
 fn numbers_match(x: f64, y: f64, tolerance: f64) -> bool {
     if x.is_nan() && y.is_nan() {
         return true;
@@ -123,8 +133,10 @@ fn event_name(event: &JsonObject) -> &str {
 /// Returns `Err` when either document fails JSONL parsing or schema
 /// validation — a malformed stream is an error, not a mismatch.
 pub fn diff_streams(a: &str, b: &str, opts: &DiffOptions) -> Result<StreamDiff, String> {
-    let events_a = parse_versioned_lines(a).map_err(|e| format!("first stream: {e}"))?;
-    let events_b = parse_versioned_lines(b).map_err(|e| format!("second stream: {e}"))?;
+    let mut events_a = parse_versioned_lines(a).map_err(|e| format!("first stream: {e}"))?;
+    let mut events_b = parse_versioned_lines(b).map_err(|e| format!("second stream: {e}"))?;
+    events_a.retain(|e| !is_policy_event(e));
+    events_b.retain(|e| !is_policy_event(e));
     let mut diff = StreamDiff {
         events_a: events_a.len(),
         events_b: events_b.len(),
@@ -238,6 +250,22 @@ mod tests {
         assert_eq!(diff.mismatch_count, 3);
         assert_eq!(diff.mismatches.len(), 1);
         assert!(diff.render().contains("and 2 more"));
+    }
+
+    #[test]
+    fn policy_events_are_ignored() {
+        // A checkpointed run interleaves checkpoint.write / health.snapshot
+        // events that an uninterrupted run never emits; the schedule itself
+        // is identical, so the streams must still match.
+        let checkpointed = BASE.replace(
+            "{\"schema\":1,\"event\":\"slot\",\"t\":1",
+            "{\"schema\":1,\"event\":\"checkpoint.write\",\"t\":1}\n\
+             {\"schema\":1,\"event\":\"health.snapshot\",\"t\":1,\"verdict\":\"ok\"}\n\
+             {\"schema\":1,\"event\":\"slot\",\"t\":1",
+        );
+        let diff = diff_streams(BASE, &checkpointed, &DiffOptions::default()).unwrap();
+        assert!(diff.is_match(), "{}", diff.render());
+        assert_eq!(diff.compared, 3);
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! * [`bench_gate`] (`grefar-report bench-gate`) — compares two
 //!   `BENCH_*.json` files written by `cargo bench -- --json` and fails on
 //!   wall-time regressions beyond a threshold.
+//! * [`ProfileReport`] (`grefar-report profile`) — reads the
+//!   `profile.span` events flushed by `--profile` runs back into a
+//!   summary table or folded-stack flamegraph input.
+//! * `grefar-report metrics` / `promlint` — rebuilds the Prometheus
+//!   exposition from a recorded stream via `grefar_metrics::MetricsFold`,
+//!   and lints exposition files against the text-format rules.
 //!
 //! Everything consumes the hand-rolled `grefar_obs::json` parser — the
 //! crate adds no dependencies beyond `grefar-obs` itself.
@@ -28,9 +34,11 @@
 pub mod analyze;
 pub mod bench_gate;
 pub mod diff;
+pub mod profile;
 pub mod stream;
 
 pub use analyze::{Analysis, BoundCheck, FaultImpact, Resilience, RunAnalysis};
 pub use bench_gate::{gate, BenchCase, BenchFile, CaseVerdict, GateReport};
 pub use diff::{diff_streams, DiffOptions, StreamDiff};
+pub use profile::{ProfileReport, ProfileSpan};
 pub use stream::{parse_versioned_lines, DegradedSample, FaultSample, Run, TelemetryStream};

@@ -4,12 +4,17 @@
 //! grefar-report analyze RUN.jsonl [--assert-bound]
 //! grefar-report diff A.jsonl B.jsonl [--tolerance X]
 //! grefar-report bench-gate OLD.json NEW.json [--threshold 10%]
+//! grefar-report profile RUN.jsonl [--folded OUT.txt]
+//! grefar-report metrics RUN.jsonl [--include-timings]
+//! grefar-report promlint METRICS.prom
 //! ```
 //!
 //! Exit codes: 0 = pass, 1 = semantic failure (bound exceeded, streams
-//! differ, bench regression), 2 = usage or parse error.
+//! differ, bench regression, lint findings), 2 = usage or parse error.
 
-use grefar_report::{bench_gate, diff_streams, Analysis, BenchFile, DiffOptions, TelemetryStream};
+use grefar_report::{
+    bench_gate, diff_streams, Analysis, BenchFile, DiffOptions, ProfileReport, TelemetryStream,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: grefar-report <command>\n\
@@ -24,7 +29,18 @@ commands:\n\
       differ semantically. X is a relative tolerance (default 0 = exact).\n\
   bench-gate OLD.json NEW.json [--threshold 10%]\n\
       Compares two BENCH_*.json files (cargo bench -- --json); exits 1\n\
-      when any case's min wall time regressed beyond the threshold.";
+      when any case's min wall time regressed beyond the threshold.\n\
+  profile RUN.jsonl [--folded OUT.txt]\n\
+      Summarizes the profile.span events of a --profile run. With\n\
+      --folded, additionally writes folded-stack flamegraph input\n\
+      (use '-' to print it to stdout instead of the table).\n\
+  metrics RUN.jsonl [--include-timings]\n\
+      Rebuilds the Prometheus text exposition from a recorded stream.\n\
+      Timing histograms are excluded by default so the rebuild is\n\
+      deterministic; --include-timings adds them back.\n\
+  promlint METRICS.prom\n\
+      Lints a Prometheus text-format exposition file; exits 1 when any\n\
+      rule fires.";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("grefar-report: {message}\n\n{USAGE}");
@@ -126,6 +142,69 @@ fn run_bench_gate(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn run_profile(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut folded = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--folded" => {
+                let value = iter.next().ok_or("--folded needs an output path (or -)")?;
+                folded = Some(value.to_string());
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("profile needs a RUN.jsonl path")?;
+    let report = ProfileReport::from_stream(&read(&path)?)?;
+    match folded.as_deref() {
+        Some("-") => print!("{}", report.folded()),
+        Some(out) => {
+            std::fs::write(out, report.folded()).map_err(|e| format!("cannot write {out}: {e}"))?;
+            print!("{}", report.render());
+        }
+        None => print!("{}", report.render()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut include_timings = false;
+    for arg in args {
+        match arg.as_str() {
+            "--include-timings" => include_timings = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("metrics needs a RUN.jsonl path")?;
+    let mut fold = grefar_metrics::MetricsFold::new(include_timings);
+    let folded = fold.fold_jsonl(&read(&path)?)?;
+    if folded == 0 {
+        return Err(format!("{path}: no events"));
+    }
+    print!("{}", fold.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_promlint(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("promlint needs exactly one exposition file path".to_string());
+    };
+    let findings = grefar_metrics::lint(&read(path)?);
+    if findings.is_empty() {
+        println!("{path}: exposition is clean");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for finding in &findings {
+        println!("{path}: {finding}");
+    }
+    eprintln!("grefar-report: {} lint finding(s)", findings.len());
+    Ok(ExitCode::from(1))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -135,6 +214,9 @@ fn main() -> ExitCode {
         "analyze" => run_analyze(rest),
         "diff" => run_diff(rest),
         "bench-gate" => run_bench_gate(rest),
+        "profile" => run_profile(rest),
+        "metrics" => run_metrics(rest),
+        "promlint" => run_promlint(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

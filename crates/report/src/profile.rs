@@ -1,0 +1,244 @@
+//! Folded-stack and tabular rendering of recorded span profiles.
+//!
+//! The experiment binaries flush one `profile.span` event per distinct
+//! call path after `run.end` (see `grefar_obs::SpanProfiler`). This module
+//! reads those events back out of a telemetry stream and renders either
+//! the standard folded-stack flamegraph format (`path self_value` lines,
+//! consumable by inferno / speedscope / `flamegraph.pl`) or a summary
+//! table sorted by inclusive time.
+//!
+//! Logical-clock profiles (`total_ticks` / `self_ticks`) are fully
+//! deterministic: two identical-seed runs produce byte-identical folded
+//! output, which `scripts/check.sh` pins. Wall-clock profiles carry
+//! `total_us` / `self_us` instead; both spellings are understood here.
+
+use crate::stream::{parse_versioned_lines, JsonObject};
+use grefar_obs::json::JsonValue;
+use std::fmt::Write as _;
+
+/// One recorded span path with its attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSpan {
+    /// `;`-joined call path, e.g. `slot;decide;fw.iter`.
+    pub path: String,
+    /// Times the path was entered (or leaf invocations).
+    pub count: u64,
+    /// Inclusive time (ticks or microseconds, per [`ProfileReport::clock`]).
+    pub total: u64,
+    /// Exclusive time: `total` minus the children's inclusive time.
+    pub self_time: u64,
+}
+
+/// A span profile reconstructed from a telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// `"logical"` (ticks) or `"wall"` (microseconds).
+    pub clock: String,
+    /// Spans in path order, as emitted.
+    pub spans: Vec<ProfileSpan>,
+    /// `span_exit` calls that never had a matching enter; non-zero means
+    /// the instrumentation is unbalanced and attribution is suspect.
+    pub unbalanced_exits: u64,
+}
+
+fn field_u64(event: &JsonObject, key: &str) -> u64 {
+    event.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0) as u64
+}
+
+impl ProfileReport {
+    /// Extracts the `profile.span` events from a telemetry document.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the document fails JSONL parsing, contains no
+    /// `profile.span` events (the run was not recorded with `--profile`),
+    /// or mixes clocks.
+    pub fn from_stream(text: &str) -> Result<ProfileReport, String> {
+        let events = parse_versioned_lines(text)?;
+        let mut report = ProfileReport {
+            clock: String::new(),
+            spans: Vec::new(),
+            unbalanced_exits: 0,
+        };
+        for event in &events {
+            if event.get("event").and_then(JsonValue::as_str) != Some("profile.span") {
+                continue;
+            }
+            let clock = event
+                .get("clock")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("logical");
+            if report.clock.is_empty() {
+                report.clock = clock.to_string();
+            } else if report.clock != clock {
+                return Err(format!(
+                    "stream mixes span clocks ({} and {clock})",
+                    report.clock
+                ));
+            }
+            let path = event
+                .get("stack")
+                .and_then(JsonValue::as_str)
+                .ok_or("profile.span event without a stack field")?;
+            if path == "<unbalanced>" {
+                report.unbalanced_exits = field_u64(event, "count");
+                continue;
+            }
+            let (total_key, self_key) = if clock == "wall" {
+                ("total_us", "self_us")
+            } else {
+                ("total_ticks", "self_ticks")
+            };
+            report.spans.push(ProfileSpan {
+                path: path.to_string(),
+                count: field_u64(event, "count"),
+                total: field_u64(event, total_key),
+                self_time: field_u64(event, self_key),
+            });
+        }
+        if report.spans.is_empty() {
+            return Err(
+                "no profile.span events in stream — was the run recorded with --profile?"
+                    .to_string(),
+            );
+        }
+        Ok(report)
+    }
+
+    /// The unit label for the active clock.
+    pub fn unit(&self) -> &'static str {
+        if self.clock == "wall" {
+            "us"
+        } else {
+            "ticks"
+        }
+    }
+
+    /// Renders the folded-stack flamegraph format, in path order (the
+    /// deterministic order the profiler emitted).
+    pub fn folded(&self) -> String {
+        grefar_obs::folded_from(self.spans.iter().map(|s| (s.path.as_str(), s.self_time)))
+    }
+
+    /// Renders a summary table sorted by inclusive time, heaviest first.
+    pub fn render(&self) -> String {
+        let width = self
+            .spans
+            .iter()
+            .map(|s| s.path.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let grand_total: u64 = self.spans.iter().map(|s| s.self_time).sum();
+        let mut rows: Vec<&ProfileSpan> = self.spans.iter().collect();
+        rows.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.path.cmp(&b.path)));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "span profile ({} clock, {} paths)",
+            self.clock,
+            self.spans.len()
+        );
+        let unit = self.unit();
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>10}  {:>12}  {:>12}  {:>6}",
+            "path",
+            "count",
+            format!("total_{unit}"),
+            format!("self_{unit}"),
+            "self%"
+        );
+        for span in rows {
+            let pct = if grand_total > 0 {
+                100.0 * span.self_time as f64 / grand_total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>10}  {:>12}  {:>12}  {:>5.1}%",
+                span.path, span.count, span.total, span.self_time, pct
+            );
+        }
+        if self.unbalanced_exits > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} unbalanced span exit(s) — attribution is suspect",
+                self.unbalanced_exits
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: &str = "{\"schema\":1,\"event\":\"run.start\",\"scheduler\":\"GreFar\",\"horizon\":1}\n\
+        {\"schema\":1,\"event\":\"slot\",\"t\":0,\"energy\":1.0}\n\
+        {\"schema\":1,\"event\":\"run.end\",\"slots\":1}\n\
+        {\"schema\":1,\"event\":\"profile.span\",\"stack\":\"slot\",\"clock\":\"logical\",\"count\":3,\"total_ticks\":30,\"self_ticks\":6}\n\
+        {\"schema\":1,\"event\":\"profile.span\",\"stack\":\"slot;decide\",\"clock\":\"logical\",\"count\":3,\"total_ticks\":18,\"self_ticks\":3}\n\
+        {\"schema\":1,\"event\":\"profile.span\",\"stack\":\"slot;decide;fw.iter\",\"clock\":\"logical\",\"count\":15,\"total_ticks\":15,\"self_ticks\":15}\n";
+
+    #[test]
+    fn extracts_spans_and_folds() {
+        let report = ProfileReport::from_stream(STREAM).unwrap();
+        assert_eq!(report.clock, "logical");
+        assert_eq!(report.spans.len(), 3);
+        assert_eq!(
+            report.folded(),
+            "slot 6\nslot;decide 3\nslot;decide;fw.iter 15\n"
+        );
+    }
+
+    #[test]
+    fn render_sorts_by_total_and_reports_percentages() {
+        let report = ProfileReport::from_stream(STREAM).unwrap();
+        let table = report.render();
+        let slot_pos = table.find("slot ").unwrap();
+        let fw_pos = table.find("slot;decide;fw.iter").unwrap();
+        assert!(slot_pos < fw_pos, "{table}");
+        assert!(table.contains("logical clock"), "{table}");
+        // self% sums to 100: 6 + 3 + 15 = 24; fw.iter = 15/24 = 62.5%.
+        assert!(table.contains("62.5%"), "{table}");
+    }
+
+    #[test]
+    fn wall_clock_uses_us_fields() {
+        let stream = STREAM.replace("logical", "wall").replace("_ticks", "_us");
+        let report = ProfileReport::from_stream(&stream).unwrap();
+        assert_eq!(report.clock, "wall");
+        assert_eq!(report.unit(), "us");
+        assert_eq!(report.spans[2].total, 15);
+    }
+
+    #[test]
+    fn missing_profile_events_is_an_error() {
+        let bare = "{\"schema\":1,\"event\":\"slot\",\"t\":0}\n";
+        let err = ProfileReport::from_stream(bare).unwrap_err();
+        assert!(err.contains("--profile"), "{err}");
+    }
+
+    #[test]
+    fn unbalanced_marker_becomes_a_warning() {
+        let stream = format!(
+            "{STREAM}{}",
+            "{\"schema\":1,\"event\":\"profile.span\",\"stack\":\"<unbalanced>\",\"clock\":\"logical\",\"count\":2}\n"
+        );
+        let report = ProfileReport::from_stream(&stream).unwrap();
+        assert_eq!(report.unbalanced_exits, 2);
+        assert!(report.render().contains("unbalanced"));
+    }
+
+    #[test]
+    fn mixed_clocks_are_rejected() {
+        let stream = format!(
+            "{STREAM}{}",
+            "{\"schema\":1,\"event\":\"profile.span\",\"stack\":\"x\",\"clock\":\"wall\",\"count\":1,\"total_us\":1,\"self_us\":1}\n"
+        );
+        assert!(ProfileReport::from_stream(&stream).is_err());
+    }
+}

@@ -317,6 +317,10 @@ impl TelemetryStream {
                     in_run = true;
                     continue;
                 }
+                // Post-run trailers: the span profiler flushes after
+                // `run.end`, and the metrics layer's final `health.snapshot`
+                // lands there too.
+                "profile.span" | "health.snapshot" => continue,
                 _ => {}
             }
             let run = match runs.last_mut() {

@@ -301,31 +301,46 @@ impl Scheduler for MpcScheduler {
         queues: &QueueState,
         obs: &mut dyn Observer,
     ) -> Decision {
-        if !obs.enabled() {
+        if !obs.enabled() && !obs.profiling() {
             return self.decide(state, queues);
+        }
+        let profiling = obs.profiling();
+        if profiling {
+            obs.span_enter("lp.solve");
         }
         let timer = Timer::start();
         let (decision, lp_info) = self.plan(state, queues);
         let elapsed = timer.elapsed();
         if let Some((vars, rows, stats)) = lp_info {
-            obs.record_event(
-                Event::new("lp.solve")
-                    .field("t", state.slot())
-                    .field("vars", vars)
-                    .field("rows", rows)
-                    .field("pivots_phase1", stats.pivots_phase1)
-                    .field("pivots_phase2", stats.pivots_phase2)
-                    .field("degenerate_pivots", stats.degenerate_pivots)
-                    .field("bound_flips", stats.bound_flips)
-                    .field("wall_us", stats.wall_us),
-            );
-            obs.record_value(
-                "lp.pivots",
-                (stats.pivots_phase1 + stats.pivots_phase2) as f64,
-            );
-            obs.record_duration("lp.solve.wall_us", elapsed);
-        } else {
+            if profiling {
+                obs.span_leaf(
+                    "simplex.pivot",
+                    (stats.pivots_phase1 + stats.pivots_phase2) as u64,
+                );
+            }
+            if obs.enabled() {
+                obs.record_event(
+                    Event::new("lp.solve")
+                        .field("t", state.slot())
+                        .field("vars", vars)
+                        .field("rows", rows)
+                        .field("pivots_phase1", stats.pivots_phase1)
+                        .field("pivots_phase2", stats.pivots_phase2)
+                        .field("degenerate_pivots", stats.degenerate_pivots)
+                        .field("bound_flips", stats.bound_flips)
+                        .field("wall_us", stats.wall_us),
+                );
+                obs.record_value(
+                    "lp.pivots",
+                    (stats.pivots_phase1 + stats.pivots_phase2) as f64,
+                );
+                obs.record_duration("lp.solve.wall_us", elapsed);
+            }
+        } else if obs.enabled() {
             obs.add_counter("lp.fallbacks", 1);
+        }
+        if profiling {
+            obs.span_exit("lp.solve");
         }
         decision
     }

@@ -568,14 +568,14 @@ impl Simulation {
             self.run_span(&mut rs, until, obs);
             if let Some(p) = policy {
                 if kill {
-                    self.write_checkpoint(&rs, p)?;
+                    self.write_checkpoint(&rs, p, obs)?;
                     return Err(SimError::Killed {
                         slot: rs.next_slot as u64,
                         checkpoint: p.path.clone(),
                     });
                 }
                 if rs.next_slot < horizon {
-                    self.write_checkpoint(&rs, p)?;
+                    self.write_checkpoint(&rs, p, obs)?;
                 }
             }
             if rs.next_slot >= horizon {
@@ -586,19 +586,37 @@ impl Simulation {
         Ok(rs.into_report(self.scheduler.name(), horizon))
     }
 
-    fn write_checkpoint(&self, rs: &RunState, policy: &RunPolicy) -> Result<(), SimError> {
+    fn write_checkpoint(
+        &self,
+        rs: &RunState,
+        policy: &RunPolicy,
+        obs: &mut dyn Observer,
+    ) -> Result<(), SimError> {
         let spec = self
             .faults
             .as_ref()
             .map(FaultPlan::spec)
             .unwrap_or_default();
-        rs.to_checkpoint(
-            self.inputs.horizon(),
-            &self.scheduler.name(),
-            &spec,
-            &self.feed_spec(),
-        )
-        .write(&policy.path)
+        let profiling = obs.profiling();
+        if profiling {
+            obs.span_enter("checkpoint.write");
+        }
+        let result = rs
+            .to_checkpoint(
+                self.inputs.horizon(),
+                &self.scheduler.name(),
+                &spec,
+                &self.feed_spec(),
+            )
+            .write(&policy.path);
+        if profiling {
+            obs.span_exit("checkpoint.write");
+        }
+        if result.is_ok() && obs.enabled() {
+            obs.record_event(Event::new("checkpoint.write").field("t", rs.next_slot as u64));
+            obs.add_counter("checkpoint.writes", 1);
+        }
+        result
     }
 
     fn emit_run_start(&mut self, obs: &mut dyn Observer) {
@@ -633,8 +651,12 @@ impl Simulation {
         let work = self.config.work_vector();
         let fairness_fn = QuadraticDeviation;
         let telemetry = obs.enabled();
+        let profiling = obs.profiling();
 
         for t in rs.next_slot..until {
+            if profiling {
+                obs.span_enter("slot");
+            }
             let slot_timer = if telemetry {
                 Some(Timer::start())
             } else {
@@ -657,22 +679,42 @@ impl Simulation {
             // queue physics below always use the true `state`.
             let decision = match &mut self.feeds {
                 Some(harness) => {
+                    if profiling {
+                        obs.span_enter("feed.fetch");
+                    }
                     let estimated = harness.observe(
                         t as u64,
                         self.inputs.states(),
                         self.inputs.all_arrivals(),
                         obs,
                     );
-                    stale::decide_estimated(
+                    if profiling {
+                        obs.span_exit("feed.fetch");
+                        obs.span_enter("decide");
+                    }
+                    let decision = stale::decide_estimated(
                         self.scheduler.as_mut(),
                         &self.config,
                         &estimated,
                         state,
                         &rs.queues,
                         obs,
-                    )
+                    );
+                    if profiling {
+                        obs.span_exit("decide");
+                    }
+                    decision
                 }
-                None => self.scheduler.decide_observed(state, &rs.queues, obs),
+                None => {
+                    if profiling {
+                        obs.span_enter("decide");
+                    }
+                    let decision = self.scheduler.decide_observed(state, &rs.queues, obs);
+                    if profiling {
+                        obs.span_exit("decide");
+                    }
+                    decision
+                }
             };
             debug_assert!(decision.is_nonnegative() && decision.is_finite());
 
@@ -690,6 +732,9 @@ impl Simulation {
             }
 
             // Job-level execution, then queue dynamics (12)–(13).
+            if profiling {
+                obs.span_enter("queue.update");
+            }
             rs.tracker.step(t as Slot, &decision);
             let raw_arrivals = self.inputs.arrivals(t);
             let arrivals = match self.admission_cap {
@@ -713,6 +758,9 @@ impl Simulation {
             #[cfg(feature = "strict-invariants")]
             let prev_queues = rs.queues.clone();
             rs.queues.apply(&decision, &arrivals);
+            if profiling {
+                obs.span_exit("queue.update");
+            }
 
             // `strict-invariants`: the realized transition must match the
             // dynamics (12)-(13) exactly, and on a declared-admissible trace
@@ -800,6 +848,9 @@ impl Simulation {
                     obs.add_counter("dropped", dropped_now);
                 }
                 obs.set_gauge("queue.max", rs.queues.max_len());
+            }
+            if profiling {
+                obs.span_exit("slot");
             }
             rs.next_slot = t + 1;
         }

@@ -5,8 +5,8 @@
 //!
 //! | rule          | scope                                                  |
 //! |---------------|--------------------------------------------------------|
-//! | `determinism` | `crates/{core,convex,lp,sim,report,faults,ingest}/src` |
-//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster,report,faults,ingest}/src` |
+//! | `determinism` | `crates/{core,convex,lp,sim,report,faults,ingest,metrics}/src` |
+//! | `float-eq`    | `crates/{core,convex,lp,sim,types,cluster,report,faults,ingest,metrics}/src` |
 //! | `no-panic`    | `crates/lp/src`, `crates/core/src/solver`              |
 //! | `errors-doc`  | `crates/{core,lp}/src`                                 |
 //!
@@ -35,6 +35,7 @@ const SCOPES: &[Scope] = &[
             "crates/report/src",
             "crates/faults/src",
             "crates/ingest/src",
+            "crates/metrics/src",
         ],
     },
     Scope {
@@ -49,6 +50,7 @@ const SCOPES: &[Scope] = &[
             "crates/report/src",
             "crates/faults/src",
             "crates/ingest/src",
+            "crates/metrics/src",
         ],
     },
     Scope {

@@ -65,11 +65,36 @@ cmp -s "$report_tmp/feeds_a.events" "$report_tmp/feeds_b.events" \
     || { echo "feed event stream is not deterministic" >&2; exit 1; }
 echo "chaos soak ok"
 
+# Observability plane (see EXPERIMENTS.md, "Profiling & live metrics"): a
+# metrics-enabled sweep must produce a lint-clean Prometheus exposition
+# that the offline rebuild reproduces, and the logical-clock span profile
+# must fold byte-identically across identical-seed runs.
+./target/release/fig2 --hours 48 --telemetry "$report_tmp/obs.jsonl" \
+    --metrics-snapshot "$report_tmp/obs.prom" --profile logical > /dev/null
+./target/release/grefar-report promlint "$report_tmp/obs.prom" > /dev/null
+grep -q 'grefar_slots_total' "$report_tmp/obs.prom" \
+    || { echo "metrics snapshot missing slot counter" >&2; exit 1; }
+./target/release/grefar-report metrics "$report_tmp/obs.jsonl" > /dev/null
+./target/release/grefar-report profile "$report_tmp/obs.jsonl" \
+    --folded "$report_tmp/obs_a.folded" > /dev/null
+./target/release/fig2 --hours 48 --telemetry "$report_tmp/obs_b.jsonl" \
+    --profile logical > /dev/null
+./target/release/grefar-report profile "$report_tmp/obs_b.jsonl" \
+    --folded "$report_tmp/obs_b.folded" > /dev/null
+cmp -s "$report_tmp/obs_a.folded" "$report_tmp/obs_b.folded" \
+    || { echo "folded span profile is not deterministic" >&2; exit 1; }
+echo "observability ok"
+
 # Perf trajectory: benches emit machine-readable BENCH_<target>.json; a
-# self-comparison through the gate must pass.
+# self-comparison through the gate must pass at a tight threshold, and the
+# fresh numbers must stay within a loose envelope of the committed
+# baselines in perf/ (loose: baselines were recorded on different
+# hardware; the gate catches order-of-magnitude regressions only).
 cargo bench -q -p grefar-bench --bench trace --offline -- --json "$report_tmp" > /dev/null
 ./target/release/grefar-report bench-gate \
     "$report_tmp/BENCH_trace.json" "$report_tmp/BENCH_trace.json" --threshold 10% > /dev/null
+./target/release/grefar-report bench-gate \
+    perf/BENCH_trace.json "$report_tmp/BENCH_trace.json" --threshold 300% > /dev/null
 echo "report tooling ok"
 
 cargo fmt --check
