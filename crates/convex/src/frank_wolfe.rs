@@ -143,12 +143,14 @@ pub fn frank_wolfe_observed(
 /// Golden-section search for `argmin_{θ ∈ [0,1]} f(x + θ (v − x))`.
 fn golden_section(objective: &dyn Objective, x: &[f64], v: &[f64], iters: u32) -> f64 {
     const INV_PHI: f64 = 0.618_033_988_749_894_9;
-    let eval = |theta: f64| {
-        let point: Vec<f64> = x
-            .iter()
-            .zip(v)
-            .map(|(xi, vi)| xi + theta * (vi - xi))
-            .collect();
+    // One buffer for every probe point: the closure runs ~2·iters times
+    // per line search, so allocating inside it would be per-iteration
+    // allocator traffic on the per-slot path.
+    let mut point = vec![0.0; x.len()];
+    let mut eval = |theta: f64| {
+        for (p, (xi, vi)) in point.iter_mut().zip(x.iter().zip(v)) {
+            *p = xi + theta * (vi - xi);
+        }
         objective.value(&point)
     };
     let (mut lo, mut hi) = (0.0f64, 1.0f64);

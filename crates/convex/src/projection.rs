@@ -71,14 +71,16 @@ pub fn project_capped_box(x: &mut [f64], upper: &[f64], weights: &[f64], capacit
             .sum()
     };
 
-    let clamped: Vec<f64> = x
+    let total: f64 = x
         .iter()
         .zip(upper)
-        .map(|(xi, &u)| xi.clamp(0.0, u))
-        .collect();
-    let total: f64 = clamped.iter().zip(weights).map(|(y, w)| y * w).sum();
+        .zip(weights)
+        .map(|((xi, &u), &w)| xi.clamp(0.0, u) * w)
+        .sum();
     if total <= capacity + 1e-12 {
-        x.copy_from_slice(&clamped);
+        for (xi, &u) in x.iter_mut().zip(upper) {
+            *xi = xi.clamp(0.0, u);
+        }
         return;
     }
 

@@ -76,6 +76,7 @@ where
     let mut x = x0;
     project(&mut x);
     let mut grad = vec![0.0; n];
+    // verify: allow(hot-path-alloc): the incumbent buffer is one exact-size allocation per solve call (not per iteration); the result must own its point
     let mut best = x.clone();
     let mut best_value = objective.value(&x);
 

@@ -180,6 +180,7 @@ pub fn offline_dcs_with_backlog(
             state.data_center(i).capacity(classes) <= 0.0
                 && (0..config.num_job_classes()).any(|j| queues.local(i, j) > 0.0)
         })
+        // verify: allow(hot-path-alloc): degraded-mode diagnostics only — this runs when a fallback fires, not on the steady-state slot path
         .collect()
 }
 

@@ -191,6 +191,7 @@ pub(crate) fn solve_processing_fw_observed(
             .job_classes()
             .iter()
             .map(|j| j.account().index())
+            // verify: allow(hot-path-alloc): exact-size collect from a slice iterator, once per slot instance
             .collect(),
         layout,
     };

@@ -49,7 +49,7 @@ pub(crate) fn linear_dispatch_dc(
     // Negative-cost classes: switching them on is free profit; their
     // capacity then costs nothing at the margin.
     let mut free_capacity = 0.0;
-    let mut supply: Vec<(usize, f64, f64)> = Vec::new(); // (k, cost/work, work)
+    let mut supply: Vec<(usize, f64, f64)> = Vec::with_capacity(k_count); // (k, cost/work, work)
     for k in 0..k_count {
         if avail[k] <= 0.0 {
             continue;
@@ -64,11 +64,12 @@ pub(crate) fn linear_dispatch_dc(
     supply.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     // Demand: only jobs whose service improves the objective.
-    let mut demand: Vec<(usize, f64, f64)> =
-        (0..j_count) // (j, value/work, work)
+    let mut demand: Vec<(usize, f64, f64)> = Vec::with_capacity(j_count); // (j, value/work, work)
+    demand.extend(
+        (0..j_count)
             .filter(|&j| c_h[j] < 0.0 && h_cap[j] > 0.0 && work[j] > 0.0)
-            .map(|j| (j, -c_h[j] / work[j], h_cap[j] * work[j]))
-            .collect();
+            .map(|j| (j, -c_h[j] / work[j], h_cap[j] * work[j])),
+    );
     demand.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut supply_idx = 0usize;
@@ -157,17 +158,21 @@ pub(crate) fn price_aware_dispatch_dc(
 
     // Supply: classes by power-per-work ascending (the order is invariant to
     // the shared tariff rate multiplier).
-    let mut supply: Vec<(usize, f64, f64)> = (0..k_count) // (k, p/s, work)
-        .filter(|&k| avail[k] > 0.0)
-        .map(|k| (k, powers[k] / speeds[k], avail[k] * speeds[k]))
-        .collect();
+    let mut supply: Vec<(usize, f64, f64)> = Vec::with_capacity(k_count); // (k, p/s, work)
+    supply.extend(
+        (0..k_count)
+            .filter(|&k| avail[k] > 0.0)
+            .map(|k| (k, powers[k] / speeds[k], avail[k] * speeds[k])),
+    );
     supply.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     // Demand: positive queues by value-per-work descending.
-    let mut demand: Vec<(usize, f64, f64)> = (0..j_count)
-        .filter(|&j| queue_values[j] > 0.0 && h_cap[j] > 0.0 && work[j] > 0.0)
-        .map(|j| (j, queue_values[j] / work[j], h_cap[j] * work[j]))
-        .collect();
+    let mut demand: Vec<(usize, f64, f64)> = Vec::with_capacity(j_count);
+    demand.extend(
+        (0..j_count)
+            .filter(|&j| queue_values[j] > 0.0 && h_cap[j] > 0.0 && work[j] > 0.0)
+            .map(|j| (j, queue_values[j] / work[j], h_cap[j] * work[j])),
+    );
     demand.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut energy = 0.0f64;

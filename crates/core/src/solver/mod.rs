@@ -151,6 +151,7 @@ impl<'a> SlotInstance<'a> {
                 .server_classes()
                 .iter()
                 .map(|c| c.active_power())
+                // verify: allow(hot-path-alloc): exact-size collect from a slice iterator, once per slot instance
                 .collect(),
             h_cap,
             total_capacity: state.total_capacity(config.server_classes()),
@@ -176,12 +177,13 @@ impl<'a> SlotInstance<'a> {
                 continue;
             }
             // Eligible DCs with a strictly shorter local queue, shortest first.
-            let mut targets: Vec<usize> = job
-                .eligible()
-                .iter()
-                .map(|dc| dc.index())
-                .filter(|&i| self.queues.local(i, j) < central)
-                .collect();
+            let mut targets: Vec<usize> = Vec::with_capacity(job.eligible().len());
+            targets.extend(
+                job.eligible()
+                    .iter()
+                    .map(|dc| dc.index())
+                    .filter(|&i| self.queues.local(i, j) < central),
+            );
             targets.sort_by(|&a, &b| {
                 let qa = self.queues.local(a, j);
                 let qb = self.queues.local(b, j);

@@ -94,6 +94,7 @@ impl Breaker {
                 }
             }
             BreakerState::Closed => {
+                // verify: allow(no-panic): cursor is maintained modulo window.len() two lines below
                 self.window[self.cursor] = !success;
                 self.cursor = (self.cursor + 1) % self.window.len();
                 self.filled = (self.filled + 1).min(self.window.len());
@@ -296,8 +297,10 @@ impl FeedClient {
     /// Caches a validated record (keeping the newest per cache).
     fn store(&mut self, slot: u64, good: GoodPayload) {
         let hour = (slot % DIURNAL_PERIOD) as usize;
-        if self.ring[hour].as_ref().is_none_or(|(s, _)| slot >= *s) {
-            self.ring[hour] = Some((slot, good.clone()));
+        if let Some(entry) = self.ring.get_mut(hour) {
+            if entry.as_ref().is_none_or(|(s, _)| slot >= *s) {
+                *entry = Some((slot, good.clone()));
+            }
         }
         if self.lkg.as_ref().is_none_or(|(s, _)| slot >= *s) {
             self.lkg = Some((slot, good));
@@ -316,6 +319,7 @@ impl FeedClient {
         if arrived.is_some() {
             // An arrival always lands in the last-known-good cache (the
             // cache keeps the newest record, so it can only be newer).
+            // verify: allow(no-panic): `store` ran for this arrival earlier in the same poll, so lkg is populated
             let (slot, payload) = self.lkg.clone().expect("arrival was cached");
             let age = t - slot;
             let provenance = if age == 0 {
@@ -331,10 +335,18 @@ impl FeedClient {
             .map(|(slot, payload)| (slot, payload, Provenance::HeldLast));
         let pick = match policy.estimator {
             Estimator::HoldLast => hold,
-            Estimator::DiurnalPrior => match &self.ring[(t % DIURNAL_PERIOD) as usize] {
-                Some((slot, payload)) => Some((*slot, payload.clone(), Provenance::DiurnalPrior)),
-                None => hold,
-            },
+            Estimator::DiurnalPrior => {
+                let slot_entry = self
+                    .ring
+                    .get((t % DIURNAL_PERIOD) as usize)
+                    .and_then(Option::as_ref);
+                match slot_entry {
+                    Some((slot, payload)) => {
+                        Some((*slot, payload.clone(), Provenance::DiurnalPrior))
+                    }
+                    None => hold,
+                }
+            }
         };
         match pick {
             Some((slot, payload, provenance)) => {
@@ -414,8 +426,10 @@ impl FeedHarness {
         obs: &mut dyn Observer,
     ) -> EstimatedState {
         assert!((t as usize) < states.len(), "slot {t} outside the horizon");
+        // verify: allow(no-panic): bounds asserted on the line above
+        let truth = &states[t as usize];
         assert_eq!(
-            states[t as usize].num_data_centers(),
+            truth.num_data_centers(),
             self.num_dcs,
             "truth has a different data-center count"
         );
@@ -427,29 +441,29 @@ impl FeedHarness {
         let mut price_meta = Vec::with_capacity(n);
         let mut avail_meta = Vec::with_capacity(n);
         for i in 0..n {
-            let truth_dc = states[t as usize].data_center(i);
-            let arrived = self.clients[i].poll(&up, &policy, t, obs).arrived;
+            let truth_dc = truth.data_center(i);
+            let arrived = self.clients[i].poll(&up, &policy, t, obs).arrived; // verify: allow(no-panic): the constructor builds exactly 2n+1 clients, i < n
             let (tariff, meta) = match self.clients[i].estimate(t, &policy, arrived, || {
                 GoodPayload::Price(Tariff::flat(0.0))
             }) {
                 (GoodPayload::Price(tariff), meta) => (tariff, meta),
-                (other, _) => unreachable!("price feed served {other:?}"),
+                (other, _) => unreachable!("price feed served {other:?}"), // verify: allow(no-panic): feed index < n serves Price payloads by construction
             };
             price_meta.push(meta);
 
             let classes = truth_dc.available_slice().len();
-            let arrived = self.clients[n + i].poll(&up, &policy, t, obs).arrived;
+            let arrived = self.clients[n + i].poll(&up, &policy, t, obs).arrived; // verify: allow(no-panic): the constructor builds exactly 2n+1 clients, n + i < 2n
             let (levels, meta) = match self.clients[n + i].estimate(t, &policy, arrived, || {
                 GoodPayload::Levels(vec![0.0; classes])
             }) {
                 (GoodPayload::Levels(levels), meta) => (levels, meta),
-                (other, _) => unreachable!("availability feed served {other:?}"),
+                (other, _) => unreachable!("availability feed served {other:?}"), // verify: allow(no-panic): feed indices n..2n serve Levels payloads by construction
             };
             avail_meta.push(meta);
             dcs.push(DataCenterState::new(levels, tariff));
         }
 
-        let arrivals_client = &mut self.clients[2 * n];
+        let arrivals_client = &mut self.clients[2 * n]; // verify: allow(no-panic): the constructor builds exactly 2n+1 clients; 2n is the arrivals feed
         let arrived = arrivals_client.poll(&up, &policy, t, obs).arrived;
         let classes = arrivals.first().map_or(0, Vec::len);
         let (arrivals_prev, arrivals_meta) =
@@ -457,7 +471,7 @@ impl FeedHarness {
                 GoodPayload::Levels(vec![0.0; classes])
             }) {
                 (GoodPayload::Levels(levels), meta) => (levels, meta),
-                (other, _) => unreachable!("arrivals feed served {other:?}"),
+                (other, _) => unreachable!("arrivals feed served {other:?}"), // verify: allow(no-panic): feed index 2n serves Levels payloads by construction
             };
 
         EstimatedState::new(

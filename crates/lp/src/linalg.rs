@@ -22,8 +22,8 @@
 pub fn solve_dense(n: usize, a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
     assert_eq!(a.len(), n * n, "matrix must be n x n");
     assert_eq!(b.len(), n, "rhs must have length n");
-    let mut m = a.to_vec();
-    let mut rhs = b.to_vec();
+    // verify: allow(hot-path-alloc): elimination must mutate working copies; two exact-size allocations per solve, not per pivot
+    let (mut m, mut rhs) = (a.to_vec(), b.to_vec());
 
     for col in 0..n {
         // Partial pivoting: largest absolute entry in the column.

@@ -63,6 +63,7 @@ impl LpProblem {
         Self {
             num_vars,
             objective: vec![0.0; num_vars],
+            // verify: allow(hot-path-alloc): empty builder — the row count is unknown until callers add constraints, once per problem
             rows: Vec::new(),
             upper_bounds: vec![None; num_vars],
             options: SimplexOptions::default(),
@@ -120,7 +121,9 @@ impl LpProblem {
             assert!(var < self.num_vars, "variable {var} out of range");
             assert!(c.is_finite(), "constraint coefficient must be finite");
         }
+        // verify: allow(hot-path-alloc): growing the constraint set is the builder's job; rows reallocate O(log rows) times per problem
         self.rows.push(Row {
+            // verify: allow(hot-path-alloc): the Row must own its sparse coefficients; one exact-size copy per constraint build
             coeffs: coeffs.to_vec(),
             relation,
             rhs,

@@ -58,6 +58,9 @@ struct Tableau {
     at_upper: Vec<bool>,
     /// Upper bound per column (`f64::INFINITY` if unbounded).
     upper: Vec<f64>,
+    /// Reusable copy of the pivot row, so elimination does not allocate
+    /// on every pivot. Always `width` long.
+    scratch: Vec<f64>,
 }
 
 impl Tableau {
@@ -76,7 +79,8 @@ impl Tableau {
         for c in 0..w {
             self.data[row * w + c] *= inv;
         }
-        let pivot_row: Vec<f64> = self.data[row * w..(row + 1) * w].to_vec();
+        self.scratch
+            .copy_from_slice(&self.data[row * w..(row + 1) * w]);
         for r in 0..self.m {
             if r == row {
                 continue;
@@ -86,7 +90,7 @@ impl Tableau {
             if factor == 0.0 {
                 continue;
             }
-            for (c, &pv) in pivot_row.iter().enumerate() {
+            for (c, &pv) in self.scratch.iter().enumerate() {
                 self.data[r * w + c] -= factor * pv;
             }
         }
@@ -383,15 +387,14 @@ pub(crate) fn simplex(
         basis,
         at_upper: vec![false; width],
         upper,
+        scratch: vec![0.0; width],
     };
     let mut counters = PivotCounters::default();
 
     // Phase 1.
     if num_art > 0 {
         let mut phase1 = vec![0.0; width];
-        for j in art_range.clone() {
-            phase1[j] = 1.0;
-        }
+        phase1[art_start..width].fill(1.0);
         run_phase(&mut t, &phase1, &|_| true, opts, &mut counters)?;
         let infeas: f64 = (0..t.m)
             .filter(|&i| art_range.contains(&t.basis[i]))

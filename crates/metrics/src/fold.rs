@@ -223,6 +223,7 @@ impl MetricsFold {
     fn fold(&mut self, fields: &Fields<'_>) {
         self.events += 1;
         let name = fields.name();
+        // verify: match-events(telemetry)
         match name {
             "sweep.run" => {
                 if let Some(label) = fields.str("label") {
@@ -343,6 +344,10 @@ impl MetricsFold {
                     1.0,
                 );
             }
+            // Introspection events carry no per-run metrics: spans are
+            // profiler output, and health snapshots are *derived from*
+            // this fold — folding them back in would double-count.
+            "profile.span" | "health.snapshot" => {}
             _ => {}
         }
     }
@@ -586,6 +591,34 @@ mod tests {
             .field("arrivals", 3.0)
             .field("dropped", 0_u64)
             .field("wall_us", 120_u64)
+    }
+
+    /// Registry-sync fixture: every telemetry event the registry can
+    /// declare — required-only and with optionals — folds without error,
+    /// and the live fold agrees with the offline (JSONL) fold on the
+    /// synthesized stream. Run together with the verifier's
+    /// `event-schema` match-coverage check, this proves the fold and the
+    /// registry cannot drift apart in either direction.
+    #[test]
+    fn registry_synthesized_events_fold_cleanly() {
+        use grefar_obs::schema::{self, Channel};
+        let mut live = MetricsFold::new(true);
+        let mut text = String::new();
+        for sch in schema::EVENTS
+            .iter()
+            .filter(|s| s.channel == Channel::Telemetry)
+        {
+            for include_optional in [false, true] {
+                let event = schema::synthesize(sch, include_optional);
+                live.fold_event(&event);
+                text.push_str(&event.to_json_with_schema(1));
+                text.push('\n');
+            }
+        }
+        assert!(live.events() > 0);
+        let mut offline = MetricsFold::new(true);
+        offline.fold_jsonl(&text).unwrap();
+        assert_eq!(live.render(), offline.render());
     }
 
     #[test]

@@ -27,19 +27,15 @@
 //!
 //! # Event schema used by the workspace
 //!
-//! The instrumented layers emit (see DESIGN.md "Observability"):
-//!
-//! | event | emitted by | fields |
-//! |---|---|---|
-//! | `run.start` | `Simulation::run_with_observer` | `scheduler`, `horizon`, `data_centers`, `job_classes` |
-//! | `slot` | `Simulation::run_with_observer` | `t`, `queue_central`, `queue_local`, `queue_max`, `energy`, `fairness`, `arrivals`, `dropped`, `wall_us` |
-//! | `grefar.decide` | `GreFar::decide_observed` | `t`, `v`, `beta`, `objective`, `drift`, `penalty`, `routed`, `processed`, `solver`, `fw_iterations`, `fw_gap`, `wall_us` |
-//! | `lp.solve` | `MpcScheduler::decide_observed` | `t`, `vars`, `rows`, `pivots_phase1`, `pivots_phase2`, `degenerate_pivots`, `bound_flips`, `wall_us` |
-//! | `run.end` | `Simulation::run_with_observer` | `slots`, `completed`, `dropped`, `wall_us` |
-//! | `sweep.run` | `sweep::run_all_observed` | `label` (marks the start of one labeled run) |
-//! | `checkpoint.write` | `Simulation::drive` | `t` (slot the checkpoint cut at) |
-//! | `profile.span` | [`SpanProfiler::emit_into`] | `stack`, `clock`, `count`, then `total_ticks`/`self_ticks` (logical) or `total_us`/`self_us` (wall) |
-//! | `health.snapshot` | `grefar_metrics::MetricsLayer` | `t`, `verdict`, `queue_peak`, `queue_bound`, `occupancy_pct`, `degraded_slots`, `stale_events`, `open_breakers`, `invariant_violations`, `checkpoint_age_slots` |
+//! The full event contract — every name, its channel, and its
+//! required/optional fields — is declared as data in [`schema::EVENTS`].
+//! This file used to carry a hand-maintained table of the same facts; it
+//! drifted (it claimed a `degraded_slots` field the code never emitted),
+//! so the registry is now the single source of truth. `grefar-verify`'s
+//! `event-schema` pass statically checks every construction site and
+//! every consumer `match` against it (see DESIGN.md, "Correctness
+//! tooling"), and [`schema::synthesize`] lets consumers fixture-test
+//! their parsers against the declared contract.
 //!
 //! Timing fields are suffixed `_us` (microseconds); everything else is
 //! deterministic for a fixed seed, which the determinism suite asserts by
@@ -78,6 +74,7 @@ pub mod json;
 mod jsonl;
 mod memory;
 mod observer;
+pub mod schema;
 mod span;
 mod timer;
 

@@ -24,6 +24,9 @@
 //! * `grefar-report metrics` / `promlint` — rebuilds the Prometheus
 //!   exposition from a recorded stream via `grefar_metrics::MetricsFold`,
 //!   and lints exposition files against the text-format rules.
+//! * [`diff_findings`] (`grefar-report lint-diff`) — diffs two
+//!   `grefar-verify --format json` documents; new findings fail the
+//!   gate, fixed findings are reported as progress.
 //!
 //! Everything consumes the hand-rolled `grefar_obs::json` parser — the
 //! crate adds no dependencies beyond `grefar-obs` itself.
@@ -34,11 +37,13 @@
 pub mod analyze;
 pub mod bench_gate;
 pub mod diff;
+pub mod lintdiff;
 pub mod profile;
 pub mod stream;
 
 pub use analyze::{Analysis, BoundCheck, FaultImpact, Resilience, RunAnalysis};
 pub use bench_gate::{gate, BenchCase, BenchFile, CaseVerdict, GateReport};
 pub use diff::{diff_streams, DiffOptions, StreamDiff};
+pub use lintdiff::{diff_findings, parse_findings, LintDiff, LintFinding};
 pub use profile::{ProfileReport, ProfileSpan};
 pub use stream::{parse_versioned_lines, DegradedSample, FaultSample, Run, TelemetryStream};

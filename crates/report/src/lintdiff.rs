@@ -1,0 +1,411 @@
+//! Diffing `grefar-verify --format json` baselines.
+//!
+//! `grefar-verify` renders its findings as a single JSON document (see
+//! `crates/verify/src/findings.rs` for the schema). Checking such a
+//! document into a baseline and diffing it against a fresh run turns
+//! the linter into a ratchet: new findings fail the gate, fixed
+//! findings are reported as progress, and pre-existing findings don't
+//! block unrelated work.
+//!
+//! The document nests an array of flat objects, which is one level more
+//! structure than [`grefar_obs::json`] parses. Rather than grow that
+//! parser, [`parse_findings`] splits the `"findings"` array into its
+//! member objects with a string-aware brace scanner and parses each one
+//! as a flat object. The header's `errors`/`warnings` counts are
+//! cross-checked against the parsed findings, so a truncated or
+//! hand-edited document is rejected instead of silently under-reporting.
+
+use grefar_obs::json::{parse_object, JsonValue};
+use std::collections::BTreeMap;
+
+/// One finding from a `grefar-verify --format json` document.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LintFinding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: u64,
+    /// The rule that fired.
+    pub rule: String,
+    /// `"error"` or `"warning"`.
+    pub severity: String,
+    /// What was found.
+    pub message: String,
+}
+
+impl LintFinding {
+    /// The same one-line rendering the linter's text mode uses.
+    pub fn render(&self) -> String {
+        let warn = if self.severity == "warning" {
+            "/warn"
+        } else {
+            ""
+        };
+        format!(
+            "{}:{}: [{}{}] {}",
+            self.file, self.line, self.rule, warn, self.message
+        )
+    }
+}
+
+/// Parses a `grefar-verify --format json` document.
+///
+/// # Errors
+///
+/// Returns `Err` when the document is not from `grefar-verify`, has an
+/// unknown schema version, is structurally malformed, or declares
+/// `errors`/`warnings` counts that disagree with its findings array.
+pub fn parse_findings(text: &str) -> Result<Vec<LintFinding>, String> {
+    let (header, body) = split_document(text)?;
+    let header = parse_object(&header).map_err(|e| format!("header: {e}"))?;
+    match header.get("tool").and_then(JsonValue::as_str) {
+        Some("grefar-verify") => {}
+        other => return Err(format!("not a grefar-verify document (tool = {other:?})")),
+    }
+    match header.get("version").and_then(JsonValue::as_f64) {
+        Some(1.0) => {}
+        other => return Err(format!("unsupported schema version {other:?}")),
+    }
+
+    let mut findings = Vec::new();
+    for (i, object) in split_objects(&body)?.into_iter().enumerate() {
+        let map = parse_object(object).map_err(|e| format!("finding {}: {e}", i + 1))?;
+        findings.push(finding_from(&map).map_err(|e| format!("finding {}: {e}", i + 1))?);
+    }
+
+    for (key, severity) in [("errors", "error"), ("warnings", "warning")] {
+        let declared = header
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("header is missing {key:?}"))?;
+        let actual = findings.iter().filter(|f| f.severity == severity).count();
+        if declared != actual as f64 {
+            return Err(format!(
+                "header declares {declared} {key} but the document carries {actual}"
+            ));
+        }
+    }
+    Ok(findings)
+}
+
+fn finding_from(map: &BTreeMap<String, JsonValue>) -> Result<LintFinding, String> {
+    let text = |key: &str| -> Result<String, String> {
+        map.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing or non-string {key:?}"))
+    };
+    let line = map
+        .get("line")
+        .and_then(JsonValue::as_f64)
+        // verify: allow(float-eq): exact integrality check — a line number with any fraction is malformed
+        .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+        .ok_or("missing or non-integer \"line\"")? as u64;
+    let severity = text("severity")?;
+    if severity != "error" && severity != "warning" {
+        return Err(format!("unknown severity {severity:?}"));
+    }
+    Ok(LintFinding {
+        file: text("file")?,
+        line,
+        rule: text("rule")?,
+        severity,
+        message: text("message")?,
+    })
+}
+
+/// Splits the document into its header (everything but the findings
+/// array, reclosed into a flat object) and the array body between
+/// `"findings":[` and its matching `]`.
+fn split_document(text: &str) -> Result<(String, String), String> {
+    const MARKER: &str = "\"findings\":";
+    let start = text
+        .find(MARKER)
+        .ok_or("document has no \"findings\" array")?;
+    let after = &text[start + MARKER.len()..];
+    let open = after
+        .find('[')
+        .ok_or("\"findings\" is not followed by an array")?;
+    let body = &after[open + 1..];
+    let close = matching_bracket(body)?;
+    let tail = body[close + 1..].trim();
+    if tail != "}" {
+        return Err(format!("trailing data after findings array: {tail:?}"));
+    }
+    // Re-close the header so the flat parser accepts it. The marker is
+    // preceded by `,` (or `{` for a pathological empty header).
+    let mut header = text[..start].trim_end().to_string();
+    if header.ends_with(',') {
+        header.pop();
+    }
+    header.push('}');
+    Ok((header, body[..close].to_string()))
+}
+
+/// Index of the `]` closing the array whose `[` was just consumed,
+/// ignoring brackets inside strings.
+fn matching_bracket(body: &str) -> Result<usize, String> {
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, b) in body.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+        } else if in_string {
+            match b {
+                b'\\' => escaped = true,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'[' | b'{' => depth += 1,
+                b']' if depth == 0 => return Ok(i),
+                b']' | b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    Err("unterminated findings array".to_string())
+}
+
+/// Splits an array body into its top-level `{...}` member slices.
+fn split_objects(body: &str) -> Result<Vec<&str>, String> {
+    let mut objects = Vec::new();
+    let mut start = None;
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, b) in body.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+        } else if in_string {
+            match b {
+                b'\\' => escaped = true,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' => {
+                    if depth == 0 {
+                        start = Some(i);
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| format!("unbalanced '}}' at byte {i}"))?;
+                    if depth == 0 {
+                        let s = start
+                            .take()
+                            .ok_or_else(|| format!("stray '}}' at byte {i}"))?;
+                        objects.push(&body[s..=i]);
+                    }
+                }
+                b',' | b' ' | b'\t' | b'\r' | b'\n' => {}
+                other if depth == 0 => {
+                    return Err(format!(
+                        "unexpected {:?} between findings at byte {i}",
+                        char::from(other)
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+    if depth != 0 || start.is_some() {
+        return Err("unterminated finding object".to_string());
+    }
+    Ok(objects)
+}
+
+/// The outcome of diffing two findings documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiff {
+    /// Findings present in the new document but not the old baseline.
+    pub added: Vec<LintFinding>,
+    /// Baseline findings the new document no longer carries.
+    pub removed: Vec<LintFinding>,
+}
+
+impl LintDiff {
+    /// True when the new document introduces no findings the baseline
+    /// lacked. Removed findings are progress, not failure.
+    pub fn passes(&self) -> bool {
+        self.added.is_empty()
+    }
+
+    /// Human-readable report: `+` lines for regressions, `-` lines for
+    /// fixed findings, and a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.added {
+            out.push_str("+ ");
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        for f in &self.removed {
+            out.push_str("- ");
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        if self.added.is_empty() && self.removed.is_empty() {
+            out.push_str("lint-diff: no change\n");
+        } else {
+            out.push_str(&format!(
+                "lint-diff: {} added, {} removed\n",
+                self.added.len(),
+                self.removed.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Diffs two findings lists as multisets keyed on the full finding, so
+/// a second identical finding on the same line still counts as added.
+pub fn diff_findings(old: &[LintFinding], new: &[LintFinding]) -> LintDiff {
+    let mut counts: BTreeMap<&LintFinding, i64> = BTreeMap::new();
+    for f in new {
+        *counts.entry(f).or_insert(0) += 1;
+    }
+    for f in old {
+        *counts.entry(f).or_insert(0) -= 1;
+    }
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for (finding, count) in counts {
+        for _ in 0..count.abs() {
+            if count > 0 {
+                added.push(finding.clone());
+            } else {
+                removed.push(finding.clone());
+            }
+        }
+    }
+    LintDiff { added, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str =
+        "{\"version\":1,\"tool\":\"grefar-verify\",\"errors\":0,\"warnings\":0,\"findings\":[]}\n";
+
+    fn doc(findings: &[(&str, u64, &str, &str, &str)]) -> String {
+        let errors = findings.iter().filter(|f| f.3 == "error").count();
+        let warnings = findings.len() - errors;
+        let mut out = format!(
+            "{{\"version\":1,\"tool\":\"grefar-verify\",\"errors\":{errors},\
+             \"warnings\":{warnings},\"findings\":["
+        );
+        for (i, (file, line, rule, severity, message)) in findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"file\":\"{file}\",\"line\":{line},\"rule\":\"{rule}\",\
+                 \"severity\":\"{severity}\",\"message\":\"{message}\"}}"
+            ));
+        }
+        if !findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    fn finding(file: &str, line: u64, severity: &str) -> LintFinding {
+        LintFinding {
+            file: file.to_string(),
+            line,
+            rule: "hot-path-alloc".to_string(),
+            severity: severity.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_empty_and_populated_documents() {
+        assert_eq!(parse_findings(CLEAN).unwrap(), Vec::new());
+        let text = doc(&[
+            ("a.rs", 3, "no-panic", "error", "unwrap in scope"),
+            (
+                "b.rs",
+                0,
+                "event-schema",
+                "warning",
+                "msg with \\\"quote\\\"",
+            ),
+        ]);
+        let findings = parse_findings(&text).unwrap();
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].rule, "no-panic");
+        assert_eq!(findings[1].message, "msg with \"quote\"");
+        assert_eq!(
+            findings[1].render(),
+            "b.rs:0: [event-schema/warn] msg with \"quote\""
+        );
+    }
+
+    #[test]
+    fn rejects_foreign_and_corrupt_documents() {
+        assert!(parse_findings("{\"tool\":\"other\",\"findings\":[]}").is_err());
+        // Version bump, missing findings, truncation.
+        assert!(parse_findings(&CLEAN.replace("\"version\":1", "\"version\":2")).is_err());
+        assert!(parse_findings("{\"version\":1,\"tool\":\"grefar-verify\"}").is_err());
+        let full = doc(&[("a.rs", 1, "r", "error", "m")]);
+        assert!(parse_findings(&full[..full.len() - 4]).is_err());
+        // Header counts must match the array.
+        assert!(parse_findings(&full.replace("\"errors\":1", "\"errors\":2")).is_err());
+        assert!(
+            parse_findings(&full.replace("\"severity\":\"error\"", "\"severity\":\"fatal\""))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn diff_is_a_multiset_over_whole_findings() {
+        let old = vec![finding("a.rs", 1, "error"), finding("a.rs", 1, "error")];
+        let new = vec![finding("a.rs", 1, "error"), finding("b.rs", 2, "warning")];
+        let diff = diff_findings(&old, &new);
+        assert_eq!(diff.added, vec![finding("b.rs", 2, "warning")]);
+        assert_eq!(diff.removed, vec![finding("a.rs", 1, "error")]);
+        assert!(!diff.passes());
+        let render = diff.render();
+        assert!(
+            render.contains("+ b.rs:2: [hot-path-alloc/warn] m"),
+            "{render}"
+        );
+        assert!(render.contains("- a.rs:1: [hot-path-alloc] m"), "{render}");
+        assert!(render.contains("lint-diff: 1 added, 1 removed"), "{render}");
+    }
+
+    #[test]
+    fn removals_alone_pass() {
+        let old = vec![finding("a.rs", 1, "error")];
+        let diff = diff_findings(&old, &[]);
+        assert!(diff.passes());
+        assert_eq!(diff.removed.len(), 1);
+        assert!(diff_findings(&[], &[]).passes());
+        assert!(diff_findings(&[], &[]).render().contains("no change"));
+    }
+
+    #[test]
+    fn braces_inside_messages_do_not_confuse_the_splitter() {
+        let text = doc(&[(
+            "a.rs",
+            1,
+            "r",
+            "error",
+            "vec![{}, [1]] and \\\"}]\\\" inside",
+        )]);
+        let findings = parse_findings(&text).unwrap();
+        assert_eq!(findings[0].message, "vec![{}, [1]] and \"}]\" inside");
+    }
+}

@@ -7,6 +7,7 @@
 //! grefar-report profile RUN.jsonl [--folded OUT.txt]
 //! grefar-report metrics RUN.jsonl [--include-timings]
 //! grefar-report promlint METRICS.prom
+//! grefar-report lint-diff OLD.json NEW.json
 //! ```
 //!
 //! Exit codes: 0 = pass, 1 = semantic failure (bound exceeded, streams
@@ -40,7 +41,10 @@ commands:\n\
       deterministic; --include-timings adds them back.\n\
   promlint METRICS.prom\n\
       Lints a Prometheus text-format exposition file; exits 1 when any\n\
-      rule fires.";
+      rule fires.\n\
+  lint-diff OLD.json NEW.json\n\
+      Diffs two grefar-verify --format json documents; exits 1 when NEW\n\
+      carries findings OLD lacked (removed findings are progress).";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("grefar-report: {message}\n\n{USAGE}");
@@ -205,6 +209,23 @@ fn run_promlint(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(1))
 }
 
+fn run_lint_diff(args: &[String]) -> Result<ExitCode, String> {
+    let [old_path, new_path] = args else {
+        return Err("lint-diff needs exactly two findings-document paths".to_string());
+    };
+    let old =
+        grefar_report::parse_findings(&read(old_path)?).map_err(|e| format!("{old_path}: {e}"))?;
+    let new =
+        grefar_report::parse_findings(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    let diff = grefar_report::diff_findings(&old, &new);
+    print!("{}", diff.render());
+    Ok(if diff.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -217,6 +238,7 @@ fn main() -> ExitCode {
         "profile" => run_profile(rest),
         "metrics" => run_metrics(rest),
         "promlint" => run_promlint(rest),
+        "lint-diff" => run_lint_diff(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

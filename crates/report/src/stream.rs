@@ -288,6 +288,7 @@ impl TelemetryStream {
         for (idx, event) in events.iter().enumerate() {
             let name = string(event, "event", idx)?;
             // Events that may appear outside a run segment:
+            // verify: match-events(telemetry)
             match name.as_str() {
                 "sweep.run" => {
                     pending_label = Some(string(event, "label", idx)?);
@@ -332,6 +333,7 @@ impl TelemetryStream {
                     ))
                 }
             };
+            // verify: match-events(telemetry)
             match name.as_str() {
                 "slot" => {
                     run.slots.push(SlotSample {
@@ -427,6 +429,9 @@ impl TelemetryStream {
                         price_mae: number(event, "price_mae", idx)?,
                     });
                 }
+                // Run-policy bookkeeping; the analytics don't consume it
+                // (checkpoint age is the metrics fold's concern).
+                "checkpoint.write" => {}
                 _ => {} // additive events from the same schema version
             }
         }
@@ -520,6 +525,52 @@ mod tests {
                 .field("wall_us", 55_u64),
         );
         String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    /// Registry-sync fixture: a stream synthesized from the telemetry
+    /// registry — every event, all declared fields — parses without
+    /// error, and each in-run event lands in its sample vector. Together
+    /// with the verifier's `event-schema` match-coverage check this
+    /// proves the parser and the registry cannot drift apart.
+    #[test]
+    fn registry_synthesized_stream_parses() {
+        use grefar_obs::schema::{self, Channel};
+        let pre_run = ["sweep.run", "theory.bounds", "run.start"];
+        let mut text = String::new();
+        let mut push = |name: &str| {
+            let sch = schema::lookup(name).expect("registered");
+            text.push_str(&schema::synthesize(sch, true).to_json_with_schema(1));
+            text.push('\n');
+        };
+        for name in pre_run {
+            push(name);
+        }
+        for name in schema::names(Channel::Telemetry) {
+            if !pre_run.contains(&name) && name != "run.end" {
+                push(name);
+            }
+        }
+        push("run.end");
+
+        let stream = TelemetryStream::parse(&text).unwrap();
+        assert_eq!(
+            stream.total_events,
+            schema::names(Channel::Telemetry).count()
+        );
+        assert_eq!(stream.runs.len(), 1);
+        assert_eq!(stream.bounds.len(), 1);
+        let run = &stream.runs[0];
+        assert_eq!(run.slots.len(), 1);
+        assert_eq!(run.decides.len(), 1);
+        assert_eq!(run.lp_wall_us.len(), 1);
+        assert_eq!(run.faults.len(), 1);
+        assert_eq!(run.degraded.len(), 1);
+        assert_eq!(run.feed_fetches.len(), 1);
+        assert_eq!(run.feed_breakers.len(), 1);
+        assert_eq!(run.feed_quarantined.len(), 1);
+        assert_eq!(run.stale.len(), 1);
+        assert_eq!(run.invariant_violations, 1);
+        assert!(run.completed.is_some());
     }
 
     #[test]

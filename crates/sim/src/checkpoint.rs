@@ -313,6 +313,9 @@ impl Checkpoint {
 
         for (idx, obj) in parsed.iter().enumerate().skip(1).take(parsed.len() - 2) {
             let lineno = idx + 1;
+            // verify: match-events(checkpoint, partial)
+            // (header/footer are consumed by the framing loop above, not
+            // by this per-line dispatch.)
             match event_name(obj) {
                 Some("ckpt.queues") => {
                     out.queues_central = split_f64(get_str(obj, "central", lineno)?, lineno)?;

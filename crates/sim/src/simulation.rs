@@ -280,6 +280,7 @@ impl Simulation {
     ) -> Self {
         match Self::try_new(config, inputs, scheduler) {
             Ok(sim) => sim,
+            // verify: allow(no-panic): documented `# Panics` constructor contract; try_new is the typed-error path
             Err(err) => panic!("{err}"),
         }
     }
@@ -647,7 +648,6 @@ impl Simulation {
     /// Infallible: every slot yields a decision (the scheduler's fallback
     /// chain guarantees one) and every update is total.
     fn run_span(&mut self, rs: &mut RunState, until: usize, obs: &mut dyn Observer) {
-        let n = self.config.num_data_centers();
         let work = self.config.work_vector();
         let fairness_fn = QuadraticDeviation;
         let telemetry = obs.enabled();
@@ -726,9 +726,11 @@ impl Simulation {
             for (series, &share) in rs.account_shares.iter_mut().zip(&breakdown.shares) {
                 series.push(share);
             }
-            for i in 0..n {
-                rs.work_per_dc[i].push(decision.work_processed(i, &work));
-                rs.prices[i].push(state.data_center(i).price());
+            for (i, series) in rs.work_per_dc.iter_mut().enumerate() {
+                series.push(decision.work_processed(i, &work));
+            }
+            for (i, series) in rs.prices.iter_mut().enumerate() {
+                series.push(state.data_center(i).price());
             }
 
             // Job-level execution, then queue dynamics (12)–(13).
@@ -783,6 +785,7 @@ impl Simulation {
                     if obs.enabled() {
                         obs.record_event(violation.event(t as u64));
                     }
+                    // verify: allow(no-panic): strict-invariants enforcement aborts by design after emitting the violation event
                     panic!("strict-invariants: slot {t}: {violation}");
                 }
             }
@@ -795,7 +798,7 @@ impl Simulation {
                     (rs.queues.central(j) - rs.tracker.central_backlog(j)).abs() < 1e-6,
                     "slot {t}: central queue {j} diverged"
                 );
-                for i in 0..n {
+                for i in 0..self.config.num_data_centers() {
                     debug_assert!(
                         (rs.queues.local(i, j) - rs.tracker.local_backlog(i, j)).abs() < 1e-6,
                         "slot {t}: local queue ({i},{j}) diverged"

@@ -1,38 +1,62 @@
-//! `grefar-verify` — the workspace's repo-specific lint pass.
+//! `grefar-verify` — the workspace's static-analysis engine.
 //!
 //! GreFar's guarantees (Theorem 1) are only as good as the code's
 //! discipline: per-slot decisions must be bit-deterministic and feasible,
-//! float comparisons must be tolerance-aware, and hot paths must not
-//! panic. Clippy cannot express those rules, so this crate carries a
-//! small hand-rolled scanner (offline, zero dependencies, no `syn`) plus
-//! four rules, run over the workspace by the `grefar-verify` binary:
+//! float comparisons must be tolerance-aware, hot paths must not panic or
+//! allocate, and every telemetry event must match the central schema
+//! registry. Clippy cannot express those rules, so this crate carries a
+//! hand-rolled scanner and tokenizer (offline, zero external
+//! dependencies, no `syn`) plus two layers of checks, run over the
+//! workspace by the `grefar-verify` binary:
 //!
 //! ```text
-//! cargo run -p grefar-verify
+//! cargo run -p grefar-verify                  # human-readable findings
+//! cargo run -p grefar-verify -- --format json # machine-readable findings
+//! cargo run -p grefar-verify -- deps-audit    # manifest hygiene only
 //! ```
 //!
-//! See [`rules`] for the rule definitions and [`scanner`] for the lexical
-//! preprocessing (comment/string blanking, `#[cfg(test)]` detection, and
-//! `verify: allow(<rule>): <justification>` suppression directives).
+//! * **Per-line lexical rules** ([`rules`]): `determinism`, `float-eq`,
+//!   `no-panic` (plus a strict variant that also bans subscripts),
+//!   `errors-doc`. These see one cleaned file at a time.
+//! * **Cross-file passes** ([`passes`]): `event-schema` (construction
+//!   sites and consumer `match`es vs. [`grefar_obs::schema::EVENTS`]),
+//!   `hot-path-alloc` (no heap allocation in the per-slot call tree),
+//!   and `deps-audit` (lockfile duplicates, unused manifest entries).
+//!   These see a whole [`model::Workspace`].
 //!
-//! The library half exists so the rules are testable against fixture
-//! source (see `tests/fixtures.rs`) — the binary is a thin driver that
-//! maps rules onto workspace directories.
+//! Findings carry a [`findings::Severity`]: errors always fail the run,
+//! warnings fail under `--deny-warnings` (which `scripts/check.sh`
+//! passes). See [`scanner`] for the lexical preprocessing
+//! (comment/string blanking, `#[cfg(test)]` detection, and the
+//! `verify: allow(<rule>): <justification>` / `verify:
+//! match-events(<channel>[, partial])` directives) and [`tokens`] for
+//! the token stream the passes pattern-match against.
+//!
+//! The library half exists so every rule and pass is testable against
+//! fixture source (see `tests/fixtures.rs`) — the binary is a thin
+//! driver that maps rules onto workspace scopes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod findings;
+pub mod model;
+pub mod passes;
 pub mod rules;
 pub mod scanner;
+pub mod tokens;
 
+pub use findings::{render_json, sort_findings, Finding, Severity};
+pub use model::{FileModel, FnItem, Workspace};
 pub use rules::{
     check_determinism, check_directives, check_errors_doc, check_float_eq, check_no_panic,
-    Violation, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_ERRORS_DOC, RULE_FLOAT_EQ, RULE_NO_PANIC,
+    check_no_panic_strict, Violation, RULE_DEPS_AUDIT, RULE_DETERMINISM, RULE_DIRECTIVE,
+    RULE_ERRORS_DOC, RULE_EVENT_SCHEMA, RULE_FLOAT_EQ, RULE_HOT_PATH_ALLOC, RULE_NO_PANIC,
 };
-pub use scanner::{clean, CleanedSource};
+pub use scanner::{clean, CleanedSource, MatchEvents};
 
-/// Runs the named rules over one file's source, returning violations
-/// (including malformed suppression directives).
+/// Runs the named per-line rules over one file's source, returning
+/// violations (including malformed suppression directives).
 pub fn check_source(source: &str, rule_names: &[&str]) -> Vec<Violation> {
     let cleaned = clean(source);
     let mut out = check_directives(&cleaned);
@@ -45,6 +69,7 @@ pub fn check_source(source: &str, rule_names: &[&str]) -> Vec<Violation> {
             other => out.push(Violation {
                 line: 0,
                 rule: RULE_DIRECTIVE,
+                severity: Severity::Error,
                 message: format!("unknown rule `{other}`"),
             }),
         }

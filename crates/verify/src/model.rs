@@ -1,0 +1,310 @@
+//! The cross-file workspace model the multi-file passes run over.
+//!
+//! The original rules were strictly per-line, per-file; the `event-schema`
+//! and `hot-path-alloc` passes need more: token streams with literal
+//! contents (event names, field keys, match arms), function item spans
+//! (to bound variable-binder searches and capacity tracking), and
+//! attribute awareness (`#[cfg(...)]`-gated items are off the
+//! unconditional hot path). [`Workspace::load`] reads every `.rs` file
+//! under the scoped directories once and builds a [`FileModel`] for each:
+//! raw source, [`CleanedSource`] (line metadata, suppression directives),
+//! [`Token`] stream, and the [`FnItem`] list.
+
+use std::path::{Path, PathBuf};
+
+use crate::scanner::{clean, CleanedSource};
+use crate::tokens::{tokenize, Token};
+
+/// One `fn` item: name, 1-based line span, and attribute gating.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based line of the body's closing brace (or the declaration line
+    /// for bodiless trait methods).
+    pub end_line: usize,
+    /// The item carries a `#[cfg(...)]` attribute — it is conditionally
+    /// compiled (e.g. `strict-invariants` diagnostics) and therefore not
+    /// part of the unconditional hot path.
+    pub cfg_gated: bool,
+}
+
+/// One parsed source file.
+#[derive(Debug, Clone)]
+pub struct FileModel {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// The raw source text.
+    pub raw: String,
+    /// Lexically cleaned source plus line metadata (see
+    /// [`crate::scanner`]).
+    pub cleaned: CleanedSource,
+    /// The token stream with string-literal contents retained.
+    pub tokens: Vec<Token>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+impl FileModel {
+    /// Builds the model for one file's source.
+    pub fn from_source(rel: String, raw: String) -> Self {
+        let cleaned = clean(&raw);
+        let tokens = tokenize(&raw);
+        let fns = find_fns(&cleaned, &raw);
+        FileModel {
+            rel,
+            raw,
+            cleaned,
+            tokens,
+            fns,
+        }
+    }
+
+    /// The innermost `fn` whose span contains 1-based `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.start_line)
+    }
+
+    /// Index one past the last token on or before 1-based `line`
+    /// (tokens are in line order).
+    pub fn tokens_end_of_line(&self, line: usize) -> usize {
+        self.tokens.partition_point(|t| t.line <= line)
+    }
+}
+
+/// Every file loaded for one verify run, sorted by path.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// The file models, sorted by [`FileModel::rel`].
+    pub files: Vec<FileModel>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under `paths` (directories are walked
+    /// recursively; `.rs` entries load directly). Skips `target/` and
+    /// integration-test trees (`tests/`, `benches/`, `examples/`,
+    /// `src/bin`) — unit `#[cfg(test)]` modules are kept and handled by
+    /// per-line exemption. Duplicate paths collapse. Unreadable files are
+    /// returned in the error list rather than silently dropped.
+    pub fn load(root: &Path, paths: &[&str]) -> (Self, Vec<String>) {
+        let mut abs_files: Vec<PathBuf> = Vec::new();
+        for rel in paths {
+            let full = root.join(rel);
+            if full.extension().is_some_and(|e| e == "rs") {
+                abs_files.push(full);
+            } else {
+                walk_rust_files(&full, &mut abs_files);
+            }
+        }
+        abs_files.sort();
+        abs_files.dedup();
+
+        let mut errors = Vec::new();
+        let mut files = Vec::new();
+        for path in abs_files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(&path) {
+                Ok(raw) => files.push(FileModel::from_source(rel, raw)),
+                Err(e) => errors.push(format!("cannot read {rel}: {e}")),
+            }
+        }
+        (Workspace { files }, errors)
+    }
+
+    /// Looks a file up by workspace-relative path.
+    pub fn file(&self, rel: &str) -> Option<&FileModel> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// Collects `.rs` files under `dir`, skipping exempt trees.
+fn walk_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "bin" | "tests" | "benches" | "examples" | "target"
+            ) {
+                continue;
+            }
+            walk_rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Finds `fn` items in the cleaned source by keyword scan + brace
+/// matching; attribute lines above each item decide `cfg_gated`.
+fn find_fns(cleaned: &CleanedSource, raw: &str) -> Vec<FnItem> {
+    let code = &cleaned.code;
+    let bytes = code.as_bytes();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+
+    // Byte offset -> 0-based line.
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut l = 0usize;
+    for &b in bytes {
+        line_of.push(l);
+        if b == b'\n' {
+            l += 1;
+        }
+    }
+    line_of.push(l);
+
+    let mut fns = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("fn ") {
+        let at = from + rel;
+        from = at + 1;
+        if at > 0 {
+            let prev = bytes[at - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let name: String = code[at + "fn ".len()..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue; // `fn(` function-pointer type, not an item
+        }
+        let start_line = line_of[at] + 1;
+
+        // Body extent: the matching `}` of the first `{`, or the `;` of a
+        // bodiless declaration, whichever comes first.
+        let mut end = at;
+        let mut depth = 0usize;
+        let mut started = false;
+        for (off, &b) in bytes.iter().enumerate().skip(at) {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    started = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if started && depth == 0 {
+                        end = off;
+                        break;
+                    }
+                }
+                b';' if !started => {
+                    end = off;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end_line = line_of[end.min(bytes.len())] + 1;
+
+        // Attributes: contiguous `#[...]` / doc lines directly above.
+        let mut cfg_gated = false;
+        let mut j = start_line.saturating_sub(1); // 0-based line above
+        while j > 0 {
+            j -= 1;
+            let t = raw_lines.get(j).map(|s| s.trim()).unwrap_or("");
+            if t.starts_with("///") || t.starts_with("//") {
+                continue;
+            }
+            if t.starts_with("#[") || t.starts_with("#![") {
+                if t.contains("cfg(") {
+                    cfg_gated = true;
+                }
+                continue;
+            }
+            break;
+        }
+
+        fns.push(FnItem {
+            name,
+            start_line,
+            end_line,
+            cfg_gated,
+        });
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spans_and_enclosing_lookup() {
+        let src = "\
+fn outer() {
+    let x = 1;
+    helper(x);
+}
+
+fn helper(x: u32) -> u32 {
+    x + 1
+}
+";
+        let m = FileModel::from_source("x.rs".to_string(), src.to_string());
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "outer");
+        assert_eq!((m.fns[0].start_line, m.fns[0].end_line), (1, 4));
+        assert_eq!(m.enclosing_fn(2).unwrap().name, "outer");
+        assert_eq!(m.enclosing_fn(7).unwrap().name, "helper");
+        assert!(m.enclosing_fn(5).is_none());
+    }
+
+    #[test]
+    fn cfg_attributes_gate_items() {
+        let src = "\
+#[cfg(feature = \"strict-invariants\")]
+fn check_invariants() {
+    let detail = format!(\"x\");
+}
+
+#[inline]
+fn hot() -> u32 { 1 }
+";
+        let m = FileModel::from_source("x.rs".to_string(), src.to_string());
+        assert!(m.fns[0].cfg_gated);
+        assert!(!m.fns[1].cfg_gated);
+    }
+
+    #[test]
+    fn nested_fns_pick_innermost() {
+        let src = "\
+fn outer() {
+    fn inner(a: u32) -> u32 {
+        a
+    }
+    inner(1);
+}
+";
+        let m = FileModel::from_source("x.rs".to_string(), src.to_string());
+        assert_eq!(m.enclosing_fn(3).unwrap().name, "inner");
+        assert_eq!(m.enclosing_fn(5).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn token_line_partition() {
+        let src = "fn a() {}\nfn b() {}\n";
+        let m = FileModel::from_source("x.rs".to_string(), src.to_string());
+        let end1 = m.tokens_end_of_line(1);
+        assert!(m.tokens[..end1].iter().all(|t| t.line == 1));
+        assert!(m.tokens[end1..].iter().all(|t| t.line == 2));
+    }
+}

@@ -1,0 +1,331 @@
+//! The `deps-audit` pass: manifest hygiene without external tooling.
+//!
+//! Two checks, both hand-rolled over the TOML subset Cargo actually
+//! emits (no TOML crate — the workspace stays dependency-free):
+//!
+//! * **Duplicate versions** — `Cargo.lock` resolving the same package
+//!   name at more than one version doubles compile time and binary size
+//!   and usually signals a drifted manifest. Error.
+//! * **Declared-but-unused dependencies** — a `[dependencies]` entry in
+//!   a member crate whose identifier (`-` → `_`) never appears as
+//!   `ident::` or `use ident` in the crate's sources is dead weight.
+//!   Error for `[dependencies]`, warning for `[dev-dependencies]`
+//!   (tests and benches come and go). Workspace-level
+//!   `[workspace.dependencies]` keys no member references are warnings.
+
+use std::fs;
+use std::path::Path;
+
+use crate::findings::{Finding, Severity};
+use crate::rules::RULE_DEPS_AUDIT;
+
+/// Runs the audit from the workspace root.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_lock_duplicates(root, &mut out);
+    check_unused_deps(root, &mut out);
+    out
+}
+
+fn check_lock_duplicates(root: &Path, out: &mut Vec<Finding>) {
+    let Ok(lock) = fs::read_to_string(root.join("Cargo.lock")) else {
+        return; // no lockfile (fresh checkout pre-build) — nothing to audit
+    };
+    let mut seen: Vec<(String, Vec<(String, usize)>)> = Vec::new();
+    let mut name: Option<(String, usize)> = None;
+    for (idx, line) in lock.lines().enumerate() {
+        let line = line.trim();
+        if line == "[[package]]" {
+            name = None;
+        } else if let Some(v) = toml_str_value(line, "name") {
+            name = Some((v, idx + 1));
+        } else if let Some(v) = toml_str_value(line, "version") {
+            if let Some((n, at)) = name.take() {
+                match seen.iter_mut().find(|(sn, _)| *sn == n) {
+                    Some((_, versions)) => versions.push((v, at)),
+                    None => seen.push((n, vec![(v, at)])),
+                }
+            }
+        }
+    }
+    for (pkg, versions) in &seen {
+        if versions.len() > 1 {
+            let list: Vec<&str> = versions.iter().map(|(v, _)| v.as_str()).collect();
+            out.push(Finding {
+                file: "Cargo.lock".to_string(),
+                line: versions[0].1,
+                rule: RULE_DEPS_AUDIT,
+                severity: Severity::Error,
+                message: format!(
+                    "package `{pkg}` resolved at {} versions ({}); unify the \
+                     requirements so one copy is built",
+                    versions.len(),
+                    list.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+fn check_unused_deps(root: &Path, out: &mut Vec<Finding>) {
+    // Workspace members: crates/*/Cargo.toml plus the root manifest (the
+    // root is both the workspace and the `grefar` facade package). Vendored
+    // stand-ins under vendor/ are deliberately not audited.
+    let mut member_manifests: Vec<(String, String)> = Vec::new();
+    if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+        member_manifests.push(("Cargo.toml".to_string(), text));
+    }
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                let rel = format!(
+                    "crates/{}/Cargo.toml",
+                    dir.file_name().unwrap_or_default().to_string_lossy()
+                );
+                member_manifests.push((rel, text));
+            }
+        }
+    }
+
+    let mut all_dep_keys_used_by_members: Vec<String> = Vec::new();
+    for (rel, text) in &member_manifests {
+        let crate_dir = Path::new(rel).parent().unwrap_or(Path::new(""));
+        let sources = crate_sources(&root.join(crate_dir));
+        for dep in parse_dep_entries(text) {
+            all_dep_keys_used_by_members.push(dep.key.clone());
+            if dep.key.starts_with("grefar-") {
+                // Workspace-internal crates: used via their lib name; same
+                // check applies, no special casing needed — fall through.
+            }
+            let ident = dep.key.replace('-', "_");
+            if !ident_used(&sources, &ident) {
+                let (sev, table) = if dep.dev {
+                    (Severity::Warning, "[dev-dependencies]")
+                } else {
+                    (Severity::Error, "[dependencies]")
+                };
+                out.push(Finding {
+                    file: rel.clone(),
+                    line: dep.line,
+                    rule: RULE_DEPS_AUDIT,
+                    severity: sev,
+                    message: format!(
+                        "`{}` is declared in {table} but `{}` never appears in \
+                         this crate's sources; drop the dependency",
+                        dep.key, ident
+                    ),
+                });
+            }
+        }
+    }
+
+    // [workspace.dependencies] in the root manifest: flag keys no member
+    // manifest references at all.
+    let Ok(root_manifest) = fs::read_to_string(root.join("Cargo.toml")) else {
+        return;
+    };
+    for dep in parse_table_entries(&root_manifest, "[workspace.dependencies]") {
+        let referenced = member_manifests.iter().any(|(_, text)| {
+            text.contains(&format!("{} ", dep.key)) || text.contains(&format!("{} =", dep.key))
+        }) || all_dep_keys_used_by_members.iter().any(|k| k == &dep.key);
+        if !referenced {
+            out.push(Finding {
+                file: "Cargo.toml".to_string(),
+                line: dep.line,
+                rule: RULE_DEPS_AUDIT,
+                severity: Severity::Warning,
+                message: format!(
+                    "`{}` is declared in [workspace.dependencies] but no member \
+                     crate references it",
+                    dep.key
+                ),
+            });
+        }
+    }
+}
+
+struct DepEntry {
+    key: String,
+    line: usize,
+    dev: bool,
+}
+
+/// `key = …` entries under `[dependencies]` / `[dev-dependencies]`.
+fn parse_dep_entries(manifest: &str) -> Vec<DepEntry> {
+    let mut out = Vec::new();
+    for (table, dev) in [("[dependencies]", false), ("[dev-dependencies]", true)] {
+        for e in parse_table_entries(manifest, table) {
+            out.push(DepEntry {
+                key: e.key,
+                line: e.line,
+                dev,
+            });
+        }
+    }
+    out
+}
+
+struct TableEntry {
+    key: String,
+    line: usize,
+}
+
+fn parse_table_entries(manifest: &str, table: &str) -> Vec<TableEntry> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_table = line == table;
+            continue;
+        }
+        if !in_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            // `grefar-core.workspace = true` declares the key `grefar-core`.
+            let key = line[..eq].trim().trim_matches('"');
+            let key = key.split('.').next().unwrap_or(key);
+            if !key.is_empty() {
+                out.push(TableEntry {
+                    key: key.to_string(),
+                    line: idx + 1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `name = "value"` on a single lockfile line.
+fn toml_str_value(line: &str, key: &str) -> Option<String> {
+    let rest = line.strip_prefix(key)?.trim_start().strip_prefix('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_string())
+}
+
+/// All `.rs` sources under the crate dir (src/, tests/, benches/,
+/// examples/), concatenated — good enough for an identifier scan.
+fn crate_sources(crate_dir: &Path) -> String {
+    let mut out = String::new();
+    for sub in ["src", "tests", "benches", "examples"] {
+        collect_rs(&crate_dir.join(sub), &mut out);
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut String) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = fs::read_to_string(&p) {
+                out.push_str(&text);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+/// Is `ident` used as a crate path anywhere in `sources`? Catches
+/// `ident::`, `use ident`, and `extern crate ident`.
+fn ident_used(sources: &str, ident: &str) -> bool {
+    for (pat, suffix_ok) in [
+        (format!("{ident}::"), true),
+        (format!("use {ident}"), false),
+        (format!("extern crate {ident}"), false),
+    ] {
+        let mut from = 0usize;
+        while let Some(rel) = sources[from..].find(&pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            let before_ok = at == 0
+                || !sources.as_bytes()[at - 1].is_ascii_alphanumeric()
+                    && sources.as_bytes()[at - 1] != b'_';
+            if !before_ok {
+                continue;
+            }
+            if suffix_ok {
+                return true;
+            }
+            // `use ident` must end at a boundary (`;`, `::`, whitespace).
+            let after = sources.as_bytes().get(at + pat.len());
+            if !after.is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockfile_duplicates_are_flagged() {
+        let dir = std::env::temp_dir().join("grefar_verify_deps_audit_dup");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("Cargo.lock"),
+            "version = 3\n\n[[package]]\nname = \"alpha\"\nversion = \"1.0.0\"\n\n\
+             [[package]]\nname = \"alpha\"\nversion = \"2.0.0\"\n\n\
+             [[package]]\nname = \"beta\"\nversion = \"0.1.0\"\n",
+        )
+        .unwrap();
+        let f = check(&dir);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`alpha`"));
+        assert!(f[0].message.contains("1.0.0, 2.0.0"));
+        assert_eq!(f[0].severity, Severity::Error);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unused_dependency_is_flagged_and_used_one_is_not() {
+        let dir = std::env::temp_dir().join("grefar_verify_deps_audit_unused");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/demo/src")).unwrap();
+        fs::write(
+            dir.join("crates/demo/Cargo.toml"),
+            "[package]\nname = \"demo\"\n\n[dependencies]\n\
+             used-dep = { path = \"../used\" }\nunused-dep = { path = \"../unused\" }\n\n\
+             [dev-dependencies]\ndev-unused = { path = \"../dev\" }\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("crates/demo/src/lib.rs"),
+            "pub fn f() -> u64 { used_dep::g() }\n",
+        )
+        .unwrap();
+        let f = check(&dir);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("`unused-dep`") && x.severity == Severity::Error));
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("`dev-unused`") && x.severity == Severity::Warning));
+        assert!(!f.iter().any(|x| x.message.contains("`used-dep`")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_real_workspace_is_clean() {
+        // Guards the repo itself: the audit over /root/repo (well, over
+        // CARGO_MANIFEST_DIR/../..) must report nothing.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let f = check(&root);
+        assert_eq!(f, vec![], "{f:?}");
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`RULE_ERRORS_DOC`] — `pub fn`s returning `Result` document
 //!   `# Errors`; `pub fn`s that assert document `# Panics`.
 
+use crate::findings::Severity;
 use crate::scanner::CleanedSource;
 
 /// Rule name: determinism of decision-path crates.
@@ -27,6 +28,14 @@ pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_NO_PANIC: &str = "no-panic";
 /// Rule name: `# Errors` / `# Panics` doc sections on `pub fn`s.
 pub const RULE_ERRORS_DOC: &str = "errors-doc";
+/// Rule name: telemetry emission sites and consumer matches agree with
+/// the `grefar_obs::schema` registry (see `passes::event_schema`).
+pub const RULE_EVENT_SCHEMA: &str = "event-schema";
+/// Rule name: no heap allocation in the per-slot call tree (see
+/// `passes::hot_path_alloc`).
+pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// Rule name: dependency hygiene (see `passes::deps_audit`).
+pub const RULE_DEPS_AUDIT: &str = "deps-audit";
 /// Pseudo-rule for malformed `verify:` directives.
 pub const RULE_DIRECTIVE: &str = "directive";
 
@@ -37,6 +46,9 @@ pub struct Violation {
     pub line: usize,
     /// The rule that fired.
     pub rule: &'static str,
+    /// Error or warning (every lexical rule reports errors; the pass
+    /// rules grade advisory findings as warnings).
+    pub severity: Severity,
     /// What was found.
     pub message: String,
 }
@@ -95,6 +107,7 @@ pub fn check_determinism(src: &CleanedSource) -> Vec<Violation> {
                 out.push(Violation {
                     line: lineno,
                     rule: RULE_DETERMINISM,
+                    severity: Severity::Error,
                     message: format!("`{needle}` in decision-path code: {why}"),
                 });
             }
@@ -186,6 +199,7 @@ pub fn check_float_eq(src: &CleanedSource) -> Vec<Violation> {
                 out.push(Violation {
                     line: lineno,
                     rule: RULE_FLOAT_EQ,
+                    severity: Severity::Error,
                     message: format!(
                         "float `{op}` comparison; use grefar_types::approx_eq(a, b, tol) \
                          (or allow with a justification for exact-zero skips)"
@@ -201,6 +215,19 @@ pub fn check_float_eq(src: &CleanedSource) -> Vec<Violation> {
 /// Panic-free hot paths: no `unwrap`/`expect`/`panic!`-family macros, no
 /// integer-literal slice indexing.
 pub fn check_no_panic(src: &CleanedSource) -> Vec<Violation> {
+    check_no_panic_mode(src, false)
+}
+
+/// The widened `no-panic` variant: additionally flags *every* `[`-index
+/// or slice expression (not just integer-literal subscripts), since any
+/// out-of-range subscript panics. Applied file-by-file to the queue
+/// update (`crates/sim/src/simulation.rs`) and the feed client
+/// (`crates/ingest/src/client.rs`).
+pub fn check_no_panic_strict(src: &CleanedSource) -> Vec<Violation> {
+    check_no_panic_mode(src, true)
+}
+
+fn check_no_panic_mode(src: &CleanedSource, strict_index: bool) -> Vec<Violation> {
     const CALLS: &[&str] = &[".unwrap()", ".expect("];
     const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
     let mut out = Vec::new();
@@ -214,6 +241,7 @@ pub fn check_no_panic(src: &CleanedSource) -> Vec<Violation> {
                 out.push(Violation {
                     line: lineno,
                     rule: RULE_NO_PANIC,
+                    severity: Severity::Error,
                     message: format!(
                         "`{}` in a hot path; return a typed error instead",
                         needle.trim_start_matches('.').trim_end_matches('(')
@@ -226,11 +254,15 @@ pub fn check_no_panic(src: &CleanedSource) -> Vec<Violation> {
                 out.push(Violation {
                     line: lineno,
                     rule: RULE_NO_PANIC,
+                    severity: Severity::Error,
                     message: format!("`{needle}` in a hot path; return a typed error instead"),
                 });
             }
         }
-        // ident[<int>] or )[<int>] or ][<int>]: panicking literal index.
+        // ident[...] or )[...] or ][...]: panicking subscript. Base mode
+        // flags only integer-literal subscripts; strict mode flags every
+        // subscript (variable indices and range slices panic just the
+        // same when out of bounds).
         let bytes = line.as_bytes();
         for (i, &b) in bytes.iter().enumerate() {
             if b != b'[' || i == 0 {
@@ -240,13 +272,26 @@ pub fn check_no_panic(src: &CleanedSource) -> Vec<Violation> {
             if !(is_ident_char(prev) || prev == b')' || prev == b']') {
                 continue;
             }
+            // `vec![`-style macro invocations never reach here: `!`
+            // precedes the bracket and is not an identifier char.
             let rest = &bytes[i + 1..];
             let digits = rest.iter().take_while(|c| c.is_ascii_digit()).count();
-            if digits > 0 && rest.get(digits) == Some(&b']') {
+            let literal_index = digits > 0 && rest.get(digits) == Some(&b']');
+            if literal_index {
                 out.push(Violation {
                     line: lineno,
                     rule: RULE_NO_PANIC,
+                    severity: Severity::Error,
                     message: "integer-literal slice index in a hot path; use .get()/.first() \
+                              or prove the bound and allow with a justification"
+                        .to_string(),
+                });
+            } else if strict_index {
+                out.push(Violation {
+                    line: lineno,
+                    rule: RULE_NO_PANIC,
+                    severity: Severity::Error,
+                    message: "slice subscript in a no-panic scope; use .get()/.get_mut() \
                               or prove the bound and allow with a justification"
                         .to_string(),
                 });
@@ -366,6 +411,7 @@ pub fn check_errors_doc(src: &CleanedSource, raw: &str) -> Vec<Violation> {
             out.push(Violation {
                 line: fn_line,
                 rule: RULE_ERRORS_DOC,
+                severity: Severity::Error,
                 message: format!(
                     "`pub fn {name}` returns Result but has no `# Errors` doc section"
                 ),
@@ -375,6 +421,7 @@ pub fn check_errors_doc(src: &CleanedSource, raw: &str) -> Vec<Violation> {
             out.push(Violation {
                 line: fn_line,
                 rule: RULE_ERRORS_DOC,
+                severity: Severity::Error,
                 message: format!("`pub fn {name}` can panic but has no `# Panics` doc section"),
             });
         }
@@ -389,7 +436,9 @@ pub fn check_directives(src: &CleanedSource) -> Vec<Violation> {
         .map(|&line| Violation {
             line,
             rule: RULE_DIRECTIVE,
-            message: "malformed directive; expected `verify: allow(<rule>): <justification>`"
+            severity: Severity::Error,
+            message: "malformed directive; expected `verify: allow(<rule>): <justification>` \
+                      or `verify: match-events(<channel>[, partial])`"
                 .to_string(),
         })
         .collect()
@@ -445,6 +494,20 @@ mod tests {
     fn no_panic_skips_variable_index_and_array_literals() {
         let src = "let a = v[i];\nlet b = &[0.0];\nlet t: [f64; 2] = [0.0, 1.0];\n";
         assert!(check_no_panic(&clean(src)).is_empty());
+    }
+
+    #[test]
+    fn strict_no_panic_flags_any_subscript() {
+        let src = "let a = v[i];\nlet s = &xs[1..n];\nlet b: [f64; 2] = [0.0, 1.0];\nlet c = vec![0.0; n];\n";
+        let v = check_no_panic_strict(&clean(src));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+        // Array type/literal syntax and vec! macros stay clean.
+        let allowed = "let a = v.get(i);\n\
+                       // verify: allow(no-panic): i < n by loop bound\n\
+                       let b = v[i];\n";
+        assert!(check_no_panic_strict(&clean(allowed)).is_empty());
     }
 
     #[test]

@@ -23,6 +23,21 @@ pub struct Allow {
     pub line: usize,
 }
 
+/// One `verify: match-events(<channel>[, partial])` annotation: the next
+/// `match` below it claims to cover the named registry channel. The
+/// `event-schema` pass checks the claim (unknown arms are always errors;
+/// completeness is waived per-file only when every annotation is
+/// `partial`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchEvents {
+    /// Registry channel name (`telemetry` / `checkpoint`).
+    pub channel: String,
+    /// The annotated match covers only a subset on purpose.
+    pub partial: bool,
+    /// 1-based line of the directive comment.
+    pub line: usize,
+}
+
 /// The result of lexically cleaning one source file.
 #[derive(Debug, Clone)]
 pub struct CleanedSource {
@@ -34,6 +49,8 @@ pub struct CleanedSource {
     pub is_test_line: Vec<bool>,
     /// Per 0-based line: the allow directives that cover it.
     pub allows: Vec<Vec<Allow>>,
+    /// `match-events` annotations, in source order.
+    pub match_events: Vec<MatchEvents>,
     /// 1-based lines holding a `verify:` directive that failed to parse.
     pub bad_directives: Vec<usize>,
 }
@@ -62,6 +79,7 @@ pub fn clean(source: &str) -> CleanedSource {
     let mut out = String::with_capacity(source.len());
     let num_lines = source.lines().count().max(1);
     let mut allows: Vec<Vec<Allow>> = vec![Vec::new(); num_lines + 1];
+    let mut match_events = Vec::new();
     let mut bad_directives = Vec::new();
 
     let mut line = 1usize; // current 1-based line
@@ -77,7 +95,13 @@ pub fn clean(source: &str) -> CleanedSource {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                parse_directives(&text, line, &mut allows, &mut bad_directives);
+                parse_directives(
+                    &text,
+                    line,
+                    &mut allows,
+                    &mut match_events,
+                    &mut bad_directives,
+                );
                 for _ in start..i {
                     out.push(' ');
                 }
@@ -133,34 +157,15 @@ pub fn clean(source: &str) -> CleanedSource {
             }
             'r' if is_raw_string_start(&chars, i) => {
                 // r"..." or r#"..."# (any number of #).
-                let mut j = i + 1;
-                let mut hashes = 0usize;
-                while chars.get(j) == Some(&'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                // Opening quote.
-                for _ in i..=j {
-                    out.push(' ');
-                }
-                i = j + 1;
-                'raw: while i < chars.len() {
-                    if chars[i] == '"' {
-                        let mut k = 0usize;
-                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
-                            k += 1;
-                        }
-                        if k == hashes {
-                            for _ in 0..=hashes {
-                                out.push(' ');
-                            }
-                            i += 1 + hashes;
-                            break 'raw;
-                        }
-                    }
-                    push_blanked(&mut out, chars[i], &mut line);
-                    i += 1;
-                }
+                i = blank_raw_string(&chars, i, &mut out, &mut line);
+                continue;
+            }
+            'b' if is_byte_raw_string_start(&chars, i) => {
+                // br"..." / br#"..."#: raw semantics — backslashes are NOT
+                // escapes, so the plain-string logic must not see them
+                // (it would blank past the terminator to EOF).
+                out.push(' '); // the `b`
+                i = blank_raw_string(&chars, i + 1, &mut out, &mut line);
                 continue;
             }
             '\'' => {
@@ -212,6 +217,7 @@ pub fn clean(source: &str) -> CleanedSource {
         code: out,
         is_test_line,
         allows,
+        match_events,
         bad_directives,
     }
 }
@@ -232,6 +238,58 @@ fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     chars.get(j) == Some(&'"')
 }
 
+/// `b` starts a raw byte string when the next char is an `r` that opens a
+/// raw string and `b` itself is not part of an identifier.
+fn is_byte_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    if chars.get(i + 1) != Some(&'r') {
+        return false;
+    }
+    let mut j = i + 2;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Blanks a raw string whose `r` sits at `i`; returns the index one past
+/// the closing delimiter.
+fn blank_raw_string(chars: &[char], i: usize, out: &mut String, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // The `r`, hashes, and opening quote.
+    for _ in i..=j {
+        out.push(' ');
+    }
+    let mut k = j + 1;
+    while k < chars.len() {
+        if chars[k] == '"' {
+            let mut h = 0usize;
+            while h < hashes && chars.get(k + 1 + h) == Some(&'#') {
+                h += 1;
+            }
+            if h == hashes {
+                for _ in 0..=hashes {
+                    out.push(' ');
+                }
+                return k + 1 + hashes;
+            }
+        }
+        push_blanked(out, chars[k], line);
+        k += 1;
+    }
+    k
+}
+
 fn push_blanked(out: &mut String, c: char, line: &mut usize) {
     if c == '\n' {
         out.push('\n');
@@ -241,14 +299,46 @@ fn push_blanked(out: &mut String, c: char, line: &mut usize) {
     }
 }
 
-/// Parses `verify: allow(<rule>): <justification>` directives from one
-/// comment's text. A directive with an empty rule or missing justification
-/// is recorded in `bad` instead.
-fn parse_directives(comment: &str, line: usize, allows: &mut [Vec<Allow>], bad: &mut Vec<usize>) {
+/// Parses `verify:` directives from one comment's text:
+///
+/// * `verify: allow(<rule>): <justification>` — suppression;
+/// * `verify: match-events(<channel>[, partial])` — coverage annotation
+///   for the next `match` below (see [`MatchEvents`]).
+///
+/// A directive that fails to parse (empty rule, missing justification,
+/// unknown form) is recorded in `bad` instead.
+fn parse_directives(
+    comment: &str,
+    line: usize,
+    allows: &mut [Vec<Allow>],
+    match_events: &mut Vec<MatchEvents>,
+    bad: &mut Vec<usize>,
+) {
     let Some(pos) = comment.find("verify:") else {
         return;
     };
     let rest = comment[pos + "verify:".len()..].trim_start();
+    if let Some(args) = rest.strip_prefix("match-events(") {
+        let Some(close) = args.find(')') else {
+            bad.push(line);
+            return;
+        };
+        let mut parts = args[..close].split(',').map(str::trim);
+        let channel = parts.next().unwrap_or("").to_string();
+        let qualifier = parts.next();
+        let partial = qualifier == Some("partial");
+        let extra = parts.next();
+        if channel.is_empty() || extra.is_some() || (qualifier.is_some() && !partial) {
+            bad.push(line);
+            return;
+        }
+        match_events.push(MatchEvents {
+            channel,
+            partial,
+            line,
+        });
+        return;
+    }
     let Some(args) = rest.strip_prefix("allow(") else {
         bad.push(line);
         return;
@@ -399,5 +489,73 @@ mod tests {
         let c = clean(src);
         assert!(!c.code.contains("HashMap"));
         assert_eq!(c.code.lines().count(), 4);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner panic! */ still comment */ let a = 1;\nx.unwrap();\n";
+        let c = clean(src);
+        assert!(!c.code.contains("panic"));
+        assert!(c.code.contains("let a = 1;"));
+        assert!(c.code.contains("x.unwrap();"));
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes() {
+        let src = "let s = r##\"has \"# inside HashMap\"##; let t = 1;\n";
+        let c = clean(src);
+        assert!(!c.code.contains("HashMap"));
+        assert!(c.code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_identifiers_survive_cleaning() {
+        // `r#type` is an identifier, not a raw string: it must stay in the
+        // cleaned code, and the rest of the line must not be swallowed.
+        let src = "let r#type = 3; let after = r#type + 1;\n";
+        let c = clean(src);
+        assert!(c.code.contains("r#type"), "{:?}", c.code);
+        assert!(c.code.contains("let after"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_blank_without_escapes() {
+        // `br#"..."#` has no escape processing: a trailing backslash before
+        // the terminator must not swallow the rest of the file.
+        let src = "let a = br#\"raw\\\"#; let b = b\"esc\\\"q\"; panic!();\n";
+        let c = clean(src);
+        assert!(!c.code.contains("raw"));
+        assert!(!c.code.contains("esc"));
+        // The code after both literals is still visible to rules.
+        assert!(c.code.contains("panic!"), "{:?}", c.code);
+        assert_eq!(c.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn multiline_string_containing_comment_markers() {
+        // A `//` inside a multi-line string is string content, not a
+        // comment: the string must still terminate on the later quote and
+        // the directive-looking text inside must be inert.
+        let src = "let s = \"line one // verify: allow(no-panic): fake\nline two\";\nx.unwrap();\n";
+        let c = clean(src);
+        assert!(!c.is_allowed("no-panic", 1));
+        assert!(!c.is_allowed("no-panic", 3));
+        assert!(c.code.contains("x.unwrap();"));
+        assert_eq!(c.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn parses_match_events_directives() {
+        let src = "// verify: match-events(telemetry)\nmatch name {}\n\
+                   // verify: match-events(checkpoint, partial)\nmatch n {}\n\
+                   // verify: match-events()\n// verify: match-events(a, b, c)\n";
+        let c = clean(src);
+        assert_eq!(c.match_events.len(), 2);
+        assert_eq!(c.match_events[0].channel, "telemetry");
+        assert!(!c.match_events[0].partial);
+        assert_eq!(c.match_events[0].line, 1);
+        assert_eq!(c.match_events[1].channel, "checkpoint");
+        assert!(c.match_events[1].partial);
+        assert_eq!(c.bad_directives, vec![5, 6]);
     }
 }

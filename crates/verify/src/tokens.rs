@@ -1,0 +1,477 @@
+//! A real token stream for the cross-file passes.
+//!
+//! The lexical [`clean`](crate::scanner::clean) pass blanks comments and
+//! literals, which is enough for the line-oriented rules but loses the
+//! one thing the `event-schema` pass needs: *string literal contents*
+//! (event names, field keys, match-arm patterns). This tokenizer keeps
+//! them. It understands the constructs the scanner's tests pin down —
+//! nested block comments, raw strings with any hash count, byte and raw
+//! byte strings, raw identifiers (`r#type`), char literals vs lifetimes,
+//! multi-line strings — and tags every token with its 1-based line.
+//!
+//! It is deliberately not a full Rust lexer: numbers are lexed
+//! approximately (good enough to not split `1.5e-3` or glue `0..n`), and
+//! multi-char operators are emitted as single-char [`TokenKind::Punct`]
+//! tokens (`::` is two `:` tokens). The passes match on token sequences,
+//! so neither simplification loses information they need.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `Event`, `r#type` — raw prefix
+    /// stripped, so `text` is `type`).
+    Ident,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); `text`
+    /// holds the (basic-unescaped) contents.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`); contents in `text`.
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// A numeric literal (`42`, `1.5e-3`, `0xff`, `1_000u64`).
+    Number,
+    /// A single punctuation character (`{`, `.`, `:`, `=` …).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// Identifier text, literal contents, or the punctuation character.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes one file. Never fails: unterminated constructs run to EOF.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::with_capacity(source.len() / 4);
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (token, rest) = lex_string(&chars, i, &mut line);
+                tokens.push(token);
+                i = rest;
+            }
+            '\'' => {
+                let (token, rest) = lex_char_or_lifetime(&chars, i, &mut line);
+                tokens.push(token);
+                i = rest;
+            }
+            c if c.is_ascii_digit() => {
+                let (token, rest) = lex_number(&chars, i, line);
+                tokens.push(token);
+                i = rest;
+            }
+            c if is_ident_start(c) => {
+                // Literal prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…',
+                // and raw identifiers r#ident.
+                if let Some((token, rest)) = lex_prefixed_literal(&chars, i, &mut line) {
+                    tokens.push(token);
+                    i = rest;
+                    continue;
+                }
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// `r"…"`, `r#…#`, `b"…"`, `br#"…"#`, `b'…'`, `r#ident`. Returns `None`
+/// when the identifier at `i` is not a literal prefix.
+fn lex_prefixed_literal(chars: &[char], i: usize, line: &mut usize) -> Option<(Token, usize)> {
+    let c = chars[i];
+    let next = chars.get(i + 1).copied();
+    match (c, next) {
+        ('r', Some('#')) => {
+            // Raw string r#"…"# or raw identifier r#ident.
+            let mut j = i + 1;
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                Some(lex_raw_string(chars, i + 1, j - i - 1, *line, line))
+            } else if j == i + 2 && chars.get(j).is_some_and(|&c| is_ident_start(c)) {
+                // r#ident — one hash, then the identifier.
+                let start = j;
+                let mut k = j;
+                while k < chars.len() && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                Some((
+                    Token {
+                        kind: TokenKind::Ident,
+                        text: chars[start..k].iter().collect(),
+                        line: *line,
+                    },
+                    k,
+                ))
+            } else {
+                None
+            }
+        }
+        ('r', Some('"')) => Some(lex_raw_string(chars, i + 1, 0, *line, line)),
+        ('b', Some('"')) => {
+            let (mut token, rest) = lex_string(chars, i + 1, line);
+            token.line = token.line.min(*line);
+            Some((token, rest))
+        }
+        ('b', Some('\'')) => {
+            let (token, rest) = lex_char_or_lifetime(chars, i + 1, line);
+            Some((token, rest))
+        }
+        ('b', Some('r')) => {
+            let mut j = i + 2;
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                Some(lex_raw_string(chars, i + 2, j - i - 2, *line, line))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Lexes a raw string whose `#…#"` run starts at `hash_start` with
+/// `hashes` hashes. Returns the token and the index one past the close.
+fn lex_raw_string(
+    chars: &[char],
+    hash_start: usize,
+    hashes: usize,
+    start_line: usize,
+    line: &mut usize,
+) -> (Token, usize) {
+    let mut i = hash_start + hashes + 1; // past the opening quote
+    let content_start = i;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                let text: String = chars[content_start..i].iter().collect();
+                return (
+                    Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line: start_line,
+                    },
+                    i + 1 + hashes,
+                );
+            }
+        }
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    let text: String = chars[content_start..].iter().collect();
+    (
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line: start_line,
+        },
+        chars.len(),
+    )
+}
+
+/// Lexes a plain (escaped) string starting at the `"` at `i`.
+fn lex_string(chars: &[char], i: usize, line: &mut usize) -> (Token, usize) {
+    let start_line = *line;
+    let mut text = String::new();
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                match chars.get(j + 1) {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('r') => text.push('\r'),
+                    Some('"') => text.push('"'),
+                    Some('\\') => text.push('\\'),
+                    Some('\n') => *line += 1, // line-continuation escape
+                    Some(other) => {
+                        text.push('\\');
+                        text.push(*other);
+                    }
+                    None => {}
+                }
+                j += 2;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                text.push(c);
+                j += 1;
+            }
+        }
+    }
+    (
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line: start_line,
+        },
+        j,
+    )
+}
+
+/// Lexes a char literal or lifetime starting at the `'` at `i`.
+fn lex_char_or_lifetime(chars: &[char], i: usize, line: &mut usize) -> (Token, usize) {
+    let start_line = *line;
+    // Escaped char: '\…'.
+    if chars.get(i + 1) == Some(&'\\') {
+        let mut j = i + 2;
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        let text: String = chars[i + 1..j.min(chars.len())].iter().collect();
+        return (
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line: start_line,
+            },
+            (j + 1).min(chars.len()),
+        );
+    }
+    // Plain char: 'x'.
+    if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+        let text = chars.get(i + 1).map(|c| c.to_string()).unwrap_or_default();
+        return (
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line: start_line,
+            },
+            i + 3,
+        );
+    }
+    // Lifetime: 'ident.
+    let start = i + 1;
+    let mut j = start;
+    while j < chars.len() && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    (
+        Token {
+            kind: TokenKind::Lifetime,
+            text: chars[start..j].iter().collect(),
+            line: start_line,
+        },
+        j.max(i + 1),
+    )
+}
+
+/// Lexes a numeric literal: digits plus alphanumeric/underscore
+/// continuation, a fraction part (but not `..`), and a signed exponent.
+fn lex_number(chars: &[char], i: usize, line: usize) -> (Token, usize) {
+    let start = i;
+    let mut j = i;
+    while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+        j += 1;
+        // Signed exponent: 1e-9, 2E+6 (not hex: 0x1e-…, handled fine
+        // because hex literals don't continue past the sign anyway).
+        if j < chars.len()
+            && (chars[j] == '-' || chars[j] == '+')
+            && matches!(chars[j - 1], 'e' | 'E')
+            && !chars[start..j].iter().collect::<String>().starts_with("0x")
+        {
+            j += 1;
+        }
+    }
+    // Fraction: a single '.' followed by a digit (so `0..n` stays a range).
+    if j < chars.len() && chars[j] == '.' && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+        j += 1;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+            if j < chars.len()
+                && (chars[j] == '-' || chars[j] == '+')
+                && matches!(chars[j - 1], 'e' | 'E')
+            {
+                j += 1;
+            }
+        }
+    }
+    (
+        Token {
+            kind: TokenKind::Number,
+            text: chars[start..j].iter().collect(),
+            line,
+        },
+        j,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("fn main() { let x = 1.5; }");
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5".into())));
+    }
+
+    #[test]
+    fn string_contents_survive() {
+        let toks = tokenize("Event::new(\"grefar.decide\")");
+        let strs: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "grefar.decide");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = tokenize(r####"let a = r#"one "quoted" two"#; let b = r"plain";"####);
+        let strs: Vec<String> = toks
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            strs,
+            vec!["one \"quoted\" two".to_string(), "plain".to_string()]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = tokenize("let a = b\"bytes\"; let b = br#\"raw\\bytes\"#;");
+        let strs: Vec<String> = toks
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec!["bytes".to_string(), "raw\\bytes".to_string()]);
+    }
+
+    #[test]
+    fn raw_identifier_keeps_name() {
+        let toks = tokenize("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        // And `r` alone stays an ordinary identifier.
+        let toks = tokenize("let r = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = tokenize("let c: char = 'x'; fn f<'a>(s: &'a str) {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let src = "// line one\n/* nested /* deep */ still */\nfn f() {}\n\"multi\nline\"\n";
+        let toks = tokenize(src);
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.line, 4);
+        assert_eq!(s.text, "multi\nline");
+    }
+
+    #[test]
+    fn ranges_do_not_glue() {
+        let toks = kinds("for i in 0..n { a[i] = 1e-9; }");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1e-9".into())));
+    }
+}

@@ -136,6 +136,51 @@ pub fn parse_rate(s: &str) -> Result<f64, String> {
 }
 
 #[test]
+fn json_output_round_trips_through_lint_diff() {
+    // The machine-readable contract: whatever `--format json` renders,
+    // `grefar-report lint-diff` must read back verbatim. Seed findings
+    // with every escape-worthy character class.
+    use grefar_verify::{render_json, sort_findings, Finding, Severity};
+
+    let mut findings = vec![
+        Finding {
+            file: "crates/lp/src/problem.rs".to_string(),
+            line: 66,
+            rule: "hot-path-alloc",
+            severity: Severity::Error,
+            message: "`Vec::new()` allocates in the per-slot call tree".to_string(),
+        },
+        Finding {
+            file: "crates/sim/src/simulation.rs".to_string(),
+            line: 0,
+            rule: "event-schema",
+            severity: Severity::Warning,
+            message: "tricky \"quotes\\\", braces {}[], and\nnewline\ttab".to_string(),
+        },
+    ];
+    sort_findings(&mut findings);
+    let doc = render_json(&findings);
+
+    let parsed = grefar_report::parse_findings(&doc).expect("lint-diff must parse our output");
+    assert_eq!(parsed.len(), findings.len());
+    for (ours, theirs) in findings.iter().zip(&parsed) {
+        assert_eq!(theirs.file, ours.file);
+        assert_eq!(theirs.line, ours.line as u64);
+        assert_eq!(theirs.rule, ours.rule);
+        assert_eq!(theirs.severity, ours.severity.label());
+        assert_eq!(theirs.message, ours.message);
+        // Both tools render the same classic text line.
+        assert_eq!(theirs.render(), ours.render_text());
+    }
+
+    // And the empty document — the healthy-repo baseline — too.
+    assert_eq!(
+        grefar_report::parse_findings(&render_json(&[])).unwrap(),
+        vec![]
+    );
+}
+
+#[test]
 fn strings_and_comments_do_not_trip_rules() {
     let source = r#"
 /// Explains that "x.unwrap()" and HashMap appear in prose. Also == here.

@@ -6,10 +6,21 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline
-# Repo-specific lint pass: determinism, float comparisons, panic-free hot
-# paths, error docs (see crates/verify).
-cargo run -q -p grefar-verify --offline
+# Repo-specific static analysis (see crates/verify and DESIGN.md,
+# "Correctness tooling"): lexical rules plus the cross-file event-schema
+# and hot-path-alloc passes. --deny-warnings makes every non-allowed
+# finding — warning or error — fail the gate.
+./target/release/grefar-verify --deny-warnings
+./target/release/grefar-verify deps-audit --deny-warnings
 cargo test -q -p grefar-verify --offline
+# The machine-readable output must self-diff clean through the
+# lint-diff baseline tool (grefar-report lint-diff).
+lint_tmp="$(mktemp -d)"
+./target/release/grefar-verify --format json > "$lint_tmp/lint.json"
+./target/release/grefar-report lint-diff "$lint_tmp/lint.json" "$lint_tmp/lint.json" \
+    | grep -q 'no change' || { echo "lint-diff self-comparison failed" >&2; exit 1; }
+rm -rf "$lint_tmp"
+echo "static analysis ok"
 # The whole suite again with the runtime paper-invariant checks compiled in.
 cargo test -q --offline --features strict-invariants
 
@@ -96,6 +107,37 @@ cargo bench -q -p grefar-bench --bench trace --offline -- --json "$report_tmp" >
 ./target/release/grefar-report bench-gate \
     perf/BENCH_trace.json "$report_tmp/BENCH_trace.json" --threshold 300% > /dev/null
 echo "report tooling ok"
+
+# Sanitizers (best effort — both stages need optional toolchain pieces,
+# so each gates on availability and skips with a notice rather than
+# failing a machine that lacks them; see DESIGN.md, "Correctness
+# tooling").
+#
+# Miri catches undefined behaviour the type system can't (the leaf
+# crates are pure data/parsing code, so the interpreter's slowness is
+# tolerable there).
+if cargo +nightly miri --version > /dev/null 2>&1; then
+    cargo +nightly miri test -q --offline \
+        -p grefar-types -p grefar-obs -p grefar-metrics
+    echo "miri ok"
+else
+    echo "miri skipped: component not installed on the nightly toolchain" >&2
+fi
+# AddressSanitizer needs -Z flags, hence nightly; a clean instrumented
+# build of the simulator's bench targets is the smoke test (the repo is
+# #![forbid(unsafe_code)] throughout, so linking is where ASan earns
+# its keep).
+asan_target="x86_64-unknown-linux-gnu"
+if rustc +nightly --version > /dev/null 2>&1 \
+    && rustup target list --toolchain nightly --installed 2> /dev/null \
+        | grep -qx "$asan_target"; then
+    RUSTFLAGS="-Zsanitizer=address" cargo +nightly build -q --offline \
+        -p grefar-bench --benches --target "$asan_target" \
+        --target-dir target/asan
+    echo "asan build ok"
+else
+    echo "asan skipped: nightly toolchain or $asan_target target missing" >&2
+fi
 
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
