@@ -9,7 +9,7 @@
 //!              [--faults PLAN] [--feeds PROFILE] [--checkpoint FILE]
 //!              [--checkpoint-every N] [--kill-at SLOT] [--resume]
 //!              [--metrics-snapshot FILE|-] [--metrics-listen ADDR]
-//!              [--profile logical|wall]
+//!              [--alerts RULES] [--profile logical|wall]
 //!
 //! SCHEDULERS:
 //!   grefar (default) | always | local-only | price-greedy | mpc
@@ -42,7 +42,12 @@
 //! text-format exposition, atomically rewritten on a slot cadence (`-` =
 //! one dump to stdout at the end). `--metrics-listen ADDR` serves the same
 //! exposition live at `GET /metrics` plus a three-state health verdict at
-//! `GET /healthz`. `--profile logical|wall` attributes time across the
+//! `GET /healthz`. `--alerts RULES` evaluates declarative alert rules
+//! (inline `grefar_metrics::alerts` DSL spec or a path to a spec file)
+//! against the fold as the run progresses: fired rules appear as
+//! `alert.fire`/`alert.resolve` telemetry events, in the health snapshot,
+//! and on the listener's `GET /alerts` endpoint. `--profile logical|wall`
+//! attributes time across the
 //! per-slot span tree and appends `profile.span` events to the telemetry
 //! stream (`grefar-report profile` renders them; the logical clock is
 //! fully deterministic).
@@ -85,6 +90,7 @@ struct CliOptions {
     resume: bool,
     metrics_snapshot: Option<PathBuf>,
     metrics_listen: Option<String>,
+    alerts: Option<String>,
     profile: Option<SpanClock>,
 }
 
@@ -94,7 +100,7 @@ const USAGE: &str = "grefar_cli [--scheduler grefar|always|local-only|price-gree
                      [--csv DIR] [--telemetry FILE.jsonl|-] [--faults PLAN] [--feeds PROFILE] \
                      [--checkpoint FILE] [--checkpoint-every N] [--kill-at SLOT] [--resume] \
                      [--metrics-snapshot FILE|-] [--metrics-listen ADDR] \
-                     [--profile logical|wall]";
+                     [--alerts RULES] [--profile logical|wall]";
 
 fn parse_args() -> CliOptions {
     let mut opts = CliOptions {
@@ -117,6 +123,7 @@ fn parse_args() -> CliOptions {
         resume: false,
         metrics_snapshot: None,
         metrics_listen: None,
+        alerts: None,
         profile: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -177,6 +184,7 @@ fn parse_args() -> CliOptions {
             }
             "--metrics-snapshot" => opts.metrics_snapshot = Some(PathBuf::from(value(i))),
             "--metrics-listen" => opts.metrics_listen = Some(value(i).to_string()),
+            "--alerts" => opts.alerts = Some(value(i).to_string()),
             "--profile" => {
                 opts.profile =
                     Some(SpanClock::parse(value(i)).unwrap_or_else(|| {
@@ -305,6 +313,7 @@ fn main() {
         opts.resume,
         opts.metrics_snapshot.as_deref(),
         opts.metrics_listen.as_deref(),
+        opts.alerts.as_deref(),
         opts.profile,
         USAGE,
     );

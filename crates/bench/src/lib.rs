@@ -13,6 +13,10 @@
 //! * `--faults PLAN` — overlay a `grefar_faults::FaultPlan` (inline DSL
 //!   spec or a path to a spec file) on the generated inputs before any
 //!   scheduler runs; without the flag the inputs are untouched.
+//! * `--alerts RULES` — evaluate `grefar_metrics::alerts` rules (inline
+//!   DSL or a spec file) live against the metrics fold; fired alerts
+//!   surface as `alert.fire`/`alert.resolve` telemetry events, in the
+//!   `/healthz` snapshot, and on the `/alerts` endpoint.
 //!
 //! Output is plain aligned text: the same rows/series the paper reports.
 
@@ -61,6 +65,9 @@ pub struct ExperimentOpts {
     /// Optional `ADDR:PORT` for the blocking `/metrics` + `/healthz`
     /// listener.
     pub metrics_listen: Option<String>,
+    /// Optional alert rules: an inline `grefar_metrics::alerts` DSL spec
+    /// or a path to a spec file.
+    pub alerts: Option<String>,
     /// Optional span-profiler clock (requires `--telemetry`, which carries
     /// the `profile.span` trailer events).
     pub profile: Option<SpanClock>,
@@ -80,7 +87,7 @@ pub fn usage_error(message: &str, usage: &str) -> ! {
 /// The flag set shared by every experiment binary (for [`usage_error`]).
 pub const COMMON_USAGE: &str = "[--hours N] [--seed S] [--csv DIR] [--telemetry FILE|-] \
      [--faults PLAN] [--metrics-snapshot FILE|-] [--metrics-listen ADDR] \
-     [--profile logical|wall]";
+     [--alerts RULES] [--profile logical|wall]";
 
 /// Resolves a `--faults` value into a [`grefar_faults::FaultPlan`]: if the
 /// value names a readable file its contents are the spec, otherwise the
@@ -113,6 +120,23 @@ pub fn load_feed_profile(spec: &str, usage: &str) -> grefar_ingest::FeedProfile 
     match grefar_ingest::FeedProfile::parse(&text) {
         Ok(profile) => profile,
         Err(e) => usage_error(&format!("--feeds: {e}"), usage),
+    }
+}
+
+/// Resolves an `--alerts` value into a rule list: if the value names a
+/// readable file its contents are the spec, otherwise the value itself is
+/// parsed as an inline `grefar_metrics::alerts` DSL spec
+/// (e.g. `"deg:degraded_events>0;occ:occupancy_pct>90,for=3"`).
+///
+/// Exits with a usage error (status 2) when the spec does not parse.
+pub fn load_alert_rules(spec: &str, usage: &str) -> Vec<grefar_metrics::AlertRule> {
+    let text = match std::fs::read_to_string(spec) {
+        Ok(contents) => contents.trim().to_string(),
+        Err(_) => spec.to_string(),
+    };
+    match grefar_metrics::parse_rules(&text) {
+        Ok(rules) => rules,
+        Err(e) => usage_error(&format!("--alerts: {e}"), usage),
     }
 }
 
@@ -150,6 +174,7 @@ impl ExperimentOpts {
             faults: None,
             metrics_snapshot: None,
             metrics_listen: None,
+            alerts: None,
             profile: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -194,6 +219,10 @@ impl ExperimentOpts {
                     opts.metrics_listen = Some(value(i).to_string());
                     i += 2;
                 }
+                "--alerts" => {
+                    opts.alerts = Some(value(i).to_string());
+                    i += 2;
+                }
                 "--profile" => {
                     opts.profile = Some(SpanClock::parse(value(i)).unwrap_or_else(|| {
                         usage_error("--profile expects 'logical' or 'wall'", COMMON_USAGE)
@@ -229,6 +258,7 @@ impl ExperimentOpts {
             false,
             self.metrics_snapshot.as_deref(),
             self.metrics_listen.as_deref(),
+            self.alerts.as_deref(),
             self.profile,
             COMMON_USAGE,
         )
@@ -512,6 +542,7 @@ impl ObsPlane {
         append_telemetry: bool,
         metrics_snapshot: Option<&Path>,
         metrics_listen: Option<&str>,
+        alerts: Option<&str>,
         profile: Option<SpanClock>,
         usage: &str,
     ) -> Self {
@@ -525,7 +556,10 @@ impl ObsPlane {
             }
             Some(path) => TelemetrySink::Telemetry(Telemetry::with_jsonl(path)),
         };
-        let metrics_wanted = metrics_snapshot.is_some() || metrics_listen.is_some();
+        // Alert rules ride on the metrics fold, so --alerts alone still
+        // stands the metrics layer up (fired events flow to telemetry).
+        let metrics_wanted =
+            metrics_snapshot.is_some() || metrics_listen.is_some() || alerts.is_some();
         let (stack, shared) = if metrics_wanted {
             let config = MetricsConfig {
                 sink: match metrics_snapshot {
@@ -533,6 +567,7 @@ impl ObsPlane {
                     Some(p) if p.as_os_str() == "-" => SnapshotSink::Stdout,
                     Some(p) => SnapshotSink::File(p.to_path_buf()),
                 },
+                rules: alerts.map_or_else(Vec::new, |spec| load_alert_rules(spec, usage)),
                 ..MetricsConfig::default()
             };
             let shared = shared_handle();
@@ -765,6 +800,7 @@ mod tests {
             faults: None,
             metrics_snapshot: None,
             metrics_listen: None,
+            alerts: None,
             profile: None,
         };
         assert_eq!(

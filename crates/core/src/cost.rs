@@ -116,6 +116,79 @@ pub fn drift_penalty_objective(
     value
 }
 
+/// Per-data-center provenance of one decision: how much of the slot's
+/// drift and energy each DC contributed, plus the capacity-constraint
+/// operating point. Backs the `decision.explain` telemetry family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcExplain {
+    /// Data center index `i`.
+    pub dc: usize,
+    /// This DC's share of the drift term of (14):
+    /// `Σ_{j: i∈𝒟_j} [−Q_j·r_{i,j} + q_{i,j}·(r_{i,j} − h_{i,j})]`.
+    pub drift: f64,
+    /// This DC's energy cost `e_i(t)` (eq. (2) summand).
+    pub energy: f64,
+    /// Jobs routed to this DC this slot, `Σ_j r_{i,j}`.
+    pub routed: f64,
+    /// Jobs processed at this DC this slot, `Σ_j h_{i,j}`.
+    pub processed: f64,
+    /// Local queue backlog `Σ_j q_{i,j}(t)` observed before the decision.
+    pub backlog: f64,
+    /// Work scheduled this slot, `Σ_j h_{i,j}·d_j` (LHS of constraint (11)).
+    pub busy: f64,
+    /// Work capacity `Σ_k n_{i,k}·s_k` (RHS of constraint (11)); `busy`
+    /// close to `capacity` marks the constraint as binding.
+    pub capacity: f64,
+}
+
+/// Decomposes a decision's drift and energy by data center.
+///
+/// Reconciliation invariants (checked by unit tests and by
+/// `grefar-report explain`):
+/// * `Σ_i drift_i == drift_penalty_objective(..) − V·g` — the per-DC
+///   drifts sum to the full drift term of (14);
+/// * `Σ_i energy_i == energy_cost_total(..)` — the per-DC energies sum to
+///   the total energy cost (2).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn explain_decision(
+    config: &SystemConfig,
+    state: &SystemState,
+    queues: &QueueState,
+    decision: &Decision,
+) -> Vec<DcExplain> {
+    let jobs = config.job_classes();
+    let mut out: Vec<DcExplain> = (0..config.num_data_centers())
+        .map(|i| DcExplain {
+            dc: i,
+            drift: 0.0,
+            energy: energy_cost(
+                state.data_center(i),
+                decision.busy.row(i),
+                config.server_classes(),
+            ),
+            routed: 0.0,
+            processed: 0.0,
+            backlog: 0.0,
+            busy: 0.0,
+            capacity: state.data_center(i).capacity(config.server_classes()),
+        })
+        .collect();
+    for (i, j) in config.eligible_pairs() {
+        let (i, j) = (i.index(), j.index());
+        let r = decision.routed[(i, j)];
+        let h = decision.processed[(i, j)];
+        let entry = &mut out[i];
+        entry.drift += -queues.central(j) * r + queues.local(i, j) * (r - h);
+        entry.routed += r;
+        entry.processed += h;
+        entry.backlog += queues.local(i, j);
+        entry.busy += h * jobs[j].work();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +298,53 @@ mod tests {
         // −Q₀·r = −2·1; +q(0,0)·r = +2·1; −q(1,1)·h = −3·2.
         let expected = 1.5 - 2.0 + 2.0 - 6.0;
         assert!((val - expected).abs() < 1e-12, "{val} vs {expected}");
+    }
+
+    #[test]
+    fn explain_reconciles_with_objective_and_energy() {
+        let cfg = config();
+        let st = state();
+        let mut queues = QueueState::new(&cfg);
+        queues.apply(&cfg.decision_zeros(), &[4.0, 6.0]);
+        let mut route = cfg.decision_zeros();
+        route.routed[(0, 0)] = 2.0;
+        route.routed[(1, 1)] = 3.0;
+        queues.apply(&route, &[0.0, 0.0]);
+
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 1.0;
+        z.routed[(1, 0)] = 1.0;
+        z.processed[(1, 1)] = 2.0;
+        z.busy[(0, 0)] = 1.0;
+        z.busy[(1, 0)] = 2.0;
+        let f = QuadraticDeviation;
+        let (v, beta) = (3.0, 0.5);
+
+        let explains = explain_decision(&cfg, &st, &queues, &z);
+        assert_eq!(explains.len(), 2);
+        let g = cost_breakdown(&cfg, &st, &z, beta, &f).combined;
+        let objective = drift_penalty_objective(&cfg, &st, &queues, &z, v, beta, &f);
+        let drift_sum: f64 = explains.iter().map(|e| e.drift).sum();
+        assert!((drift_sum - (objective - v * g)).abs() < 1e-12);
+        let energy_sum: f64 = explains.iter().map(|e| e.energy).sum();
+        assert!((energy_sum - energy_cost_total(&cfg, &st, &z)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explain_reports_operating_point_per_dc() {
+        let cfg = config();
+        let st = state();
+        let queues = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 2.0;
+        z.processed[(0, 0)] = 1.0; // 1 job × work 2 = 2 work units
+        let explains = explain_decision(&cfg, &st, &queues, &z);
+        assert_eq!(explains[0].dc, 0);
+        assert!((explains[0].routed - 2.0).abs() < 1e-12);
+        assert!((explains[0].processed - 1.0).abs() < 1e-12);
+        assert!((explains[0].busy - 2.0).abs() < 1e-12);
+        // DC 0 capacity: 10 servers × speed 1 + 10 servers × speed 0.5.
+        assert!((explains[0].capacity - 15.0).abs() < 1e-12);
+        assert_eq!(explains[1].routed, 0.0);
     }
 }

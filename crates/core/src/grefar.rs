@@ -278,15 +278,14 @@ impl Scheduler for GreFar {
         }
 
         // Decompose (14): penalty = V·g(t), drift = the queue terms.
-        let g = crate::cost::cost_breakdown(
+        let breakdown = crate::cost::cost_breakdown(
             &self.config,
             state,
             &solution.decision,
             self.params.beta,
             self.fairness.as_ref(),
-        )
-        .combined;
-        let penalty = self.params.v * g;
+        );
+        let penalty = self.params.v * breakdown.combined;
         let drift = solution.objective - penalty;
 
         let (fw_iterations, fw_gap) = match solution.solver {
@@ -311,6 +310,46 @@ impl Scheduler for GreFar {
                     u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
                 ),
         );
+        // Decision provenance: one `decision.explain` per DC, attributing
+        // the drift/energy split of (14) and the constraint-(11) operating
+        // point. The global fairness score and per-account deficit counters
+        // Θ(t) ride on the DC-0 event (they are slot-wide, not per-DC); a
+        // `reason` field carries the machine label of whichever fallback
+        // overrode the solver for that DC (or the whole slot).
+        for explain in
+            crate::cost::explain_decision(&self.config, state, queues, &solution.decision)
+        {
+            let mut event = Event::new("decision.explain")
+                .field("t", state.slot())
+                .field("dc", explain.dc as u64)
+                .field("drift", explain.drift)
+                .field("energy", explain.energy)
+                .field("routed", explain.routed)
+                .field("processed", explain.processed)
+                .field("backlog", explain.backlog)
+                .field("busy", explain.busy)
+                .field("capacity", explain.capacity);
+            if explain.dc == 0 {
+                let deficits: Vec<String> = self
+                    .config
+                    .gammas()
+                    .iter()
+                    .zip(&breakdown.shares)
+                    .map(|(gamma, share)| (gamma - share).to_string())
+                    .collect();
+                event = event
+                    .field("fairness", breakdown.fairness)
+                    .field("deficits", deficits.join(","));
+            }
+            let reason = degradations
+                .iter()
+                .find(|d| d.dc == Some(explain.dc))
+                .or_else(|| degradations.iter().find(|d| d.dc.is_none()));
+            if let Some(degradation) = reason {
+                event = event.field("reason", degradation.reason.label());
+            }
+            obs.record_event(event);
+        }
         obs.record_duration("grefar.decide.wall_us", elapsed);
         if let SolverChoice::FrankWolfe { iterations, .. } = solution.solver {
             obs.record_value("grefar.fw_iterations", iterations as f64);
@@ -463,6 +502,39 @@ mod tests {
         let mut obs = MemoryObserver::new();
         let decision = g.decide_observed(&state, &queues, &mut obs);
         assert_eq!(obs.event_count("degraded.mode"), 1);
+        assert_eq!(obs.event_count("decision.explain"), 1);
         assert_eq!(decision.processed.sum(), 0.0);
+    }
+
+    #[test]
+    fn decision_explain_reconciles_with_decide_event() {
+        use grefar_obs::JsonlSink;
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 6.0;
+        queues.apply(&z, &[0.0]);
+        let state = SystemState::new(0, vec![DataCenterState::new(vec![30.0], Tariff::flat(0.5))]);
+        let mut g = GreFar::new(&cfg, GreFarParams::new(1.0, 0.0)).unwrap();
+        let mut sink = JsonlSink::new(Vec::new());
+        g.decide_observed(&state, &queues, &mut sink);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let events = grefar_obs::json::parse_lines(&text).unwrap();
+        let decide = events
+            .iter()
+            .find(|e| e["event"].as_str() == Some("grefar.decide"))
+            .unwrap();
+        let explains: Vec<_> = events
+            .iter()
+            .filter(|e| e["event"].as_str() == Some("decision.explain"))
+            .collect();
+        assert_eq!(explains.len(), 1); // one per DC
+        let drift_sum: f64 = explains.iter().map(|e| e["drift"].as_f64().unwrap()).sum();
+        assert!((drift_sum - decide["drift"].as_f64().unwrap()).abs() < 1e-9);
+        // Slot-wide fairness/deficit counters ride on the DC-0 event.
+        assert!(explains[0]["fairness"].as_f64().is_some());
+        assert!(explains[0]["deficits"].as_str().is_some());
+        // Healthy slot: no override reason.
+        assert!(explains[0].get("reason").is_none());
     }
 }

@@ -97,6 +97,9 @@ pub struct MetricsFold {
     runs_started: BTreeSet<String>,
     /// Latest breaker state per `(feed, dc)` key: true while open.
     breakers_open: BTreeMap<String, bool>,
+    /// Latest firing state per alert rule; empty until any `alert.*`
+    /// event is folded (keeps alert-free health snapshots unchanged).
+    alerts_firing: BTreeMap<String, bool>,
     last_slot: u64,
     last_checkpoint: Option<u64>,
     events: u64,
@@ -114,6 +117,7 @@ impl MetricsFold {
             per_label: BTreeMap::new(),
             runs_started: BTreeSet::new(),
             breakers_open: BTreeMap::new(),
+            alerts_firing: BTreeMap::new(),
             last_slot: 0,
             last_checkpoint: None,
             events: 0,
@@ -179,6 +183,16 @@ impl MetricsFold {
             checkpoint_age_slots: self
                 .last_checkpoint
                 .map(|at| self.last_slot.saturating_sub(at)),
+            active_alerts: if self.alerts_firing.is_empty() {
+                None
+            } else {
+                Some(
+                    self.alerts_firing
+                        .values()
+                        .filter(|firing| **firing)
+                        .count() as u64,
+                )
+            },
         };
         for accum in self.per_label.values() {
             health.invariant_violations += accum.invariant_violations;
@@ -344,10 +358,44 @@ impl MetricsFold {
                     1.0,
                 );
             }
+            "alert.fire" => {
+                let rule = fields.str("rule").unwrap_or("unknown").to_string();
+                self.alerts_firing.insert(rule.clone(), true);
+                self.registry.counter_add(
+                    "grefar_alerts_fired_total",
+                    "Alert rules that entered the firing state.",
+                    &[("rule", &rule)],
+                    1.0,
+                );
+                self.registry.gauge_set(
+                    "grefar_alert_firing",
+                    "1 while the alert rule is firing, 0 otherwise.",
+                    &[("rule", &rule)],
+                    1.0,
+                );
+            }
+            "alert.resolve" => {
+                let rule = fields.str("rule").unwrap_or("unknown").to_string();
+                self.alerts_firing.insert(rule.clone(), false);
+                self.registry.counter_add(
+                    "grefar_alerts_resolved_total",
+                    "Alert rules that cleared after firing.",
+                    &[("rule", &rule)],
+                    1.0,
+                );
+                self.registry.gauge_set(
+                    "grefar_alert_firing",
+                    "1 while the alert rule is firing, 0 otherwise.",
+                    &[("rule", &rule)],
+                    0.0,
+                );
+            }
             // Introspection events carry no per-run metrics: spans are
-            // profiler output, and health snapshots are *derived from*
-            // this fold — folding them back in would double-count.
-            "profile.span" | "health.snapshot" => {}
+            // profiler output, decision.explain is provenance detail the
+            // decide fold already aggregates, and health snapshots are
+            // *derived from* this fold — folding them back in would
+            // double-count.
+            "decision.explain" | "profile.span" | "health.snapshot" => {}
             _ => {}
         }
     }
@@ -756,6 +804,40 @@ mod tests {
         without.fold_event(&slot_event(0, 1.0));
         assert!(with.render().contains("grefar_slot_duration_us"));
         assert!(!without.render().contains("grefar_slot_duration_us"));
+    }
+
+    #[test]
+    fn alert_events_track_firing_state() {
+        let mut fold = MetricsFold::new(false);
+        assert_eq!(fold.health().active_alerts, None);
+        fold.fold_event(
+            &Event::new("alert.fire")
+                .field("t", 3_u64)
+                .field("rule", "deg")
+                .field("signal", "degraded_events")
+                .field("value", 2.0)
+                .field("threshold", 0.0)
+                .field("for_slots", 1_u64),
+        );
+        assert_eq!(fold.health().active_alerts, Some(1));
+        assert_eq!(
+            fold.registry()
+                .scalar("grefar_alert_firing", &[("rule", "deg")]),
+            Some(1.0)
+        );
+        fold.fold_event(
+            &Event::new("alert.resolve")
+                .field("t", 7_u64)
+                .field("rule", "deg")
+                .field("value", 0.0)
+                .field("fired_at", 3_u64),
+        );
+        assert_eq!(fold.health().active_alerts, Some(0));
+        assert_eq!(
+            fold.registry()
+                .scalar("grefar_alerts_resolved_total", &[("rule", "deg")]),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct Health {
     pub open_breakers: u64,
     /// Slots since the last checkpoint write (absent until one lands).
     pub checkpoint_age_slots: Option<u64>,
+    /// Alert rules currently firing (absent until any `alert.*` event has
+    /// been folded, so alert-free runs are byte-identical to before).
+    pub active_alerts: Option<u64>,
 }
 
 impl Health {
@@ -91,6 +94,9 @@ impl Health {
         if let Some(age) = self.checkpoint_age_slots {
             event = event.field("checkpoint_age_slots", age);
         }
+        if let Some(active) = self.active_alerts {
+            event = event.field("active_alerts", active);
+        }
         event
     }
 }
@@ -119,6 +125,7 @@ mod tests {
             stale_events: 1,
             open_breakers: 0,
             checkpoint_age_slots: Some(6),
+            active_alerts: Some(1),
         };
         let parsed = grefar_obs::json::parse_object(&health.to_json()).unwrap();
         assert_eq!(
@@ -145,9 +152,11 @@ mod tests {
             stale_events: 0,
             open_breakers: 0,
             checkpoint_age_slots: None,
+            active_alerts: None,
         };
         let json = health.to_json();
         assert!(!json.contains("queue_bound"));
         assert!(!json.contains("checkpoint_age_slots"));
+        assert!(!json.contains("active_alerts"));
     }
 }

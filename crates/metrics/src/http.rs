@@ -160,10 +160,17 @@ fn route(target: &str, shared: &SharedHandle) -> (&'static str, &'static str, St
             body.push('\n');
             (status, "application/json; charset=utf-8", body)
         }
+        "/alerts" => {
+            let mut body = snapshot.alerts_json;
+            if body.is_empty() {
+                body = "{\"alerts\":\"none configured\"}\n".to_string();
+            }
+            ("200 OK", "application/json; charset=utf-8", body)
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "try /metrics or /healthz\n".to_string(),
+            "try /metrics, /healthz or /alerts\n".to_string(),
         ),
     }
 }
@@ -190,6 +197,7 @@ mod tests {
             exposition: "# HELP grefar_slots_total Slots.\n# TYPE grefar_slots_total counter\ngrefar_slots_total 3\n".to_string(),
             health_json: "{\"event\":\"health.snapshot\",\"t\":3,\"verdict\":\"ok\"}".to_string(),
             verdict: "ok".to_string(),
+            alerts_json: "{\"rule\":\"deg\",\"firing\":false}\n".to_string(),
         };
         let server = MetricsServer::spawn("127.0.0.1:0", shared.clone()).unwrap();
         let addr = server.addr();
@@ -203,8 +211,13 @@ mod tests {
         assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
         assert!(health.contains("\"verdict\":\"ok\""));
 
+        let alerts = get(addr, "/alerts");
+        assert!(alerts.starts_with("HTTP/1.1 200 OK\r\n"), "{alerts}");
+        assert!(alerts.contains("\"rule\":\"deg\""));
+
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert!(missing.contains("/alerts"));
 
         shared.lock().unwrap().verdict = "violating".to_string();
         let unhealthy = get(addr, "/healthz");
@@ -223,6 +236,67 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_request_line_written_in_pieces_is_served() {
+        let shared = shared_handle();
+        shared.lock().unwrap().exposition = "# EOF\n".to_string();
+        let server = MetricsServer::spawn("127.0.0.1:0", shared).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Dribble the request head across several writes with pauses well
+        // under the 500ms IO timeout; the reader must keep accumulating
+        // until the blank line arrives.
+        for piece in [
+            &b"GET /met"[..],
+            b"rics HTTP/1.1\r\n",
+            b"Host: x\r\n",
+            b"\r\n",
+        ] {
+            stream.write_all(piece).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("# EOF"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn partial_request_that_stalls_gets_dropped_not_wedged() {
+        let server = MetricsServer::spawn("127.0.0.1:0", shared_handle()).unwrap();
+        let addr = server.addr();
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        // Never finish the head: the per-connection IO timeout must free
+        // the service thread so later connections still get answers.
+        stalled.write_all(b"GET /metrics HT").unwrap();
+        let mut response = String::new();
+        let _ = stalled.read_to_string(&mut response);
+        let after = get(addr, "/healthz");
+        assert!(after.starts_with("HTTP/1.1 200 OK\r\n"), "{after}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn sequential_connections_are_each_served() {
+        let shared = shared_handle();
+        shared.lock().unwrap().exposition = "# seq\n".to_string();
+        let server = MetricsServer::spawn("127.0.0.1:0", shared).unwrap();
+        for _ in 0..5 {
+            let response = get(server.addr(), "/metrics");
+            assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+            assert!(response.contains("# seq"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn ephemeral_port_zero_reports_the_bound_port() {
+        let server = MetricsServer::spawn("127.0.0.1:0", shared_handle()).unwrap();
+        assert_ne!(server.addr().port(), 0);
         server.shutdown();
     }
 }

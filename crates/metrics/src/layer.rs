@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 
 use grefar_obs::{Event, Observer};
 
+use crate::alerts::{AlertEngine, AlertRule};
 use crate::fold::MetricsFold;
 use crate::health::Health;
 
@@ -44,6 +45,9 @@ pub struct MetricsConfig {
     pub include_timings: bool,
     /// Emit `health.snapshot` events into the wrapped sink on refresh.
     pub emit_health_events: bool,
+    /// Alert rules evaluated once per `slot` event (see
+    /// [`alerts`](crate::alerts)); empty disables the engine entirely.
+    pub rules: Vec<AlertRule>,
 }
 
 impl Default for MetricsConfig {
@@ -53,6 +57,7 @@ impl Default for MetricsConfig {
             snapshot_every_slots: 64,
             include_timings: true,
             emit_health_events: true,
+            rules: Vec::new(),
         }
     }
 }
@@ -66,6 +71,9 @@ pub struct SharedSnapshot {
     pub health_json: String,
     /// The current verdict label (`ok` / `degraded` / `violating`).
     pub verdict: String,
+    /// Per-rule engine state for `GET /alerts` (one flat JSON object per
+    /// line; empty when no rules are configured).
+    pub alerts_json: String,
 }
 
 /// Handle to the snapshot shared between the run thread and the listener.
@@ -86,6 +94,7 @@ pub fn shared_handle() -> SharedHandle {
 pub struct MetricsLayer<I: Observer> {
     inner: I,
     fold: MetricsFold,
+    engine: Option<AlertEngine>,
     config: MetricsConfig,
     shared: Option<SharedHandle>,
     slots_since_snapshot: u64,
@@ -96,9 +105,15 @@ impl<I: Observer> MetricsLayer<I> {
     /// Wraps `inner` with fresh fold state.
     pub fn new(inner: I, config: MetricsConfig) -> Self {
         let include_timings = config.include_timings;
+        let engine = if config.rules.is_empty() {
+            None
+        } else {
+            Some(AlertEngine::new(config.rules.clone()))
+        };
         MetricsLayer {
             inner,
             fold: MetricsFold::new(include_timings),
+            engine,
             config,
             shared: None,
             slots_since_snapshot: 0,
@@ -119,7 +134,34 @@ impl<I: Observer> MetricsLayer<I> {
     /// # Errors
     /// The first unparsable line, with its line number.
     pub fn prefold_jsonl(&mut self, text: &str) -> Result<usize, String> {
-        self.fold.fold_jsonl(text)
+        match &mut self.engine {
+            None => self.fold.fold_jsonl(text),
+            Some(engine) => {
+                // Advance the alert engine through the prefix too, so a
+                // resumed run's rule state (hold counters, firing flags)
+                // continues where the interrupted run left off. The
+                // regenerated events are discarded: they are already in
+                // the recorded prefix.
+                let mut folded = 0usize;
+                for (idx, line) in text.lines().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let object = grefar_obs::json::parse_object(line)
+                        .map_err(|e| format!("line {}: {e}", idx + 1))?;
+                    let is_slot = object
+                        .get("event")
+                        .and_then(grefar_obs::json::JsonValue::as_str)
+                        == Some("slot");
+                    self.fold.fold_json(&object);
+                    if is_slot {
+                        let _ = engine.evaluate(&self.fold.health());
+                    }
+                    folded += 1;
+                }
+                Ok(folded)
+            }
+        }
     }
 
     /// The current health summary.
@@ -145,6 +187,11 @@ impl<I: Observer> MetricsLayer<I> {
                 snap.exposition = exposition.clone();
                 snap.health_json = health.to_json();
                 snap.verdict = health.verdict.label().to_string();
+                snap.alerts_json = self
+                    .engine
+                    .as_ref()
+                    .map(AlertEngine::states_json)
+                    .unwrap_or_default();
             }
         }
         if let SnapshotSink::File(path) = &self.config.sink {
@@ -199,6 +246,18 @@ impl<I: Observer> Observer for MetricsLayer<I> {
             self.inner.record_event(event);
         }
         if is_slot {
+            // Alert rules see the end-of-slot health summary. Generated
+            // events are folded back into this layer's own fold before
+            // forwarding, so the live exposition and an offline rebuild of
+            // the recorded stream render identically.
+            if let Some(engine) = &mut self.engine {
+                for alert in engine.evaluate(&self.fold.health()) {
+                    self.fold.fold_event(&alert);
+                    if self.inner.enabled() {
+                        self.inner.record_event(alert);
+                    }
+                }
+            }
             self.slots_since_snapshot += 1;
             if self.slots_since_snapshot >= self.config.snapshot_every_slots {
                 self.snapshot_now();
@@ -328,6 +387,85 @@ mod tests {
         assert!(snap.exposition.contains("grefar_slots_total"));
         assert_eq!(snap.verdict, "ok");
         assert!(snap.health_json.contains("\"verdict\":\"ok\""));
+    }
+
+    #[test]
+    fn alert_rules_fire_live_and_match_the_offline_replay() {
+        let rules = crate::alerts::parse_rules("deg:degraded_events>0").unwrap();
+        let mut sink = grefar_obs::JsonlSink::new(Vec::new());
+        let config = MetricsConfig {
+            include_timings: false,
+            emit_health_events: false,
+            rules: rules.clone(),
+            ..MetricsConfig::default()
+        };
+        let mut layer = MetricsLayer::new(&mut sink, config);
+        layer.record_event(slot(0));
+        layer.record_event(
+            Event::new("degraded.mode")
+                .field("t", 1_u64)
+                .field("reason", "dc_offline"),
+        );
+        layer.record_event(slot(1));
+        assert_eq!(layer.health().active_alerts, Some(1));
+        let exposition = layer.fold().render();
+        assert!(exposition.contains("grefar_alerts_fired_total"));
+        drop(layer);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("\"event\":\"alert.fire\""));
+
+        // Offline replay of the recorded stream (which now carries the
+        // alert.fire line) regenerates the identical alert and renders the
+        // identical exposition — the live/offline identity check.
+        let (fold, engine, generated) = crate::alerts::replay_jsonl(rules, &text).unwrap();
+        assert_eq!(generated.len(), 1);
+        assert_eq!(generated[0].name(), "alert.fire");
+        assert_eq!(engine.active_count(), 1);
+        assert_eq!(fold.render(), exposition);
+    }
+
+    #[test]
+    fn prefold_advances_the_alert_engine_without_reemitting() {
+        let rules = crate::alerts::parse_rules("deg:degraded_events>0").unwrap();
+        let prefix = format!(
+            "{}\n{}\n",
+            Event::new("degraded.mode")
+                .field("t", 0_u64)
+                .field("reason", "dc_offline")
+                .to_json_with_schema(1),
+            slot(0).to_json_with_schema(1),
+        );
+        let mut mem = MemoryObserver::new();
+        let config = MetricsConfig {
+            include_timings: false,
+            emit_health_events: false,
+            rules,
+            ..MetricsConfig::default()
+        };
+        let mut layer = MetricsLayer::new(&mut mem, config);
+        layer.prefold_jsonl(&prefix).unwrap();
+        // The rule fired inside the prefix: state carries over, and the
+        // live continuation neither re-fires nor forwards prefix alerts.
+        layer.record_event(slot(1));
+        drop(layer);
+        assert_eq!(mem.event_count("alert.fire"), 0);
+    }
+
+    #[test]
+    fn shared_snapshot_carries_alert_state() {
+        let shared = shared_handle();
+        let mut null = NullObserver;
+        let config = MetricsConfig {
+            snapshot_every_slots: 1,
+            rules: crate::alerts::parse_rules("s:slots>0").unwrap(),
+            ..MetricsConfig::default()
+        };
+        let mut layer = MetricsLayer::new(&mut null, config).with_shared(shared.clone());
+        layer.record_event(slot(0));
+        let snap = shared.lock().unwrap();
+        assert!(snap.alerts_json.contains("\"rule\":\"s\""));
+        assert!(snap.alerts_json.contains("\"firing\":true"));
+        assert!(snap.health_json.contains("\"active_alerts\":1"));
     }
 
     #[test]

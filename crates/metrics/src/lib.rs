@@ -19,7 +19,11 @@
 //!   with `grefar-report analyze --assert-bound`.
 //! - [`MetricsLayer`] — the live `Observer` middleware: folds, forwards,
 //!   and snapshots on a slot cadence.
-//! - [`MetricsServer`] — the blocking std-`TcpListener` endpoint.
+//! - [`alerts`] — the declarative alerting/SLO engine (threshold, ratio
+//!   and burn-rate rules over the fold), evaluated identically live and
+//!   in the offline `grefar-report alerts` replay.
+//! - [`MetricsServer`] — the blocking std-`TcpListener` endpoint
+//!   (`/metrics`, `/healthz`, `/alerts`).
 //! - [`lint`] — a hand-rolled exposition-format lint doubling as the
 //!   executable spec of the workspace metric naming conventions.
 //!
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 mod fold;
 mod health;
 mod http;
@@ -36,6 +41,7 @@ mod layer;
 mod lint;
 mod registry;
 
+pub use alerts::{parse_rules, AlertEngine, AlertRule};
 pub use fold::{MetricsFold, DURATION_US_BUCKETS};
 pub use health::{Health, Verdict};
 pub use http::MetricsServer;

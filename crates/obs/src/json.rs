@@ -36,6 +36,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one flat JSON object line into an ordered key → value map.

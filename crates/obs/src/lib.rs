@@ -88,5 +88,5 @@ pub use histogram::{Histogram, Quantiles};
 pub use jsonl::JsonlSink;
 pub use memory::MemoryObserver;
 pub use observer::{NullObserver, Observer, Tee};
-pub use span::{folded_from, SpanClock, SpanProfiler, SpanStat};
+pub use span::{folded_from, span_id, span_parent, SpanClock, SpanProfiler, SpanStat};
 pub use timer::Timer;

@@ -101,11 +101,42 @@ pub struct EventSchema {
 /// (telemetry first, then checkpoint).
 pub const EVENTS: &[EventSchema] = &[
     EventSchema {
+        name: "alert.fire",
+        channel: Channel::Telemetry,
+        doc: "An alert rule's condition held for its full hold window.",
+        required: &[u("t"), s("rule"), s("signal"), f("value"), f("threshold")],
+        optional: &[u("for_slots")],
+    },
+    EventSchema {
+        name: "alert.resolve",
+        channel: Channel::Telemetry,
+        doc: "A previously fired alert rule's condition cleared.",
+        required: &[u("t"), s("rule"), f("value"), u("fired_at")],
+        optional: &[],
+    },
+    EventSchema {
         name: "checkpoint.write",
         channel: Channel::Telemetry,
         doc: "A checkpoint was cut at slot t.",
         required: &[u("t")],
         optional: &[],
+    },
+    EventSchema {
+        name: "decision.explain",
+        channel: Channel::Telemetry,
+        doc: "Per-DC provenance of one drift-plus-penalty decision (eq. 14).",
+        required: &[
+            u("t"),
+            u("dc"),
+            f("drift"),
+            f("energy"),
+            f("routed"),
+            f("processed"),
+            f("backlog"),
+            f("busy"),
+            f("capacity"),
+        ],
+        optional: &[f("fairness"), s("deficits"), s("reason")],
     },
     EventSchema {
         name: "degraded.mode",
@@ -179,6 +210,7 @@ pub const EVENTS: &[EventSchema] = &[
             f("queue_bound"),
             f("occupancy_pct"),
             u("checkpoint_age_slots"),
+            u("active_alerts"),
         ],
     },
     EventSchema {
@@ -214,6 +246,8 @@ pub const EVENTS: &[EventSchema] = &[
             u("self_ticks"),
             u("total_us"),
             u("self_us"),
+            u("span_id"),
+            u("parent_id"),
         ],
     },
     EventSchema {

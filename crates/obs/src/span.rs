@@ -147,7 +147,11 @@ impl SpanProfiler {
             let mut event = Event::new("profile.span")
                 .field("stack", path.clone())
                 .field("clock", self.clock.label())
-                .field("count", stat.count);
+                .field("count", stat.count)
+                .field("span_id", span_id(path));
+            if let Some(parent) = span_parent(path) {
+                event = event.field("parent_id", span_id(parent));
+            }
             event = match self.clock {
                 SpanClock::Logical => event
                     .field("total_ticks", stat.total)
@@ -183,6 +187,30 @@ impl SpanProfiler {
             parent.child_time += total;
         }
     }
+}
+
+/// A stable, deterministic identifier for a span path: FNV-1a over the
+/// `;`-joined path string. The same path hashes to the same id in every
+/// run and process, which is what makes exported traces byte-reproducible
+/// and lets offline tooling correlate `profile.span` events with the
+/// Perfetto export without any shared state.
+pub fn span_id(path: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in path.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    // Reserve 0 so consumers can use it as "no parent".
+    if hash == 0 {
+        1
+    } else {
+        hash
+    }
+}
+
+/// The parent prefix of a `;`-joined span path, if any.
+pub fn span_parent(path: &str) -> Option<&str> {
+    path.rsplit_once(';').map(|(parent, _)| parent)
 }
 
 /// Renders folded-stack lines from `(path, self_value)` pairs.
@@ -336,6 +364,36 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert!(events[0]["total_us"].as_f64().is_some());
         assert!(events[0].get("total_ticks").is_none());
+    }
+
+    #[test]
+    fn span_ids_are_stable_and_parent_linked() {
+        assert_eq!(span_id("slot;decide"), span_id("slot;decide"));
+        assert_ne!(span_id("slot"), span_id("slot;decide"));
+        assert_eq!(span_parent("slot;decide;fw.iter"), Some("slot;decide"));
+        assert_eq!(span_parent("slot"), None);
+
+        // Both clocks must attach the trace-ID fields, and a child's
+        // parent_id must equal its parent's span_id.
+        for clock in [SpanClock::Logical, SpanClock::Wall] {
+            let mut p = SpanProfiler::new(clock);
+            drive(&mut p);
+            let mut sink = JsonlSink::new(Vec::new());
+            p.emit_into(&mut sink);
+            let text = String::from_utf8(sink.into_inner()).unwrap();
+            let events = crate::json::parse_lines(&text).unwrap();
+            assert!(events.iter().all(|e| e["span_id"].as_f64().is_some()));
+            let decide = events
+                .iter()
+                .find(|e| e["stack"].as_str() == Some("slot;decide"))
+                .unwrap();
+            assert_eq!(decide["parent_id"].as_f64(), Some(span_id("slot") as f64));
+            let root = events
+                .iter()
+                .find(|e| e["stack"].as_str() == Some("slot"))
+                .unwrap();
+            assert!(root.get("parent_id").is_none());
+        }
     }
 
     #[test]

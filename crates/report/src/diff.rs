@@ -90,9 +90,16 @@ fn is_timing_key(key: &str) -> bool {
 }
 
 /// Events excluded from comparison: emitted on policy cadences
-/// (checkpoint interval, snapshot interval), not by the schedule itself.
+/// (checkpoint interval, snapshot interval, profiling flags, alert
+/// rules), not by the schedule itself. A profiled run under `--profile
+/// wall` or an alert-monitored run must still diff clean against a bare
+/// run of the same seed.
 fn is_policy_event(event: &JsonObject) -> bool {
-    matches!(event_name(event), "checkpoint.write" | "health.snapshot")
+    let name = event_name(event);
+    matches!(
+        name,
+        "checkpoint.write" | "health.snapshot" | "profile.span"
+    ) || name.starts_with("alert.")
 }
 
 fn numbers_match(x: f64, y: f64, tolerance: f64) -> bool {
@@ -261,6 +268,9 @@ mod tests {
             "{\"schema\":1,\"event\":\"slot\",\"t\":1",
             "{\"schema\":1,\"event\":\"checkpoint.write\",\"t\":1}\n\
              {\"schema\":1,\"event\":\"health.snapshot\",\"t\":1,\"verdict\":\"ok\"}\n\
+             {\"schema\":1,\"event\":\"profile.span\",\"path\":\"slot\",\"wall_us\":12}\n\
+             {\"schema\":1,\"event\":\"alert.fire\",\"t\":1,\"rule\":\"deg\"}\n\
+             {\"schema\":1,\"event\":\"alert.resolve\",\"t\":1,\"rule\":\"deg\"}\n\
              {\"schema\":1,\"event\":\"slot\",\"t\":1",
         );
         let diff = diff_streams(BASE, &checkpointed, &DiffOptions::default()).unwrap();

@@ -21,6 +21,15 @@
 //! * [`ProfileReport`] (`grefar-report profile`) — reads the
 //!   `profile.span` events flushed by `--profile` runs back into a
 //!   summary table or folded-stack flamegraph input.
+//! * [`ExplainReport`] (`grefar-report explain`) — the per-slot decision
+//!   provenance tables built from `decision.explain` events: per-DC
+//!   drift/energy attribution, binding capacity constraints, fallback
+//!   reasons, and a top-k ranking of the slots behind peak queue growth,
+//!   cross-checked against the `grefar.decide` decomposition.
+//! * [`export_trace`] (`grefar-report trace`) — Chrome trace-event /
+//!   Perfetto JSON export of a run, slot spans with fault/feed/degraded
+//!   instants overlaid and profile spans re-nested, shape-validated by
+//!   [`lint_trace`] and byte-stable under the logical clock.
 //! * `grefar-report metrics` / `promlint` — rebuilds the Prometheus
 //!   exposition from a recorded stream via `grefar_metrics::MetricsFold`,
 //!   and lints exposition files against the text-format rules.
@@ -37,13 +46,17 @@
 pub mod analyze;
 pub mod bench_gate;
 pub mod diff;
+pub mod explain;
 pub mod lintdiff;
 pub mod profile;
 pub mod stream;
+pub mod trace;
 
 pub use analyze::{Analysis, BoundCheck, FaultImpact, Resilience, RunAnalysis};
 pub use bench_gate::{gate, BenchCase, BenchFile, CaseVerdict, GateReport};
 pub use diff::{diff_streams, DiffOptions, StreamDiff};
+pub use explain::{ExplainReport, SlotExplain};
 pub use lintdiff::{diff_findings, parse_findings, LintDiff, LintFinding};
 pub use profile::{ProfileReport, ProfileSpan};
 pub use stream::{parse_versioned_lines, DegradedSample, FaultSample, Run, TelemetryStream};
+pub use trace::{export_trace, lint_trace};

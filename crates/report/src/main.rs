@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! grefar-report analyze RUN.jsonl [--assert-bound]
+//! grefar-report explain RUN.jsonl [SLOT | --top-k N]
+//! grefar-report trace RUN.jsonl OUT.json
+//! grefar-report alerts RUN.jsonl --rules SPEC [--assert-fire|--assert-quiet]
 //! grefar-report diff A.jsonl B.jsonl [--tolerance X]
 //! grefar-report bench-gate OLD.json NEW.json [--threshold 10%]
 //! grefar-report profile RUN.jsonl [--folded OUT.txt]
@@ -14,7 +17,8 @@
 //! differ, bench regression, lint findings), 2 = usage or parse error.
 
 use grefar_report::{
-    bench_gate, diff_streams, Analysis, BenchFile, DiffOptions, ProfileReport, TelemetryStream,
+    bench_gate, diff_streams, export_trace, lint_trace, Analysis, BenchFile, DiffOptions,
+    ExplainReport, ProfileReport, TelemetryStream,
 };
 use std::process::ExitCode;
 
@@ -25,8 +29,24 @@ commands:\n\
       Lyapunov decomposition, Theorem 1(a/b) bound occupancy, solver mix\n\
       and wall-time quantiles. With --assert-bound, exits 1 if any run\n\
       exceeds its queue bound or recorded an invariant violation.\n\
+  explain RUN.jsonl [SLOT | --top-k N]\n\
+      Renders the per-DC decision provenance of one slot (or the top N\n\
+      slots by queue growth, default 5) from decision.explain events,\n\
+      cross-checked against the grefar.decide drift/penalty split; exits\n\
+      1 when the attribution fails to reconcile.\n\
+  trace RUN.jsonl OUT.json\n\
+      Exports the stream as Chrome trace-event JSON for ui.perfetto.dev:\n\
+      slot spans with fault/feed/degraded instants overlaid, plus the\n\
+      --profile span tree when recorded. Self-validates the shape before\n\
+      writing; use '-' to print to stdout.\n\
+  alerts RUN.jsonl --rules SPEC [--assert-fire|--assert-quiet]\n\
+      Replays the stream through the alert engine (SPEC is a rule-DSL\n\
+      string or a file holding one) and prints the alert.fire/resolve\n\
+      events it generates. --assert-fire exits 1 when nothing fired;\n\
+      --assert-quiet exits 1 when anything did.\n\
   diff A.jsonl B.jsonl [--tolerance X]\n\
-      Compares two streams ignoring _us timing fields; exits 1 when they\n\
+      Compares two streams ignoring _us timing fields and policy events\n\
+      (checkpoints, snapshots, profile spans, alerts); exits 1 when they\n\
       differ semantically. X is a relative tolerance (default 0 = exact).\n\
   bench-gate OLD.json NEW.json [--threshold 10%]\n\
       Compares two BENCH_*.json files (cargo bench -- --json); exits 1\n\
@@ -87,6 +107,132 @@ fn run_analyze(args: &[String]) -> Result<ExitCode, String> {
     print!("{}", analysis.render());
     if assert_bound && analysis.any_bound_exceeded() {
         eprintln!("grefar-report: Theorem 1(a) bound exceeded (or invariant violated)");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_explain(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut slot = None;
+    let mut top_k = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top-k" => {
+                let value = iter.next().ok_or("--top-k needs a count")?;
+                top_k = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("not a count: {value:?}"))?,
+                );
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other if slot.is_none() && !other.starts_with("--") => {
+                slot = Some(
+                    other
+                        .parse::<u64>()
+                        .map_err(|_| format!("not a slot index: {other:?}"))?,
+                );
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("explain needs a RUN.jsonl path")?;
+    if slot.is_some() && top_k.is_some() {
+        return Err("explain takes a SLOT or --top-k, not both".to_string());
+    }
+    let report = ExplainReport::from_stream(&read(&path)?)?;
+    match slot {
+        Some(t) => print!("{}", report.render_slot(t)?),
+        None => print!("{}", report.render_top(top_k.unwrap_or(5))),
+    }
+    let failures = report.reconcile();
+    if failures.is_empty() {
+        println!(
+            "attribution reconciles with grefar.decide across {} slot(s)",
+            report.slots.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for failure in &failures {
+        eprintln!("grefar-report: {failure}");
+    }
+    eprintln!(
+        "grefar-report: {} attribution reconciliation failure(s)",
+        failures.len()
+    );
+    Ok(ExitCode::from(1))
+}
+
+fn run_trace(args: &[String]) -> Result<ExitCode, String> {
+    let [path, out] = args else {
+        return Err("trace needs a RUN.jsonl path and an output path (or -)".to_string());
+    };
+    let trace = export_trace(&read(path)?)?;
+    let findings = lint_trace(&trace);
+    if !findings.is_empty() {
+        for finding in &findings {
+            eprintln!("grefar-report: trace shape: {finding}");
+        }
+        return Err(format!(
+            "exported trace failed its own shape lint ({} finding(s))",
+            findings.len()
+        ));
+    }
+    if out == "-" {
+        print!("{trace}");
+    } else {
+        std::fs::write(out, &trace).map_err(|e| format!("cannot write {out}: {e}"))?;
+        let events = trace.lines().count().saturating_sub(2);
+        println!("{out}: {events} trace event(s) — open at https://ui.perfetto.dev");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_alerts(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut spec = None;
+    let mut assert_fire = false;
+    let mut assert_quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--rules" => spec = Some(iter.next().ok_or("--rules needs a spec")?.to_string()),
+            "--assert-fire" => assert_fire = true,
+            "--assert-quiet" => assert_quiet = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("alerts needs a RUN.jsonl path")?;
+    let spec = spec.ok_or("alerts needs --rules SPEC")?;
+    if assert_fire && assert_quiet {
+        return Err("--assert-fire and --assert-quiet are mutually exclusive".to_string());
+    }
+    // SPEC is a file when one exists at that path, inline DSL otherwise —
+    // the same convention the experiment binaries use for --alerts.
+    let text = match std::fs::read_to_string(&spec) {
+        Ok(contents) => contents,
+        Err(_) => spec.clone(),
+    };
+    let rules = grefar_metrics::parse_rules(&text)?;
+    let (_, engine, events) = grefar_metrics::alerts::replay_jsonl(rules, &read(&path)?)?;
+    for event in &events {
+        println!("{}", event.to_json_with_schema(grefar_obs::SCHEMA_VERSION));
+    }
+    let fired = events.iter().filter(|e| e.name() == "alert.fire").count();
+    let resolved = events.len() - fired;
+    println!(
+        "{fired} fired, {resolved} resolved, {} still firing at end of stream",
+        engine.active_count()
+    );
+    if assert_fire && fired == 0 {
+        eprintln!("grefar-report: expected at least one alert to fire, none did");
+        return Ok(ExitCode::from(1));
+    }
+    if assert_quiet && fired > 0 {
+        eprintln!("grefar-report: expected no alerts, {fired} fired");
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
@@ -233,6 +379,9 @@ fn main() -> ExitCode {
     };
     let outcome = match command.as_str() {
         "analyze" => run_analyze(rest),
+        "explain" => run_explain(rest),
+        "trace" => run_trace(rest),
+        "alerts" => run_alerts(rest),
         "diff" => run_diff(rest),
         "bench-gate" => run_bench_gate(rest),
         "profile" => run_profile(rest),

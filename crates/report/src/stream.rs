@@ -115,6 +115,38 @@ pub struct DegradedSample {
     pub dc: Option<u64>,
 }
 
+/// One `decision.explain` event — per-DC provenance of one drift-plus-
+/// penalty decision (eq. 14). The slot-wide fairness score and deficit
+/// counters ride on the DC-0 event only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainSample {
+    /// The slot.
+    pub t: u64,
+    /// Data center index `i`.
+    pub dc: u64,
+    /// This DC's share of the drift term of (14).
+    pub drift: f64,
+    /// This DC's energy cost `e_i(t)`.
+    pub energy: f64,
+    /// Jobs routed to this DC, `Σ_j r_{i,j}`.
+    pub routed: f64,
+    /// Jobs processed at this DC, `Σ_j h_{i,j}`.
+    pub processed: f64,
+    /// Local backlog `Σ_j q_{i,j}(t)` before the decision.
+    pub backlog: f64,
+    /// Work scheduled, `Σ_j h_{i,j}·d_j` (LHS of constraint (11)).
+    pub busy: f64,
+    /// Work capacity `Σ_k n_{i,k}·s_k` (RHS of constraint (11)).
+    pub capacity: f64,
+    /// Slot-wide fairness score `f(t)` (DC-0 event only).
+    pub fairness: Option<f64>,
+    /// Comma-joined per-account deficits `γ_m − x_m` (DC-0 event only).
+    pub deficits: Option<String>,
+    /// Machine reason when a fallback overrode the solver for this DC or
+    /// the whole slot.
+    pub reason: Option<String>,
+}
+
 /// One `feed.fetch` event — a poll that failed or needed retries (clean
 /// single-attempt fetches stay silent, so these samples *are* the feed
 /// layer's retry/failure activity).
@@ -203,6 +235,9 @@ pub struct Run {
     pub slots: Vec<SlotSample>,
     /// Per-decision scheduler samples in slot order.
     pub decides: Vec<DecideSample>,
+    /// `decision.explain` provenance events, in stream order (N per
+    /// decided slot, one per data center).
+    pub explains: Vec<ExplainSample>,
     /// `wall_us` of every `slot` event.
     pub slot_wall_us: Vec<f64>,
     /// `wall_us` of every `grefar.decide` event.
@@ -320,8 +355,10 @@ impl TelemetryStream {
                 }
                 // Post-run trailers: the span profiler flushes after
                 // `run.end`, and the metrics layer's final `health.snapshot`
-                // lands there too.
-                "profile.span" | "health.snapshot" => continue,
+                // lands there too. Alert transitions are fold policy, not
+                // run samples — `grefar-report alerts` replays them through
+                // the metrics fold instead.
+                "profile.span" | "health.snapshot" | "alert.fire" | "alert.resolve" => continue,
                 _ => {}
             }
             let run = match runs.last_mut() {
@@ -362,6 +399,28 @@ impl TelemetryStream {
                         fw_gap: number(event, "fw_gap", idx).unwrap_or(0.0),
                     });
                     run.decide_wall_us.push(number(event, "wall_us", idx)?);
+                }
+                "decision.explain" => {
+                    run.explains.push(ExplainSample {
+                        t: number(event, "t", idx)? as u64,
+                        dc: number(event, "dc", idx)? as u64,
+                        drift: number(event, "drift", idx)?,
+                        energy: number(event, "energy", idx)?,
+                        routed: number(event, "routed", idx)?,
+                        processed: number(event, "processed", idx)?,
+                        backlog: number(event, "backlog", idx)?,
+                        busy: number(event, "busy", idx)?,
+                        capacity: number(event, "capacity", idx)?,
+                        fairness: opt_number(event, "fairness"),
+                        deficits: event
+                            .get("deficits")
+                            .and_then(JsonValue::as_str)
+                            .map(str::to_string),
+                        reason: event
+                            .get("reason")
+                            .and_then(JsonValue::as_str)
+                            .map(str::to_string),
+                    });
                 }
                 "lp.solve" => {
                     run.lp_wall_us.push(number(event, "wall_us", idx)?);
@@ -562,6 +621,7 @@ mod tests {
         let run = &stream.runs[0];
         assert_eq!(run.slots.len(), 1);
         assert_eq!(run.decides.len(), 1);
+        assert_eq!(run.explains.len(), 1);
         assert_eq!(run.lp_wall_us.len(), 1);
         assert_eq!(run.faults.len(), 1);
         assert_eq!(run.degraded.len(), 1);

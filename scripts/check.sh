@@ -96,6 +96,39 @@ cmp -s "$report_tmp/obs_a.folded" "$report_tmp/obs_b.folded" \
     || { echo "folded span profile is not deterministic" >&2; exit 1; }
 echo "observability ok"
 
+# Decision provenance, trace export and alerting (see EXPERIMENTS.md,
+# "Explaining a run"): the per-DC attribution must reconcile with the
+# grefar.decide decomposition; the Perfetto export must pass its own
+# shape lint and come out byte-identical across identical-seed
+# logical-clock runs; a degraded-run alert rule must fire live, replay
+# offline to the exact same event stream, leave the schedule diff-clean,
+# and stay quiet on a healthy run.
+./target/release/grefar-report explain "$report_tmp/faulted.jsonl" --top-k 5 \
+    | grep -q 'attribution reconciles' \
+    || { echo "explain attribution failed to reconcile" >&2; exit 1; }
+./target/release/grefar-report trace "$report_tmp/obs.jsonl" \
+    "$report_tmp/obs_a.trace.json" > /dev/null
+./target/release/grefar-report trace "$report_tmp/obs_b.jsonl" \
+    "$report_tmp/obs_b.trace.json" > /dev/null
+cmp -s "$report_tmp/obs_a.trace.json" "$report_tmp/obs_b.trace.json" \
+    || { echo "trace export is not deterministic" >&2; exit 1; }
+alert_rule='deg:degraded_events>0'
+./target/release/grefar_cli --hours 500 --faults "$outage" --alerts "$alert_rule" \
+    --telemetry "$report_tmp/alerted.jsonl" > /dev/null
+grep -q '"event":"alert.fire"' "$report_tmp/alerted.jsonl" \
+    || { echo "faulted run fired no alert" >&2; exit 1; }
+./target/release/grefar-report diff \
+    "$report_tmp/faulted.jsonl" "$report_tmp/alerted.jsonl" > /dev/null
+grep -e '"event":"alert\.' "$report_tmp/alerted.jsonl" > "$report_tmp/alerts.live"
+./target/release/grefar-report alerts "$report_tmp/alerted.jsonl" \
+    --rules "$alert_rule" --assert-fire \
+    | grep -e '"event":"alert\.' > "$report_tmp/alerts.replay"
+cmp -s "$report_tmp/alerts.live" "$report_tmp/alerts.replay" \
+    || { echo "live and replayed alert streams differ" >&2; exit 1; }
+./target/release/grefar-report alerts "$report_tmp/obs.jsonl" \
+    --rules "$alert_rule" --assert-quiet > /dev/null
+echo "provenance, trace and alerts ok"
+
 # Perf trajectory: benches emit machine-readable BENCH_<target>.json; a
 # self-comparison through the gate must pass at a tight threshold, and the
 # fresh numbers must stay within a loose envelope of the committed

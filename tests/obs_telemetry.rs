@@ -46,8 +46,9 @@ fn simulation_jsonl_parses_and_covers_schema() {
     let text = jsonl_stream(2012, hours, 7.5, 0.0);
     let events = json::parse_lines(&text).expect("every line is valid JSON");
 
-    // run.start, one slot + one grefar.decide per hour, run.end.
-    assert_eq!(events.len(), 2 + 2 * hours);
+    // run.start; per hour one slot, one grefar.decide and one
+    // decision.explain per data center (the paper scenario has 3); run.end.
+    assert_eq!(events.len(), 2 + 5 * hours);
     let name = |e: &std::collections::BTreeMap<String, JsonValue>| {
         e.get("event")
             .and_then(JsonValue::as_str)
@@ -60,6 +61,13 @@ fn simulation_jsonl_parses_and_covers_schema() {
     assert_eq!(
         events.iter().filter(|e| name(e) == "grefar.decide").count(),
         hours
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| name(e) == "decision.explain")
+            .count(),
+        3 * hours
     );
 
     // Spot-check fields of the first slot event.
