@@ -9,7 +9,10 @@
 //! * `MPC`       — receding-horizon planning with an oracle forecast
 //!   (what §II's prediction-based approaches could at best achieve).
 
-use grefar_bench::{apply_fault_plan, print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V};
+use grefar_bench::{
+    apply_fault_plan, exit_if_signaled, print_table, signal, ExperimentOpts, DEFAULT_BETA,
+    DEFAULT_V,
+};
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
 use grefar_sim::{sweep, theory_obs, MpcScheduler, PaperScenario};
 
@@ -42,6 +45,7 @@ fn print_comparison(title: &str, reports: &[(String, grefar_sim::SimulationRepor
 }
 
 fn main() {
+    signal::install();
     let opts = ExperimentOpts::from_args(500);
     let scenario = PaperScenario::default().with_seed(opts.seed);
     let config = scenario.config().clone();
@@ -73,10 +77,13 @@ fn main() {
             ("GreFar b=100".to_string(), DEFAULT_V, DEFAULT_BETA),
         ];
         theory_obs::emit_theory_bounds(&config, &inputs, &bounded, &mut plane);
-        sweep::run_all_observed(&config, &inputs, runs, &mut plane)
+        sweep::run_all_observed_until(&config, &inputs, runs, &mut plane, &signal::triggered)
     } else {
         sweep::run_all(&config, &inputs, runs)
     };
+    // A latched SIGTERM/SIGINT stops the sweep at a run boundary; flush
+    // what completed and exit 128 + signo instead of printing torn tables.
+    let mut plane = exit_if_signaled(plane);
     print_comparison(
         &format!(
             "Policy comparison, nominal load (≈22% utilization), {} hours, seed {}",
@@ -113,10 +120,18 @@ fn main() {
     let heavy_reports = if plane.is_active() {
         let bounded = vec![("GreFar b=0".to_string(), DEFAULT_V, 0.0)];
         theory_obs::emit_theory_bounds(&heavy_config, &heavy_inputs, &bounded, &mut plane);
-        sweep::run_all_observed(&heavy_config, &heavy_inputs, heavy_runs, &mut plane)
+        sweep::run_all_observed_until(
+            &heavy_config,
+            &heavy_inputs,
+            heavy_runs,
+            &mut plane,
+            &signal::triggered,
+        )
     } else {
         sweep::run_all(&heavy_config, &heavy_inputs, heavy_runs)
     };
+    // Same boundary check after the heavy phase.
+    let plane = exit_if_signaled(plane);
     print_comparison(
         &format!(
             "Policy comparison, 2.5x load (≈55% utilization), {heavy_hours} hours, seed {}",

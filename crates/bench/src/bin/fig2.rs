@@ -6,11 +6,15 @@
 //! Expected shape (paper §VI-B.1): larger V → lower energy cost, higher
 //! delay; V = 0.1 ≈ delay 1.
 
-use grefar_bench::{apply_fault_plan, maybe_write_csv, print_table, ExperimentOpts, FIG2_V_VALUES};
+use grefar_bench::{
+    apply_fault_plan, exit_if_signaled, maybe_write_csv, print_table, signal, ExperimentOpts,
+    FIG2_V_VALUES,
+};
 use grefar_core::{GreFar, GreFarParams, Scheduler};
 use grefar_sim::{sweep, theory_obs, PaperScenario};
 
 fn main() {
+    signal::install();
     let opts = ExperimentOpts::from_args(2000);
     let scenario = PaperScenario::default().with_seed(opts.seed);
     let config = scenario.config().clone();
@@ -30,10 +34,13 @@ fn main() {
             .map(|&v| (format!("V={v}"), v, 0.0))
             .collect();
         theory_obs::emit_theory_bounds(&config, &inputs, &bounded, &mut plane);
-        sweep::run_all_observed(&config, &inputs, runs, &mut plane)
+        sweep::run_all_observed_until(&config, &inputs, runs, &mut plane, &signal::triggered)
     } else {
         sweep::run_all(&config, &inputs, runs)
     };
+    // A latched SIGTERM/SIGINT stops the sweep at a run boundary; flush
+    // what completed and exit 128 + signo instead of printing torn tables.
+    let plane = exit_if_signaled(plane);
 
     println!(
         "Fig. 2 — GreFar without fairness (beta = 0), {} hours, seed {}",

@@ -6,12 +6,14 @@
 //! expense of delay; Always's delay is ≈ 1.
 
 use grefar_bench::{
-    apply_fault_plan, maybe_write_csv, print_table, ExperimentOpts, DEFAULT_BETA, DEFAULT_V,
+    apply_fault_plan, exit_if_signaled, maybe_write_csv, print_table, signal, ExperimentOpts,
+    DEFAULT_BETA, DEFAULT_V,
 };
 use grefar_core::{Always, GreFar, GreFarParams, Scheduler};
 use grefar_sim::{sweep, theory_obs, PaperScenario};
 
 fn main() {
+    signal::install();
     let opts = ExperimentOpts::from_args(2000);
     let scenario = PaperScenario::default().with_seed(opts.seed);
     let config = scenario.config().clone();
@@ -31,10 +33,13 @@ fn main() {
     let reports = if plane.is_active() {
         let bounded = vec![("GreFar".to_string(), DEFAULT_V, DEFAULT_BETA)];
         theory_obs::emit_theory_bounds(&config, &inputs, &bounded, &mut plane);
-        sweep::run_all_observed(&config, &inputs, runs, &mut plane)
+        sweep::run_all_observed_until(&config, &inputs, runs, &mut plane, &signal::triggered)
     } else {
         sweep::run_all(&config, &inputs, runs)
     };
+    // A latched SIGTERM/SIGINT stops the sweep at a run boundary; flush
+    // what completed and exit 128 + signo instead of printing torn tables.
+    let plane = exit_if_signaled(plane);
 
     println!(
         "Fig. 4 — GreFar (V={DEFAULT_V}, beta={DEFAULT_BETA}) vs Always, {} hours, seed {}\n",

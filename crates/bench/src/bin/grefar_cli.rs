@@ -51,9 +51,16 @@
 //! per-slot span tree and appends `profile.span` events to the telemetry
 //! stream (`grefar-report profile` renders them; the logical clock is
 //! fully deterministic).
+//!
+//! `SIGTERM`/`SIGINT` are honored at checkpoint boundaries: with
+//! `--checkpoint`, the first signal cuts the run at the next boundary —
+//! checkpoint written, telemetry flushed — and exits `128 + signo` with a
+//! `--resume` hint. Without `--checkpoint` there is no safe cut point, so
+//! the first signal latches and a second one terminates immediately.
 
 use grefar_bench::{
-    format_table, load_fault_plan, load_feed_profile, maybe_write_csv, usage_error, ObsPlane,
+    format_table, load_fault_plan, load_feed_profile, maybe_write_csv, signal, usage_error,
+    ObsPlane,
 };
 use grefar_cluster::AvailabilityProcess;
 use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
@@ -212,6 +219,7 @@ fn parse_args() -> CliOptions {
 }
 
 fn main() {
+    signal::install();
     let opts = parse_args();
     let scenario = PaperScenario::default()
         .with_seed(opts.seed)
@@ -348,7 +356,8 @@ fn main() {
             }
         }
         Some(ck_path) => {
-            let mut policy = RunPolicy::new(ck_path.clone(), opts.checkpoint_every);
+            let mut policy = RunPolicy::new(ck_path.clone(), opts.checkpoint_every)
+                .with_kill_when(signal::triggered);
             if let Some(slot) = opts.kill_at {
                 policy = policy.with_kill_at(slot);
             }
@@ -367,12 +376,19 @@ fn main() {
                 Ok(report) => report,
                 Err(SimError::Killed { slot, checkpoint }) => {
                     // Flush the (deliberately truncated) telemetry stream so
-                    // the resumed run can append to a well-formed prefix.
+                    // the resumed run can append to a well-formed prefix. A
+                    // latched SIGTERM/SIGINT reaches this same arm via the
+                    // policy's kill_when predicate; it exits `128 + signo`
+                    // instead of the --kill-at status.
                     plane.finish();
                     eprintln!(
                         "run killed before slot {slot}; checkpoint written to {}",
                         checkpoint.display()
                     );
+                    if signal::triggered() {
+                        eprintln!("re-run with --resume to continue from the checkpoint");
+                        std::process::exit(128 + signal::last_signal());
+                    }
                     std::process::exit(EXIT_KILLED);
                 }
                 Err(e) => {

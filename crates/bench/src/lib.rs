@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use grefar_served::signal;
+
 use grefar_metrics::{shared_handle, MetricsConfig, MetricsLayer, MetricsServer, SnapshotSink};
 use grefar_obs::{Event, JsonlSink, MemoryObserver, Observer, SpanClock, SpanProfiler};
 use std::fs::File;
@@ -101,6 +103,14 @@ pub fn load_fault_plan(spec: &str, usage: &str) -> grefar_faults::FaultPlan {
         Err(_) => spec.to_string(),
     };
     match grefar_faults::FaultPlan::parse(&text) {
+        // Chaos clauses (actor kills, stalls, socket drops) target the
+        // daemon's supervision tree; a batch run has no actors to kill, so
+        // silently accepting them would make the plan look exercised when
+        // it never was.
+        Ok(plan) if plan.has_chaos() => usage_error(
+            "--faults: chaos clauses (kill/stall/sockdrop) only apply to grefar-served's --chaos",
+            usage,
+        ),
         Ok(plan) => plan,
         Err(e) => usage_error(&format!("--faults: {e}"), usage),
     }
@@ -639,6 +649,25 @@ impl ObsPlane {
             server.shutdown();
         }
     }
+}
+
+/// Honors a latched termination signal at a safe boundary: when
+/// [`signal::triggered`], tears the observability plane down in the usual
+/// trailer order — so the telemetry written so far is whole and diffable —
+/// and exits with the conventional `128 + signo` status. When no signal
+/// has arrived the plane is handed back untouched.
+///
+/// Binaries call this right after each sweep phase (never mid-run): a
+/// cancelled sweep returns only whole runs, so the stream ends cleanly at
+/// a run boundary and the partially-filled tables are simply not printed.
+pub fn exit_if_signaled(plane: ObsPlane) -> ObsPlane {
+    if signal::triggered() {
+        let signo = signal::last_signal();
+        eprintln!("grefar: caught signal {signo}, flushing partial telemetry and exiting");
+        plane.finish();
+        std::process::exit(128 + signo);
+    }
+    plane
 }
 
 impl Observer for ObsPlane {

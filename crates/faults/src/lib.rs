@@ -5,7 +5,9 @@
 //! crate drives those variations into the hostile regime on purpose. A
 //! [`FaultPlan`] is a list of timed faults — correlated data-center outage
 //! windows, availability collapses, price spikes, price-feed gaps, arrival
-//! bursts and solver-budget squeezes — that is
+//! bursts and solver-budget squeezes, plus runtime-only *chaos* clauses
+//! (actor kills, stalls, socket drops) consumed by `grefar-served`'s
+//! supervisor — that is
 //!
 //! * **fully deterministic**: a plan is a pure value; applying it to frozen
 //!   inputs is a pure transformation. The correlated-outage generator is
@@ -108,6 +110,62 @@ pub enum FaultKind {
         /// Maximum Frank–Wolfe iterations per slot.
         max_fw_iters: usize,
     },
+    /// `kill:actor=A` — chaos clause: the daemon's supervisor target `A`
+    /// is killed at every slot boundary inside the window. Runtime-only
+    /// (no effect on frozen inputs); see `grefar-served --chaos`.
+    ActorKill {
+        /// The actor to kill.
+        actor: ActorTarget,
+    },
+    /// `stall:actor=A,ms=M` — chaos clause: actor `A` stalls for `M ≥ 1`
+    /// milliseconds at each slot boundary inside the window (exercises the
+    /// per-slot deadline budget). Runtime-only.
+    ActorStall {
+        /// The actor to stall.
+        actor: ActorTarget,
+        /// Stall duration per slot, in milliseconds.
+        ms: u64,
+    },
+    /// `sockdrop` — chaos clause: the admission socket drops every open
+    /// client connection at each slot boundary inside the window.
+    /// Runtime-only.
+    SocketDrop,
+}
+
+/// Which daemon actor a chaos clause targets (see `grefar-served`'s
+/// supervision tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorTarget {
+    /// The admission (socket front-end) actor.
+    Admission,
+    /// The state-keeper actor owning `Θ(t)` and the slot loop.
+    StateKeeper,
+    /// The feeds actor wrapping the ingest breakers.
+    Feeds,
+    /// The telemetry actor owning the sink, fold, and alert engine.
+    Telemetry,
+}
+
+impl ActorTarget {
+    /// The DSL spelling (also the `actor` field of `fault.inject` events).
+    pub fn label(self) -> &'static str {
+        match self {
+            ActorTarget::Admission => "admission",
+            ActorTarget::StateKeeper => "state_keeper",
+            ActorTarget::Feeds => "feeds",
+            ActorTarget::Telemetry => "telemetry",
+        }
+    }
+
+    fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "admission" => Some(ActorTarget::Admission),
+            "state_keeper" => Some(ActorTarget::StateKeeper),
+            "feeds" => Some(ActorTarget::Feeds),
+            "telemetry" => Some(ActorTarget::Telemetry),
+            _ => None,
+        }
+    }
 }
 
 /// One timed fault: a [`FaultKind`] active over the half-open slot window
@@ -124,8 +182,9 @@ pub struct Fault {
 
 impl Fault {
     /// The DSL keyword for this fault's kind (`"outage"`, `"collapse"`,
-    /// `"spike"`, `"gap"`, `"burst"`, `"squeeze"`) — also used as the
-    /// `kind` field of `fault.inject` telemetry events.
+    /// `"spike"`, `"gap"`, `"burst"`, `"squeeze"`, `"kill"`, `"stall"`,
+    /// `"sockdrop"`) — also used as the `kind` field of `fault.inject`
+    /// telemetry events.
     pub fn label(&self) -> &'static str {
         match self.kind {
             FaultKind::DcOutage { .. } => "outage",
@@ -134,6 +193,26 @@ impl Fault {
             FaultKind::PriceGap { .. } => "gap",
             FaultKind::ArrivalBurst { .. } => "burst",
             FaultKind::SolverSqueeze { .. } => "squeeze",
+            FaultKind::ActorKill { .. } => "kill",
+            FaultKind::ActorStall { .. } => "stall",
+            FaultKind::SocketDrop => "sockdrop",
+        }
+    }
+
+    /// Whether this fault is a runtime-only chaos clause (daemon
+    /// supervision faults; no effect on frozen inputs).
+    pub fn is_chaos(&self) -> bool {
+        matches!(
+            self.kind,
+            FaultKind::ActorKill { .. } | FaultKind::ActorStall { .. } | FaultKind::SocketDrop
+        )
+    }
+
+    /// The daemon actor a chaos clause targets, if any.
+    pub fn actor(&self) -> Option<ActorTarget> {
+        match self.kind {
+            FaultKind::ActorKill { actor } | FaultKind::ActorStall { actor, .. } => Some(actor),
+            _ => None,
         }
     }
 
@@ -144,7 +223,11 @@ impl Fault {
             | FaultKind::AvailabilityCollapse { dc, .. }
             | FaultKind::PriceSpike { dc, .. }
             | FaultKind::PriceGap { dc } => Some(dc),
-            FaultKind::ArrivalBurst { .. } | FaultKind::SolverSqueeze { .. } => None,
+            FaultKind::ArrivalBurst { .. }
+            | FaultKind::SolverSqueeze { .. }
+            | FaultKind::ActorKill { .. }
+            | FaultKind::ActorStall { .. }
+            | FaultKind::SocketDrop => None,
         }
     }
 
@@ -164,7 +247,11 @@ impl Fault {
             FaultKind::PriceSpike { factor, .. } => Some(factor),
             FaultKind::ArrivalBurst { factor, .. } => Some(factor),
             FaultKind::SolverSqueeze { max_fw_iters } => Some(max_fw_iters as f64),
-            FaultKind::DcOutage { .. } | FaultKind::PriceGap { .. } => None,
+            FaultKind::ActorStall { ms, .. } => Some(ms as f64),
+            FaultKind::DcOutage { .. }
+            | FaultKind::PriceGap { .. }
+            | FaultKind::ActorKill { .. }
+            | FaultKind::SocketDrop => None,
         }
     }
 
@@ -195,6 +282,13 @@ impl Fault {
             FaultKind::SolverSqueeze { max_fw_iters } => {
                 format!("squeeze:iters={max_fw_iters},{window}")
             }
+            FaultKind::ActorKill { actor } => {
+                format!("kill:actor={},{window}", actor.label())
+            }
+            FaultKind::ActorStall { actor, ms } => {
+                format!("stall:actor={},ms={ms},{window}", actor.label())
+            }
+            FaultKind::SocketDrop => format!("sockdrop:{window}"),
         }
     }
 
@@ -238,7 +332,17 @@ impl Fault {
                     )));
                 }
             }
-            FaultKind::DcOutage { .. } | FaultKind::PriceGap { .. } => {}
+            FaultKind::ActorStall { ms, .. } => {
+                if ms == 0 {
+                    return Err(FaultPlanError::new(format!(
+                        "fault {index} (stall): ms must be at least 1"
+                    )));
+                }
+            }
+            FaultKind::DcOutage { .. }
+            | FaultKind::PriceGap { .. }
+            | FaultKind::ActorKill { .. }
+            | FaultKind::SocketDrop => {}
         }
         Ok(())
     }
@@ -346,6 +450,14 @@ impl FaultPlan {
             }
         }
         Ok(())
+    }
+
+    /// Whether the plan contains any runtime-only chaos clause
+    /// (`kill`/`stall`/`sockdrop`). The simulation binaries reject such
+    /// plans — chaos clauses only mean something under `grefar-served`'s
+    /// supervisor.
+    pub fn has_chaos(&self) -> bool {
+        self.faults.iter().any(Fault::is_chaos)
     }
 
     /// Faults whose window starts exactly at `slot` (for `fault.inject`
@@ -457,7 +569,13 @@ impl FaultPlan {
                         }
                     }
                 }
-                FaultKind::SolverSqueeze { .. } => {}
+                // Runtime-only faults: the squeeze acts through the
+                // scheduler's budget, the chaos clauses through the
+                // daemon's supervisor — neither touches frozen inputs.
+                FaultKind::SolverSqueeze { .. }
+                | FaultKind::ActorKill { .. }
+                | FaultKind::ActorStall { .. }
+                | FaultKind::SocketDrop => {}
             }
         }
         Ok(())
@@ -565,12 +683,23 @@ fn parse_clause(clause: &str) -> Result<Fault, FaultPlanError> {
         raw.parse()
             .map_err(|_| err(format!("key `{key}`: expected a number, got {raw:?}")))
     };
+    let actor = || -> Result<ActorTarget, FaultPlanError> {
+        let raw = take("actor").ok_or_else(|| err("missing key `actor`".into()))?;
+        ActorTarget::parse(raw).ok_or_else(|| {
+            err(format!(
+                "key `actor`: expected one of admission, state_keeper, feeds, telemetry; got {raw:?}"
+            ))
+        })
+    };
     let known_keys: &[&str] = match name.trim() {
         "outage" | "gap" => &["dc", "start", "end"],
         "collapse" => &["dc", "fraction", "start", "end"],
         "spike" => &["dc", "factor", "start", "end"],
         "burst" => &["factor", "job", "start", "end"],
         "squeeze" => &["iters", "start", "end"],
+        "kill" => &["actor", "start", "end"],
+        "stall" => &["actor", "ms", "start", "end"],
+        "sockdrop" => &["start", "end"],
         other => return Err(err(format!("unknown fault kind `{other}`"))),
     };
     if let Some((key, _)) = keys.iter().find(|(k, _)| !known_keys.contains(k)) {
@@ -601,6 +730,12 @@ fn parse_clause(clause: &str) -> Result<Fault, FaultPlanError> {
         "squeeze" => FaultKind::SolverSqueeze {
             max_fw_iters: int("iters")? as usize,
         },
+        "kill" => FaultKind::ActorKill { actor: actor()? },
+        "stall" => FaultKind::ActorStall {
+            actor: actor()?,
+            ms: int("ms")?,
+        },
+        "sockdrop" => FaultKind::SocketDrop,
         _ => unreachable!("kind validated above"),
     };
     Ok(Fault {
@@ -661,6 +796,56 @@ mod tests {
         // Trailing separators and whitespace are tolerated.
         assert!(FaultPlan::parse(" outage:dc=0,start=1,end=2 ; ").is_ok());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn chaos_clauses_roundtrip_and_stay_runtime_only() {
+        let spec = "kill:actor=state_keeper,start=3,end=4;\
+                    stall:actor=admission,ms=50,start=5,end=7;\
+                    sockdrop:start=8,end=9";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.faults().len(), 3);
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        assert_eq!(plan.spec(), spec.replace(" ", "").replace("\n", ""));
+        assert!(plan.has_chaos());
+        assert!(plan.faults().iter().all(Fault::is_chaos));
+        assert_eq!(
+            plan.faults()[0].actor().map(ActorTarget::label),
+            Some("state_keeper")
+        );
+        assert_eq!(plan.faults()[1].magnitude(), Some(50.0));
+        assert_eq!(plan.faults()[2].actor(), None);
+        assert_eq!(
+            ["kill", "stall", "sockdrop"].as_slice(),
+            plan.faults()
+                .iter()
+                .map(Fault::label)
+                .collect::<Vec<_>>()
+                .as_slice()
+        );
+        // Chaos clauses never touch frozen inputs or solver budgets.
+        let (mut states, mut arrivals) = horizon(10, 1, 0.4);
+        let before = (states.clone(), arrivals.clone());
+        plan.apply(&mut states, &mut arrivals).unwrap();
+        assert_eq!((states, arrivals), before);
+        assert_eq!(plan.fw_budget_at(3), None);
+        assert!(!FaultPlan::parse("outage:dc=0,start=1,end=2")
+            .unwrap()
+            .has_chaos());
+    }
+
+    #[test]
+    fn chaos_clauses_reject_bad_keys() {
+        for bad in [
+            "kill:actor=reactor,start=1,end=2",
+            "kill:start=1,end=2",
+            "stall:actor=feeds,ms=0,start=1,end=2",
+            "stall:actor=feeds,start=1,end=2",
+            "sockdrop:actor=feeds,start=1,end=2",
+            "kill:actor=state_keeper,start=2,end=2",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} parsed");
+        }
     }
 
     #[test]

@@ -656,6 +656,161 @@ mod tests {
         );
     }
 
+    /// Extracts `(t, from, to)` breaker transitions from a recorded stream.
+    fn transitions(obs: &Recorder) -> Vec<(u64, String, String)> {
+        obs.events()
+            .iter()
+            .filter(|e| e.name() == "feed.breaker")
+            .map(|e| {
+                let t = match e.get("t").unwrap() {
+                    grefar_obs::Value::U64(v) => *v,
+                    other => panic!("t {other:?}"),
+                };
+                let get = |k: &str| match e.get(k).unwrap() {
+                    grefar_obs::Value::Str(s) => s.clone(),
+                    other => panic!("{k} {other:?}"),
+                };
+                (t, get("from"), get("to"))
+            })
+            .collect()
+    }
+
+    // The three tests below exercise the breaker under the *daemon's*
+    // call patterns. The batch simulator observes each slot exactly once,
+    // in order; a real-time clock also re-enters a slot (a probe still in
+    // flight when the monitor fires again), flaps open→half-open→open
+    // inside a single slot (cooldown=1 against a persistent outage), and
+    // jumps many slots at once (wall time passed while the process was
+    // stalled). The breaker must stay deterministic under all three.
+
+    #[test]
+    fn reprobe_within_the_same_slot_is_gated_off() {
+        let (states, arrivals) = truth(40, 1);
+        // Trip fast (2 fails in a window of 2) so the episode is short.
+        let mut h = harness(
+            "outage:feed=price,dc=0,start=4,end=40;\
+             policy:breaker_window=2,breaker_fails=2,cooldown=2",
+            1,
+        );
+        let mut obs = Recorder::new();
+        for t in 0..6u64 {
+            h.observe(t, &states, &arrivals, &mut obs);
+        }
+        // Trips at the second failed slot.
+        assert_eq!(transitions(&obs)[0], (5, "closed".into(), "open".into()));
+
+        // Cooldown elapses at slot 7: the first observation transitions to
+        // half-open and spends its single probe (which fails and re-opens).
+        h.observe(6, &states, &arrivals, &mut obs);
+        h.observe(7, &states, &arrivals, &mut obs);
+        let after_probe = transitions(&obs);
+        assert_eq!(after_probe[1], (7, "open".into(), "half_open".into()));
+        assert_eq!(after_probe[2], (7, "half_open".into(), "open".into()));
+
+        // Re-entering slot 7 — the real-time monitor firing again while the
+        // probe's outcome is already decided — must NOT launch a second
+        // probe: `since` was re-stamped to 7, the cooldown window restarts,
+        // and the repeat observation is skipped with zero attempts.
+        let before = obs.event_count("feed.fetch");
+        h.observe(7, &states, &arrivals, &mut obs);
+        assert_eq!(transitions(&obs).len(), 3, "no extra transitions");
+        let last = obs.events()[obs.events().len() - 1].clone();
+        assert_eq!(last.name(), "feed.fetch");
+        assert!(
+            matches!(last.get("reason"), Some(grefar_obs::Value::Str(s)) if s == "breaker_open"),
+            "re-probe in the same slot must be gated off"
+        );
+        assert_eq!(obs.event_count("feed.fetch"), before + 1);
+    }
+
+    #[test]
+    fn cooldown_one_flaps_open_half_open_open_within_one_slot() {
+        let (states, arrivals) = truth(30, 1);
+        let mut h = harness(
+            "outage:feed=price,dc=0,start=2,end=30;\
+             policy:breaker_window=2,breaker_fails=2,cooldown=1",
+            1,
+        );
+        let mut obs = Recorder::new();
+        for t in 0..10u64 {
+            h.observe(t, &states, &arrivals, &mut obs);
+        }
+        let ts = transitions(&obs);
+        assert_eq!(ts[0], (3, "closed".into(), "open".into()));
+        // From slot 4 on, every slot replays the full flap: the one-slot
+        // cooldown has always just elapsed, so the gate goes half-open and
+        // the failed probe re-opens — two transitions, one slot, repeated.
+        for (i, t) in (4..10u64).enumerate() {
+            assert_eq!(
+                ts[1 + 2 * i],
+                (t, "open".into(), "half_open".into()),
+                "slot {t}"
+            );
+            assert_eq!(
+                ts[2 + 2 * i],
+                (t, "half_open".into(), "open".into()),
+                "slot {t}"
+            );
+        }
+        // Each flap costs exactly one probe attempt, never the full retry
+        // budget: the breaker still sheds load even while flapping.
+        let probes = obs
+            .events()
+            .iter()
+            .filter(|e| e.name() == "feed.fetch")
+            .filter(|e| matches!(e.get("t"), Some(grefar_obs::Value::U64(t)) if *t >= 4))
+            .all(|e| matches!(e.get("attempts"), Some(grefar_obs::Value::U64(a)) if *a <= 1));
+        assert!(probes, "flapping probes must be single-attempt");
+    }
+
+    #[test]
+    fn slot_jump_past_cooldown_probes_once_and_recovers() {
+        let (states, arrivals) = truth(80, 1);
+        // Outage ends at slot 10; the breaker trips inside it.
+        let mut h = harness(
+            "outage:feed=price,dc=0,start=2,end=10;\
+             policy:breaker_window=2,breaker_fails=2,cooldown=4",
+            1,
+        );
+        let mut obs = Recorder::new();
+        for t in 0..4u64 {
+            h.observe(t, &states, &arrivals, &mut obs);
+        }
+        assert_eq!(transitions(&obs)[0], (3, "closed".into(), "open".into()));
+
+        // The daemon stalls and wakes up 50 slots later. The jump is far
+        // past the cooldown: exactly one half-open probe runs (not one per
+        // skipped slot), it succeeds against the recovered upstream, and
+        // the breaker closes with a cleared failure window.
+        let before = obs.event_count("feed.fetch");
+        let est = h.observe(53, &states, &arrivals, &mut obs);
+        let ts = transitions(&obs);
+        assert_eq!(ts[1], (53, "open".into(), "half_open".into()));
+        assert_eq!(ts[2], (53, "half_open".into(), "closed".into()));
+        assert_eq!(ts.len(), 3);
+        assert_eq!(obs.event_count("feed.fetch"), before, "clean probe");
+        assert!(est.price_estimate(0).provenance.is_fresh());
+
+        // The cleared window means one stray failure does not re-trip: the
+        // breaker needs a full fresh streak of `breaker_fails` failures.
+        let mut h2 = harness(
+            "outage:feed=price,dc=0,start=2,end=10;outage:feed=price,dc=0,start=60,end=61;\
+             policy:breaker_window=2,breaker_fails=2,cooldown=4",
+            1,
+        );
+        let mut obs2 = Recorder::new();
+        for t in 0..4u64 {
+            h2.observe(t, &states, &arrivals, &mut obs2);
+        }
+        h2.observe(53, &states, &arrivals, &mut obs2);
+        h2.observe(60, &states, &arrivals, &mut obs2);
+        let ts2 = transitions(&obs2);
+        assert!(
+            !ts2.iter().any(|(t, _, to)| *t == 60 && to == "open"),
+            "one failure after recovery must not re-trip a cleared window"
+        );
+    }
+
     #[test]
     fn quarantine_guards_nan_and_negative_records() {
         let (states, arrivals) = truth(20, 1);

@@ -358,6 +358,40 @@ impl MetricsFold {
                     1.0,
                 );
             }
+            "admission.accept" => {
+                self.registry.counter_add(
+                    "grefar_admission_accepted_total",
+                    "Job submissions the daemon admitted into future slots.",
+                    &[],
+                    1.0,
+                );
+            }
+            "admission.reject" => {
+                let reason = fields.str("reason").unwrap_or("unknown").to_string();
+                self.registry.counter_add(
+                    "grefar_admission_rejected_total",
+                    "Job submissions the daemon rejected (shedding, draining, malformed).",
+                    &[("reason", &reason)],
+                    1.0,
+                );
+            }
+            "served.restart" => {
+                let actor = fields.str("actor").unwrap_or("unknown").to_string();
+                self.registry.counter_add(
+                    "grefar_actor_restarts_total",
+                    "Actors the daemon's supervisor restarted after a crash or stall.",
+                    &[("actor", &actor)],
+                    1.0,
+                );
+            }
+            "checkpoint.truncated" => {
+                self.registry.counter_add(
+                    "grefar_checkpoint_truncations_total",
+                    "Checkpoint loads that recovered past a corrupt trailing record.",
+                    &[],
+                    1.0,
+                );
+            }
             "alert.fire" => {
                 let rule = fields.str("rule").unwrap_or("unknown").to_string();
                 self.alerts_firing.insert(rule.clone(), true);
@@ -394,8 +428,11 @@ impl MetricsFold {
             // profiler output, decision.explain is provenance detail the
             // decide fold already aggregates, and health snapshots are
             // *derived from* this fold — folding them back in would
-            // double-count.
-            "decision.explain" | "profile.span" | "health.snapshot" => {}
+            // double-count. The daemon's lifecycle brackets are likewise
+            // markers only; everything countable about them (admissions,
+            // restarts) arrives as its own event above.
+            "decision.explain" | "profile.span" | "health.snapshot" | "served.start"
+            | "served.stop" => {}
             _ => {}
         }
     }

@@ -101,6 +101,20 @@ pub struct EventSchema {
 /// (telemetry first, then checkpoint).
 pub const EVENTS: &[EventSchema] = &[
     EventSchema {
+        name: "admission.accept",
+        channel: Channel::Telemetry,
+        doc: "The daemon admitted a job submission into a slot's arrivals.",
+        required: &[u("t"), u("job"), f("count"), u("seq")],
+        optional: &[],
+    },
+    EventSchema {
+        name: "admission.reject",
+        channel: Channel::Telemetry,
+        doc: "The daemon rejected a submission (shedding, draining, or malformed).",
+        required: &[u("t"), s("reason")],
+        optional: &[u("job"), f("count")],
+    },
+    EventSchema {
         name: "alert.fire",
         channel: Channel::Telemetry,
         doc: "An alert rule's condition held for its full hold window.",
@@ -112,6 +126,13 @@ pub const EVENTS: &[EventSchema] = &[
         channel: Channel::Telemetry,
         doc: "A previously fired alert rule's condition cleared.",
         required: &[u("t"), s("rule"), f("value"), u("fired_at")],
+        optional: &[],
+    },
+    EventSchema {
+        name: "checkpoint.truncated",
+        channel: Channel::Telemetry,
+        doc: "A checkpoint load recovered past a truncated/corrupt trailing record.",
+        required: &[u("t"), u("kept_lines"), u("dropped_bytes")],
         optional: &[],
     },
     EventSchema {
@@ -150,7 +171,7 @@ pub const EVENTS: &[EventSchema] = &[
         channel: Channel::Telemetry,
         doc: "A fault window opened (emitted once, at its first slot).",
         required: &[u("t"), s("kind"), u("start"), u("end")],
-        optional: &[u("dc"), u("job"), f("magnitude")],
+        optional: &[u("dc"), u("job"), f("magnitude"), s("actor")],
     },
     EventSchema {
         name: "feed.breaker",
@@ -268,6 +289,27 @@ pub const EVENTS: &[EventSchema] = &[
             u("job_classes"),
         ],
         optional: &[],
+    },
+    EventSchema {
+        name: "served.restart",
+        channel: Channel::Telemetry,
+        doc: "The supervisor restarted a crashed or stalled actor.",
+        required: &[u("t"), s("actor"), u("restarts"), u("backoff_ms")],
+        optional: &[],
+    },
+    EventSchema {
+        name: "served.start",
+        channel: Channel::Telemetry,
+        doc: "The scheduling daemon came up and began serving slots.",
+        required: &[s("addr"), u("slot"), s("clock")],
+        optional: &[],
+    },
+    EventSchema {
+        name: "served.stop",
+        channel: Channel::Telemetry,
+        doc: "The scheduling daemon stopped (drain, horizon, or fatal supervision).",
+        required: &[u("t"), s("reason")],
+        optional: &[u("admitted"), u("rejected")],
     },
     EventSchema {
         name: "slot",

@@ -91,15 +91,19 @@ fn is_timing_key(key: &str) -> bool {
 
 /// Events excluded from comparison: emitted on policy cadences
 /// (checkpoint interval, snapshot interval, profiling flags, alert
-/// rules), not by the schedule itself. A profiled run under `--profile
-/// wall` or an alert-monitored run must still diff clean against a bare
-/// run of the same seed.
+/// rules) or by the daemon's service plane (admission acks, supervision,
+/// resume bookkeeping), not by the schedule itself. A profiled run under
+/// `--profile wall`, an alert-monitored run, or a `grefar-served` session
+/// that was `kill -9`'d and resumed must still diff clean against a bare
+/// batch run of the same seed and submissions.
 fn is_policy_event(event: &JsonObject) -> bool {
     let name = event_name(event);
     matches!(
         name,
-        "checkpoint.write" | "health.snapshot" | "profile.span"
+        "checkpoint.write" | "checkpoint.truncated" | "health.snapshot" | "profile.span"
     ) || name.starts_with("alert.")
+        || name.starts_with("admission.")
+        || name.starts_with("served.")
 }
 
 fn numbers_match(x: f64, y: f64, tolerance: f64) -> bool {
@@ -271,6 +275,10 @@ mod tests {
              {\"schema\":1,\"event\":\"profile.span\",\"path\":\"slot\",\"wall_us\":12}\n\
              {\"schema\":1,\"event\":\"alert.fire\",\"t\":1,\"rule\":\"deg\"}\n\
              {\"schema\":1,\"event\":\"alert.resolve\",\"t\":1,\"rule\":\"deg\"}\n\
+             {\"schema\":1,\"event\":\"served.start\",\"addr\":\"127.0.0.1:1\",\"slot\":0,\"clock\":\"manual\"}\n\
+             {\"schema\":1,\"event\":\"served.restart\",\"t\":1,\"actor\":\"feeds\",\"restarts\":1,\"backoff_ms\":50}\n\
+             {\"schema\":1,\"event\":\"admission.accept\",\"t\":1,\"job\":0,\"count\":1,\"seq\":0}\n\
+             {\"schema\":1,\"event\":\"checkpoint.truncated\",\"t\":1,\"kept_lines\":4,\"dropped_bytes\":0}\n\
              {\"schema\":1,\"event\":\"slot\",\"t\":1",
         );
         let diff = diff_streams(BASE, &checkpointed, &DiffOptions::default()).unwrap();

@@ -359,6 +359,18 @@ impl TelemetryStream {
                 // run samples — `grefar-report alerts` replays them through
                 // the metrics fold instead.
                 "profile.span" | "health.snapshot" | "alert.fire" | "alert.resolve" => continue,
+                // The daemon's service plane: lifecycle brackets, supervisor
+                // restarts, admission decisions and checkpoint-recovery
+                // notes all land outside any run (before `run.start`, after
+                // `run.end`, or between resumed segments). The analytics
+                // don't consume them — `grefar-report diff` filters them as
+                // policy events, and the metrics fold counts them.
+                "served.start"
+                | "served.stop"
+                | "served.restart"
+                | "admission.accept"
+                | "admission.reject"
+                | "checkpoint.truncated" => continue,
                 _ => {}
             }
             let run = match runs.last_mut() {

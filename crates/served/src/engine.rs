@@ -1,0 +1,252 @@
+//! Building (and re-building) the scheduling engine.
+//!
+//! The supervisor holds an [`EngineSpec`] — everything needed to
+//! reconstruct the exact simulation a crashed state keeper was driving:
+//! the system configuration, the frozen base inputs (regenerated from the
+//! seed), the scheduler recipe, and the fault/feed overlays. Rebuilding is
+//! the daemon's one recovery primitive: apply the fault plan, replay the
+//! admission journal onto the faulted inputs (the same order live
+//! submissions took), then resume from the last checkpoint.
+
+use crate::journal::JournalEntry;
+use grefar_core::{Always, GreFar, GreFarParams, LocalOnly, PriceGreedy, Scheduler};
+use grefar_faults::FaultPlan;
+use grefar_ingest::FeedProfile;
+use grefar_sim::{Checkpoint, Simulation, SimulationInputs, SteppedRun};
+use grefar_types::SystemConfig;
+
+/// Which scheduler the daemon drives (a buildable recipe, since
+/// `Box<dyn Scheduler>` cannot be cloned across restarts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerSpec {
+    /// The paper's drift-plus-penalty scheduler.
+    GreFar {
+        /// Cost-delay parameter `V`.
+        v: f64,
+        /// Fairness weight `β`.
+        beta: f64,
+    },
+    /// Run-everything baseline.
+    Always,
+    /// Local-only baseline.
+    LocalOnly,
+    /// Cheapest-price greedy baseline.
+    PriceGreedy,
+}
+
+impl SchedulerSpec {
+    /// Parses the `--scheduler` value (`mpc` is deliberately absent: the
+    /// lookahead planner snapshots the inputs at build time and would not
+    /// see live admissions).
+    pub fn parse(name: &str, v: f64, beta: f64) -> Result<Self, String> {
+        match name {
+            "grefar" => Ok(SchedulerSpec::GreFar { v, beta }),
+            "always" => Ok(SchedulerSpec::Always),
+            "local-only" => Ok(SchedulerSpec::LocalOnly),
+            "price-greedy" => Ok(SchedulerSpec::PriceGreedy),
+            other => Err(format!(
+                "unknown scheduler {other:?} (daemon supports grefar, always, local-only, price-greedy)"
+            )),
+        }
+    }
+
+    /// The GreFar parameters, when this is a GreFar spec (the theory-bound
+    /// certificate only speaks about GreFar runs).
+    pub fn grefar_params(&self) -> Option<(f64, f64)> {
+        match *self {
+            SchedulerSpec::GreFar { v, beta } => Some((v, beta)),
+            _ => None,
+        }
+    }
+
+    fn build(&self, config: &SystemConfig) -> Result<Box<dyn Scheduler>, String> {
+        Ok(match *self {
+            SchedulerSpec::GreFar { v, beta } => Box::new(
+                GreFar::new(config, GreFarParams::new(v, beta))
+                    .map_err(|e| format!("invalid GreFar parameters: {e}"))?,
+            ),
+            SchedulerSpec::Always => Box::new(Always::new(config)),
+            SchedulerSpec::LocalOnly => Box::new(LocalOnly::new(config)),
+            SchedulerSpec::PriceGreedy => Box::new(PriceGreedy::new(config)),
+        })
+    }
+}
+
+/// The full recipe for one scheduling engine (see module docs).
+#[derive(Debug, Clone)]
+pub struct EngineSpec {
+    /// The system configuration Θ(t) lives in.
+    pub config: SystemConfig,
+    /// Frozen pre-fault inputs (regenerated from the seed).
+    pub base_inputs: SimulationInputs,
+    /// The scheduler recipe.
+    pub scheduler: SchedulerSpec,
+    /// Per-slot admission cap forwarded to the engine.
+    pub admission_cap: Option<f64>,
+    /// Data-fault / solver-squeeze overlay (`--faults`; chaos clauses
+    /// live in the separate `--chaos` plan).
+    pub faults: Option<FaultPlan>,
+    /// Unreliable-feed overlay (`--feeds`).
+    pub feeds: Option<FeedProfile>,
+    /// The hard per-slot deadline budget in Frank–Wolfe iterations; the
+    /// engine degrades through its fallback chain instead of overrunning.
+    pub deadline_iters: Option<usize>,
+}
+
+impl EngineSpec {
+    /// Builds a steppable run: faults applied, `entries` replayed onto the
+    /// faulted inputs, then either a fresh run or a checkpoint resume.
+    ///
+    /// # Errors
+    /// Invalid scheduler parameters, a plan/profile that does not fit the
+    /// configuration, journal entries outside the horizon or job range, or
+    /// a checkpoint that disagrees with this spec.
+    pub fn build(
+        &self,
+        entries: &[JournalEntry],
+        checkpoint: Option<Checkpoint>,
+    ) -> Result<SteppedRun, String> {
+        let scheduler = self.scheduler.build(&self.config)?;
+        let mut sim = Simulation::new(self.config.clone(), self.base_inputs.clone(), scheduler);
+        if let Some(cap) = self.admission_cap {
+            sim = sim.with_admission_cap(cap);
+        }
+        if let Some(plan) = &self.faults {
+            sim = sim
+                .with_fault_plan(plan.clone())
+                .map_err(|e| format!("--faults: {e}"))?;
+        }
+        if let Some(profile) = &self.feeds {
+            sim = sim
+                .with_feed_profile(profile.clone())
+                .map_err(|e| format!("--feeds: {e}"))?;
+        }
+        let horizon = self.base_inputs.horizon() as u64;
+        let classes = self.config.num_job_classes();
+        for entry in entries {
+            if entry.t >= horizon {
+                return Err(format!(
+                    "journal entry seq {} targets slot {} past the horizon {horizon}",
+                    entry.seq, entry.t
+                ));
+            }
+            if entry.job >= classes {
+                return Err(format!(
+                    "journal entry seq {} targets job class {} of {classes}",
+                    entry.seq, entry.job
+                ));
+            }
+            sim.inject_arrivals(entry.t as usize, entry.job, entry.count);
+        }
+        let mut run = match checkpoint {
+            Some(ck) => SteppedRun::resume(sim, ck).map_err(|e| format!("resume: {e}"))?,
+            None => SteppedRun::new(sim),
+        };
+        run.set_deadline_budget(self.deadline_iters);
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalEntry;
+    use grefar_obs::NullObserver;
+    use grefar_sim::PaperScenario;
+
+    fn spec() -> EngineSpec {
+        let scenario = PaperScenario::default().with_seed(11);
+        let config = scenario.config().clone();
+        let base_inputs = scenario.into_inputs(24);
+        EngineSpec {
+            config,
+            base_inputs,
+            scheduler: SchedulerSpec::GreFar { v: 7.5, beta: 0.0 },
+            admission_cap: None,
+            faults: None,
+            feeds: None,
+            deadline_iters: None,
+        }
+    }
+
+    #[test]
+    fn rebuild_with_journal_matches_live_injection() {
+        let spec = spec();
+        let entries = vec![
+            JournalEntry {
+                seq: 0,
+                t: 3,
+                job: 1,
+                count: 2.0,
+            },
+            JournalEntry {
+                seq: 1,
+                t: 5,
+                job: 0,
+                count: 3.0,
+            },
+        ];
+
+        // Live path: fresh run, submissions injected as they arrive.
+        let mut live = spec.build(&[], None).unwrap();
+        let mut null = NullObserver;
+        for _ in 0..3 {
+            live.step(&mut null);
+        }
+        live.inject_arrivals(3, 1, 2.0).unwrap();
+        for _ in 3..5 {
+            live.step(&mut null);
+        }
+        live.inject_arrivals(5, 0, 3.0).unwrap();
+        while live.step(&mut null) {}
+
+        // Replay path: everything from the journal, up front.
+        let mut replayed = spec.build(&entries, None).unwrap();
+        while replayed.step(&mut null) {}
+
+        let live_report = live.finish(&mut null);
+        let replay_report = replayed.finish(&mut null);
+        assert_eq!(
+            live_report.average_energy_cost(),
+            replay_report.average_energy_cost()
+        );
+        assert_eq!(
+            live_report.average_fairness(),
+            replay_report.average_fairness()
+        );
+    }
+
+    #[test]
+    fn journal_entries_are_validated_against_the_spec() {
+        let spec = spec();
+        let past_horizon = vec![JournalEntry {
+            seq: 0,
+            t: 99,
+            job: 0,
+            count: 1.0,
+        }];
+        let err = spec.build(&past_horizon, None).err().expect("rejected");
+        assert!(err.contains("horizon"), "{err}");
+        let bad_class = vec![JournalEntry {
+            seq: 0,
+            t: 1,
+            job: 99,
+            count: 1.0,
+        }];
+        let err = spec.build(&bad_class, None).err().expect("rejected");
+        assert!(err.contains("job class"), "{err}");
+    }
+
+    #[test]
+    fn scheduler_spec_parses() {
+        assert_eq!(
+            SchedulerSpec::parse("grefar", 2.0, 1.0).unwrap(),
+            SchedulerSpec::GreFar { v: 2.0, beta: 1.0 }
+        );
+        assert_eq!(
+            SchedulerSpec::parse("always", 0.0, 0.0).unwrap(),
+            SchedulerSpec::Always
+        );
+        assert!(SchedulerSpec::parse("mpc", 0.0, 0.0).is_err());
+    }
+}

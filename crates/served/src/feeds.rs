@@ -1,0 +1,177 @@
+//! The feeds actor: a shadow monitor of the ingest layer.
+//!
+//! The engine already runs its own [`FeedHarness`] inside the slot step
+//! (that one's `feed.*` events are part of the deterministic slot stream).
+//! This actor runs a *replica* harness over the nominal truth, one slot
+//! behind the engine, and folds what it sees into gauges — a live view of
+//! breaker churn and staleness that survives engine restarts, and a chaos
+//! target (`kill:actor=feeds`) that exercises supervision without touching
+//! the scheduling path. Its observations go to a private
+//! [`MemoryObserver`], never to the JSONL stream, so the event stream
+//! stays bit-identical to a batch run's.
+//!
+//! On restart the supervisor rebuilds the replica and
+//! [fast-forwards](FeedHarness::fast_forward) it to the watermark — the
+//! same recovery move the checkpoint layer uses for the engine's own
+//! harness.
+
+use crate::telemetry::{send_reliable, TelemetryMsg, TelemetryPort};
+use grefar_ingest::{FeedHarness, FeedProfile};
+use grefar_obs::MemoryObserver;
+use grefar_sim::SimulationInputs;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// Messages the feeds actor understands.
+pub enum FeedsMsg {
+    /// The state keeper finished executing slot `t`.
+    SlotDone(u64),
+    /// Chaos: freeze for this many milliseconds.
+    Stall(u64),
+    /// Chaos: die. The supervisor restarts the actor.
+    Poison,
+    /// Graceful stop; acked so teardown can join deterministically.
+    Stop(Sender<()>),
+}
+
+/// What one feeds-actor incarnation needs.
+pub struct FeedsSetup {
+    /// The feed profile (None: no replica harness; the actor still runs
+    /// as a supervision/chaos target).
+    pub profile: Option<FeedProfile>,
+    /// The nominal truth the replica observes (pre-fault inputs).
+    pub inputs: SimulationInputs,
+    /// Data centers in the system.
+    pub num_dcs: usize,
+    /// Slots already observed (fast-forward target on restart).
+    pub start_upto: u64,
+}
+
+/// Runs one feeds-actor incarnation until [`FeedsMsg::Stop`] or channel
+/// closure.
+///
+/// # Panics
+/// On [`FeedsMsg::Poison`] (chaos) or a profile that does not fit the
+/// system (the supervisor validated it at startup).
+pub fn run_feeds(setup: FeedsSetup, tele: TelemetryPort, rx: Receiver<FeedsMsg>) {
+    let horizon = setup.inputs.horizon() as u64;
+    let mut harness = setup.profile.map(|profile| {
+        let mut harness =
+            FeedHarness::new(profile, setup.num_dcs).expect("profile validated at startup");
+        harness.fast_forward(
+            setup.inputs.states(),
+            setup.inputs.all_arrivals(),
+            setup.start_upto.min(horizon),
+        );
+        harness
+    });
+    let mut memory = MemoryObserver::new();
+    let mut watermark = setup.start_upto;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            FeedsMsg::SlotDone(t) => {
+                if t < watermark || t >= horizon {
+                    continue; // replayed slot after a restart, or trailer
+                }
+                if let Some(harness) = &mut harness {
+                    // Catch up through t (slots can arrive batched).
+                    for slot in watermark..=t {
+                        let _ = harness.observe(
+                            slot,
+                            setup.inputs.states(),
+                            setup.inputs.all_arrivals(),
+                            &mut memory,
+                        );
+                    }
+                    send_reliable(
+                        &tele,
+                        TelemetryMsg::Gauge(
+                            "feeds.monitor.breaker_transitions",
+                            memory.event_count("feed.breaker") as f64,
+                        ),
+                    );
+                    send_reliable(
+                        &tele,
+                        TelemetryMsg::Gauge(
+                            "feeds.monitor.stale_slots",
+                            memory.event_count("state.stale") as f64,
+                        ),
+                    );
+                }
+                watermark = t + 1;
+            }
+            FeedsMsg::Stall(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            FeedsMsg::Poison => panic!("chaos kill: feeds actor"),
+            FeedsMsg::Stop(ack) => {
+                let _ = ack.send(());
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::Swap;
+    use grefar_sim::PaperScenario;
+    use std::sync::mpsc;
+
+    #[test]
+    fn monitor_exports_gauges_and_stops() {
+        let scenario = PaperScenario::default().with_seed(3);
+        let num_dcs = scenario.config().num_data_centers();
+        let inputs = scenario.into_inputs(8);
+        let profile = FeedProfile::parse("outage:feed=price,dc=0,start=0,end=4; policy:cooldown=1")
+            .expect("profile");
+        let (tele_tx, tele_rx) = mpsc::channel();
+        let (tx, rx) = mpsc::channel();
+        let setup = FeedsSetup {
+            profile: Some(profile),
+            inputs,
+            num_dcs,
+            start_upto: 0,
+        };
+        let handle = std::thread::spawn(move || run_feeds(setup, Swap::new(tele_tx), rx));
+        for t in 0..4 {
+            tx.send(FeedsMsg::SlotDone(t)).unwrap();
+        }
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(FeedsMsg::Stop(ack_tx)).unwrap();
+        ack_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        handle.join().unwrap();
+        let gauges: Vec<(&'static str, f64)> = tele_rx
+            .try_iter()
+            .filter_map(|msg| match msg {
+                TelemetryMsg::Gauge(name, value) => Some((name, value)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            gauges
+                .iter()
+                .any(|(name, _)| *name == "feeds.monitor.breaker_transitions"),
+            "{gauges:?}"
+        );
+    }
+
+    #[test]
+    fn without_a_profile_the_actor_still_runs() {
+        let inputs = PaperScenario::default().with_seed(3).into_inputs(4);
+        let (tele_tx, _tele_rx) = mpsc::channel();
+        let (tx, rx) = mpsc::channel();
+        let setup = FeedsSetup {
+            profile: None,
+            inputs,
+            num_dcs: 3,
+            start_upto: 0,
+        };
+        let handle = std::thread::spawn(move || run_feeds(setup, Swap::new(tele_tx), rx));
+        tx.send(FeedsMsg::SlotDone(0)).unwrap();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(FeedsMsg::Stop(ack_tx)).unwrap();
+        ack_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        handle.join().unwrap();
+    }
+}

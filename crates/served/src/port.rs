@@ -1,0 +1,96 @@
+//! Swappable channel endpoints for supervised actors.
+//!
+//! When the supervisor restarts a crashed actor, the actor's old inbox
+//! (its `mpsc` receiver) died with it. Peers therefore never hold a bare
+//! `Sender`; they hold a [`Swap`] — a generation-counted slot the
+//! supervisor repoints at the replacement's fresh channel. A failed send
+//! plus an observed generation bump tells a peer exactly when the
+//! replacement is live.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A shared, swappable sender slot (see module docs). `S` is any cloneable
+/// sender (`mpsc::Sender`, `mpsc::SyncSender`).
+#[derive(Debug)]
+pub struct Swap<S> {
+    inner: Arc<Mutex<(u64, S)>>,
+}
+
+impl<S> Clone for Swap<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: Clone> Swap<S> {
+    /// Wraps the first incarnation's sender (generation 0).
+    pub fn new(sender: S) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new((0, sender))),
+        }
+    }
+
+    /// The current `(generation, sender)` pair.
+    pub fn get(&self) -> (u64, S) {
+        let guard = self.inner.lock().expect("port lock");
+        (guard.0, guard.1.clone())
+    }
+
+    /// The current generation (bumped on every [`swap`](Swap::swap)).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().expect("port lock").0
+    }
+
+    /// Repoints the slot at a replacement's sender; returns the new
+    /// generation. Supervisor-only.
+    pub fn swap(&self, sender: S) -> u64 {
+        let mut guard = self.inner.lock().expect("port lock");
+        guard.0 += 1;
+        guard.1 = sender;
+        guard.0
+    }
+
+    /// Blocks until the generation exceeds `seen` (a replacement is live)
+    /// or `timeout` passes; returns whether the bump was observed.
+    pub fn await_generation_past(&self, seen: u64, timeout: Duration) -> bool {
+        // verify: allow(determinism): supervision timeout, not a scheduling decision
+        let deadline = Instant::now() + timeout;
+        while self.generation() <= seen {
+            // verify: allow(determinism): supervision timeout, not a scheduling decision
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn swap_bumps_generation_and_repoints() {
+        let (tx1, rx1) = mpsc::channel::<u32>();
+        let port = Swap::new(tx1);
+        let (gen, tx) = port.get();
+        assert_eq!(gen, 0);
+        tx.send(1).unwrap();
+        assert_eq!(rx1.recv().unwrap(), 1);
+
+        let (tx2, rx2) = mpsc::channel::<u32>();
+        drop(rx1);
+        assert_eq!(port.swap(tx2), 1);
+        let (gen, tx) = port.get();
+        assert_eq!(gen, 1);
+        tx.send(2).unwrap();
+        assert_eq!(rx2.recv().unwrap(), 2);
+        assert!(port.await_generation_past(0, Duration::from_millis(10)));
+        assert!(!port.await_generation_past(1, Duration::from_millis(5)));
+    }
+}

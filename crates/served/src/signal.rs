@@ -1,0 +1,119 @@
+//! Minimal async-signal-safe `SIGTERM`/`SIGINT` latching.
+//!
+//! The workspace is zero-dependency, so there is no `libc` or `signal-hook`
+//! to lean on. This module makes the single unavoidable `unsafe` call of
+//! the whole workspace — installing a C signal handler via the libc
+//! `signal(2)` wrapper every Unix target links anyway — and confines it to
+//! one function. The handler itself does the only thing an async-signal-
+//! safe handler may do: store into process-global atomics.
+//!
+//! Consumers poll [`triggered`] at their natural loop boundaries (the
+//! daemon's supervision tick, a simulation's per-slot telemetry) and run
+//! their own orderly shutdown: flush sinks, write the final checkpoint,
+//! exit. Nothing here ever terminates the process.
+//!
+//! On non-Unix targets [`install`] is a no-op and [`triggered`] stays
+//! `false` forever: the default host behavior (immediate termination) is
+//! unchanged.
+
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+/// `SIGINT` on every Unix.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` on every Unix.
+pub const SIGTERM: i32 = 15;
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+/// Installs the latching handler for `SIGTERM` and `SIGINT`. Idempotent;
+/// a no-op on non-Unix targets. The first signal latches; a second signal
+/// of the same kind falls back to the default action (immediate
+/// termination), so a consumer that polls too coarsely can still be
+/// killed by an impatient operator.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// The last signal number received (`0` when none). Useful for the
+/// conventional `128 + signo` exit status.
+pub fn last_signal() -> i32 {
+    LAST_SIGNAL.load(Ordering::SeqCst)
+}
+
+/// Clears the latch — for tests, and for daemons that treat the *second*
+/// signal differently from the first.
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+    LAST_SIGNAL.store(0, Ordering::SeqCst);
+}
+
+/// Latches a signal as if it had been delivered — lets tests and in-process
+/// harnesses exercise the drain path without raising a real signal.
+pub fn raise_for_test(signo: i32) {
+    LAST_SIGNAL.store(signo, Ordering::SeqCst);
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Ordering, LAST_SIGNAL, SIGINT, SIGTERM, TRIGGERED};
+
+    extern "C" fn on_signal(signo: i32) {
+        // Async-signal-safe: two atomic stores plus `signal(2)` (itself on
+        // the POSIX async-signal-safe list). Restoring the default action
+        // makes a *second* signal of the same kind terminate immediately —
+        // graceful on the first Ctrl-C, forceful on an impatient repeat.
+        LAST_SIGNAL.store(signo, Ordering::SeqCst);
+        TRIGGERED.store(true, Ordering::SeqCst);
+        unsafe {
+            signal(signo, 0); // SIG_DFL
+        }
+    }
+
+    extern "C" {
+        // The libc `signal(2)` wrapper; `sighandler_t` is a plain function
+        // pointer, passed here as a word-sized integer so the declaration
+        // stays libc-version-agnostic.
+        fn signal(signo: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // Installing a handler is infallible for these two catchable
+        // signals; the returned previous handler is deliberately ignored.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_sets_and_resets() {
+        install();
+        reset();
+        assert!(!triggered());
+        assert_eq!(last_signal(), 0);
+        raise_for_test(SIGTERM);
+        assert!(triggered());
+        assert_eq!(last_signal(), SIGTERM);
+        reset();
+        assert!(!triggered());
+    }
+}

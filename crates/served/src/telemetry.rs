@@ -1,0 +1,454 @@
+//! The telemetry actor: the daemon's single writer of observability state.
+//!
+//! Every other actor forwards [`TelemetryMsg`]s through a
+//! [`Swap`]-wrapped channel; this actor owns the JSONL sink, the metrics
+//! fold (which powers `/metrics`, `/healthz` and `/alerts`), and the alert
+//! engine — the same stack the experiment binaries compose as `ObsPlane`,
+//! rebuilt here as a `Send`-able owned pipeline so it can live on (and be
+//! restarted onto) its own thread.
+//!
+//! Crash-safety: the JSONL sink writes each event line straight to the
+//! `File` (no userspace buffer), so an in-process chaos kill loses nothing
+//! already recorded; a restarted incarnation reopens the file in append
+//! mode and [pre-folds](grefar_metrics::MetricsLayer::prefold_jsonl) the
+//! prefix so `/healthz` aggregates continue instead of restarting at zero.
+
+use crate::port::Swap;
+use grefar_metrics::{AlertRule, MetricsConfig, MetricsLayer, SharedHandle, SnapshotSink};
+use grefar_obs::json::{parse_object, JsonValue};
+use grefar_obs::{Event, JsonlSink, MemoryObserver, Observer};
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// How long a peer waits for the supervisor to stand a dead telemetry
+/// actor back up before it drops an event on the floor (and says so).
+const RESEND_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Messages understood by the telemetry actor.
+pub enum TelemetryMsg {
+    /// A telemetry event (the JSONL + fold path).
+    Event(Event),
+    /// Counter increment.
+    Counter(&'static str, u64),
+    /// Gauge set.
+    Gauge(&'static str, f64),
+    /// Histogram observation.
+    Value(&'static str, f64),
+    /// Refresh the metrics snapshot / `/healthz` surface now.
+    Snapshot,
+    /// Chaos: freeze for this many milliseconds.
+    Stall(u64),
+    /// Chaos: die (the supervisor restarts the actor).
+    Poison,
+    /// Graceful stop: final snapshot, flush, reply with the wrap-up.
+    Stop(Sender<TelemetryFinal>),
+}
+
+/// The actor's wrap-up, returned through [`TelemetryMsg::Stop`].
+#[derive(Debug, Clone)]
+pub struct TelemetryFinal {
+    /// Events recorded by this incarnation.
+    pub events: u64,
+    /// Final health verdict label.
+    pub verdict: String,
+    /// The aggregate summary table (same shape as the experiment
+    /// binaries' telemetry trailer).
+    pub summary: String,
+}
+
+/// Configuration for one telemetry-actor incarnation.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// JSONL event stream path (`None`: aggregate in memory only).
+    pub jsonl: Option<PathBuf>,
+    /// Open the stream in append mode and pre-fold its contents (resume
+    /// and in-process restart).
+    pub append: bool,
+    /// Prometheus exposition snapshot file, atomically rewritten.
+    pub snapshot: Option<PathBuf>,
+    /// Alert rules evaluated against the fold each slot.
+    pub rules: Vec<AlertRule>,
+    /// The snapshot the HTTP listener serves from.
+    pub shared: Option<SharedHandle>,
+}
+
+/// The owned bottom of the stack: JSONL file + in-memory aggregation.
+struct DaemonSink {
+    sink: Option<JsonlSink<File>>,
+    memory: MemoryObserver,
+}
+
+impl Observer for DaemonSink {
+    fn record_event(&mut self, event: Event) {
+        if let Some(sink) = &mut self.sink {
+            sink.record_event(event.clone());
+        }
+        self.memory.record_event(event);
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        self.memory.add_counter(name, delta);
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.memory.set_gauge(name, value);
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        self.memory.record_value(name, value);
+    }
+}
+
+/// Runs one telemetry-actor incarnation until [`TelemetryMsg::Stop`] or
+/// channel closure; panics on [`TelemetryMsg::Poison`] (chaos).
+///
+/// # Panics
+/// On an unopenable JSONL file (a daemon without its event stream is
+/// misconfigured, not degraded) and on chaos poison.
+pub fn run_telemetry(config: TelemetryConfig, rx: Receiver<TelemetryMsg>) {
+    // A bare `File` (no BufWriter): every event line hits the kernel as it
+    // is recorded, so an in-process kill loses nothing already streamed.
+    let sink = match &config.jsonl {
+        None => None,
+        Some(path) => {
+            let file = if config.append {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+            } else {
+                File::create(path)
+            };
+            let file = file
+                .unwrap_or_else(|e| panic!("cannot open telemetry file {}: {e}", path.display()));
+            Some(JsonlSink::new(file))
+        }
+    };
+    let metrics_config = MetricsConfig {
+        sink: match &config.snapshot {
+            None => SnapshotSink::None,
+            Some(path) => SnapshotSink::File(path.clone()),
+        },
+        rules: config.rules.clone(),
+        ..MetricsConfig::default()
+    };
+    let mut layer = MetricsLayer::new(
+        DaemonSink {
+            sink,
+            memory: MemoryObserver::new(),
+        },
+        metrics_config,
+    );
+    if let Some(shared) = &config.shared {
+        layer = layer.with_shared(shared.clone());
+    }
+    if config.append {
+        if let Some(path) = &config.jsonl {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    if let Err(e) = layer.prefold_jsonl(&text) {
+                        eprintln!("warning: metrics prefold of {}: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: cannot re-read {}: {e}", path.display()),
+            }
+        }
+    }
+
+    let mut stop_ack: Option<Sender<TelemetryFinal>> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            TelemetryMsg::Event(event) => layer.record_event(event),
+            TelemetryMsg::Counter(name, delta) => layer.add_counter(name, delta),
+            TelemetryMsg::Gauge(name, value) => layer.set_gauge(name, value),
+            TelemetryMsg::Value(name, value) => layer.record_value(name, value),
+            TelemetryMsg::Snapshot => layer.snapshot_now(),
+            TelemetryMsg::Stall(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            TelemetryMsg::Poison => panic!("chaos kill: telemetry actor"),
+            TelemetryMsg::Stop(ack) => {
+                stop_ack = Some(ack);
+                break;
+            }
+        }
+    }
+    let verdict = layer.health().verdict.label().to_string();
+    let (mut sink, outcome) = layer.into_parts();
+    if let Err(e) = outcome {
+        eprintln!("warning: {e}");
+    }
+    if let Some(file_sink) = &mut sink.sink {
+        if let Err(e) = file_sink.flush() {
+            eprintln!("warning: telemetry flush: {e}");
+        }
+        if file_sink.io_errors() > 0 {
+            eprintln!(
+                "warning: telemetry file had {} write errors",
+                file_sink.io_errors()
+            );
+        }
+    }
+    if let Some(ack) = stop_ack {
+        let _ = ack.send(TelemetryFinal {
+            events: sink.memory.total_events(),
+            verdict,
+            summary: sink.memory.summary(),
+        });
+    }
+}
+
+/// The peers' handle on the (restartable) telemetry actor.
+pub type TelemetryPort = Swap<Sender<TelemetryMsg>>;
+
+/// Sends a message, riding out a dead incarnation: a failed send waits for
+/// the supervisor to swap in the replacement's channel and retries. After
+/// [`RESEND_TIMEOUT`] the message is dropped with a warning — degraded, not
+/// wedged.
+pub fn send_reliable(port: &TelemetryPort, mut msg: TelemetryMsg) {
+    loop {
+        let (generation, tx) = port.get();
+        match tx.send(msg) {
+            Ok(()) => return,
+            Err(failed) => {
+                msg = failed.0;
+                if !port.await_generation_past(generation, RESEND_TIMEOUT) {
+                    eprintln!("warning: telemetry actor unavailable; dropping a message");
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// An [`Observer`] facade over the telemetry port — what the state keeper
+/// hands to the simulation engine.
+pub struct PortObserver {
+    port: TelemetryPort,
+}
+
+impl PortObserver {
+    /// Wraps the port.
+    pub fn new(port: TelemetryPort) -> Self {
+        Self { port }
+    }
+}
+
+impl Observer for PortObserver {
+    fn record_event(&mut self, event: Event) {
+        send_reliable(&self.port, TelemetryMsg::Event(event));
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        send_reliable(&self.port, TelemetryMsg::Counter(name, delta));
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        send_reliable(&self.port, TelemetryMsg::Gauge(name, value));
+    }
+
+    fn record_value(&mut self, name: &'static str, value: f64) {
+        send_reliable(&self.port, TelemetryMsg::Value(name, value));
+    }
+}
+
+/// Events the daemon itself appends to the stream (lifecycle, admission,
+/// supervision) — they are *not* part of the deterministic slot stream the
+/// engine re-emits after a resume, so the resume truncation keeps them.
+const DAEMON_STREAM_EVENTS: &[&str] = &[
+    "admission.accept",
+    "admission.reject",
+    "alert.fire",
+    "alert.resolve",
+    "checkpoint.truncated",
+    "checkpoint.write",
+    "health.snapshot",
+    "profile.span",
+    "served.restart",
+    "served.start",
+    "served.stop",
+];
+
+/// What [`truncate_for_resume`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncateOutcome {
+    /// Complete lines kept.
+    pub kept_lines: u64,
+    /// Bytes cut from the tail (0 when the stream was already clean).
+    pub dropped_bytes: u64,
+}
+
+/// Prepares an interrupted run's telemetry stream for appending: cuts the
+/// file back to the last event *before* the engine stream re-enters at
+/// `resume_slot`, so the resumed daemon's re-emitted slots extend a clean
+/// prefix instead of duplicating their own telemetry. Also cuts a torn
+/// trailing line (the `kill -9` case) and anything from `run.end` on (a
+/// drained run being resumed).
+///
+/// A missing file is left missing (nothing to truncate).
+///
+/// # Errors
+/// I/O errors reading or rewriting the file.
+pub fn truncate_for_resume(path: &Path, resume_slot: u64) -> Result<TruncateOutcome, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(TruncateOutcome {
+                kept_lines: 0,
+                dropped_bytes: 0,
+            })
+        }
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut keep = 0usize;
+    let mut kept_lines = 0u64;
+    for chunk in text.split_inclusive('\n') {
+        if !chunk.ends_with('\n') {
+            break; // torn trailing line
+        }
+        let line = chunk.trim_end_matches('\n');
+        if !line.trim().is_empty() {
+            let object = match parse_object(line) {
+                Ok(object) => object,
+                Err(_) => break, // corrupt line: cut here
+            };
+            let name = object
+                .get("event")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default();
+            if name == "run.end" {
+                break;
+            }
+            let slot = object.get("t").and_then(JsonValue::as_f64);
+            if !DAEMON_STREAM_EVENTS.contains(&name) {
+                if let Some(t) = slot {
+                    if t >= resume_slot as f64 {
+                        break;
+                    }
+                }
+            }
+        }
+        keep += chunk.len();
+        kept_lines += 1;
+    }
+    let dropped = (text.len() - keep) as u64;
+    if dropped > 0 {
+        std::fs::write(path, &text.as_bytes()[..keep])
+            .map_err(|e| format!("cannot rewrite {}: {e}", path.display()))?;
+    }
+    Ok(TruncateOutcome {
+        kept_lines,
+        dropped_bytes: dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("grefar-served-tele-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn actor_streams_events_and_stops_cleanly() {
+        let path = tmp("stream.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let (tx, rx) = mpsc::channel();
+        let config = TelemetryConfig {
+            jsonl: Some(path.clone()),
+            append: false,
+            snapshot: None,
+            rules: Vec::new(),
+            shared: None,
+        };
+        let handle = std::thread::spawn(move || run_telemetry(config, rx));
+        tx.send(TelemetryMsg::Event(
+            Event::new("served.start")
+                .field("addr", "127.0.0.1:0")
+                .field("slot", 0u64)
+                .field("clock", "manual"),
+        ))
+        .unwrap();
+        tx.send(TelemetryMsg::Counter("admission.accepted", 2))
+            .unwrap();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(TelemetryMsg::Stop(ack_tx)).unwrap();
+        let fin = ack_rx.recv().unwrap();
+        handle.join().unwrap();
+        // served.start plus the metrics layer's final health.snapshot
+        // (the same trailer the batch binaries' streams carry).
+        assert_eq!(fin.events, 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"served.start\""), "{text}");
+        assert!(text.contains("\"event\":\"health.snapshot\""), "{text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn send_reliable_rides_out_a_restart() {
+        let (tx1, rx1) = mpsc::channel();
+        let port: TelemetryPort = Swap::new(tx1);
+        drop(rx1); // incarnation died
+        let waiter = {
+            let port = port.clone();
+            std::thread::spawn(move || {
+                send_reliable(&port, TelemetryMsg::Counter("x", 1));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let (tx2, rx2) = mpsc::channel();
+        port.swap(tx2);
+        waiter.join().unwrap();
+        match rx2.recv_timeout(Duration::from_secs(1)).unwrap() {
+            TelemetryMsg::Counter("x", 1) => {}
+            _ => panic!("wrong message after swap"),
+        }
+    }
+
+    #[test]
+    fn truncation_cuts_reemitted_slots_but_keeps_daemon_events() {
+        let path = tmp("resume.jsonl");
+        let stream = concat!(
+            "{\"event\":\"served.start\",\"addr\":\"a\",\"slot\":0,\"clock\":\"manual\"}\n",
+            "{\"event\":\"run.start\",\"scheduler\":\"GreFar\",\"horizon\":10,\"data_centers\":3,\"job_classes\":4}\n",
+            "{\"event\":\"slot\",\"t\":0,\"queue_central\":0}\n",
+            "{\"event\":\"admission.accept\",\"t\":5,\"job\":0,\"count\":1,\"seq\":0}\n",
+            "{\"event\":\"checkpoint.write\",\"t\":1}\n",
+            "{\"event\":\"slot\",\"t\":1,\"queue_central\":0}\n",
+            "{\"event\":\"slot\",\"t\":2,\"queue_c",
+        );
+        std::fs::write(&path, stream).unwrap();
+        // Resume at slot 1: the admission.accept for slot 5 and the
+        // checkpoint.write survive (daemon events), slot 1 onward is cut.
+        let outcome = truncate_for_resume(&path, 1).unwrap();
+        assert_eq!(outcome.kept_lines, 5);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.ends_with("{\"event\":\"checkpoint.write\",\"t\":1}\n"));
+        // Idempotent on a clean prefix.
+        let again = truncate_for_resume(&path, 1).unwrap();
+        assert_eq!(again.dropped_bytes, 0);
+        assert_eq!(again.kept_lines, 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_cuts_run_end_for_a_drained_stream() {
+        let path = tmp("drained.jsonl");
+        let stream = concat!(
+            "{\"event\":\"run.start\",\"scheduler\":\"GreFar\",\"horizon\":10,\"data_centers\":3,\"job_classes\":4}\n",
+            "{\"event\":\"slot\",\"t\":0,\"queue_central\":0}\n",
+            "{\"event\":\"run.end\",\"slots\":1,\"completed\":0,\"dropped\":0,\"wall_us\":7}\n",
+            "{\"event\":\"served.stop\",\"t\":1,\"reason\":\"drain\"}\n",
+        );
+        std::fs::write(&path, stream).unwrap();
+        let outcome = truncate_for_resume(&path, 1).unwrap();
+        assert_eq!(outcome.kept_lines, 2);
+        assert!(outcome.dropped_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,370 @@
+//! End-to-end tests of the `grefar-served` binary: the wire protocol, the
+//! `kill -9` → `--resume` continuation, chaos-driven actor restarts, and
+//! the supervisor's give-up escalation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_grefar-served")
+}
+
+/// A fresh scratch directory per test (parallel tests must not collide).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grefar-served-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Polls the `--port-file` until the daemon has written its address.
+fn wait_addr(port_file: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return addr.to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote {port_file:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn wait_exit(child: &mut Child) -> ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+struct Session {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Session {
+    fn connect(addr: &str) -> Self {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                Err(e) => panic!("cannot connect to {addr}: {e}"),
+            }
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Session {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Sends one request line, returns the one reply line.
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        assert!(!reply.is_empty(), "connection closed after {line:?}");
+        reply.trim().to_string()
+    }
+}
+
+/// The deterministic slice of a telemetry stream: the events the schedule
+/// itself emits, with the wall-clock field stripped (`grefar-report diff`
+/// applies the same filters).
+fn schedule_events(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .filter(|l| {
+            [
+                "\"event\":\"run.start\"",
+                "\"event\":\"slot\"",
+                "\"event\":\"run.end\"",
+            ]
+            .iter()
+            .any(|tag| l.contains(tag))
+        })
+        .map(|l| {
+            // "wall_us":N is always the trailing field of slot/run.end.
+            match l.find(",\"wall_us\":") {
+                Some(cut) => format!("{}}}", &l[..cut]),
+                None => l.to_string(),
+            }
+        })
+        .collect()
+}
+
+fn count_lines_with(path: &Path, needles: &[&str]) -> usize {
+    std::fs::read_to_string(path)
+        .map(|text| {
+            text.lines()
+                .filter(|l| needles.iter().all(|needle| l.contains(needle)))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn manual_clock_session_drains_cleanly() {
+    let dir = scratch("drain");
+    let port_file = dir.join("port");
+    let telemetry = dir.join("tele.jsonl");
+    let mut daemon = Command::new(bin())
+        .args(["--hours", "6", "--clock", "manual", "--seed", "42"])
+        .arg("--telemetry")
+        .arg(&telemetry)
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_addr(&port_file);
+    let mut session = Session::connect(&addr);
+
+    let accept = session.request("{\"op\":\"submit\",\"job\":0,\"count\":2}");
+    assert!(accept.contains("\"ok\":true"), "{accept}");
+    assert!(accept.contains("\"seq\":0"), "{accept}");
+
+    let advanced = session.request("{\"op\":\"advance\",\"slots\":2}");
+    assert!(advanced.contains("\"slot\":2"), "{advanced}");
+
+    let status = session.request("{\"op\":\"status\"}");
+    assert!(status.contains("\"admitted\":1"), "{status}");
+    assert!(status.contains("\"horizon\":6"), "{status}");
+
+    // Fractional counts are refused at the protocol edge.
+    let reject = session.request("{\"op\":\"submit\",\"job\":0,\"count\":0.5}");
+    assert!(reject.contains("\"error\":\"bad_request\""), "{reject}");
+
+    let drain = session.request("{\"op\":\"drain\"}");
+    assert!(drain.contains("\"draining\":true"), "{drain}");
+
+    let status = wait_exit(&mut daemon);
+    assert_eq!(status.code(), Some(0), "drain must exit 0");
+    let text = std::fs::read_to_string(&telemetry).unwrap();
+    assert!(text.contains("\"event\":\"served.start\""), "{text}");
+    assert!(text.contains("\"event\":\"admission.accept\""), "{text}");
+    assert!(text.contains("\"event\":\"run.end\""), "{text}");
+    assert!(text.contains("\"event\":\"served.stop\""), "{text}");
+}
+
+#[test]
+fn kill_nine_then_resume_continues_bit_identically() {
+    let dir = scratch("resume");
+    let run = |tag: &str| {
+        let port_file = dir.join(format!("{tag}.port"));
+        let telemetry = dir.join(format!("{tag}.jsonl"));
+        let checkpoint = dir.join(format!("{tag}.ck"));
+        let mut cmd = Command::new(bin());
+        cmd.args(["--hours", "8", "--clock", "manual", "--seed", "7"])
+            .arg("--telemetry")
+            .arg(&telemetry)
+            .arg("--checkpoint")
+            .arg(&checkpoint)
+            .arg("--port-file")
+            .arg(&port_file)
+            .stdout(Stdio::null());
+        (cmd, port_file, telemetry)
+    };
+
+    // Reference: one uninterrupted session.
+    let (mut cmd, port_file, reference_tele) = run("ref");
+    let mut daemon = cmd.spawn().unwrap();
+    let mut session = Session::connect(&wait_addr(&port_file));
+    session.request("{\"op\":\"submit\",\"job\":1,\"count\":3}");
+    let advanced = session.request("{\"op\":\"advance\",\"slots\":8}");
+    assert!(advanced.contains("\"done\":true"), "{advanced}");
+    assert_eq!(wait_exit(&mut daemon).code(), Some(0));
+
+    // Interrupted: same submissions, kill -9 mid-run, resume, finish.
+    let (mut cmd, port_file, interrupted_tele) = run("cut");
+    let mut daemon = cmd.spawn().unwrap();
+    let mut session = Session::connect(&wait_addr(&port_file));
+    session.request("{\"op\":\"submit\",\"job\":1,\"count\":3}");
+    let advanced = session.request("{\"op\":\"advance\",\"slots\":3}");
+    assert!(advanced.contains("\"slot\":3"), "{advanced}");
+    daemon.kill().unwrap(); // SIGKILL: no drain, no flush
+    daemon.wait().unwrap();
+
+    let (mut cmd, port_file, _) = run("cut");
+    std::fs::remove_file(&port_file).unwrap();
+    cmd.arg("--resume");
+    let mut daemon = cmd.spawn().unwrap();
+    let mut session = Session::connect(&wait_addr(&port_file));
+    let status = session.request("{\"op\":\"status\"}");
+    assert!(status.contains("\"slot\":3"), "resume position: {status}");
+    let advanced = session.request("{\"op\":\"advance\",\"slots\":5}");
+    assert!(advanced.contains("\"done\":true"), "{advanced}");
+    assert_eq!(wait_exit(&mut daemon).code(), Some(0));
+
+    // The merged interrupted stream carries the same schedule as the
+    // uninterrupted one.
+    let reference = schedule_events(&reference_tele);
+    let merged = schedule_events(&interrupted_tele);
+    assert_eq!(reference.len(), 10, "run.start + 8 slots + run.end");
+    assert_eq!(reference, merged, "resume must continue bit-identically");
+}
+
+#[test]
+fn chaos_kills_restart_actors_and_the_run_completes() {
+    let dir = scratch("chaos");
+    let port_file = dir.join("port");
+    let telemetry = dir.join("tele.jsonl");
+    let checkpoint = dir.join("ck");
+    // Kills are spaced out (telemetry first) so no restart event can land
+    // in a telemetry incarnation that is itself about to be killed.
+    let mut daemon = Command::new(bin())
+        .args(["--hours", "10", "--clock", "turbo", "--seed", "3"])
+        .args(["--backoff-ms", "1"])
+        .args([
+            "--chaos",
+            "kill:actor=telemetry,start=2,end=3;\
+             kill:actor=feeds,start=4,end=5;\
+             kill:actor=state_keeper,start=6,end=7;\
+             stall:actor=admission,ms=1,start=7,end=8",
+        ])
+        .arg("--telemetry")
+        .arg(&telemetry)
+        .arg("--checkpoint")
+        .arg(&checkpoint)
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_addr(&port_file);
+    assert_eq!(
+        wait_exit(&mut daemon).code(),
+        Some(0),
+        "a supervised run rides out its chaos plan"
+    );
+    for actor in ["telemetry", "feeds", "state_keeper"] {
+        assert_eq!(
+            count_lines_with(
+                &telemetry,
+                &[
+                    "\"event\":\"served.restart\"",
+                    &format!("\"actor\":\"{actor}\"")
+                ],
+            ),
+            1,
+            "the {actor} kill leaves exactly one served.restart"
+        );
+    }
+    assert_eq!(
+        count_lines_with(&telemetry, &["\"event\":\"run.end\""]),
+        1,
+        "the run still completes exactly once"
+    );
+}
+
+#[test]
+fn restart_intensity_limit_gives_up_with_exit_one() {
+    let dir = scratch("giveup");
+    let port_file = dir.join("port");
+    let mut daemon = Command::new(bin())
+        .args(["--hours", "12", "--clock", "turbo", "--seed", "3"])
+        .args(["--max-restarts", "1", "--backoff-ms", "1"])
+        .args([
+            "--chaos",
+            "kill:actor=state_keeper,start=1,end=2;\
+             kill:actor=state_keeper,start=2,end=3;\
+             kill:actor=state_keeper,start=3,end=4",
+        ])
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_addr(&port_file);
+    assert_eq!(
+        wait_exit(&mut daemon).code(),
+        Some(1),
+        "exceeding the restart budget must escalate to exit 1"
+    );
+}
+
+#[test]
+fn client_subcommand_scripts_a_session() {
+    let dir = scratch("client");
+    let port_file = dir.join("port");
+    let script = dir.join("script.txt");
+    std::fs::write(
+        &script,
+        "# a comment and a blank line are skipped\n\n\
+         {\"op\":\"submit\",\"job\":0,\"count\":1}\n\
+         {\"op\":\"advance\"}\n\
+         {\"op\":\"drain\"}\n",
+    )
+    .unwrap();
+    let mut daemon = Command::new(bin())
+        .args(["--hours", "4", "--clock", "manual", "--seed", "9"])
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_addr(&port_file);
+    let output = Command::new(bin())
+        .arg("client")
+        .arg(&addr)
+        .arg(&script)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let replies: Vec<&str> = stdout.lines().collect();
+    assert_eq!(replies.len(), 3, "{stdout}");
+    assert!(replies[0].contains("\"seq\":0"), "{stdout}");
+    assert!(replies[1].contains("\"slot\":1"), "{stdout}");
+    assert!(replies[2].contains("\"draining\":true"), "{stdout}");
+    assert_eq!(wait_exit(&mut daemon).code(), Some(0));
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let dir = scratch("sigterm");
+    let port_file = dir.join("port");
+    let telemetry = dir.join("tele.jsonl");
+    let mut daemon = Command::new(bin())
+        .args(["--hours", "6", "--clock", "manual", "--seed", "4"])
+        .arg("--telemetry")
+        .arg(&telemetry)
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = wait_addr(&port_file);
+    let mut session = Session::connect(&addr);
+    session.request("{\"op\":\"advance\",\"slots\":2}");
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let status = wait_exit(&mut daemon);
+    assert_eq!(status.code(), Some(0), "SIGTERM is a graceful drain");
+    let text = std::fs::read_to_string(&telemetry).unwrap();
+    assert!(text.contains("\"event\":\"run.end\""), "{text}");
+    assert!(text.contains("\"event\":\"served.stop\""), "{text}");
+}

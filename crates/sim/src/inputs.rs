@@ -133,6 +133,26 @@ impl SimulationInputs {
         &self.arrivals
     }
 
+    /// Adds `count` jobs of class `job` to slot `t`'s arrivals — the live
+    /// admission path of `grefar-served`, where submissions land on top of
+    /// the frozen base workload. Replaying the same submissions onto the
+    /// same base reproduces the exact same inputs, which is what makes a
+    /// resumed daemon bit-identical to an uninterrupted one.
+    ///
+    /// # Panics
+    /// Panics if `t` is past the horizon, `job` is out of range, or
+    /// `count` is negative or non-finite.
+    pub fn inject_arrivals(&mut self, t: usize, job: usize, count: f64) {
+        assert!(t < self.arrivals.len(), "slot {t} past the horizon");
+        assert!(
+            count.is_finite() && count >= 0.0,
+            "arrival count must be a non-negative finite number"
+        );
+        let row = &mut self.arrivals[t];
+        assert!(job < row.len(), "job class {job} out of range");
+        row[job] += count;
+    }
+
     /// Truncates the inputs to the first `slots` slots (for frame-aligned
     /// lookahead comparisons).
     ///

@@ -49,11 +49,11 @@ pub mod sweep;
 pub mod theory_obs;
 mod tracker;
 
-pub use checkpoint::{Checkpoint, SeriesSnapshot, CHECKPOINT_SCHEMA};
+pub use checkpoint::{Checkpoint, CheckpointRecovery, SeriesSnapshot, CHECKPOINT_SCHEMA};
 pub use error::SimError;
 pub use inputs::SimulationInputs;
 pub use mpc::MpcScheduler;
 pub use report::{RunningSeries, SimulationReport};
 pub use scenario::PaperScenario;
-pub use simulation::{RunPolicy, Simulation};
+pub use simulation::{RunPolicy, Simulation, SteppedRun};
 pub use tracker::{CompletionStats, JobTracker, TrackerSnapshot};

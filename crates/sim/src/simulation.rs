@@ -64,6 +64,7 @@ pub struct Simulation {
     queue_bound: Option<f64>,
     faults: Option<FaultPlan>,
     feeds: Option<FeedHarness>,
+    deadline_iters: Option<usize>,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -85,6 +86,7 @@ pub struct RunPolicy {
     path: PathBuf,
     every: usize,
     kill_at: Option<u64>,
+    kill_when: Option<fn() -> bool>,
 }
 
 impl RunPolicy {
@@ -98,6 +100,7 @@ impl RunPolicy {
             path: path.into(),
             every,
             kill_at: None,
+            kill_when: None,
         }
     }
 
@@ -109,6 +112,20 @@ impl RunPolicy {
     #[must_use]
     pub fn with_kill_at(mut self, slot: u64) -> Self {
         self.kill_at = Some(slot);
+        self
+    }
+
+    /// Kill the run at the next checkpoint boundary once `predicate`
+    /// returns true: a final checkpoint is written and the run returns
+    /// [`SimError::Killed`], resumable exactly like a [`with_kill_at`]
+    /// cut. This is how the experiment binaries turn a latched `SIGTERM`
+    /// into a graceful, resumable exit (the predicate is polled every
+    /// `every` slots, the same cadence durability already costs).
+    ///
+    /// [`with_kill_at`]: RunPolicy::with_kill_at
+    #[must_use]
+    pub fn with_kill_when(mut self, predicate: fn() -> bool) -> Self {
+        self.kill_when = Some(predicate);
         self
     }
 
@@ -317,6 +334,7 @@ impl Simulation {
             queue_bound: None,
             faults: None,
             feeds: None,
+            deadline_iters: None,
         })
     }
 
@@ -370,6 +388,7 @@ impl Simulation {
             queue_bound,
             faults: _,
             feeds,
+            deadline_iters,
         } = self;
         plan.validate_for(config.num_data_centers(), config.num_job_classes())
             .map_err(|e| SimError::Mismatch(e.to_string()))?;
@@ -384,6 +403,7 @@ impl Simulation {
             queue_bound,
             faults: Some(plan),
             feeds,
+            deadline_iters,
         })
     }
 
@@ -401,6 +421,21 @@ impl Simulation {
             .map_err(|e| SimError::Mismatch(e.to_string()))?;
         self.feeds = Some(harness);
         Ok(self)
+    }
+
+    /// Adds `count` jobs of class `job` to slot `t`'s arrivals, *after*
+    /// any fault transformation — the journal-replay hook of
+    /// `grefar-served`. A restarted daemon rebuilds its simulation (same
+    /// seed, same fault plan), replays every journaled submission through
+    /// here, and only then resumes from its checkpoint; because live
+    /// submissions also land post-fault, the replayed inputs are
+    /// bit-identical to the uninterrupted run's.
+    ///
+    /// # Panics
+    /// Panics if `t` is past the horizon, `job` is out of range, or
+    /// `count` is negative or non-finite.
+    pub fn inject_arrivals(&mut self, t: usize, job: usize, count: f64) {
+        self.inputs.inject_arrivals(t, job, count);
     }
 
     /// The scheduler's self-reported name (what `run.start` will carry).
@@ -481,6 +516,15 @@ impl Simulation {
         obs: &mut dyn Observer,
         policy: Option<&RunPolicy>,
     ) -> Result<SimulationReport, SimError> {
+        self.checkpoint_preflight(&checkpoint)?;
+        let rs = RunState::from_checkpoint(&self.config, checkpoint)?;
+        self.drive(rs, obs, policy)
+    }
+
+    /// Validates a checkpoint against this simulation and replays the feed
+    /// layer up to its slot — the shared front half of
+    /// [`resume`](Simulation::resume) and [`SteppedRun::resume`].
+    fn checkpoint_preflight(&mut self, checkpoint: &Checkpoint) -> Result<(), SimError> {
         let horizon = self.inputs.horizon();
         if checkpoint.horizon as usize != horizon {
             return Err(SimError::Mismatch(format!(
@@ -528,8 +572,7 @@ impl Simulation {
                 checkpoint.slot,
             );
         }
-        let rs = RunState::from_checkpoint(&self.config, checkpoint)?;
-        self.drive(rs, obs, policy)
+        Ok(())
     }
 
     fn feed_spec(&self) -> String {
@@ -568,7 +611,9 @@ impl Simulation {
             }
             self.run_span(&mut rs, until, obs);
             if let Some(p) = policy {
-                if kill {
+                let signaled =
+                    rs.next_slot < horizon && p.kill_when.is_some_and(|predicate| predicate());
+                if kill || signaled {
                     self.write_checkpoint(&rs, p, obs)?;
                     return Err(SimError::Killed {
                         slot: rs.next_slot as u64,
@@ -649,11 +694,21 @@ impl Simulation {
     /// chain guarantees one) and every update is total.
     fn run_span(&mut self, rs: &mut RunState, until: usize, obs: &mut dyn Observer) {
         let work = self.config.work_vector();
+        for t in rs.next_slot..until {
+            self.step_slot(rs, t, &work, obs);
+        }
+        rs.next_slot = rs.next_slot.max(until);
+    }
+
+    /// Executes exactly slot `t` of the Algorithm-1 loop — the single
+    /// stepping core shared by the batch simulator ([`run_span`]) and the
+    /// live daemon ([`SteppedRun`]), so both produce the identical
+    /// telemetry and state trajectory.
+    fn step_slot(&mut self, rs: &mut RunState, t: usize, work: &[f64], obs: &mut dyn Observer) {
         let fairness_fn = QuadraticDeviation;
         let telemetry = obs.enabled();
         let profiling = obs.profiling();
-
-        for t in rs.next_slot..until {
+        {
             if profiling {
                 obs.span_enter("slot");
             }
@@ -669,8 +724,20 @@ impl Simulation {
                         obs.add_counter("faults.injected", 1);
                     }
                 }
+            }
+            // The slot's iteration budget is the tighter of any active
+            // squeeze fault and the daemon's per-slot deadline budget.
+            let squeeze = self
+                .faults
+                .as_ref()
+                .and_then(|plan| plan.fw_budget_at(t as u64));
+            if self.faults.is_some() || self.deadline_iters.is_some() {
+                let budget = match (squeeze, self.deadline_iters) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
                 self.scheduler
-                    .set_solver_budget(plan.fw_budget_at(t as u64).map(SolverBudget::fw_iters));
+                    .set_solver_budget(budget.map(SolverBudget::fw_iters));
             }
             let dropped_before = rs.dropped;
             let state = self.inputs.state(t);
@@ -727,7 +794,7 @@ impl Simulation {
                 series.push(share);
             }
             for (i, series) in rs.work_per_dc.iter_mut().enumerate() {
-                series.push(decision.work_processed(i, &work));
+                series.push(decision.work_processed(i, work));
             }
             for (i, series) in rs.prices.iter_mut().enumerate() {
                 series.push(state.data_center(i).price());
@@ -809,7 +876,7 @@ impl Simulation {
             rs.arriving_work.push(
                 raw_arrivals
                     .iter()
-                    .zip(&work)
+                    .zip(work)
                     .map(|(a, d)| a * d)
                     .sum::<f64>(),
             );
@@ -857,7 +924,185 @@ impl Simulation {
             }
             rs.next_slot = t + 1;
         }
-        rs.next_slot = rs.next_slot.max(until);
+    }
+}
+
+/// A slot-by-slot handle on one run: the same Algorithm-1 stepping core
+/// the batch [`Simulation`] drives, exposed one slot at a time so a
+/// long-running process (`grefar-served`) can interleave the loop with
+/// live admission, checkpointing and a real-time clock.
+///
+/// Invariants shared with the batch path:
+///
+/// * [`step`](SteppedRun::step) executes exactly the slot the simulator
+///   would — identical telemetry, identical state trajectory;
+/// * [`checkpoint`](SteppedRun::checkpoint) captures the identical
+///   [`Checkpoint`] a [`RunPolicy`] cut would, so a `kill -9`'d daemon
+///   resumes bit-identically ([`SteppedRun::resume`]);
+/// * live submissions enter through
+///   [`inject_arrivals`](SteppedRun::inject_arrivals) *before* their slot
+///   executes, so replaying an admission journal onto the same frozen
+///   base reproduces the exact same run.
+pub struct SteppedRun {
+    sim: Simulation,
+    rs: RunState,
+    timer: Timer,
+    started: bool,
+}
+
+impl SteppedRun {
+    /// Wraps a built simulation for stepping, starting at slot 0.
+    /// `run.start` is emitted on the first [`step`](SteppedRun::step).
+    pub fn new(sim: Simulation) -> Self {
+        let rs = RunState::fresh(&sim.config);
+        Self {
+            sim,
+            rs,
+            timer: Timer::start(),
+            started: false,
+        }
+    }
+
+    /// Resumes stepping from a checkpoint, continuing bit-identically to
+    /// the uninterrupted run (same validation and feed replay as
+    /// [`Simulation::resume`]; `run.start` is not re-emitted).
+    ///
+    /// # Errors
+    /// [`SimError::Mismatch`] when the checkpoint disagrees with this
+    /// simulation (horizon, scheduler, fault plan, feed profile, shapes).
+    pub fn resume(mut sim: Simulation, checkpoint: Checkpoint) -> Result<Self, SimError> {
+        sim.checkpoint_preflight(&checkpoint)?;
+        let rs = RunState::from_checkpoint(&sim.config, checkpoint)?;
+        Ok(Self {
+            sim,
+            rs,
+            timer: Timer::start(),
+            started: true,
+        })
+    }
+
+    /// The next slot to execute (also the slot a checkpoint cut now would
+    /// record).
+    pub fn next_slot(&self) -> u64 {
+        self.rs.next_slot as u64
+    }
+
+    /// The run's full horizon in slots.
+    pub fn horizon(&self) -> u64 {
+        self.sim.inputs.horizon() as u64
+    }
+
+    /// Whether every slot of the horizon has executed.
+    pub fn is_done(&self) -> bool {
+        self.rs.next_slot >= self.sim.inputs.horizon()
+    }
+
+    /// The scheduler's self-reported name.
+    pub fn scheduler_name(&self) -> String {
+        self.sim.scheduler.name()
+    }
+
+    /// Jobs dropped by admission control so far.
+    pub fn dropped(&self) -> u64 {
+        self.rs.dropped
+    }
+
+    /// The current total queued work Σ Θ(t).
+    pub fn queue_total(&self) -> f64 {
+        self.rs.queues.total()
+    }
+
+    /// Adds `count` jobs of class `job` to slot `t`'s arrivals. The slot
+    /// must not have executed yet.
+    ///
+    /// # Errors
+    /// [`SimError::Mismatch`] when `t` already executed or is past the
+    /// horizon, `job` is out of range, or `count` is not a non-negative
+    /// finite number.
+    pub fn inject_arrivals(&mut self, t: u64, job: usize, count: f64) -> Result<(), SimError> {
+        if t < self.rs.next_slot as u64 {
+            return Err(SimError::Mismatch(format!(
+                "slot {t} already executed (next is {})",
+                self.rs.next_slot
+            )));
+        }
+        if t >= self.sim.inputs.horizon() as u64 {
+            return Err(SimError::Mismatch(format!(
+                "slot {t} past the horizon {}",
+                self.sim.inputs.horizon()
+            )));
+        }
+        if job >= self.sim.config.num_job_classes() {
+            return Err(SimError::Mismatch(format!(
+                "job class {job} out of range (system has {})",
+                self.sim.config.num_job_classes()
+            )));
+        }
+        if !(count.is_finite() && count >= 0.0) {
+            return Err(SimError::Mismatch(format!(
+                "arrival count must be non-negative and finite, got {count}"
+            )));
+        }
+        self.sim.inputs.inject_arrivals(t as usize, job, count);
+        Ok(())
+    }
+
+    /// Caps the scheduler's per-slot Frank–Wolfe iterations (the daemon's
+    /// slot-deadline budget); active squeeze faults tighten it further.
+    /// `None` removes the cap.
+    pub fn set_deadline_budget(&mut self, max_fw_iters: Option<usize>) {
+        self.sim.deadline_iters = max_fw_iters;
+    }
+
+    /// Executes the next slot, streaming its telemetry to `obs`. Returns
+    /// `false` (without stepping) once the horizon is exhausted. The first
+    /// call of a fresh (non-resumed) run emits `run.start` first.
+    pub fn step(&mut self, obs: &mut dyn Observer) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        if !self.started {
+            self.sim.emit_run_start(obs);
+            self.started = true;
+        }
+        let t = self.rs.next_slot;
+        let work = self.sim.config.work_vector();
+        self.sim.step_slot(&mut self.rs, t, &work, obs);
+        true
+    }
+
+    /// Captures the current state as a [`Checkpoint`] (identical to the
+    /// cut a [`RunPolicy`] would write at this slot).
+    pub fn checkpoint(&self) -> Checkpoint {
+        let faults = self
+            .sim
+            .faults
+            .as_ref()
+            .map(FaultPlan::spec)
+            .unwrap_or_default();
+        self.rs.to_checkpoint(
+            self.sim.inputs.horizon(),
+            &self.sim.scheduler.name(),
+            &faults,
+            &self.sim.feed_spec(),
+        )
+    }
+
+    /// Finishes the run: emits `run.end` (with the *executed* slot count,
+    /// which equals the horizon when the run completed) and folds the
+    /// accumulated state into the report.
+    pub fn finish(self, obs: &mut dyn Observer) -> SimulationReport {
+        if obs.enabled() {
+            obs.record_event(
+                Event::new("run.end")
+                    .field("slots", self.rs.next_slot)
+                    .field("completed", self.rs.tracker.stats().completed_total)
+                    .field("dropped", self.rs.dropped)
+                    .field("wall_us", self.timer.elapsed_micros()),
+            );
+        }
+        let horizon = self.sim.inputs.horizon();
+        self.rs.into_report(self.sim.scheduler.name(), horizon)
     }
 }
 
@@ -1094,6 +1339,52 @@ mod tests {
     }
 
     #[test]
+    fn kill_when_predicate_cuts_at_the_next_checkpoint_boundary() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static SIGNALED: AtomicBool = AtomicBool::new(false);
+        fn signaled() -> bool {
+            SIGNALED.load(Ordering::SeqCst)
+        }
+
+        let cfg = config();
+        let inp = inputs(&cfg, 120, 0.8, 2.0);
+        let make = |cfg: &SystemConfig| {
+            Box::new(GreFar::new(cfg, GreFarParams::new(5.0, 0.0)).unwrap()) as Box<dyn Scheduler>
+        };
+        let full = Simulation::new(cfg.clone(), inp.clone(), make(&cfg)).run();
+
+        let dir = std::env::temp_dir().join(format!("grefar-killwhen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.jsonl");
+
+        // Predicate false for the whole run: completes normally.
+        SIGNALED.store(false, Ordering::SeqCst);
+        let policy = RunPolicy::new(&path, 25).with_kill_when(signaled);
+        let mut quiet = Simulation::new(cfg.clone(), inp.clone(), make(&cfg));
+        let report = quiet.run_resumable(&mut NullObserver, &policy).unwrap();
+        assert_eq!(report, full);
+
+        // Predicate already true: the run is cut at the first checkpoint
+        // boundary (slot 25, not slot 0 — the span in flight finishes).
+        SIGNALED.store(true, Ordering::SeqCst);
+        let mut cut = Simulation::new(cfg.clone(), inp.clone(), make(&cfg));
+        match cut.run_resumable(&mut NullObserver, &policy) {
+            Err(SimError::Killed { slot: 25, .. }) => {}
+            other => panic!("expected signal cut at 25, got {other:?}"),
+        }
+
+        // And the cut is an ordinary checkpoint: resume reproduces the
+        // uninterrupted run exactly.
+        SIGNALED.store(false, Ordering::SeqCst);
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.slot, 25);
+        let mut resumed_sim = Simulation::new(cfg.clone(), inp, make(&cfg));
+        let resumed = resumed_sim.resume(ck, &mut NullObserver, None).unwrap();
+        assert_eq!(resumed, full, "signal cut + resume must be bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn resume_rejects_mismatched_runs() {
         let cfg = config();
         let inp = inputs(&cfg, 40, 0.5, 2.0);
@@ -1212,6 +1503,186 @@ mod tests {
         let resumed = resumed_sim.resume(ck, &mut NullObserver, None).unwrap();
         assert_eq!(resumed, full, "feed-layer resume must be bit-identical");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stepped_run_matches_batch_run_event_for_event() {
+        let cfg = config();
+        let make = |cfg: &SystemConfig| {
+            Simulation::new(
+                cfg.clone(),
+                inputs(cfg, 90, 0.8, 2.0),
+                Box::new(GreFar::new(cfg, GreFarParams::new(5.0, 0.0)).unwrap())
+                    as Box<dyn Scheduler>,
+            )
+            .with_fault_plan(FaultPlan::parse("outage:dc=0,start=20,end=30").unwrap())
+            .unwrap()
+        };
+        // A capturing sink: full event stream with the wall-clock timing
+        // field blanked (the only nondeterministic payload).
+        #[derive(Default)]
+        struct Recorder(Vec<String>);
+        impl Observer for Recorder {
+            fn record_event(&mut self, event: Event) {
+                let mut line = event.to_json();
+                if let Some(at) = line.find("\"wall_us\":") {
+                    let tail = &line[at..];
+                    let stop = tail.find([',', '}']).map_or(line.len(), |rel| at + rel);
+                    line.replace_range(at..stop, "\"wall_us\":0");
+                }
+                self.0.push(line);
+            }
+        }
+
+        let mut batch_obs = Recorder::default();
+        let batch = make(&cfg).run_with_observer(&mut batch_obs);
+
+        let mut stepped = SteppedRun::new(make(&cfg));
+        let mut stepped_obs = Recorder::default();
+        assert_eq!(stepped.horizon(), 90);
+        while stepped.step(&mut stepped_obs) {}
+        assert!(stepped.is_done());
+        assert!(!stepped.step(&mut stepped_obs), "done run must not step");
+        let report = stepped.finish(&mut stepped_obs);
+        assert_eq!(report, batch, "stepped report must equal batch report");
+
+        // Same events, same order, same payloads.
+        assert!(!batch_obs.0.is_empty());
+        assert_eq!(batch_obs.0, stepped_obs.0);
+    }
+
+    #[test]
+    fn stepped_checkpoint_resumes_bit_identically() {
+        let cfg = config();
+        let make = |cfg: &SystemConfig| {
+            Simulation::new(
+                cfg.clone(),
+                inputs(cfg, 80, 0.7, 2.0),
+                Box::new(GreFar::new(cfg, GreFarParams::new(5.0, 0.0)).unwrap())
+                    as Box<dyn Scheduler>,
+            )
+        };
+        let full = make(&cfg).run();
+
+        let mut first = SteppedRun::new(make(&cfg));
+        for _ in 0..33 {
+            assert!(first.step(&mut NullObserver));
+        }
+        let ck = first.checkpoint();
+        assert_eq!(ck.slot, 33);
+        // The stepped cut parses through the same JSONL format.
+        let ck = Checkpoint::parse(&ck.to_jsonl()).unwrap();
+        let mut second = SteppedRun::resume(make(&cfg), ck).unwrap();
+        assert_eq!(second.next_slot(), 33);
+        while second.step(&mut NullObserver) {}
+        assert_eq!(
+            second.finish(&mut NullObserver),
+            full,
+            "stepped resume must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn stepped_injection_validates_and_replays_deterministically() {
+        let cfg = config();
+        let make = |cfg: &SystemConfig| {
+            Simulation::new(
+                cfg.clone(),
+                inputs(cfg, 40, 0.6, 1.0),
+                Box::new(Always::new(cfg)) as Box<dyn Scheduler>,
+            )
+        };
+        let submissions = [
+            (5u64, 0usize, 2.0),
+            (12, 0, 3.0),
+            (12, 0, 1.0),
+            (39, 0, 4.0),
+        ];
+
+        let mut live = SteppedRun::new(make(&cfg));
+        for &(t, job, count) in &submissions {
+            live.inject_arrivals(t, job, count).unwrap();
+        }
+        while live.step(&mut NullObserver) {}
+        let live_report = live.finish(&mut NullObserver);
+
+        // Replaying the same submissions onto the same base reproduces the
+        // exact run — the property the daemon's admission journal rests on.
+        let mut replay = SteppedRun::new(make(&cfg));
+        for &(t, job, count) in &submissions {
+            replay.inject_arrivals(t, job, count).unwrap();
+        }
+        while replay.step(&mut NullObserver) {}
+        assert_eq!(replay.finish(&mut NullObserver), live_report);
+        // More work arrived than the base workload alone carries.
+        let base = make(&cfg).run();
+        assert!(
+            live_report.completions.completed_total > base.completions.completed_total,
+            "injected arrivals must add completions"
+        );
+
+        // Typed rejections: executed slots, bad slots, bad classes, bad
+        // counts.
+        let mut run = SteppedRun::new(make(&cfg));
+        assert!(run.step(&mut NullObserver));
+        assert!(matches!(
+            run.inject_arrivals(0, 0, 1.0),
+            Err(SimError::Mismatch(_))
+        ));
+        assert!(matches!(
+            run.inject_arrivals(40, 0, 1.0),
+            Err(SimError::Mismatch(_))
+        ));
+        assert!(matches!(
+            run.inject_arrivals(5, 9, 1.0),
+            Err(SimError::Mismatch(_))
+        ));
+        assert!(matches!(
+            run.inject_arrivals(5, 0, f64::NAN),
+            Err(SimError::Mismatch(_))
+        ));
+        assert!(matches!(
+            run.inject_arrivals(5, 0, -1.0),
+            Err(SimError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn stepped_deadline_budget_degrades_instead_of_overrunning() {
+        // Same setup as the squeeze test, but the cap arrives through the
+        // daemon's deadline-budget path.
+        let cfg = SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![30.0])
+            .account("x", 0.5)
+            .account("y", 0.5)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 1)
+                    .with_max_arrivals(5.0)
+                    .with_max_route(10.0)
+                    .with_max_process(30.0),
+            )
+            .build()
+            .unwrap();
+        let mut prices: Vec<Box<dyn PriceProcess + Send>> = vec![Box::new(ConstantPrice(0.5))];
+        let mut avail: Vec<Box<dyn AvailabilityProcess + Send>> = vec![Box::new(FullAvailability)];
+        let mut workload = ConstantWorkload::new(vec![4.0, 1.0]);
+        let inp = SimulationInputs::generate(&cfg, 30, 1, &mut prices, &mut avail, &mut workload);
+        let g = GreFar::new(&cfg, GreFarParams::new(1.0, 500.0)).unwrap();
+        let mut run = SteppedRun::new(Simulation::new(cfg, inp, Box::new(g)));
+        run.set_deadline_budget(Some(1));
+        let mut obs = MemoryObserver::new();
+        while run.step(&mut obs) {}
+        assert!(
+            obs.event_count("degraded.mode") > 0,
+            "a 1-iteration deadline budget must force the fallback chain"
+        );
     }
 
     #[test]

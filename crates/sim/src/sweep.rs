@@ -69,16 +69,36 @@ pub fn run_all_observed(
     schedulers: Vec<(String, Box<dyn Scheduler>)>,
     obs: &mut dyn Observer,
 ) -> Vec<(String, SimulationReport)> {
-    schedulers
-        .into_iter()
-        .map(|(label, scheduler)| {
-            if obs.enabled() {
-                obs.record_event(Event::new("sweep.run").field("label", label.as_str()));
-            }
-            let mut sim = Simulation::new(config.clone(), inputs.clone(), scheduler);
-            (label, sim.run_with_observer(obs))
-        })
-        .collect()
+    run_all_observed_until(config, inputs, schedulers, obs, &|| false)
+}
+
+/// [`run_all_observed`] with a cancellation point between runs: before
+/// starting each scheduler, `cancel()` is polled, and a `true` stops the
+/// sweep there, returning only the runs that completed.
+///
+/// Runs are never cut mid-flight — a run that has started always finishes,
+/// so every returned report (and its telemetry) is whole. This is the hook
+/// the experiment binaries use to honor a latched `SIGTERM` between the
+/// runs of a long sweep.
+pub fn run_all_observed_until(
+    config: &SystemConfig,
+    inputs: &SimulationInputs,
+    schedulers: Vec<(String, Box<dyn Scheduler>)>,
+    obs: &mut dyn Observer,
+    cancel: &dyn Fn() -> bool,
+) -> Vec<(String, SimulationReport)> {
+    let mut out = Vec::new();
+    for (label, scheduler) in schedulers {
+        if cancel() {
+            break;
+        }
+        if obs.enabled() {
+            obs.record_event(Event::new("sweep.run").field("label", label.as_str()));
+        }
+        let mut sim = Simulation::new(config.clone(), inputs.clone(), scheduler);
+        out.push((label, sim.run_with_observer(obs)));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -115,5 +135,51 @@ mod tests {
         );
         assert_eq!(reports[0].0, "a");
         assert_eq!(reports[1].0, "g");
+    }
+
+    #[test]
+    fn cancellation_stops_between_runs_and_keeps_completed_reports() {
+        use grefar_obs::NullObserver;
+        use std::cell::Cell;
+
+        let scenario = PaperScenario::default().with_seed(9);
+        let config = scenario.config().clone();
+        let inputs = scenario.into_inputs(24);
+        let make_runs = |config: &grefar_types::SystemConfig| -> Vec<(String, Box<dyn Scheduler>)> {
+            vec![
+                ("a".into(), Box::new(Always::new(config))),
+                (
+                    "g".into(),
+                    Box::new(GreFar::new(config, GreFarParams::new(7.5, 0.0)).unwrap()),
+                ),
+            ]
+        };
+
+        // Cancel flips true after the first poll: the first run completes
+        // (it was already cleared to start), the second never begins.
+        let polls = Cell::new(0u32);
+        let reports = run_all_observed_until(
+            &config,
+            &inputs,
+            make_runs(&config),
+            &mut NullObserver,
+            &|| {
+                polls.set(polls.get() + 1);
+                polls.get() > 1
+            },
+        );
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].0, "a");
+
+        // Never-cancelled matches run_all_observed exactly.
+        let whole = run_all_observed_until(
+            &config,
+            &inputs,
+            make_runs(&config),
+            &mut NullObserver,
+            &|| false,
+        );
+        let twin = run_all_observed(&config, &inputs, make_runs(&config), &mut NullObserver);
+        assert_eq!(whole, twin);
     }
 }

@@ -12,12 +12,12 @@
 //!
 //! | rule | scope |
 //! |------|-------|
-//! | `determinism` | `crates/{core,convex,lp,sim,report,faults,ingest,metrics}/src` |
-//! | `float-eq` | `crates/{core,convex,lp,sim,types,cluster,report,faults,ingest,metrics}/src` |
+//! | `determinism` | `crates/{core,convex,lp,sim,report,faults,ingest,metrics,served}/src` |
+//! | `float-eq` | `crates/{core,convex,lp,sim,types,cluster,report,faults,ingest,metrics,served}/src` |
 //! | `no-panic` | `crates/lp/src`, `crates/core/src/solver` |
 //! | `no-panic-strict` | `crates/sim/src/simulation.rs`, `crates/ingest/src/client.rs` |
 //! | `errors-doc` | `crates/{core,lp}/src` |
-//! | `event-schema` | `crates/{core,convex,lp,sim,ingest,bench,metrics}/src`, `crates/obs/src/span.rs` |
+//! | `event-schema` | `crates/{core,convex,lp,sim,ingest,bench,metrics,served}/src`, `crates/obs/src/span.rs` |
 //! | `hot-path-alloc` | `crates/{convex,lp}/src`, `crates/core/src/solver` |
 //!
 //! `deps-audit` runs over the repository manifests (`Cargo.lock` and
@@ -57,6 +57,7 @@ const SCOPES: &[Scope] = &[
             "crates/faults/src",
             "crates/ingest/src",
             "crates/metrics/src",
+            "crates/served/src",
         ],
     },
     Scope {
@@ -72,6 +73,7 @@ const SCOPES: &[Scope] = &[
             "crates/faults/src",
             "crates/ingest/src",
             "crates/metrics/src",
+            "crates/served/src",
         ],
     },
     Scope {
@@ -99,6 +101,7 @@ const SCOPES: &[Scope] = &[
             "crates/ingest/src",
             "crates/bench/src",
             "crates/metrics/src",
+            "crates/served/src",
             "crates/obs/src/span.rs",
         ],
     },

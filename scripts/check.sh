@@ -129,6 +129,84 @@ cmp -s "$report_tmp/alerts.live" "$report_tmp/alerts.replay" \
     --rules "$alert_rule" --assert-quiet > /dev/null
 echo "provenance, trace and alerts ok"
 
+# Daemon crash-safety (see EXPERIMENTS.md, "Running the scheduler as a
+# daemon" and DESIGN.md, "Service architecture & supervision"): a
+# grefar-served session killed with SIGKILL mid-run and restarted with
+# --resume must merge into a telemetry stream grefar-report diff
+# certifies as identical to an uninterrupted session; SIGTERM must drain
+# gracefully (exit 0, final checkpoint, metrics snapshot, served.stop
+# marker); and a chaos plan that kills the state_keeper must restart
+# within policy and still pass the Theorem 1(a) occupancy gate.
+served=./target/release/grefar-served
+wait_port() { # FILE -> prints the daemon's bound address
+    local f=$1 i=0
+    while [ ! -s "$f" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 500 ] && { echo "daemon never wrote $f" >&2; return 1; }
+        sleep 0.02
+    done
+    cat "$f"
+}
+served_args=(--hours 8 --clock manual --seed 7)
+submit_head='{"op":"submit","job":1,"count":3}
+{"op":"advance","slots":3}
+{"op":"submit","job":0,"count":2}'
+"$served" "${served_args[@]}" --telemetry "$report_tmp/served_ref.jsonl" \
+    --checkpoint "$report_tmp/served_ref.ck" \
+    --port-file "$report_tmp/served_ref.port" > /dev/null &
+served_pid=$!
+printf '%s\n%s\n' "$submit_head" '{"op":"advance","slots":5}' \
+    | "$served" client "$(wait_port "$report_tmp/served_ref.port")" > /dev/null
+wait "$served_pid" || { echo "reference daemon session failed" >&2; exit 1; }
+"$served" "${served_args[@]}" --telemetry "$report_tmp/served_cut.jsonl" \
+    --checkpoint "$report_tmp/served_cut.ck" \
+    --port-file "$report_tmp/served_cut.port" > /dev/null &
+served_pid=$!
+printf '%s\n' "$submit_head" \
+    | "$served" client "$(wait_port "$report_tmp/served_cut.port")" > /dev/null
+kill -9 "$served_pid" # SIGKILL: no drain, no flush; the last submit only in the journal
+if wait "$served_pid" 2> /dev/null; then
+    echo "SIGKILLed daemon should exit non-zero" >&2; exit 1
+fi
+rm -f "$report_tmp/served_cut.port"
+"$served" "${served_args[@]}" --telemetry "$report_tmp/served_cut.jsonl" \
+    --checkpoint "$report_tmp/served_cut.ck" --resume \
+    --port-file "$report_tmp/served_cut.port" > /dev/null &
+served_pid=$!
+printf '%s\n' '{"op":"advance","slots":5}' \
+    | "$served" client "$(wait_port "$report_tmp/served_cut.port")" > /dev/null
+wait "$served_pid" || { echo "resumed daemon session failed" >&2; exit 1; }
+./target/release/grefar-report diff \
+    "$report_tmp/served_ref.jsonl" "$report_tmp/served_cut.jsonl" > /dev/null \
+    || { echo "resumed daemon stream diverged from the uninterrupted run" >&2; exit 1; }
+"$served" --hours 6 --clock manual --seed 4 \
+    --telemetry "$report_tmp/served_drain.jsonl" \
+    --checkpoint "$report_tmp/served_drain.ck" \
+    --metrics-snapshot "$report_tmp/served_drain.prom" \
+    --port-file "$report_tmp/served_drain.port" > /dev/null &
+served_pid=$!
+printf '%s\n' '{"op":"advance","slots":2}' \
+    | "$served" client "$(wait_port "$report_tmp/served_drain.port")" > /dev/null
+kill -TERM "$served_pid"
+wait "$served_pid" || { echo "SIGTERM drain must exit 0" >&2; exit 1; }
+grep -q '"event":"served.stop"' "$report_tmp/served_drain.jsonl" \
+    || { echo "drained daemon left no served.stop marker" >&2; exit 1; }
+[ -s "$report_tmp/served_drain.ck" ] \
+    || { echo "drained daemon left no final checkpoint" >&2; exit 1; }
+./target/release/grefar-report promlint "$report_tmp/served_drain.prom" > /dev/null
+"$served" --hours 10 --clock turbo --seed 3 --backoff-ms 1 \
+    --chaos 'kill:actor=state_keeper,start=6,end=7' \
+    --telemetry "$report_tmp/served_chaos.jsonl" \
+    --checkpoint "$report_tmp/served_chaos.ck" \
+    --port-file "$report_tmp/served_chaos.port" > /dev/null 2>&1 &
+served_pid=$!
+wait_port "$report_tmp/served_chaos.port" > /dev/null
+wait "$served_pid" || { echo "chaos run must ride out its kills (exit 0)" >&2; exit 1; }
+grep -q '"event":"served.restart"' "$report_tmp/served_chaos.jsonl" \
+    || { echo "chaos run recorded no restart" >&2; exit 1; }
+./target/release/grefar-report analyze "$report_tmp/served_chaos.jsonl" --assert-bound > /dev/null
+echo "daemon crash-safety ok"
+
 # Perf trajectory: benches emit machine-readable BENCH_<target>.json; a
 # self-comparison through the gate must pass at a tight threshold, and the
 # fresh numbers must stay within a loose envelope of the committed
