@@ -1,0 +1,81 @@
+//! Soak-harness overhead: scenario fuzzing, the per-slot conservation
+//! ledger, and the repro round-trip. The ledger runs inside every
+//! simulated slot (batch CLI, daemon and soak alike), so its accounting
+//! cost is a standing tax on the whole system — this bench keeps it
+//! visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grefar_core::{JobLedger, QueueState, Scheduler};
+use grefar_sim::PaperScenario;
+use grefar_soak::{repro, Scenario};
+
+fn bench_scenario_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soak_scenario");
+    group.bench_function("generate_64_seeds", |b| {
+        b.iter(|| {
+            (0..64u64)
+                .map(|seed| Scenario::generate(seed).clauses.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ledger_accounting(c: &mut Criterion) {
+    let scenario = PaperScenario::default().with_seed(1);
+    let config = scenario.config().clone();
+    let inputs = scenario.into_inputs(48);
+
+    // Pre-solve every slot so the bench isolates the ledger arithmetic
+    // from the scheduler.
+    let mut always = grefar_core::Always::new(&config);
+    let mut queues = QueueState::new(&config);
+    let mut slots = Vec::with_capacity(48);
+    for t in 0..48usize {
+        let decision = always.decide(inputs.state(t), &queues);
+        let arrivals = inputs.arrivals(t).to_vec();
+        slots.push((queues.clone(), decision.clone(), arrivals));
+        queues.apply(&decision, inputs.arrivals(t));
+    }
+
+    let mut group = c.benchmark_group("soak_ledger");
+    group.bench_function("account_48_slots", |b| {
+        b.iter(|| {
+            let mut ledger = JobLedger::new();
+            let mut queued = 0.0;
+            for (prev, decision, arrivals) in &slots {
+                ledger.account(prev, decision, arrivals, arrivals);
+                queued = ledger.admitted() - ledger.served() - ledger.route_excess();
+                assert!(ledger.balance(queued).abs() <= ledger.tolerance() + queued.abs());
+            }
+            (ledger.offered(), queued)
+        })
+    });
+    group.finish();
+}
+
+fn bench_repro_roundtrip(c: &mut Criterion) {
+    let scenario = Scenario::generate(9);
+    let violation = grefar_soak::Violation::new(
+        grefar_soak::OracleKind::Ledger,
+        "slot 16: conservation balance 7.000000 exceeds tolerance 1.763e-6",
+    );
+    let mut group = c.benchmark_group("soak_repro");
+    group.bench_function("render_parse", |b| {
+        b.iter(|| {
+            let text = repro::render(&scenario, &violation);
+            repro::parse(&text)
+                .expect("canonical repro parses")
+                .scenario
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scenario_generate,
+    bench_ledger_accounting,
+    bench_repro_roundtrip
+);
+criterion_main!(benches);

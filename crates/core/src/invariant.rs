@@ -128,6 +128,16 @@ pub enum InvariantViolation {
         /// The bound `V·C3/δ`.
         bound: f64,
     },
+    /// The job-conservation ledger disagrees with the realized queue
+    /// total (see [`JobLedger`](crate::JobLedger)).
+    Ledger {
+        /// The queue total actually observed.
+        queued: f64,
+        /// The total the ledger's conservation identity predicts.
+        expected: f64,
+        /// The signed discrepancy `queued − expected`.
+        balance: f64,
+    },
 }
 
 impl core::fmt::Display for InvariantViolation {
@@ -202,6 +212,15 @@ impl core::fmt::Display for InvariantViolation {
                 "queue length {observed} exceeds the Theorem 1(a) bound {bound} on an \
                  admissible trace"
             ),
+            Self::Ledger {
+                queued,
+                expected,
+                balance,
+            } => write!(
+                f,
+                "queues hold {queued} jobs but the conservation ledger expects \
+                 {expected} (balance {balance})"
+            ),
         }
     }
 }
@@ -219,6 +238,7 @@ impl InvariantViolation {
             Self::ProcessBacklog { .. } => "process_backlog",
             Self::QueueDynamics { .. } => "queue_dynamics",
             Self::QueueBound { .. } => "queue_bound",
+            Self::Ledger { .. } => "ledger",
         }
     }
 

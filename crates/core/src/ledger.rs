@@ -1,0 +1,339 @@
+//! The job-conservation ledger: shadow accounting for the queue dynamics.
+//!
+//! Every slot the dynamics (12)–(13) move jobs between four places:
+//! arrivals enter the central queues, routing moves them to local queues,
+//! processing removes them, and admission control drops the overflow. The
+//! `max[·, 0]` truncation in (12)–(13) complicates naive conservation —
+//! routing more than a central queue holds *mints* phantom jobs (they are
+//! added to local queues in full but only `min(r, Q)` leaves the central
+//! queue), and processing an empty local queue removes nothing. The ledger
+//! tracks exactly those effective flows, so that at every slot
+//!
+//! ```text
+//! Σ Θ(t)  ==  admitted − served_eff + route_excess
+//! ```
+//!
+//! where `served_eff = Σ min(h_ij, q_ij)` is the work actually removed and
+//! `route_excess = Σ_j max(0, Σ_i r_ij − Q_j)` is the phantom work minted
+//! by over-routing. A scheduler respecting backlogs (all built-in ones do;
+//! see [`invariant::check_backlog_discipline`](crate::invariant)) keeps
+//! `route_excess` at zero and `served_eff = Σ h_ij`.
+//!
+//! The ledger is **always compiled** into the simulator's slot loop — it
+//! is a handful of additions per slot — and emitted as a `soak.ledger`
+//! telemetry event each slot. Under the `strict-invariants` feature a
+//! non-zero balance aborts the run; in the default build the `grefar-soak`
+//! harness checks the emitted balances offline.
+
+use grefar_obs::Event;
+use grefar_types::Decision;
+
+use crate::invariant::InvariantViolation;
+use crate::queue::QueueState;
+
+/// Cumulative conservation counters for one run (see module docs).
+///
+/// All counters are cumulative job counts since slot 0 (or since the
+/// state a checkpoint restored; the counters are checkpointed so a
+/// resumed run continues the identical series).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobLedger {
+    offered: f64,
+    admitted: f64,
+    dropped: f64,
+    served: f64,
+    route_excess: f64,
+}
+
+impl JobLedger {
+    /// A fresh ledger with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restores a ledger from checkpointed counters.
+    ///
+    /// # Errors
+    /// A counter that is negative or non-finite, or an `offered` that
+    /// disagrees with `admitted + dropped` beyond rounding.
+    pub fn from_parts(
+        offered: f64,
+        admitted: f64,
+        dropped: f64,
+        served: f64,
+        route_excess: f64,
+    ) -> Result<Self, String> {
+        for (name, v) in [
+            ("offered", offered),
+            ("admitted", admitted),
+            ("dropped", dropped),
+            ("served", served),
+            ("route_excess", route_excess),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!(
+                    "ledger counter {name} must be non-negative, got {v}"
+                ));
+            }
+        }
+        let ledger = Self {
+            offered,
+            admitted,
+            dropped,
+            served,
+            route_excess,
+        };
+        if (offered - (admitted + dropped)).abs() > ledger.tolerance() {
+            return Err(format!(
+                "ledger offered {offered} disagrees with admitted {admitted} + dropped {dropped}"
+            ));
+        }
+        Ok(ledger)
+    }
+
+    /// Accounts one slot's flows. Call with the queue state **before**
+    /// [`QueueState::apply`] for this slot: `raw` is the pre-admission
+    /// arrival vector, `admitted` the post-cap vector actually applied.
+    ///
+    /// # Panics
+    /// Panics if `raw` and `admitted` lengths differ from the decision's
+    /// job-class count.
+    pub fn account(
+        &mut self,
+        prev: &QueueState,
+        decision: &Decision,
+        raw: &[f64],
+        admitted: &[f64],
+    ) {
+        let j_count = decision.num_job_types();
+        assert_eq!(raw.len(), j_count, "raw arrival vector mismatch");
+        assert_eq!(admitted.len(), j_count, "admitted arrival vector mismatch");
+        let n = decision.num_data_centers();
+        for (j, (&r, &a)) in raw.iter().zip(admitted).enumerate() {
+            self.offered += r;
+            self.admitted += a;
+            self.dropped += r - a;
+            let routed = decision.routed.col_sum(j);
+            self.route_excess += (routed - prev.central(j)).max(0.0);
+            for i in 0..n {
+                self.served += decision.processed[(i, j)].min(prev.local(i, j));
+            }
+        }
+    }
+
+    /// Jobs offered (pre-admission-control arrivals) so far.
+    pub fn offered(&self) -> f64 {
+        self.offered
+    }
+
+    /// Jobs admitted into the queues so far.
+    pub fn admitted(&self) -> f64 {
+        self.admitted
+    }
+
+    /// Jobs dropped by admission control so far.
+    pub fn dropped(&self) -> f64 {
+        self.dropped
+    }
+
+    /// Effective service so far: `Σ min(h_ij, q_ij)` summed over slots.
+    pub fn served(&self) -> f64 {
+        self.served
+    }
+
+    /// Phantom work minted by over-routing so far.
+    pub fn route_excess(&self) -> f64 {
+        self.route_excess
+    }
+
+    /// The queue total the conservation identity predicts.
+    pub fn expected_total(&self) -> f64 {
+        self.admitted - self.served + self.route_excess
+    }
+
+    /// The signed discrepancy between an observed queue total and the
+    /// ledger's prediction (zero up to float accumulation on a healthy
+    /// run).
+    pub fn balance(&self, queued: f64) -> f64 {
+        queued - self.expected_total()
+    }
+
+    /// The accumulated-rounding tolerance the conservation check allows:
+    /// proportional to the total flow the ledger has summed.
+    pub fn tolerance(&self) -> f64 {
+        1e-9 * (1.0 + self.offered + self.served + self.route_excess)
+    }
+
+    /// Checks the conservation identity against the live queues.
+    ///
+    /// # Errors
+    /// [`InvariantViolation::Ledger`] when the balance exceeds the
+    /// accumulation [`tolerance`](Self::tolerance).
+    pub fn check(&self, queues: &QueueState) -> Result<(), InvariantViolation> {
+        let queued = queues.total();
+        let balance = self.balance(queued);
+        if balance.abs() > self.tolerance() {
+            return Err(InvariantViolation::Ledger {
+                queued,
+                expected: self.expected_total(),
+                balance,
+            });
+        }
+        Ok(())
+    }
+
+    /// Renders the slot's ledger state as a `soak.ledger` telemetry event.
+    pub fn event(&self, t: u64, queued: f64) -> Event {
+        Event::new("soak.ledger")
+            .field("t", t)
+            .field("offered", self.offered)
+            .field("admitted", self.admitted)
+            .field("dropped", self.dropped)
+            .field("served", self.served)
+            .field("route_excess", self.route_excess)
+            .field("queued", queued)
+            .field("balance", self.balance(queued))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grefar_types::{DataCenterId, JobClass, ServerClass, SystemConfig};
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .server_class(ServerClass::new(1.0, 1.0))
+            .data_center("a", vec![10.0])
+            .account("x", 1.0)
+            .job_class(
+                JobClass::new(1.0, vec![DataCenterId::new(0)], 0)
+                    .with_max_arrivals(8.0)
+                    .with_max_route(8.0)
+                    .with_max_process(8.0),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn conservation_holds_across_route_and_serve() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut ledger = JobLedger::new();
+
+        // Slot 0: 5 jobs arrive.
+        let z = cfg.decision_zeros();
+        ledger.account(&queues, &z, &[5.0], &[5.0]);
+        queues.apply(&z, &[5.0]);
+        assert_eq!(ledger.check(&queues), Ok(()));
+
+        // Slot 1: route 3 to the DC, 2 more arrive.
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 3.0;
+        ledger.account(&queues, &z, &[2.0], &[2.0]);
+        queues.apply(&z, &[2.0]);
+        assert_eq!(ledger.check(&queues), Ok(()));
+
+        // Slot 2: serve 2 locally.
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 2.0;
+        ledger.account(&queues, &z, &[0.0], &[0.0]);
+        queues.apply(&z, &[0.0]);
+        assert_eq!(ledger.check(&queues), Ok(()));
+        assert_eq!(ledger.served(), 2.0);
+        assert_eq!(ledger.admitted(), 7.0);
+        assert_eq!(queues.total(), 5.0);
+    }
+
+    #[test]
+    fn over_routing_mints_route_excess_and_still_balances() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut ledger = JobLedger::new();
+        let z0 = cfg.decision_zeros();
+        ledger.account(&queues, &z0, &[1.0], &[1.0]);
+        queues.apply(&z0, &[1.0]);
+
+        // Route 4 with only 1 queued: 3 phantom jobs are minted by (12).
+        let mut z = cfg.decision_zeros();
+        z.routed[(0, 0)] = 4.0;
+        ledger.account(&queues, &z, &[0.0], &[0.0]);
+        queues.apply(&z, &[0.0]);
+        assert_eq!(ledger.route_excess(), 3.0);
+        assert_eq!(ledger.check(&queues), Ok(()));
+        assert_eq!(queues.total(), 4.0);
+    }
+
+    #[test]
+    fn phantom_service_is_not_counted() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut ledger = JobLedger::new();
+        // Serve 5 from an empty local queue: effective service is zero.
+        let mut z = cfg.decision_zeros();
+        z.processed[(0, 0)] = 5.0;
+        ledger.account(&queues, &z, &[0.0], &[0.0]);
+        queues.apply(&z, &[0.0]);
+        assert_eq!(ledger.served(), 0.0);
+        assert_eq!(ledger.check(&queues), Ok(()));
+    }
+
+    #[test]
+    fn admission_drops_are_ledgered() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut ledger = JobLedger::new();
+        let z = cfg.decision_zeros();
+        ledger.account(&queues, &z, &[6.0], &[4.0]);
+        queues.apply(&z, &[4.0]);
+        assert_eq!(ledger.offered(), 6.0);
+        assert_eq!(ledger.dropped(), 2.0);
+        assert_eq!(ledger.check(&queues), Ok(()));
+    }
+
+    #[test]
+    fn a_corrupted_queue_breaks_the_balance() {
+        let cfg = config();
+        let mut queues = QueueState::new(&cfg);
+        let mut ledger = JobLedger::new();
+        let z = cfg.decision_zeros();
+        ledger.account(&queues, &z, &[3.0], &[3.0]);
+        queues.apply(&z, &[3.0]);
+        queues.corrupt_central_for_test(0, 2.5);
+        let err = ledger.check(&queues).unwrap_err();
+        match err {
+            InvariantViolation::Ledger { balance, .. } => assert_eq!(balance, 2.5),
+            other => panic!("expected ledger violation, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "ledger");
+        assert_eq!(err.event(7).name(), "invariant.violation");
+    }
+
+    #[test]
+    fn roundtrips_through_parts() {
+        let ledger = JobLedger::from_parts(10.0, 8.0, 2.0, 3.0, 0.5).unwrap();
+        assert_eq!(ledger.expected_total(), 5.5);
+        assert!(JobLedger::from_parts(-1.0, 0.0, 0.0, 0.0, 0.0).is_err());
+        assert!(JobLedger::from_parts(10.0, 3.0, 2.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn event_carries_every_declared_field() {
+        let ledger = JobLedger::from_parts(4.0, 4.0, 0.0, 1.0, 0.0).unwrap();
+        let event = ledger.event(9, 3.0);
+        assert_eq!(event.name(), "soak.ledger");
+        for key in [
+            "t",
+            "offered",
+            "admitted",
+            "dropped",
+            "served",
+            "route_excess",
+            "queued",
+            "balance",
+        ] {
+            assert!(event.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -59,6 +59,7 @@ mod error;
 pub mod fairness;
 mod grefar;
 pub mod invariant;
+mod ledger;
 mod lookahead;
 mod queue;
 mod scheduler;
@@ -74,6 +75,7 @@ pub use cost::{
 pub use error::ParamError;
 pub use fairness::{AlphaFair, FairnessFunction, QuadraticDeviation};
 pub use grefar::{GreFar, GreFarParams};
+pub use ledger::JobLedger;
 pub use lookahead::{LookaheadPlan, TStepLookahead};
 pub use queue::QueueState;
 pub use scheduler::Scheduler;

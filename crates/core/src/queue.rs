@@ -104,6 +104,25 @@ impl QueueState {
         &self.local
     }
 
+    /// Test-only mutation hook: adds `delta` to central queue `j`,
+    /// deliberately desynchronizing the state from the dynamics. Exists so
+    /// the `grefar-soak` mutation self-check can prove the conservation
+    /// ledger actually detects a corrupted queue update; never call it
+    /// from production paths.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range or the result would be negative or
+    /// non-finite.
+    #[doc(hidden)]
+    pub fn corrupt_central_for_test(&mut self, j: usize, delta: f64) {
+        let corrupted = self.central[j] + delta;
+        assert!(
+            corrupted.is_finite() && corrupted >= 0.0,
+            "corruption must leave a valid queue length"
+        );
+        self.central[j] = corrupted;
+    }
+
     /// Applies one slot of dynamics: first the departures/routings of the
     /// decision `z(t)`, then the arrivals `a(t)` — exactly (12)–(13).
     ///

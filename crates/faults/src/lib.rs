@@ -648,7 +648,11 @@ fn rebuild_dc(
 
 /// SplitMix64: the small, well-mixed generator behind the seeded outage
 /// generator (no external RNG dependency, no ambient entropy).
-fn splitmix64(state: &mut u64) -> u64 {
+///
+/// Public so downstream deterministic tooling (the `grefar-soak` scenario
+/// fuzzer) expands its seeds through the exact same stream the fault layer
+/// uses — one generator, one notion of "seed" across the workspace.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

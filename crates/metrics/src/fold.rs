@@ -326,6 +326,25 @@ impl MetricsFold {
                     1.0,
                 );
             }
+            "soak.ledger" => {
+                let label = self.label.clone();
+                if let Some(balance) = fields.f64("balance") {
+                    self.registry.gauge_set(
+                        "grefar_ledger_balance_jobs",
+                        "Signed job-conservation balance (queues minus ledger prediction).",
+                        &[("scheduler", &label)],
+                        balance,
+                    );
+                }
+                if let Some(excess) = fields.f64("route_excess") {
+                    self.registry.gauge_set(
+                        "grefar_ledger_route_excess_jobs",
+                        "Cumulative phantom work minted by over-routing.",
+                        &[("scheduler", &label)],
+                        excess,
+                    );
+                }
+            }
             "feed.fetch" => {
                 let feed = fields.str("feed").unwrap_or("unknown").to_string();
                 let outcome = fields.str("outcome").unwrap_or("unknown").to_string();

@@ -329,6 +329,23 @@ pub const EVENTS: &[EventSchema] = &[
         optional: &[],
     },
     EventSchema {
+        name: "soak.ledger",
+        channel: Channel::Telemetry,
+        doc: "Per-slot job-conservation ledger: cumulative offered/served \
+              accounting and the balance against the live queue total.",
+        required: &[
+            u("t"),
+            f("offered"),
+            f("admitted"),
+            f("dropped"),
+            f("served"),
+            f("route_excess"),
+            f("queued"),
+            f("balance"),
+        ],
+        optional: &[],
+    },
+    EventSchema {
         name: "state.stale",
         channel: Channel::Telemetry,
         doc: "A slot decided on a not-fully-fresh feed estimate.",
@@ -390,6 +407,19 @@ pub const EVENTS: &[EventSchema] = &[
             u("accounts"),
             u("completed_total"),
             s("sojourn_sum"),
+        ],
+        optional: &[],
+    },
+    EventSchema {
+        name: "ckpt.ledger",
+        channel: Channel::Checkpoint,
+        doc: "Cumulative job-conservation ledger counters at the cut.",
+        required: &[
+            f("offered"),
+            f("admitted"),
+            f("dropped"),
+            f("served"),
+            f("route_excess"),
         ],
         optional: &[],
     },

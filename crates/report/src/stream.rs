@@ -196,6 +196,28 @@ pub struct StaleSample {
     pub price_mae: f64,
 }
 
+/// One `soak.ledger` event — the per-slot job-conservation ledger state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerSample {
+    /// The slot.
+    pub t: u64,
+    /// Jobs offered (pre-admission-control) so far.
+    pub offered: f64,
+    /// Jobs admitted so far.
+    pub admitted: f64,
+    /// Jobs dropped by admission control so far.
+    pub dropped: f64,
+    /// Effective service so far.
+    pub served: f64,
+    /// Phantom work minted by over-routing so far.
+    pub route_excess: f64,
+    /// The realized queue total this slot.
+    pub queued: f64,
+    /// The signed conservation balance (zero up to accumulation on a
+    /// healthy run).
+    pub balance: f64,
+}
+
 /// Theorem 1 bounds attached to one labeled run (a `theory.bounds` event).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundsEvent {
@@ -266,6 +288,8 @@ pub struct Run {
     pub feed_quarantined: Vec<(u64, String, String)>,
     /// `state.stale` events in slot order.
     pub stale: Vec<StaleSample>,
+    /// `soak.ledger` conservation samples in slot order.
+    pub ledger: Vec<LedgerSample>,
 }
 
 impl Run {
@@ -498,6 +522,18 @@ impl TelemetryStream {
                         stale_fields: number(event, "stale_fields", idx)? as u64,
                         max_age: number(event, "max_age", idx)? as u64,
                         price_mae: number(event, "price_mae", idx)?,
+                    });
+                }
+                "soak.ledger" => {
+                    run.ledger.push(LedgerSample {
+                        t: number(event, "t", idx)? as u64,
+                        offered: number(event, "offered", idx)?,
+                        admitted: number(event, "admitted", idx)?,
+                        dropped: number(event, "dropped", idx)?,
+                        served: number(event, "served", idx)?,
+                        route_excess: number(event, "route_excess", idx)?,
+                        queued: number(event, "queued", idx)?,
+                        balance: number(event, "balance", idx)?,
                     });
                 }
                 // Run-policy bookkeeping; the analytics don't consume it

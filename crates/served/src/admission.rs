@@ -45,11 +45,22 @@ pub struct AdmissionConfig {
     pub stop: Arc<AtomicBool>,
 }
 
+/// The largest request line the wire protocol accepts, in bytes. Real
+/// requests are well under 100 bytes; the cap bounds per-connection
+/// memory so a peer streaming an endless unterminated "line" cannot grow
+/// `Conn::buf` without limit. An overrun gets one typed `line_too_long`
+/// rejection, the rest of the oversized line is discarded through its
+/// terminating newline, and the connection then resumes normal framing.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
 struct Conn {
     id: u64,
     stream: TcpStream,
     buf: Vec<u8>,
     dead: bool,
+    /// Set after a `line_too_long` rejection: incoming bytes are dropped
+    /// (never buffered) until the oversized line's newline goes by.
+    discarding: bool,
 }
 
 /// Runs one admission-actor incarnation until the stop flag is set.
@@ -99,6 +110,7 @@ pub fn run_admission(
                         stream,
                         buf: Vec::new(),
                         dead: false,
+                        discarding: false,
                     });
                     next_conn += 1;
                 }
@@ -142,7 +154,26 @@ fn pump_reads(conn: &mut Conn, sk: &Swap<SyncSender<SkMsg>>, shared: &SkShared) 
                 conn.dead = true;
                 break;
             }
-            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                let mut bytes = &chunk[..n];
+                if conn.discarding {
+                    // Mid-oversized-line: drop bytes until its newline.
+                    match bytes.iter().position(|&b| b == b'\n') {
+                        Some(i) => {
+                            conn.discarding = false;
+                            bytes = &bytes[i + 1..];
+                        }
+                        None => continue,
+                    }
+                }
+                conn.buf.extend_from_slice(bytes);
+                if conn.buf.len() > MAX_LINE_BYTES {
+                    // Stop slurping: let line processing below drain
+                    // complete lines (or shed the overrun) before the
+                    // buffer grows past one cap's worth.
+                    break;
+                }
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(_) => {
                 conn.dead = true;
@@ -152,13 +183,40 @@ fn pump_reads(conn: &mut Conn, sk: &Swap<SyncSender<SkMsg>>, shared: &SkShared) 
     }
     while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
         let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+        if line.len() > MAX_LINE_BYTES {
+            // Terminated but oversized: reject it whole, keep framing.
+            reject_line_too_long(conn, shared);
+            continue;
+        }
         let line = String::from_utf8_lossy(&line);
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         handle_line(conn, line, sk, shared);
+        if conn.dead {
+            return;
+        }
     }
+    // No newline yet: a partial line already past the cap can never
+    // become a valid request, so reject once and discard the rest of the
+    // flood as it streams in instead of buffering it.
+    if conn.buf.len() > MAX_LINE_BYTES {
+        reject_line_too_long(conn, shared);
+        conn.buf.clear();
+        conn.discarding = true;
+    }
+}
+
+/// One typed `line_too_long` rejection at the edge.
+fn reject_line_too_long(conn: &mut Conn, shared: &SkShared) {
+    reject_local(
+        conn,
+        "request",
+        RejectReason::LineTooLong,
+        &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        shared,
+    );
 }
 
 fn handle_line(conn: &mut Conn, line: &str, sk: &Swap<SyncSender<SkMsg>>, shared: &SkShared) {
@@ -351,6 +409,61 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("\"error\":\"parse\""), "{line}");
         assert_eq!(shared.rejected.load(Ordering::SeqCst), 1);
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn multi_megabyte_line_is_rejected_typed_and_framing_resyncs() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (sk_tx, _sk_rx) = sync_channel::<SkMsg>(8);
+        let sk = Swap::new(sk_tx);
+        let (shared, _tele_rx) = shared_for_test();
+        let (_reply_tx, reply_rx) = mpsc::channel();
+        let (_ctl_tx, ctl_rx) = mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let sk = sk.clone();
+            let shared = shared.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                run_admission(
+                    listener,
+                    sk,
+                    shared,
+                    ctl_rx,
+                    reply_rx,
+                    AdmissionConfig { conn_base: 0, stop },
+                )
+            })
+        };
+
+        // A 4 MiB "line": exactly one typed rejection as soon as the cap
+        // trips, however many poll cycles the flood spans — the actor
+        // discards the rest instead of buffering it.
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut flood = vec![b'x'; 4 * 1024 * 1024];
+        flood.push(b'\n');
+        client.write_all(&flood).unwrap();
+        client.flush().unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"error\":\"line_too_long\""), "{line}");
+        assert_eq!(shared.rejected.load(Ordering::SeqCst), 1);
+
+        // Framing resynced at the flood's newline: the next (short,
+        // malformed) line gets its own typed answer, not silence.
+        writeln!(client, "not json").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"error\":\"parse\""), "{line}");
+        assert_eq!(shared.rejected.load(Ordering::SeqCst), 2);
 
         stop.store(true, Ordering::SeqCst);
         handle.join().unwrap();

@@ -10,11 +10,17 @@
 //! telemetry.
 //!
 //! Format: one flat JSON object per line, `{"seq":N,"t":T,"job":J,
-//! "count":C}`, strictly increasing `seq`. A `kill -9` can truncate the
-//! final line mid-write; [`load`] tolerates exactly that (the dangling
-//! suffix is reported, earlier corruption is an error) — a submission
-//! whose journal line did not survive was never acknowledged, so dropping
-//! it keeps the daemon and its clients consistent.
+//! "count":C}`, contiguous `seq`. A `kill -9` can truncate the final
+//! line mid-write; [`load`] tolerates exactly that (the dangling suffix
+//! is reported, earlier corruption is an error) — a submission whose
+//! journal line did not survive was never acknowledged, so dropping it
+//! keeps the daemon and its clients consistent.
+//!
+//! Growth is bounded: each checkpoint cut [`Journal::rotate`]s the file
+//! down to the entries a resume still needs (slots at or past the cut,
+//! plus the newest entry as the `seq` watermark), preserving original
+//! sequence numbers — so a rotated journal starts at a nonzero base and
+//! [`load`] only requires contiguity, not a zero origin.
 
 use grefar_obs::json::{parse_object, JsonValue};
 use std::fs::{File, OpenOptions};
@@ -24,7 +30,8 @@ use std::path::{Path, PathBuf};
 /// One accepted submission.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JournalEntry {
-    /// Acceptance sequence number (strictly increasing from 0).
+    /// Acceptance sequence number (strictly increasing; starts at 0 for
+    /// a fresh daemon, survives rotation via the kept suffix).
     pub seq: u64,
     /// The slot the submission was admitted into.
     pub t: u64,
@@ -90,6 +97,43 @@ impl Journal {
         self.file.write_all(line.as_bytes())?;
         self.file.sync_data()
     }
+
+    /// Atomically rewrites the journal to hold only `keep` (entries a
+    /// resume still needs), bounding growth at checkpoint boundaries.
+    /// Same durability dance as the checkpoint writer: serialize to
+    /// `<path>.rot`, `fsync` it, rename over the journal, `fsync` the
+    /// directory, then reopen the append handle on the new file. A crash
+    /// at any byte leaves either the complete old journal or the complete
+    /// new one — [`load`] accepts both because `keep` preserves original
+    /// `seq` numbers (contiguous from a now-nonzero base).
+    ///
+    /// # Errors
+    /// Any I/O error. Callers treat this as fatal (the state keeper
+    /// panics, the supervisor restarts it): the on-disk journal is valid
+    /// at every byte of the sequence, but the append handle may no longer
+    /// match the live file, so continuing could silently drop the
+    /// durability barrier.
+    pub fn rotate(&mut self, keep: &[JournalEntry]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("rot");
+        let mut text = String::new();
+        for entry in keep {
+            text.push_str(&entry.to_line());
+            text.push('\n');
+        }
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                File::open(parent)?.sync_all()?;
+            }
+        }
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
 }
 
 /// Loads a journal, tolerating a truncated final line (see module docs).
@@ -109,7 +153,7 @@ pub fn load(path: &Path) -> Result<JournalRecovery, String> {
         }
         Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
     };
-    let mut entries = Vec::new();
+    let mut entries: Vec<JournalEntry> = Vec::new();
     let mut consumed = 0usize;
     for chunk in text.split_inclusive('\n') {
         let complete = chunk.ends_with('\n');
@@ -120,13 +164,18 @@ pub fn load(path: &Path) -> Result<JournalRecovery, String> {
         }
         match parse_entry(line) {
             Ok(entry) => {
-                let expected = entries.len() as u64;
-                if entry.seq != expected {
-                    return Err(format!(
-                        "journal {}: seq {} where {expected} was expected",
-                        path.display(),
-                        entry.seq
-                    ));
+                // Contiguous from the first entry's seq. The base is 0
+                // for a virgin journal and the original (nonzero) seq of
+                // the oldest kept entry after a rotation.
+                if let Some(prev) = entries.last() {
+                    let expected: u64 = prev.seq + 1;
+                    if entry.seq != expected {
+                        return Err(format!(
+                            "journal {}: seq {} where {expected} was expected",
+                            path.display(),
+                            entry.seq
+                        ));
+                    }
                 }
                 if !complete {
                     // A well-formed final line that merely lost its
@@ -266,6 +315,85 @@ mod tests {
                     "cut={cut}"
                 );
             }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_a_suffix_with_original_seqs_and_stays_appendable() {
+        let dir = std::env::temp_dir().join(format!("grefar-journal-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rotate.journal");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = Journal::open(&path).unwrap();
+        let written = vec![
+            entry(0, 1, 0, 1.0),
+            entry(1, 2, 1, 2.0),
+            entry(2, 5, 0, 3.0),
+            entry(3, 6, 1, 4.0),
+        ];
+        for e in &written {
+            journal.append(*e).unwrap();
+        }
+        // Checkpoint at slot 5: entries for slots >= 5 survive.
+        journal.rotate(&written[2..]).unwrap();
+        let recovered = load(&path).unwrap();
+        assert_eq!(recovered.entries, written[2..]);
+        assert_eq!(recovered.dropped_bytes, 0);
+        // The reopened handle appends to the rotated file, not a stale fd.
+        journal.append(entry(4, 7, 0, 1.0)).unwrap();
+        assert_eq!(load(&path).unwrap().entries.len(), 3);
+        // Rotating to a single watermark entry still loads.
+        journal.rotate(&[entry(4, 7, 0, 1.0)]).unwrap();
+        let recovered = load(&path).unwrap();
+        assert_eq!(recovered.entries, vec![entry(4, 7, 0, 1.0)]);
+        // A gap after the base is still corruption.
+        journal.append(entry(9, 8, 0, 1.0)).unwrap();
+        assert!(load(&path).unwrap_err().contains("seq"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_rotation_leaves_a_loadable_journal_at_every_byte() {
+        // A crash can strike anywhere inside rotate(): while the `.rot`
+        // temp file is being written (the journal itself is untouched),
+        // or after the rename (the journal is the complete new file).
+        // Model both at byte granularity.
+        let dir = std::env::temp_dir().join(format!("grefar-journal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.journal");
+        let old = vec![
+            entry(0, 1, 0, 1.0),
+            entry(1, 4, 1, 2.0),
+            entry(2, 6, 0, 3.0),
+        ];
+        let keep = &old[1..];
+        let old_text: String = old.iter().map(|e| format!("{}\n", e.to_line())).collect();
+        let new_text: String = keep.iter().map(|e| format!("{}\n", e.to_line())).collect();
+
+        // Phase 1: temp-file write torn at every prefix. The journal file
+        // itself must load untouched.
+        let tmp = path.with_extension("rot");
+        for cut in 0..=new_text.len() {
+            std::fs::write(&path, &old_text).unwrap();
+            std::fs::write(&tmp, &new_text.as_bytes()[..cut]).unwrap();
+            let recovered = load(&path).unwrap();
+            assert_eq!(recovered.entries, old, "tmp cut at {cut}");
+        }
+        let _ = std::fs::remove_file(&tmp);
+
+        // Phase 2: rename landed; the new journal is complete and starts
+        // at a nonzero seq base. A torn *append* after the rotation is
+        // still tolerated like any torn tail.
+        std::fs::write(&path, &new_text).unwrap();
+        let recovered = load(&path).unwrap();
+        assert_eq!(recovered.entries, keep);
+        let next = entry(3, 7, 1, 1.0).to_line();
+        for cut in 1..next.len() {
+            std::fs::write(&path, format!("{new_text}{}", &next[..cut])).unwrap();
+            let recovered = load(&path).unwrap();
+            assert_eq!(recovered.entries, keep, "append cut at {cut}");
+            assert_eq!(recovered.dropped_bytes as usize, cut, "append cut at {cut}");
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -63,6 +63,10 @@ pub enum RejectReason {
     Unavailable,
     /// The submission itself is invalid (job class range, horizon, count).
     Invalid,
+    /// The request line exceeded the wire-protocol length cap. The rest
+    /// of the oversized line is discarded (through its terminating
+    /// newline); well-framed requests after it proceed normally.
+    LineTooLong,
 }
 
 impl RejectReason {
@@ -75,6 +79,7 @@ impl RejectReason {
             RejectReason::Draining => "draining",
             RejectReason::Unavailable => "unavailable",
             RejectReason::Invalid => "invalid",
+            RejectReason::LineTooLong => "line_too_long",
         }
     }
 }

@@ -386,7 +386,13 @@ impl StateKeeper {
             );
         }
         let t = self.run.next_slot();
-        let seq = self.shared.lock_accepted().len() as u64;
+        // Next seq continues from the newest accepted entry — `len()`
+        // would repeat seqs after a journal rotation trims the prefix.
+        let seq = self
+            .shared
+            .lock_accepted()
+            .last()
+            .map_or(0, |prev| prev.seq + 1);
         let entry = JournalEntry { seq, t, job, count };
         if let Some(journal) = &mut self.journal {
             journal
@@ -558,6 +564,20 @@ impl StateKeeper {
             .append(path)
             .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
         self.last_checkpoint_slot = Some(slot);
+        if let Some(journal) = &mut self.journal {
+            // The cut is durable: entries for executed slots are baked
+            // into it, so the journal only needs the suffix a resume
+            // would replay (plus the newest entry as the seq watermark).
+            let accepted = self.shared.lock_accepted();
+            let from = accepted
+                .iter()
+                .position(|e| e.t >= slot)
+                .unwrap_or_else(|| accepted.len().saturating_sub(1));
+            let keep = &accepted[from..];
+            journal
+                .rotate(keep)
+                .unwrap_or_else(|e| panic!("journal rotate failed: {e}"));
+        }
         send_reliable(
             &self.shared.tele,
             TelemetryMsg::Event(Event::new("checkpoint.write").field("t", slot)),
@@ -773,6 +793,102 @@ mod tests {
                 assert!(report.average_energy_cost().is_finite());
             }
         }
+    }
+
+    #[test]
+    fn checkpoints_rotate_the_journal_and_seqs_survive() {
+        let dir = std::env::temp_dir().join(format!("grefar-sk-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck_path = dir.join("run.ckpt.jsonl");
+        let jn_path = dir.join("run.ckpt.jsonl.journal");
+        let _ = std::fs::remove_file(&ck_path);
+        let _ = std::fs::remove_file(&jn_path);
+
+        let engine = spec(8);
+        let classes = engine.config.num_job_classes();
+        let run = engine.build(&[], None).unwrap();
+        let (tele_tx, _tele_rx) = mpsc::channel();
+        let (reply_tx, replies) = mpsc::channel();
+        let (ctl_tx, _ctl_rx) = mpsc::channel();
+        let (feeds_tx, _feeds_rx) = mpsc::channel();
+        let shared = SkShared::new(
+            Swap::new(tele_tx),
+            Swap::new(reply_tx),
+            Swap::new(ctl_tx),
+            Swap::new(feeds_tx),
+        );
+        let (sk_tx, sk_rx) = mpsc::channel();
+        let config = SkConfig {
+            clock: Clock::Manual,
+            chaos: None,
+            checkpoint: Some(ck_path.clone()),
+            checkpoint_every: 1,
+            journal: Some(jn_path.clone()),
+            num_job_classes: classes,
+        };
+        let handle = std::thread::spawn(move || run_state_keeper(run, config, shared, sk_rx));
+        let rig = Rig {
+            sk: sk_tx,
+            replies,
+            _tele_rx,
+            _feeds_rx,
+            _ctl_rx,
+            handle,
+        };
+
+        for conn in 0..3u64 {
+            rig.sk
+                .send(SkMsg::Submit {
+                    conn,
+                    job: 0,
+                    count: 1.0,
+                })
+                .unwrap();
+            let accept = reply_of(&rig, conn);
+            assert_eq!(
+                accept.get("seq").and_then(JsonValue::as_f64),
+                Some(conn as f64)
+            );
+            rig.sk
+                .send(SkMsg::Advance {
+                    conn: 100 + conn,
+                    slots: 1,
+                })
+                .unwrap();
+            reply_of(&rig, 100 + conn);
+        }
+
+        // Three slots executed, a checkpoint after each: the journal has
+        // been rotated down to the seq watermark (every admitted slot is
+        // behind the cut), not grown to all three entries.
+        let recovered = crate::journal::load(&jn_path).unwrap();
+        assert_eq!(recovered.entries.len(), 1, "{:?}", recovered.entries);
+        assert_eq!(recovered.entries[0].seq, 2);
+
+        // A fresh submission continues the seq sequence from the
+        // watermark — exactly what a resumed daemon would do.
+        rig.sk
+            .send(SkMsg::Submit {
+                conn: 7,
+                job: 0,
+                count: 2.0,
+            })
+            .unwrap();
+        let accept = reply_of(&rig, 7);
+        assert_eq!(accept.get("seq").and_then(JsonValue::as_f64), Some(3.0));
+
+        rig.sk.send(SkMsg::Drain { conn: None }).unwrap();
+        rig.handle.join().unwrap();
+
+        // The rotated journal plus the newest checkpoint still rebuild a
+        // runnable engine (the resume path's exact inputs).
+        let recovered = crate::journal::load(&jn_path).unwrap();
+        let ck = grefar_sim::Checkpoint::load_latest(&ck_path)
+            .unwrap()
+            .checkpoint;
+        let resumed = spec(8).build(&recovered.entries, Some(ck));
+        assert!(resumed.is_ok(), "{:?}", resumed.err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

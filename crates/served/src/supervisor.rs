@@ -59,6 +59,23 @@ impl Default for RestartPolicy {
     }
 }
 
+impl RestartPolicy {
+    /// The backoff before restart number `in_window` inside the sliding
+    /// window (1-based), or `None` once the restart-intensity budget is
+    /// blown. Pure: the supervision loop, the soak harness's restart
+    /// oracle and the property tests all derive timing from this one
+    /// function, so "deterministic per policy" is checkable by calling it
+    /// twice.
+    pub fn backoff_for(&self, in_window: u32) -> Option<u64> {
+        if in_window > self.max_restarts {
+            return None;
+        }
+        let doublings = u32::min(in_window.saturating_sub(1), 20);
+        let backoff = self.backoff_base_ms.saturating_mul(1 << doublings);
+        Some(backoff.min(self.backoff_cap_ms))
+    }
+}
+
 struct RestartTracker {
     times: Vec<Instant>,
     total: u64,
@@ -84,12 +101,7 @@ impl RestartTracker {
         self.times.push(now);
         self.total += 1;
         let in_window = self.times.len() as u32;
-        if in_window > self.policy.max_restarts {
-            return None;
-        }
-        let doublings = u32::min(in_window.saturating_sub(1), 20);
-        let backoff = self.policy.backoff_base_ms.saturating_mul(1 << doublings);
-        Some(backoff.min(self.policy.backoff_cap_ms))
+        self.policy.backoff_for(in_window)
     }
 }
 

@@ -52,6 +52,28 @@ pub struct SeriesSnapshot {
     pub queue_max: Vec<f64>,
 }
 
+/// Cumulative job-conservation ledger counters
+/// ([`JobLedger`](grefar_core::JobLedger)) at the cut, so a resumed run
+/// continues the identical `soak.ledger` series and the conservation
+/// oracle keeps holding across kill/resume.
+///
+/// Absent from pre-ledger checkpoints; the parser then re-anchors the
+/// identity at the cut (`offered = admitted = Σ Θ`, everything else
+/// zero), so old checkpoints keep loading and the schema stays at 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerSnapshot {
+    /// Jobs offered (pre-admission-control) so far.
+    pub offered: f64,
+    /// Jobs admitted into the queues so far.
+    pub admitted: f64,
+    /// Jobs dropped by admission control so far.
+    pub dropped: f64,
+    /// Effective service `Σ min(h_ij, q_ij)` so far.
+    pub served: f64,
+    /// Phantom work minted by over-routing so far.
+    pub route_excess: f64,
+}
+
 /// A complete mid-run snapshot: the next slot to execute plus all
 /// accumulated state. Produced by
 /// [`Simulation::run_resumable`](crate::Simulation::run_resumable), consumed
@@ -78,6 +100,8 @@ pub struct Checkpoint {
     pub tracker: TrackerSnapshot,
     /// All metric series.
     pub series: SeriesSnapshot,
+    /// Cumulative job-conservation ledger counters.
+    pub ledger: LedgerSnapshot,
 }
 
 /// The result of a tolerant checkpoint load: the recovered record plus
@@ -127,6 +151,15 @@ impl Checkpoint {
                 .field("accounts", self.series.account_shares.len())
                 .field("completed_total", self.tracker.completed_total)
                 .field("sojourn_sum", fmt_f64(self.tracker.sojourn_sum))
+                .to_json(),
+        );
+        lines.push(
+            Event::new("ckpt.ledger")
+                .field("offered", self.ledger.offered)
+                .field("admitted", self.ledger.admitted)
+                .field("dropped", self.ledger.dropped)
+                .field("served", self.ledger.served)
+                .field("route_excess", self.ledger.route_excess)
                 .to_json(),
         );
         lines.push(
@@ -456,14 +489,26 @@ impl Checkpoint {
                 prices: vec![Vec::new(); n],
                 ..SeriesSnapshot::default()
             },
+            ledger: LedgerSnapshot::default(),
         };
 
+        let mut saw_ledger = false;
         for (idx, obj) in parsed.iter().enumerate().skip(1).take(parsed.len() - 2) {
             let lineno = idx + 1;
             // verify: match-events(checkpoint, partial)
             // (header/footer are consumed by the framing loop above, not
             // by this per-line dispatch.)
             match event_name(obj) {
+                Some("ckpt.ledger") => {
+                    out.ledger = LedgerSnapshot {
+                        offered: get_f64(obj, "offered", lineno)?,
+                        admitted: get_f64(obj, "admitted", lineno)?,
+                        dropped: get_f64(obj, "dropped", lineno)?,
+                        served: get_f64(obj, "served", lineno)?,
+                        route_excess: get_f64(obj, "route_excess", lineno)?,
+                    };
+                    saw_ledger = true;
+                }
                 Some("ckpt.queues") => {
                     out.queues_central = split_f64(get_str(obj, "central", lineno)?, lineno)?;
                 }
@@ -532,6 +577,19 @@ impl Checkpoint {
             }
         }
 
+        if !saw_ledger {
+            // Pre-ledger checkpoints carry no counters; re-anchor the
+            // conservation identity at the cut so resumed runs keep
+            // balancing from here on.
+            let total = out.queues_central.iter().sum::<f64>()
+                + out.queues_local.iter().flatten().sum::<f64>();
+            out.ledger = LedgerSnapshot {
+                offered: total,
+                admitted: total,
+                ..LedgerSnapshot::default()
+            };
+        }
+
         let executed = out.slot as usize;
         if out.queues_central.len() != j_count
             || out.queues_local.iter().any(|row| row.len() != j_count)
@@ -564,6 +622,12 @@ fn get_str<'a>(
     obj.get(key)
         .and_then(JsonValue::as_str)
         .ok_or_else(|| bad(line, &format!("missing string field {key:?}")))
+}
+
+fn get_f64(obj: &BTreeMap<String, JsonValue>, key: &str, line: usize) -> Result<f64, SimError> {
+    obj.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| bad(line, &format!("missing numeric field {key:?}")))
 }
 
 fn get_u64(obj: &BTreeMap<String, JsonValue>, key: &str, line: usize) -> Result<u64, SimError> {
@@ -682,6 +746,13 @@ mod tests {
                 queue_total: vec![2.0, 4.0, 6.875],
                 queue_max: vec![2.0, 3.0, 3.0],
             },
+            ledger: LedgerSnapshot {
+                offered: 8.0,
+                admitted: 7.0,
+                dropped: 1.0,
+                served: 0.125,
+                route_excess: 0.30000000000000004,
+            },
         }
     }
 
@@ -717,6 +788,35 @@ mod tests {
             .replace(",\"feeds\":\"drop:feed=price,p=0.25,start=0,end=10\"", "");
         let back = Checkpoint::parse(&text).unwrap();
         assert_eq!(back.feeds, "");
+    }
+
+    #[test]
+    fn pre_ledger_checkpoints_reanchor_the_conservation_identity() {
+        // Checkpoints written before the conservation ledger existed have
+        // no `ckpt.ledger` line; they must load with the identity
+        // re-anchored at the cut: offered = admitted = Σ Θ.
+        let ck = sample();
+        let full = ck.to_jsonl();
+        let lines: Vec<&str> = full
+            .lines()
+            .filter(|l| !l.contains("ckpt.ledger"))
+            .collect();
+        assert_eq!(lines.len() + 1, full.lines().count());
+        let mut text = lines.join("\n").replace(
+            &format!("\"lines\":{}", full.lines().count()),
+            &format!("\"lines\":{}", lines.len()),
+        );
+        text.push('\n');
+        let back = Checkpoint::parse(&text).unwrap();
+        let total = 2.0 + 0.5 + 1.0 + 0.25 + 3.0;
+        assert_eq!(
+            back.ledger,
+            LedgerSnapshot {
+                offered: total,
+                admitted: total,
+                ..LedgerSnapshot::default()
+            }
+        );
     }
 
     #[test]
@@ -818,7 +918,7 @@ mod tests {
             .replace("\"central\":\"2,0.5\"", "\"central\":\"2,oops\"");
         match Checkpoint::parse(&text) {
             Err(SimError::CheckpointFormat { line, message }) => {
-                assert_eq!(line, 2);
+                assert_eq!(line, 3);
                 assert!(message.contains("oops"), "{message}");
             }
             other => panic!("expected format error, got {other:?}"),

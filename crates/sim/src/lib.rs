@@ -49,7 +49,9 @@ pub mod sweep;
 pub mod theory_obs;
 mod tracker;
 
-pub use checkpoint::{Checkpoint, CheckpointRecovery, SeriesSnapshot, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    Checkpoint, CheckpointRecovery, LedgerSnapshot, SeriesSnapshot, CHECKPOINT_SCHEMA,
+};
 pub use error::SimError;
 pub use inputs::SimulationInputs;
 pub use mpc::MpcScheduler;

@@ -7,7 +7,9 @@ use crate::error::SimError;
 use crate::inputs::SimulationInputs;
 use crate::report::{RunningSeries, SimulationReport};
 use crate::tracker::JobTracker;
-use grefar_core::{cost_breakdown, stale, QuadraticDeviation, QueueState, Scheduler, SolverBudget};
+use grefar_core::{
+    cost_breakdown, stale, JobLedger, QuadraticDeviation, QueueState, Scheduler, SolverBudget,
+};
 use grefar_faults::FaultPlan;
 use grefar_ingest::{FeedHarness, FeedProfile};
 use grefar_obs::{Event, NullObserver, Observer, Timer};
@@ -65,6 +67,7 @@ pub struct Simulation {
     faults: Option<FaultPlan>,
     feeds: Option<FeedHarness>,
     deadline_iters: Option<usize>,
+    corrupt_at: Option<(u64, f64)>,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -151,6 +154,7 @@ struct RunState {
     queue_total: Vec<f64>,
     queue_max: Vec<f64>,
     dropped: u64,
+    ledger: JobLedger,
 }
 
 impl RunState {
@@ -170,6 +174,7 @@ impl RunState {
             queue_total: Vec::new(),
             queue_max: Vec::new(),
             dropped: 0,
+            ledger: JobLedger::new(),
         }
     }
 
@@ -192,6 +197,14 @@ impl RunState {
         let queues =
             QueueState::from_parts(ck.queues_central, local).map_err(SimError::Mismatch)?;
         let tracker = JobTracker::from_snapshot(config, ck.tracker).map_err(SimError::Mismatch)?;
+        let ledger = JobLedger::from_parts(
+            ck.ledger.offered,
+            ck.ledger.admitted,
+            ck.ledger.dropped,
+            ck.ledger.served,
+            ck.ledger.route_excess,
+        )
+        .map_err(SimError::Mismatch)?;
         Ok(Self {
             next_slot: ck.slot as usize,
             queues,
@@ -216,6 +229,7 @@ impl RunState {
             queue_total: ck.series.queue_total,
             queue_max: ck.series.queue_max,
             dropped: ck.dropped,
+            ledger,
         })
     }
 
@@ -233,6 +247,13 @@ impl RunState {
             faults: faults.to_string(),
             feeds: feeds.to_string(),
             dropped: self.dropped,
+            ledger: crate::checkpoint::LedgerSnapshot {
+                offered: self.ledger.offered(),
+                admitted: self.ledger.admitted(),
+                dropped: self.ledger.dropped(),
+                served: self.ledger.served(),
+                route_excess: self.ledger.route_excess(),
+            },
             queues_central: self.queues.central_slice().to_vec(),
             queues_local: (0..self.queues.local_grid().rows())
                 .map(|i| self.queues.local_grid().row(i).to_vec())
@@ -335,6 +356,7 @@ impl Simulation {
             faults: None,
             feeds: None,
             deadline_iters: None,
+            corrupt_at: None,
         })
     }
 
@@ -389,6 +411,7 @@ impl Simulation {
             faults: _,
             feeds,
             deadline_iters,
+            corrupt_at,
         } = self;
         plan.validate_for(config.num_data_centers(), config.num_job_classes())
             .map_err(|e| SimError::Mismatch(e.to_string()))?;
@@ -404,6 +427,7 @@ impl Simulation {
             faults: Some(plan),
             feeds,
             deadline_iters,
+            corrupt_at,
         })
     }
 
@@ -457,6 +481,16 @@ impl Simulation {
     /// The feed profile in force, if any.
     pub fn feed_profile(&self) -> Option<&FeedProfile> {
         self.feeds.as_ref().map(FeedHarness::profile)
+    }
+
+    /// Test-only mutation hook: right after slot `slot`'s queue update,
+    /// add `delta` jobs to central queue 0 behind the physics' back. The
+    /// `grefar-soak` mutation self-check uses this to prove the
+    /// conservation-ledger oracle detects a corrupted queue update; never
+    /// call it outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_queue_for_test(&mut self, slot: u64, delta: f64) {
+        self.corrupt_at = Some((slot, delta));
     }
 
     /// Runs the whole horizon and returns the report.
@@ -826,6 +860,10 @@ impl Simulation {
             rs.tracker.arrive(t as Slot, &arrivals);
             #[cfg(feature = "strict-invariants")]
             let prev_queues = rs.queues.clone();
+            // Conservation ledger: account the slot's effective flows
+            // against the pre-update queues, then apply the dynamics.
+            rs.ledger
+                .account(&rs.queues, &decision, raw_arrivals, &arrivals);
             rs.queues.apply(&decision, &arrivals);
             if profiling {
                 obs.span_exit("queue.update");
@@ -847,7 +885,8 @@ impl Simulation {
                 .and_then(|()| match self.queue_bound {
                     Some(bound) => invariant::check_queue_bound(&rs.queues, bound),
                     None => Ok(()),
-                });
+                })
+                .and_then(|()| rs.ledger.check(&rs.queues));
                 if let Err(violation) = check {
                     if obs.enabled() {
                         obs.record_event(violation.event(t as u64));
@@ -858,18 +897,31 @@ impl Simulation {
             }
 
             // The job tracker and the (12)–(13) queues must agree whenever
-            // the scheduler respects backlogs (all built-in ones do).
+            // the scheduler respects backlogs (all built-in ones do). A
+            // run carrying the test corruption hook is deliberately broken
+            // past the corruption slot, so the cross-check stands down.
             #[cfg(debug_assertions)]
-            for j in 0..self.config.num_job_classes() {
-                debug_assert!(
-                    (rs.queues.central(j) - rs.tracker.central_backlog(j)).abs() < 1e-6,
-                    "slot {t}: central queue {j} diverged"
-                );
-                for i in 0..self.config.num_data_centers() {
+            if self.corrupt_at.is_none() {
+                for j in 0..self.config.num_job_classes() {
                     debug_assert!(
-                        (rs.queues.local(i, j) - rs.tracker.local_backlog(i, j)).abs() < 1e-6,
-                        "slot {t}: local queue ({i},{j}) diverged"
+                        (rs.queues.central(j) - rs.tracker.central_backlog(j)).abs() < 1e-6,
+                        "slot {t}: central queue {j} diverged"
                     );
+                    for i in 0..self.config.num_data_centers() {
+                        debug_assert!(
+                            (rs.queues.local(i, j) - rs.tracker.local_backlog(i, j)).abs() < 1e-6,
+                            "slot {t}: local queue ({i},{j}) diverged"
+                        );
+                    }
+                }
+            }
+
+            // Test-only corruption (see `corrupt_queue_for_test`): strikes
+            // after the physics so the recorded series and the ledger
+            // event below observe the tampered state.
+            if let Some((slot, delta)) = self.corrupt_at {
+                if slot == t as u64 {
+                    rs.queues.corrupt_central_for_test(0, delta);
                 }
             }
 
@@ -909,6 +961,7 @@ impl Simulation {
                             u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
                         ),
                 );
+                obs.record_event(rs.ledger.event(t as u64, rs.queues.total()));
                 obs.record_duration("slot.wall_us", elapsed);
                 obs.record_value("queue.total", rs.queues.total());
                 obs.add_counter("slots", 1);
@@ -1010,6 +1063,26 @@ impl SteppedRun {
     /// The current total queued work Σ Θ(t).
     pub fn queue_total(&self) -> f64 {
         self.rs.queues.total()
+    }
+
+    /// The largest single queue backlog `max Q` observed over executed
+    /// slots — the quantity Theorem 1(a) bounds, exposed so a per-slot
+    /// occupancy oracle can compare it against the analytic bound without
+    /// waiting for the final report.
+    pub fn queue_peak(&self) -> f64 {
+        self.rs.queue_max.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// The run's cumulative job-conservation ledger.
+    pub fn ledger(&self) -> &JobLedger {
+        &self.rs.ledger
+    }
+
+    /// Forwards [`Simulation::corrupt_queue_for_test`] — the soak
+    /// harness's mutation self-check hook.
+    #[doc(hidden)]
+    pub fn corrupt_queue_for_test(&mut self, slot: u64, delta: f64) {
+        self.sim.corrupt_queue_for_test(slot, delta);
     }
 
     /// Adds `count` jobs of class `job` to slot `t`'s arrivals. The slot

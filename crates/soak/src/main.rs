@@ -1,0 +1,287 @@
+//! `grefar-soak` — deterministic whole-system chaos soak.
+//!
+//! ```text
+//! grefar-soak run [--seeds N] [--start S] [--dir DIR] [--keep-going]
+//! grefar-soak replay FILE
+//! grefar-soak selfcheck [--seed S]
+//! ```
+//!
+//! * `run` expands each seed into a composed scenario and soaks it
+//!   through the batch, crash and daemon legs. On the first oracle
+//!   violation it shrinks the scenario to a minimal failing clause set,
+//!   writes a repro file under `--dir` (default `soak-failures`), and
+//!   exits 1.
+//! * `replay` re-executes a repro file twice and certifies the recorded
+//!   oracle fires both times with bit-identical detail (exit 0 when the
+//!   failure reproduces deterministically, 1 when it does not).
+//! * `selfcheck` proves the oracles can fail: it corrupts one queue
+//!   update behind the physics' back, demands the conservation-ledger
+//!   oracle catches it, shrinks the failure to at most three clauses, and
+//!   replays the shrunk repro bit-identically. A green selfcheck is the
+//!   license to trust a green `run`.
+//!
+//! Exit codes: 0 success, 1 oracle violation (or selfcheck/replay
+//! failure), 2 usage or harness error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use grefar_soak::{repro, run_scenario, shrink, Clause, OracleKind, Scenario, Violation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("selfcheck") => cmd_selfcheck(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            Ok(ExitCode::from(if args.is_empty() { 2 } else { 0 }))
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match code {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  grefar-soak run [--seeds N] [--start S] [--dir DIR] [--keep-going]
+  grefar-soak replay FILE
+  grefar-soak selfcheck [--seed S]";
+
+/// A scratch directory for one scenario's transient files.
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("grefar-soak-{}-{tag}", std::process::id()))
+}
+
+fn parse_u64(args: &[String], index: usize, flag: &str) -> Result<u64, String> {
+    args.get(index)
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse::<u64>()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut seeds: u64 = 20;
+    let mut start: u64 = 0;
+    let mut dir = PathBuf::from("soak-failures");
+    let mut keep_going = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                seeds = parse_u64(args, i + 1, "--seeds")?;
+                i += 2;
+            }
+            "--start" => {
+                start = parse_u64(args, i + 1, "--start")?;
+                i += 2;
+            }
+            "--dir" => {
+                dir = PathBuf::from(args.get(i + 1).ok_or("--dir needs a value")?);
+                i += 2;
+            }
+            "--keep-going" => {
+                keep_going = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let mut failures: u64 = 0;
+    for seed in start..start + seeds {
+        let scenario = Scenario::generate(seed);
+        let scratch = scratch_dir(&format!("run-{seed}"));
+        let outcome = run_scenario(&scenario, &scratch);
+        let _ = std::fs::remove_dir_all(&scratch);
+        let report = outcome.map_err(|e| format!("seed {seed}: {e}"))?;
+        match report.violation {
+            None => println!(
+                "seed {seed}: ok  (horizon {}, {} clause(s), occupancy {}, {} restart(s))",
+                scenario.horizon,
+                scenario.clauses.len(),
+                if report.occupancy_checked {
+                    "checked"
+                } else {
+                    "uncertified"
+                },
+                report.restarts,
+            ),
+            Some(violation) => {
+                failures += 1;
+                let path = report_failure(&scenario, &violation, &dir, &format!("seed-{seed}"))?;
+                println!("seed {seed}: FAIL {violation}");
+                println!("  shrunk repro written to {}", path.display());
+                if !keep_going {
+                    return Ok(ExitCode::from(1));
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        println!("{failures} failing seed(s)");
+        return Ok(ExitCode::from(1));
+    }
+    println!("all {seeds} seed(s) green");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Shrinks a failing scenario and writes its repro file; returns the
+/// path.
+fn report_failure(
+    scenario: &Scenario,
+    violation: &Violation,
+    dir: &Path,
+    tag: &str,
+) -> Result<PathBuf, String> {
+    let scratch = scratch_dir(&format!("shrink-{tag}"));
+    let shrunk = shrink(scenario, violation.oracle, &scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "  shrunk {} -> {} clause(s) in {} probe(s)",
+        shrunk.original_clauses,
+        shrunk.scenario.clauses.len(),
+        shrunk.probes
+    );
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+    let path = dir.join(format!("repro-{tag}.txt"));
+    std::fs::write(&path, repro::render(&shrunk.scenario, violation))
+        .map_err(|e| format!("write {path:?}: {e}"))?;
+    Ok(path)
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let file = args
+        .first()
+        .ok_or(format!("replay needs a file\n{USAGE}"))?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+    let parsed = repro::parse(&text)?;
+    let (first, second) = replay_twice(&parsed.scenario, "replay")?;
+    match verify_replay(&parsed.oracle, &first, &second) {
+        Ok(violation) => {
+            println!("reproduced deterministically: {violation}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(why) => {
+            println!("did not reproduce: {why}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// Runs a scenario twice in fresh scratch directories.
+fn replay_twice(
+    scenario: &Scenario,
+    tag: &str,
+) -> Result<(Option<Violation>, Option<Violation>), String> {
+    let dir_a = scratch_dir(&format!("{tag}-a"));
+    let dir_b = scratch_dir(&format!("{tag}-b"));
+    let a = run_scenario(scenario, &dir_a);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let b = run_scenario(scenario, &dir_b);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    Ok((a?.violation, b?.violation))
+}
+
+/// Certifies two replays of a repro agree with each other and with the
+/// recorded oracle, returning the reproduced violation.
+fn verify_replay(
+    recorded: &Option<OracleKind>,
+    first: &Option<Violation>,
+    second: &Option<Violation>,
+) -> Result<Violation, String> {
+    let first = first.clone().ok_or("first replay was green")?;
+    let second = second.clone().ok_or("second replay was green")?;
+    if let Some(recorded) = recorded {
+        if first.oracle != *recorded {
+            return Err(format!(
+                "repro recorded oracle {recorded}, replay tripped {}",
+                first.oracle
+            ));
+        }
+    }
+    if first != second {
+        return Err(format!(
+            "replays diverged:\n  first:  {first}\n  second: {second}"
+        ));
+    }
+    Ok(first)
+}
+
+fn cmd_selfcheck(args: &[String]) -> Result<ExitCode, String> {
+    let mut seed: u64 = 11;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = parse_u64(args, i + 1, "--seed")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let mut scenario = Scenario::generate(seed);
+    scenario.clauses.push(Clause::Corrupt {
+        slot: scenario.horizon / 2,
+        delta: 7.0,
+    });
+    println!(
+        "selfcheck: corrupting one queue update at slot {} of seed {seed}",
+        scenario.horizon / 2
+    );
+    let scratch = scratch_dir("selfcheck");
+    let outcome = run_scenario(&scenario, &scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let violation = match outcome?.violation {
+        Some(v) if v.oracle == OracleKind::Ledger => v,
+        Some(v) => {
+            println!("selfcheck FAILED: expected the ledger oracle, got {v}");
+            return Ok(ExitCode::from(1));
+        }
+        None => {
+            println!(
+                "selfcheck FAILED: the oracles missed a corrupted queue update — \
+                 a green soak proves nothing"
+            );
+            return Ok(ExitCode::from(1));
+        }
+    };
+    println!("selfcheck: caught as expected: {violation}");
+    let scratch = scratch_dir("selfcheck-shrink");
+    let shrunk = shrink(&scenario, violation.oracle, &scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "selfcheck: shrunk {} -> {} clause(s) in {} probe(s)",
+        shrunk.original_clauses,
+        shrunk.scenario.clauses.len(),
+        shrunk.probes
+    );
+    if shrunk.scenario.clauses.len() > 3 {
+        println!(
+            "selfcheck FAILED: shrunk repro still has {} clauses (expected <= 3)",
+            shrunk.scenario.clauses.len()
+        );
+        return Ok(ExitCode::from(1));
+    }
+    // Round-trip the shrunk repro through the file format, then replay it
+    // twice and demand bit-identical violations.
+    let repro_text = repro::render(&shrunk.scenario, &violation);
+    let parsed = repro::parse(&repro_text)?;
+    let (first, second) = replay_twice(&parsed.scenario, "selfcheck-replay")?;
+    match verify_replay(&parsed.oracle, &first, &second) {
+        Ok(replayed) => {
+            println!("selfcheck: shrunk repro replays bit-identically: {replayed}");
+            println!("selfcheck ok");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(why) => {
+            println!("selfcheck FAILED: shrunk repro did not replay: {why}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The soak oracles: what "the system behaved" means, as a closed set of
+//! checkable judgments. Each violation names its oracle so the shrinker
+//! can minimize a scenario while preserving the *kind* of failure (a
+//! shrink that turns a ledger imbalance into a resume divergence found a
+//! different bug, not a smaller instance of the same one).
+
+use std::fmt;
+
+/// Which judgment failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Job conservation: `admitted − served + route_excess` must equal the
+    /// queued mass, every slot, within accumulated float tolerance.
+    Ledger,
+    /// The widened stale-aware Theorem 1(a) bound: peak queue occupancy
+    /// must stay under `stale_queue_bound(V) + q_max · squeezed_slots`
+    /// whenever the scenario admits a slackness certificate.
+    Occupancy,
+    /// Kill-9/resume identity: the truncated-then-resumed telemetry
+    /// stream must diff clean against the uninterrupted reference.
+    ResumeDiff,
+    /// Supervisor conformance: the daemon must exit 0 and restart exactly
+    /// once per scheduled kill window, within its restart budget.
+    Restart,
+    /// Live-vs-offline metrics identity: refolding the recorded telemetry
+    /// must render byte-identical to the daemon's live metrics snapshot.
+    Fold,
+}
+
+impl OracleKind {
+    /// The stable label used in repro files and console output.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleKind::Ledger => "ledger",
+            OracleKind::Occupancy => "occupancy",
+            OracleKind::ResumeDiff => "resume-diff",
+            OracleKind::Restart => "restart",
+            OracleKind::Fold => "fold",
+        }
+    }
+
+    /// Parses a [`label`](OracleKind::label) back.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "ledger" => Some(OracleKind::Ledger),
+            "occupancy" => Some(OracleKind::Occupancy),
+            "resume-diff" => Some(OracleKind::ResumeDiff),
+            "restart" => Some(OracleKind::Restart),
+            "fold" => Some(OracleKind::Fold),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One oracle failure: the judgment that fired plus a deterministic
+/// detail string (two runs of the same scenario must produce the same
+/// detail — that is what `grefar-soak replay` certifies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub oracle: OracleKind,
+    /// Deterministic, human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation.
+    pub fn new(oracle: OracleKind, detail: impl Into<String>) -> Self {
+        Violation {
+            oracle,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for kind in [
+            OracleKind::Ledger,
+            OracleKind::Occupancy,
+            OracleKind::ResumeDiff,
+            OracleKind::Restart,
+            OracleKind::Fold,
+        ] {
+            assert_eq!(OracleKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(OracleKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! The canonical repro file: a failing (usually shrunk) scenario plus the
+//! oracle it trips, serialized as plain `key=value` text so it survives
+//! bug trackers, diffs and hand-editing. `grefar-soak replay FILE`
+//! parses one of these and re-executes it.
+//!
+//! ```text
+//! # grefar-soak repro — replay with `grefar-soak replay <file>`
+//! seed=7
+//! horizon=30
+//! v=2.5
+//! beta=0
+//! cap=none
+//! ckpt_every=4
+//! kill_at=11
+//! oracle=ledger
+//! detail=slot 5: conservation balance ...
+//! clause=corrupt slot=5,delta=4
+//! ```
+//!
+//! `oracle=` and `detail=` record what the original run observed (the
+//! replay verifies the same oracle fires again); `clause=` lines are the
+//! scenario's clause list in order. `detail=` newlines are escaped as
+//! `\n` so the file stays line-oriented.
+
+use crate::oracle::{OracleKind, Violation};
+use crate::scenario::{Clause, Scenario};
+
+/// A parsed repro file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// The scenario to replay.
+    pub scenario: Scenario,
+    /// The oracle the original run tripped, when recorded.
+    pub oracle: Option<OracleKind>,
+    /// The original violation detail, when recorded.
+    pub detail: Option<String>,
+}
+
+/// Serializes a failing scenario and its violation into the repro format.
+pub fn render(scenario: &Scenario, violation: &Violation) -> String {
+    let mut out = String::new();
+    out.push_str("# grefar-soak repro — replay with `grefar-soak replay <file>`\n");
+    out.push_str(&format!("seed={}\n", scenario.seed));
+    out.push_str(&format!("horizon={}\n", scenario.horizon));
+    out.push_str(&format!("v={}\n", scenario.v));
+    out.push_str(&format!("beta={}\n", scenario.beta));
+    match scenario.admission_cap {
+        None => out.push_str("cap=none\n"),
+        Some(cap) => out.push_str(&format!("cap={cap}\n")),
+    }
+    out.push_str(&format!("ckpt_every={}\n", scenario.checkpoint_every));
+    out.push_str(&format!("kill_at={}\n", scenario.kill_at));
+    out.push_str(&format!("oracle={}\n", violation.oracle));
+    out.push_str(&format!(
+        "detail={}\n",
+        violation.detail.replace('\\', "\\\\").replace('\n', "\\n")
+    ));
+    for clause in &scenario.clauses {
+        out.push_str(&format!("clause={}\n", clause.spec()));
+    }
+    out
+}
+
+/// Parses the repro format back.
+///
+/// # Errors
+/// A message naming the offending line for any syntax problem or missing
+/// required key.
+pub fn parse(text: &str) -> Result<Repro, String> {
+    let mut seed = None;
+    let mut horizon = None;
+    let mut v = None;
+    let mut beta = None;
+    let mut cap: Option<Option<f64>> = None;
+    let mut ckpt_every = None;
+    let mut kill_at = None;
+    let mut oracle = None;
+    let mut detail = None;
+    let mut clauses = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key=value, got {line:?}", lineno + 1))?;
+        let bad = |e: &dyn std::fmt::Display| format!("line {}: {key}: {e}", lineno + 1);
+        match key {
+            "seed" => seed = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
+            "horizon" => horizon = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
+            "v" => v = Some(value.parse::<f64>().map_err(|e| bad(&e))?),
+            "beta" => beta = Some(value.parse::<f64>().map_err(|e| bad(&e))?),
+            "cap" => {
+                cap = Some(if value == "none" {
+                    None
+                } else {
+                    Some(value.parse::<f64>().map_err(|e| bad(&e))?)
+                })
+            }
+            "ckpt_every" => ckpt_every = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
+            "kill_at" => kill_at = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
+            "oracle" => {
+                oracle = Some(
+                    OracleKind::parse(value)
+                        .ok_or_else(|| format!("line {}: unknown oracle {value:?}", lineno + 1))?,
+                )
+            }
+            "detail" => detail = Some(unescape(value)),
+            "clause" => clauses.push(Clause::parse(value).map_err(|e| bad(&e))?),
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        }
+    }
+    let require = |name: &str| format!("missing required key {name}=");
+    let scenario = Scenario {
+        seed: seed.ok_or_else(|| require("seed"))?,
+        horizon: horizon.ok_or_else(|| require("horizon"))?,
+        v: v.ok_or_else(|| require("v"))?,
+        beta: beta.ok_or_else(|| require("beta"))?,
+        admission_cap: cap.ok_or_else(|| require("cap"))?,
+        checkpoint_every: ckpt_every.ok_or_else(|| require("ckpt_every"))?,
+        kill_at: kill_at.ok_or_else(|| require("kill_at"))?,
+        clauses,
+    };
+    Ok(Repro {
+        scenario,
+        oracle,
+        detail,
+    })
+}
+
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrips() {
+        let scenario = Scenario {
+            seed: 42,
+            horizon: 30,
+            v: 2.5,
+            beta: 0.2,
+            admission_cap: Some(75.0),
+            checkpoint_every: 4,
+            kill_at: 11,
+            clauses: vec![
+                Clause::Fault("outage:dc=1,start=3,end=6".to_string()),
+                Clause::Traffic {
+                    t: 7,
+                    job: 3,
+                    count: 2.0,
+                },
+                Clause::Corrupt {
+                    slot: 5,
+                    delta: 4.0,
+                },
+            ],
+        };
+        let violation = Violation::new(
+            OracleKind::Ledger,
+            "slot 5: balance 4.0 exceeds tolerance\nsecond line",
+        );
+        let text = render(&scenario, &violation);
+        let repro = parse(&text).unwrap();
+        assert_eq!(repro.scenario, scenario);
+        assert_eq!(repro.oracle, Some(OracleKind::Ledger));
+        assert_eq!(repro.detail.as_deref(), Some(violation.detail.as_str()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = parse("seed=1\nwhat even is this\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse("seed=1\nhorizon=nope\n").unwrap_err();
+        assert!(err.contains("horizon"), "{err}");
+        let err = parse("seed=1\n").unwrap_err();
+        assert!(err.contains("horizon="), "{err}");
+    }
+
+    #[test]
+    fn generated_scenarios_roundtrip_through_the_repro_format() {
+        for seed in 0..32 {
+            let scenario = Scenario::generate(seed);
+            let violation = Violation::new(OracleKind::Occupancy, "x");
+            let repro = parse(&render(&scenario, &violation)).unwrap();
+            assert_eq!(repro.scenario, scenario, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Automatic failure shrinking: greedy delta-debugging over a failing
+//! scenario's clause list.
+//!
+//! The shrinker repeatedly tries removing one clause at a time and keeps
+//! any removal under which the *same oracle* still fires. Preserving the
+//! oracle kind is the invariant that makes the output a smaller instance
+//! of the same bug rather than a different bug that happens to be nearby;
+//! the scalar frame (seed, horizon, `V`, the kill slot) is never touched,
+//! so a shrunk repro replays through the exact same code paths.
+
+use std::path::Path;
+
+use crate::oracle::OracleKind;
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+
+/// The shrinking transcript: the minimal scenario plus how much work it
+/// took (for the console summary).
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized scenario — every remaining clause is load-bearing:
+    /// removing any single one makes the oracle stop firing.
+    pub scenario: Scenario,
+    /// Clauses in the original failing scenario.
+    pub original_clauses: usize,
+    /// Re-runs spent probing candidates.
+    pub probes: u32,
+}
+
+/// Minimizes `scenario`'s clause list while `oracle` keeps firing.
+/// `scratch` is a directory for the probe runs' transient files (each
+/// probe uses a fresh subdirectory).
+///
+/// A probe that errors at the harness level (I/O, build) is treated as
+/// "does not reproduce" — the candidate is rejected and the clause kept,
+/// which is conservative in the right direction: the result can only be
+/// larger, never wrong.
+pub fn shrink(scenario: &Scenario, oracle: OracleKind, scratch: &Path) -> Shrunk {
+    let original_clauses = scenario.clauses.len();
+    let mut current = scenario.clone();
+    let mut probes: u32 = 0;
+    loop {
+        let mut improved = false;
+        for index in 0..current.clauses.len() {
+            let mut candidate = current.clone();
+            candidate.clauses.remove(index);
+            probes += 1;
+            if reproduces(&candidate, oracle, scratch, probes) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Shrunk {
+        scenario: current,
+        original_clauses,
+        probes,
+    }
+}
+
+/// Whether `candidate` still trips `oracle`.
+fn reproduces(candidate: &Scenario, oracle: OracleKind, scratch: &Path, probe: u32) -> bool {
+    let dir = scratch.join(format!("probe-{probe}"));
+    let hit = matches!(
+        run_scenario(candidate, &dir),
+        Ok(report) if report.violation.as_ref().map(|v| v.oracle) == Some(oracle)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Clause;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("grefar-soak-sh-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shrinks_a_corrupted_scenario_to_the_corruption_alone() {
+        // Decoy clauses that have nothing to do with the ledger break.
+        let scenario = Scenario {
+            seed: 11,
+            horizon: 12,
+            v: 2.5,
+            beta: 0.0,
+            admission_cap: None,
+            checkpoint_every: 3,
+            kill_at: 5,
+            clauses: vec![
+                Clause::Traffic {
+                    t: 2,
+                    job: 1,
+                    count: 1.0,
+                },
+                Clause::Corrupt {
+                    slot: 6,
+                    delta: 5.0,
+                },
+                Clause::Traffic {
+                    t: 9,
+                    job: 0,
+                    count: 2.0,
+                },
+            ],
+        };
+        let dir = scratch("ledger");
+        let first = run_scenario(&scenario, &dir).unwrap().violation.unwrap();
+        assert_eq!(first.oracle, OracleKind::Ledger);
+        let shrunk = shrink(&scenario, first.oracle, &dir);
+        assert_eq!(
+            shrunk.scenario.clauses,
+            vec![Clause::Corrupt {
+                slot: 6,
+                delta: 5.0,
+            }],
+            "only the corruption is load-bearing"
+        );
+        assert_eq!(shrunk.original_clauses, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

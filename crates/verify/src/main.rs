@@ -12,8 +12,8 @@
 //!
 //! | rule | scope |
 //! |------|-------|
-//! | `determinism` | `crates/{core,convex,lp,sim,report,faults,ingest,metrics,served}/src` |
-//! | `float-eq` | `crates/{core,convex,lp,sim,types,cluster,report,faults,ingest,metrics,served}/src` |
+//! | `determinism` | `crates/{core,convex,lp,sim,report,faults,ingest,metrics,served,soak}/src` |
+//! | `float-eq` | `crates/{core,convex,lp,sim,types,cluster,report,faults,ingest,metrics,served,soak}/src` |
 //! | `no-panic` | `crates/lp/src`, `crates/core/src/solver` |
 //! | `no-panic-strict` | `crates/sim/src/simulation.rs`, `crates/ingest/src/client.rs` |
 //! | `errors-doc` | `crates/{core,lp}/src` |
@@ -58,6 +58,7 @@ const SCOPES: &[Scope] = &[
             "crates/ingest/src",
             "crates/metrics/src",
             "crates/served/src",
+            "crates/soak/src",
         ],
     },
     Scope {
@@ -74,6 +75,7 @@ const SCOPES: &[Scope] = &[
             "crates/ingest/src",
             "crates/metrics/src",
             "crates/served/src",
+            "crates/soak/src",
         ],
     },
     Scope {

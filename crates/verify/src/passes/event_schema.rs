@@ -524,6 +524,7 @@ fn body(name: &str) {
         "ckpt.local_jobs" | "ckpt.local_queues" => {}
         "ckpt.series" => {}
         "ckpt.tracker_dc" => {}
+        "ckpt.ledger" => {}
         _ => {}
     }
 }

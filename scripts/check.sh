@@ -207,6 +207,24 @@ grep -q '"event":"served.restart"' "$report_tmp/served_chaos.jsonl" \
 ./target/release/grefar-report analyze "$report_tmp/served_chaos.jsonl" --assert-bound > /dev/null
 echo "daemon crash-safety ok"
 
+# Whole-system soak (see EXPERIMENTS.md, "Soak testing & replaying
+# failures" and DESIGN.md, "Soak testing & the conservation ledger"): a
+# fixed seed batch must soak green through the batch, crash and daemon
+# legs in bounded wall time, and the mutation self-check must prove the
+# oracles can fail — a corrupted queue update the conservation ledger
+# cannot catch would make every green batch meaningless. Set
+# GREFAR_SOAK_SEEDS=N to widen the batch (nightly runs).
+soak_seeds="${GREFAR_SOAK_SEEDS:-8}"
+if ! timeout 900 ./target/release/grefar-soak run --seeds "$soak_seeds" \
+    --dir "$report_tmp/soak-failures" > "$report_tmp/soak.log" 2>&1; then
+    cat "$report_tmp/soak.log" >&2
+    cat "$report_tmp"/soak-failures/repro-*.txt 2> /dev/null >&2 || true
+    echo "soak batch failed" >&2; exit 1
+fi
+timeout 300 ./target/release/grefar-soak selfcheck > /dev/null 2>&1 \
+    || { echo "soak selfcheck failed: the oracles cannot catch a planted bug" >&2; exit 1; }
+echo "soak harness ok"
+
 # Perf trajectory: benches emit machine-readable BENCH_<target>.json; a
 # self-comparison through the gate must pass at a tight threshold, and the
 # fresh numbers must stay within a loose envelope of the committed

@@ -46,9 +46,10 @@ fn simulation_jsonl_parses_and_covers_schema() {
     let text = jsonl_stream(2012, hours, 7.5, 0.0);
     let events = json::parse_lines(&text).expect("every line is valid JSON");
 
-    // run.start; per hour one slot, one grefar.decide and one
-    // decision.explain per data center (the paper scenario has 3); run.end.
-    assert_eq!(events.len(), 2 + 5 * hours);
+    // run.start; per hour one slot, one soak.ledger conservation record,
+    // one grefar.decide and one decision.explain per data center (the
+    // paper scenario has 3); run.end.
+    assert_eq!(events.len(), 2 + 6 * hours);
     let name = |e: &std::collections::BTreeMap<String, JsonValue>| {
         e.get("event")
             .and_then(JsonValue::as_str)
